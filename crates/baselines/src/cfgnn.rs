@@ -1,0 +1,153 @@
+//! CF-GNNExplainer: counterfactual explanations via minimal edge deletions.
+//!
+//! The original method learns a binary perturbation mask over the adjacency
+//! matrix that flips the prediction while deleting as few edges as possible.
+//! This reproduction keeps the objective and replaces the gradient loop with
+//! `epochs` rounds of greedy coordinate descent: in each round every candidate
+//! edge is scored by how much deleting it (on top of the current deletion set)
+//! lowers the predicted label's margin, and the best-scoring edge is added to
+//! the deletion set; the search stops as soon as the prediction flips or the
+//! per-node edge budget is exhausted.
+
+use crate::{local_candidate_edges, BaselineConfig};
+use rcw_gnn::GnnModel;
+use rcw_graph::{EdgeSet, EdgeSubgraph, Graph, GraphView, NodeId};
+
+/// The CF-GNNExplainer baseline.
+#[derive(Clone, Debug, Default)]
+pub struct CfGnnExplainer {
+    cfg: BaselineConfig,
+}
+
+impl CfGnnExplainer {
+    /// Creates the explainer with the given configuration.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        CfGnnExplainer { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BaselineConfig {
+        &self.cfg
+    }
+
+    /// Explains a single node: returns the (minimal, greedy) set of edges
+    /// whose deletion flips the node's prediction. If no flip is achievable
+    /// within the budget, the best-effort deletion set found so far is
+    /// returned (mirroring the original method, which also may fail to flip).
+    pub fn explain_node(
+        &self,
+        model: &dyn GnnModel,
+        graph: &Graph,
+        v: NodeId,
+    ) -> EdgeSubgraph {
+        let full = GraphView::full(graph);
+        let label = match model.predict(v, &full) {
+            Some(l) => l,
+            None => return EdgeSubgraph::new(),
+        };
+        let candidates = local_candidate_edges(graph, v, &self.cfg);
+        let mut deleted = EdgeSet::new();
+
+        for _epoch in 0..self.cfg.epochs {
+            if deleted.len() >= self.cfg.max_edges {
+                break;
+            }
+            // has the prediction flipped already?
+            let view = GraphView::without(graph, &deleted);
+            if model.predict(v, &view) != Some(label) {
+                break;
+            }
+            // score every remaining candidate by the margin drop it causes
+            let mut best: Option<(f64, (usize, usize))> = None;
+            for &(a, b) in &candidates {
+                if deleted.contains(a, b) {
+                    continue;
+                }
+                let mut trial = deleted.clone();
+                trial.insert(a, b);
+                let trial_view = GraphView::without(graph, &trial);
+                let margin = model.margin(v, label, &trial_view);
+                match best {
+                    Some((m, _)) if margin >= m => {}
+                    _ => best = Some((margin, (a, b))),
+                }
+            }
+            match best {
+                Some((_, (a, b))) => {
+                    deleted.insert(a, b);
+                }
+                None => break,
+            }
+        }
+
+        let mut out = EdgeSubgraph::from_edges(deleted.iter());
+        out.add_node(v);
+        out
+    }
+
+    /// Explains a set of nodes as the union of instance-level explanations —
+    /// the aggregation the paper uses when comparing sizes.
+    pub fn explain(
+        &self,
+        model: &dyn GnnModel,
+        graph: &Graph,
+        test_nodes: &[NodeId],
+    ) -> EdgeSubgraph {
+        let mut out = EdgeSubgraph::new();
+        for &v in test_nodes {
+            out.extend(&self.explain_node(model, graph, v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::two_clique_setup;
+
+    #[test]
+    fn explanation_contains_the_test_node_and_only_real_edges() {
+        let (g, gcn, t) = two_clique_setup();
+        let exp = CfGnnExplainer::default().explain_node(&gcn, &g, t);
+        assert!(exp.contains_node(t));
+        assert!(exp.edges().iter().all(|(u, v)| g.has_edge(u, v)));
+        assert!(exp.num_edges() <= BaselineConfig::default().max_edges);
+    }
+
+    #[test]
+    fn deleting_the_explanation_tends_to_flip_the_prediction() {
+        let (g, gcn, t) = two_clique_setup();
+        let full = GraphView::full(&g);
+        let label = gcn.predict(t, &full).unwrap();
+        let exp = CfGnnExplainer::default().explain_node(&gcn, &g, t);
+        if exp.num_edges() > 0 {
+            let view = GraphView::without(&g, exp.edges());
+            // the greedy search stops when it flips; if it found anything that
+            // flips, the counterfactual property must hold
+            let flipped = gcn.predict(t, &view) != Some(label);
+            let margin_dropped = gcn.margin(t, label, &view) <= gcn.margin(t, label, &full);
+            assert!(flipped || margin_dropped);
+        }
+    }
+
+    #[test]
+    fn union_explanation_covers_each_node() {
+        let (g, gcn, t) = two_clique_setup();
+        let exp = CfGnnExplainer::default().explain(&gcn, &g, &[t, 0, 7]);
+        for v in [t, 0, 7] {
+            assert!(exp.contains_node(v));
+        }
+    }
+
+    #[test]
+    fn zero_epoch_config_returns_empty_deletions() {
+        let (g, gcn, t) = two_clique_setup();
+        let cfg = BaselineConfig {
+            epochs: 0,
+            ..BaselineConfig::default()
+        };
+        let exp = CfGnnExplainer::new(cfg).explain_node(&gcn, &g, t);
+        assert_eq!(exp.num_edges(), 0);
+    }
+}

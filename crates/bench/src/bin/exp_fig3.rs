@@ -1,0 +1,34 @@
+//! Experiments E2/E3 — reproduce Fig. 3: explanation quality (NormGED,
+//! Fidelity+, Fidelity−) as k varies (a/c/e) and as |VT| varies (b/d/f).
+//!
+//! Usage: `cargo run --release -p rcw-bench --bin exp_fig3 [-- --vary k|vt] [--quick]`
+
+use rcw_bench::{fig3, ExperimentContext};
+use rcw_datasets::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let vary = args
+        .iter()
+        .position(|a| a == "--vary")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("both")
+        .to_string();
+    let scale = if quick { Scale::Small } else { Scale::Full };
+    let ctx = ExperimentContext::prepare("citeseer", scale, 3);
+    let (ks, vts, fixed_vt, fixed_k) = if quick {
+        (vec![2, 4, 8], vec![4, 8, 12], 6, 4)
+    } else {
+        (vec![4, 8, 12, 16, 20], vec![20, 40, 60, 80, 100], 20, 20)
+    };
+    if vary == "k" || vary == "both" {
+        let t = fig3(&ctx, true, &ks, fixed_vt);
+        println!("{}", t.render());
+    }
+    if vary == "vt" || vary == "both" {
+        let t = fig3(&ctx, false, &vts, fixed_k);
+        println!("{}", t.render());
+    }
+}

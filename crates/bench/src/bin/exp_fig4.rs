@@ -1,0 +1,47 @@
+//! Experiments E4–E7 — reproduce Fig. 4: (a) generation time per dataset,
+//! (b) time vs k, (c) time vs |VT|, (d) paraRoboGExp thread scalability.
+//!
+//! Usage: `cargo run --release -p rcw-bench --bin exp_fig4 [-- --part a|b|c|d] [--quick]`
+
+use rcw_bench::{fig4a, fig4bc, fig4d, ExperimentContext};
+use rcw_datasets::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let part = args
+        .iter()
+        .position(|a| a == "--part")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all")
+        .to_string();
+    let scale = if quick { Scale::Small } else { Scale::Full };
+    let (k, vt) = if quick { (4, 6) } else { (20, 20) };
+
+    if part == "a" || part == "all" {
+        let contexts = vec![
+            ExperimentContext::prepare("bahouse", scale, 3),
+            ExperimentContext::prepare("citeseer", scale, 3),
+            ExperimentContext::prepare("ppi", scale, 3),
+        ];
+        println!("{}", fig4a(&contexts, k, vt).render());
+    }
+    if part == "b" || part == "all" {
+        let ctx = ExperimentContext::prepare("citeseer", scale, 3);
+        let ks = if quick { vec![2, 4, 8] } else { vec![4, 8, 12, 16, 20] };
+        println!("{}", fig4bc(&ctx, true, &ks, vt).render());
+    }
+    if part == "c" || part == "all" {
+        let ctx = ExperimentContext::prepare("citeseer", scale, 3);
+        let vts = if quick { vec![4, 8, 12] } else { vec![20, 40, 60, 80, 100] };
+        println!("{}", fig4bc(&ctx, false, &vts, k).render());
+    }
+    if part == "d" || part == "all" {
+        let reddit_scale = if quick { Scale::Small } else { Scale::Full };
+        let ctx = ExperimentContext::prepare("reddit", reddit_scale, 3);
+        let threads = if quick { vec![1, 2, 4] } else { vec![2, 4, 6, 8, 10] };
+        let ks = if quick { vec![2] } else { vec![5, 10] };
+        println!("{}", fig4d(&ctx, &threads, &ks, vt).render());
+    }
+}

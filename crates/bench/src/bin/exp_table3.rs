@@ -1,0 +1,27 @@
+//! Experiment E1 — reproduces Table III (quality of explanations on the
+//! CiteSeer-like dataset, k=20, |VT|=20).
+//!
+//! Usage: `cargo run --release -p rcw-bench --bin exp_table3 [-- --quick]`
+
+use rcw_bench::{table3, ExperimentContext};
+use rcw_datasets::Scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, k, vt) = if quick {
+        (Scale::Small, 8, 8)
+    } else {
+        (Scale::Full, 20, 20)
+    };
+    eprintln!("preparing CiteSeer-like dataset ({scale:?}) and training classifiers...");
+    let ctx = ExperimentContext::prepare("citeseer", scale, 3);
+    eprintln!(
+        "dataset: {} nodes, {} edges; GCN test accuracy {:.2}",
+        ctx.dataset.graph.num_nodes(),
+        ctx.dataset.graph.num_edges(),
+        ctx.dataset.test_accuracy(&ctx.gcn)
+    );
+    let table = table3(&ctx, k, vt);
+    println!("{}", table.render());
+    println!("{}", table.to_csv());
+}

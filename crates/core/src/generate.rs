@@ -1,0 +1,496 @@
+//! RoboGExp — generation of k-robust counterfactual witnesses (Algorithm 2).
+//!
+//! The generator follows the paper's "expand–verify" strategy:
+//!
+//! 1. start from the trivial witness containing only the test nodes;
+//! 2. for each test node, *expand* the witness with the node pairs most
+//!    responsible for its label — first enough of its receptive field to make
+//!    the witness factual, then the support edges whose removal flips the
+//!    label (counterfactual);
+//! 3. *verify* robustness: find the worst admissible (k, b)-disturbance (the
+//!    policy-iteration search for APPNP, enumeration/sampling otherwise); if a
+//!    disturbance disproves robustness, absorb its edges into the witness —
+//!    pairs inside the witness can no longer be disturbed — and repeat.
+//!
+//! The procedure always terminates: the witness grows monotonically and is
+//! bounded by the host graph (the trivial k-RCW). When no non-trivial robust
+//! witness exists the generator returns its best effort together with the
+//! strongest verified level, which is what the paper's quality metrics
+//! (Fidelity+/−, GED) evaluate.
+
+use crate::config::RcwConfig;
+use crate::verify::verify_rcw;
+use crate::verify_appnp::verify_rcw_appnp;
+use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
+use rcw_gnn::{Appnp, GnnModel};
+use rcw_graph::{
+    traversal::k_hop_neighborhood, EdgeSubgraph, Graph, GraphView, NodeId,
+};
+use std::time::{Duration, Instant};
+
+/// Which verification path the generator uses.
+#[derive(Clone, Copy)]
+pub enum ModelRef<'a> {
+    /// APPNP: tractable (k, b)-disturbance verification via policy iteration.
+    Appnp(&'a Appnp),
+    /// Any other fixed deterministic GNN: enumeration / sampling verification.
+    Generic(&'a dyn GnnModel),
+}
+
+impl<'a> ModelRef<'a> {
+    /// The underlying inference function.
+    pub fn model(&self) -> &'a dyn GnnModel {
+        match self {
+            ModelRef::Appnp(m) => *m as &dyn GnnModel,
+            ModelRef::Generic(m) => *m,
+        }
+    }
+}
+
+/// Counters and timing collected during generation.
+#[derive(Clone, Debug, Default)]
+pub struct GenerationStats {
+    /// Total model inference calls.
+    pub inference_calls: usize,
+    /// Disturbances examined across all verification rounds.
+    pub disturbances_verified: usize,
+    /// Expand–verify rounds executed.
+    pub expand_rounds: usize,
+    /// Wall-clock time of the generation call.
+    pub elapsed: Duration,
+}
+
+/// Result of a generation run.
+#[derive(Clone, Debug)]
+pub struct GenerationResult {
+    /// The generated witness.
+    pub witness: Witness,
+    /// The strongest level the final witness was verified at.
+    pub level: WitnessLevel,
+    /// Whether the witness is non-trivial (has edges, is not the whole graph).
+    pub nontrivial: bool,
+    /// Counters and timing.
+    pub stats: GenerationStats,
+}
+
+/// The RoboGExp generator.
+pub struct RoboGExp<'a> {
+    model: ModelRef<'a>,
+    cfg: RcwConfig,
+}
+
+impl<'a> RoboGExp<'a> {
+    /// Creates a generator for an APPNP classifier (tractable verification).
+    pub fn for_appnp(appnp: &'a Appnp, cfg: RcwConfig) -> Self {
+        RoboGExp {
+            model: ModelRef::Appnp(appnp),
+            cfg,
+        }
+    }
+
+    /// Creates a generator for an arbitrary fixed deterministic GNN.
+    pub fn for_model(model: &'a dyn GnnModel, cfg: RcwConfig) -> Self {
+        RoboGExp {
+            model: ModelRef::Generic(model),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RcwConfig {
+        &self.cfg
+    }
+
+    /// Verification dispatch used by the generator and exposed for callers
+    /// that want to re-verify a witness.
+    pub fn verify(&self, graph: &Graph, witness: &Witness) -> VerifyOutcome {
+        match self.model {
+            ModelRef::Appnp(appnp) => verify_rcw_appnp(appnp, graph, witness, &self.cfg),
+            ModelRef::Generic(model) => verify_rcw(model, graph, witness, &self.cfg),
+        }
+    }
+
+    /// Generates a k-RCW (best effort) for the given test nodes.
+    ///
+    /// # Panics
+    /// Panics if `test_nodes` is empty or contains an invalid node id.
+    pub fn generate(&self, graph: &Graph, test_nodes: &[NodeId]) -> GenerationResult {
+        assert!(!test_nodes.is_empty(), "RoboGExp::generate: empty test set");
+        assert!(
+            test_nodes.iter().all(|&v| graph.contains_node(v)),
+            "RoboGExp::generate: invalid test node"
+        );
+        self.cfg.validate().expect("invalid RcwConfig");
+        let start = Instant::now();
+        let model = self.model.model();
+        let mut stats = GenerationStats::default();
+
+        // M(v, G) for every test node.
+        let full = GraphView::full(graph);
+        let labels: Vec<usize> = test_nodes
+            .iter()
+            .map(|&v| {
+                stats.inference_calls += 1;
+                model.predict(v, &full).expect("valid node")
+            })
+            .collect();
+
+        let mut subgraph = EdgeSubgraph::from_nodes(test_nodes.iter().copied());
+
+        // Phase 1: per-node expansion for factuality and counterfactuality.
+        for (i, &v) in test_nodes.iter().enumerate() {
+            self.ensure_factual(graph, model, v, labels[i], &mut subgraph, &mut stats);
+            self.ensure_counterfactual(graph, model, v, labels[i], &mut subgraph, &mut stats);
+        }
+
+        // Phase 2: robustness expand–verify loop.
+        let mut witness = Witness::new(subgraph, test_nodes.to_vec(), labels.clone());
+        let mut level = WitnessLevel::NotAWitness;
+        for round in 0..self.cfg.max_expand_rounds {
+            stats.expand_rounds = round + 1;
+            let outcome = self.verify(graph, &witness);
+            stats.inference_calls += outcome.inference_calls;
+            stats.disturbances_verified += outcome.disturbances_checked;
+            level = outcome.level;
+            match outcome.level {
+                WitnessLevel::Robust => break,
+                WitnessLevel::Counterfactual => {
+                    // Absorb the counterexample's existing edges; pairs inside
+                    // the witness cannot be disturbed any more.
+                    let Some(ce) = outcome.counterexample else { break };
+                    let mut grew = false;
+                    for (u, v) in ce.iter() {
+                        if graph.has_edge(u, v) && !witness.subgraph.contains_edge(u, v) {
+                            witness.subgraph.add_edge(u, v);
+                            grew = true;
+                        }
+                    }
+                    if !grew {
+                        // counterexample consists purely of insertions we
+                        // cannot protect against by growing the witness
+                        break;
+                    }
+                    // growing the witness may have broken factuality of other
+                    // nodes only if it removed nothing — it cannot; but it may
+                    // have made the remainder too weak to stay counterfactual,
+                    // which the next verification round will detect.
+                }
+                WitnessLevel::Factual | WitnessLevel::NotAWitness => {
+                    // Re-run the per-node expansion: some node lost factuality
+                    // or counterfactuality (e.g. after the witness grew).
+                    let mut sg = witness.subgraph.clone();
+                    for (i, &v) in test_nodes.iter().enumerate() {
+                        self.ensure_factual(graph, model, v, labels[i], &mut sg, &mut stats);
+                        self.ensure_counterfactual(graph, model, v, labels[i], &mut sg, &mut stats);
+                    }
+                    if sg == witness.subgraph {
+                        // no further progress possible
+                        break;
+                    }
+                    witness.subgraph = sg;
+                }
+            }
+            if witness.subgraph.num_edges() >= graph.num_edges() {
+                // degenerated to the trivial k-RCW `G`
+                witness = Witness::trivial_full(graph, test_nodes.to_vec(), labels.clone());
+                level = WitnessLevel::Robust;
+                break;
+            }
+        }
+
+        stats.elapsed = start.elapsed();
+        let nontrivial = witness.is_nontrivial(graph);
+        GenerationResult {
+            witness,
+            level,
+            nontrivial,
+            stats,
+        }
+    }
+
+    /// Expands the witness around `v` until `M(v, Gs) = l`, adding the ego
+    /// network hop by hop (the L-hop receptive field reproduces the full-graph
+    /// prediction for message-passing GNNs).
+    fn ensure_factual(
+        &self,
+        graph: &Graph,
+        model: &dyn GnnModel,
+        v: NodeId,
+        label: usize,
+        subgraph: &mut EdgeSubgraph,
+        stats: &mut GenerationStats,
+    ) {
+        let max_hops = self
+            .cfg
+            .candidate_hops
+            .max(model.num_layers())
+            .min(graph.num_nodes());
+        for hop in 1..=max_hops {
+            let view = GraphView::restricted_to(graph, subgraph.edges());
+            stats.inference_calls += 1;
+            if model.predict(v, &view) == Some(label) {
+                return;
+            }
+            // add all edges with at least one endpoint within `hop - 1` hops of v
+            let inner = k_hop_neighborhood(graph, v, hop - 1);
+            for &u in &inner {
+                for w in graph.neighbors(u) {
+                    subgraph.add_edge(u, w);
+                }
+            }
+        }
+        // final check is implicit; if still not factual the verification
+        // rounds will report it
+    }
+
+    /// Expands the witness around `v` until removing it flips the label,
+    /// absorbing the strongest remaining support edges near `v`.
+    fn ensure_counterfactual(
+        &self,
+        graph: &Graph,
+        model: &dyn GnnModel,
+        v: NodeId,
+        label: usize,
+        subgraph: &mut EdgeSubgraph,
+        stats: &mut GenerationStats,
+    ) {
+        // quick exit: already counterfactual for v
+        {
+            let remainder = GraphView::without(graph, subgraph.edges());
+            stats.inference_calls += 1;
+            if model.predict(v, &remainder) != Some(label) {
+                return;
+            }
+        }
+
+        // Candidate support edges near v, nearest first: edges incident to v,
+        // then edges among its neighborhood, capped so the witness stays concise.
+        let hood = k_hop_neighborhood(graph, v, self.cfg.candidate_hops.min(2));
+        let cap = (graph.degree(v) * 3 + 12).min(48);
+        let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
+        for u in graph.neighbors(v) {
+            candidates.push((v, u));
+        }
+        'outer: for &u in &hood {
+            if u == v {
+                continue;
+            }
+            for w in graph.neighbors(u) {
+                if w != v && hood.contains(&w) {
+                    candidates.push((u, w));
+                    if candidates.len() >= cap {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        // Score every candidate by how much removing it (together with the
+        // current witness) hurts the label's margin — the pairs "most likely
+        // to change the label if flipped" that Procedure Expand targets.
+        let mut scored: Vec<(f64, (NodeId, NodeId))> = Vec::new();
+        for &(a, b) in &candidates {
+            if subgraph.contains_edge(a, b) || !graph.has_edge(a, b) {
+                continue;
+            }
+            let mut trial = subgraph.edges().clone();
+            trial.insert(a, b);
+            let view = GraphView::without(graph, &trial);
+            stats.inference_calls += 1;
+            scored.push((model.margin(v, label, &view), (a, b)));
+        }
+        scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Greedily absorb the most label-critical support edges until the
+        // remainder flips, with a hard bound so that an unattainable
+        // counterfactual does not blow the witness up.
+        let max_add = graph.degree(v).max(3) + 6;
+        let mut added = 0usize;
+        let mut added_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut flipped = false;
+        for (_, (a, b)) in scored {
+            if added >= max_add {
+                break;
+            }
+            if subgraph.contains_edge(a, b) {
+                continue;
+            }
+            subgraph.add_edge(a, b);
+            added_edges.push((a, b));
+            added += 1;
+            let remainder = GraphView::without(graph, subgraph.edges());
+            stats.inference_calls += 1;
+            if model.predict(v, &remainder) != Some(label) {
+                flipped = true;
+                break; // counterfactual achieved
+            }
+        }
+        if flipped {
+            // Backward pruning pass: drop absorbed edges that are not needed
+            // for the flip, keeping the witness concise (the paper's RCWs are
+            // roughly half the size of the baselines' explanations).
+            for &(a, b) in added_edges.iter().rev().skip(1) {
+                subgraph.remove_edge(a, b);
+                let remainder = GraphView::without(graph, subgraph.edges());
+                stats.inference_calls += 1;
+                let still_flipped = model.predict(v, &remainder) != Some(label);
+                let view_only = GraphView::restricted_to(graph, subgraph.edges());
+                stats.inference_calls += 1;
+                let still_factual = model.predict(v, &view_only) == Some(label);
+                if !(still_flipped && still_factual) {
+                    subgraph.add_edge(a, b);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience free function mirroring the paper's naming: generates a k-RCW
+/// with an APPNP classifier.
+pub fn robogexp_appnp(
+    appnp: &Appnp,
+    graph: &Graph,
+    test_nodes: &[NodeId],
+    cfg: &RcwConfig,
+) -> GenerationResult {
+    RoboGExp::for_appnp(appnp, cfg.clone()).generate(graph, test_nodes)
+}
+
+/// Convenience free function for arbitrary models.
+pub fn robogexp(
+    model: &dyn GnnModel,
+    graph: &Graph,
+    test_nodes: &[NodeId],
+    cfg: &RcwConfig,
+) -> GenerationResult {
+    RoboGExp::for_model(model, cfg.clone()).generate(graph, test_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcw_gnn::{Gcn, TrainConfig};
+
+    fn clique_setup() -> (Graph, Gcn, Appnp, Vec<usize>) {
+        let mut g = Graph::new();
+        for i in 0..12 {
+            let class = usize::from(i >= 6);
+            let feats = if class == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
+            g.add_labeled_node(feats, class);
+        }
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                g.add_edge(u, v);
+            }
+        }
+        for u in 6..12 {
+            for v in (u + 1)..12 {
+                g.add_edge(u, v);
+            }
+        }
+        // two featureless test nodes attached to community 0 and 1 respectively
+        let t0 = g.add_labeled_node(vec![0.0, 0.0], 0);
+        g.add_edge(t0, 0);
+        g.add_edge(t0, 1);
+        let t1 = g.add_labeled_node(vec![0.0, 0.0], 1);
+        g.add_edge(t1, 6);
+        g.add_edge(t1, 7);
+        let view = GraphView::full(&g);
+        let train: Vec<usize> = (0..12).collect();
+        let tc = TrainConfig {
+            epochs: 150,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
+        let mut gcn = Gcn::new(&[2, 8, 2], 3);
+        gcn.train(&view, &train, &tc);
+        let mut appnp = Appnp::new(&[2, 8, 2], 0.2, 15, 4);
+        appnp.train(&view, &train, &tc);
+        (g, gcn, appnp, vec![t0, t1])
+    }
+
+    #[test]
+    fn generates_a_nontrivial_witness_for_gcn() {
+        let (g, gcn, _appnp, tests) = clique_setup();
+        let cfg = RcwConfig::with_budgets(2, 1);
+        let gen = RoboGExp::for_model(&gcn, cfg);
+        let result = gen.generate(&g, &tests);
+        assert!(result.witness.subgraph.num_edges() > 0, "witness must grow beyond the trivial node set");
+        assert!(result.witness.subgraph.num_edges() < g.num_edges(), "witness should not be the whole graph");
+        assert!(result.stats.inference_calls > 0);
+        assert!(result.stats.elapsed.as_nanos() > 0);
+        // test nodes are always part of the witness
+        for &t in &tests {
+            assert!(result.witness.subgraph.contains_node(t));
+        }
+    }
+
+    #[test]
+    fn generates_for_appnp_and_reaches_cw_or_better() {
+        let (g, _gcn, appnp, tests) = clique_setup();
+        let cfg = RcwConfig::with_budgets(2, 1);
+        let gen = RoboGExp::for_appnp(&appnp, cfg);
+        let result = gen.generate(&g, &tests);
+        assert!(
+            matches!(
+                result.level,
+                WitnessLevel::Counterfactual | WitnessLevel::Robust | WitnessLevel::Factual
+            ),
+            "expected at least a factual explanation, got {:?}",
+            result.level
+        );
+        // the final witness must be a subgraph of the host
+        assert!(result.witness.subgraph.is_subgraph_of(&g) || result.witness.subgraph.num_edges() == 0);
+    }
+
+    #[test]
+    fn generated_witness_passes_its_own_verification() {
+        let (g, _gcn, appnp, tests) = clique_setup();
+        let cfg = RcwConfig::with_budgets(1, 1);
+        let gen = RoboGExp::for_appnp(&appnp, cfg);
+        let result = gen.generate(&g, &tests);
+        let recheck = gen.verify(&g, &result.witness);
+        assert_eq!(
+            recheck.level, result.level,
+            "re-verification must agree with the level reported by generation"
+        );
+    }
+
+    #[test]
+    fn k_zero_generation_is_counterfactual_generation() {
+        let (g, gcn, _appnp, tests) = clique_setup();
+        let cfg = RcwConfig::with_budgets(0, 0);
+        let result = RoboGExp::for_model(&gcn, cfg).generate(&g, &tests);
+        // with k = 0 a verified witness is exactly a CW
+        if result.level == WitnessLevel::Robust {
+            let (cw, _) = crate::verify::verify_counterfactual(&gcn, &g, &result.witness);
+            assert!(cw);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty test set")]
+    fn empty_test_set_is_rejected() {
+        let (g, gcn, _appnp, _tests) = clique_setup();
+        RoboGExp::for_model(&gcn, RcwConfig::default()).generate(&g, &[]);
+    }
+
+    #[test]
+    fn larger_k_never_shrinks_the_witness_level_guarantee() {
+        // Lemma 1: a k-RCW is a k'-RCW for k' <= k. We check the practical
+        // consequence: a witness generated for k=2 and verified robust is
+        // also verified robust for k=1.
+        let (g, _gcn, appnp, tests) = clique_setup();
+        let gen2 = RoboGExp::for_appnp(&appnp, RcwConfig::with_budgets(2, 1));
+        let result = gen2.generate(&g, &tests);
+        if result.level == WitnessLevel::Robust {
+            let gen1 = RoboGExp::for_appnp(&appnp, RcwConfig::with_budgets(1, 1));
+            let out = gen1.verify(&g, &result.witness);
+            assert_eq!(out.level, WitnessLevel::Robust);
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! paraRoboGExp — parallel witness generation for large graphs (Algorithm 3).
+//!
+//! The graph is fragmented with an inference-preserving edge-cut partition
+//! (§VI): every worker owns one fragment, border nodes have their k-hop
+//! neighborhoods replicated, and all workers share the adjacency bitmap `B`
+//! plus a bitmap of already-verified node pairs so the coordinator never
+//! re-verifies a disturbance a worker has already examined (Lemma 6: a local
+//! disturbance that disproves robustness disproves it globally).
+//!
+//! Each expand–verify round proceeds as:
+//! 1. **paraExpand / paraVerify** — every worker searches, inside its
+//!    fragment's candidate pairs, for a disturbance that disproves the current
+//!    witness (policy iteration for APPNP, sampling otherwise) and reports the
+//!    counterexample edges it wants absorbed into the witness;
+//! 2. **synchronize** — the coordinator merges the verified-pair bitmaps,
+//!    unions the workers' expansions into the global witness, and
+//! 3. **coordinator verification** — re-verifies the merged witness globally
+//!    (skipping pairs already covered by the bitmap) and decides whether to
+//!    iterate or stop.
+
+use crate::config::RcwConfig;
+use crate::generate::{GenerationResult, GenerationStats, ModelRef, RoboGExp};
+use crate::verify::{candidate_pairs, disturbance_preserves_cw};
+use crate::verify_appnp::verify_rcw_appnp_node;
+use crate::witness::{Witness, WitnessLevel};
+use parking_lot::Mutex;
+use rcw_gnn::{Appnp, GnnModel};
+use rcw_graph::{
+    edge_cut_partition, AdjacencyBitmap, Edge, EdgeSet, Graph, GraphView, NodeId, Partition,
+    VerifiedPairBitmap,
+};
+use rcw_pagerank::{pri_search, truncate_to_k, PriConfig};
+use std::time::{Duration, Instant};
+
+/// Parallel-execution statistics, complementing [`GenerationStats`].
+#[derive(Clone, Debug, Default)]
+pub struct ParallelStats {
+    /// Number of workers used.
+    pub workers: usize,
+    /// Parallel expand–verify rounds.
+    pub rounds: usize,
+    /// Counterexamples discovered by workers across all rounds.
+    pub local_counterexamples: usize,
+    /// Node pairs recorded in the shared verified-pair bitmap.
+    pub pairs_marked: usize,
+    /// Bytes of bitmap state synchronized (communication-cost model).
+    pub bytes_synchronized: usize,
+    /// Wall-clock time spent inside parallel sections.
+    pub parallel_time: Duration,
+}
+
+/// Result of a parallel generation run.
+#[derive(Clone, Debug)]
+pub struct ParallelGenerationResult {
+    /// The witness and sequential-style statistics.
+    pub result: GenerationResult,
+    /// Parallel-execution statistics.
+    pub parallel: ParallelStats,
+}
+
+/// The parallel generator.
+pub struct ParaRoboGExp<'a> {
+    model: ModelRef<'a>,
+    cfg: RcwConfig,
+    num_workers: usize,
+}
+
+/// What one worker reports back to the coordinator after a round.
+struct WorkerReport {
+    /// A disturbance that disproved robustness for some test node, if found.
+    counterexample: Option<EdgeSet>,
+    /// Pairs the worker examined (to be merged into the shared bitmap).
+    examined: Vec<Edge>,
+    /// Inference calls spent by the worker.
+    inference_calls: usize,
+    /// Disturbances the worker checked.
+    disturbances: usize,
+}
+
+impl<'a> ParaRoboGExp<'a> {
+    /// Creates a parallel generator for an APPNP classifier.
+    pub fn for_appnp(appnp: &'a Appnp, cfg: RcwConfig, num_workers: usize) -> Self {
+        ParaRoboGExp {
+            model: ModelRef::Appnp(appnp),
+            cfg,
+            num_workers: num_workers.max(1),
+        }
+    }
+
+    /// Creates a parallel generator for an arbitrary model.
+    pub fn for_model(model: &'a dyn rcw_gnn::GnnModel, cfg: RcwConfig, num_workers: usize) -> Self {
+        ParaRoboGExp {
+            model: ModelRef::Generic(model),
+            cfg,
+            num_workers: num_workers.max(1),
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Generates a witness using the coordinator/worker scheme.
+    pub fn generate(&self, graph: &Graph, test_nodes: &[NodeId]) -> ParallelGenerationResult {
+        assert!(!test_nodes.is_empty(), "ParaRoboGExp::generate: empty test set");
+        self.cfg.validate().expect("invalid RcwConfig");
+        let start = Instant::now();
+        let model = self.model.model();
+        let mut stats = GenerationStats::default();
+        let mut pstats = ParallelStats {
+            workers: self.num_workers,
+            ..ParallelStats::default()
+        };
+
+        // Shared structures: adjacency bitmap (built once) and verified pairs.
+        let adjacency_bitmap = AdjacencyBitmap::from_graph(graph);
+        let mut verified_pairs = VerifiedPairBitmap::new(graph.num_nodes());
+        pstats.bytes_synchronized += adjacency_bitmap.byte_size();
+
+        // Inference-preserving partition: replicate the model's receptive field.
+        let hops = model.num_layers().max(1);
+        let partition: Partition = edge_cut_partition(graph, self.num_workers, hops);
+
+        // Full-graph labels of the test nodes.
+        let full = GraphView::full(graph);
+        let labels: Vec<usize> = test_nodes
+            .iter()
+            .map(|&v| {
+                stats.inference_calls += 1;
+                model.predict(v, &full).expect("valid node")
+            })
+            .collect();
+
+        // Phase 1 (paraExpand): factual / counterfactual bootstrap of every
+        // test node, distributed across the workers — each worker expands the
+        // witness for its chunk of test nodes, the coordinator unions the
+        // partial witnesses (the test nodes' expansions are independent).
+        let sequential = match self.model {
+            ModelRef::Appnp(a) => RoboGExp::for_appnp(a, bootstrap_config(&self.cfg)),
+            ModelRef::Generic(m) => RoboGExp::for_model(m, bootstrap_config(&self.cfg)),
+        };
+        let chunk = test_nodes.len().div_ceil(self.num_workers);
+        let partial: Mutex<Vec<(rcw_graph::EdgeSubgraph, usize)>> = Mutex::new(Vec::new());
+        let boot_start = Instant::now();
+        crossbeam::scope(|scope| {
+            for nodes in test_nodes.chunks(chunk.max(1)) {
+                let model_ref = self.model;
+                let cfg = bootstrap_config(&self.cfg);
+                let partial_ref = &partial;
+                scope.spawn(move |_| {
+                    let local = match model_ref {
+                        ModelRef::Appnp(a) => RoboGExp::for_appnp(a, cfg),
+                        ModelRef::Generic(m) => RoboGExp::for_model(m, cfg),
+                    };
+                    let result = local.generate(graph, nodes);
+                    partial_ref
+                        .lock()
+                        .push((result.witness.subgraph, result.stats.inference_calls));
+                });
+            }
+        })
+        .expect("bootstrap worker panicked");
+        pstats.parallel_time += boot_start.elapsed();
+        let mut merged = rcw_graph::EdgeSubgraph::from_nodes(test_nodes.iter().copied());
+        for (sub, calls) in partial.into_inner() {
+            merged.extend(&sub);
+            stats.inference_calls += calls;
+        }
+        let mut witness = Witness::new(merged, test_nodes.to_vec(), labels.clone());
+
+        // Phase 2: parallel robustness rounds.
+        let mut level = WitnessLevel::NotAWitness;
+        for round in 0..self.cfg.max_expand_rounds {
+            pstats.rounds = round + 1;
+            stats.expand_rounds = round + 1;
+
+            // Global candidate pairs not yet verified, split by fragment owner.
+            let all_candidates = candidate_pairs(graph, witness.edges(), test_nodes, &self.cfg);
+            let fresh: Vec<Edge> = all_candidates
+                .into_iter()
+                .filter(|&(u, v)| !verified_pairs.is_marked(u, v))
+                .collect();
+            let per_worker: Vec<Vec<Edge>> = (0..self.num_workers)
+                .map(|w| {
+                    fresh
+                        .iter()
+                        .copied()
+                        .filter(|&(u, v)| {
+                            let frag = &partition.fragments[w.min(partition.num_fragments() - 1)];
+                            frag.owns(u) || frag.owns(v)
+                        })
+                        .collect()
+                })
+                .collect();
+            // Each worker is additionally responsible only for the test nodes
+            // its fragment owns (falling back to round-robin so every test
+            // node has exactly one responsible worker).
+            let nodes_per_worker: Vec<(Vec<NodeId>, Vec<usize>)> = (0..self.num_workers)
+                .map(|w| {
+                    let mut nodes = Vec::new();
+                    let mut node_labels = Vec::new();
+                    for (i, &v) in test_nodes.iter().enumerate() {
+                        let frag = &partition.fragments[w.min(partition.num_fragments() - 1)];
+                        let owner = partition.owner.get(v).copied().unwrap_or(0);
+                        let responsible = if owner < partition.num_fragments() {
+                            owner == frag.id
+                        } else {
+                            i % self.num_workers == w
+                        };
+                        if responsible {
+                            nodes.push(v);
+                            node_labels.push(labels[i]);
+                        }
+                    }
+                    (nodes, node_labels)
+                })
+                .collect();
+
+            let reports = Mutex::new(Vec::<WorkerReport>::new());
+            let par_start = Instant::now();
+            crossbeam::scope(|scope| {
+                for (wid, cands) in per_worker.iter().enumerate() {
+                    let witness_ref = &witness;
+                    let reports_ref = &reports;
+                    let model_ref = self.model;
+                    let cfg = &self.cfg;
+                    let (own_nodes, own_labels) = &nodes_per_worker[wid];
+                    scope.spawn(move |_| {
+                        let report = worker_round(
+                            model_ref,
+                            graph,
+                            witness_ref,
+                            own_nodes,
+                            own_labels,
+                            cands,
+                            cfg,
+                            wid as u64,
+                        );
+                        reports_ref.lock().push(report);
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+            pstats.parallel_time += par_start.elapsed();
+
+            // Synchronize: merge bitmaps, collect counterexamples.
+            let reports = reports.into_inner();
+            let mut any_counterexample = false;
+            let mut grew = false;
+            for report in reports {
+                stats.inference_calls += report.inference_calls;
+                stats.disturbances_verified += report.disturbances;
+                for (u, v) in &report.examined {
+                    verified_pairs.mark(*u, *v);
+                }
+                if let Some(ce) = report.counterexample {
+                    any_counterexample = true;
+                    pstats.local_counterexamples += 1;
+                    for (u, v) in ce.iter() {
+                        if graph.has_edge(u, v) && !witness.subgraph.contains_edge(u, v) {
+                            witness.subgraph.add_edge(u, v);
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            pstats.bytes_synchronized += verified_pairs.byte_size();
+            pstats.pairs_marked = verified_pairs.count();
+
+            // Coordinator-side verification of the merged witness. For the
+            // APPNP path the per-node checks are independent, so they are
+            // fanned out across the workers as well (paraverifyRCW).
+            let outcome = match self.model {
+                ModelRef::Appnp(appnp) => {
+                    parallel_verify_appnp(appnp, graph, &witness, &self.cfg, self.num_workers)
+                }
+                ModelRef::Generic(_) => sequential.verify(graph, &witness),
+            };
+            stats.inference_calls += outcome.inference_calls;
+            stats.disturbances_verified += outcome.disturbances_checked;
+            level = outcome.level;
+            if outcome.level == WitnessLevel::Robust {
+                break;
+            }
+            if let Some(ce) = outcome.counterexample {
+                for (u, v) in ce.iter() {
+                    if graph.has_edge(u, v) && !witness.subgraph.contains_edge(u, v) {
+                        witness.subgraph.add_edge(u, v);
+                        grew = true;
+                    }
+                }
+            }
+            if !any_counterexample && !grew {
+                // fixed point: nothing left to explore or absorb
+                break;
+            }
+            if witness.subgraph.num_edges() >= graph.num_edges() {
+                witness = Witness::trivial_full(graph, test_nodes.to_vec(), labels.clone());
+                level = WitnessLevel::Robust;
+                break;
+            }
+        }
+
+        stats.elapsed = start.elapsed();
+        let nontrivial = witness.is_nontrivial(graph);
+        ParallelGenerationResult {
+            result: GenerationResult {
+                witness,
+                level,
+                nontrivial,
+                stats,
+            },
+            parallel: pstats,
+        }
+    }
+}
+
+/// Per-node APPNP verification fanned out over worker threads: each worker
+/// verifies a chunk of test nodes with `verifyRCW-APPNP`; the coordinator
+/// keeps the weakest level and the first counterexample (Lemma 6 makes any
+/// locally found counterexample globally valid).
+fn parallel_verify_appnp(
+    appnp: &Appnp,
+    graph: &Graph,
+    witness: &Witness,
+    cfg: &RcwConfig,
+    num_workers: usize,
+) -> crate::witness::VerifyOutcome {
+    use crate::witness::VerifyOutcome;
+    let nodes = witness.test_nodes.clone();
+    if nodes.len() <= 1 || num_workers <= 1 {
+        return crate::verify_appnp::verify_rcw_appnp(appnp, graph, witness, cfg);
+    }
+    let chunk = nodes.len().div_ceil(num_workers);
+    let outcomes: Mutex<Vec<VerifyOutcome>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for part in nodes.chunks(chunk.max(1)) {
+            let outcomes_ref = &outcomes;
+            scope.spawn(move |_| {
+                for &v in part {
+                    let out = verify_rcw_appnp_node(appnp, graph, witness, v, cfg);
+                    outcomes_ref.lock().push(out);
+                }
+            });
+        }
+    })
+    .expect("verification worker panicked");
+    let mut merged = VerifyOutcome::at_level(WitnessLevel::Robust);
+    for out in outcomes.into_inner() {
+        merged.inference_calls += out.inference_calls;
+        merged.disturbances_checked += out.disturbances_checked;
+        if rank(out.level) < rank(merged.level) {
+            merged.level = out.level;
+        }
+        if merged.counterexample.is_none() {
+            merged.counterexample = out.counterexample;
+        }
+    }
+    merged
+}
+
+fn rank(level: WitnessLevel) -> u8 {
+    match level {
+        WitnessLevel::NotAWitness => 0,
+        WitnessLevel::Factual => 1,
+        WitnessLevel::Counterfactual => 2,
+        WitnessLevel::Robust => 3,
+    }
+}
+
+/// The bootstrap (phase 1) reuses the sequential generator but with zero
+/// robustness rounds — robustness is handled by the parallel loop.
+fn bootstrap_config(cfg: &RcwConfig) -> RcwConfig {
+    RcwConfig {
+        max_expand_rounds: 1,
+        ..cfg.clone()
+    }
+}
+
+/// One worker's share of a parallel round: look for a disturbance inside its
+/// candidate pairs that disproves robustness of the current witness for any
+/// test node.
+#[allow(clippy::too_many_arguments)]
+fn worker_round(
+    model: ModelRef<'_>,
+    graph: &Graph,
+    witness: &Witness,
+    test_nodes: &[NodeId],
+    labels: &[usize],
+    candidates: &[Edge],
+    cfg: &RcwConfig,
+    worker_seed: u64,
+) -> WorkerReport {
+    let mut report = WorkerReport {
+        counterexample: None,
+        examined: candidates.to_vec(),
+        inference_calls: 0,
+        disturbances: 0,
+    };
+    if candidates.is_empty() || cfg.k == 0 {
+        return report;
+    }
+    let full = GraphView::full(graph);
+
+    match model {
+        ModelRef::Appnp(appnp) => {
+            let h = appnp.local_logits(&full);
+            let pri_cfg = PriConfig {
+                alpha: appnp.alpha(),
+                local_budget: cfg.local_budget.max(1),
+                max_rounds: cfg.pri_rounds,
+                value_iters: cfg.ppr_iters,
+            };
+            'nodes: for (i, &v) in test_nodes.iter().enumerate() {
+                let label = labels[i];
+                for c in 0..appnp.num_classes() {
+                    if c == label {
+                        continue;
+                    }
+                    let r: Vec<f64> = (0..graph.num_nodes())
+                        .map(|u| h.get(u, c) - h.get(u, label))
+                        .collect();
+                    let found = pri_search(&full, candidates, &r, v, &pri_cfg);
+                    let mut e_star = found.disturbance;
+                    if e_star.len() > cfg.k {
+                        e_star = truncate_to_k(&full, &e_star, &r, appnp.alpha(), cfg.k);
+                    }
+                    if e_star.is_empty() {
+                        continue;
+                    }
+                    report.disturbances += 1;
+                    let single =
+                        Witness::new(witness.subgraph.clone(), vec![v], vec![label]);
+                    let (ok, calls) =
+                        disturbance_preserves_cw(appnp, graph, &single, &e_star);
+                    report.inference_calls += calls;
+                    if !ok {
+                        report.counterexample = Some(e_star);
+                        break 'nodes;
+                    }
+                }
+            }
+        }
+        ModelRef::Generic(m) => {
+            // Randomized search restricted to this worker's candidates.
+            use rand::rngs::StdRng;
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(worker_seed));
+            'outer: for _ in 0..cfg.sampled_disturbances {
+                let mut pool = candidates.to_vec();
+                pool.shuffle(&mut rng);
+                let flips: EdgeSet = pool.into_iter().take(cfg.k).collect();
+                if flips.is_empty() {
+                    break;
+                }
+                report.disturbances += 1;
+                for (i, &v) in test_nodes.iter().enumerate() {
+                    let single = Witness::new(witness.subgraph.clone(), vec![v], vec![labels[i]]);
+                    let (ok, calls) = disturbance_preserves_cw(m, graph, &single, &flips);
+                    report.inference_calls += calls;
+                    if !ok {
+                        report.counterexample = Some(flips);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcw_gnn::{Appnp, Gcn, TrainConfig};
+
+    fn setup() -> (Graph, Gcn, Appnp, Vec<usize>) {
+        let mut g = Graph::new();
+        for i in 0..16 {
+            let class = usize::from(i >= 8);
+            let feats = if class == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
+            g.add_labeled_node(feats, class);
+        }
+        for u in 0..8 {
+            for v in (u + 1)..8 {
+                if (u + v) % 2 == 0 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        for u in 8..16 {
+            for v in (u + 1)..16 {
+                if (u + v) % 2 == 0 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g.add_edge(7, 8);
+        let t0 = g.add_labeled_node(vec![0.0, 0.0], 0);
+        g.add_edge(t0, 0);
+        g.add_edge(t0, 2);
+        let t1 = g.add_labeled_node(vec![0.0, 0.0], 1);
+        g.add_edge(t1, 8);
+        g.add_edge(t1, 10);
+        let view = GraphView::full(&g);
+        let train: Vec<usize> = (0..16).collect();
+        let tc = TrainConfig {
+            epochs: 120,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
+        let mut gcn = Gcn::new(&[2, 8, 2], 2);
+        gcn.train(&view, &train, &tc);
+        let mut appnp = Appnp::new(&[2, 8, 2], 0.2, 12, 4);
+        appnp.train(&view, &train, &tc);
+        (g, gcn, appnp, vec![t0, t1])
+    }
+
+    #[test]
+    fn parallel_appnp_generation_produces_a_valid_witness() {
+        let (g, _gcn, appnp, tests) = setup();
+        let cfg = RcwConfig::with_budgets(2, 1);
+        let gen = ParaRoboGExp::for_appnp(&appnp, cfg.clone(), 3);
+        assert_eq!(gen.workers(), 3);
+        let out = gen.generate(&g, &tests);
+        assert!(out.parallel.rounds >= 1);
+        assert!(out.result.stats.inference_calls > 0);
+        for &t in &tests {
+            assert!(out.result.witness.subgraph.contains_node(t));
+        }
+        // the parallel result must verify to the level it reports
+        let seq = RoboGExp::for_appnp(&appnp, cfg);
+        let recheck = seq.verify(&g, &out.result.witness);
+        assert_eq!(recheck.level, out.result.level);
+    }
+
+    #[test]
+    fn parallel_and_sequential_reach_comparable_levels() {
+        let (g, _gcn, appnp, tests) = setup();
+        let cfg = RcwConfig::with_budgets(2, 1);
+        let seq = RoboGExp::for_appnp(&appnp, cfg.clone()).generate(&g, &tests);
+        let par = ParaRoboGExp::for_appnp(&appnp, cfg, 2).generate(&g, &tests);
+        let rank = |l: WitnessLevel| match l {
+            WitnessLevel::NotAWitness => 0,
+            WitnessLevel::Factual => 1,
+            WitnessLevel::Counterfactual => 2,
+            WitnessLevel::Robust => 3,
+        };
+        // The parallel algorithm explores at least as many disturbances, so it
+        // must not end up in a strictly weaker class than sequential by more
+        // than one level (both are best-effort searches).
+        assert!(
+            rank(par.result.level) + 1 >= rank(seq.level),
+            "parallel {:?} vs sequential {:?}",
+            par.result.level,
+            seq.level
+        );
+    }
+
+    #[test]
+    fn generic_model_path_works_with_multiple_workers() {
+        let (g, gcn, _appnp, tests) = setup();
+        let cfg = RcwConfig {
+            k: 2,
+            local_budget: 1,
+            sampled_disturbances: 6,
+            ..RcwConfig::default()
+        };
+        let out = ParaRoboGExp::for_model(&gcn, cfg, 4).generate(&g, &tests);
+        assert_eq!(out.parallel.workers, 4);
+        assert!(out.result.witness.subgraph.is_subgraph_of(&g) || out.result.witness.size() > 0);
+        assert!(out.parallel.bytes_synchronized > 0);
+    }
+
+    #[test]
+    fn single_worker_degenerates_gracefully() {
+        let (g, _gcn, appnp, tests) = setup();
+        let cfg = RcwConfig::with_budgets(1, 1);
+        let out = ParaRoboGExp::for_appnp(&appnp, cfg, 1).generate(&g, &tests);
+        assert_eq!(out.parallel.workers, 1);
+        assert!(out.result.witness.subgraph.num_edges() <= g.num_edges());
+    }
+
+    #[test]
+    fn worker_reports_mark_examined_pairs() {
+        let (g, _gcn, appnp, tests) = setup();
+        let cfg = RcwConfig::with_budgets(2, 1);
+        let out = ParaRoboGExp::for_appnp(&appnp, cfg, 2).generate(&g, &tests);
+        // pairs_marked is monotone in rounds; with k>0 and candidates present
+        // the workers must have examined something
+        assert!(out.parallel.pairs_marked > 0 || out.result.level == WitnessLevel::Robust);
+    }
+}

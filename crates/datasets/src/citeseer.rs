@@ -1,0 +1,103 @@
+//! CiteSeer-like citation network.
+//!
+//! The real CiteSeer has 3,327 papers in 6 areas with sparse binary keyword
+//! features. The stand-in is a 6-block stochastic block model (papers cite
+//! within their area far more than across) with sparse block-indicative
+//! binary "keyword" features plus noise keywords — the same signal structure
+//! at a laptop-friendly scale.
+
+use crate::{split, Dataset, Scale};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcw_graph::generators::{ensure_connected, stochastic_block_model};
+
+/// Number of classes (paper areas), matching CiteSeer.
+pub const NUM_CLASSES: usize = 6;
+/// Feature dimensionality of the stand-in (the real CiteSeer uses 3,703; the
+/// stand-in keeps the same sparse-binary structure at width 48).
+pub const FEATURE_DIM: usize = 48;
+
+/// Builds the CiteSeer-like dataset at the given scale.
+pub fn build(scale: Scale, seed: u64) -> Dataset {
+    let per_block = match scale {
+        Scale::Tiny => 12,
+        Scale::Small => 50,
+        Scale::Full => 220,
+    };
+    let blocks = vec![per_block; NUM_CLASSES];
+    let (p_in, p_out) = match scale {
+        Scale::Tiny => (0.30, 0.01),
+        Scale::Small => (0.10, 0.004),
+        Scale::Full => (0.030, 0.0008),
+    };
+    let (mut graph, membership) = stochastic_block_model(&blocks, p_in, p_out, seed);
+    ensure_connected(&mut graph, seed.wrapping_add(1));
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    let keywords_per_class = FEATURE_DIM / NUM_CLASSES;
+    for v in 0..graph.num_nodes() {
+        let class = membership[v];
+        let mut feats = vec![0.0; FEATURE_DIM];
+        // class-indicative keywords: each present with probability 0.6
+        for j in 0..keywords_per_class {
+            if rng.gen_bool(0.6) {
+                feats[class * keywords_per_class + j] = 1.0;
+            }
+        }
+        // background noise keywords
+        for feat in feats.iter_mut() {
+            if rng.gen_bool(0.03) {
+                *feat = 1.0;
+            }
+        }
+        graph.set_features(v, feats);
+        graph.set_label(v, class);
+    }
+    let (train_nodes, test_pool) = split(&graph, 0.6, seed);
+    Dataset {
+        name: "CiteSeer-syn".to_string(),
+        graph,
+        train_nodes,
+        test_pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcw_graph::traversal::is_connected;
+
+    #[test]
+    fn shape_matches_spec() {
+        let ds = build(Scale::Tiny, 3);
+        assert_eq!(ds.num_classes(), NUM_CLASSES);
+        assert_eq!(ds.feature_dim(), FEATURE_DIM);
+        assert_eq!(ds.graph.num_nodes(), 12 * NUM_CLASSES);
+        assert!(is_connected(&ds.graph));
+    }
+
+    #[test]
+    fn features_are_sparse_binary() {
+        let ds = build(Scale::Tiny, 4);
+        for v in ds.graph.node_ids() {
+            let f = ds.graph.features(v);
+            assert!(f.iter().all(|&x| x == 0.0 || x == 1.0));
+            let ones = f.iter().filter(|&&x| x == 1.0).count();
+            assert!(ones <= FEATURE_DIM / 2, "features should stay sparse");
+        }
+    }
+
+    #[test]
+    fn intra_class_edges_dominate() {
+        let ds = build(Scale::Small, 5);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v) in ds.graph.edges() {
+            if ds.graph.label(u) == ds.graph.label(v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter, "citation networks are homophilous: {intra} vs {inter}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Molecule graphs for the mutagenicity case study (Example 1, Example 4,
+//! Fig. 5 of the paper).
+//!
+//! Nodes are atoms with one-hot element features (C, H, O, N); edges are
+//! valence bonds. Atoms that belong to a toxicophore group — the nitro group
+//! `N(=O)O` or the aldehyde `C(=O)H` — and the ring carbons they attach to are
+//! labeled *mutagenic* (1); everything else is *non-mutagenic* (0). The case
+//! study generates a family of molecule variants differing by one or two
+//! peripheral bonds and shows that RoboGExp's witness (the toxicophore) stays
+//! invariant across the family while baseline explanations drift.
+
+use crate::{split, Dataset, Scale};
+use rcw_graph::{Graph, NodeId};
+
+/// Atom elements used by the generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Atom {
+    /// Carbon.
+    C,
+    /// Hydrogen.
+    H,
+    /// Oxygen.
+    O,
+    /// Nitrogen.
+    N,
+}
+
+impl Atom {
+    /// One-hot feature encoding of the element.
+    pub fn features(self) -> Vec<f64> {
+        match self {
+            Atom::C => vec![1.0, 0.0, 0.0, 0.0],
+            Atom::H => vec![0.0, 1.0, 0.0, 0.0],
+            Atom::O => vec![0.0, 0.0, 1.0, 0.0],
+            Atom::N => vec![0.0, 0.0, 0.0, 1.0],
+        }
+    }
+}
+
+/// Class label of mutagenic atoms.
+pub const MUTAGENIC: usize = 1;
+/// Class label of non-mutagenic atoms.
+pub const NON_MUTAGENIC: usize = 0;
+
+/// Metadata describing one generated molecule.
+#[derive(Clone, Debug)]
+pub struct Molecule {
+    /// The molecule graph.
+    pub graph: Graph,
+    /// Ring carbon atoms.
+    pub ring: Vec<NodeId>,
+    /// The aldehyde group `(carbon, oxygen, hydrogen)` if present.
+    pub aldehyde: Option<(NodeId, NodeId, NodeId)>,
+    /// The nitro group `(nitrogen, oxygen1, oxygen2)` if present.
+    pub nitro: Option<(NodeId, NodeId, NodeId)>,
+    /// Peripheral hydrogens, in attachment order (targets of bond-variant edits).
+    pub hydrogens: Vec<NodeId>,
+}
+
+impl Molecule {
+    /// The node used as the classification target in the case study: the ring
+    /// carbon carrying the aldehyde group (falls back to the first ring atom).
+    pub fn test_node(&self) -> NodeId {
+        self.aldehyde
+            .map(|(c, _, _)| c)
+            .or_else(|| self.nitro.map(|(n, _, _)| n))
+            .unwrap_or(self.ring[0])
+    }
+}
+
+fn add_atom(g: &mut Graph, atom: Atom, label: usize) -> NodeId {
+    let v = g.add_node(atom.features());
+    g.set_label(v, label);
+    v
+}
+
+/// Builds a benzene-like ring of `size` carbons (all initially non-mutagenic).
+fn carbon_ring(g: &mut Graph, size: usize) -> Vec<NodeId> {
+    let atoms: Vec<NodeId> = (0..size).map(|_| add_atom(g, Atom::C, NON_MUTAGENIC)).collect();
+    for i in 0..size {
+        g.add_edge(atoms[i], atoms[(i + 1) % size]);
+    }
+    atoms
+}
+
+/// Builds a mutagenic molecule: a carbon ring with an aldehyde group, a nitro
+/// group and peripheral hydrogens. `extra_hydrogens` controls how many ring
+/// carbons carry a hydrogen (the bonds the variant edits remove).
+pub fn mutagenic_molecule(extra_hydrogens: usize) -> Molecule {
+    let mut g = Graph::new();
+    let ring = carbon_ring(&mut g, 6);
+
+    // aldehyde: ring_c0 - C(=O)H ; the carbonyl carbon and its ring anchor are mutagenic
+    let ald_c = add_atom(&mut g, Atom::C, MUTAGENIC);
+    let ald_o = add_atom(&mut g, Atom::O, MUTAGENIC);
+    let ald_h = add_atom(&mut g, Atom::H, MUTAGENIC);
+    g.add_edge(ring[0], ald_c);
+    g.add_edge(ald_c, ald_o);
+    g.add_edge(ald_c, ald_h);
+    g.set_label(ring[0], MUTAGENIC);
+
+    // nitro group: ring_c3 - N(=O)O
+    let nit_n = add_atom(&mut g, Atom::N, MUTAGENIC);
+    let nit_o1 = add_atom(&mut g, Atom::O, MUTAGENIC);
+    let nit_o2 = add_atom(&mut g, Atom::O, MUTAGENIC);
+    g.add_edge(ring[3], nit_n);
+    g.add_edge(nit_n, nit_o1);
+    g.add_edge(nit_n, nit_o2);
+    g.set_label(ring[3], MUTAGENIC);
+
+    // peripheral hydrogens on the remaining ring carbons
+    let mut hydrogens = Vec::new();
+    for i in 0..extra_hydrogens.min(4) {
+        let position = [1usize, 2, 4, 5][i];
+        let h = add_atom(&mut g, Atom::H, NON_MUTAGENIC);
+        g.add_edge(ring[position], h);
+        hydrogens.push(h);
+    }
+
+    Molecule {
+        graph: g,
+        ring,
+        aldehyde: Some((ald_c, ald_o, ald_h)),
+        nitro: Some((nit_n, nit_o1, nit_o2)),
+        hydrogens,
+    }
+}
+
+/// Builds a non-mutagenic molecule: the same ring with hydrogens only (no
+/// toxicophore groups).
+pub fn nonmutagenic_molecule() -> Molecule {
+    let mut g = Graph::new();
+    let ring = carbon_ring(&mut g, 6);
+    let mut hydrogens = Vec::new();
+    for i in 0..6 {
+        let h = add_atom(&mut g, Atom::H, NON_MUTAGENIC);
+        g.add_edge(ring[i], h);
+        hydrogens.push(h);
+    }
+    Molecule {
+        graph: g,
+        ring,
+        aldehyde: None,
+        nitro: None,
+        hydrogens,
+    }
+}
+
+/// The molecule family of Fig. 5: a base mutagenic molecule `G3` plus variants
+/// obtained by removing one peripheral C–H bond each (`G3^1` drops the bond to
+/// the first hydrogen, `G3^2` the bond to the second). The toxicophore is
+/// untouched, so a robust explanation should be identical across the family.
+pub fn molecule_family() -> Vec<Molecule> {
+    let base = mutagenic_molecule(4);
+    let mut variants = vec![base.clone()];
+    for drop in 0..2 {
+        let mut m = base.clone();
+        if let Some(&h) = base.hydrogens.get(drop) {
+            // the hydrogen is attached to exactly one ring carbon
+            let anchor = m.graph.neighbors_vec(h)[0];
+            m.graph.remove_edge(anchor, h);
+        }
+        variants.push(m);
+    }
+    variants
+}
+
+/// Packages a set of molecules into one disconnected [`Dataset`] (molecule
+/// graphs are small; a dataset of several copies gives the classifier enough
+/// atoms to train on). Used by tests and the case-study harness.
+pub fn build(scale: Scale, _seed: u64) -> Dataset {
+    let copies = match scale {
+        Scale::Tiny => 2,
+        Scale::Small => 6,
+        Scale::Full => 16,
+    };
+    let mut graph = Graph::new();
+    for c in 0..copies {
+        let m = if c % 2 == 0 {
+            mutagenic_molecule(4)
+        } else {
+            nonmutagenic_molecule()
+        };
+        let offset = graph.num_nodes();
+        for v in m.graph.node_ids() {
+            let id = graph.add_node(m.graph.features(v).to_vec());
+            if let Some(l) = m.graph.label(v) {
+                graph.set_label(id, l);
+            }
+            debug_assert_eq!(id, offset + v);
+        }
+        for (u, v) in m.graph.edges() {
+            graph.add_edge(offset + u, offset + v);
+        }
+    }
+    let (train_nodes, test_pool) = split(&graph, 0.7, 3);
+    Dataset {
+        name: "Molecules".to_string(),
+        graph,
+        train_nodes,
+        test_pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutagenic_molecule_has_toxicophores() {
+        let m = mutagenic_molecule(4);
+        assert!(m.aldehyde.is_some());
+        assert!(m.nitro.is_some());
+        assert_eq!(m.ring.len(), 6);
+        assert_eq!(m.hydrogens.len(), 4);
+        // mutagenic atoms: 3 aldehyde + 3 nitro + 2 anchors
+        assert_eq!(m.graph.nodes_with_label(MUTAGENIC).len(), 8);
+        // valence sanity: carbonyl carbon has 3 bonds
+        let (c, o, h) = m.aldehyde.unwrap();
+        assert_eq!(m.graph.degree(c), 3);
+        assert!(m.graph.has_edge(c, o) && m.graph.has_edge(c, h));
+        assert_eq!(m.test_node(), c);
+    }
+
+    #[test]
+    fn nonmutagenic_molecule_has_no_mutagenic_atoms() {
+        let m = nonmutagenic_molecule();
+        assert!(m.graph.nodes_with_label(MUTAGENIC).is_empty());
+        assert_eq!(m.graph.num_nodes(), 12);
+    }
+
+    #[test]
+    fn family_variants_differ_by_one_peripheral_bond() {
+        let family = molecule_family();
+        assert_eq!(family.len(), 3);
+        let base_edges = family[0].graph.num_edges();
+        for variant in &family[1..] {
+            assert_eq!(variant.graph.num_edges(), base_edges - 1);
+            // the toxicophore is untouched
+            let (c, o, h) = variant.aldehyde.unwrap();
+            assert!(variant.graph.has_edge(c, o) && variant.graph.has_edge(c, h));
+        }
+    }
+
+    #[test]
+    fn dataset_build_produces_both_classes() {
+        let ds = build(Scale::Tiny, 0);
+        assert_eq!(ds.num_classes(), 2);
+        assert!(!ds.graph.nodes_with_label(MUTAGENIC).is_empty());
+        assert!(!ds.graph.nodes_with_label(NON_MUTAGENIC).is_empty());
+        assert!(!ds.train_nodes.is_empty() && !ds.test_pool.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Cyber-provenance graph for the "vulnerable zone" case study
+//! (Example 2, Example 3, graph `G2` of Fig. 1).
+//!
+//! Nodes are files or processes; edges are access actions. The graph embeds a
+//! two-stage attack: a deceptive DDoS stage touching interchangeable decoy
+//! targets, and a true data-breach path that must pass through a privileged
+//! credential file and the command prompt before reaching `breach.sh`. The
+//! GNN labels nodes as *vulnerable* (1) or *normal* (0); a robust witness for
+//! `breach.sh` should contain the true breach paths and stay invariant no
+//! matter how the decoy targets are rewired.
+
+use crate::{split, Dataset, Scale};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcw_graph::{Graph, NodeId};
+
+/// Class label of vulnerable nodes.
+pub const VULNERABLE: usize = 1;
+/// Class label of normal nodes.
+pub const NORMAL: usize = 0;
+
+/// Node kind in a provenance graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A file (oval in the paper's figure).
+    File,
+    /// A process (rectangle in the paper's figure).
+    Process,
+}
+
+impl Kind {
+    fn features(self, privileged: bool) -> Vec<f64> {
+        let mut f = match self {
+            Kind::File => vec![1.0, 0.0],
+            Kind::Process => vec![0.0, 1.0],
+        };
+        f.push(if privileged { 1.0 } else { 0.0 });
+        f
+    }
+}
+
+/// Named nodes of the generated provenance graph.
+#[derive(Clone, Debug)]
+pub struct ProvenanceMeta {
+    /// The email attachment that initiates the attack.
+    pub attachment: NodeId,
+    /// The command prompt process.
+    pub cmd_exe: NodeId,
+    /// The SSH private-key file.
+    pub ssh_key: NodeId,
+    /// The sudoers file.
+    pub sudoers: NodeId,
+    /// The breach script — the case study's test node.
+    pub breach_sh: NodeId,
+    /// Deceptive DDoS decoy targets (interchangeable between attacks).
+    pub decoys: Vec<NodeId>,
+    /// Benign background nodes.
+    pub background: Vec<NodeId>,
+}
+
+/// Builds the provenance graph with `num_decoys` deceptive targets and
+/// `num_background` benign nodes. Returns the graph and the named nodes.
+pub fn provenance_graph(
+    num_decoys: usize,
+    num_background: usize,
+    seed: u64,
+) -> (Graph, ProvenanceMeta) {
+    let mut g = Graph::new();
+    let add = |g: &mut Graph, kind: Kind, privileged: bool, label: usize| {
+        let v = g.add_node(kind.features(privileged));
+        g.set_label(v, label);
+        v
+    };
+
+    // true attack path: attachment -> cmd.exe -> {ssh key, sudoers} -> breach.sh
+    let attachment = add(&mut g, Kind::File, false, VULNERABLE);
+    let invoice = add(&mut g, Kind::File, false, NORMAL);
+    let mail_client = add(&mut g, Kind::Process, false, NORMAL);
+    let cmd_exe = add(&mut g, Kind::Process, true, VULNERABLE);
+    let ssh_key = add(&mut g, Kind::File, true, VULNERABLE);
+    let sudoers = add(&mut g, Kind::File, true, VULNERABLE);
+    let breach_sh = add(&mut g, Kind::File, true, VULNERABLE);
+
+    g.add_edge(mail_client, attachment);
+    g.add_edge(mail_client, invoice);
+    g.add_edge(attachment, cmd_exe);
+    g.add_edge(cmd_exe, ssh_key);
+    g.add_edge(cmd_exe, sudoers);
+    g.add_edge(ssh_key, breach_sh);
+    g.add_edge(sudoers, breach_sh);
+
+    // deceptive stage: a DDoS process touching interchangeable decoy targets
+    let ddos = add(&mut g, Kind::Process, false, NORMAL);
+    g.add_edge(attachment, ddos);
+    let mut decoys = Vec::new();
+    for _ in 0..num_decoys {
+        let d = add(&mut g, Kind::File, false, NORMAL);
+        g.add_edge(ddos, d);
+        decoys.push(d);
+    }
+
+    // benign background activity
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut background = Vec::new();
+    for i in 0..num_background {
+        let kind = if i % 2 == 0 { Kind::File } else { Kind::Process };
+        let b = add(&mut g, Kind::File, false, NORMAL);
+        let _ = kind;
+        background.push(b);
+    }
+    // wire background nodes among themselves and loosely to the mail client
+    for (i, &b) in background.iter().enumerate() {
+        if i > 0 && rng.gen_bool(0.7) {
+            g.add_edge(b, background[rng.gen_range(0..i)]);
+        } else {
+            g.add_edge(b, mail_client);
+        }
+        // occasional touches of decoys keep the deceptive zone busy
+        if !decoys.is_empty() && rng.gen_bool(0.3) {
+            g.add_edge(b, decoys[rng.gen_range(0..decoys.len())]);
+        }
+    }
+
+    (
+        g,
+        ProvenanceMeta {
+            attachment,
+            cmd_exe,
+            ssh_key,
+            sudoers,
+            breach_sh,
+            decoys,
+            background,
+        },
+    )
+}
+
+/// Packages the provenance graph as a [`Dataset`].
+pub fn build(scale: Scale, seed: u64) -> Dataset {
+    let (decoys, background) = match scale {
+        Scale::Tiny => (4, 10),
+        Scale::Small => (10, 40),
+        Scale::Full => (30, 200),
+    };
+    let (graph, _meta) = provenance_graph(decoys, background, seed);
+    let (train_nodes, test_pool) = split(&graph, 0.7, seed);
+    Dataset {
+        name: "Provenance".to_string(),
+        graph,
+        train_nodes,
+        test_pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcw_graph::traversal::shortest_path_len;
+
+    #[test]
+    fn breach_path_exists_and_is_privileged() {
+        let (g, meta) = provenance_graph(5, 20, 1);
+        // attachment -> cmd -> key -> breach is a 3-hop path
+        assert_eq!(shortest_path_len(&g, meta.attachment, meta.breach_sh), Some(3));
+        assert_eq!(g.label(meta.breach_sh), Some(VULNERABLE));
+        assert_eq!(g.label(meta.cmd_exe), Some(VULNERABLE));
+        // privileged flag set on the credential file
+        assert_eq!(g.features(meta.ssh_key)[2], 1.0);
+    }
+
+    #[test]
+    fn decoys_are_normal_and_attached_to_the_ddos_stage() {
+        let (g, meta) = provenance_graph(6, 10, 2);
+        assert_eq!(meta.decoys.len(), 6);
+        for &d in &meta.decoys {
+            assert_eq!(g.label(d), Some(NORMAL));
+            assert!(g.degree(d) >= 1);
+        }
+    }
+
+    #[test]
+    fn dataset_has_two_classes_and_scales() {
+        let tiny = build(Scale::Tiny, 0);
+        let small = build(Scale::Small, 0);
+        assert_eq!(tiny.num_classes(), 2);
+        assert!(small.graph.num_nodes() > tiny.graph.num_nodes());
+        assert!(!tiny.train_nodes.is_empty());
+    }
+}

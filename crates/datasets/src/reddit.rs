@@ -1,0 +1,79 @@
+//! Reddit-like large community graph.
+//!
+//! The real Reddit graph (233k posts, 115M edges, 41 communities) is used by
+//! the paper only for the parallel-scalability experiment (Fig. 4d). The
+//! stand-in reproduces its two load-bearing characteristics — many power-law
+//! communities and a node count far above the other datasets — at a size that
+//! still runs on one machine. Absolute times differ from the paper; the
+//! scaling trend with worker count is what the experiment regenerates.
+
+use crate::{split, Dataset, Scale};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcw_graph::generators::{ensure_connected, powerlaw_community_graph};
+
+/// Feature dimensionality (the real Reddit uses 602-dim word vectors).
+pub const FEATURE_DIM: usize = 24;
+
+/// Builds the Reddit-like dataset at the given scale.
+pub fn build(scale: Scale, seed: u64) -> Dataset {
+    let (num_communities, community_size, m, inter) = match scale {
+        Scale::Tiny => (4, 20, 2, 0.2),
+        Scale::Small => (8, 80, 3, 0.3),
+        Scale::Full => (16, 250, 4, 0.4),
+    };
+    let (mut graph, membership) =
+        powerlaw_community_graph(num_communities, community_size, m, inter, seed);
+    ensure_connected(&mut graph, seed.wrapping_add(1));
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    for v in 0..graph.num_nodes() {
+        let community = membership[v];
+        let mut feats = vec![0.0; FEATURE_DIM];
+        for (j, feat) in feats.iter_mut().enumerate() {
+            let mean = if j % num_communities.min(FEATURE_DIM) == community % FEATURE_DIM {
+                0.9
+            } else {
+                0.05
+            };
+            *feat = mean + rng.gen_range(-0.05..0.05);
+        }
+        graph.set_features(v, feats);
+        graph.set_label(v, community);
+    }
+    let (train_nodes, test_pool) = split(&graph, 0.5, seed);
+    Dataset {
+        name: "Reddit-syn".to_string(),
+        graph,
+        train_nodes,
+        test_pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_the_largest_dataset_at_each_scale() {
+        let reddit = build(Scale::Small, 1);
+        let citeseer = crate::citeseer::build(Scale::Small, 1);
+        assert!(reddit.graph.num_nodes() > citeseer.graph.num_nodes());
+        assert_eq!(reddit.num_classes(), 8);
+    }
+
+    #[test]
+    fn labels_cover_all_communities() {
+        let ds = build(Scale::Tiny, 3);
+        for c in 0..4 {
+            assert!(!ds.graph.nodes_with_label(c).is_empty(), "community {c} empty");
+        }
+    }
+
+    #[test]
+    fn full_scale_reaches_thousands_of_nodes() {
+        let ds = build(Scale::Full, 0);
+        assert!(ds.graph.num_nodes() >= 4000);
+        assert!(ds.graph.num_edges() > ds.graph.num_nodes());
+    }
+}

@@ -1,0 +1,354 @@
+//! APPNP — "Predict Then Propagate" with personalized PageRank.
+//!
+//! APPNP first transforms node features with a small MLP, `H = f_theta(X)`,
+//! then propagates predictions with the personalized-PageRank operator used by
+//! the paper (§II-A):
+//!
+//! ```text
+//! Z = (1 - alpha) * (I - alpha * D^{-1} (A + I))^{-1} * H
+//! ```
+//!
+//! Propagation is computed by fixed-point iteration
+//! `Z <- alpha * P * Z + (1 - alpha) * H` (a contraction for `alpha < 1`), so
+//! no dense inverse is required during inference. The tractable k-RCW
+//! verification of §III-B relies on this model's linearity in the propagation
+//! step: per-node logits are `pi(v)^T H`, where `pi(v)` is node `v`'s
+//! personalized PageRank row — exactly what `rcw-pagerank` computes.
+
+use crate::model::{one_hot_labels, GnnModel};
+use crate::train::{Adam, TrainConfig, TrainReport};
+use rcw_graph::{Csr, GraphView, NodeId};
+use rcw_linalg::{init, vector, Activation, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// The APPNP model: an MLP feature transform plus PPR propagation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Appnp {
+    /// MLP weights; layer i maps `dims[i] -> dims[i+1]`.
+    weights: Vec<Matrix>,
+    /// Hidden activation of the MLP.
+    activation: Activation,
+    /// Teleport probability `alpha` of the PPR propagation.
+    alpha: f64,
+    /// Number of propagation (power) iterations.
+    prop_iters: usize,
+}
+
+impl Appnp {
+    /// Creates an APPNP model with the given MLP dimensions, teleport
+    /// probability and propagation iterations.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dims are given or `alpha` is outside `(0, 1)`.
+    pub fn new(dims: &[usize], alpha: f64, prop_iters: usize, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "Appnp::new: need at least input and output dims");
+        assert!(alpha > 0.0 && alpha < 1.0, "Appnp::new: alpha must be in (0,1)");
+        let weights = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| init::xavier_uniform(w[0], w[1], seed.wrapping_add(100 + i as u64)))
+            .collect();
+        Appnp {
+            weights,
+            activation: Activation::Relu,
+            alpha,
+            prop_iters: prop_iters.max(1),
+        }
+    }
+
+    /// The teleport probability `alpha`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of propagation iterations.
+    pub fn prop_iters(&self) -> usize {
+        self.prop_iters
+    }
+
+    /// Immutable access to the MLP weights.
+    pub fn weights(&self) -> &[Matrix] {
+        &self.weights
+    }
+
+    /// Applies the MLP transform to the (padded) feature matrix, keeping
+    /// pre-activation traces when `trace` is `true`.
+    fn mlp_forward(&self, x0: &Matrix) -> (Vec<Matrix>, Vec<Matrix>) {
+        let mut pre = Vec::with_capacity(self.weights.len());
+        let mut post = Vec::with_capacity(self.weights.len());
+        let mut x = x0.clone();
+        for (i, w) in self.weights.iter().enumerate() {
+            let p = x.matmul(w);
+            let out = if i + 1 == self.weights.len() {
+                p.clone()
+            } else {
+                self.activation.apply_matrix(&p)
+            };
+            pre.push(p);
+            post.push(out.clone());
+            x = out;
+        }
+        (pre, post)
+    }
+
+    /// The MLP prediction `H = f_theta(X)` before propagation.
+    pub fn local_logits(&self, view: &GraphView<'_>) -> Matrix {
+        let x0 = crate::pad_features(&view.graph().feature_matrix(), self.feature_dim());
+        self.mlp_forward(&x0).1.pop().expect("non-empty MLP")
+    }
+
+    /// Applies the propagation `Z = (1-alpha)(I - alpha P)^{-1} H` by
+    /// fixed-point iteration, where `P = D^{-1}(A + I)` over the view.
+    pub fn propagate(&self, csr: &Csr, h: &Matrix) -> Matrix {
+        let dim = h.cols();
+        let n = h.rows();
+        let base = h.scale(1.0 - self.alpha);
+        let mut z = base.clone();
+        let mut buf = vec![0.0; n * dim];
+        for _ in 0..self.prop_iters {
+            csr.spmm_row_norm(z.data(), dim, &mut buf);
+            let mut next = Matrix::from_vec(n, dim, buf.clone());
+            next.scale_assign(self.alpha);
+            next.add_assign(&base);
+            z = next;
+        }
+        z
+    }
+
+    /// Applies the *transposed* propagation, used for backpropagation:
+    /// `G_H = (1-alpha)(I - alpha P^T)^{-1} G_Z`.
+    fn propagate_transpose(&self, csr: &Csr, g: &Matrix) -> Matrix {
+        let dim = g.cols();
+        let n = g.rows();
+        let base = g.scale(1.0 - self.alpha);
+        let mut z = base.clone();
+        for _ in 0..self.prop_iters {
+            let mut buf = vec![0.0; n * dim];
+            // out = P^T z : column-normalized scatter
+            for u in 0..n {
+                let w = 1.0 / (csr.degree(u) as f64 + 1.0);
+                for c in 0..dim {
+                    buf[u * dim + c] += w * z.get(u, c);
+                }
+                for &v in csr.neighbors(u) {
+                    for c in 0..dim {
+                        buf[v * dim + c] += w * z.get(u, c);
+                    }
+                }
+            }
+            let mut next = Matrix::from_vec(n, dim, buf);
+            next.scale_assign(self.alpha);
+            next.add_assign(&base);
+            z = next;
+        }
+        z
+    }
+
+    /// Trains the MLP with full-batch Adam on cross-entropy over the training
+    /// nodes, backpropagating through the (fixed) propagation operator.
+    pub fn train(
+        &mut self,
+        view: &GraphView<'_>,
+        train_nodes: &[NodeId],
+        cfg: &TrainConfig,
+    ) -> TrainReport {
+        assert!(!train_nodes.is_empty(), "Appnp::train: empty training set");
+        let graph = view.graph();
+        let labels = graph.labels_vec();
+        let targets = one_hot_labels(&labels, self.num_classes());
+        let csr = Csr::from_view(view);
+        let x0 = crate::pad_features(&graph.feature_matrix(), self.feature_dim());
+        let mut optimizers: Vec<Adam> = self
+            .weights
+            .iter()
+            .map(|w| Adam::new(w.rows(), w.cols(), cfg.learning_rate))
+            .collect();
+        let inv_batch = 1.0 / train_nodes.len() as f64;
+        let mut report = TrainReport::default();
+
+        for _epoch in 0..cfg.epochs {
+            let (pre, post) = self.mlp_forward(&x0);
+            let h = post.last().expect("non-empty MLP");
+            let z = self.propagate(&csr, h);
+
+            let mut loss = 0.0;
+            let mut correct = 0usize;
+            let mut d_z = Matrix::zeros(z.rows(), z.cols());
+            for &v in train_nodes {
+                let target = match labels[v] {
+                    Some(t) => t,
+                    None => continue,
+                };
+                let row = z.row(v);
+                loss += vector::cross_entropy(row, target) * inv_batch;
+                if vector::argmax(row) == target {
+                    correct += 1;
+                }
+                let probs = vector::softmax(row);
+                for c in 0..z.cols() {
+                    d_z.set(v, c, (probs[c] - targets.get(v, c)) * inv_batch);
+                }
+            }
+
+            // gradient through the propagation, then through the MLP
+            let mut upstream = self.propagate_transpose(&csr, &d_z);
+            for layer in (0..self.weights.len()).rev() {
+                let is_output = layer + 1 == self.weights.len();
+                let d_pre = if is_output {
+                    upstream
+                } else {
+                    upstream.hadamard(&self.activation.derivative_matrix(&pre[layer]))
+                };
+                let input = if layer == 0 { &x0 } else { &post[layer - 1] };
+                let mut d_w = input.transpose().matmul(&d_pre);
+                if cfg.weight_decay > 0.0 {
+                    d_w.add_assign(&self.weights[layer].scale(cfg.weight_decay));
+                }
+                upstream = d_pre.matmul(&self.weights[layer].transpose());
+                optimizers[layer].step(&mut self.weights[layer], &d_w);
+            }
+
+            report.losses.push(loss);
+            report
+                .accuracies
+                .push(correct as f64 / train_nodes.len() as f64);
+        }
+        report
+    }
+}
+
+impl GnnModel for Appnp {
+    fn num_classes(&self) -> usize {
+        self.weights.last().expect("non-empty").cols()
+    }
+
+    fn num_layers(&self) -> usize {
+        // MLP layers plus one propagation step count as the paper's "L".
+        self.weights.len() + 1
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.weights.first().expect("non-empty").rows()
+    }
+
+    fn logits(&self, view: &GraphView<'_>) -> Matrix {
+        let csr = Csr::from_view(view);
+        let h = self.local_logits(view);
+        self.propagate(&csr, &h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::accuracy;
+    use rcw_graph::{EdgeSet, Graph};
+
+    fn two_cluster_graph() -> Graph {
+        let mut g = Graph::new();
+        for i in 0..12 {
+            let class = if i < 6 { 0 } else { 1 };
+            let feats = if class == 0 {
+                vec![1.0, 0.1 * i as f64]
+            } else {
+                vec![0.1 * i as f64, 1.0]
+            };
+            g.add_labeled_node(feats, class);
+        }
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                if (u + v) % 2 == 0 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        for u in 6..12 {
+            for v in (u + 1)..12 {
+                if (u + v) % 2 == 0 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g.add_edge(5, 6);
+        g
+    }
+
+    #[test]
+    fn construction_validations() {
+        let m = Appnp::new(&[4, 8, 3], 0.15, 10, 0);
+        assert_eq!(m.num_classes(), 3);
+        assert_eq!(m.feature_dim(), 4);
+        assert_eq!(m.num_layers(), 3);
+        assert!(m.alpha() > 0.0);
+        assert_eq!(m.prop_iters(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        Appnp::new(&[2, 2], 1.5, 5, 0);
+    }
+
+    #[test]
+    fn propagation_preserves_constant_rows() {
+        // If H is constant across nodes, Z = (1-a)(I-aP)^{-1}H stays constant
+        // because P is row-stochastic: the fixed point of z = aPz + (1-a)h
+        // with h constant is z = h.
+        let g = two_cluster_graph();
+        let view = GraphView::full(&g);
+        let csr = Csr::from_view(&view);
+        let m = Appnp::new(&[2, 2], 0.2, 50, 1);
+        let h = Matrix::filled(g.num_nodes(), 2, 3.0);
+        let z = m.propagate(&csr, &h);
+        for r in 0..z.rows() {
+            for c in 0..z.cols() {
+                assert!((z.get(r, c) - 3.0).abs() < 1e-6, "z[{r}][{c}]={}", z.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn logits_are_deterministic() {
+        let g = two_cluster_graph();
+        let view = GraphView::full(&g);
+        let m = Appnp::new(&[2, 4, 2], 0.15, 10, 3);
+        assert_eq!(m.logits(&view), m.logits(&view));
+    }
+
+    #[test]
+    fn training_fits_two_clusters() {
+        let g = two_cluster_graph();
+        let view = GraphView::full(&g);
+        let mut m = Appnp::new(&[2, 8, 2], 0.2, 10, 2);
+        let cfg = TrainConfig {
+            epochs: 150,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
+        let all: Vec<usize> = (0..12).collect();
+        let report = m.train(&view, &all, &cfg);
+        assert!(report.final_loss() < report.losses[0]);
+        assert!(accuracy(&m, &view, &all) >= 0.9);
+    }
+
+    #[test]
+    fn removing_edges_changes_propagated_logits() {
+        let g = two_cluster_graph();
+        let view = GraphView::full(&g);
+        let m = Appnp::new(&[2, 4, 2], 0.2, 10, 7);
+        let full = m.logits(&view);
+        let removed: EdgeSet = [(5usize, 6usize)].into_iter().collect();
+        let cut = GraphView::without(&g, &removed);
+        let cut_logits = m.logits(&cut);
+        let diff: f64 = (0..g.num_nodes())
+            .map(|v| {
+                full.row(v)
+                    .iter()
+                    .zip(cut_logits.row(v))
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f64>()
+            })
+            .sum();
+        assert!(diff > 1e-9, "cutting the bridge must change some logits");
+    }
+}

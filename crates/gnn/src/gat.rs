@@ -1,0 +1,191 @@
+//! Graph Attention Network (single-head, inference-grade).
+//!
+//! Another model-agnosticism witness (the paper cites GAT as a representative
+//! message-passing GNN). Each layer computes attention coefficients
+//! `e_uv = LeakyReLU( a_src . (W h_u) + a_dst . (W h_v) )` over `v in N(u) u {u}`,
+//! normalizes them with a softmax, and aggregates `h'_u = act( sum_v alpha_uv W h_v )`.
+//! The output layer uses the identity activation and yields logits.
+
+use crate::model::GnnModel;
+use rcw_graph::{Csr, GraphView};
+use rcw_linalg::{init, vector, Activation, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// One GAT layer: a linear transform plus source/destination attention vectors.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GatLayer {
+    weight: Matrix,
+    attn_src: Vec<f64>,
+    attn_dst: Vec<f64>,
+}
+
+/// A single-head GAT model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Gat {
+    layers: Vec<GatLayer>,
+    activation: Activation,
+}
+
+impl Gat {
+    /// Creates a GAT with the given layer dimensions.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dimensions are given.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "Gat::new: need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let weight = init::xavier_uniform(w[0], w[1], seed.wrapping_add(i as u64));
+                let attn_src = init::xavier_uniform(1, w[1], seed.wrapping_add(500 + i as u64))
+                    .row(0)
+                    .to_vec();
+                let attn_dst = init::xavier_uniform(1, w[1], seed.wrapping_add(900 + i as u64))
+                    .row(0)
+                    .to_vec();
+                GatLayer {
+                    weight,
+                    attn_src,
+                    attn_dst,
+                }
+            })
+            .collect();
+        Gat {
+            layers,
+            activation: Activation::Relu,
+        }
+    }
+
+    fn layer_forward(layer: &GatLayer, csr: &Csr, x: &Matrix, last: bool, act: Activation) -> Matrix {
+        let n = x.rows();
+        let transformed = x.matmul(&layer.weight);
+        let dim = transformed.cols();
+        // attention logits per node
+        let src_scores: Vec<f64> = (0..n)
+            .map(|u| vector::dot(transformed.row(u), &layer.attn_src))
+            .collect();
+        let dst_scores: Vec<f64> = (0..n)
+            .map(|u| vector::dot(transformed.row(u), &layer.attn_dst))
+            .collect();
+        let mut out = Matrix::zeros(n, dim);
+        for u in 0..n {
+            // neighborhood including self
+            let mut nbrs: Vec<usize> = csr.neighbors(u).to_vec();
+            nbrs.push(u);
+            let mut scores: Vec<f64> = nbrs
+                .iter()
+                .map(|&v| Activation::LeakyRelu.apply(src_scores[u] + dst_scores[v]))
+                .collect();
+            vector::softmax_inplace(&mut scores);
+            for (&v, &a) in nbrs.iter().zip(&scores) {
+                for c in 0..dim {
+                    out.add_at(u, c, a * transformed.get(v, c));
+                }
+            }
+        }
+        if last {
+            out
+        } else {
+            act.apply_matrix(&out)
+        }
+    }
+}
+
+impl GnnModel for Gat {
+    fn num_classes(&self) -> usize {
+        self.layers.last().expect("non-empty").weight.cols()
+    }
+
+    fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").weight.rows()
+    }
+
+    fn logits(&self, view: &GraphView<'_>) -> Matrix {
+        let csr = Csr::from_view(view);
+        let mut x = crate::pad_features(&view.graph().feature_matrix(), self.feature_dim());
+        let count = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = Self::layer_forward(layer, &csr, &x, i + 1 == count, self.activation);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcw_graph::{EdgeSet, Graph};
+
+    fn small_graph() -> Graph {
+        let mut g = Graph::new();
+        g.add_labeled_node(vec![1.0, 0.0, 0.0], 0);
+        g.add_labeled_node(vec![0.0, 1.0, 0.0], 1);
+        g.add_labeled_node(vec![0.0, 0.0, 1.0], 2);
+        g.add_labeled_node(vec![1.0, 1.0, 0.0], 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(0, 3);
+        g
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let g = small_graph();
+        let view = GraphView::full(&g);
+        let m = Gat::new(&[3, 5, 3], 4);
+        let z = m.logits(&view);
+        assert_eq!(z.shape(), (4, 3));
+        assert_eq!(z, m.logits(&view));
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.num_classes(), 3);
+        assert_eq!(m.feature_dim(), 3);
+        assert!(z.is_finite());
+    }
+
+    #[test]
+    fn attention_is_a_convex_combination() {
+        // With a single identity layer and zero attention vectors, every
+        // neighbor (plus self) gets equal weight, so the output of a node is
+        // the mean of its closed neighborhood's transformed features.
+        let layer = GatLayer {
+            weight: Matrix::identity(3),
+            attn_src: vec![0.0; 3],
+            attn_dst: vec![0.0; 3],
+        };
+        let m = Gat {
+            layers: vec![layer],
+            activation: Activation::Identity,
+        };
+        let g = small_graph();
+        let z = m.logits(&GraphView::full(&g));
+        // node 0 closed neighborhood = {0, 1, 3}; mean of e0, e1, (1,1,0)
+        assert!((z.get(0, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((z.get(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((z.get(0, 2) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masking_edges_changes_attention_output() {
+        let g = small_graph();
+        let m = Gat::new(&[3, 4, 3], 9);
+        let full = m.logits(&GraphView::full(&g));
+        let removed: EdgeSet = [(0usize, 1usize)].into_iter().collect();
+        let cut = m.logits(&GraphView::without(&g, &removed));
+        assert_ne!(full, cut);
+    }
+
+    #[test]
+    fn isolated_node_attends_to_itself() {
+        let mut g = small_graph();
+        let iso = g.add_labeled_node(vec![0.2, 0.2, 0.2], 1);
+        let m = Gat::new(&[3, 4, 3], 1);
+        let z = m.logits(&GraphView::full(&g));
+        assert!(z.row(iso).iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,175 @@
+//! The model-agnostic inference interface.
+//!
+//! The paper treats the classifier as a *fixed, deterministic, polynomial-time
+//! inference function* `M(v, G)` producing a label for each test node, plus a
+//! logits matrix `Z`. [`GnnModel`] captures exactly that contract: every model
+//! in this crate can be evaluated on any [`GraphView`] (the full graph `G`, a
+//! witness `Gs`, the remainder `G \ Gs`, or a disturbed graph `G~`) and must
+//! produce the same output for the same input.
+
+use rcw_graph::{GraphView, NodeId};
+use rcw_linalg::{vector, Matrix};
+
+/// A fixed, deterministic GNN-based node classifier.
+pub trait GnnModel: Send + Sync {
+    /// Number of output classes `|L|`.
+    fn num_classes(&self) -> usize;
+
+    /// Number of message-passing layers `L`.
+    fn num_layers(&self) -> usize;
+
+    /// Input feature dimension `F` expected by the model.
+    fn feature_dim(&self) -> usize;
+
+    /// Computes the logits matrix `Z` (`|V| x |L|`) of the model over the
+    /// given graph view. This is the paper's "output" of `M`.
+    fn logits(&self, view: &GraphView<'_>) -> Matrix;
+
+    /// The inference function `M(v, view)`: the label assigned to node `v`
+    /// when the model is evaluated over `view`.
+    ///
+    /// Returns `None` only for invalid nodes; evaluating a valid node over an
+    /// edgeless view is well defined (the node classifies from its own
+    /// features), matching the paper's convention that a single node is a
+    /// trivial factual witness.
+    fn predict(&self, v: NodeId, view: &GraphView<'_>) -> Option<usize> {
+        if v >= view.num_nodes() {
+            return None;
+        }
+        let z = self.logits(view);
+        Some(vector::argmax(z.row(v)))
+    }
+
+    /// Predicts labels for every node in the view.
+    fn predict_all(&self, view: &GraphView<'_>) -> Vec<usize> {
+        let z = self.logits(view);
+        (0..z.rows()).map(|r| vector::argmax(z.row(r))).collect()
+    }
+
+    /// Classification margin of node `v` towards label `l` over the runner-up
+    /// class: `z[v][l] - max_{c != l} z[v][c]`. Positive means the model
+    /// assigns `l` to `v`.
+    fn margin(&self, v: NodeId, label: usize, view: &GraphView<'_>) -> f64 {
+        let z = self.logits(view);
+        let row = z.row(v);
+        let mut best_other = f64::NEG_INFINITY;
+        for (c, &val) in row.iter().enumerate() {
+            if c != label {
+                best_other = best_other.max(val);
+            }
+        }
+        row[label] - best_other
+    }
+}
+
+/// Accuracy of predictions against ground-truth labels on a node subset.
+pub fn accuracy<M: GnnModel + ?Sized>(
+    model: &M,
+    view: &GraphView<'_>,
+    nodes: &[NodeId],
+) -> f64 {
+    if nodes.is_empty() {
+        return 0.0;
+    }
+    let preds = model.predict_all(view);
+    let graph = view.graph();
+    let correct = nodes
+        .iter()
+        .filter(|&&v| graph.label(v) == Some(preds[v]))
+        .count();
+    correct as f64 / nodes.len() as f64
+}
+
+/// One-hot encodes labels into an `n x num_classes` matrix; unlabeled nodes
+/// get an all-zero row.
+pub fn one_hot_labels(labels: &[Option<usize>], num_classes: usize) -> Matrix {
+    let mut m = Matrix::zeros(labels.len(), num_classes);
+    for (i, l) in labels.iter().enumerate() {
+        if let Some(c) = l {
+            if *c < num_classes {
+                m.set(i, *c, 1.0);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcw_graph::Graph;
+
+    /// A degenerate "model" that classifies a node by its visible degree
+    /// parity; enough to exercise the trait's default methods.
+    struct DegreeParityModel;
+
+    impl GnnModel for DegreeParityModel {
+        fn num_classes(&self) -> usize {
+            2
+        }
+        fn num_layers(&self) -> usize {
+            1
+        }
+        fn feature_dim(&self) -> usize {
+            0
+        }
+        fn logits(&self, view: &GraphView<'_>) -> Matrix {
+            let n = view.num_nodes();
+            let mut z = Matrix::zeros(n, 2);
+            for v in 0..n {
+                let parity = view.degree(v) % 2;
+                z.set(v, parity, 1.0);
+            }
+            z
+        }
+    }
+
+    #[test]
+    fn predict_uses_logits_argmax() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let view = GraphView::full(&g);
+        let m = DegreeParityModel;
+        assert_eq!(m.predict(0, &view), Some(0)); // degree 2 -> even
+        assert_eq!(m.predict(1, &view), Some(1)); // degree 1 -> odd
+        assert_eq!(m.predict(99, &view), None);
+        assert_eq!(m.predict_all(&view), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn margin_sign_tracks_prediction() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 1);
+        let view = GraphView::full(&g);
+        let m = DegreeParityModel;
+        assert!(m.margin(0, 1, &view) > 0.0);
+        assert!(m.margin(0, 0, &view) < 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.set_label(0, 0);
+        g.set_label(1, 1);
+        g.set_label(2, 0); // wrong per parity model
+        let view = GraphView::full(&g);
+        let m = DegreeParityModel;
+        let acc = accuracy(&m, &view, &[0, 1, 2]);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&m, &view, &[]), 0.0);
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let oh = one_hot_labels(&[Some(1), None, Some(0)], 2);
+        assert_eq!(oh.row(0), &[0.0, 1.0]);
+        assert_eq!(oh.row(1), &[0.0, 0.0]);
+        assert_eq!(oh.row(2), &[1.0, 0.0]);
+        // out-of-range labels are ignored rather than panicking
+        let oh2 = one_hot_labels(&[Some(5)], 2);
+        assert_eq!(oh2.row(0), &[0.0, 0.0]);
+    }
+}

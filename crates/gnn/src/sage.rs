@@ -1,0 +1,196 @@
+//! GraphSAGE with mean aggregation (inference-grade).
+//!
+//! Included to demonstrate that the witness machinery is model-agnostic (the
+//! paper: "our solutions are model-agnostic and generalize to GNN
+//! specifications"). Each layer computes
+//! `h_u = act( W_self * h_u + W_neigh * mean_{v in N(u)} h_v )`,
+//! with identity on the output layer. The model is inference-only; weights
+//! come from a seeded initializer or from an explicit constructor.
+
+use crate::model::GnnModel;
+use rcw_graph::{Csr, GraphView};
+use rcw_linalg::{init, Activation, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A GraphSAGE model with mean aggregation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphSage {
+    self_weights: Vec<Matrix>,
+    neigh_weights: Vec<Matrix>,
+    activation: Activation,
+}
+
+impl GraphSage {
+    /// Creates a GraphSAGE model with the given layer dimensions.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dimensions are given.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "GraphSage::new: need at least input and output dims");
+        let self_weights = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| init::xavier_uniform(w[0], w[1], seed.wrapping_add(i as u64)))
+            .collect();
+        let neigh_weights = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| init::xavier_uniform(w[0], w[1], seed.wrapping_add(1000 + i as u64)))
+            .collect();
+        GraphSage {
+            self_weights,
+            neigh_weights,
+            activation: Activation::Relu,
+        }
+    }
+
+    /// Builds a model from explicit weights (one self/neighbor pair per layer).
+    pub fn from_weights(
+        self_weights: Vec<Matrix>,
+        neigh_weights: Vec<Matrix>,
+        activation: Activation,
+    ) -> Self {
+        assert_eq!(
+            self_weights.len(),
+            neigh_weights.len(),
+            "GraphSage::from_weights: layer count mismatch"
+        );
+        assert!(!self_weights.is_empty(), "GraphSage::from_weights: no layers");
+        GraphSage {
+            self_weights,
+            neigh_weights,
+            activation,
+        }
+    }
+
+    fn mean_aggregate(csr: &Csr, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        let dim = x.cols();
+        let mut out = Matrix::zeros(n, dim);
+        for u in 0..n {
+            let nbrs = csr.neighbors(u);
+            if nbrs.is_empty() {
+                // no neighbors: aggregate the node itself so the signal is defined
+                out.set_row(u, x.row(u));
+                continue;
+            }
+            let inv = 1.0 / nbrs.len() as f64;
+            for &v in nbrs {
+                for c in 0..dim {
+                    out.add_at(u, c, inv * x.get(v, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl GnnModel for GraphSage {
+    fn num_classes(&self) -> usize {
+        self.self_weights.last().expect("non-empty").cols()
+    }
+
+    fn num_layers(&self) -> usize {
+        self.self_weights.len()
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.self_weights.first().expect("non-empty").rows()
+    }
+
+    fn logits(&self, view: &GraphView<'_>) -> Matrix {
+        let csr = Csr::from_view(view);
+        let mut x = crate::pad_features(&view.graph().feature_matrix(), self.feature_dim());
+        for (i, (ws, wn)) in self
+            .self_weights
+            .iter()
+            .zip(&self.neigh_weights)
+            .enumerate()
+        {
+            let agg = Self::mean_aggregate(&csr, &x);
+            let mut out = x.matmul(ws);
+            out.add_assign(&agg.matmul(wn));
+            x = if i + 1 == self.self_weights.len() {
+                out
+            } else {
+                self.activation.apply_matrix(&out)
+            };
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcw_graph::{EdgeSet, Graph};
+
+    fn small_graph() -> Graph {
+        let mut g = Graph::new();
+        g.add_labeled_node(vec![1.0, 0.0], 0);
+        g.add_labeled_node(vec![0.9, 0.1], 0);
+        g.add_labeled_node(vec![0.0, 1.0], 1);
+        g.add_labeled_node(vec![0.1, 0.9], 1);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(1, 2);
+        g
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let g = small_graph();
+        let view = GraphView::full(&g);
+        let m = GraphSage::new(&[2, 4, 2], 11);
+        let z = m.logits(&view);
+        assert_eq!(z.shape(), (4, 2));
+        assert_eq!(z, m.logits(&view));
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.num_classes(), 2);
+        assert_eq!(m.feature_dim(), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_fall_back_to_self_features() {
+        let mut g = small_graph();
+        let iso = g.add_labeled_node(vec![0.5, 0.5], 0);
+        let view = GraphView::full(&g);
+        let m = GraphSage::new(&[2, 3, 2], 2);
+        let z = m.logits(&view);
+        assert!(z.row(iso).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn identity_weights_propagate_neighbor_means() {
+        // one layer, W_self = 0, W_neigh = I: output = mean of neighbor features
+        let g = small_graph();
+        let view = GraphView::full(&g);
+        let m = GraphSage::from_weights(
+            vec![Matrix::zeros(2, 2)],
+            vec![Matrix::identity(2)],
+            Activation::Identity,
+        );
+        let z = m.logits(&view);
+        // node 0 has only neighbor 1 with features (0.9, 0.1)
+        assert!((z.get(0, 0) - 0.9).abs() < 1e-12);
+        assert!((z.get(0, 1) - 0.1).abs() < 1e-12);
+        // node 1 neighbors are 0 and 2 => mean of (1,0) and (0,1) = (0.5,0.5)
+        assert!((z.get(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_masking_changes_output() {
+        let g = small_graph();
+        let m = GraphSage::new(&[2, 4, 2], 5);
+        let full = m.logits(&GraphView::full(&g));
+        let removed: EdgeSet = [(1usize, 2usize)].into_iter().collect();
+        let cut = m.logits(&GraphView::without(&g, &removed));
+        assert_ne!(full, cut);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn from_weights_validates_lengths() {
+        GraphSage::from_weights(vec![Matrix::identity(2)], vec![], Activation::Relu);
+    }
+}

@@ -1,0 +1,220 @@
+//! Compressed sparse row (CSR) adjacency.
+//!
+//! GNN inference iterates over neighbor lists many times per layer. Building a
+//! [`Csr`] snapshot of a [`GraphView`] once per inference call avoids repeated
+//! override resolution in the hot loop.
+
+use crate::graph::NodeId;
+use crate::view::GraphView;
+use serde::{Deserialize, Serialize};
+
+/// Immutable CSR adjacency snapshot with symmetric-normalization helpers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR snapshot from a graph view.
+    pub fn from_view(view: &GraphView<'_>) -> Self {
+        let n = view.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for u in 0..n {
+            let nbrs = view.neighbors(u);
+            targets.extend_from_slice(&nbrs);
+            offsets.push(targets.len());
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Builds a CSR snapshot directly from adjacency lists.
+    pub fn from_adjacency(adj: &[Vec<NodeId>]) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for nbrs in adj {
+            let mut sorted = nbrs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            targets.extend_from_slice(&sorted);
+            offsets.push(targets.len());
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed arcs stored (twice the undirected edge count).
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbors of `u` as a slice.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Whether `(u, v)` is an arc (binary search on the neighbor slice).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Degree vector including the GCN self-loop convention (`deg + 1`).
+    pub fn degrees_with_self_loops(&self) -> Vec<f64> {
+        (0..self.num_nodes())
+            .map(|u| self.degree(u) as f64 + 1.0)
+            .collect()
+    }
+
+    /// Multiplies the symmetrically normalized adjacency (with self-loops)
+    /// `D^{-1/2} (A + I) D^{-1/2}` against a dense feature matrix given as a
+    /// row-major buffer with `dim` columns, writing into `out`.
+    pub fn spmm_sym_norm(&self, x: &[f64], dim: usize, out: &mut [f64]) {
+        let n = self.num_nodes();
+        assert_eq!(x.len(), n * dim, "spmm: input size mismatch");
+        assert_eq!(out.len(), n * dim, "spmm: output size mismatch");
+        let deg = self.degrees_with_self_loops();
+        let inv_sqrt: Vec<f64> = deg.iter().map(|d| 1.0 / d.sqrt()).collect();
+        out.fill(0.0);
+        for u in 0..n {
+            let du = inv_sqrt[u];
+            // self-loop contribution
+            for c in 0..dim {
+                out[u * dim + c] += du * du * x[u * dim + c];
+            }
+            for &v in self.neighbors(u) {
+                let w = du * inv_sqrt[v];
+                for c in 0..dim {
+                    out[u * dim + c] += w * x[v * dim + c];
+                }
+            }
+        }
+    }
+
+    /// Multiplies the row-normalized adjacency with self-loops
+    /// `D^{-1} (A + I)` against a dense matrix (APPNP's propagation operator).
+    pub fn spmm_row_norm(&self, x: &[f64], dim: usize, out: &mut [f64]) {
+        let n = self.num_nodes();
+        assert_eq!(x.len(), n * dim, "spmm: input size mismatch");
+        assert_eq!(out.len(), n * dim, "spmm: output size mismatch");
+        out.fill(0.0);
+        for u in 0..n {
+            let d = self.degree(u) as f64 + 1.0;
+            let w = 1.0 / d;
+            for c in 0..dim {
+                out[u * dim + c] += w * x[u * dim + c];
+            }
+            for &v in self.neighbors(u) {
+                for c in 0..dim {
+                    out[u * dim + c] += w * x[v * dim + c];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn star() -> Graph {
+        // node 0 connected to 1, 2, 3
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        g
+    }
+
+    #[test]
+    fn csr_matches_view() {
+        let g = star();
+        let view = GraphView::full(&g);
+        let csr = Csr::from_view(&view);
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_arcs(), 6);
+        assert_eq!(csr.neighbors(0), &[1, 2, 3]);
+        assert_eq!(csr.neighbors(2), &[0]);
+        assert_eq!(csr.degree(0), 3);
+        assert!(csr.has_edge(0, 2));
+        assert!(!csr.has_edge(1, 2));
+    }
+
+    #[test]
+    fn from_adjacency_sorts_and_dedups() {
+        let csr = Csr::from_adjacency(&[vec![2, 1, 1], vec![0], vec![0]]);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.num_arcs(), 4);
+    }
+
+    #[test]
+    fn sym_norm_spmm_of_constant_vector() {
+        // For x = all-ones and symmetric normalization with self-loops,
+        // row u gets sum over {u} ∪ N(u) of 1/sqrt(d_u d_v).
+        let g = star();
+        let csr = Csr::from_view(&GraphView::full(&g));
+        let x = vec![1.0; 4];
+        let mut out = vec![0.0; 4];
+        csr.spmm_sym_norm(&x, 1, &mut out);
+        let d0 = 4.0_f64;
+        let dleaf = 2.0_f64;
+        let expected0 = 1.0 / d0 + 3.0 / (d0.sqrt() * dleaf.sqrt());
+        assert!((out[0] - expected0).abs() < 1e-12);
+        let expected_leaf = 1.0 / dleaf + 1.0 / (d0.sqrt() * dleaf.sqrt());
+        assert!((out[1] - expected_leaf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_norm_spmm_preserves_constant_vectors() {
+        // Row-normalized propagation of a constant vector stays constant.
+        let g = star();
+        let csr = Csr::from_view(&GraphView::full(&g));
+        let x = vec![2.5; 4];
+        let mut out = vec![0.0; 4];
+        csr.spmm_row_norm(&x, 1, &mut out);
+        for v in out {
+            assert!((v - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmm_respects_multiple_columns() {
+        let g = star();
+        let csr = Csr::from_view(&GraphView::full(&g));
+        let x = vec![
+            1.0, 0.0, //
+            0.0, 1.0, //
+            0.0, 1.0, //
+            0.0, 1.0,
+        ];
+        let mut out = vec![0.0; 8];
+        csr.spmm_row_norm(&x, 2, &mut out);
+        // node 1 row: (x1 + x0) / 2 = (0+1, 1+0)/2
+        assert!((out[2] - 0.5).abs() < 1e-12);
+        assert!((out[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm")]
+    fn spmm_panics_on_bad_dims() {
+        let g = star();
+        let csr = Csr::from_view(&GraphView::full(&g));
+        let x = vec![0.0; 3];
+        let mut out = vec![0.0; 4];
+        csr.spmm_row_norm(&x, 1, &mut out);
+    }
+}

@@ -1,0 +1,323 @@
+//! k-disturbances and (k, b)-disturbances.
+//!
+//! A *k-disturbance* flips at most `k` node pairs of a graph (edge insertions
+//! and removals). When applied to `G \ Gw` it must not touch witness edges.
+//! A *(k, b)-disturbance* additionally limits every node to at most `b`
+//! incident flips (the "local budget" that makes APPNP verification
+//! tractable, §III-B of the paper).
+
+use crate::edge::{Edge, EdgeSet};
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of node-pair flips together with the budgets it was built under.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Disturbance {
+    flips: EdgeSet,
+}
+
+impl Disturbance {
+    /// Creates an empty disturbance.
+    pub fn new() -> Self {
+        Disturbance::default()
+    }
+
+    /// Creates a disturbance from node pairs.
+    pub fn from_pairs<I: IntoIterator<Item = Edge>>(pairs: I) -> Self {
+        Disturbance {
+            flips: EdgeSet::from_iter(pairs),
+        }
+    }
+
+    /// The flipped node pairs.
+    pub fn pairs(&self) -> &EdgeSet {
+        &self.flips
+    }
+
+    /// Number of flips.
+    pub fn len(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// Whether no pairs are flipped.
+    pub fn is_empty(&self) -> bool {
+        self.flips.is_empty()
+    }
+
+    /// Adds a pair; returns `true` if newly added.
+    pub fn add(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.flips.insert(u, v)
+    }
+
+    /// Checks the global budget: at most `k` flips.
+    pub fn respects_k(&self, k: usize) -> bool {
+        self.flips.len() <= k
+    }
+
+    /// Checks the local budget: every node is incident to at most `b` flips.
+    pub fn respects_local_budget(&self, b: usize) -> bool {
+        let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (u, v) in self.flips.iter() {
+            *counts.entry(u).or_insert(0) += 1;
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        counts.values().all(|&c| c <= b)
+    }
+
+    /// Checks both budgets at once, i.e. that this is a valid (k, b)-disturbance.
+    pub fn is_valid_kb(&self, k: usize, b: usize) -> bool {
+        self.respects_k(k) && self.respects_local_budget(b)
+    }
+
+    /// Returns `true` if none of the flipped pairs is an edge of `protected`
+    /// (a disturbance on `G \ Gw` must not flip edges of `Gw`).
+    pub fn avoids(&self, protected: &EdgeSet) -> bool {
+        self.flips.iter().all(|(u, v)| !protected.contains(u, v))
+    }
+
+    /// Applies the disturbance to a graph, returning the disturbed graph.
+    pub fn apply(&self, graph: &Graph) -> Graph {
+        graph.flip_edges(&self.flips.to_vec())
+    }
+}
+
+/// Strategy for sampling random disturbances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisturbanceStrategy {
+    /// Only remove existing edges. The paper's experiments mainly use this
+    /// ("establishing new links in real networks may be expensive").
+    RemovalOnly,
+    /// Only insert missing edges.
+    InsertionOnly,
+    /// Mix removals and insertions uniformly at random.
+    Mixed,
+}
+
+/// Samples a random k-disturbance over `G \ protected` using the given
+/// strategy. The result respects the global budget `k` and, when `b > 0`, the
+/// local budget `b`. Deterministic for a given seed.
+pub fn random_disturbance(
+    graph: &Graph,
+    protected: &EdgeSet,
+    k: usize,
+    b: usize,
+    strategy: DisturbanceStrategy,
+    seed: u64,
+) -> Disturbance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut removable: Vec<Edge> = graph
+        .edges()
+        .filter(|&(u, v)| !protected.contains(u, v))
+        .collect();
+    removable.shuffle(&mut rng);
+
+    let mut insertable: Vec<Edge> = Vec::new();
+    if !matches!(strategy, DisturbanceStrategy::RemovalOnly) {
+        insertable = graph
+            .non_edges()
+            .into_iter()
+            .filter(|&(u, v)| !protected.contains(u, v))
+            .collect();
+        insertable.shuffle(&mut rng);
+    }
+
+    let mut d = Disturbance::new();
+    let mut local: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let try_add = |d: &mut Disturbance, local: &mut BTreeMap<NodeId, usize>, u: NodeId, v: NodeId| -> bool {
+        if b > 0 {
+            let cu = *local.get(&u).unwrap_or(&0);
+            let cv = *local.get(&v).unwrap_or(&0);
+            if cu >= b || cv >= b {
+                return false;
+            }
+        }
+        if d.add(u, v) {
+            *local.entry(u).or_insert(0) += 1;
+            *local.entry(v).or_insert(0) += 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    let mut ri = 0;
+    let mut ii = 0;
+    while d.len() < k {
+        let pick_removal = match strategy {
+            DisturbanceStrategy::RemovalOnly => true,
+            DisturbanceStrategy::InsertionOnly => false,
+            DisturbanceStrategy::Mixed => rng.gen_bool(0.5),
+        };
+        let progressed = if pick_removal && ri < removable.len() {
+            let (u, v) = removable[ri];
+            ri += 1;
+            try_add(&mut d, &mut local, u, v)
+        } else if !pick_removal && ii < insertable.len() {
+            let (u, v) = insertable[ii];
+            ii += 1;
+            try_add(&mut d, &mut local, u, v)
+        } else if ri < removable.len() {
+            let (u, v) = removable[ri];
+            ri += 1;
+            try_add(&mut d, &mut local, u, v)
+        } else if ii < insertable.len() {
+            let (u, v) = insertable[ii];
+            ii += 1;
+            try_add(&mut d, &mut local, u, v)
+        } else {
+            break;
+        };
+        let _ = progressed;
+        if ri >= removable.len() && ii >= insertable.len() {
+            break;
+        }
+    }
+    d
+}
+
+/// Enumerates *all* disturbances of exactly `j` pairs drawn from `candidates`.
+/// Used by the exhaustive (NP-hard) verifier on small graphs and in tests.
+/// The number of results is `C(|candidates|, j)`; callers must keep inputs small.
+pub fn enumerate_disturbances(candidates: &[Edge], j: usize) -> Vec<Disturbance> {
+    let mut out = Vec::new();
+    let mut current: Vec<Edge> = Vec::with_capacity(j);
+    fn rec(
+        candidates: &[Edge],
+        start: usize,
+        remaining: usize,
+        current: &mut Vec<Edge>,
+        out: &mut Vec<Disturbance>,
+    ) {
+        if remaining == 0 {
+            out.push(Disturbance::from_pairs(current.iter().copied()));
+            return;
+        }
+        if candidates.len().saturating_sub(start) < remaining {
+            return;
+        }
+        for i in start..candidates.len() {
+            current.push(candidates[i]);
+            rec(candidates, i + 1, remaining - 1, current, out);
+            current.pop();
+        }
+    }
+    rec(candidates, 0, j, &mut current, &mut out);
+    out
+}
+
+/// Enumerates all disturbances of size `1..=k` from the candidate pairs.
+pub fn enumerate_disturbances_up_to(candidates: &[Edge], k: usize) -> Vec<Disturbance> {
+    (1..=k)
+        .flat_map(|j| enumerate_disturbances(candidates, j))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle5() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        g
+    }
+
+    #[test]
+    fn budgets() {
+        let d = Disturbance::from_pairs([(0, 1), (0, 2), (0, 3)]);
+        assert!(d.respects_k(3));
+        assert!(!d.respects_k(2));
+        assert!(d.respects_local_budget(3));
+        assert!(!d.respects_local_budget(2), "node 0 has 3 incident flips");
+        assert!(d.is_valid_kb(5, 3));
+        assert!(!d.is_valid_kb(5, 1));
+    }
+
+    #[test]
+    fn avoids_protected_edges() {
+        let d = Disturbance::from_pairs([(0, 1)]);
+        let protected = EdgeSet::from_iter([(1, 0)]);
+        assert!(!d.avoids(&protected));
+        assert!(d.avoids(&EdgeSet::from_iter([(2, 3)])));
+    }
+
+    #[test]
+    fn apply_flips_pairs() {
+        let g = cycle5();
+        let d = Disturbance::from_pairs([(0, 1), (0, 2)]);
+        let disturbed = d.apply(&g);
+        assert!(!disturbed.has_edge(0, 1), "existing edge removed");
+        assert!(disturbed.has_edge(0, 2), "missing pair inserted");
+        assert_eq!(disturbed.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn random_removal_only_never_inserts() {
+        let g = cycle5();
+        let d = random_disturbance(
+            &g,
+            &EdgeSet::new(),
+            3,
+            0,
+            DisturbanceStrategy::RemovalOnly,
+            7,
+        );
+        assert!(d.len() <= 3);
+        assert!(d.pairs().iter().all(|(u, v)| g.has_edge(u, v)));
+    }
+
+    #[test]
+    fn random_disturbance_respects_protected_and_budget() {
+        let g = cycle5();
+        let protected = EdgeSet::from_iter([(0, 1), (1, 2)]);
+        let d = random_disturbance(&g, &protected, 10, 1, DisturbanceStrategy::Mixed, 3);
+        assert!(d.avoids(&protected));
+        assert!(d.respects_local_budget(1));
+    }
+
+    #[test]
+    fn random_disturbance_is_deterministic_per_seed() {
+        let g = cycle5();
+        let a = random_disturbance(&g, &EdgeSet::new(), 3, 0, DisturbanceStrategy::Mixed, 42);
+        let b = random_disturbance(&g, &EdgeSet::new(), 3, 0, DisturbanceStrategy::Mixed, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn insertion_only_only_inserts() {
+        let g = cycle5();
+        let d = random_disturbance(
+            &g,
+            &EdgeSet::new(),
+            2,
+            0,
+            DisturbanceStrategy::InsertionOnly,
+            1,
+        );
+        assert!(d.pairs().iter().all(|(u, v)| !g.has_edge(u, v)));
+    }
+
+    #[test]
+    fn enumeration_counts_are_binomial() {
+        let candidates = vec![(0, 1), (0, 2), (1, 2), (2, 3)];
+        assert_eq!(enumerate_disturbances(&candidates, 2).len(), 6);
+        assert_eq!(enumerate_disturbances(&candidates, 4).len(), 1);
+        assert_eq!(enumerate_disturbances(&candidates, 5).len(), 0);
+        // 4 singletons + 6 pairs
+        assert_eq!(enumerate_disturbances_up_to(&candidates, 2).len(), 10);
+    }
+
+    #[test]
+    fn enumeration_of_zero_is_single_empty() {
+        let candidates = vec![(0, 1)];
+        let all = enumerate_disturbances(&candidates, 0);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+    }
+}

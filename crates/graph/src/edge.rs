@@ -1,0 +1,211 @@
+//! Edge and edge-set primitives.
+//!
+//! Witness structures and disturbances are both *sets of node pairs*; the
+//! paper calls a witness `Gs` "a subgraph of G" and a disturbance "a set of
+//! node pairs Ek". [`EdgeSet`] is the shared representation: a sorted set of
+//! normalized `(u, v)` pairs with `u < v`.
+
+use crate::graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An undirected node pair. Always stored normalized with `u <= v` inside
+/// [`EdgeSet`]; free-standing tuples may appear in either order.
+pub type Edge = (NodeId, NodeId);
+
+/// Normalizes an edge so the smaller endpoint comes first.
+#[inline]
+pub fn norm_edge(u: NodeId, v: NodeId) -> Edge {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// A deterministic, ordered set of undirected edges.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeSet {
+    edges: BTreeSet<Edge>,
+}
+
+impl EdgeSet {
+    /// Creates an empty edge set.
+    pub fn new() -> Self {
+        EdgeSet::default()
+    }
+
+    /// Creates an edge set from an iterator of (possibly unnormalized) pairs.
+    /// Self-loops are dropped.
+    pub fn from_iter<I: IntoIterator<Item = Edge>>(iter: I) -> Self {
+        let mut s = EdgeSet::new();
+        for (u, v) in iter {
+            s.insert(u, v);
+        }
+        s
+    }
+
+    /// Inserts an edge (normalizing the order). Returns `true` if newly added.
+    /// Self-loops are ignored and return `false`.
+    pub fn insert(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.edges.insert(norm_edge(u, v))
+    }
+
+    /// Removes an edge. Returns `true` if it was present.
+    pub fn remove(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.edges.remove(&norm_edge(u, v))
+    }
+
+    /// Returns `true` if the edge is in the set.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges.contains(&norm_edge(u, v))
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Ordered iterator over edges.
+    pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Collects into a vector.
+    pub fn to_vec(&self) -> Vec<Edge> {
+        self.edges.iter().copied().collect()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &EdgeSet) -> EdgeSet {
+        EdgeSet {
+            edges: self.edges.union(&other.edges).copied().collect(),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &EdgeSet) -> EdgeSet {
+        EdgeSet {
+            edges: self.edges.difference(&other.edges).copied().collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &EdgeSet) -> EdgeSet {
+        EdgeSet {
+            edges: self.edges.intersection(&other.edges).copied().collect(),
+        }
+    }
+
+    /// Symmetric difference (edges in exactly one of the two sets).
+    pub fn symmetric_difference(&self, other: &EdgeSet) -> EdgeSet {
+        EdgeSet {
+            edges: self
+                .edges
+                .symmetric_difference(&other.edges)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Extends with all edges from `other`.
+    pub fn extend(&mut self, other: &EdgeSet) {
+        self.edges.extend(other.edges.iter().copied());
+    }
+
+    /// The set of endpoints touched by edges in this set.
+    pub fn endpoints(&self) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for &(u, v) in &self.edges {
+            out.insert(u);
+            out.insert(v);
+        }
+        out
+    }
+
+    /// Number of edges incident to node `v` within this set.
+    pub fn degree_of(&self, v: NodeId) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count()
+    }
+}
+
+impl FromIterator<Edge> for EdgeSet {
+    fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
+        EdgeSet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeSet {
+    type Item = Edge;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, Edge>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_and_self_loops() {
+        let mut s = EdgeSet::new();
+        assert!(s.insert(3, 1));
+        assert!(!s.insert(1, 3), "same edge in other order is a duplicate");
+        assert!(!s.insert(2, 2), "self loop rejected");
+        assert!(s.contains(1, 3));
+        assert!(s.contains(3, 1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.to_vec(), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = EdgeSet::from_iter([(0, 1), (1, 2)]);
+        let b = EdgeSet::from_iter([(1, 2), (2, 3)]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersection(&b).to_vec(), vec![(1, 2)]);
+        assert_eq!(a.difference(&b).to_vec(), vec![(0, 1)]);
+        assert_eq!(a.symmetric_difference(&b).len(), 2);
+    }
+
+    #[test]
+    fn endpoints_and_degree() {
+        let s = EdgeSet::from_iter([(0, 1), (1, 2), (4, 1)]);
+        let eps: Vec<_> = s.endpoints().into_iter().collect();
+        assert_eq!(eps, vec![0, 1, 2, 4]);
+        assert_eq!(s.degree_of(1), 3);
+        assert_eq!(s.degree_of(0), 1);
+        assert_eq!(s.degree_of(9), 0);
+    }
+
+    #[test]
+    fn remove_and_extend() {
+        let mut a = EdgeSet::from_iter([(0, 1)]);
+        let b = EdgeSet::from_iter([(2, 3)]);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.remove(1, 0));
+        assert!(!a.remove(1, 0));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_trait() {
+        let s: EdgeSet = vec![(5, 2), (2, 5), (1, 1)].into_iter().collect();
+        assert_eq!(s.len(), 1);
+        let collected: Vec<Edge> = (&s).into_iter().collect();
+        assert_eq!(collected, vec![(2, 5)]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Random-graph generators (structure only).
+//!
+//! These produce the *topology* of the synthetic datasets; feature vectors and
+//! labels are added by `rcw-datasets`, which layers dataset-specific semantics
+//! on top. All generators are deterministic for a given seed.
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal::connected_components;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert preferential-attachment graph: starts from a clique of
+/// `m` nodes and attaches each new node to `m` existing nodes chosen with
+/// probability proportional to degree.
+///
+/// # Panics
+/// Panics if `m == 0` or `n < m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "barabasi_albert: m must be >= 1");
+    assert!(n >= m, "barabasi_albert: n must be >= m");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    // Repeated-nodes list: each endpoint occurrence gives preferential attachment.
+    let mut targets: Vec<NodeId> = Vec::new();
+    // seed clique
+    for u in 0..m {
+        for v in (u + 1)..m {
+            if g.add_edge(u, v) {
+                targets.push(u);
+                targets.push(v);
+            }
+        }
+    }
+    if m == 1 {
+        targets.push(0);
+    }
+    for new in m..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            let pick = targets[rng.gen_range(0..targets.len())];
+            if pick != new {
+                chosen.insert(pick);
+            }
+            guard += 1;
+        }
+        // fallback: connect to arbitrary distinct existing nodes
+        let mut fallback = 0;
+        while chosen.len() < m && fallback < new {
+            chosen.insert(fallback);
+            fallback += 1;
+        }
+        for &t in &chosen {
+            if g.add_edge(new, t) {
+                targets.push(new);
+                targets.push(t);
+            }
+        }
+    }
+    g
+}
+
+/// Role of a node inside a house motif (the BAHouse labels 1/2/3 in the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HouseRole {
+    /// The roof apex.
+    Roof,
+    /// One of the two middle nodes under the roof.
+    Middle,
+    /// One of the two ground (base) nodes.
+    Ground,
+}
+
+impl HouseRole {
+    /// The class label the BAHouse benchmark assigns to this role
+    /// (1 = roof, 2 = middle, 3 = ground; base-graph nodes are 0).
+    pub fn label(self) -> usize {
+        match self {
+            HouseRole::Roof => 1,
+            HouseRole::Middle => 2,
+            HouseRole::Ground => 3,
+        }
+    }
+}
+
+/// Attaches one 5-node "house" motif to `attach_to`, returning the new node
+/// ids and their roles. The house consists of a roof node, two middle nodes
+/// and two ground nodes; the attachment edge connects one ground node to the
+/// base graph, as in the BA-Shapes/BAHouse benchmark.
+pub fn attach_house_motif(g: &mut Graph, attach_to: NodeId) -> Vec<(NodeId, HouseRole)> {
+    let roof = g.add_node(Vec::new());
+    let mid_l = g.add_node(Vec::new());
+    let mid_r = g.add_node(Vec::new());
+    let gnd_l = g.add_node(Vec::new());
+    let gnd_r = g.add_node(Vec::new());
+    // roof
+    g.add_edge(roof, mid_l);
+    g.add_edge(roof, mid_r);
+    // walls
+    g.add_edge(mid_l, mid_r);
+    g.add_edge(mid_l, gnd_l);
+    g.add_edge(mid_r, gnd_r);
+    // floor
+    g.add_edge(gnd_l, gnd_r);
+    // attach to base graph
+    g.add_edge(gnd_l, attach_to);
+    vec![
+        (roof, HouseRole::Roof),
+        (mid_l, HouseRole::Middle),
+        (mid_r, HouseRole::Middle),
+        (gnd_l, HouseRole::Ground),
+        (gnd_r, HouseRole::Ground),
+    ]
+}
+
+/// Erdős–Rényi G(n, p) graph.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Stochastic block model / planted-partition graph: nodes are split into
+/// blocks of the given sizes; intra-block edges appear with probability
+/// `p_in`, inter-block edges with `p_out`. Returns the graph and each node's
+/// block id.
+pub fn stochastic_block_model(
+    block_sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> (Graph, Vec<usize>) {
+    let n: usize = block_sizes.iter().sum();
+    let mut block_of = Vec::with_capacity(n);
+    for (b, &size) in block_sizes.iter().enumerate() {
+        block_of.extend(std::iter::repeat(b).take(size));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block_of[u] == block_of[v] { p_in } else { p_out };
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    (g, block_of)
+}
+
+/// Power-law community graph used as the Reddit-like stand-in: a union of
+/// Barabási–Albert communities plus sparse random inter-community edges.
+/// Returns the graph and each node's community id.
+pub fn powerlaw_community_graph(
+    num_communities: usize,
+    community_size: usize,
+    m: usize,
+    inter_edges_per_node: f64,
+    seed: u64,
+) -> (Graph, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = num_communities * community_size;
+    let mut g = Graph::with_nodes(n);
+    let mut community = vec![0usize; n];
+    for c in 0..num_communities {
+        let offset = c * community_size;
+        let local = barabasi_albert(community_size, m, seed.wrapping_add(c as u64 + 1));
+        for (u, v) in local.edges() {
+            g.add_edge(offset + u, offset + v);
+        }
+        for i in 0..community_size {
+            community[offset + i] = c;
+        }
+    }
+    // sparse bridges
+    let total_inter = (inter_edges_per_node * n as f64).round() as usize;
+    let mut added = 0;
+    let mut guard = 0;
+    while added < total_inter && guard < 20 * total_inter.max(1) {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        guard += 1;
+        if community[u] != community[v] && g.add_edge(u, v) {
+            added += 1;
+        }
+    }
+    (g, community)
+}
+
+/// Makes a graph connected by linking each non-principal component to a random
+/// node of the largest component. Returns the number of edges added.
+pub fn ensure_connected(g: &mut Graph, seed: u64) -> usize {
+    let comp = connected_components(g);
+    let num = comp.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    if num <= 1 {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // gather members per component
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num];
+    for (v, &c) in comp.iter().enumerate() {
+        members[c].push(v);
+    }
+    members.sort_by_key(|m| std::cmp::Reverse(m.len()));
+    let principal = members[0].clone();
+    let mut added = 0;
+    for other in members.iter().skip(1) {
+        let u = *other.choose(&mut rng).expect("non-empty component");
+        let v = *principal.choose(&mut rng).expect("non-empty principal");
+        if g.add_edge(u, v) {
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn ba_graph_shape() {
+        let g = barabasi_albert(100, 3, 1);
+        assert_eq!(g.num_nodes(), 100);
+        // each of the 97 added nodes contributes up to 3 edges plus the seed clique (3 edges)
+        assert!(g.num_edges() <= 3 + 97 * 3);
+        assert!(g.num_edges() >= 97, "every new node attaches at least once");
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ba_is_deterministic() {
+        let a = barabasi_albert(50, 2, 9);
+        let b = barabasi_albert(50, 2, 9);
+        assert_eq!(a.edge_vec(), b.edge_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be >= m")]
+    fn ba_rejects_bad_params() {
+        barabasi_albert(2, 5, 0);
+    }
+
+    #[test]
+    fn house_motif_structure() {
+        let mut g = barabasi_albert(10, 2, 3);
+        let before = g.num_nodes();
+        let added = attach_house_motif(&mut g, 0);
+        assert_eq!(g.num_nodes(), before + 5);
+        assert_eq!(added.len(), 5);
+        assert_eq!(added.iter().filter(|(_, r)| *r == HouseRole::Roof).count(), 1);
+        assert_eq!(added.iter().filter(|(_, r)| *r == HouseRole::Middle).count(), 2);
+        assert_eq!(added.iter().filter(|(_, r)| *r == HouseRole::Ground).count(), 2);
+        // the house has 6 internal edges + 1 attachment edge
+        let roof = added[0].0;
+        assert_eq!(g.degree(roof), 2);
+        assert_eq!(HouseRole::Roof.label(), 1);
+        assert_eq!(HouseRole::Ground.label(), 3);
+    }
+
+    #[test]
+    fn er_graph_density_scales_with_p() {
+        let sparse = erdos_renyi(60, 0.02, 5);
+        let dense = erdos_renyi(60, 0.3, 5);
+        assert!(dense.num_edges() > sparse.num_edges());
+        let empty = erdos_renyi(20, 0.0, 5);
+        assert_eq!(empty.num_edges(), 0);
+    }
+
+    #[test]
+    fn sbm_prefers_intra_block_edges() {
+        let (g, blocks) = stochastic_block_model(&[30, 30], 0.3, 0.01, 11);
+        assert_eq!(g.num_nodes(), 60);
+        let (mut intra, mut inter) = (0, 0);
+        for (u, v) in g.edges() {
+            if blocks[u] == blocks[v] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter * 3, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn powerlaw_communities_are_bridged() {
+        let (g, comm) = powerlaw_community_graph(4, 30, 2, 0.2, 7);
+        assert_eq!(g.num_nodes(), 120);
+        assert_eq!(comm.iter().filter(|&&c| c == 0).count(), 30);
+        let inter = g
+            .edges()
+            .filter(|&(u, v)| comm[u] != comm[v])
+            .count();
+        assert!(inter > 0, "expected at least one inter-community bridge");
+    }
+
+    #[test]
+    fn ensure_connected_connects() {
+        let mut g = Graph::with_nodes(6);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(4, 5);
+        assert!(!is_connected(&g));
+        let added = ensure_connected(&mut g, 3);
+        assert_eq!(added, 2);
+        assert!(is_connected(&g));
+        assert_eq!(ensure_connected(&mut g, 3), 0);
+    }
+}

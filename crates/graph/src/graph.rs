@@ -1,0 +1,407 @@
+//! Attributed undirected graphs.
+//!
+//! [`Graph`] is the central data structure of the workspace: a connected (or
+//! not) undirected graph whose nodes carry a feature vector and an optional
+//! class label. Adjacency is stored as per-node ordered sets so that all
+//! iteration orders are deterministic, which the paper requires of the whole
+//! pipeline ("fixed and deterministic GNN").
+
+use crate::edge::{norm_edge, Edge};
+use rcw_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Node identifier. Nodes are always densely numbered `0..n`.
+pub type NodeId = usize;
+
+/// An attributed undirected graph.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<BTreeSet<NodeId>>,
+    features: Vec<Vec<f64>>,
+    labels: Vec<Option<usize>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with `n` nodes, no edges, and empty feature vectors.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adjacency: vec![BTreeSet::new(); n],
+            features: vec![Vec::new(); n],
+            labels: vec![None; n],
+            num_edges: 0,
+        }
+    }
+
+    /// Adds a node with the given features, returning its id.
+    pub fn add_node(&mut self, features: Vec<f64>) -> NodeId {
+        self.adjacency.push(BTreeSet::new());
+        self.features.push(features);
+        self.labels.push(None);
+        self.adjacency.len() - 1
+    }
+
+    /// Adds a node with features and a label, returning its id.
+    pub fn add_labeled_node(&mut self, features: Vec<f64>, label: usize) -> NodeId {
+        let id = self.add_node(features);
+        self.labels[id] = Some(label);
+        id
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Total size `|V| + |E|` as used by the paper's normalized GED.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.num_nodes() + self.num_edges()
+    }
+
+    /// Returns `true` if the node id is valid.
+    #[inline]
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        v < self.adjacency.len()
+    }
+
+    /// Inserts the undirected edge `(u, v)`. Self-loops are rejected.
+    /// Returns `true` if the edge was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a valid node.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(self.contains_node(u), "add_edge: node {u} does not exist");
+        assert!(self.contains_node(v), "add_edge: node {v} does not exist");
+        if u == v {
+            return false;
+        }
+        let inserted = self.adjacency[u].insert(v);
+        if inserted {
+            self.adjacency[v].insert(u);
+            self.num_edges += 1;
+        }
+        inserted
+    }
+
+    /// Removes the undirected edge `(u, v)`. Returns `true` if it existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if !self.contains_node(u) || !self.contains_node(v) {
+            return false;
+        }
+        let removed = self.adjacency[u].remove(&v);
+        if removed {
+            self.adjacency[v].remove(&u);
+            self.num_edges -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.contains_node(u) && self.adjacency[u].contains(&v)
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Maximum node degree (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+
+    /// Average degree `2|E| / |V|` (0.0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Ordered iterator over the neighbors of `v`.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency[v].iter().copied()
+    }
+
+    /// Collects the neighbors of `v` into a vector.
+    pub fn neighbors_vec(&self, v: NodeId) -> Vec<NodeId> {
+        self.adjacency[v].iter().copied().collect()
+    }
+
+    /// Iterator over all undirected edges, each reported once with `u < v`,
+    /// in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| (u, v))
+        })
+    }
+
+    /// Collects all edges into a vector.
+    pub fn edge_vec(&self) -> Vec<Edge> {
+        self.edges().collect()
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes()
+    }
+
+    /// Feature vector of node `v`.
+    #[inline]
+    pub fn features(&self, v: NodeId) -> &[f64] {
+        &self.features[v]
+    }
+
+    /// Sets the feature vector of node `v`.
+    pub fn set_features(&mut self, v: NodeId, features: Vec<f64>) {
+        self.features[v] = features;
+    }
+
+    /// Label of node `v` (if assigned).
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Option<usize> {
+        self.labels[v]
+    }
+
+    /// Sets the label of node `v`.
+    pub fn set_label(&mut self, v: NodeId, label: usize) {
+        self.labels[v] = Some(label);
+    }
+
+    /// Clears the label of node `v`.
+    pub fn clear_label(&mut self, v: NodeId) {
+        self.labels[v] = None;
+    }
+
+    /// Number of features per node, taken from node 0 (0 if empty graph).
+    pub fn feature_dim(&self) -> usize {
+        self.features.first().map(|f| f.len()).unwrap_or(0)
+    }
+
+    /// Number of distinct labels present (max label + 1), or 0 if unlabeled.
+    pub fn num_classes(&self) -> usize {
+        self.labels
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0)
+    }
+
+    /// Node feature matrix `X` of shape `|V| x F`.
+    ///
+    /// Nodes whose feature vector is shorter than the maximum dimension are
+    /// zero-padded, so graphs built incrementally stay usable.
+    pub fn feature_matrix(&self) -> Matrix {
+        let n = self.num_nodes();
+        let f = self
+            .features
+            .iter()
+            .map(|x| x.len())
+            .max()
+            .unwrap_or(0);
+        let mut m = Matrix::zeros(n, f);
+        for (i, feats) in self.features.iter().enumerate() {
+            for (j, &x) in feats.iter().enumerate() {
+                m.set(i, j, x);
+            }
+        }
+        m
+    }
+
+    /// Dense adjacency matrix `A` of shape `|V| x |V|`.
+    pub fn adjacency_matrix(&self) -> Matrix {
+        let n = self.num_nodes();
+        let mut a = Matrix::zeros(n, n);
+        for (u, v) in self.edges() {
+            a.set(u, v, 1.0);
+            a.set(v, u, 1.0);
+        }
+        a
+    }
+
+    /// Degree vector (one entry per node).
+    pub fn degree_vector(&self) -> Vec<f64> {
+        self.adjacency.iter().map(|s| s.len() as f64).collect()
+    }
+
+    /// Labels of all nodes as a vector.
+    pub fn labels_vec(&self) -> Vec<Option<usize>> {
+        self.labels.clone()
+    }
+
+    /// Nodes carrying a specific label.
+    pub fn nodes_with_label(&self, label: usize) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| (*l == Some(label)).then_some(i))
+            .collect()
+    }
+
+    /// All node pairs `(u, v)` with `u < v` that are *not* edges (candidate
+    /// insertions for disturbances).
+    pub fn non_edges(&self) -> Vec<Edge> {
+        let n = self.num_nodes();
+        let mut out = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !self.has_edge(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies a set of edge flips, returning a new graph. An existing edge in
+    /// the flip set is removed; a missing one is inserted.
+    pub fn flip_edges(&self, flips: &[Edge]) -> Graph {
+        let mut g = self.clone();
+        for &(u, v) in flips {
+            let (u, v) = norm_edge(u, v);
+            if g.has_edge(u, v) {
+                g.remove_edge(u, v);
+            } else if u != v && g.contains_node(u) && g.contains_node(v) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = Graph::with_nodes(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "duplicate edge must not double count");
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(1, 0));
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let mut g = Graph::with_nodes(2);
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn degrees_and_size() {
+        let g = triangle();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.avg_degree(), 2.0);
+        assert_eq!(g.size(), 6);
+    }
+
+    #[test]
+    fn edges_are_sorted_and_unique() {
+        let g = triangle();
+        assert_eq!(g.edge_vec(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn labels_and_features() {
+        let mut g = Graph::new();
+        let a = g.add_labeled_node(vec![1.0, 0.0], 1);
+        let b = g.add_node(vec![0.0, 1.0]);
+        g.set_label(b, 0);
+        assert_eq!(g.label(a), Some(1));
+        assert_eq!(g.label(b), Some(0));
+        assert_eq!(g.num_classes(), 2);
+        assert_eq!(g.feature_dim(), 2);
+        assert_eq!(g.nodes_with_label(1), vec![a]);
+        g.clear_label(b);
+        assert_eq!(g.label(b), None);
+    }
+
+    #[test]
+    fn feature_matrix_pads_ragged_rows() {
+        let mut g = Graph::new();
+        g.add_node(vec![1.0, 2.0, 3.0]);
+        g.add_node(vec![4.0]);
+        let x = g.feature_matrix();
+        assert_eq!(x.shape(), (2, 3));
+        assert_eq!(x.row(1), &[4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn adjacency_matrix_is_symmetric() {
+        let g = triangle();
+        let a = g.adjacency_matrix();
+        for u in 0..3 {
+            for v in 0..3 {
+                assert_eq!(a.get(u, v), a.get(v, u));
+                assert_eq!(a.get(u, v) == 1.0, g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn non_edges_complement_edges() {
+        let g = triangle();
+        assert!(g.non_edges().is_empty());
+        let mut g2 = Graph::with_nodes(3);
+        g2.add_edge(0, 1);
+        assert_eq!(g2.non_edges(), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn flip_edges_inserts_and_removes() {
+        let g = triangle();
+        let flipped = g.flip_edges(&[(0, 1)]);
+        assert!(!flipped.has_edge(0, 1));
+        assert_eq!(flipped.num_edges(), 2);
+        let mut g2 = Graph::with_nodes(3);
+        g2.add_edge(0, 1);
+        let f2 = g2.flip_edges(&[(1, 2), (0, 1)]);
+        assert!(f2.has_edge(1, 2));
+        assert!(!f2.has_edge(0, 1));
+        // original untouched
+        assert!(g2.has_edge(0, 1));
+    }
+
+    #[test]
+    fn flip_edges_ignores_invalid_pairs() {
+        let g = triangle();
+        let f = g.flip_edges(&[(0, 0), (0, 99)]);
+        assert_eq!(f.num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,122 @@
+//! # rcw-graph
+//!
+//! Graph substrate for the RoboGExp reproduction: attributed undirected
+//! graphs, witness subgraphs, edge-masked views, k-disturbances, CSR
+//! snapshots, adjacency bitmaps, graph edit distance, traversal, random
+//! generators, and edge-cut partitioning.
+//!
+//! Everything in this crate is deterministic: adjacency is kept in ordered
+//! sets, generators take explicit seeds, and iteration orders never depend on
+//! hashing. The paper's guarantees (fixed, deterministic GNN `M`; reproducible
+//! witnesses) rest on this.
+
+pub mod bitmap;
+pub mod csr;
+pub mod disturbance;
+pub mod edge;
+pub mod ged;
+pub mod io;
+pub mod generators;
+pub mod graph;
+pub mod partition;
+pub mod subgraph;
+pub mod traversal;
+pub mod view;
+
+pub use bitmap::{AdjacencyBitmap, Bitmap, VerifiedPairBitmap};
+pub use csr::Csr;
+pub use disturbance::{Disturbance, DisturbanceStrategy};
+pub use edge::{norm_edge, Edge, EdgeSet};
+pub use ged::{edge_jaccard, ged, normalized_ged};
+pub use graph::{Graph, NodeId};
+pub use partition::{edge_cut_partition, Fragment, Partition};
+pub use subgraph::EdgeSubgraph;
+pub use view::GraphView;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a random small graph plus two random edge subsets of it.
+    fn graph_and_subsets() -> impl Strategy<Value = (Graph, Vec<Edge>, Vec<Edge>)> {
+        (4usize..12, any::<u64>()).prop_flat_map(|(n, seed)| {
+            let g = generators::erdos_renyi(n, 0.4, seed);
+            let edges = g.edge_vec();
+            let len = edges.len();
+            (
+                Just(g),
+                proptest::collection::vec(0..len.max(1), 0..=len.min(6)),
+                proptest::collection::vec(0..len.max(1), 0..=len.min(6)),
+            )
+                .prop_map(move |(g, ia, ib)| {
+                    let pick = |idx: &Vec<usize>| -> Vec<Edge> {
+                        idx.iter()
+                            .filter_map(|&i| edges.get(i).copied())
+                            .collect()
+                    };
+                    let a = pick(&ia);
+                    let b = pick(&ib);
+                    (g, a, b)
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Flipping the same pair set twice restores the original graph.
+        #[test]
+        fn flip_is_involutive((g, ea, _eb) in graph_and_subsets()) {
+            let once = g.flip_edges(&ea);
+            let twice = once.flip_edges(&ea);
+            prop_assert_eq!(twice.edge_vec(), g.edge_vec());
+        }
+
+        /// Normalized GED is symmetric, zero on identical inputs, and bounded by 2.
+        #[test]
+        fn normalized_ged_properties((_g, ea, eb) in graph_and_subsets()) {
+            let a = EdgeSubgraph::from_edges(ea);
+            let b = EdgeSubgraph::from_edges(eb);
+            let dab = normalized_ged(&a, &b);
+            let dba = normalized_ged(&b, &a);
+            prop_assert!((dab - dba).abs() < 1e-12);
+            prop_assert!(dab >= 0.0 && dab <= 2.0);
+            prop_assert_eq!(normalized_ged(&a, &a), 0.0);
+        }
+
+        /// A view restricted to a witness shows exactly the witness edges that
+        /// exist in the host graph.
+        #[test]
+        fn restricted_view_edge_count((g, ea, _eb) in graph_and_subsets()) {
+            let set = EdgeSet::from_iter(ea.iter().copied());
+            let view = GraphView::restricted_to(&g, &set);
+            let expected = set.iter().filter(|&(u, v)| g.has_edge(u, v)).count();
+            prop_assert_eq!(view.num_edges(), expected);
+        }
+
+        /// CSR snapshots agree with the view they were built from.
+        #[test]
+        fn csr_agrees_with_view((g, ea, _eb) in graph_and_subsets()) {
+            let set = EdgeSet::from_iter(ea.iter().copied());
+            let view = GraphView::without(&g, &set);
+            let csr = Csr::from_view(&view);
+            for u in 0..g.num_nodes() {
+                prop_assert_eq!(csr.neighbors(u).to_vec(), view.neighbors(u));
+            }
+        }
+
+        /// Every node is owned by exactly one fragment, for any partition arity.
+        #[test]
+        fn partition_owns_every_node_once((g, _ea, _eb) in graph_and_subsets(), parts in 1usize..5) {
+            let p = edge_cut_partition(&g, parts, 1);
+            let mut count = vec![0usize; g.num_nodes()];
+            for f in &p.fragments {
+                for &v in &f.owned {
+                    count[v] += 1;
+                }
+            }
+            prop_assert!(count.iter().all(|&c| c == 1));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Edge-cut graph partitioning with k-hop border replication.
+//!
+//! `paraRoboGExp` (§VI) fragments `G` into `n` partitions through an edge-cut
+//! partition; every worker owns one fragment, and for each border node the
+//! k-hop neighborhood is duplicated into the fragment so that local inference
+//! needs no communication. This module provides that "inference preserving
+//! partition".
+
+use crate::edge::Edge;
+use crate::graph::{Graph, NodeId};
+use crate::traversal::k_hop_neighborhood;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, VecDeque};
+
+/// One fragment of an edge-cut partition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fragment {
+    /// Fragment index.
+    pub id: usize,
+    /// Nodes owned by this fragment (each node is owned by exactly one fragment).
+    pub owned: BTreeSet<NodeId>,
+    /// Owned nodes plus replicated k-hop neighborhoods of border nodes.
+    pub nodes: BTreeSet<NodeId>,
+    /// Edges with both endpoints inside `nodes` (global node ids).
+    pub edges: Vec<Edge>,
+}
+
+impl Fragment {
+    /// Whether this fragment owns `v`.
+    pub fn owns(&self, v: NodeId) -> bool {
+        self.owned.contains(&v)
+    }
+
+    /// Whether `v` is visible to this fragment (owned or replicated).
+    pub fn covers(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// Candidate node pairs local to this fragment: all pairs of visible
+    /// nodes where at least one endpoint is owned. These are the pairs whose
+    /// disturbance the worker is responsible for exploring.
+    pub fn candidate_pairs(&self) -> Vec<Edge> {
+        let nodes: Vec<NodeId> = self.nodes.iter().copied().collect();
+        let mut out = Vec::new();
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in nodes.iter().skip(i + 1) {
+                if self.owns(u) || self.owns(v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An edge-cut partition of a graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Partition {
+    /// Owner fragment of every node.
+    pub owner: Vec<usize>,
+    /// The fragments.
+    pub fragments: Vec<Fragment>,
+}
+
+impl Partition {
+    /// Number of fragments.
+    pub fn num_fragments(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Number of cut edges (endpoints owned by different fragments).
+    pub fn cut_size(&self, graph: &Graph) -> usize {
+        graph
+            .edges()
+            .filter(|&(u, v)| self.owner[u] != self.owner[v])
+            .count()
+    }
+
+    /// Replication factor: total visible nodes across fragments divided by |V|.
+    pub fn replication_factor(&self, graph: &Graph) -> f64 {
+        if graph.num_nodes() == 0 {
+            return 1.0;
+        }
+        let total: usize = self.fragments.iter().map(|f| f.nodes.len()).sum();
+        total as f64 / graph.num_nodes() as f64
+    }
+}
+
+/// Builds an edge-cut partition into `num_parts` fragments using balanced BFS
+/// growth, then replicates the `hops`-hop neighborhood of every border node
+/// into each fragment that owns one of its neighbors.
+///
+/// # Panics
+/// Panics if `num_parts == 0`.
+pub fn edge_cut_partition(graph: &Graph, num_parts: usize, hops: usize) -> Partition {
+    assert!(num_parts > 0, "edge_cut_partition: num_parts must be > 0");
+    let n = graph.num_nodes();
+    let parts = num_parts.min(n.max(1));
+    let mut owner = vec![usize::MAX; n];
+
+    // Balanced multi-source BFS: seed one queue per part with evenly spaced
+    // nodes, then grow the smallest part first.
+    let mut queues: Vec<VecDeque<NodeId>> = vec![VecDeque::new(); parts];
+    let mut sizes = vec![0usize; parts];
+    if n > 0 {
+        for p in 0..parts {
+            let seed = p * n / parts;
+            queues[p].push_back(seed);
+        }
+        let mut assigned = 0;
+        let mut next_unassigned = 0;
+        while assigned < n {
+            // pick the smallest part that still has frontier work
+            let mut made_progress = false;
+            let order: Vec<usize> = {
+                let mut idx: Vec<usize> = (0..parts).collect();
+                idx.sort_by_key(|&p| sizes[p]);
+                idx
+            };
+            for p in order {
+                while let Some(u) = queues[p].pop_front() {
+                    if owner[u] != usize::MAX {
+                        continue;
+                    }
+                    owner[u] = p;
+                    sizes[p] += 1;
+                    assigned += 1;
+                    for v in graph.neighbors(u) {
+                        if owner[v] == usize::MAX {
+                            queues[p].push_back(v);
+                        }
+                    }
+                    made_progress = true;
+                    break;
+                }
+                if made_progress {
+                    break;
+                }
+            }
+            if !made_progress {
+                // disconnected remainder: seed the smallest part with the next
+                // unassigned node
+                while next_unassigned < n && owner[next_unassigned] != usize::MAX {
+                    next_unassigned += 1;
+                }
+                if next_unassigned >= n {
+                    break;
+                }
+                let smallest = (0..parts).min_by_key(|&p| sizes[p]).unwrap_or(0);
+                queues[smallest].push_back(next_unassigned);
+            }
+        }
+    }
+
+    // Build fragments: owned sets, then replicate border k-hop neighborhoods.
+    let mut fragments: Vec<Fragment> = (0..parts)
+        .map(|id| Fragment {
+            id,
+            owned: BTreeSet::new(),
+            nodes: BTreeSet::new(),
+            edges: Vec::new(),
+        })
+        .collect();
+    for (v, &p) in owner.iter().enumerate() {
+        if p != usize::MAX {
+            fragments[p].owned.insert(v);
+            fragments[p].nodes.insert(v);
+        }
+    }
+    // border nodes: endpoints of cut edges
+    for (u, v) in graph.edges() {
+        let (pu, pv) = (owner[u], owner[v]);
+        if pu != pv {
+            // replicate the k-hop neighborhood of each endpoint into the other's fragment
+            for &(node, part) in &[(u, pv), (v, pu)] {
+                let hood = k_hop_neighborhood(graph, node, hops);
+                fragments[part].nodes.extend(hood);
+            }
+        }
+    }
+    // fragment edge lists
+    for frag in &mut fragments {
+        frag.edges = graph
+            .edges()
+            .filter(|&(u, v)| frag.nodes.contains(&u) && frag.nodes.contains(&v))
+            .collect();
+    }
+
+    Partition { owner, fragments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::barabasi_albert;
+
+    #[test]
+    fn every_node_owned_exactly_once() {
+        let g = barabasi_albert(80, 2, 4);
+        let p = edge_cut_partition(&g, 4, 1);
+        assert_eq!(p.num_fragments(), 4);
+        let mut seen = vec![0; g.num_nodes()];
+        for f in &p.fragments {
+            for &v in &f.owned {
+                seen[v] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each node owned exactly once");
+    }
+
+    #[test]
+    fn fragments_are_reasonably_balanced() {
+        let g = barabasi_albert(100, 2, 1);
+        let p = edge_cut_partition(&g, 4, 1);
+        for f in &p.fragments {
+            assert!(f.owned.len() >= 10, "fragment {} too small: {}", f.id, f.owned.len());
+            assert!(f.owned.len() <= 60, "fragment {} too large: {}", f.id, f.owned.len());
+        }
+    }
+
+    #[test]
+    fn border_replication_covers_cut_neighbors() {
+        let g = barabasi_albert(60, 2, 2);
+        let p = edge_cut_partition(&g, 3, 1);
+        for (u, v) in g.edges() {
+            let (pu, pv) = (p.owner[u], p.owner[v]);
+            if pu != pv {
+                assert!(p.fragments[pu].covers(v), "{v} replicated into {pu}");
+                assert!(p.fragments[pv].covers(u), "{u} replicated into {pv}");
+            }
+        }
+        assert!(p.replication_factor(&g) >= 1.0);
+        assert!(p.cut_size(&g) > 0);
+    }
+
+    #[test]
+    fn single_partition_is_whole_graph() {
+        let g = barabasi_albert(30, 2, 5);
+        let p = edge_cut_partition(&g, 1, 2);
+        assert_eq!(p.fragments[0].owned.len(), 30);
+        assert_eq!(p.cut_size(&g), 0);
+        assert_eq!(p.fragments[0].edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn more_parts_than_nodes_is_clamped() {
+        let g = barabasi_albert(5, 1, 0);
+        let p = edge_cut_partition(&g, 16, 1);
+        assert_eq!(p.num_fragments(), 5);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let mut g = Graph::with_nodes(10);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        // nodes 4..10 isolated
+        let p = edge_cut_partition(&g, 3, 1);
+        let owned: usize = p.fragments.iter().map(|f| f.owned.len()).sum();
+        assert_eq!(owned, 10);
+    }
+
+    #[test]
+    fn candidate_pairs_touch_owned_nodes() {
+        let g = barabasi_albert(20, 2, 8);
+        let p = edge_cut_partition(&g, 2, 1);
+        for f in &p.fragments {
+            for (u, v) in f.candidate_pairs() {
+                assert!(f.owns(u) || f.owns(v));
+                assert!(f.covers(u) && f.covers(v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_parts")]
+    fn zero_parts_rejected() {
+        let g = barabasi_albert(10, 1, 0);
+        edge_cut_partition(&g, 0, 1);
+    }
+}

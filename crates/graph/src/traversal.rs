@@ -1,0 +1,188 @@
+//! Graph traversal utilities: BFS, connected components, k-hop neighborhoods.
+//!
+//! Used by the edge-cut partitioner (k-hop border replication), the witness
+//! generators (localized candidate search), and the dataset generators
+//! (connectivity checks).
+
+use crate::graph::{Graph, NodeId};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Breadth-first search from `source`; returns the hop distance of every
+/// reachable node (unreachable nodes get `None`).
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; graph.num_nodes()];
+    if !graph.contains_node(source) {
+        return dist;
+    }
+    dist[source] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].unwrap();
+        for v in graph.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// All nodes within `k` hops of `source` (including `source` itself).
+pub fn k_hop_neighborhood(graph: &Graph, source: NodeId, k: usize) -> BTreeSet<NodeId> {
+    let mut out = BTreeSet::new();
+    if !graph.contains_node(source) {
+        return out;
+    }
+    out.insert(source);
+    let mut frontier = vec![source];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for v in graph.neighbors(u) {
+                if out.insert(v) {
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// All nodes within `k` hops of *any* of the given sources.
+pub fn k_hop_neighborhood_multi(
+    graph: &Graph,
+    sources: &[NodeId],
+    k: usize,
+) -> BTreeSet<NodeId> {
+    let mut out = BTreeSet::new();
+    for &s in sources {
+        out.extend(k_hop_neighborhood(graph, s, k));
+    }
+    out
+}
+
+/// Connected components; returns a component id per node (ids are dense,
+/// ordered by the smallest node id in the component).
+pub fn connected_components(graph: &Graph) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for v in graph.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of connected components.
+pub fn num_components(graph: &Graph) -> usize {
+    connected_components(graph)
+        .into_iter()
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0)
+}
+
+/// Whether the graph is connected (an empty graph counts as connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    num_components(graph) <= 1
+}
+
+/// Shortest-path length (in hops) between two nodes, if any.
+pub fn shortest_path_len(graph: &Graph, from: NodeId, to: NodeId) -> Option<usize> {
+    if !graph.contains_node(from) || !graph.contains_node(to) {
+        return None;
+    }
+    bfs_distances(graph, from)[to]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        let mut g = Graph::with_nodes(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let g = two_triangles();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[3], None);
+        assert_eq!(d[2], Some(1));
+    }
+
+    #[test]
+    fn k_hop_neighborhoods() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        assert_eq!(
+            k_hop_neighborhood(&g, 0, 2).into_iter().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(k_hop_neighborhood(&g, 0, 0).len(), 1);
+        let multi = k_hop_neighborhood_multi(&g, &[0, 4], 1);
+        assert_eq!(multi.into_iter().collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn components() {
+        let g = two_triangles();
+        let comp = connected_components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(num_components(&g), 2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::new();
+        assert!(is_connected(&g));
+        assert_eq!(num_components(&g), 0);
+    }
+
+    #[test]
+    fn shortest_paths() {
+        let g = two_triangles();
+        assert_eq!(shortest_path_len(&g, 0, 2), Some(1));
+        assert_eq!(shortest_path_len(&g, 0, 5), None);
+        assert_eq!(shortest_path_len(&g, 0, 0), Some(0));
+        assert_eq!(shortest_path_len(&g, 0, 100), None);
+    }
+}

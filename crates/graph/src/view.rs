@@ -1,0 +1,306 @@
+//! Edge-masked views of a graph.
+//!
+//! Every algorithm in the paper repeatedly evaluates the GNN on *derived*
+//! graphs without materializing them: `M(v, Gs)` (only the witness edges),
+//! `M(v, G \ Gs)` (the graph with witness edges removed), and `M(v, G~)` where
+//! `G~` is obtained by flipping up to `k` node pairs. [`GraphView`] provides a
+//! cheap, composable overlay over a host [`Graph`] that answers adjacency
+//! queries under these modifications without copying the graph.
+
+use crate::edge::{norm_edge, Edge, EdgeSet};
+use crate::graph::{Graph, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A lightweight overlay over a host graph: a restriction to an edge subset
+/// plus per-edge presence overrides (forced-present / forced-absent).
+#[derive(Clone, Debug)]
+pub struct GraphView<'g> {
+    graph: &'g Graph,
+    /// If set, only edges in this adjacency are visible from the base graph.
+    only_adj: Option<Vec<BTreeSet<NodeId>>>,
+    /// Forced edge states: `true` = present, `false` = absent. Overrides win
+    /// over both the base graph and the restriction.
+    overrides: BTreeMap<Edge, bool>,
+}
+
+impl<'g> GraphView<'g> {
+    /// A view showing the host graph unchanged.
+    pub fn full(graph: &'g Graph) -> Self {
+        GraphView {
+            graph,
+            only_adj: None,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// A view showing only the edges of `edges` (the `M(v, Gs)` evaluation).
+    /// Nodes keep their identity; edges outside the set disappear.
+    pub fn restricted_to(graph: &'g Graph, edges: &EdgeSet) -> Self {
+        let mut adj = vec![BTreeSet::new(); graph.num_nodes()];
+        for (u, v) in edges.iter() {
+            if graph.has_edge(u, v) {
+                adj[u].insert(v);
+                adj[v].insert(u);
+            }
+        }
+        GraphView {
+            graph,
+            only_adj: Some(adj),
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// A view of the host graph with the given edges removed
+    /// (the `M(v, G \ Gs)` evaluation).
+    pub fn without(graph: &'g Graph, edges: &EdgeSet) -> Self {
+        let mut v = GraphView::full(graph);
+        v.remove_edges(edges);
+        v
+    }
+
+    /// The underlying host graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Number of nodes (views never change the node set).
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Force-removes a set of edges from the view.
+    pub fn remove_edges(&mut self, edges: &EdgeSet) {
+        for (u, v) in edges.iter() {
+            self.overrides.insert(norm_edge(u, v), false);
+        }
+    }
+
+    /// Force-adds a set of node pairs to the view.
+    pub fn add_edges(&mut self, edges: &EdgeSet) {
+        for (u, v) in edges.iter() {
+            if u != v && self.graph.contains_node(u) && self.graph.contains_node(v) {
+                self.overrides.insert(norm_edge(u, v), true);
+            }
+        }
+    }
+
+    /// Flips each node pair relative to the view's *current* state: a visible
+    /// edge becomes absent and vice versa. This is the paper's k-disturbance.
+    pub fn flip_edges(&mut self, pairs: &EdgeSet) {
+        for (u, v) in pairs.iter() {
+            if u == v || !self.graph.contains_node(u) || !self.graph.contains_node(v) {
+                continue;
+            }
+            let current = self.has_edge(u, v);
+            self.overrides.insert(norm_edge(u, v), !current);
+        }
+    }
+
+    /// Returns a copy of this view with the node pairs flipped.
+    pub fn flipped(&self, pairs: &EdgeSet) -> GraphView<'g> {
+        let mut v = self.clone();
+        v.flip_edges(pairs);
+        v
+    }
+
+    /// Whether the edge `(u, v)` is visible in this view.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v || !self.graph.contains_node(u) || !self.graph.contains_node(v) {
+            return false;
+        }
+        if let Some(&forced) = self.overrides.get(&norm_edge(u, v)) {
+            return forced;
+        }
+        match &self.only_adj {
+            Some(adj) => adj[u].contains(&v),
+            None => self.graph.has_edge(u, v),
+        }
+    }
+
+    /// Visible neighbors of `u`, in ascending order.
+    pub fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out = BTreeSet::new();
+        match &self.only_adj {
+            Some(adj) => out.extend(adj[u].iter().copied()),
+            None => out.extend(self.graph.neighbors(u)),
+        }
+        // apply overrides touching u
+        for (&(a, b), &present) in &self.overrides {
+            let other = if a == u {
+                b
+            } else if b == u {
+                a
+            } else {
+                continue;
+            };
+            if present {
+                out.insert(other);
+            } else {
+                out.remove(&other);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Visible degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Number of visible edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges().len()
+    }
+
+    /// All visible edges (`u < v`, sorted).
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut set: BTreeSet<Edge> = BTreeSet::new();
+        match &self.only_adj {
+            Some(adj) => {
+                for (u, nbrs) in adj.iter().enumerate() {
+                    for &v in nbrs {
+                        if u < v {
+                            set.insert((u, v));
+                        }
+                    }
+                }
+            }
+            None => {
+                set.extend(self.graph.edges());
+            }
+        }
+        for (&e, &present) in &self.overrides {
+            if present {
+                set.insert(e);
+            } else {
+                set.remove(&e);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Materializes the view as a standalone [`Graph`], copying features and
+    /// labels from the host.
+    pub fn materialize(&self) -> Graph {
+        let mut g = Graph::with_nodes(self.graph.num_nodes());
+        for v in self.graph.node_ids() {
+            g.set_features(v, self.graph.features(v).to_vec());
+            if let Some(l) = self.graph.label(v) {
+                g.set_label(v, l);
+            }
+        }
+        for (u, v) in self.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Returns the overrides currently applied (useful for debugging and for
+    /// the parallel algorithm's bitmap bookkeeping).
+    pub fn overrides(&self) -> &BTreeMap<Edge, bool> {
+        &self.overrides
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn full_view_mirrors_graph() {
+        let g = path4();
+        let v = GraphView::full(&g);
+        assert_eq!(v.num_nodes(), 4);
+        assert_eq!(v.num_edges(), 3);
+        assert_eq!(v.neighbors(1), vec![0, 2]);
+        assert!(v.has_edge(2, 3));
+        assert!(!v.has_edge(0, 3));
+    }
+
+    #[test]
+    fn restricted_view_only_shows_witness_edges() {
+        let g = path4();
+        let gs = EdgeSet::from_iter([(1, 2)]);
+        let v = GraphView::restricted_to(&g, &gs);
+        assert!(v.has_edge(1, 2));
+        assert!(!v.has_edge(0, 1));
+        assert_eq!(v.neighbors(1), vec![2]);
+        assert_eq!(v.num_edges(), 1);
+    }
+
+    #[test]
+    fn restricted_view_ignores_edges_missing_from_host() {
+        let g = path4();
+        let gs = EdgeSet::from_iter([(0, 3)]); // not an edge of g
+        let v = GraphView::restricted_to(&g, &gs);
+        assert_eq!(v.num_edges(), 0);
+    }
+
+    #[test]
+    fn without_view_removes_edges() {
+        let g = path4();
+        let gs = EdgeSet::from_iter([(1, 2)]);
+        let v = GraphView::without(&g, &gs);
+        assert!(!v.has_edge(1, 2));
+        assert!(v.has_edge(0, 1));
+        assert_eq!(v.num_edges(), 2);
+        assert_eq!(v.neighbors(2), vec![3]);
+    }
+
+    #[test]
+    fn flip_inserts_and_removes() {
+        let g = path4();
+        let mut v = GraphView::full(&g);
+        v.flip_edges(&EdgeSet::from_iter([(0, 3), (0, 1)]));
+        assert!(v.has_edge(0, 3), "missing pair becomes an edge");
+        assert!(!v.has_edge(0, 1), "existing edge is removed");
+        assert_eq!(v.num_edges(), 3);
+        // flipping again restores the original state
+        v.flip_edges(&EdgeSet::from_iter([(0, 3), (0, 1)]));
+        assert!(!v.has_edge(0, 3));
+        assert!(v.has_edge(0, 1));
+    }
+
+    #[test]
+    fn flip_composes_with_removal() {
+        let g = path4();
+        let gs = EdgeSet::from_iter([(0, 1)]);
+        let mut v = GraphView::without(&g, &gs);
+        // Disturb the remainder: remove (1,2) and insert (1,3).
+        v.flip_edges(&EdgeSet::from_iter([(1, 2), (1, 3)]));
+        assert!(!v.has_edge(0, 1));
+        assert!(!v.has_edge(1, 2));
+        assert!(v.has_edge(1, 3));
+        assert_eq!(v.edges(), vec![(1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn materialize_round_trips_edges() {
+        let mut g = path4();
+        g.set_label(0, 2);
+        let gs = EdgeSet::from_iter([(2, 3)]);
+        let v = GraphView::without(&g, &gs);
+        let m = v.materialize();
+        assert_eq!(m.num_edges(), 2);
+        assert!(!m.has_edge(2, 3));
+        assert_eq!(m.label(0), Some(2));
+    }
+
+    #[test]
+    fn invalid_pairs_are_ignored() {
+        let g = path4();
+        let mut v = GraphView::full(&g);
+        v.flip_edges(&EdgeSet::from_iter([(0, 99)]));
+        v.add_edges(&EdgeSet::from_iter([(1, 77)]));
+        assert_eq!(v.num_edges(), 3);
+        assert!(!v.has_edge(0, 99));
+    }
+}

@@ -1,0 +1,134 @@
+//! Elementwise non-linearities and their derivatives.
+//!
+//! Used by the GNN substrate's forward and backward passes. Only the
+//! activations actually needed by the reproduced models are provided.
+
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Supported activation functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (no non-linearity); used for output layers producing logits.
+    Identity,
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Leaky ReLU with slope 0.2 on the negative side (GAT's attention uses this).
+    LeakyRelu,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.2 * x
+                }
+            }
+        }
+    }
+
+    /// Derivative of the activation with respect to its input, evaluated at `x`.
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = Activation::Sigmoid.apply(x);
+                s * (1.0 - s)
+            }
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.2
+                }
+            }
+        }
+    }
+
+    /// Applies the activation elementwise to a matrix, returning a new matrix.
+    pub fn apply_matrix(self, m: &Matrix) -> Matrix {
+        m.map(|x| self.apply(x))
+    }
+
+    /// Elementwise derivative over a matrix of pre-activation values.
+    pub fn derivative_matrix(self, pre: &Matrix) -> Matrix {
+        pre.map(|x| self.derivative(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn relu_and_leaky() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert!(approx_eq(Activation::LeakyRelu.apply(-1.0), -0.2, 1e-12));
+        assert_eq!(Activation::LeakyRelu.derivative(-1.0), 0.2);
+        assert_eq!(Activation::Relu.derivative(2.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(-2.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_symmetry() {
+        let s = Activation::Sigmoid;
+        assert!(approx_eq(s.apply(0.0), 0.5, 1e-12));
+        assert!(s.apply(10.0) > 0.999);
+        assert!(s.apply(-10.0) < 0.001);
+        // derivative peaks at 0 with value 0.25
+        assert!(approx_eq(s.derivative(0.0), 0.25, 1e-12));
+    }
+
+    #[test]
+    fn tanh_derivative_matches_finite_difference() {
+        let t = Activation::Tanh;
+        let x = 0.3;
+        let h = 1e-6;
+        let fd = (t.apply(x + h) - t.apply(x - h)) / (2.0 * h);
+        assert!(approx_eq(t.derivative(x), fd, 1e-6));
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, -2.0]]);
+        assert_eq!(Activation::Identity.apply_matrix(&m), m);
+        assert_eq!(
+            Activation::Identity.derivative_matrix(&m),
+            Matrix::from_rows(&[vec![1.0, 1.0]])
+        );
+    }
+
+    #[test]
+    fn matrix_application() {
+        let m = Matrix::from_rows(&[vec![1.0, -2.0], vec![-0.5, 0.0]]);
+        let r = Activation::Relu.apply_matrix(&m);
+        assert_eq!(r, Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0]]));
+    }
+}

@@ -1,0 +1,209 @@
+//! Linear system solving and matrix inversion.
+//!
+//! Exact personalized PageRank needs `(I - alpha * D^{-1} A)^{-1}`, either as a
+//! full inverse (to obtain the PageRank matrix `Pi`) or applied to a single
+//! right-hand side (to obtain one propagation column). Graphs in the test and
+//! experiment suites are small enough for dense Gaussian elimination with
+//! partial pivoting; large graphs use the iterative solvers in `rcw-pagerank`.
+
+use crate::Matrix;
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The coefficient matrix is not square.
+    NotSquare,
+    /// The right-hand side has the wrong length / row count.
+    DimensionMismatch,
+    /// The matrix is singular (a pivot below tolerance was encountered).
+    Singular,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotSquare => write!(f, "coefficient matrix is not square"),
+            SolveError::DimensionMismatch => write!(f, "right-hand side dimension mismatch"),
+            SolveError::Singular => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+const PIVOT_TOL: f64 = 1e-12;
+
+/// Solves `A x = b` for a single right-hand side using Gaussian elimination
+/// with partial pivoting.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let rhs = Matrix::from_vec(b.len(), 1, b.to_vec());
+    let x = solve_multi(a, &rhs)?;
+    Ok(x.col(0))
+}
+
+/// Solves `A X = B` for a matrix right-hand side.
+pub fn solve_multi(a: &Matrix, b: &Matrix) -> Result<Matrix, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolveError::NotSquare);
+    }
+    if b.rows() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let m = b.cols();
+
+    // Augmented working copies.
+    let mut lhs = a.clone();
+    let mut rhs = b.clone();
+
+    for col in 0..n {
+        // Partial pivot: find the row with the largest absolute value in `col`.
+        let mut pivot_row = col;
+        let mut pivot_val = lhs.get(col, col).abs();
+        for r in (col + 1)..n {
+            let v = lhs.get(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < PIVOT_TOL {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            swap_rows(&mut lhs, col, pivot_row);
+            swap_rows(&mut rhs, col, pivot_row);
+        }
+
+        let pivot = lhs.get(col, col);
+        // Eliminate below.
+        for r in (col + 1)..n {
+            let factor = lhs.get(r, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = lhs.get(r, c) - factor * lhs.get(col, c);
+                lhs.set(r, c, v);
+            }
+            for c in 0..m {
+                let v = rhs.get(r, c) - factor * rhs.get(col, c);
+                rhs.set(r, c, v);
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = Matrix::zeros(n, m);
+    for col in (0..n).rev() {
+        for c in 0..m {
+            let mut acc = rhs.get(col, c);
+            for k in (col + 1)..n {
+                acc -= lhs.get(col, k) * x.get(k, c);
+            }
+            x.set(col, c, acc / lhs.get(col, col));
+        }
+    }
+    Ok(x)
+}
+
+/// Computes the inverse of a square matrix.
+pub fn invert(a: &Matrix) -> Result<Matrix, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolveError::NotSquare);
+    }
+    solve_multi(a, &Matrix::identity(n))
+}
+
+fn swap_rows(m: &mut Matrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let cols = m.cols();
+    for c in 0..cols {
+        let va = m.get(a, c);
+        let vb = m.get(b, c);
+        m.set(a, c, vb);
+        m.set(b, c, va);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, approx_eq_slice};
+
+    #[test]
+    fn solve_2x2() {
+        // x + 2y = 5 ; 3x + 4y = 11  =>  x=1, y=2
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = solve(&a, &[5.0, 11.0]).unwrap();
+        assert!(approx_eq_slice(&x, &[1.0, 2.0], 1e-10));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // leading zero forces a row swap
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!(approx_eq_slice(&x, &[3.0, 2.0], 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SolveError::NotSquare));
+    }
+
+    #[test]
+    fn rhs_mismatch_is_rejected() {
+        let a = Matrix::identity(3);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SolveError::DimensionMismatch));
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv);
+        let i = Matrix::identity(2);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(approx_eq(prod.get(r, c), i.get(r, c), 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_matches_columnwise_solve() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let x = solve_multi(&a, &b).unwrap();
+        let x0 = solve(&a, &[1.0, 0.0]).unwrap();
+        let x1 = solve(&a, &[0.0, 1.0]).unwrap();
+        assert!(approx_eq_slice(&x.col(0), &x0, 1e-12));
+        assert!(approx_eq_slice(&x.col(1), &x1, 1e-12));
+    }
+
+    #[test]
+    fn pagerank_style_system_is_solvable() {
+        // (I - alpha * P) with P row-stochastic is strictly diagonally dominant
+        // for alpha < 1 and must always be solvable.
+        let p = Matrix::from_rows(&[
+            vec![0.0, 0.5, 0.5],
+            vec![1.0, 0.0, 0.0],
+            vec![0.5, 0.5, 0.0],
+        ]);
+        let alpha = 0.85;
+        let a = Matrix::identity(3).sub(&p.scale(alpha));
+        let x = solve(&a, &[1.0, 0.0, 0.0]);
+        assert!(x.is_ok());
+    }
+}

@@ -1,0 +1,179 @@
+//! Aggregation of repeated experiment runs.
+//!
+//! The paper reports averages over test-node samples and repeated runs; this
+//! module provides the mean/std bookkeeping used by the harness when an
+//! experiment is repeated with different seeds, plus a compact summary type
+//! that turns a list of per-run [`ExplanationEval`]s into one table row.
+
+use crate::fidelity::ExplanationEval;
+use serde::{Deserialize, Serialize};
+
+/// Mean and population standard deviation of a sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stat {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Number of samples aggregated.
+    pub count: usize,
+}
+
+impl Stat {
+    /// Computes mean/std over a slice of samples (zeros for an empty slice).
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Stat::default();
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        Stat {
+            mean,
+            std: var.sqrt(),
+            count: samples.len(),
+        }
+    }
+
+    /// Renders as `mean ± std` with the given number of decimals.
+    pub fn display(&self, decimals: usize) -> String {
+        format!("{:.d$} ± {:.d$}", self.mean, self.std, d = decimals)
+    }
+}
+
+/// Aggregated quality metrics of one method over several runs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MethodSummary {
+    /// Method name.
+    pub method: String,
+    /// Normalized GED statistics.
+    pub normalized_ged: Stat,
+    /// Fidelity+ statistics.
+    pub fidelity_plus: Stat,
+    /// Fidelity− statistics.
+    pub fidelity_minus: Stat,
+    /// Explanation size statistics.
+    pub size: Stat,
+    /// Generation time statistics (milliseconds).
+    pub generation_ms: Stat,
+}
+
+impl MethodSummary {
+    /// Aggregates a list of per-run evaluations (all of the same method).
+    ///
+    /// # Panics
+    /// Panics if `evals` is empty or mixes methods.
+    pub fn aggregate(evals: &[ExplanationEval]) -> Self {
+        assert!(!evals.is_empty(), "MethodSummary::aggregate: empty input");
+        let method = evals[0].method.clone();
+        assert!(
+            evals.iter().all(|e| e.method == method),
+            "MethodSummary::aggregate: mixed methods"
+        );
+        let pull = |f: &dyn Fn(&ExplanationEval) -> f64| -> Vec<f64> {
+            evals.iter().map(f).collect()
+        };
+        MethodSummary {
+            method,
+            normalized_ged: Stat::of(&pull(&|e| e.normalized_ged)),
+            fidelity_plus: Stat::of(&pull(&|e| e.fidelity_plus)),
+            fidelity_minus: Stat::of(&pull(&|e| e.fidelity_minus)),
+            size: Stat::of(&pull(&|e| e.size as f64)),
+            generation_ms: Stat::of(&pull(&|e| e.generation_ms)),
+        }
+    }
+
+    /// Renders this summary as one table row
+    /// (`[method, GED, Fid+, Fid-, size, time]`).
+    pub fn as_row(&self) -> Vec<String> {
+        vec![
+            self.method.clone(),
+            self.normalized_ged.display(2),
+            self.fidelity_plus.display(2),
+            self.fidelity_minus.display(2),
+            format!("{:.0}", self.size.mean),
+            format!("{:.1}", self.generation_ms.mean),
+        ]
+    }
+}
+
+/// Groups evaluations by method name and aggregates each group, preserving
+/// first-appearance order.
+pub fn summarize_by_method(evals: &[ExplanationEval]) -> Vec<MethodSummary> {
+    let mut order: Vec<String> = Vec::new();
+    for e in evals {
+        if !order.contains(&e.method) {
+            order.push(e.method.clone());
+        }
+    }
+    order
+        .into_iter()
+        .map(|m| {
+            let group: Vec<ExplanationEval> =
+                evals.iter().filter(|e| e.method == m).cloned().collect();
+            MethodSummary::aggregate(&group)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(method: &str, ged: f64, size: usize) -> ExplanationEval {
+        ExplanationEval {
+            method: method.to_string(),
+            normalized_ged: ged,
+            fidelity_plus: 0.8,
+            fidelity_minus: 0.1,
+            size,
+            generation_ms: 5.0,
+        }
+    }
+
+    #[test]
+    fn stat_of_known_values() {
+        let s = Stat::of(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 1.0);
+        assert_eq!(s.count, 2);
+        assert_eq!(Stat::of(&[]), Stat::default());
+        assert_eq!(s.display(1), "2.0 ± 1.0");
+    }
+
+    #[test]
+    fn aggregate_combines_runs() {
+        let runs = vec![eval("RoboGExp", 0.2, 10), eval("RoboGExp", 0.4, 20)];
+        let s = MethodSummary::aggregate(&runs);
+        assert_eq!(s.method, "RoboGExp");
+        assert!((s.normalized_ged.mean - 0.3).abs() < 1e-12);
+        assert!((s.size.mean - 15.0).abs() < 1e-12);
+        assert_eq!(s.as_row().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed methods")]
+    fn aggregate_rejects_mixed_methods() {
+        MethodSummary::aggregate(&[eval("A", 0.1, 1), eval("B", 0.1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn aggregate_rejects_empty() {
+        MethodSummary::aggregate(&[]);
+    }
+
+    #[test]
+    fn summarize_by_method_preserves_order() {
+        let runs = vec![
+            eval("RoboGExp", 0.2, 10),
+            eval("CF2", 0.6, 30),
+            eval("RoboGExp", 0.3, 12),
+        ];
+        let summaries = summarize_by_method(&runs);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].method, "RoboGExp");
+        assert_eq!(summaries[0].normalized_ged.count, 2);
+        assert_eq!(summaries[1].method, "CF2");
+    }
+}

@@ -1,0 +1,59 @@
+//! Case study (paper Example 2 / Example 3): the "vulnerable zone" of a cyber
+//! provenance graph. The robust witness for the breach target contains the
+//! true attack paths (command prompt + privileged credential files) and stays
+//! unchanged no matter how the deceptive DDoS decoys are rewired.
+//!
+//! Run with: `cargo run --release --example cyber_provenance`
+
+use robogexp::datasets::provenance::{self, VULNERABLE};
+use robogexp::prelude::*;
+
+fn main() {
+    let (graph, meta) = provenance::provenance_graph(8, 40, 3);
+    println!(
+        "provenance graph: {} nodes, {} edges, {} decoy targets",
+        graph.num_nodes(),
+        graph.num_edges(),
+        meta.decoys.len()
+    );
+
+    // Train the vulnerability classifier on the labeled provenance graph.
+    let labeled: Vec<NodeId> = graph.node_ids().filter(|&v| graph.label(v).is_some()).collect();
+    let mut appnp = Appnp::new(&[graph.feature_dim(), 16, 2], 0.15, 12, 5);
+    appnp.train(&GraphView::full(&graph), &labeled, &TrainConfig::default());
+
+    let label = appnp.predict(meta.breach_sh, &GraphView::full(&graph)).unwrap();
+    println!("breach.sh classified as {} (1 = vulnerable)", label);
+
+    // Generate a k-RCW for the breach target with k = 3 (the longest deceptive path).
+    let cfg = RcwConfig::with_budgets(3, 2);
+    let result = RoboGExp::for_appnp(&appnp, cfg).generate(&graph, &[meta.breach_sh]);
+    let witness = &result.witness.subgraph;
+    println!(
+        "robust witness: {} nodes / {} edges, level {:?}",
+        witness.num_nodes(),
+        witness.num_edges(),
+        result.level
+    );
+
+    // The witness should cover the true attack path and avoid the decoys.
+    for (name, node) in [
+        ("cmd.exe", meta.cmd_exe),
+        ("/.ssh/id_rsa", meta.ssh_key),
+        ("/etc/sudoers", meta.sudoers),
+    ] {
+        println!(
+            "  contains {name}: {}",
+            witness.contains_node(node) || witness.edges().degree_of(node) > 0
+        );
+    }
+    let decoys_in_witness = meta
+        .decoys
+        .iter()
+        .filter(|&&d| witness.contains_node(d))
+        .count();
+    println!("  decoy targets inside the witness: {decoys_in_witness} / {}", meta.decoys.len());
+    if label == VULNERABLE {
+        println!("=> the files in the witness form the zone that must be protected");
+    }
+}

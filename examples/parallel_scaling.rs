@@ -1,0 +1,35 @@
+//! Demonstrates paraRoboGExp: generating witnesses for a batch of test nodes
+//! on the largest synthetic dataset with 1, 2 and 4 workers and comparing
+//! wall-clock time and the amount of synchronized bitmap state.
+//!
+//! Run with: `cargo run --release --example parallel_scaling`
+
+use robogexp::datasets::reddit;
+use robogexp::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let ds = reddit::build(Scale::Small, 3);
+    println!(
+        "Reddit-like dataset: {} nodes, {} edges",
+        ds.graph.num_nodes(),
+        ds.graph.num_edges()
+    );
+    let appnp = ds.train_appnp(24, 1);
+    let tests = ds.pick_test_nodes(6, 13);
+    println!("generating witnesses for {} test nodes", tests.len());
+
+    for workers in [1usize, 2, 4] {
+        let cfg = RcwConfig::with_budgets(4, 2);
+        let start = Instant::now();
+        let out = ParaRoboGExp::for_appnp(&appnp, cfg, workers).generate(&ds.graph, &tests);
+        println!(
+            "{workers} worker(s): {:.1} ms, {} rounds, witness {} edges (level {:?}), {} bytes synchronized",
+            start.elapsed().as_secs_f64() * 1000.0,
+            out.parallel.rounds,
+            out.result.witness.subgraph.num_edges(),
+            out.result.level,
+            out.parallel.bytes_synchronized
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end integration tests spanning every crate: datasets -> trained
+//! classifiers -> witness generation -> verification -> metrics.
+
+use robogexp::prelude::*;
+use robogexp::datasets::{bahouse, citeseer, molecules, provenance};
+
+fn quick_cfg(k: usize) -> RcwConfig {
+    RcwConfig {
+        k,
+        local_budget: 2,
+        candidate_hops: 2,
+        max_expand_rounds: 2,
+        sampled_disturbances: 4,
+        pri_rounds: 4,
+        ppr_iters: 20,
+        ..RcwConfig::with_budgets(k, 2)
+    }
+}
+
+#[test]
+fn bahouse_gcn_pipeline_produces_useful_witnesses() {
+    let ds = bahouse::build(Scale::Tiny, 1);
+    let gcn = ds.train_gcn(16, 1);
+    let tests = ds.pick_test_nodes(3, 5);
+    let result = RoboGExp::for_model(&gcn, quick_cfg(2)).generate(&ds.graph, &tests);
+    // witnesses contain the test nodes, stay inside the host graph, and
+    // achieve at least factuality for the motif-labeled nodes
+    for &t in &tests {
+        assert!(result.witness.subgraph.contains_node(t));
+    }
+    assert!(result.witness.subgraph.is_subgraph_of(&ds.graph) || result.witness.subgraph.num_edges() == 0);
+    let fm = fidelity_minus(&gcn, &ds.graph, &result.witness.subgraph, &tests);
+    assert!(fm <= 1.0);
+}
+
+#[test]
+fn citeseer_appnp_pipeline_verifies_what_it_generates() {
+    let ds = citeseer::build(Scale::Tiny, 2);
+    let appnp = ds.train_appnp(16, 2);
+    let tests = ds.pick_test_nodes(3, 7);
+    let gen = RoboGExp::for_appnp(&appnp, quick_cfg(2));
+    let result = gen.generate(&ds.graph, &tests);
+    let recheck = gen.verify(&ds.graph, &result.witness);
+    assert_eq!(recheck.level, result.level, "generation and verification must agree");
+}
+
+#[test]
+fn parallel_generation_matches_sequential_quality() {
+    let ds = citeseer::build(Scale::Tiny, 4);
+    let appnp = ds.train_appnp(16, 4);
+    let tests = ds.pick_test_nodes(3, 9);
+    let seq = RoboGExp::for_appnp(&appnp, quick_cfg(2)).generate(&ds.graph, &tests);
+    let par = ParaRoboGExp::for_appnp(&appnp, quick_cfg(2), 3).generate(&ds.graph, &tests);
+    // Both are best-effort searches; the parallel result must be a valid
+    // subgraph and reach a comparable fidelity.
+    assert!(par.result.witness.subgraph.is_subgraph_of(&ds.graph)
+        || par.result.witness.subgraph.num_edges() == 0);
+    let f_seq = fidelity_minus(&appnp, &ds.graph, &seq.witness.subgraph, &tests);
+    let f_par = fidelity_minus(&appnp, &ds.graph, &par.result.witness.subgraph, &tests);
+    assert!(f_par <= f_seq + 0.5, "parallel fidelity- {f_par} vs sequential {f_seq}");
+}
+
+#[test]
+fn molecule_family_witnesses_are_more_stable_than_baseline() {
+    let ds = molecules::build(Scale::Tiny, 1);
+    let appnp = ds.train_appnp(12, 1);
+    let family = molecules::molecule_family();
+    let cfg = quick_cfg(1);
+    let mut rcw_geds = Vec::new();
+    let mut base: Option<EdgeSubgraph> = None;
+    for molecule in &family {
+        let t = molecule.test_node();
+        let w = RoboGExp::for_appnp(&appnp, cfg.clone())
+            .generate(&molecule.graph, &[t])
+            .witness
+            .subgraph;
+        if let Some(b) = &base {
+            rcw_geds.push(normalized_ged(b, &w));
+        } else {
+            base = Some(w);
+        }
+    }
+    // the toxicophore is untouched by the variants, so the witnesses must
+    // stay close (the paper's invariance claim)
+    for g in rcw_geds {
+        assert!(g <= 0.6, "witness drifted too much across the family: GED {g}");
+    }
+}
+
+#[test]
+fn provenance_witness_prefers_the_true_attack_path_over_decoys() {
+    let (graph, meta) = provenance::provenance_graph(6, 20, 2);
+    let labeled: Vec<NodeId> = graph.node_ids().filter(|&v| graph.label(v).is_some()).collect();
+    let mut appnp = Appnp::new(&[graph.feature_dim(), 12, 2], 0.15, 10, 3);
+    appnp.train(&GraphView::full(&graph), &labeled, &TrainConfig {
+        epochs: 80,
+        learning_rate: 0.05,
+        ..TrainConfig::default()
+    });
+    let result = RoboGExp::for_appnp(&appnp, quick_cfg(3)).generate(&graph, &[meta.breach_sh]);
+    let witness = &result.witness.subgraph;
+    // the witness should involve far fewer decoys than attack-path nodes
+    let decoys_in = meta.decoys.iter().filter(|&&d| witness.contains_node(d)).count();
+    assert!(
+        decoys_in <= meta.decoys.len() / 2,
+        "witness should not be dominated by decoy targets ({decoys_in} of {})",
+        meta.decoys.len()
+    );
+}
+
+#[test]
+fn baselines_and_robogexp_are_comparable_through_the_metrics_layer() {
+    use robogexp::baselines::{Cf2Explainer, CfGnnExplainer};
+    let ds = citeseer::build(Scale::Tiny, 6);
+    let gcn = ds.train_gcn(16, 6);
+    let tests = ds.pick_test_nodes(3, 11);
+    let rcw = RoboGExp::for_model(&gcn, quick_cfg(2))
+        .generate(&ds.graph, &tests)
+        .witness
+        .subgraph;
+    let cf2 = Cf2Explainer::default().explain(&gcn, &ds.graph, &tests);
+    let cfg_exp = CfGnnExplainer::default().explain(&gcn, &ds.graph, &tests);
+    for (name, exp) in [("RoboGExp", &rcw), ("CF2", &cf2), ("CF-GNNExp", &cfg_exp)] {
+        let fp = fidelity_plus(&gcn, &ds.graph, exp, &tests);
+        let fm = fidelity_minus(&gcn, &ds.graph, exp, &tests);
+        assert!((0.0..=1.0).contains(&fp), "{name} fidelity+ out of range");
+        assert!((0.0..=1.0).contains(&fm), "{name} fidelity- out of range");
+    }
+}

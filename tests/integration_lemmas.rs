@@ -1,0 +1,73 @@
+//! Integration tests for the paper's formal statements, exercised through the
+//! public API of the umbrella crate.
+
+use robogexp::prelude::*;
+use robogexp::core::{verify_counterfactual, verify_factual};
+use robogexp::datasets::citeseer;
+
+fn setup() -> (robogexp::datasets::Dataset, Appnp) {
+    let ds = citeseer::build(Scale::Tiny, 11);
+    let appnp = ds.train_appnp(16, 11);
+    (ds, appnp)
+}
+
+#[test]
+fn lemma1_a_robust_witness_stays_robust_for_smaller_budgets() {
+    let (ds, appnp) = setup();
+    let tests = ds.pick_test_nodes(2, 3);
+    let gen = RoboGExp::for_appnp(&appnp, RcwConfig::with_budgets(3, 2));
+    let result = gen.generate(&ds.graph, &tests);
+    if result.level == WitnessLevel::Robust {
+        for k in [0usize, 1, 2] {
+            let cfg = RcwConfig::with_budgets(k, if k == 0 { 0 } else { 2 });
+            let out = RoboGExp::for_appnp(&appnp, cfg).verify(&ds.graph, &result.witness);
+            assert_eq!(out.level, WitnessLevel::Robust, "failed at k={k}");
+        }
+    }
+}
+
+#[test]
+fn factual_is_a_precondition_of_counterfactual() {
+    let (ds, appnp) = setup();
+    let tests = ds.pick_test_nodes(2, 5);
+    let gen = RoboGExp::for_appnp(&appnp, RcwConfig::with_budgets(1, 1));
+    let witness = gen.generate(&ds.graph, &tests).witness;
+    let (cw, _) = verify_counterfactual(&appnp, &ds.graph, &witness);
+    if cw {
+        let (factual, _) = verify_factual(&appnp, &ds.graph, &witness);
+        assert!(factual, "a counterfactual witness must also be factual");
+    }
+}
+
+#[test]
+fn whole_graph_is_always_a_factual_witness() {
+    let (ds, appnp) = setup();
+    let v = ds.test_pool[0];
+    let label = appnp.predict(v, &GraphView::full(&ds.graph)).unwrap();
+    let full = Witness::trivial_full(&ds.graph, vec![v], vec![label]);
+    let (factual, _) = verify_factual(&appnp, &ds.graph, &full);
+    assert!(factual);
+}
+
+#[test]
+fn verification_is_deterministic() {
+    let (ds, appnp) = setup();
+    let tests = ds.pick_test_nodes(2, 7);
+    let gen = RoboGExp::for_appnp(&appnp, RcwConfig::with_budgets(2, 1));
+    let witness = gen.generate(&ds.graph, &tests).witness;
+    let a = gen.verify(&ds.graph, &witness);
+    let b = gen.verify(&ds.graph, &witness);
+    assert_eq!(a.level, b.level);
+    assert_eq!(a.counterexample, b.counterexample);
+}
+
+#[test]
+fn k_zero_verification_equals_cw_verification() {
+    let (ds, appnp) = setup();
+    let tests = ds.pick_test_nodes(2, 9);
+    let gen0 = RoboGExp::for_appnp(&appnp, RcwConfig::with_budgets(0, 0));
+    let witness = gen0.generate(&ds.graph, &tests).witness;
+    let out = gen0.verify(&ds.graph, &witness);
+    let (cw, _) = verify_counterfactual(&appnp, &ds.graph, &witness);
+    assert_eq!(out.level == WitnessLevel::Robust, cw);
+}
