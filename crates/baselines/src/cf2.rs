@@ -77,12 +77,7 @@ impl Cf2Explainer {
 
     /// Explains a single node by greedy forward selection on the combined
     /// factual/counterfactual objective.
-    pub fn explain_node(
-        &self,
-        model: &dyn GnnModel,
-        graph: &Graph,
-        v: NodeId,
-    ) -> EdgeSubgraph {
+    pub fn explain_node(&self, model: &dyn GnnModel, graph: &Graph, v: NodeId) -> EdgeSubgraph {
         let full = GraphView::full(graph);
         let label = match model.predict(v, &full) {
             Some(l) => l,

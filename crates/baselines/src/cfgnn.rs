@@ -34,12 +34,7 @@ impl CfGnnExplainer {
     /// whose deletion flips the node's prediction. If no flip is achievable
     /// within the budget, the best-effort deletion set found so far is
     /// returned (mirroring the original method, which also may fail to flip).
-    pub fn explain_node(
-        &self,
-        model: &dyn GnnModel,
-        graph: &Graph,
-        v: NodeId,
-    ) -> EdgeSubgraph {
+    pub fn explain_node(&self, model: &dyn GnnModel, graph: &Graph, v: NodeId) -> EdgeSubgraph {
         let full = GraphView::full(graph);
         let label = match model.predict(v, &full) {
             Some(l) => l,

@@ -25,12 +25,11 @@ pub mod cfgnn;
 pub use cf2::Cf2Explainer;
 pub use cfgnn::CfGnnExplainer;
 
-use rcw_graph::{Edge, EdgeSet, Graph, NodeId};
 use rcw_graph::traversal::k_hop_neighborhood;
-use serde::{Deserialize, Serialize};
+use rcw_graph::{Edge, EdgeSet, Graph, NodeId};
 
 /// Shared knobs of the baseline explainers.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BaselineConfig {
     /// How many hops around the test node candidate edges are drawn from.
     pub hops: usize,
@@ -57,11 +56,7 @@ impl Default for BaselineConfig {
 
 /// Collects the candidate edges around a test node, nearest-first, capped at
 /// `max_candidates`.
-pub(crate) fn local_candidate_edges(
-    graph: &Graph,
-    v: NodeId,
-    cfg: &BaselineConfig,
-) -> Vec<Edge> {
+pub(crate) fn local_candidate_edges(graph: &Graph, v: NodeId, cfg: &BaselineConfig) -> Vec<Edge> {
     let hood = k_hop_neighborhood(graph, v, cfg.hops);
     let mut seen = EdgeSet::new();
     let mut out = Vec::new();

@@ -1,35 +1,27 @@
 //! Ablation A2: exact dense personalized PageRank vs the iterative row/value
 //! computations used inside the verifier.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcw_bench::timing::BenchGroup;
 use rcw_datasets::{citeseer, Scale};
 use rcw_graph::{Csr, GraphView};
 use rcw_pagerank::{ppr_matrix_exact, ppr_row, value_function};
 
-fn bench_ppr(c: &mut Criterion) {
+fn main() {
     let ds = citeseer::build(Scale::Tiny, 3);
     let view = GraphView::full(&ds.graph);
     let csr = Csr::from_view(&view);
     let n = ds.graph.num_nodes();
     let r: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
 
-    let mut group = c.benchmark_group("ablation_ppr");
-    group.sample_size(10);
-    group.bench_function("exact_dense_matrix", |b| {
-        b.iter(|| ppr_matrix_exact(&view, 0.15))
-    });
+    let mut group = BenchGroup::new("ablation_ppr", 10);
+    group.bench("exact_dense_matrix", || ppr_matrix_exact(&view, 0.15));
     for iters in [20usize, 50] {
-        group.bench_with_input(BenchmarkId::new("iterative_row", iters), &iters, |b, &it| {
-            b.iter(|| ppr_row(&csr, 0, 0.15, it))
+        group.bench(format!("iterative_row/{iters}"), || {
+            ppr_row(&csr, 0, 0.15, iters)
         });
-        group.bench_with_input(
-            BenchmarkId::new("iterative_value_function", iters),
-            &iters,
-            |b, &it| b.iter(|| value_function(&csr, &r, 0.15, it)),
-        );
+        group.bench(format!("iterative_value_function/{iters}"), || {
+            value_function(&csr, &r, 0.15, iters)
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ppr);
-criterion_main!(benches);

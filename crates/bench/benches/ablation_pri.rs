@@ -1,13 +1,13 @@
 //! Ablation A1: policy-iteration (PRI) disturbance search vs exhaustive
 //! enumeration of (k, b)-disturbances, as the candidate set grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcw_bench::timing::BenchGroup;
 use rcw_datasets::{citeseer, Scale};
 use rcw_graph::disturbance::enumerate_disturbances_up_to;
 use rcw_graph::GraphView;
 use rcw_pagerank::{pri_search, PriConfig};
 
-fn bench_pri_vs_exhaustive(c: &mut Criterion) {
+fn main() {
     let ds = citeseer::build(Scale::Tiny, 3);
     let appnp = ds.train_appnp(16, 1);
     let view = GraphView::full(&ds.graph);
@@ -18,27 +18,21 @@ fn bench_pri_vs_exhaustive(c: &mut Criterion) {
         .collect();
     let edges = ds.graph.edge_vec();
 
-    let mut group = c.benchmark_group("ablation_pri");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("ablation_pri", 10);
     for n_candidates in [6usize, 10, 16] {
         let candidates = &edges[..n_candidates.min(edges.len())];
-        group.bench_with_input(BenchmarkId::new("pri_greedy", n_candidates), &(), |b, _| {
-            let cfg = PriConfig {
-                alpha: appnp.alpha(),
-                local_budget: 2,
-                max_rounds: 6,
-                value_iters: 30,
-            };
-            b.iter(|| pri_search(&view, candidates, &r, v, &cfg))
+        let cfg = PriConfig {
+            alpha: appnp.alpha(),
+            local_budget: 2,
+            max_rounds: 6,
+            value_iters: 30,
+        };
+        group.bench(format!("pri_greedy/{n_candidates}"), || {
+            pri_search(&view, candidates, &r, v, &cfg)
         });
-        group.bench_with_input(
-            BenchmarkId::new("exhaustive_enumeration", n_candidates),
-            &(),
-            |b, _| b.iter(|| enumerate_disturbances_up_to(candidates, 3).len()),
-        );
+        group.bench(format!("exhaustive_enumeration/{n_candidates}"), || {
+            enumerate_disturbances_up_to(candidates, 3).len()
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_pri_vs_exhaustive);
-criterion_main!(benches);

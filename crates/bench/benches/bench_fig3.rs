@@ -1,23 +1,19 @@
-//! Criterion bench for experiments E2/E3 (Fig. 3): explanation generation as
-//! the disturbance budget k grows.
+//! Bench for experiments E2/E3 (Fig. 3): explanation generation as the
+//! disturbance budget k grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcw_bench::timing::BenchGroup;
 use rcw_bench::{run_method, ExperimentContext, Method};
 use rcw_datasets::Scale;
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
     let ctx = ExperimentContext::prepare("citeseer", Scale::Tiny, 3);
     let tests = ctx.dataset.pick_test_nodes(4, 13);
-    let mut group = c.benchmark_group("fig3_vary_k");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig3_vary_k", 10);
     for k in [1usize, 2, 4] {
         let cfg = ctx.rcw_config(k);
-        group.bench_with_input(BenchmarkId::new("RoboGExp", k), &k, |b, _| {
-            b.iter(|| run_method(Method::RoboGExp, &ctx.gcn, &ctx.dataset.graph, &tests, &cfg))
+        group.bench(format!("RoboGExp/k={k}"), || {
+            run_method(Method::RoboGExp, &ctx.gcn, &ctx.dataset.graph, &tests, &cfg)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

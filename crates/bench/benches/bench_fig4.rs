@@ -1,38 +1,32 @@
-//! Criterion bench for experiments E4–E7 (Fig. 4): generation time per method
-//! and paraRoboGExp thread scaling.
+//! Bench for experiments E4–E7 (Fig. 4): generation time per method and
+//! paraRoboGExp thread scaling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcw_bench::timing::BenchGroup;
 use rcw_bench::{run_method, ExperimentContext, Method};
 use rcw_core::ParaRoboGExp;
 use rcw_datasets::Scale;
 
-fn bench_methods(c: &mut Criterion) {
+fn main() {
     let ctx = ExperimentContext::prepare("citeseer", Scale::Tiny, 3);
     let tests = ctx.dataset.pick_test_nodes(4, 13);
     let cfg = ctx.rcw_config(2);
-    let mut group = c.benchmark_group("fig4a_generation_time");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig4a_generation_time", 10);
     for method in Method::all() {
-        group.bench_function(method.name(), |b| {
-            b.iter(|| run_method(method, &ctx.gcn, &ctx.dataset.graph, &tests, &cfg))
+        group.bench(method.name(), || {
+            run_method(method, &ctx.gcn, &ctx.dataset.graph, &tests, &cfg)
         });
     }
     group.finish();
-}
 
-fn bench_parallel(c: &mut Criterion) {
     let ctx = ExperimentContext::prepare("reddit", Scale::Tiny, 3);
     let tests = ctx.dataset.pick_test_nodes(3, 13);
-    let mut group = c.benchmark_group("fig4d_parallel_scaling");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig4d_parallel_scaling", 10);
     for workers in [1usize, 2, 4] {
         let cfg = ctx.rcw_config(2);
-        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
-            b.iter(|| ParaRoboGExp::for_appnp(&ctx.appnp, cfg.clone(), w).generate(&ctx.dataset.graph, &tests))
+        group.bench(format!("workers/{workers}"), || {
+            ParaRoboGExp::for_appnp(&ctx.appnp, cfg.clone(), workers)
+                .generate(&ctx.dataset.graph, &tests)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_methods, bench_parallel);
-criterion_main!(benches);

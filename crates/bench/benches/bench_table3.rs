@@ -1,23 +1,19 @@
-//! Criterion bench for experiment E1 (Table III): end-to-end explanation
-//! generation quality pipeline on the CiteSeer-like dataset at test scale.
+//! Bench for experiment E1 (Table III): end-to-end explanation generation
+//! quality pipeline on the CiteSeer-like dataset at test scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcw_bench::timing::BenchGroup;
 use rcw_bench::{evaluate_method, ExperimentContext, Method};
 use rcw_datasets::Scale;
 
-fn bench_table3(c: &mut Criterion) {
+fn main() {
     let ctx = ExperimentContext::prepare("citeseer", Scale::Tiny, 3);
     let tests = ctx.dataset.pick_test_nodes(4, 13);
     let cfg = ctx.rcw_config(3);
-    let mut group = c.benchmark_group("table3_quality");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("table3_quality", 10);
     for method in Method::all() {
-        group.bench_function(method.name(), |b| {
-            b.iter(|| evaluate_method(method, &ctx.gcn, &ctx.dataset.graph, &tests, &cfg))
+        group.bench(method.name(), || {
+            evaluate_method(method, &ctx.gcn, &ctx.dataset.graph, &tests, &cfg)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

@@ -7,6 +7,7 @@
 use rcw_bench::ExperimentContext;
 use rcw_core::{ParaRoboGExp, RcwConfig, RoboGExp};
 use rcw_datasets::Scale;
+use rcw_gnn::GnnModel;
 use rcw_graph::{Csr, GraphView};
 use rcw_metrics::Table;
 use rcw_pagerank::{ppr_matrix_exact, ppr_row};
@@ -17,14 +18,19 @@ fn main() {
     let tests = ctx.dataset.pick_test_nodes(6, 13);
 
     // A1: tractable APPNP verification (PRI) vs sampled generic verification
-    let mut a1 = Table::new("A1: APPNP PRI path vs generic sampling path", &["Path", "Time(ms)", "Level"]);
+    let mut a1 = Table::new(
+        "A1: APPNP PRI path vs generic sampling path",
+        &["Path", "Time(ms)", "Level"],
+    );
     for (name, use_appnp) in [("PRI (APPNP)", true), ("Sampling (generic)", false)] {
         let cfg = ctx.rcw_config(4);
         let start = Instant::now();
         let result = if use_appnp {
             RoboGExp::for_appnp(&ctx.appnp, cfg).generate(&ctx.dataset.graph, &tests)
         } else {
-            RoboGExp::for_model(&ctx.appnp, cfg).generate(&ctx.dataset.graph, &tests)
+            // erase the concrete type to force the model-agnostic sampling path
+            RoboGExp::for_model(&ctx.appnp as &dyn GnnModel, cfg)
+                .generate(&ctx.dataset.graph, &tests)
         };
         a1.push_row(vec![
             name.to_string(),
@@ -35,7 +41,10 @@ fn main() {
     println!("{}", a1.render());
 
     // A2: exact PPR (dense solve) vs iterative PPR row
-    let mut a2 = Table::new("A2: exact vs iterative personalized PageRank", &["Variant", "Time(ms)", "MaxAbsDiff"]);
+    let mut a2 = Table::new(
+        "A2: exact vs iterative personalized PageRank",
+        &["Variant", "Time(ms)", "MaxAbsDiff"],
+    );
     let view = GraphView::full(&ctx.dataset.graph);
     let v = tests[0];
     let start = Instant::now();
@@ -50,12 +59,23 @@ fn main() {
         .enumerate()
         .map(|(u, x)| (x - exact.get(v, u)).abs())
         .fold(0.0f64, f64::max);
-    a2.push_row(vec!["exact (dense solve, full matrix)".into(), format!("{exact_ms:.1}"), "0".into()]);
-    a2.push_row(vec!["iterative (one row, 60 iters)".into(), format!("{iter_ms:.1}"), format!("{diff:.2e}")]);
+    a2.push_row(vec![
+        "exact (dense solve, full matrix)".into(),
+        format!("{exact_ms:.1}"),
+        "0".into(),
+    ]);
+    a2.push_row(vec![
+        "iterative (one row, 60 iters)".into(),
+        format!("{iter_ms:.1}"),
+        format!("{diff:.2e}"),
+    ]);
     println!("{}", a2.render());
 
     // A3: guided expansion (margin/PRI driven) vs a single-round expansion
-    let mut a3 = Table::new("A3: expand-verify rounds vs single-round expansion", &["Rounds", "Witness size", "Level"]);
+    let mut a3 = Table::new(
+        "A3: expand-verify rounds vs single-round expansion",
+        &["Rounds", "Witness size", "Level"],
+    );
     for rounds in [1usize, 3, 6] {
         let cfg = RcwConfig {
             max_expand_rounds: rounds,
@@ -71,11 +91,15 @@ fn main() {
     println!("{}", a3.render());
 
     // A4: parallel generation with different worker counts (bitmap sync cost)
-    let mut a4 = Table::new("A4: paraRoboGExp workers vs synchronized bytes", &["Workers", "Time(ms)", "SyncBytes"]);
+    let mut a4 = Table::new(
+        "A4: paraRoboGExp workers vs synchronized bytes",
+        &["Workers", "Time(ms)", "SyncBytes"],
+    );
     for workers in [1usize, 2, 4] {
         let cfg = ctx.rcw_config(4);
         let start = Instant::now();
-        let out = ParaRoboGExp::for_appnp(&ctx.appnp, cfg, workers).generate(&ctx.dataset.graph, &tests);
+        let out =
+            ParaRoboGExp::for_appnp(&ctx.appnp, cfg, workers).generate(&ctx.dataset.graph, &tests);
         a4.push_row(vec![
             workers.to_string(),
             format!("{:.1}", start.elapsed().as_secs_f64() * 1000.0),

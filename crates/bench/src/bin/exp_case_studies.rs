@@ -20,7 +20,13 @@ fn mutagenic_case() {
 
     let mut table = Table::new(
         "RCW vs CF2 stability across molecule variants (GED to the base explanation)",
-        &["Variant", "RoboGExp GED", "CF2 GED", "RoboGExp size", "CF2 size"],
+        &[
+            "Variant",
+            "RoboGExp GED",
+            "CF2 GED",
+            "RoboGExp size",
+            "CF2 size",
+        ],
     );
     let mut base_rcw = None;
     let mut base_cf2 = None;

@@ -29,18 +29,30 @@ fn main() {
     }
     if part == "b" || part == "all" {
         let ctx = ExperimentContext::prepare("citeseer", scale, 3);
-        let ks = if quick { vec![2, 4, 8] } else { vec![4, 8, 12, 16, 20] };
+        let ks = if quick {
+            vec![2, 4, 8]
+        } else {
+            vec![4, 8, 12, 16, 20]
+        };
         println!("{}", fig4bc(&ctx, true, &ks, vt).render());
     }
     if part == "c" || part == "all" {
         let ctx = ExperimentContext::prepare("citeseer", scale, 3);
-        let vts = if quick { vec![4, 8, 12] } else { vec![20, 40, 60, 80, 100] };
+        let vts = if quick {
+            vec![4, 8, 12]
+        } else {
+            vec![20, 40, 60, 80, 100]
+        };
         println!("{}", fig4bc(&ctx, false, &vts, k).render());
     }
     if part == "d" || part == "all" {
         let reddit_scale = if quick { Scale::Small } else { Scale::Full };
         let ctx = ExperimentContext::prepare("reddit", reddit_scale, 3);
-        let threads = if quick { vec![1, 2, 4] } else { vec![2, 4, 6, 8, 10] };
+        let threads = if quick {
+            vec![1, 2, 4]
+        } else {
+            vec![2, 4, 6, 8, 10]
+        };
         let ks = if quick { vec![2] } else { vec![5, 10] };
         println!("{}", fig4d(&ctx, &threads, &ks, vt).render());
     }

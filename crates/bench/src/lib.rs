@@ -11,6 +11,8 @@
 //! * **CF²** — factual + counterfactual baseline (re-implemented);
 //! * **CF-GNNExp** — counterfactual-only baseline (re-implemented).
 
+pub mod timing;
+
 use rcw_baselines::{Cf2Explainer, CfGnnExplainer};
 use rcw_core::{ParaRoboGExp, RcwConfig, RoboGExp};
 use rcw_datasets::{bahouse, citeseer, ppi, reddit, Dataset, Scale};
@@ -73,7 +75,11 @@ impl ExperimentContext {
         };
         let gcn = dataset.train_gcn(24, seed);
         let appnp = dataset.train_appnp(24, seed);
-        ExperimentContext { dataset, gcn, appnp }
+        ExperimentContext {
+            dataset,
+            gcn,
+            appnp,
+        }
     }
 
     /// The default RoboGExp configuration for experiments with budget `k`.
@@ -114,10 +120,12 @@ pub fn run_method(
 ) -> MethodRun {
     let start = Instant::now();
     let explanation = match method {
-        Method::RoboGExp => RoboGExp::for_model(model, cfg.clone())
-            .generate(graph, test_nodes)
-            .witness
-            .subgraph,
+        Method::RoboGExp => {
+            RoboGExp::for_model(model, cfg.clone())
+                .generate(graph, test_nodes)
+                .witness
+                .subgraph
+        }
         Method::Cf2 => Cf2Explainer::default().explain(model, graph, test_nodes),
         Method::CfGnnExp => CfGnnExplainer::default().explain(model, graph, test_nodes),
     };
@@ -207,7 +215,14 @@ pub fn table3(ctx: &ExperimentContext, k: usize, num_test_nodes: usize) -> Table
             ctx.dataset.name,
             test_nodes.len()
         ),
-        &["Method", "NormGED", "Fidelity+", "Fidelity-", "Size", "Time(ms)"],
+        &[
+            "Method",
+            "NormGED",
+            "Fidelity+",
+            "Fidelity-",
+            "Size",
+            "Time(ms)",
+        ],
     );
     for method in Method::all() {
         let eval = evaluate_method(method, &ctx.gcn, &ctx.dataset.graph, &test_nodes, &cfg);
@@ -232,7 +247,11 @@ pub fn fig3(ctx: &ExperimentContext, vary_k: bool, values: &[usize], fixed: usiz
         &[what, "Method", "NormGED", "Fidelity+", "Fidelity-"],
     );
     for &value in values {
-        let (k, vt) = if vary_k { (value, fixed) } else { (fixed, value) };
+        let (k, vt) = if vary_k {
+            (value, fixed)
+        } else {
+            (fixed, value)
+        };
         let test_nodes = ctx.dataset.pick_test_nodes(vt, 13);
         let cfg = ctx.rcw_config(k);
         for method in Method::all() {
@@ -274,11 +293,18 @@ pub fn fig4a(contexts: &[ExperimentContext], k: usize, vt: usize) -> Table {
 pub fn fig4bc(ctx: &ExperimentContext, vary_k: bool, values: &[usize], fixed: usize) -> Table {
     let what = if vary_k { "k" } else { "|VT|" };
     let mut table = Table::new(
-        format!("Fig 4(b/c): generation time vs {what} ({})", ctx.dataset.name),
+        format!(
+            "Fig 4(b/c): generation time vs {what} ({})",
+            ctx.dataset.name
+        ),
         &[what, "Method", "Time(ms)"],
     );
     for &value in values {
-        let (k, vt) = if vary_k { (value, fixed) } else { (fixed, value) };
+        let (k, vt) = if vary_k {
+            (value, fixed)
+        } else {
+            (fixed, value)
+        };
         let test_nodes = ctx.dataset.pick_test_nodes(vt, 13);
         let cfg = ctx.rcw_config(k);
         for method in Method::all() {

@@ -1,0 +1,107 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds offline, so the bench targets cannot depend on
+//! Criterion. This module provides the small slice of its surface the
+//! experiment benches need: named groups, per-case warmup + timed samples,
+//! and a median/min/max report on stdout. Bench targets are plain binaries
+//! (`harness = false`) calling [`BenchGroup::bench`].
+
+use std::time::{Duration, Instant};
+
+/// A named collection of benchmark cases, reported together.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    results: Vec<(String, Duration, Duration, Duration)>,
+}
+
+impl BenchGroup {
+    /// Creates a group; `samples` timed iterations are run per case (after
+    /// one untimed warmup iteration).
+    pub fn new(name: impl Into<String>, samples: usize) -> Self {
+        BenchGroup {
+            name: name.into(),
+            samples: samples.max(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` and records the case under `label`. The closure's return
+    /// value is passed through a black-box sink so the work is not optimized
+    /// away.
+    pub fn bench<T>(&mut self, label: impl Into<String>, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f()); // warmup
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let max = *times.last().expect("at least one sample");
+        self.results.push((label.into(), median, min, max));
+    }
+
+    /// Renders the group report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "## {} ({} samples per case)\n{:<40} {:>12} {:>12} {:>12}\n",
+            self.name, self.samples, "case", "median", "min", "max"
+        );
+        for (label, median, min, max) in &self.results {
+            out.push_str(&format!(
+                "{:<40} {:>12} {:>12} {:>12}\n",
+                label,
+                format_duration(*median),
+                format_duration(*min),
+                format_duration(*max)
+            ));
+        }
+        out
+    }
+
+    /// Prints the report to stdout (call once at the end of the bench).
+    pub fn finish(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Human-readable duration with automatic unit selection.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_record_and_render() {
+        let mut g = BenchGroup::new("demo", 3);
+        g.bench("sum", || (0..1000u64).sum::<u64>());
+        g.bench("prod", || (1..20u64).product::<u64>());
+        let report = g.render();
+        assert!(report.contains("demo"));
+        assert!(report.contains("sum"));
+        assert!(report.contains("prod"));
+    }
+
+    #[test]
+    fn durations_format_with_adaptive_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.5ms");
+        assert_eq!(format_duration(Duration::from_millis(2500)), "2.50s");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("us"));
+    }
+}

@@ -7,10 +7,9 @@
 //! so they can be borrowed rather than owned.
 
 use rcw_graph::DisturbanceStrategy;
-use serde::{Deserialize, Serialize};
 
 /// Budgets and search parameters for k-RCW verification and generation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RcwConfig {
     /// Global disturbance budget `k`: the adversary may flip at most `k`
     /// node pairs outside the witness. `k = 0` degenerates to plain

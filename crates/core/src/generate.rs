@@ -19,33 +19,11 @@
 //! (Fidelity+/−, GED) evaluate.
 
 use crate::config::RcwConfig;
-use crate::verify::verify_rcw;
-use crate::verify_appnp::verify_rcw_appnp;
+use crate::model::VerifiableModel;
 use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
 use rcw_gnn::{Appnp, GnnModel};
-use rcw_graph::{
-    traversal::k_hop_neighborhood, EdgeSubgraph, Graph, GraphView, NodeId,
-};
+use rcw_graph::{traversal::k_hop_neighborhood, EdgeSubgraph, Graph, GraphView, NodeId};
 use std::time::{Duration, Instant};
-
-/// Which verification path the generator uses.
-#[derive(Clone, Copy)]
-pub enum ModelRef<'a> {
-    /// APPNP: tractable (k, b)-disturbance verification via policy iteration.
-    Appnp(&'a Appnp),
-    /// Any other fixed deterministic GNN: enumeration / sampling verification.
-    Generic(&'a dyn GnnModel),
-}
-
-impl<'a> ModelRef<'a> {
-    /// The underlying inference function.
-    pub fn model(&self) -> &'a dyn GnnModel {
-        match self {
-            ModelRef::Appnp(m) => *m as &dyn GnnModel,
-            ModelRef::Generic(m) => *m,
-        }
-    }
-}
 
 /// Counters and timing collected during generation.
 #[derive(Clone, Debug, Default)]
@@ -73,27 +51,35 @@ pub struct GenerationResult {
     pub stats: GenerationStats,
 }
 
-/// The RoboGExp generator.
-pub struct RoboGExp<'a> {
-    model: ModelRef<'a>,
+/// The RoboGExp generator, generic over how the model verifies witnesses.
+///
+/// `M` is usually inferred: a concrete model type ([`Appnp`] gets the
+/// tractable verification path through its [`VerifiableModel`] overrides) or
+/// the type-erased `dyn GnnModel` (model-agnostic sampling path).
+pub struct RoboGExp<'a, M: VerifiableModel + ?Sized = dyn GnnModel> {
+    model: &'a M,
     cfg: RcwConfig,
 }
 
-impl<'a> RoboGExp<'a> {
+impl<'a> RoboGExp<'a, Appnp> {
     /// Creates a generator for an APPNP classifier (tractable verification).
+    /// Equivalent to [`RoboGExp::new`]; kept as the paper-facing name.
     pub fn for_appnp(appnp: &'a Appnp, cfg: RcwConfig) -> Self {
-        RoboGExp {
-            model: ModelRef::Appnp(appnp),
-            cfg,
-        }
+        RoboGExp::new(appnp, cfg)
+    }
+}
+
+impl<'a, M: VerifiableModel + ?Sized> RoboGExp<'a, M> {
+    /// Creates a generator for any fixed deterministic GNN. The verification
+    /// strategy is whatever the model's [`VerifiableModel`] impl provides.
+    pub fn new(model: &'a M, cfg: RcwConfig) -> Self {
+        RoboGExp { model, cfg }
     }
 
-    /// Creates a generator for an arbitrary fixed deterministic GNN.
-    pub fn for_model(model: &'a dyn GnnModel, cfg: RcwConfig) -> Self {
-        RoboGExp {
-            model: ModelRef::Generic(model),
-            cfg,
-        }
+    /// Alias of [`RoboGExp::new`]. Accepts concrete models and `&dyn
+    /// GnnModel` trait objects alike.
+    pub fn for_model(model: &'a M, cfg: RcwConfig) -> Self {
+        RoboGExp::new(model, cfg)
     }
 
     /// The configuration in use.
@@ -101,13 +87,15 @@ impl<'a> RoboGExp<'a> {
         &self.cfg
     }
 
+    /// The model being explained, as the plain inference interface.
+    pub fn model(&self) -> &'a dyn GnnModel {
+        self.model.as_gnn()
+    }
+
     /// Verification dispatch used by the generator and exposed for callers
     /// that want to re-verify a witness.
     pub fn verify(&self, graph: &Graph, witness: &Witness) -> VerifyOutcome {
-        match self.model {
-            ModelRef::Appnp(appnp) => verify_rcw_appnp(appnp, graph, witness, &self.cfg),
-            ModelRef::Generic(model) => verify_rcw(model, graph, witness, &self.cfg),
-        }
+        self.model.verify_rcw(graph, witness, &self.cfg)
     }
 
     /// Generates a k-RCW (best effort) for the given test nodes.
@@ -122,7 +110,7 @@ impl<'a> RoboGExp<'a> {
         );
         self.cfg.validate().expect("invalid RcwConfig");
         let start = Instant::now();
-        let model = self.model.model();
+        let model = self.model.as_gnn();
         let mut stats = GenerationStats::default();
 
         // M(v, G) for every test node.
@@ -157,7 +145,9 @@ impl<'a> RoboGExp<'a> {
                 WitnessLevel::Counterfactual => {
                     // Absorb the counterexample's existing edges; pairs inside
                     // the witness cannot be disturbed any more.
-                    let Some(ce) = outcome.counterexample else { break };
+                    let Some(ce) = outcome.counterexample else {
+                        break;
+                    };
                     let mut grew = false;
                     for (u, v) in ce.iter() {
                         if graph.has_edge(u, v) && !witness.subgraph.contains_edge(u, v) {
@@ -346,7 +336,7 @@ impl<'a> RoboGExp<'a> {
 }
 
 /// Convenience free function mirroring the paper's naming: generates a k-RCW
-/// with an APPNP classifier.
+/// with an APPNP classifier (tractable verification path).
 pub fn robogexp_appnp(
     appnp: &Appnp,
     graph: &Graph,
@@ -419,8 +409,14 @@ mod tests {
         let cfg = RcwConfig::with_budgets(2, 1);
         let gen = RoboGExp::for_model(&gcn, cfg);
         let result = gen.generate(&g, &tests);
-        assert!(result.witness.subgraph.num_edges() > 0, "witness must grow beyond the trivial node set");
-        assert!(result.witness.subgraph.num_edges() < g.num_edges(), "witness should not be the whole graph");
+        assert!(
+            result.witness.subgraph.num_edges() > 0,
+            "witness must grow beyond the trivial node set"
+        );
+        assert!(
+            result.witness.subgraph.num_edges() < g.num_edges(),
+            "witness should not be the whole graph"
+        );
         assert!(result.stats.inference_calls > 0);
         assert!(result.stats.elapsed.as_nanos() > 0);
         // test nodes are always part of the witness
@@ -444,7 +440,9 @@ mod tests {
             result.level
         );
         // the final witness must be a subgraph of the host
-        assert!(result.witness.subgraph.is_subgraph_of(&g) || result.witness.subgraph.num_edges() == 0);
+        assert!(
+            result.witness.subgraph.is_subgraph_of(&g) || result.witness.subgraph.num_edges() == 0
+        );
     }
 
     #[test]

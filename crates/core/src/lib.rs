@@ -9,6 +9,9 @@
 //!   (NP-hard, bounded) `verifyRCW`.
 //! * [`verify_appnp`] — the tractable `verifyRCW-APPNP` (Algorithm 1) built on
 //!   policy-iteration disturbance search under (k, b)-disturbances.
+//! * [`model`] — the [`VerifiableModel`] dispatch layer: one calling
+//!   convention for every classifier, with APPNP overriding the default
+//!   sampling strategy by the tractable policy-iteration path.
 //! * [`generate`] — the `RoboGExp` expand–verify generator (Algorithm 2).
 //! * [`parallel`] — `paraRoboGExp` (Algorithm 3): partitioned, multi-threaded
 //!   generation with bitmap-synchronized verification.
@@ -43,15 +46,15 @@
 
 pub mod config;
 pub mod generate;
+pub mod model;
 pub mod parallel;
 pub mod verify;
 pub mod verify_appnp;
 pub mod witness;
 
 pub use config::RcwConfig;
-pub use generate::{
-    robogexp, robogexp_appnp, GenerationResult, GenerationStats, ModelRef, RoboGExp,
-};
+pub use generate::{robogexp, robogexp_appnp, GenerationResult, GenerationStats, RoboGExp};
+pub use model::{DisturbanceSearch, VerifiableModel};
 pub use parallel::{ParaRoboGExp, ParallelGenerationResult, ParallelStats};
 pub use verify::{
     candidate_pairs, disturbance_preserves_cw, verify_counterfactual, verify_factual, verify_rcw,
@@ -62,7 +65,6 @@ pub use witness::{VerifyOutcome, Witness, WitnessLevel};
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
     use rcw_gnn::{Appnp, GnnModel, TrainConfig};
     use rcw_graph::{generators, EdgeSubgraph, Graph, GraphView};
 
@@ -70,9 +72,12 @@ mod proptests {
     fn build(seed: u64) -> (Graph, Appnp) {
         let (mut g, blocks) = generators::stochastic_block_model(&[8, 8], 0.6, 0.05, seed);
         generators::ensure_connected(&mut g, seed);
-        for v in 0..g.num_nodes() {
-            let b = blocks[v];
-            let feats = if b == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+        for (v, &b) in blocks.iter().enumerate() {
+            let feats = if b == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
             g.set_features(v, feats);
             g.set_label(v, b);
         }
@@ -90,14 +95,17 @@ mod proptests {
         (g, appnp)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Seeds exercised by the property-style tests below. The suite used to
+    /// be driven by `proptest`; the workspace builds offline, so the same
+    /// properties are now checked over a fixed, pinned seed sweep.
+    const SEEDS: [u64; 8] = [0, 5, 11, 17, 23, 29, 31, 37];
 
-        /// Lemma 1 (monotonicity): a witness verified k-robust is also
-        /// verified k'-robust for every k' <= k, and for every subset of its
-        /// test nodes.
-        #[test]
-        fn lemma1_monotonicity(seed in 0u64..40) {
+    /// Lemma 1 (monotonicity): a witness verified k-robust is also
+    /// verified k'-robust for every k' <= k, and for every subset of its
+    /// test nodes.
+    #[test]
+    fn lemma1_monotonicity() {
+        for seed in SEEDS {
             let (g, appnp) = build(seed);
             let tests = vec![0usize, g.num_nodes() - 1];
             let cfg = RcwConfig::with_budgets(2, 1);
@@ -108,8 +116,11 @@ mod proptests {
                 for k in 0..=1usize {
                     let cfg_k = RcwConfig::with_budgets(k, if k == 0 { 0 } else { 1 });
                     let out = RoboGExp::for_appnp(&appnp, cfg_k).verify(&g, &result.witness);
-                    prop_assert_eq!(out.level, WitnessLevel::Robust,
-                        "k-RCW must remain robust for smaller k");
+                    assert_eq!(
+                        out.level,
+                        WitnessLevel::Robust,
+                        "k-RCW must remain robust for smaller k (seed {seed})"
+                    );
                 }
                 // subset of test nodes
                 let sub = Witness::new(
@@ -118,16 +129,21 @@ mod proptests {
                     vec![result.witness.labels[0]],
                 );
                 let out = gen.verify(&g, &sub);
-                prop_assert_eq!(out.level, WitnessLevel::Robust,
-                    "k-RCW must remain robust for a subset of test nodes");
+                assert_eq!(
+                    out.level,
+                    WitnessLevel::Robust,
+                    "k-RCW must remain robust for a subset of test nodes (seed {seed})"
+                );
             }
         }
+    }
 
-        /// The full graph is always a (trivially) robust witness, and a
-        /// node-only witness is never counterfactual on a connected graph
-        /// whose prediction actually uses edges.
-        #[test]
-        fn trivial_witness_facts(seed in 0u64..40) {
+    /// The full graph is always a (trivially) robust witness, and a
+    /// node-only witness is never counterfactual on a connected graph
+    /// whose prediction actually uses edges.
+    #[test]
+    fn trivial_witness_facts() {
+        for seed in SEEDS {
             let (g, appnp) = build(seed);
             let v = 0usize;
             let full_view = GraphView::full(&g);
@@ -138,13 +154,13 @@ mod proptests {
             // strictly; we assert it is at least factual.
             let full_w = Witness::trivial_full(&g, vec![v], vec![label]);
             let (factual, _) = verify_factual(&appnp, &g, &full_w);
-            prop_assert!(factual);
+            assert!(factual, "seed {seed}");
             // node-only witness: may or may not be factual (features alone),
             // but its edge set is empty so G \ Gs == G and it can never be
             // counterfactual.
             let node_w = Witness::new(EdgeSubgraph::from_nodes([v]), vec![v], vec![label]);
             let (cw, _) = verify_counterfactual(&appnp, &g, &node_w);
-            prop_assert!(!cw);
+            assert!(!cw, "seed {seed}");
         }
     }
 }

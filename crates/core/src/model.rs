@@ -1,0 +1,351 @@
+//! The unified model-dispatch layer.
+//!
+//! Everything in `rcw-core` — sequential generation, parallel generation, and
+//! re-verification — talks to classifiers through [`VerifiableModel`], an
+//! extension trait over [`GnnModel`] that adds the *verification strategy* to
+//! the *inference function*:
+//!
+//! * the default methods implement the model-agnostic path (enumeration /
+//!   sampling `verifyRCW`, randomized local disturbance search);
+//! * [`Appnp`] overrides them with the tractable policy-iteration path
+//!   (`verifyRCW-APPNP`, Algorithm 1; PRI search for the parallel workers).
+//!
+//! A type-erased `&dyn GnnModel` is itself a `VerifiableModel` (with the
+//! default strategy), so callers that only hold a trait object — the bench
+//! harness, the baselines comparison, `Box<dyn GnnModel>` collections — plug
+//! into [`crate::RoboGExp`] and [`crate::ParaRoboGExp`] without any adapter.
+//! Passing `&appnp as &dyn GnnModel` is therefore also the supported way to
+//! *ablate* the tractable path and force sampling verification on APPNP.
+
+use crate::config::RcwConfig;
+use crate::verify::{disturbance_preserves_cw, verify_rcw};
+use crate::verify_appnp::{verify_rcw_appnp, verify_rcw_appnp_node};
+use crate::witness::{VerifyOutcome, Witness};
+use rcw_gnn::{Appnp, Gat, Gcn, GnnModel, GraphSage};
+use rcw_graph::{Edge, EdgeSet, Graph, GraphView, NodeId};
+use rcw_linalg::rng::{Rng, SliceRandom};
+use rcw_pagerank::{pri_search, truncate_to_k, PriConfig};
+
+/// Outcome of a worker's bounded search for a disturbance that disproves
+/// robustness of the current witness inside its candidate pairs.
+#[derive(Clone, Debug, Default)]
+pub struct DisturbanceSearch {
+    /// A (k, b)-disturbance that breaks the witness for some test node, if the
+    /// search found one. Sound: any reported disturbance is a real
+    /// counterexample (Lemma 6 makes locally found ones globally valid).
+    pub counterexample: Option<EdgeSet>,
+    /// Model inference calls spent by the search.
+    pub inference_calls: usize,
+    /// Disturbances examined.
+    pub disturbances_checked: usize,
+}
+
+/// A [`GnnModel`] that knows how to verify k-RCWs of its own predictions.
+///
+/// The default method bodies implement the model-agnostic strategy; model
+/// families with tractable verification (APPNP, Lemma 4) override them. All
+/// of `rcw-core` dispatches through this trait, so there is exactly one
+/// calling convention for every model.
+pub trait VerifiableModel: GnnModel {
+    /// Upcast to the plain inference interface. Implementations are always
+    /// the single expression `self`; the method exists because generic code
+    /// over `M: VerifiableModel + ?Sized` cannot unsize-coerce on its own.
+    fn as_gnn(&self) -> &dyn GnnModel;
+
+    /// `verifyRCW`: verifies `witness` against all of its test nodes under
+    /// (k, b)-disturbances. Default: the model-agnostic enumeration/sampling
+    /// verifier ([`crate::verify::verify_rcw`]).
+    fn verify_rcw(&self, graph: &Graph, witness: &Witness, cfg: &RcwConfig) -> VerifyOutcome {
+        verify_rcw(self.as_gnn(), graph, witness, cfg)
+    }
+
+    /// Verifies `witness` for a *single* test node. Per-node checks are
+    /// independent, which is what `paraRoboGExp` fans out across workers.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a test node of the witness.
+    fn verify_rcw_node(
+        &self,
+        graph: &Graph,
+        witness: &Witness,
+        node: NodeId,
+        cfg: &RcwConfig,
+    ) -> VerifyOutcome {
+        let label = witness
+            .label_of(node)
+            .expect("verify_rcw_node: node is not a test node of the witness");
+        let single = Witness::new(witness.subgraph.clone(), vec![node], vec![label]);
+        VerifiableModel::verify_rcw(self, graph, &single, cfg)
+    }
+
+    /// Bounded search, restricted to `candidates`, for a disturbance that
+    /// disproves robustness of `witness` for any of `test_nodes` (a worker's
+    /// share of a parallel round). Default: randomized sampling seeded from
+    /// `cfg.seed` and `salt`. APPNP overrides this with the greedy PRI search.
+    #[allow(clippy::too_many_arguments)]
+    fn search_disturbance(
+        &self,
+        graph: &Graph,
+        witness: &Witness,
+        test_nodes: &[NodeId],
+        labels: &[usize],
+        candidates: &[Edge],
+        cfg: &RcwConfig,
+        salt: u64,
+    ) -> DisturbanceSearch {
+        let mut report = DisturbanceSearch::default();
+        if candidates.is_empty() || cfg.k == 0 {
+            return report;
+        }
+        let mut rng = Rng::seed_from_u64(cfg.seed.wrapping_add(salt));
+        'outer: for _ in 0..cfg.sampled_disturbances {
+            let mut pool = candidates.to_vec();
+            pool.shuffle(&mut rng);
+            let flips: EdgeSet = pool.into_iter().take(cfg.k).collect();
+            if flips.is_empty() {
+                break;
+            }
+            report.disturbances_checked += 1;
+            for (i, &v) in test_nodes.iter().enumerate() {
+                let single = Witness::new(witness.subgraph.clone(), vec![v], vec![labels[i]]);
+                let (ok, calls) = disturbance_preserves_cw(self.as_gnn(), graph, &single, &flips);
+                report.inference_calls += calls;
+                if !ok {
+                    report.counterexample = Some(flips);
+                    break 'outer;
+                }
+            }
+        }
+        report
+    }
+}
+
+impl<'m> VerifiableModel for dyn GnnModel + 'm {
+    fn as_gnn(&self) -> &dyn GnnModel {
+        self
+    }
+}
+
+impl VerifiableModel for Gcn {
+    fn as_gnn(&self) -> &dyn GnnModel {
+        self
+    }
+}
+
+impl VerifiableModel for GraphSage {
+    fn as_gnn(&self) -> &dyn GnnModel {
+        self
+    }
+}
+
+impl VerifiableModel for Gat {
+    fn as_gnn(&self) -> &dyn GnnModel {
+        self
+    }
+}
+
+impl VerifiableModel for Appnp {
+    fn as_gnn(&self) -> &dyn GnnModel {
+        self
+    }
+
+    /// Algorithm 1, `verifyRCW-APPNP`: tractable under (k, b)-disturbances.
+    fn verify_rcw(&self, graph: &Graph, witness: &Witness, cfg: &RcwConfig) -> VerifyOutcome {
+        verify_rcw_appnp(self, graph, witness, cfg)
+    }
+
+    fn verify_rcw_node(
+        &self,
+        graph: &Graph,
+        witness: &Witness,
+        node: NodeId,
+        cfg: &RcwConfig,
+    ) -> VerifyOutcome {
+        verify_rcw_appnp_node(self, graph, witness, node, cfg)
+    }
+
+    /// Greedy policy-iteration search (Procedure PRI) for the single worst
+    /// admissible disturbance per competitor class.
+    fn search_disturbance(
+        &self,
+        graph: &Graph,
+        witness: &Witness,
+        test_nodes: &[NodeId],
+        labels: &[usize],
+        candidates: &[Edge],
+        cfg: &RcwConfig,
+        _salt: u64,
+    ) -> DisturbanceSearch {
+        let mut report = DisturbanceSearch::default();
+        if candidates.is_empty() || cfg.k == 0 {
+            return report;
+        }
+        let full = GraphView::full(graph);
+        let h = self.local_logits(&full);
+        let pri_cfg = PriConfig {
+            alpha: self.alpha(),
+            local_budget: cfg.local_budget.max(1),
+            max_rounds: cfg.pri_rounds,
+            value_iters: cfg.ppr_iters,
+        };
+        'nodes: for (i, &v) in test_nodes.iter().enumerate() {
+            let label = labels[i];
+            for c in 0..self.num_classes() {
+                if c == label {
+                    continue;
+                }
+                let r: Vec<f64> = (0..graph.num_nodes())
+                    .map(|u| h.get(u, c) - h.get(u, label))
+                    .collect();
+                let found = pri_search(&full, candidates, &r, v, &pri_cfg);
+                let mut e_star = found.disturbance;
+                if e_star.len() > cfg.k {
+                    e_star = truncate_to_k(&full, &e_star, &r, self.alpha(), cfg.k);
+                }
+                if e_star.is_empty() {
+                    continue;
+                }
+                report.disturbances_checked += 1;
+                let single = Witness::new(witness.subgraph.clone(), vec![v], vec![label]);
+                let (ok, calls) = disturbance_preserves_cw(self, graph, &single, &e_star);
+                report.inference_calls += calls;
+                if !ok {
+                    report.counterexample = Some(e_star);
+                    break 'nodes;
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcw_gnn::TrainConfig;
+    use rcw_graph::EdgeSubgraph;
+
+    /// Two cliques with a featureless boundary node, and a trained APPNP.
+    fn setup() -> (Graph, Appnp, usize) {
+        let mut g = Graph::new();
+        for i in 0..12 {
+            let class = usize::from(i >= 6);
+            let feats = if class == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
+            g.add_labeled_node(feats, class);
+        }
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                g.add_edge(u, v);
+            }
+        }
+        for u in 6..12 {
+            for v in (u + 1)..12 {
+                g.add_edge(u, v);
+            }
+        }
+        let t = g.add_labeled_node(vec![0.05, 0.25], 0);
+        g.add_edge(t, 0);
+        g.add_edge(t, 1);
+        g.add_edge(t, 2);
+        let mut appnp = Appnp::new(&[2, 8, 2], 0.2, 12, 5);
+        let train: Vec<usize> = (0..12).collect();
+        appnp.train(
+            &GraphView::full(&g),
+            &train,
+            &TrainConfig {
+                epochs: 120,
+                learning_rate: 0.05,
+                ..TrainConfig::default()
+            },
+        );
+        (g, appnp, t)
+    }
+
+    fn ego_witness(g: &Graph, m: &Appnp, t: usize) -> Witness {
+        let l = m.predict(t, &GraphView::full(g)).unwrap();
+        Witness::new(
+            EdgeSubgraph::from_edges([(t, 0), (t, 1), (t, 2)]),
+            vec![t],
+            vec![l],
+        )
+    }
+
+    /// The acceptance-criterion test: a concrete `&Appnp` dispatches to the
+    /// tractable `verify_rcw_appnp` path, while the same model viewed as a
+    /// type-erased `&dyn GnnModel` dispatches to the sampling path.
+    #[test]
+    fn appnp_routes_to_the_tractable_verifier() {
+        let (g, appnp, t) = setup();
+        let w = ego_witness(&g, &appnp, t);
+        let cfg = RcwConfig::with_budgets(2, 1);
+
+        let via_trait = VerifiableModel::verify_rcw(&appnp, &g, &w, &cfg);
+        let tractable = verify_rcw_appnp(&appnp, &g, &w, &cfg);
+        assert_eq!(via_trait, tractable, "Appnp must use verify_rcw_appnp");
+
+        let erased: &dyn GnnModel = &appnp;
+        let via_erased = VerifiableModel::verify_rcw(erased, &g, &w, &cfg);
+        let sampling = crate::verify::verify_rcw(&appnp, &g, &w, &cfg);
+        assert_eq!(
+            via_erased, sampling,
+            "a type-erased model must use the model-agnostic verifier"
+        );
+    }
+
+    #[test]
+    fn per_node_dispatch_matches_the_appnp_verifier() {
+        let (g, appnp, t) = setup();
+        let w = ego_witness(&g, &appnp, t);
+        let cfg = RcwConfig::with_budgets(1, 1);
+        let via_trait = appnp.verify_rcw_node(&g, &w, t, &cfg);
+        let direct = verify_rcw_appnp_node(&appnp, &g, &w, t, &cfg);
+        assert_eq!(via_trait, direct);
+    }
+
+    #[test]
+    fn default_search_is_deterministic_in_seed_and_salt() {
+        let (g, appnp, t) = setup();
+        let w = ego_witness(&g, &appnp, t);
+        let cfg = RcwConfig::with_budgets(2, 1);
+        let erased: &dyn GnnModel = &appnp;
+        let candidates: Vec<Edge> = g.edges().take(8).collect();
+        let labels = [w.labels[0]];
+        let a = erased.search_disturbance(&g, &w, &[t], &labels, &candidates, &cfg, 1);
+        let b = erased.search_disturbance(&g, &w, &[t], &labels, &candidates, &cfg, 1);
+        assert_eq!(a.counterexample, b.counterexample);
+        assert_eq!(a.disturbances_checked, b.disturbances_checked);
+    }
+
+    #[test]
+    fn search_respects_empty_candidates_and_zero_k() {
+        let (g, appnp, t) = setup();
+        let w = ego_witness(&g, &appnp, t);
+        let labels = [w.labels[0]];
+        let none = appnp.search_disturbance(
+            &g,
+            &w,
+            &[t],
+            &labels,
+            &[],
+            &RcwConfig::with_budgets(2, 1),
+            0,
+        );
+        assert!(none.counterexample.is_none());
+        assert_eq!(none.disturbances_checked, 0);
+        let candidates: Vec<Edge> = g.edges().take(4).collect();
+        let zero_k = appnp.search_disturbance(
+            &g,
+            &w,
+            &[t],
+            &labels,
+            &candidates,
+            &RcwConfig::with_budgets(0, 0),
+            0,
+        );
+        assert!(zero_k.counterexample.is_none());
+    }
+}

@@ -10,26 +10,26 @@
 //! Each expand–verify round proceeds as:
 //! 1. **paraExpand / paraVerify** — every worker searches, inside its
 //!    fragment's candidate pairs, for a disturbance that disproves the current
-//!    witness (policy iteration for APPNP, sampling otherwise) and reports the
+//!    witness (the model's [`VerifiableModel::search_disturbance`] strategy:
+//!    policy iteration for APPNP, sampling otherwise) and reports the
 //!    counterexample edges it wants absorbed into the witness;
 //! 2. **synchronize** — the coordinator merges the verified-pair bitmaps,
 //!    unions the workers' expansions into the global witness, and
-//! 3. **coordinator verification** — re-verifies the merged witness globally
-//!    (skipping pairs already covered by the bitmap) and decides whether to
-//!    iterate or stop.
+//! 3. **coordinator verification** — re-verifies the merged witness globally,
+//!    fanning the independent per-node checks across the workers, and decides
+//!    whether to iterate or stop.
 
 use crate::config::RcwConfig;
-use crate::generate::{GenerationResult, GenerationStats, ModelRef, RoboGExp};
-use crate::verify::{candidate_pairs, disturbance_preserves_cw};
-use crate::verify_appnp::verify_rcw_appnp_node;
-use crate::witness::{Witness, WitnessLevel};
-use parking_lot::Mutex;
+use crate::generate::{GenerationResult, GenerationStats, RoboGExp};
+use crate::model::VerifiableModel;
+use crate::verify::candidate_pairs;
+use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
 use rcw_gnn::{Appnp, GnnModel};
 use rcw_graph::{
-    edge_cut_partition, AdjacencyBitmap, Edge, EdgeSet, Graph, GraphView, NodeId, Partition,
+    edge_cut_partition, AdjacencyBitmap, Edge, Graph, GraphView, NodeId, Partition,
     VerifiedPairBitmap,
 };
-use rcw_pagerank::{pri_search, truncate_to_k, PriConfig};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Parallel-execution statistics, complementing [`GenerationStats`].
@@ -58,42 +58,36 @@ pub struct ParallelGenerationResult {
     pub parallel: ParallelStats,
 }
 
-/// The parallel generator.
-pub struct ParaRoboGExp<'a> {
-    model: ModelRef<'a>,
+/// The parallel generator. Like [`RoboGExp`], generic over the model's
+/// verification strategy; `M` is usually inferred from the constructor.
+pub struct ParaRoboGExp<'a, M: VerifiableModel + ?Sized = dyn GnnModel> {
+    model: &'a M,
     cfg: RcwConfig,
     num_workers: usize,
 }
 
-/// What one worker reports back to the coordinator after a round.
-struct WorkerReport {
-    /// A disturbance that disproved robustness for some test node, if found.
-    counterexample: Option<EdgeSet>,
-    /// Pairs the worker examined (to be merged into the shared bitmap).
-    examined: Vec<Edge>,
-    /// Inference calls spent by the worker.
-    inference_calls: usize,
-    /// Disturbances the worker checked.
-    disturbances: usize,
+impl<'a> ParaRoboGExp<'a, Appnp> {
+    /// Creates a parallel generator for an APPNP classifier (tractable
+    /// verification). Equivalent to [`ParaRoboGExp::new`].
+    pub fn for_appnp(appnp: &'a Appnp, cfg: RcwConfig, num_workers: usize) -> Self {
+        ParaRoboGExp::new(appnp, cfg, num_workers)
+    }
 }
 
-impl<'a> ParaRoboGExp<'a> {
-    /// Creates a parallel generator for an APPNP classifier.
-    pub fn for_appnp(appnp: &'a Appnp, cfg: RcwConfig, num_workers: usize) -> Self {
+impl<'a, M: VerifiableModel + ?Sized> ParaRoboGExp<'a, M> {
+    /// Creates a parallel generator for any fixed deterministic GNN.
+    pub fn new(model: &'a M, cfg: RcwConfig, num_workers: usize) -> Self {
         ParaRoboGExp {
-            model: ModelRef::Appnp(appnp),
+            model,
             cfg,
             num_workers: num_workers.max(1),
         }
     }
 
-    /// Creates a parallel generator for an arbitrary model.
-    pub fn for_model(model: &'a dyn rcw_gnn::GnnModel, cfg: RcwConfig, num_workers: usize) -> Self {
-        ParaRoboGExp {
-            model: ModelRef::Generic(model),
-            cfg,
-            num_workers: num_workers.max(1),
-        }
+    /// Alias of [`ParaRoboGExp::new`]. Accepts concrete models and `&dyn
+    /// GnnModel` trait objects alike.
+    pub fn for_model(model: &'a M, cfg: RcwConfig, num_workers: usize) -> Self {
+        ParaRoboGExp::new(model, cfg, num_workers)
     }
 
     /// Number of workers.
@@ -103,10 +97,13 @@ impl<'a> ParaRoboGExp<'a> {
 
     /// Generates a witness using the coordinator/worker scheme.
     pub fn generate(&self, graph: &Graph, test_nodes: &[NodeId]) -> ParallelGenerationResult {
-        assert!(!test_nodes.is_empty(), "ParaRoboGExp::generate: empty test set");
+        assert!(
+            !test_nodes.is_empty(),
+            "ParaRoboGExp::generate: empty test set"
+        );
         self.cfg.validate().expect("invalid RcwConfig");
         let start = Instant::now();
-        let model = self.model.model();
+        let model = self.model.as_gnn();
         let mut stats = GenerationStats::default();
         let mut pstats = ParallelStats {
             workers: self.num_workers,
@@ -136,34 +133,27 @@ impl<'a> ParaRoboGExp<'a> {
         // test node, distributed across the workers — each worker expands the
         // witness for its chunk of test nodes, the coordinator unions the
         // partial witnesses (the test nodes' expansions are independent).
-        let sequential = match self.model {
-            ModelRef::Appnp(a) => RoboGExp::for_appnp(a, bootstrap_config(&self.cfg)),
-            ModelRef::Generic(m) => RoboGExp::for_model(m, bootstrap_config(&self.cfg)),
-        };
         let chunk = test_nodes.len().div_ceil(self.num_workers);
         let partial: Mutex<Vec<(rcw_graph::EdgeSubgraph, usize)>> = Mutex::new(Vec::new());
         let boot_start = Instant::now();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for nodes in test_nodes.chunks(chunk.max(1)) {
-                let model_ref = self.model;
                 let cfg = bootstrap_config(&self.cfg);
                 let partial_ref = &partial;
-                scope.spawn(move |_| {
-                    let local = match model_ref {
-                        ModelRef::Appnp(a) => RoboGExp::for_appnp(a, cfg),
-                        ModelRef::Generic(m) => RoboGExp::for_model(m, cfg),
-                    };
+                let model_ref = self.model;
+                scope.spawn(move || {
+                    let local = RoboGExp::new(model_ref, cfg);
                     let result = local.generate(graph, nodes);
                     partial_ref
                         .lock()
+                        .expect("bootstrap mutex poisoned")
                         .push((result.witness.subgraph, result.stats.inference_calls));
                 });
             }
-        })
-        .expect("bootstrap worker panicked");
+        });
         pstats.parallel_time += boot_start.elapsed();
         let mut merged = rcw_graph::EdgeSubgraph::from_nodes(test_nodes.iter().copied());
-        for (sub, calls) in partial.into_inner() {
+        for (sub, calls) in partial.into_inner().expect("bootstrap mutex poisoned") {
             merged.extend(&sub);
             stats.inference_calls += calls;
         }
@@ -217,18 +207,17 @@ impl<'a> ParaRoboGExp<'a> {
                 })
                 .collect();
 
-            let reports = Mutex::new(Vec::<WorkerReport>::new());
+            let reports = Mutex::new(Vec::<crate::model::DisturbanceSearch>::new());
             let par_start = Instant::now();
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (wid, cands) in per_worker.iter().enumerate() {
                     let witness_ref = &witness;
                     let reports_ref = &reports;
                     let model_ref = self.model;
                     let cfg = &self.cfg;
                     let (own_nodes, own_labels) = &nodes_per_worker[wid];
-                    scope.spawn(move |_| {
-                        let report = worker_round(
-                            model_ref,
+                    scope.spawn(move || {
+                        let report = model_ref.search_disturbance(
                             graph,
                             witness_ref,
                             own_nodes,
@@ -237,23 +226,28 @@ impl<'a> ParaRoboGExp<'a> {
                             cfg,
                             wid as u64,
                         );
-                        reports_ref.lock().push(report);
+                        reports_ref
+                            .lock()
+                            .expect("worker mutex poisoned")
+                            .push(report);
                     });
                 }
-            })
-            .expect("worker thread panicked");
+            });
             pstats.parallel_time += par_start.elapsed();
 
-            // Synchronize: merge bitmaps, collect counterexamples.
-            let reports = reports.into_inner();
+            // Synchronize: mark every candidate pair handed to a worker as
+            // examined, merge the reports, collect counterexamples.
+            for cands in &per_worker {
+                for &(u, v) in cands {
+                    verified_pairs.mark(u, v);
+                }
+            }
+            let reports = reports.into_inner().expect("worker mutex poisoned");
             let mut any_counterexample = false;
             let mut grew = false;
             for report in reports {
                 stats.inference_calls += report.inference_calls;
-                stats.disturbances_verified += report.disturbances;
-                for (u, v) in &report.examined {
-                    verified_pairs.mark(*u, *v);
-                }
+                stats.disturbances_verified += report.disturbances_checked;
                 if let Some(ce) = report.counterexample {
                     any_counterexample = true;
                     pstats.local_counterexamples += 1;
@@ -268,15 +262,10 @@ impl<'a> ParaRoboGExp<'a> {
             pstats.bytes_synchronized += verified_pairs.byte_size();
             pstats.pairs_marked = verified_pairs.count();
 
-            // Coordinator-side verification of the merged witness. For the
-            // APPNP path the per-node checks are independent, so they are
-            // fanned out across the workers as well (paraverifyRCW).
-            let outcome = match self.model {
-                ModelRef::Appnp(appnp) => {
-                    parallel_verify_appnp(appnp, graph, &witness, &self.cfg, self.num_workers)
-                }
-                ModelRef::Generic(_) => sequential.verify(graph, &witness),
-            };
+            // Coordinator-side verification of the merged witness. The
+            // per-node checks are independent (Lemma 6), so they are fanned
+            // out across the workers for every model family (paraverifyRCW).
+            let outcome = parallel_verify(self.model, graph, &witness, &self.cfg, self.num_workers);
             stats.inference_calls += outcome.inference_calls;
             stats.disturbances_verified += outcome.disturbances_checked;
             level = outcome.level;
@@ -316,38 +305,39 @@ impl<'a> ParaRoboGExp<'a> {
     }
 }
 
-/// Per-node APPNP verification fanned out over worker threads: each worker
-/// verifies a chunk of test nodes with `verifyRCW-APPNP`; the coordinator
-/// keeps the weakest level and the first counterexample (Lemma 6 makes any
-/// locally found counterexample globally valid).
-fn parallel_verify_appnp(
-    appnp: &Appnp,
+/// Coordinator verification fanned out over worker threads: each worker
+/// verifies a chunk of test nodes with the model's per-node verifier; the
+/// coordinator keeps the weakest level and the first counterexample (Lemma 6
+/// makes any locally found counterexample globally valid).
+fn parallel_verify<M: VerifiableModel + ?Sized>(
+    model: &M,
     graph: &Graph,
     witness: &Witness,
     cfg: &RcwConfig,
     num_workers: usize,
-) -> crate::witness::VerifyOutcome {
-    use crate::witness::VerifyOutcome;
+) -> VerifyOutcome {
     let nodes = witness.test_nodes.clone();
     if nodes.len() <= 1 || num_workers <= 1 {
-        return crate::verify_appnp::verify_rcw_appnp(appnp, graph, witness, cfg);
+        return model.verify_rcw(graph, witness, cfg);
     }
     let chunk = nodes.len().div_ceil(num_workers);
     let outcomes: Mutex<Vec<VerifyOutcome>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for part in nodes.chunks(chunk.max(1)) {
             let outcomes_ref = &outcomes;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for &v in part {
-                    let out = verify_rcw_appnp_node(appnp, graph, witness, v, cfg);
-                    outcomes_ref.lock().push(out);
+                    let out = model.verify_rcw_node(graph, witness, v, cfg);
+                    outcomes_ref
+                        .lock()
+                        .expect("verify mutex poisoned")
+                        .push(out);
                 }
             });
         }
-    })
-    .expect("verification worker panicked");
+    });
     let mut merged = VerifyOutcome::at_level(WitnessLevel::Robust);
-    for out in outcomes.into_inner() {
+    for out in outcomes.into_inner().expect("verify mutex poisoned") {
         merged.inference_calls += out.inference_calls;
         merged.disturbances_checked += out.disturbances_checked;
         if rank(out.level) < rank(merged.level) {
@@ -376,99 +366,6 @@ fn bootstrap_config(cfg: &RcwConfig) -> RcwConfig {
         max_expand_rounds: 1,
         ..cfg.clone()
     }
-}
-
-/// One worker's share of a parallel round: look for a disturbance inside its
-/// candidate pairs that disproves robustness of the current witness for any
-/// test node.
-#[allow(clippy::too_many_arguments)]
-fn worker_round(
-    model: ModelRef<'_>,
-    graph: &Graph,
-    witness: &Witness,
-    test_nodes: &[NodeId],
-    labels: &[usize],
-    candidates: &[Edge],
-    cfg: &RcwConfig,
-    worker_seed: u64,
-) -> WorkerReport {
-    let mut report = WorkerReport {
-        counterexample: None,
-        examined: candidates.to_vec(),
-        inference_calls: 0,
-        disturbances: 0,
-    };
-    if candidates.is_empty() || cfg.k == 0 {
-        return report;
-    }
-    let full = GraphView::full(graph);
-
-    match model {
-        ModelRef::Appnp(appnp) => {
-            let h = appnp.local_logits(&full);
-            let pri_cfg = PriConfig {
-                alpha: appnp.alpha(),
-                local_budget: cfg.local_budget.max(1),
-                max_rounds: cfg.pri_rounds,
-                value_iters: cfg.ppr_iters,
-            };
-            'nodes: for (i, &v) in test_nodes.iter().enumerate() {
-                let label = labels[i];
-                for c in 0..appnp.num_classes() {
-                    if c == label {
-                        continue;
-                    }
-                    let r: Vec<f64> = (0..graph.num_nodes())
-                        .map(|u| h.get(u, c) - h.get(u, label))
-                        .collect();
-                    let found = pri_search(&full, candidates, &r, v, &pri_cfg);
-                    let mut e_star = found.disturbance;
-                    if e_star.len() > cfg.k {
-                        e_star = truncate_to_k(&full, &e_star, &r, appnp.alpha(), cfg.k);
-                    }
-                    if e_star.is_empty() {
-                        continue;
-                    }
-                    report.disturbances += 1;
-                    let single =
-                        Witness::new(witness.subgraph.clone(), vec![v], vec![label]);
-                    let (ok, calls) =
-                        disturbance_preserves_cw(appnp, graph, &single, &e_star);
-                    report.inference_calls += calls;
-                    if !ok {
-                        report.counterexample = Some(e_star);
-                        break 'nodes;
-                    }
-                }
-            }
-        }
-        ModelRef::Generic(m) => {
-            // Randomized search restricted to this worker's candidates.
-            use rand::rngs::StdRng;
-            use rand::seq::SliceRandom;
-            use rand::SeedableRng;
-            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(worker_seed));
-            'outer: for _ in 0..cfg.sampled_disturbances {
-                let mut pool = candidates.to_vec();
-                pool.shuffle(&mut rng);
-                let flips: EdgeSet = pool.into_iter().take(cfg.k).collect();
-                if flips.is_empty() {
-                    break;
-                }
-                report.disturbances += 1;
-                for (i, &v) in test_nodes.iter().enumerate() {
-                    let single = Witness::new(witness.subgraph.clone(), vec![v], vec![labels[i]]);
-                    let (ok, calls) = disturbance_preserves_cw(m, graph, &single, &flips);
-                    report.inference_calls += calls;
-                    if !ok {
-                        report.counterexample = Some(flips);
-                        break 'outer;
-                    }
-                }
-            }
-        }
-    }
-    report
 }
 
 #[cfg(test)]
@@ -572,7 +469,9 @@ mod tests {
             sampled_disturbances: 6,
             ..RcwConfig::default()
         };
-        let out = ParaRoboGExp::for_model(&gcn, cfg, 4).generate(&g, &tests);
+        // dispatch through the type-erased layer, as the bench harness does
+        let model: &dyn GnnModel = &gcn;
+        let out = ParaRoboGExp::for_model(model, cfg, 4).generate(&g, &tests);
         assert_eq!(out.parallel.workers, 4);
         assert!(out.result.witness.subgraph.is_subgraph_of(&g) || out.result.witness.size() > 0);
         assert!(out.parallel.bytes_synchronized > 0);

@@ -269,13 +269,22 @@ mod tests {
 
     fn witness_for(g: &Graph, model: &Gcn, t: usize, edges: &[Edge]) -> Witness {
         let label = model.predict(t, &GraphView::full(g)).unwrap();
-        Witness::new(EdgeSubgraph::from_edges(edges.iter().copied()), vec![t], vec![label])
+        Witness::new(
+            EdgeSubgraph::from_edges(edges.iter().copied()),
+            vec![t],
+            vec![label],
+        )
     }
 
     #[test]
     fn ego_edges_are_a_factual_witness() {
         let (g, gcn, t) = setup();
-        let w = witness_for(&g, &gcn, t, &[(t, 0), (t, 1), (t, 2), (0, 1), (0, 2), (1, 2)]);
+        let w = witness_for(
+            &g,
+            &gcn,
+            t,
+            &[(t, 0), (t, 1), (t, 2), (0, 1), (0, 2), (1, 2)],
+        );
         let (ok, calls) = verify_factual(&gcn, &g, &w);
         assert!(ok, "the ego network must reproduce the label");
         assert_eq!(calls, 1);
@@ -302,7 +311,10 @@ mod tests {
             let (cf, _) = verify_counterfactual(&gcn, &g, &w);
             // removing every edge that connects t to its community must
             // destroy the evidence for class 0
-            assert!(cf, "cutting all of t's edges must flip or undefine its label");
+            assert!(
+                cf,
+                "cutting all of t's edges must flip or undefine its label"
+            );
         }
     }
 
@@ -316,7 +328,12 @@ mod tests {
         // from G cannot flip t's label
         assert!(!out.is_counterfactual(), "unexpected level {:?}", out.level);
 
-        let ego = witness_for(&g, &gcn, t, &[(t, 0), (t, 1), (t, 2), (0, 1), (0, 2), (1, 2)]);
+        let ego = witness_for(
+            &g,
+            &gcn,
+            t,
+            &[(t, 0), (t, 1), (t, 2), (0, 1), (0, 2), (1, 2)],
+        );
         let out = verify_rcw(&gcn, &g, &ego, &cfg);
         assert!(out.is_factual());
         assert!(out.inference_calls > 0);

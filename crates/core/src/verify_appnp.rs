@@ -10,7 +10,9 @@
 //! `l`, and the disturbed remainder must still flip it).
 
 use crate::config::RcwConfig;
-use crate::verify::{candidate_pairs, disturbance_preserves_cw, verify_counterfactual, verify_factual};
+use crate::verify::{
+    candidate_pairs, disturbance_preserves_cw, verify_counterfactual, verify_factual,
+};
 use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
 use rcw_gnn::{Appnp, GnnModel};
 use rcw_graph::{EdgeSet, Graph, GraphView, NodeId};
@@ -206,7 +208,11 @@ mod tests {
 
     fn witness_of(g: &Graph, m: &Appnp, t: usize, edges: &[(usize, usize)]) -> Witness {
         let l = m.predict(t, &GraphView::full(g)).unwrap();
-        Witness::new(EdgeSubgraph::from_edges(edges.iter().copied()), vec![t], vec![l])
+        Witness::new(
+            EdgeSubgraph::from_edges(edges.iter().copied()),
+            vec![t],
+            vec![l],
+        )
     }
 
     #[test]

@@ -12,11 +12,10 @@
 //!   k-disturbance of the remainder of the graph.
 
 use rcw_graph::{EdgeSet, EdgeSubgraph, Graph, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A candidate explanation: a subgraph plus the test nodes it explains and the
 /// labels the classifier assigned to them on the full graph.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Witness {
     /// The explanation subgraph `Gs`.
     pub subgraph: EdgeSubgraph,
@@ -50,7 +49,11 @@ impl Witness {
 
     /// The trivial witness containing only the test nodes (no edges).
     pub fn trivial_nodes(test_nodes: Vec<NodeId>, labels: Vec<usize>) -> Self {
-        Witness::new(EdgeSubgraph::from_nodes(test_nodes.clone()), test_nodes, labels)
+        Witness::new(
+            EdgeSubgraph::from_nodes(test_nodes.clone()),
+            test_nodes,
+            labels,
+        )
     }
 
     /// The trivial witness equal to the whole graph (always a k-RCW, never
@@ -86,7 +89,7 @@ impl Witness {
 }
 
 /// The robustness level established for a witness by a verification run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WitnessLevel {
     /// Not even factual.
     NotAWitness,
@@ -100,7 +103,7 @@ pub enum WitnessLevel {
 }
 
 /// Outcome of verifying one witness against one test node (or a whole test set).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VerifyOutcome {
     /// The strongest level established.
     pub level: WitnessLevel,
@@ -130,7 +133,10 @@ impl VerifyOutcome {
 
     /// Whether the witness is at least a counterfactual witness.
     pub fn is_counterfactual(&self) -> bool {
-        matches!(self.level, WitnessLevel::Counterfactual | WitnessLevel::Robust)
+        matches!(
+            self.level,
+            WitnessLevel::Counterfactual | WitnessLevel::Robust
+        )
     }
 
     /// Whether the witness is at least factual.

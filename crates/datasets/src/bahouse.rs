@@ -7,9 +7,8 @@
 //! structure, which is exactly what structural explanations should recover.
 
 use crate::{split, Dataset, Scale};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rcw_graph::generators::{attach_house_motif, barabasi_albert};
+use rcw_linalg::rng::Rng;
 
 /// Builds the BAHouse dataset at the given scale.
 pub fn build(scale: Scale, seed: u64) -> Dataset {
@@ -18,7 +17,7 @@ pub fn build(scale: Scale, seed: u64) -> Dataset {
         Scale::Small => (100, 20),
         Scale::Full => (300, 60),
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut graph = barabasi_albert(base_nodes, 2, seed);
     // base labels
     for v in 0..base_nodes {

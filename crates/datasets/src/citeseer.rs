@@ -7,9 +7,8 @@
 //! at a laptop-friendly scale.
 
 use crate::{split, Dataset, Scale};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rcw_graph::generators::{ensure_connected, stochastic_block_model};
+use rcw_linalg::rng::Rng;
 
 /// Number of classes (paper areas), matching CiteSeer.
 pub const NUM_CLASSES: usize = 6;
@@ -33,10 +32,9 @@ pub fn build(scale: Scale, seed: u64) -> Dataset {
     let (mut graph, membership) = stochastic_block_model(&blocks, p_in, p_out, seed);
     ensure_connected(&mut graph, seed.wrapping_add(1));
 
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    let mut rng = Rng::seed_from_u64(seed.wrapping_add(2));
     let keywords_per_class = FEATURE_DIM / NUM_CLASSES;
-    for v in 0..graph.num_nodes() {
-        let class = membership[v];
+    for (v, &class) in membership.iter().enumerate() {
         let mut feats = vec![0.0; FEATURE_DIM];
         // class-indicative keywords: each present with probability 0.6
         for j in 0..keywords_per_class {
@@ -98,6 +96,9 @@ mod tests {
                 inter += 1;
             }
         }
-        assert!(intra > inter, "citation networks are homophilous: {intra} vs {inter}");
+        assert!(
+            intra > inter,
+            "citation networks are homophilous: {intra} vs {inter}"
+        );
     }
 }

@@ -166,10 +166,18 @@ mod tests {
             assert!(ds.graph.num_edges() > 0, "{} has no edges", ds.name);
             assert!(ds.num_classes() >= 2, "{} needs >= 2 classes", ds.name);
             assert!(ds.feature_dim() >= 1, "{} needs features", ds.name);
-            assert!(!ds.train_nodes.is_empty(), "{} has no training nodes", ds.name);
+            assert!(
+                !ds.train_nodes.is_empty(),
+                "{} has no training nodes",
+                ds.name
+            );
             assert!(!ds.test_pool.is_empty(), "{} has no test pool", ds.name);
             for t in &ds.test_pool {
-                assert!(!ds.train_nodes.contains(t), "{}: split not disjoint", ds.name);
+                assert!(
+                    !ds.train_nodes.contains(t),
+                    "{}: split not disjoint",
+                    ds.name
+                );
             }
         }
     }

@@ -76,7 +76,9 @@ fn add_atom(g: &mut Graph, atom: Atom, label: usize) -> NodeId {
 
 /// Builds a benzene-like ring of `size` carbons (all initially non-mutagenic).
 fn carbon_ring(g: &mut Graph, size: usize) -> Vec<NodeId> {
-    let atoms: Vec<NodeId> = (0..size).map(|_| add_atom(g, Atom::C, NON_MUTAGENIC)).collect();
+    let atoms: Vec<NodeId> = (0..size)
+        .map(|_| add_atom(g, Atom::C, NON_MUTAGENIC))
+        .collect();
     for i in 0..size {
         g.add_edge(atoms[i], atoms[(i + 1) % size]);
     }
@@ -132,9 +134,9 @@ pub fn nonmutagenic_molecule() -> Molecule {
     let mut g = Graph::new();
     let ring = carbon_ring(&mut g, 6);
     let mut hydrogens = Vec::new();
-    for i in 0..6 {
+    for &r in &ring {
         let h = add_atom(&mut g, Atom::H, NON_MUTAGENIC);
-        g.add_edge(ring[i], h);
+        g.add_edge(r, h);
         hydrogens.push(h);
     }
     Molecule {

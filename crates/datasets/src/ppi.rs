@@ -6,9 +6,8 @@
 //! with continuous "signature" features correlated with the module.
 
 use crate::{split, Dataset, Scale};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rcw_graph::generators::{ensure_connected, stochastic_block_model};
+use rcw_linalg::rng::Rng;
 
 /// Number of functional modules (classes) in the stand-in.
 pub const NUM_MODULES: usize = 5;
@@ -31,9 +30,8 @@ pub fn build(scale: Scale, seed: u64) -> Dataset {
     let (mut graph, membership) = stochastic_block_model(&blocks, p_in, p_out, seed);
     ensure_connected(&mut graph, seed.wrapping_add(1));
 
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
-    for v in 0..graph.num_nodes() {
-        let module = membership[v];
+    let mut rng = Rng::seed_from_u64(seed.wrapping_add(2));
+    for (v, &module) in membership.iter().enumerate() {
         let mut feats = vec![0.0; FEATURE_DIM];
         for (j, feat) in feats.iter_mut().enumerate() {
             // module-specific mean plus noise: signatures overlap but separate in aggregate
@@ -62,7 +60,11 @@ mod tests {
         assert_eq!(ds.num_classes(), NUM_MODULES);
         assert_eq!(ds.feature_dim(), FEATURE_DIM);
         // PPI is dense: average degree should exceed the CiteSeer-like graph's
-        assert!(ds.graph.avg_degree() > 3.0, "avg degree {}", ds.graph.avg_degree());
+        assert!(
+            ds.graph.avg_degree() > 3.0,
+            "avg degree {}",
+            ds.graph.avg_degree()
+        );
     }
 
     #[test]
@@ -73,7 +75,12 @@ mod tests {
         assert!(!nodes.is_empty());
         let v = nodes[0];
         let f = ds.graph.features(v);
-        assert!(f[0] > f[1], "signature coordinate should dominate: {} vs {}", f[0], f[1]);
+        assert!(
+            f[0] > f[1],
+            "signature coordinate should dominate: {} vs {}",
+            f[0],
+            f[1]
+        );
     }
 
     #[test]

@@ -10,9 +10,8 @@
 //! matter how the decoy targets are rewired.
 
 use crate::{split, Dataset, Scale};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rcw_graph::{Graph, NodeId};
+use rcw_linalg::rng::Rng;
 
 /// Class label of vulnerable nodes.
 pub const VULNERABLE: usize = 1;
@@ -100,12 +99,15 @@ pub fn provenance_graph(
     }
 
     // benign background activity
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut background = Vec::new();
     for i in 0..num_background {
-        let kind = if i % 2 == 0 { Kind::File } else { Kind::Process };
-        let b = add(&mut g, Kind::File, false, NORMAL);
-        let _ = kind;
+        let kind = if i % 2 == 0 {
+            Kind::File
+        } else {
+            Kind::Process
+        };
+        let b = add(&mut g, kind, false, NORMAL);
         background.push(b);
     }
     // wire background nodes among themselves and loosely to the mail client
@@ -161,7 +163,10 @@ mod tests {
     fn breach_path_exists_and_is_privileged() {
         let (g, meta) = provenance_graph(5, 20, 1);
         // attachment -> cmd -> key -> breach is a 3-hop path
-        assert_eq!(shortest_path_len(&g, meta.attachment, meta.breach_sh), Some(3));
+        assert_eq!(
+            shortest_path_len(&g, meta.attachment, meta.breach_sh),
+            Some(3)
+        );
         assert_eq!(g.label(meta.breach_sh), Some(VULNERABLE));
         assert_eq!(g.label(meta.cmd_exe), Some(VULNERABLE));
         // privileged flag set on the credential file

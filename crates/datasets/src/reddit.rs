@@ -8,9 +8,8 @@
 //! scaling trend with worker count is what the experiment regenerates.
 
 use crate::{split, Dataset, Scale};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rcw_graph::generators::{ensure_connected, powerlaw_community_graph};
+use rcw_linalg::rng::Rng;
 
 /// Feature dimensionality (the real Reddit uses 602-dim word vectors).
 pub const FEATURE_DIM: usize = 24;
@@ -26,9 +25,8 @@ pub fn build(scale: Scale, seed: u64) -> Dataset {
         powerlaw_community_graph(num_communities, community_size, m, inter, seed);
     ensure_connected(&mut graph, seed.wrapping_add(1));
 
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
-    for v in 0..graph.num_nodes() {
-        let community = membership[v];
+    let mut rng = Rng::seed_from_u64(seed.wrapping_add(2));
+    for (v, &community) in membership.iter().enumerate() {
         let mut feats = vec![0.0; FEATURE_DIM];
         for (j, feat) in feats.iter_mut().enumerate() {
             let mean = if j % num_communities.min(FEATURE_DIM) == community % FEATURE_DIM {
@@ -66,7 +64,10 @@ mod tests {
     fn labels_cover_all_communities() {
         let ds = build(Scale::Tiny, 3);
         for c in 0..4 {
-            assert!(!ds.graph.nodes_with_label(c).is_empty(), "community {c} empty");
+            assert!(
+                !ds.graph.nodes_with_label(c).is_empty(),
+                "community {c} empty"
+            );
         }
     }
 

@@ -19,10 +19,9 @@ use crate::model::{one_hot_labels, GnnModel};
 use crate::train::{Adam, TrainConfig, TrainReport};
 use rcw_graph::{Csr, GraphView, NodeId};
 use rcw_linalg::{init, vector, Activation, Matrix};
-use serde::{Deserialize, Serialize};
 
 /// The APPNP model: an MLP feature transform plus PPR propagation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Appnp {
     /// MLP weights; layer i maps `dims[i] -> dims[i+1]`.
     weights: Vec<Matrix>,
@@ -41,8 +40,14 @@ impl Appnp {
     /// # Panics
     /// Panics if fewer than two dims are given or `alpha` is outside `(0, 1)`.
     pub fn new(dims: &[usize], alpha: f64, prop_iters: usize, seed: u64) -> Self {
-        assert!(dims.len() >= 2, "Appnp::new: need at least input and output dims");
-        assert!(alpha > 0.0 && alpha < 1.0, "Appnp::new: alpha must be in (0,1)");
+        assert!(
+            dims.len() >= 2,
+            "Appnp::new: need at least input and output dims"
+        );
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "Appnp::new: alpha must be in (0,1)"
+        );
         let weights = dims
             .windows(2)
             .enumerate()
@@ -185,8 +190,8 @@ impl Appnp {
                     correct += 1;
                 }
                 let probs = vector::softmax(row);
-                for c in 0..z.cols() {
-                    d_z.set(v, c, (probs[c] - targets.get(v, c)) * inv_batch);
+                for (c, &p) in probs.iter().enumerate() {
+                    d_z.set(v, c, (p - targets.get(v, c)) * inv_batch);
                 }
             }
 
@@ -302,7 +307,11 @@ mod tests {
         let z = m.propagate(&csr, &h);
         for r in 0..z.rows() {
             for c in 0..z.cols() {
-                assert!((z.get(r, c) - 3.0).abs() < 1e-6, "z[{r}][{c}]={}", z.get(r, c));
+                assert!(
+                    (z.get(r, c) - 3.0).abs() < 1e-6,
+                    "z[{r}][{c}]={}",
+                    z.get(r, c)
+                );
             }
         }
     }

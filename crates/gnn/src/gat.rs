@@ -9,10 +9,9 @@
 use crate::model::GnnModel;
 use rcw_graph::{Csr, GraphView};
 use rcw_linalg::{init, vector, Activation, Matrix};
-use serde::{Deserialize, Serialize};
 
 /// One GAT layer: a linear transform plus source/destination attention vectors.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GatLayer {
     weight: Matrix,
     attn_src: Vec<f64>,
@@ -20,7 +19,7 @@ pub struct GatLayer {
 }
 
 /// A single-head GAT model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Gat {
     layers: Vec<GatLayer>,
     activation: Activation,
@@ -32,7 +31,10 @@ impl Gat {
     /// # Panics
     /// Panics if fewer than two dimensions are given.
     pub fn new(dims: &[usize], seed: u64) -> Self {
-        assert!(dims.len() >= 2, "Gat::new: need at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "Gat::new: need at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
@@ -57,7 +59,13 @@ impl Gat {
         }
     }
 
-    fn layer_forward(layer: &GatLayer, csr: &Csr, x: &Matrix, last: bool, act: Activation) -> Matrix {
+    fn layer_forward(
+        layer: &GatLayer,
+        csr: &Csr,
+        x: &Matrix,
+        last: bool,
+        act: Activation,
+    ) -> Matrix {
         let n = x.rows();
         let transformed = x.matmul(&layer.weight);
         let dim = transformed.cols();
@@ -69,6 +77,7 @@ impl Gat {
             .map(|u| vector::dot(transformed.row(u), &layer.attn_dst))
             .collect();
         let mut out = Matrix::zeros(n, dim);
+        #[allow(clippy::needless_range_loop)]
         for u in 0..n {
             // neighborhood including self
             let mut nbrs: Vec<usize> = csr.neighbors(u).to_vec();

@@ -11,10 +11,9 @@ use crate::model::{one_hot_labels, GnnModel};
 use crate::train::{Adam, TrainConfig, TrainReport};
 use rcw_graph::{Csr, GraphView, NodeId};
 use rcw_linalg::{init, vector, Activation, Matrix};
-use serde::{Deserialize, Serialize};
 
 /// A GCN with an arbitrary number of layers.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Gcn {
     /// One weight matrix per layer; layer i maps `dims[i] -> dims[i+1]`.
     weights: Vec<Matrix>,
@@ -39,7 +38,10 @@ impl Gcn {
     /// # Panics
     /// Panics if fewer than two dimensions are given.
     pub fn new(dims: &[usize], seed: u64) -> Self {
-        assert!(dims.len() >= 2, "Gcn::new: need at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "Gcn::new: need at least input and output dims"
+        );
         let weights = dims
             .windows(2)
             .enumerate()
@@ -142,8 +144,8 @@ impl Gcn {
                     correct += 1;
                 }
                 let probs = vector::softmax(row);
-                for c in 0..logits.cols() {
-                    grad.set(v, c, (probs[c] - targets.get(v, c)) * inv_batch);
+                for (c, &p) in probs.iter().enumerate() {
+                    grad.set(v, c, (p - targets.get(v, c)) * inv_batch);
                 }
             }
 

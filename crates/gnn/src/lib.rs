@@ -68,36 +68,37 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
     use rcw_graph::{generators, EdgeSet, GraphView};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// GCN logits are finite and have one row per node for random graphs
-        /// and random edge masks.
-        #[test]
-        fn gcn_logits_always_finite(n in 4usize..14, seed in 0u64..500, mask_seed in 0u64..50) {
-            let mut g = generators::erdos_renyi(n, 0.3, seed);
+    /// GCN logits are finite and have one row per node for random graphs
+    /// and random edge masks. (Pinned seed sweep replacing `proptest`.)
+    #[test]
+    fn gcn_logits_always_finite() {
+        for seed in 0u64..24 {
+            let n = 4 + (seed as usize * 3) % 10;
+            let mut g = generators::erdos_renyi(n, 0.3, seed * 19);
             for v in 0..n {
                 g.set_features(v, vec![(v % 3) as f64, 1.0]);
                 g.set_label(v, v % 2);
             }
             let gcn = Gcn::new(&[2, 4, 2], seed);
             let edges = g.edge_vec();
-            let take = (mask_seed as usize) % (edges.len() + 1);
+            let take = (seed as usize * 7) % (edges.len() + 1);
             let mask: EdgeSet = edges.into_iter().take(take).collect();
             let view = GraphView::without(&g, &mask);
             let z = gcn.logits(&view);
-            prop_assert_eq!(z.shape(), (n, 2));
-            prop_assert!(z.is_finite());
+            assert_eq!(z.shape(), (n, 2), "seed {seed}");
+            assert!(z.is_finite(), "seed {seed}");
         }
+    }
 
-        /// APPNP prediction is invariant to evaluating twice (determinism) and
-        /// well-defined on every node, including isolated ones.
-        #[test]
-        fn appnp_deterministic_and_total(n in 4usize..12, seed in 0u64..500) {
-            let mut g = generators::erdos_renyi(n, 0.25, seed);
+    /// APPNP prediction is invariant to evaluating twice (determinism) and
+    /// well-defined on every node, including isolated ones.
+    #[test]
+    fn appnp_deterministic_and_total() {
+        for seed in 0u64..24 {
+            let n = 4 + (seed as usize * 5) % 8;
+            let mut g = generators::erdos_renyi(n, 0.25, seed * 31);
             for v in 0..n {
                 g.set_features(v, vec![v as f64 / n as f64, 1.0 - v as f64 / n as f64]);
             }
@@ -105,8 +106,8 @@ mod proptests {
             let view = GraphView::full(&g);
             let p1 = m.predict_all(&view);
             let p2 = m.predict_all(&view);
-            prop_assert_eq!(&p1, &p2);
-            prop_assert_eq!(p1.len(), n);
+            assert_eq!(&p1, &p2, "seed {seed}");
+            assert_eq!(p1.len(), n, "seed {seed}");
         }
     }
 }

@@ -63,11 +63,7 @@ pub trait GnnModel: Send + Sync {
 }
 
 /// Accuracy of predictions against ground-truth labels on a node subset.
-pub fn accuracy<M: GnnModel + ?Sized>(
-    model: &M,
-    view: &GraphView<'_>,
-    nodes: &[NodeId],
-) -> f64 {
+pub fn accuracy<M: GnnModel + ?Sized>(model: &M, view: &GraphView<'_>, nodes: &[NodeId]) -> f64 {
     if nodes.is_empty() {
         return 0.0;
     }

@@ -10,10 +10,9 @@
 use crate::model::GnnModel;
 use rcw_graph::{Csr, GraphView};
 use rcw_linalg::{init, Activation, Matrix};
-use serde::{Deserialize, Serialize};
 
 /// A GraphSAGE model with mean aggregation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GraphSage {
     self_weights: Vec<Matrix>,
     neigh_weights: Vec<Matrix>,
@@ -26,7 +25,10 @@ impl GraphSage {
     /// # Panics
     /// Panics if fewer than two dimensions are given.
     pub fn new(dims: &[usize], seed: u64) -> Self {
-        assert!(dims.len() >= 2, "GraphSage::new: need at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "GraphSage::new: need at least input and output dims"
+        );
         let self_weights = dims
             .windows(2)
             .enumerate()
@@ -55,7 +57,10 @@ impl GraphSage {
             neigh_weights.len(),
             "GraphSage::from_weights: layer count mismatch"
         );
-        assert!(!self_weights.is_empty(), "GraphSage::from_weights: no layers");
+        assert!(
+            !self_weights.is_empty(),
+            "GraphSage::from_weights: no layers"
+        );
         GraphSage {
             self_weights,
             neigh_weights,

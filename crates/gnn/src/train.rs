@@ -6,15 +6,12 @@
 //! the trainer's job is to produce a reasonable deterministic classifier for
 //! the synthetic datasets.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use rcw_graph::NodeId;
+use rcw_linalg::rng::{Rng, SliceRandom};
 use rcw_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for full-batch training.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrainConfig {
     /// Number of epochs (full-batch steps).
     pub epochs: usize,
@@ -38,7 +35,7 @@ impl Default for TrainConfig {
 }
 
 /// Per-epoch training curve.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TrainReport {
     /// Cross-entropy loss per epoch.
     pub losses: Vec<f64>,
@@ -114,7 +111,7 @@ pub fn train_test_split(
     seed: u64,
 ) -> (Vec<NodeId>, Vec<NodeId>) {
     let mut nodes = labeled_nodes.to_vec();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     nodes.shuffle(&mut rng);
     let cut = ((nodes.len() as f64) * train_fraction.clamp(0.0, 1.0)).round() as usize;
     let cut = cut.min(nodes.len());

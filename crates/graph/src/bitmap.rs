@@ -8,10 +8,9 @@
 
 use crate::edge::{norm_edge, Edge};
 use crate::graph::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A fixed-length bitset.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Bitmap {
     len: usize,
     words: Vec<u64>,
@@ -41,7 +40,11 @@ impl Bitmap {
     /// # Panics
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "Bitmap::set: index {i} out of bounds ({})", self.len);
+        assert!(
+            i < self.len,
+            "Bitmap::set: index {i} out of bounds ({})",
+            self.len
+        );
         let (w, b) = (i / 64, i % 64);
         if value {
             self.words[w] |= 1 << b;
@@ -52,7 +55,11 @@ impl Bitmap {
 
     /// Reads bit `i`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "Bitmap::get: index {i} out of bounds ({})", self.len);
+        assert!(
+            i < self.len,
+            "Bitmap::get: index {i} out of bounds ({})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -77,7 +84,7 @@ impl Bitmap {
 
 /// A per-row bitmap encoding of an adjacency matrix (the paper's compressed
 /// encoding `B` shared by all fragments).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AdjacencyBitmap {
     n: usize,
     rows: Vec<Bitmap>,
@@ -119,7 +126,7 @@ impl AdjacencyBitmap {
 /// A synchronized record of node pairs whose disturbance has already been
 /// verified. Pairs are mapped into a triangular index so that each undirected
 /// pair owns exactly one bit.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VerifiedPairBitmap {
     n: usize,
     bits: Bitmap,

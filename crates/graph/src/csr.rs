@@ -6,10 +6,9 @@
 
 use crate::graph::NodeId;
 use crate::view::GraphView;
-use serde::{Deserialize, Serialize};
 
 /// Immutable CSR adjacency snapshot with symmetric-normalization helpers.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Csr {
     offsets: Vec<usize>,
     targets: Vec<NodeId>,

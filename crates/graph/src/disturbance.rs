@@ -8,14 +8,11 @@
 
 use crate::edge::{Edge, EdgeSet};
 use crate::graph::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use rcw_linalg::rng::{Rng, SliceRandom};
 use std::collections::BTreeMap;
 
 /// A set of node-pair flips together with the budgets it was built under.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Disturbance {
     flips: EdgeSet,
 }
@@ -86,7 +83,7 @@ impl Disturbance {
 }
 
 /// Strategy for sampling random disturbances.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DisturbanceStrategy {
     /// Only remove existing edges. The paper's experiments mainly use this
     /// ("establishing new links in real networks may be expensive").
@@ -108,7 +105,7 @@ pub fn random_disturbance(
     strategy: DisturbanceStrategy,
     seed: u64,
 ) -> Disturbance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut removable: Vec<Edge> = graph
         .edges()
         .filter(|&(u, v)| !protected.contains(u, v))
@@ -127,22 +124,23 @@ pub fn random_disturbance(
 
     let mut d = Disturbance::new();
     let mut local: BTreeMap<NodeId, usize> = BTreeMap::new();
-    let try_add = |d: &mut Disturbance, local: &mut BTreeMap<NodeId, usize>, u: NodeId, v: NodeId| -> bool {
-        if b > 0 {
-            let cu = *local.get(&u).unwrap_or(&0);
-            let cv = *local.get(&v).unwrap_or(&0);
-            if cu >= b || cv >= b {
-                return false;
+    let try_add =
+        |d: &mut Disturbance, local: &mut BTreeMap<NodeId, usize>, u: NodeId, v: NodeId| -> bool {
+            if b > 0 {
+                let cu = *local.get(&u).unwrap_or(&0);
+                let cv = *local.get(&v).unwrap_or(&0);
+                if cu >= b || cv >= b {
+                    return false;
+                }
             }
-        }
-        if d.add(u, v) {
-            *local.entry(u).or_insert(0) += 1;
-            *local.entry(v).or_insert(0) += 1;
-            true
-        } else {
-            false
-        }
-    };
+            if d.add(u, v) {
+                *local.entry(u).or_insert(0) += 1;
+                *local.entry(v).or_insert(0) += 1;
+                true
+            } else {
+                false
+            }
+        };
 
     let mut ri = 0;
     let mut ii = 0;

@@ -6,7 +6,6 @@
 //! normalized `(u, v)` pairs with `u < v`.
 
 use crate::graph::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// An undirected node pair. Always stored normalized with `u <= v` inside
@@ -24,7 +23,7 @@ pub fn norm_edge(u: NodeId, v: NodeId) -> Edge {
 }
 
 /// A deterministic, ordered set of undirected edges.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EdgeSet {
     edges: BTreeSet<Edge>,
 }
@@ -33,16 +32,6 @@ impl EdgeSet {
     /// Creates an empty edge set.
     pub fn new() -> Self {
         EdgeSet::default()
-    }
-
-    /// Creates an edge set from an iterator of (possibly unnormalized) pairs.
-    /// Self-loops are dropped.
-    pub fn from_iter<I: IntoIterator<Item = Edge>>(iter: I) -> Self {
-        let mut s = EdgeSet::new();
-        for (u, v) in iter {
-            s.insert(u, v);
-        }
-        s
     }
 
     /// Inserts an edge (normalizing the order). Returns `true` if newly added.
@@ -141,8 +130,13 @@ impl EdgeSet {
 }
 
 impl FromIterator<Edge> for EdgeSet {
+    /// Collects (possibly unnormalized) pairs; self-loops are dropped.
     fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
-        EdgeSet::from_iter(iter)
+        let mut s = EdgeSet::new();
+        for (u, v) in iter {
+            s.insert(u, v);
+        }
+        s
     }
 }
 

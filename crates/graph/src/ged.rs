@@ -57,7 +57,7 @@ mod tests {
     fn distance_counts_both_nodes_and_edges() {
         let a = EdgeSubgraph::from_edges([(0, 1), (1, 2)]); // nodes {0,1,2}
         let b = EdgeSubgraph::from_edges([(0, 1), (1, 3)]); // nodes {0,1,3}
-        // node diff: {2,3} -> 2 ; edge diff: {(1,2),(1,3)} -> 2
+                                                            // node diff: {2,3} -> 2 ; edge diff: {(1,2),(1,3)} -> 2
         assert_eq!(ged(&a, &b), 4);
         assert!((normalized_ged(&a, &b) - 4.0 / 5.0).abs() < 1e-12);
     }

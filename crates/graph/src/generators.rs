@@ -6,9 +6,7 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::traversal::connected_components;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rcw_linalg::rng::{Rng, SliceRandom};
 
 /// Barabási–Albert preferential-attachment graph: starts from a clique of
 /// `m` nodes and attaches each new node to `m` existing nodes chosen with
@@ -19,7 +17,7 @@ use rand::{Rng, SeedableRng};
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m >= 1, "barabasi_albert: m must be >= 1");
     assert!(n >= m, "barabasi_albert: n must be >= m");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = Graph::with_nodes(n);
     // Repeated-nodes list: each endpoint occurrence gives preferential attachment.
     let mut targets: Vec<NodeId> = Vec::new();
@@ -116,7 +114,7 @@ pub fn attach_house_motif(g: &mut Graph, attach_to: NodeId) -> Vec<(NodeId, Hous
 
 /// Erdős–Rényi G(n, p) graph.
 pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = Graph::with_nodes(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -141,13 +139,17 @@ pub fn stochastic_block_model(
     let n: usize = block_sizes.iter().sum();
     let mut block_of = Vec::with_capacity(n);
     for (b, &size) in block_sizes.iter().enumerate() {
-        block_of.extend(std::iter::repeat(b).take(size));
+        block_of.extend(std::iter::repeat_n(b, size));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = Graph::with_nodes(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            let p = if block_of[u] == block_of[v] { p_in } else { p_out };
+            let p = if block_of[u] == block_of[v] {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
                 g.add_edge(u, v);
             }
@@ -166,7 +168,7 @@ pub fn powerlaw_community_graph(
     inter_edges_per_node: f64,
     seed: u64,
 ) -> (Graph, Vec<usize>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = num_communities * community_size;
     let mut g = Graph::with_nodes(n);
     let mut community = vec![0usize; n];
@@ -203,7 +205,7 @@ pub fn ensure_connected(g: &mut Graph, seed: u64) -> usize {
     if num <= 1 {
         return 0;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // gather members per component
     let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num];
     for (v, &c) in comp.iter().enumerate() {
@@ -257,9 +259,24 @@ mod tests {
         let added = attach_house_motif(&mut g, 0);
         assert_eq!(g.num_nodes(), before + 5);
         assert_eq!(added.len(), 5);
-        assert_eq!(added.iter().filter(|(_, r)| *r == HouseRole::Roof).count(), 1);
-        assert_eq!(added.iter().filter(|(_, r)| *r == HouseRole::Middle).count(), 2);
-        assert_eq!(added.iter().filter(|(_, r)| *r == HouseRole::Ground).count(), 2);
+        assert_eq!(
+            added.iter().filter(|(_, r)| *r == HouseRole::Roof).count(),
+            1
+        );
+        assert_eq!(
+            added
+                .iter()
+                .filter(|(_, r)| *r == HouseRole::Middle)
+                .count(),
+            2
+        );
+        assert_eq!(
+            added
+                .iter()
+                .filter(|(_, r)| *r == HouseRole::Ground)
+                .count(),
+            2
+        );
         // the house has 6 internal edges + 1 attachment edge
         let roof = added[0].0;
         assert_eq!(g.degree(roof), 2);
@@ -296,10 +313,7 @@ mod tests {
         let (g, comm) = powerlaw_community_graph(4, 30, 2, 0.2, 7);
         assert_eq!(g.num_nodes(), 120);
         assert_eq!(comm.iter().filter(|&&c| c == 0).count(), 30);
-        let inter = g
-            .edges()
-            .filter(|&(u, v)| comm[u] != comm[v])
-            .count();
+        let inter = g.edges().filter(|&(u, v)| comm[u] != comm[v]).count();
         assert!(inter > 0, "expected at least one inter-community bridge");
     }
 

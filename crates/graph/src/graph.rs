@@ -8,14 +8,13 @@
 
 use crate::edge::{norm_edge, Edge};
 use rcw_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Node identifier. Nodes are always densely numbered `0..n`.
 pub type NodeId = usize;
 
 /// An attributed undirected graph.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     adjacency: Vec<BTreeSet<NodeId>>,
     features: Vec<Vec<f64>>,
@@ -149,11 +148,10 @@ impl Graph {
     /// Iterator over all undirected edges, each reported once with `u < v`,
     /// in lexicographic order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter()
-                .filter(move |&&v| u < v)
-                .map(move |&v| (u, v))
-        })
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
     }
 
     /// Collects all edges into a vector.
@@ -215,12 +213,7 @@ impl Graph {
     /// zero-padded, so graphs built incrementally stay usable.
     pub fn feature_matrix(&self) -> Matrix {
         let n = self.num_nodes();
-        let f = self
-            .features
-            .iter()
-            .map(|x| x.len())
-            .max()
-            .unwrap_or(0);
+        let f = self.features.iter().map(|x| x.len()).max().unwrap_or(0);
         let mut m = Matrix::zeros(n, f);
         for (i, feats) in self.features.iter().enumerate() {
             for (j, &x) in feats.iter().enumerate() {

@@ -135,7 +135,11 @@ pub fn graph_from_text(text: &str) -> Result<Graph, ParseError> {
 /// Serializes a witness subgraph (nodes and edges only).
 pub fn subgraph_to_text(subgraph: &EdgeSubgraph) -> String {
     let mut out = String::new();
-    out.push_str(&format!("# witness {} {}\n", subgraph.num_nodes(), subgraph.num_edges()));
+    out.push_str(&format!(
+        "# witness {} {}\n",
+        subgraph.num_nodes(),
+        subgraph.num_edges()
+    ));
     for &v in subgraph.nodes() {
         out.push_str(&format!("node {v}\n"));
     }

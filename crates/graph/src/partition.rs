@@ -9,11 +9,10 @@
 use crate::edge::Edge;
 use crate::graph::{Graph, NodeId};
 use crate::traversal::k_hop_neighborhood;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, VecDeque};
 
 /// One fragment of an edge-cut partition.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Fragment {
     /// Fragment index.
     pub id: usize,
@@ -54,7 +53,7 @@ impl Fragment {
 }
 
 /// An edge-cut partition of a graph.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Partition {
     /// Owner fragment of every node.
     pub owner: Vec<usize>,
@@ -103,9 +102,9 @@ pub fn edge_cut_partition(graph: &Graph, num_parts: usize, hops: usize) -> Parti
     let mut queues: Vec<VecDeque<NodeId>> = vec![VecDeque::new(); parts];
     let mut sizes = vec![0usize; parts];
     if n > 0 {
-        for p in 0..parts {
+        for (p, queue) in queues.iter_mut().enumerate() {
             let seed = p * n / parts;
-            queues[p].push_back(seed);
+            queue.push_back(seed);
         }
         let mut assigned = 0;
         let mut next_unassigned = 0;
@@ -213,8 +212,18 @@ mod tests {
         let g = barabasi_albert(100, 2, 1);
         let p = edge_cut_partition(&g, 4, 1);
         for f in &p.fragments {
-            assert!(f.owned.len() >= 10, "fragment {} too small: {}", f.id, f.owned.len());
-            assert!(f.owned.len() <= 60, "fragment {} too large: {}", f.id, f.owned.len());
+            assert!(
+                f.owned.len() >= 10,
+                "fragment {} too small: {}",
+                f.id,
+                f.owned.len()
+            );
+            assert!(
+                f.owned.len() <= 60,
+                "fragment {} too large: {}",
+                f.id,
+                f.owned.len()
+            );
         }
     }
 

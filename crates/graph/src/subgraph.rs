@@ -7,11 +7,10 @@
 
 use crate::edge::{Edge, EdgeSet};
 use crate::graph::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A subgraph of a host graph, represented by explicit node and edge sets.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EdgeSubgraph {
     nodes: BTreeSet<NodeId>,
     edges: EdgeSet,

@@ -54,11 +54,7 @@ pub fn k_hop_neighborhood(graph: &Graph, source: NodeId, k: usize) -> BTreeSet<N
 }
 
 /// All nodes within `k` hops of *any* of the given sources.
-pub fn k_hop_neighborhood_multi(
-    graph: &Graph,
-    sources: &[NodeId],
-    k: usize,
-) -> BTreeSet<NodeId> {
+pub fn k_hop_neighborhood_multi(graph: &Graph, sources: &[NodeId], k: usize) -> BTreeSet<NodeId> {
     let mut out = BTreeSet::new();
     for &s in sources {
         out.extend(k_hop_neighborhood(graph, s, k));

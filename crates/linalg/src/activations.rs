@@ -4,10 +4,9 @@
 //! activations actually needed by the reproduced models are provided.
 
 use crate::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Supported activation functions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Activation {
     /// Identity (no non-linearity); used for output layers producing logits.
     Identity,

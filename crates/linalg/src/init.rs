@@ -4,14 +4,13 @@
 //! assumes a fixed, deterministic GNN `M`). Every initializer therefore takes
 //! an explicit seed and uses a seeded PRNG.
 
+use crate::rng::Rng;
 use crate::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Xavier/Glorot uniform initialization: entries drawn from
 /// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
 pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let bound = (6.0 / (rows + cols).max(1) as f64).sqrt();
     let data = (0..rows * cols)
         .map(|_| rng.gen_range(-bound..=bound))
@@ -22,14 +21,14 @@ pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
 /// Uniform initialization in `[lo, hi)`.
 pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Matrix {
     assert!(lo < hi, "uniform: lo must be < hi");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
     Matrix::from_vec(rows, cols, data)
 }
 
 /// Standard-normal initialization scaled by `std`.
 pub fn normal(rows: usize, cols: usize, std: f64, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let data = (0..rows * cols)
         .map(|_| {
             // Box-Muller transform: avoids depending on rand_distr.

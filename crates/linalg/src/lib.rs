@@ -15,15 +15,18 @@
 //! * [`solve`] — Gaussian elimination, matrix inverse, and linear solves used
 //!   for exact personalized PageRank.
 //! * [`init`] — deterministic Xavier/Glorot and uniform initializers.
+//! * [`rng`] — the workspace's seeded, dependency-free PRNG.
 
 pub mod activations;
 pub mod init;
 pub mod matrix;
+pub mod rng;
 pub mod solve;
 pub mod vector;
 
 pub use activations::Activation;
 pub use matrix::Matrix;
+pub use rng::Rng;
 
 /// Numerical tolerance used across the workspace for float comparisons.
 pub const EPS: f64 = 1e-9;

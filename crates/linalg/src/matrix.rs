@@ -7,10 +7,8 @@
 //! mismatches panic with a descriptive message (they are programming errors in
 //! this workspace, not recoverable conditions).
 
-use serde::{Deserialize, Serialize};
-
 /// A dense row-major matrix of `f64` values.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -72,7 +70,11 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "Matrix::from_rows: row {i} has inconsistent length");
+            assert_eq!(
+                r.len(),
+                cols,
+                "Matrix::from_rows: row {i} has inconsistent length"
+            );
             data.extend_from_slice(r);
         }
         Matrix {
@@ -125,21 +127,30 @@ impl Matrix {
     /// Reads the element at `(r, c)`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
     /// Writes the element at `(r, c)`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
     /// Adds `v` to the element at `(r, c)`.
     #[inline]
     pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] += v;
     }
 

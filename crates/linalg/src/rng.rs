@@ -1,0 +1,225 @@
+//! A small, deterministic, dependency-free PRNG.
+//!
+//! The workspace builds without network access, so it cannot depend on the
+//! `rand` crate. This module provides the narrow slice of its API the
+//! reproduction needs — seeded construction, uniform ranges, Bernoulli draws,
+//! Fisher–Yates shuffling — backed by xoshiro256**, seeded via SplitMix64.
+//! Everything downstream (weight init, graph generators, disturbance sampling)
+//! is a deterministic function of the seed, which the paper's "fixed,
+//! deterministic classifier" assumption and the pinned-seed tests rely on.
+
+/// Deterministic xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the generator from a single `u64` (SplitMix64 expansion), like
+    /// `rand`'s `SeedableRng::seed_from_u64`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        Rng { state }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 high bits -> [0, 1) with full double precision
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a range; supports `usize`/`u64` half-open ranges
+    /// and `f64` half-open / inclusive ranges, mirroring `rand::Rng::gen_range`.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = (self.end - self.start) as u64;
+        // Lemire-style rejection-free enough for span << 2^64; use modulo with
+        // rejection of the biased tail to stay exactly uniform.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let x = rng.next_u64();
+            if x < zone {
+                return self.start + (x % span) as usize;
+            }
+        }
+    }
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut Rng) -> u64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = self.end - self.start;
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let x = rng.next_u64();
+            if x < zone {
+                return self.start + x % span;
+            }
+        }
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
+/// Slice helpers mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle(&mut self, rng: &mut Rng);
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose(&self, rng: &mut Rng) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut Rng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose(&self, rng: &mut Rng) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let u = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&u));
+            let f = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let g = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn usize_range_is_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[rng.gen_range(0..4usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(13);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((350..650).contains(&hits), "p=0.25 hits {hits}/2000");
+    }
+
+    #[test]
+    fn shuffle_and_choose_are_deterministic_permutations() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..10).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        let mut rng2 = Rng::seed_from_u64(3);
+        let mut v2: Vec<usize> = (0..10).collect();
+        v2.shuffle(&mut rng2);
+        assert_eq!(v, v2);
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -6,10 +6,9 @@
 //! that turns a list of per-run [`ExplanationEval`]s into one table row.
 
 use crate::fidelity::ExplanationEval;
-use serde::{Deserialize, Serialize};
 
 /// Mean and population standard deviation of a sample.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Stat {
     /// Arithmetic mean.
     pub mean: f64,
@@ -26,8 +25,8 @@ impl Stat {
             return Stat::default();
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         Stat {
             mean,
             std: var.sqrt(),
@@ -42,7 +41,7 @@ impl Stat {
 }
 
 /// Aggregated quality metrics of one method over several runs.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct MethodSummary {
     /// Method name.
     pub method: String,
@@ -70,9 +69,8 @@ impl MethodSummary {
             evals.iter().all(|e| e.method == method),
             "MethodSummary::aggregate: mixed methods"
         );
-        let pull = |f: &dyn Fn(&ExplanationEval) -> f64| -> Vec<f64> {
-            evals.iter().map(f).collect()
-        };
+        let pull =
+            |f: &dyn Fn(&ExplanationEval) -> f64| -> Vec<f64> { evals.iter().map(f).collect() };
         MethodSummary {
             method,
             normalized_ged: Stat::of(&pull(&|e| e.normalized_ged)),

@@ -7,7 +7,6 @@
 
 use rcw_gnn::GnnModel;
 use rcw_graph::{EdgeSubgraph, Graph, GraphView, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Fidelity+ = mean over test nodes of `1[M(v,G)=l] - 1[M(v, G\Gs)=l]`.
 /// Since `l` is defined as `M(v, G)`, the first indicator is always 1, so the
@@ -63,7 +62,7 @@ pub fn explanation_size(explanation: &EdgeSubgraph) -> usize {
 
 /// A bundle of all quality metrics for one explanation, as one row of the
 /// paper's quality tables.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ExplanationEval {
     /// Method name (RoboGExp, CF2, CF-GNNExp, ...).
     pub method: String,
@@ -175,8 +174,8 @@ mod tests {
         let e = EdgeSubgraph::from_edges([(t, 0), (t, 1)]);
         let fp = fidelity_plus(&gcn, &g, &e, &[t]);
         let fm = fidelity_minus(&gcn, &g, &e, &[t]);
-        assert!(fp >= 0.0 && fp <= 1.0);
-        assert!(fm >= 0.0 && fm <= 1.0);
+        assert!((0.0..=1.0).contains(&fp));
+        assert!((0.0..=1.0).contains(&fm));
         assert_eq!(explanation_size(&e), 5);
     }
 

@@ -4,10 +4,8 @@
 //! the series behind Figs. 3–4). No third-party table/CSV crate is used; this
 //! module provides just enough alignment and CSV emission.
 
-use serde::{Deserialize, Serialize};
-
 /// A simple named-column table of string cells.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Table {
     /// Table title printed above the header.
     pub title: String,

@@ -139,7 +139,10 @@ mod tests {
             let pred = appnp.predict(v, &view).unwrap();
             let other = 1 - pred;
             let m = margin_on_view(&appnp, &view, &h, v, pred, other);
-            assert!(m > 0.0, "node {v}: margin {m} should be positive for its prediction");
+            assert!(
+                m > 0.0,
+                "node {v}: margin {m} should be positive for its prediction"
+            );
             let m_rev = margin_on_view(&appnp, &view, &h, v, other, pred);
             assert!(m_rev < 0.0);
         }
@@ -172,9 +175,15 @@ mod tests {
         // should reduce its class-0 margin
         let v = 4;
         let clean = margin_on_view(&appnp, &view, &h, v, 0, 1);
-        let disturbance: EdgeSet = [(4usize, 6usize), (4usize, 7usize), (4usize, 8usize), (0usize, 4usize), (1usize, 4usize)]
-            .into_iter()
-            .collect();
+        let disturbance: EdgeSet = [
+            (4usize, 6usize),
+            (4usize, 7usize),
+            (4usize, 8usize),
+            (0usize, 4usize),
+            (1usize, 4usize),
+        ]
+        .into_iter()
+        .collect();
         let disturbed = margin_under_disturbance(&appnp, &view, &h, &disturbance, v, 0, 1);
         assert!(
             disturbed < clean,

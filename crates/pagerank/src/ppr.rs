@@ -32,11 +32,15 @@ pub fn propagation_matrix(view: &GraphView<'_>) -> Matrix {
 /// Exact PPR matrix `Pi = (1-alpha)(I - alpha P)^{-1}` via dense solve.
 /// Suitable for graphs up to a few hundred nodes (tests, case studies).
 pub fn ppr_matrix_exact(view: &GraphView<'_>, alpha: f64) -> Matrix {
-    assert!(alpha > 0.0 && alpha < 1.0, "ppr_matrix_exact: alpha in (0,1)");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "ppr_matrix_exact: alpha in (0,1)"
+    );
     let n = view.num_nodes();
     let p = propagation_matrix(view);
     let system = Matrix::identity(n).sub(&p.scale(alpha));
-    let inv = solve::invert(&system).expect("(I - alpha*P) is diagonally dominant, hence invertible");
+    let inv =
+        solve::invert(&system).expect("(I - alpha*P) is diagonally dominant, hence invertible");
     inv.scale(1.0 - alpha)
 }
 
@@ -142,9 +146,9 @@ mod tests {
         let csr = Csr::from_view(&view);
         for v in [0usize, 3, 7] {
             let row = ppr_row(&csr, v, 0.15, 200);
-            for u in 0..g.num_nodes() {
+            for (u, &val) in row.iter().enumerate() {
                 assert!(
-                    (row[u] - exact.get(v, u)).abs() < 1e-6,
+                    (val - exact.get(v, u)).abs() < 1e-6,
                     "pi[{v}][{u}]: {} vs {}",
                     row[u],
                     exact.get(v, u)
@@ -163,17 +167,12 @@ mod tests {
         let r: Vec<f64> = (0..g.num_nodes()).map(|i| (i as f64) * 0.3 - 1.0).collect();
         let x = value_function(&csr, &r, alpha, 300);
         let exact = ppr_matrix_exact(&view, alpha);
-        for v in 0..g.num_nodes() {
-            let objective: f64 = exact
-                .row(v)
-                .iter()
-                .zip(&r)
-                .map(|(p, ri)| p * ri)
-                .sum();
+        for (v, &xv) in x.iter().enumerate() {
+            let objective: f64 = exact.row(v).iter().zip(&r).map(|(p, ri)| p * ri).sum();
             assert!(
-                (objective - (1.0 - alpha) * x[v]).abs() < 1e-6,
+                (objective - (1.0 - alpha) * xv).abs() < 1e-6,
                 "node {v}: {objective} vs {}",
-                (1.0 - alpha) * x[v]
+                (1.0 - alpha) * xv
             );
         }
     }

@@ -264,7 +264,10 @@ mod tests {
             *counts.entry(u).or_insert(0) += 1;
             *counts.entry(v).or_insert(0) += 1;
         }
-        assert!(counts.values().all(|&c| c <= 1), "local budget violated: {counts:?}");
+        assert!(
+            counts.values().all(|&c| c <= 1),
+            "local budget violated: {counts:?}"
+        );
     }
 
     #[test]
@@ -292,7 +295,9 @@ mod tests {
         let g = barbell();
         let view = GraphView::full(&g);
         let r = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
-        let d: EdgeSet = [(0usize, 3usize), (0, 4), (0, 5), (1, 3)].into_iter().collect();
+        let d: EdgeSet = [(0usize, 3usize), (0, 4), (0, 5), (1, 3)]
+            .into_iter()
+            .collect();
         let t = truncate_to_k(&view, &d, &r, 0.3, 2);
         assert_eq!(t.len(), 2);
         let t_all = truncate_to_k(&view, &d, &r, 0.3, 10);

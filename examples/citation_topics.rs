@@ -34,7 +34,10 @@ fn main() {
     let flips: Vec<(NodeId, NodeId)> = new_refs.iter().map(|&u| (v, u)).collect();
     let disturbed = ds.graph.flip_edges(&flips);
     let new_label = appnp.predict(v, &GraphView::full(&disturbed)).unwrap();
-    println!("after {} new cross-area citations the label becomes {new_label}", new_refs.len());
+    println!(
+        "after {} new cross-area citations the label becomes {new_label}",
+        new_refs.len()
+    );
 
     let after = RoboGExp::for_appnp(&appnp, cfg).generate(&disturbed, &[v]);
     let new_citation_edges = after

@@ -18,11 +18,16 @@ fn main() {
     );
 
     // Train the vulnerability classifier on the labeled provenance graph.
-    let labeled: Vec<NodeId> = graph.node_ids().filter(|&v| graph.label(v).is_some()).collect();
+    let labeled: Vec<NodeId> = graph
+        .node_ids()
+        .filter(|&v| graph.label(v).is_some())
+        .collect();
     let mut appnp = Appnp::new(&[graph.feature_dim(), 16, 2], 0.15, 12, 5);
     appnp.train(&GraphView::full(&graph), &labeled, &TrainConfig::default());
 
-    let label = appnp.predict(meta.breach_sh, &GraphView::full(&graph)).unwrap();
+    let label = appnp
+        .predict(meta.breach_sh, &GraphView::full(&graph))
+        .unwrap();
     println!("breach.sh classified as {} (1 = vulnerable)", label);
 
     // Generate a k-RCW for the breach target with k = 3 (the longest deceptive path).
@@ -52,7 +57,10 @@ fn main() {
         .iter()
         .filter(|&&d| witness.contains_node(d))
         .count();
-    println!("  decoy targets inside the witness: {decoys_in_witness} / {}", meta.decoys.len());
+    println!(
+        "  decoy targets inside the witness: {decoys_in_witness} / {}",
+        meta.decoys.len()
+    );
     if label == VULNERABLE {
         println!("=> the files in the witness form the zone that must be protected");
     }

@@ -13,7 +13,10 @@ fn main() {
     // Train a classifier on a pool of labeled molecules.
     let ds = molecules::build(Scale::Small, 1);
     let appnp = ds.train_appnp(16, 1);
-    println!("molecule classifier accuracy: {:.2}", ds.test_accuracy(&appnp));
+    println!(
+        "molecule classifier accuracy: {:.2}",
+        ds.test_accuracy(&appnp)
+    );
 
     // The Fig. 5 family: a base molecule and two variants missing one bond each.
     let family = molecules::molecule_family();

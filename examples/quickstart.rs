@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use robogexp::prelude::*;
 use robogexp::datasets::citeseer;
+use robogexp::prelude::*;
 
 fn main() {
     // 1. Build a CiteSeer-like dataset and train the classifier to explain.

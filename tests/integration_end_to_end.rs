@@ -1,8 +1,8 @@
 //! End-to-end integration tests spanning every crate: datasets -> trained
 //! classifiers -> witness generation -> verification -> metrics.
 
-use robogexp::prelude::*;
 use robogexp::datasets::{bahouse, citeseer, molecules, provenance};
+use robogexp::prelude::*;
 
 fn quick_cfg(k: usize) -> RcwConfig {
     RcwConfig {
@@ -28,7 +28,10 @@ fn bahouse_gcn_pipeline_produces_useful_witnesses() {
     for &t in &tests {
         assert!(result.witness.subgraph.contains_node(t));
     }
-    assert!(result.witness.subgraph.is_subgraph_of(&ds.graph) || result.witness.subgraph.num_edges() == 0);
+    assert!(
+        result.witness.subgraph.is_subgraph_of(&ds.graph)
+            || result.witness.subgraph.num_edges() == 0
+    );
     let fm = fidelity_minus(&gcn, &ds.graph, &result.witness.subgraph, &tests);
     assert!(fm <= 1.0);
 }
@@ -41,7 +44,10 @@ fn citeseer_appnp_pipeline_verifies_what_it_generates() {
     let gen = RoboGExp::for_appnp(&appnp, quick_cfg(2));
     let result = gen.generate(&ds.graph, &tests);
     let recheck = gen.verify(&ds.graph, &result.witness);
-    assert_eq!(recheck.level, result.level, "generation and verification must agree");
+    assert_eq!(
+        recheck.level, result.level,
+        "generation and verification must agree"
+    );
 }
 
 #[test]
@@ -53,11 +59,16 @@ fn parallel_generation_matches_sequential_quality() {
     let par = ParaRoboGExp::for_appnp(&appnp, quick_cfg(2), 3).generate(&ds.graph, &tests);
     // Both are best-effort searches; the parallel result must be a valid
     // subgraph and reach a comparable fidelity.
-    assert!(par.result.witness.subgraph.is_subgraph_of(&ds.graph)
-        || par.result.witness.subgraph.num_edges() == 0);
+    assert!(
+        par.result.witness.subgraph.is_subgraph_of(&ds.graph)
+            || par.result.witness.subgraph.num_edges() == 0
+    );
     let f_seq = fidelity_minus(&appnp, &ds.graph, &seq.witness.subgraph, &tests);
     let f_par = fidelity_minus(&appnp, &ds.graph, &par.result.witness.subgraph, &tests);
-    assert!(f_par <= f_seq + 0.5, "parallel fidelity- {f_par} vs sequential {f_seq}");
+    assert!(
+        f_par <= f_seq + 0.5,
+        "parallel fidelity- {f_par} vs sequential {f_seq}"
+    );
 }
 
 #[test]
@@ -83,24 +94,38 @@ fn molecule_family_witnesses_are_more_stable_than_baseline() {
     // the toxicophore is untouched by the variants, so the witnesses must
     // stay close (the paper's invariance claim)
     for g in rcw_geds {
-        assert!(g <= 0.6, "witness drifted too much across the family: GED {g}");
+        assert!(
+            g <= 0.6,
+            "witness drifted too much across the family: GED {g}"
+        );
     }
 }
 
 #[test]
 fn provenance_witness_prefers_the_true_attack_path_over_decoys() {
     let (graph, meta) = provenance::provenance_graph(6, 20, 2);
-    let labeled: Vec<NodeId> = graph.node_ids().filter(|&v| graph.label(v).is_some()).collect();
+    let labeled: Vec<NodeId> = graph
+        .node_ids()
+        .filter(|&v| graph.label(v).is_some())
+        .collect();
     let mut appnp = Appnp::new(&[graph.feature_dim(), 12, 2], 0.15, 10, 3);
-    appnp.train(&GraphView::full(&graph), &labeled, &TrainConfig {
-        epochs: 80,
-        learning_rate: 0.05,
-        ..TrainConfig::default()
-    });
+    appnp.train(
+        &GraphView::full(&graph),
+        &labeled,
+        &TrainConfig {
+            epochs: 80,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        },
+    );
     let result = RoboGExp::for_appnp(&appnp, quick_cfg(3)).generate(&graph, &[meta.breach_sh]);
     let witness = &result.witness.subgraph;
     // the witness should involve far fewer decoys than attack-path nodes
-    let decoys_in = meta.decoys.iter().filter(|&&d| witness.contains_node(d)).count();
+    let decoys_in = meta
+        .decoys
+        .iter()
+        .filter(|&&d| witness.contains_node(d))
+        .count();
     assert!(
         decoys_in <= meta.decoys.len() / 2,
         "witness should not be dominated by decoy targets ({decoys_in} of {})",

@@ -1,9 +1,9 @@
 //! Integration tests for the paper's formal statements, exercised through the
 //! public API of the umbrella crate.
 
-use robogexp::prelude::*;
 use robogexp::core::{verify_counterfactual, verify_factual};
 use robogexp::datasets::citeseer;
+use robogexp::prelude::*;
 
 fn setup() -> (robogexp::datasets::Dataset, Appnp) {
     let ds = citeseer::build(Scale::Tiny, 11);

@@ -2,9 +2,9 @@
 //! explained through the same witness machinery (model-agnosticism), and
 //! inference respects the edge-masked views that the explainers rely on.
 
+use robogexp::datasets::bahouse;
 use robogexp::gnn::{Gat, GraphSage};
 use robogexp::prelude::*;
-use robogexp::datasets::bahouse;
 
 #[test]
 fn all_model_families_work_with_the_generic_generator() {
@@ -19,7 +19,10 @@ fn all_model_families_work_with_the_generic_generator() {
     };
     let dims = [ds.feature_dim(), 8, ds.num_classes()];
     let models: Vec<(&str, Box<dyn GnnModel>)> = vec![
-        ("GCN", Box::new(Gcn::new(&[ds.feature_dim(), 8, 8, ds.num_classes()], 1))),
+        (
+            "GCN",
+            Box::new(Gcn::new(&[ds.feature_dim(), 8, 8, ds.num_classes()], 1)),
+        ),
         ("APPNP", Box::new(Appnp::new(&dims, 0.2, 8, 2))),
         ("GraphSAGE", Box::new(GraphSage::new(&dims, 3))),
         ("GAT", Box::new(Gat::new(&dims, 4))),
@@ -33,7 +36,10 @@ fn all_model_families_work_with_the_generic_generator() {
         // inference over the witness view must be well-defined for every model
         let view = GraphView::restricted_to(&ds.graph, result.witness.subgraph.edges());
         for &t in &tests {
-            assert!(model.predict(t, &view).is_some(), "{name}: prediction undefined");
+            assert!(
+                model.predict(t, &view).is_some(),
+                "{name}: prediction undefined"
+            );
         }
     }
 }
@@ -46,15 +52,28 @@ fn edge_masking_is_consistent_across_model_families() {
     let full = GraphView::full(&ds.graph);
     // removing all edges incident to v must change its receptive field:
     // its logits with and without edges must differ unless v is isolated
-    let incident: EdgeSet = ds.graph.neighbors_vec(v).into_iter().map(|u| (v, u)).collect();
+    let incident: EdgeSet = ds
+        .graph
+        .neighbors_vec(v)
+        .into_iter()
+        .map(|u| (v, u))
+        .collect();
     if incident.is_empty() {
         return;
     }
     let masked = GraphView::without(&ds.graph, &incident);
     let a = gcn.logits(&full);
     let b = gcn.logits(&masked);
-    let diff: f64 = a.row(v).iter().zip(b.row(v)).map(|(x, y)| (x - y).abs()).sum();
-    assert!(diff > 0.0, "masking all incident edges must change node {v}'s logits");
+    let diff: f64 = a
+        .row(v)
+        .iter()
+        .zip(b.row(v))
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    assert!(
+        diff > 0.0,
+        "masking all incident edges must change node {v}'s logits"
+    );
 }
 
 #[test]
