@@ -1,0 +1,122 @@
+//! Localized vs full-graph inference: single-node predict latency and
+//! end-to-end witness generation.
+//!
+//! `GnnModel::predict` / `margin` now run on the node's induced receptive
+//! field (`rcw_graph::Locality`); this bench pins the speedup against the
+//! pre-PR behavior — a full-graph `logits` pass per single-node query —
+//! reconstructed here by a wrapper model that overrides the localized
+//! defaults. Results land in `BENCH_inference.json` (name, iters, ns/iter)
+//! so the perf trajectory is tracked across PRs.
+
+use rcw_bench::timing::BenchGroup;
+use rcw_core::{RcwConfig, RoboGExp};
+use rcw_datasets::{citeseer, Scale};
+use rcw_gnn::model::margin_of_row;
+use rcw_gnn::GnnModel;
+use rcw_graph::{EdgeSet, ForwardCtx, GraphView, NodeId};
+use rcw_linalg::{vector, Matrix};
+
+/// The pre-PR inference path: every single-node query pays a full-graph
+/// forward pass. Wraps any model and disables its localized defaults.
+struct FullPass<'a>(&'a dyn GnnModel);
+
+impl GnnModel for FullPass<'_> {
+    fn num_classes(&self) -> usize {
+        self.0.num_classes()
+    }
+    fn num_layers(&self) -> usize {
+        self.0.num_layers()
+    }
+    fn feature_dim(&self) -> usize {
+        self.0.feature_dim()
+    }
+    fn receptive_hops(&self) -> usize {
+        self.0.receptive_hops()
+    }
+    fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
+        self.0.forward(ctx, x)
+    }
+    fn predict(&self, v: NodeId, view: &GraphView<'_>) -> Option<usize> {
+        if v >= view.num_nodes() {
+            return None;
+        }
+        let z = self.0.logits(view);
+        Some(vector::argmax(z.row(v)))
+    }
+    fn margin(&self, v: NodeId, label: usize, view: &GraphView<'_>) -> f64 {
+        let z = self.0.logits(view);
+        margin_of_row(z.row(v), label)
+    }
+}
+
+fn main() {
+    let samples = 5;
+    let mut group = BenchGroup::new("inference: localized vs full-graph", samples);
+    let mut generate_pairs: Vec<(String, f64, f64)> = Vec::new();
+
+    for (scale, scale_name) in [(Scale::Tiny, "tiny"), (Scale::Small, "small")] {
+        let ds = citeseer::build(scale, 7);
+        let gcn = ds.train_gcn(24, 7);
+        let full_path = FullPass(&gcn);
+        let graph = &ds.graph;
+        let test_nodes = ds.pick_test_nodes(4, 13);
+        let probe = test_nodes[0];
+        println!(
+            "citeseer/{scale_name}: |V|={}, |E|={}, probe node {probe}",
+            graph.num_nodes(),
+            graph.num_edges()
+        );
+
+        // Single-node predict latency on a disturbed view (the verifier's
+        // inner loop shape: a handful of overrides on the full graph).
+        let flips: EdgeSet = graph.edge_vec().into_iter().step_by(9).take(6).collect();
+        let disturbed = GraphView::full(graph).flipped(&flips);
+        group.bench(format!("predict/{scale_name}/localized"), || {
+            gcn.predict(probe, &disturbed)
+        });
+        group.bench(format!("predict/{scale_name}/full"), || {
+            full_path.predict(probe, &disturbed)
+        });
+
+        // End-to-end witness generation, localized vs the pre-PR full path.
+        let cfg = RcwConfig {
+            k: 2,
+            local_budget: 2,
+            candidate_hops: 2,
+            sampled_disturbances: 6,
+            exhaustive_limit: 8,
+            max_expand_rounds: 3,
+            ..RcwConfig::default()
+        };
+        let localized_gen = RoboGExp::for_model(&gcn as &dyn GnnModel, cfg.clone());
+        let fullpass_gen = RoboGExp::for_model(&full_path as &dyn GnnModel, cfg);
+        group.bench(format!("generate/{scale_name}/localized"), || {
+            localized_gen.generate(graph, &test_nodes).stats.elapsed
+        });
+        group.bench(format!("generate/{scale_name}/full"), || {
+            fullpass_gen.generate(graph, &test_nodes).stats.elapsed
+        });
+
+        // one-shot speedup probe for the stdout summary
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(localized_gen.generate(graph, &test_nodes));
+        let local_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        std::hint::black_box(fullpass_gen.generate(graph, &test_nodes));
+        let full_s = t1.elapsed().as_secs_f64();
+        generate_pairs.push((scale_name.to_string(), local_s, full_s));
+    }
+
+    group.finish();
+    for (name, local_s, full_s) in &generate_pairs {
+        println!(
+            "generate/{name}: localized {:.1}ms vs full {:.1}ms -> {:.1}x speedup",
+            local_s * 1e3,
+            full_s * 1e3,
+            full_s / local_s
+        );
+    }
+    // anchor at the workspace root so the record is stable across invokers
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+    group.write_json(path);
+}

@@ -66,6 +66,49 @@ impl BenchGroup {
     pub fn finish(&self) {
         println!("{}", self.render());
     }
+
+    /// Renders the group as machine-readable JSON: one record per case with
+    /// the case name, timed iteration count, and median nanoseconds per
+    /// iteration. Used to track the perf trajectory across PRs.
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"group\": \"{}\",\n  \"results\": [\n",
+            escape_json(&self.name)
+        );
+        for (i, (label, median, _min, _max)) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {}}}{sep}\n",
+                escape_json(label),
+                self.samples,
+                median.as_nanos()
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report next to the stdout table (call once at the end
+    /// of the bench). Errors are reported, not fatal — a read-only working
+    /// directory must not fail the bench run.
+    pub fn write_json(&self, path: &str) {
+        if let Err(e) = std::fs::write(path, self.render_json()) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Human-readable duration with automatic unit selection.
@@ -95,6 +138,21 @@ mod tests {
         assert!(report.contains("demo"));
         assert!(report.contains("sum"));
         assert!(report.contains("prod"));
+    }
+
+    #[test]
+    fn json_report_is_machine_readable() {
+        let mut g = BenchGroup::new("demo \"quoted\"", 4);
+        g.bench("case-a", || 1 + 1);
+        g.bench("case-b", || 2 * 2);
+        let json = g.render_json();
+        assert!(json.contains("\"group\": \"demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"name\": \"case-a\""));
+        assert!(json.contains("\"iters\": 4"));
+        assert!(json.contains("\"ns_per_iter\": "));
+        // two records: one comma-separated, one trailing without a comma
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert_eq!(json.matches("\"name\"").count(), 2);
     }
 
     #[test]

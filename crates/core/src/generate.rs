@@ -277,18 +277,24 @@ impl<'a, M: VerifiableModel + ?Sized> RoboGExp<'a, M> {
 
         // Score every candidate by how much removing it (together with the
         // current witness) hurts the label's margin — the pairs "most likely
-        // to change the label if flipped" that Procedure Expand targets.
-        let mut scored: Vec<(f64, (NodeId, NodeId))> = Vec::new();
+        // to change the label if flipped" that Procedure Expand targets. Each
+        // trial view is the shared remainder view plus one extra removal (a
+        // single override), scored through the batched localized entry point.
+        let base_removed = GraphView::without(graph, subgraph.edges());
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut trial_views: Vec<GraphView<'_>> = Vec::new();
         for &(a, b) in &candidates {
             if subgraph.contains_edge(a, b) || !graph.has_edge(a, b) {
                 continue;
             }
-            let mut trial = subgraph.edges().clone();
-            trial.insert(a, b);
-            let view = GraphView::without(graph, &trial);
-            stats.inference_calls += 1;
-            scored.push((model.margin(v, label, &view), (a, b)));
+            let mut view = base_removed.clone();
+            view.remove_edge(a, b);
+            pairs.push((a, b));
+            trial_views.push(view);
         }
+        stats.inference_calls += trial_views.len();
+        let margins = model.margin_many(v, label, &trial_views);
+        let mut scored: Vec<(f64, (NodeId, NodeId))> = margins.into_iter().zip(pairs).collect();
         scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
 
         // Greedily absorb the most label-critical support edges until the

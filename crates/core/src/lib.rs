@@ -57,7 +57,8 @@ pub use generate::{robogexp, robogexp_appnp, GenerationResult, GenerationStats, 
 pub use model::{DisturbanceSearch, VerifiableModel};
 pub use parallel::{ParaRoboGExp, ParallelGenerationResult, ParallelStats};
 pub use verify::{
-    candidate_pairs, disturbance_preserves_cw, verify_counterfactual, verify_factual, verify_rcw,
+    candidate_pairs, candidate_pairs_in_hood, disturbance_preserves_cw, verify_counterfactual,
+    verify_factual, verify_rcw,
 };
 pub use verify_appnp::{verify_rcw_appnp, verify_rcw_appnp_node};
 pub use witness::{VerifyOutcome, Witness, WitnessLevel};

@@ -22,12 +22,12 @@
 use crate::config::RcwConfig;
 use crate::generate::{GenerationResult, GenerationStats, RoboGExp};
 use crate::model::VerifiableModel;
-use crate::verify::candidate_pairs;
+use crate::verify::candidate_pairs_in_hood;
 use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
 use rcw_gnn::{Appnp, GnnModel};
 use rcw_graph::{
-    edge_cut_partition, AdjacencyBitmap, Edge, Graph, GraphView, NodeId, Partition,
-    VerifiedPairBitmap,
+    edge_cut_partition, traversal::k_hop_neighborhood_multi, AdjacencyBitmap, Edge, Graph,
+    GraphView, NodeId, Partition, VerifiedPairBitmap,
 };
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -118,6 +118,12 @@ impl<'a, M: VerifiableModel + ?Sized> ParaRoboGExp<'a, M> {
         // Inference-preserving partition: replicate the model's receptive field.
         let hops = model.num_layers().max(1);
         let partition: Partition = edge_cut_partition(graph, self.num_workers, hops);
+        // Surplus workers beyond the fragment count would all re-search the
+        // last fragment's candidates; clamp the search fan-out instead.
+        let active_workers = self.num_workers.min(partition.num_fragments()).max(1);
+        // The candidate neighborhood depends only on the host graph, the test
+        // nodes and the hop budget — compute it once, reuse it every round.
+        let hood = k_hop_neighborhood_multi(graph, test_nodes, self.cfg.candidate_hops);
 
         // Full-graph labels of the test nodes.
         let full = GraphView::full(graph);
@@ -165,19 +171,23 @@ impl<'a, M: VerifiableModel + ?Sized> ParaRoboGExp<'a, M> {
             pstats.rounds = round + 1;
             stats.expand_rounds = round + 1;
 
-            // Global candidate pairs not yet verified, split by fragment owner.
-            let all_candidates = candidate_pairs(graph, witness.edges(), test_nodes, &self.cfg);
+            // Global candidate pairs not yet verified, split by fragment
+            // owner. One active worker per fragment; each pair is handed to
+            // the worker(s) owning an endpoint and counted once in the shared
+            // bitmap.
+            let all_candidates =
+                candidate_pairs_in_hood(graph, witness.edges(), test_nodes, &hood, &self.cfg);
             let fresh: Vec<Edge> = all_candidates
                 .into_iter()
                 .filter(|&(u, v)| !verified_pairs.is_marked(u, v))
                 .collect();
-            let per_worker: Vec<Vec<Edge>> = (0..self.num_workers)
+            let per_worker: Vec<Vec<Edge>> = (0..active_workers)
                 .map(|w| {
                     fresh
                         .iter()
                         .copied()
                         .filter(|&(u, v)| {
-                            let frag = &partition.fragments[w.min(partition.num_fragments() - 1)];
+                            let frag = &partition.fragments[w];
                             frag.owns(u) || frag.owns(v)
                         })
                         .collect()
@@ -186,17 +196,17 @@ impl<'a, M: VerifiableModel + ?Sized> ParaRoboGExp<'a, M> {
             // Each worker is additionally responsible only for the test nodes
             // its fragment owns (falling back to round-robin so every test
             // node has exactly one responsible worker).
-            let nodes_per_worker: Vec<(Vec<NodeId>, Vec<usize>)> = (0..self.num_workers)
+            let nodes_per_worker: Vec<(Vec<NodeId>, Vec<usize>)> = (0..active_workers)
                 .map(|w| {
                     let mut nodes = Vec::new();
                     let mut node_labels = Vec::new();
                     for (i, &v) in test_nodes.iter().enumerate() {
-                        let frag = &partition.fragments[w.min(partition.num_fragments() - 1)];
+                        let frag = &partition.fragments[w];
                         let owner = partition.owner.get(v).copied().unwrap_or(0);
                         let responsible = if owner < partition.num_fragments() {
                             owner == frag.id
                         } else {
-                            i % self.num_workers == w
+                            i % active_workers == w
                         };
                         if responsible {
                             nodes.push(v);

@@ -30,6 +30,21 @@ pub fn candidate_pairs(
     cfg: &RcwConfig,
 ) -> Vec<Edge> {
     let hood = k_hop_neighborhood_multi(graph, test_nodes, cfg.candidate_hops);
+    candidate_pairs_in_hood(graph, protected, test_nodes, &hood, cfg)
+}
+
+/// [`candidate_pairs`] with a precomputed k-hop neighborhood of the test
+/// nodes. The neighborhood depends only on the host graph, the test nodes and
+/// `cfg.candidate_hops` — none of which change within a generation run — so
+/// drivers compute it once and reuse it across expand–verify rounds; only the
+/// `protected` filter varies per round.
+pub fn candidate_pairs_in_hood(
+    graph: &Graph,
+    protected: &EdgeSet,
+    test_nodes: &[rcw_graph::NodeId],
+    hood: &std::collections::BTreeSet<rcw_graph::NodeId>,
+    cfg: &RcwConfig,
+) -> Vec<Edge> {
     let mut out: Vec<Edge> = Vec::new();
     // Removal candidates: existing edges inside the neighborhood, unprotected.
     for (u, v) in graph.edges() {
@@ -41,7 +56,7 @@ pub fn candidate_pairs(
     if !matches!(cfg.strategy, rcw_graph::DisturbanceStrategy::RemovalOnly) {
         let mut inserted = 0usize;
         'outer: for &t in test_nodes {
-            for &u in &hood {
+            for &u in hood {
                 if inserted >= cfg.max_insert_candidates {
                     break 'outer;
                 }

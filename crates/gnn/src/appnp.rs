@@ -17,7 +17,7 @@
 
 use crate::model::{one_hot_labels, GnnModel};
 use crate::train::{Adam, TrainConfig, TrainReport};
-use rcw_graph::{Csr, GraphView, NodeId};
+use rcw_graph::{Csr, ForwardCtx, GraphView, NodeId};
 use rcw_linalg::{init, vector, Activation, Matrix};
 
 /// The APPNP model: an MLP feature transform plus PPR propagation.
@@ -105,17 +105,34 @@ impl Appnp {
     /// Applies the propagation `Z = (1-alpha)(I - alpha P)^{-1} H` by
     /// fixed-point iteration, where `P = D^{-1}(A + I)` over the view.
     pub fn propagate(&self, csr: &Csr, h: &Matrix) -> Matrix {
+        let degrees: Vec<f64> = (0..csr.num_nodes()).map(|u| csr.degree(u) as f64).collect();
+        self.propagate_ctx(&ForwardCtx::full(csr, &degrees), h)
+    }
+
+    /// [`Appnp::propagate`] over an explicit compute graph. Iteration `t` of
+    /// `T` only computes rows that can still reach the scheduled output
+    /// (`remaining = T - t` rounds follow); unscheduled rows keep stale values
+    /// that no later iteration reads.
+    pub fn propagate_ctx(&self, ctx: &ForwardCtx<'_>, h: &Matrix) -> Matrix {
         let dim = h.cols();
         let n = h.rows();
         let base = h.scale(1.0 - self.alpha);
         let mut z = base.clone();
         let mut buf = vec![0.0; n * dim];
-        for _ in 0..self.prop_iters {
-            csr.spmm_row_norm(z.data(), dim, &mut buf);
-            let mut next = Matrix::from_vec(n, dim, buf.clone());
-            next.scale_assign(self.alpha);
-            next.add_assign(&base);
-            z = next;
+        for t in 1..=self.prop_iters {
+            let rows = ctx.active_rows(self.prop_iters - t);
+            ctx.csr()
+                .spmm_row_norm_deg(ctx.degrees(), z.data(), dim, &mut buf, rows);
+            let mut update = |u: usize| {
+                for c in 0..dim {
+                    let v = buf[u * dim + c] * self.alpha + base.get(u, c);
+                    z.set(u, c, v);
+                }
+            };
+            match rows {
+                None => (0..n).for_each(&mut update),
+                Some(rows) => rows.iter().copied().for_each(&mut update),
+            }
         }
         z
     }
@@ -236,10 +253,16 @@ impl GnnModel for Appnp {
         self.weights.first().expect("non-empty").rows()
     }
 
-    fn logits(&self, view: &GraphView<'_>) -> Matrix {
-        let csr = Csr::from_view(view);
-        let h = self.local_logits(view);
-        self.propagate(&csr, &h)
+    /// The receptive field radius is the propagation depth, not the MLP depth:
+    /// the MLP is node-local and each power iteration widens the field by one
+    /// hop.
+    fn receptive_hops(&self) -> usize {
+        self.prop_iters
+    }
+
+    fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
+        let h = self.mlp_forward(x).1.pop().expect("non-empty MLP");
+        self.propagate_ctx(ctx, &h)
     }
 }
 

@@ -6,8 +6,8 @@
 //! normalizes them with a softmax, and aggregates `h'_u = act( sum_v alpha_uv W h_v )`.
 //! The output layer uses the identity activation and yields logits.
 
-use crate::model::GnnModel;
-use rcw_graph::{Csr, GraphView};
+use crate::model::{matmul_rows, GnnModel};
+use rcw_graph::ForwardCtx;
 use rcw_linalg::{init, vector, Activation, Matrix};
 
 /// One GAT layer: a linear transform plus source/destination attention vectors.
@@ -61,24 +61,34 @@ impl Gat {
 
     fn layer_forward(
         layer: &GatLayer,
-        csr: &Csr,
+        ctx: &ForwardCtx<'_>,
         x: &Matrix,
+        remaining: usize,
         last: bool,
         act: Activation,
     ) -> Matrix {
         let n = x.rows();
-        let transformed = x.matmul(&layer.weight);
+        let rows = ctx.active_rows(remaining);
+        // Attention needs the transformed features and scores of every node an
+        // active row attends to — its neighbors, i.e. the previous round's
+        // active set.
+        let support = ctx.active_rows(remaining + 1);
+        let transformed = matmul_rows(x, &layer.weight, support);
         let dim = transformed.cols();
         // attention logits per node
-        let src_scores: Vec<f64> = (0..n)
-            .map(|u| vector::dot(transformed.row(u), &layer.attn_src))
-            .collect();
-        let dst_scores: Vec<f64> = (0..n)
-            .map(|u| vector::dot(transformed.row(u), &layer.attn_dst))
-            .collect();
+        let mut src_scores = vec![0.0; n];
+        let mut dst_scores = vec![0.0; n];
+        let mut score = |u: usize| {
+            src_scores[u] = vector::dot(transformed.row(u), &layer.attn_src);
+            dst_scores[u] = vector::dot(transformed.row(u), &layer.attn_dst);
+        };
+        match support {
+            None => (0..n).for_each(&mut score),
+            Some(support) => support.iter().copied().for_each(&mut score),
+        }
         let mut out = Matrix::zeros(n, dim);
-        #[allow(clippy::needless_range_loop)]
-        for u in 0..n {
+        let csr = ctx.csr();
+        let mut aggregate = |u: usize| {
             // neighborhood including self
             let mut nbrs: Vec<usize> = csr.neighbors(u).to_vec();
             nbrs.push(u);
@@ -92,6 +102,10 @@ impl Gat {
                     out.add_at(u, c, a * transformed.get(v, c));
                 }
             }
+        };
+        match rows {
+            None => (0..n).for_each(&mut aggregate),
+            Some(rows) => rows.iter().copied().for_each(&mut aggregate),
         }
         if last {
             out
@@ -114,12 +128,18 @@ impl GnnModel for Gat {
         self.layers.first().expect("non-empty").weight.rows()
     }
 
-    fn logits(&self, view: &GraphView<'_>) -> Matrix {
-        let csr = Csr::from_view(view);
-        let mut x = crate::pad_features(&view.graph().feature_matrix(), self.feature_dim());
+    fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
         let count = self.layers.len();
+        let mut x = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            x = Self::layer_forward(layer, &csr, &x, i + 1 == count, self.activation);
+            x = Self::layer_forward(
+                layer,
+                ctx,
+                &x,
+                count - 1 - i,
+                i + 1 == count,
+                self.activation,
+            );
         }
         x
     }
@@ -128,7 +148,7 @@ impl GnnModel for Gat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcw_graph::{EdgeSet, Graph};
+    use rcw_graph::{EdgeSet, Graph, GraphView};
 
     fn small_graph() -> Graph {
         let mut g = Graph::new();

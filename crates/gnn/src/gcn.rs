@@ -7,9 +7,9 @@
 //! gradient descent with Adam on the cross-entropy of the training nodes —
 //! sufficient for the synthetic datasets and fully deterministic.
 
-use crate::model::{one_hot_labels, GnnModel};
+use crate::model::{matmul_rows, one_hot_labels, GnnModel};
 use crate::train::{Adam, TrainConfig, TrainReport};
-use rcw_graph::{Csr, GraphView, NodeId};
+use rcw_graph::{Csr, ForwardCtx, GraphView, NodeId};
 use rcw_linalg::{init, vector, Activation, Matrix};
 
 /// A GCN with an arbitrary number of layers.
@@ -193,11 +193,25 @@ impl GnnModel for Gcn {
         self.weights.first().expect("non-empty").rows()
     }
 
-    fn logits(&self, view: &GraphView<'_>) -> Matrix {
-        self.forward_trace(view)
-            .outputs
-            .pop()
-            .expect("at least one layer")
+    fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
+        let n = ctx.num_nodes();
+        let layers = self.weights.len();
+        let mut x = x.clone();
+        for (i, w) in self.weights.iter().enumerate() {
+            let rows = ctx.active_rows(layers - 1 - i);
+            let dim = x.cols();
+            let mut s = vec![0.0; n * dim];
+            ctx.csr()
+                .spmm_sym_norm_deg(ctx.degrees(), x.data(), dim, &mut s, rows);
+            let s = Matrix::from_vec(n, dim, s);
+            let p = matmul_rows(&s, w, rows);
+            x = if i + 1 == layers {
+                p
+            } else {
+                self.activation.apply_matrix(&p)
+            };
+        }
+        x
     }
 }
 

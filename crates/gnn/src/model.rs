@@ -6,8 +6,16 @@
 //! in this crate can be evaluated on any [`GraphView`] (the full graph `G`, a
 //! witness `Gs`, the remainder `G \ Gs`, or a disturbed graph `G~`) and must
 //! produce the same output for the same input.
+//!
+//! The trait's single required compute method is [`GnnModel::forward`], a
+//! message-passing kernel over an explicit [`ForwardCtx`]. Everything else
+//! derives from it: `logits` runs the kernel on the whole view, while the
+//! single-node entry points `predict` / `margin` run it on the node's
+//! [`Locality`] — the L-hop receptive field under the view — which is
+//! bit-exact (same floats, same argmax) and orders of magnitude cheaper on
+//! graphs larger than the receptive field.
 
-use rcw_graph::{GraphView, NodeId};
+use rcw_graph::{Csr, ForwardCtx, Graph, GraphView, Locality, NodeId};
 use rcw_linalg::{vector, Matrix};
 
 /// A fixed, deterministic GNN-based node classifier.
@@ -21,12 +29,37 @@ pub trait GnnModel: Send + Sync {
     /// Input feature dimension `F` expected by the model.
     fn feature_dim(&self) -> usize;
 
+    /// Number of message-passing rounds determining one node's receptive
+    /// field radius. Defaults to [`GnnModel::num_layers`]; models whose
+    /// propagation depth differs from their layer count (APPNP) override it.
+    fn receptive_hops(&self) -> usize {
+        self.num_layers().max(1)
+    }
+
+    /// The model's forward pass over an explicit compute graph. `x` holds one
+    /// (already padded) feature row per `ctx` node; the result has one logits
+    /// row per node. Kernels must honor `ctx.active_rows` so localized
+    /// evaluation skips rows that cannot influence the center, and must keep
+    /// per-row operations in CSR neighbor order so the localized path stays
+    /// bit-exact against the full pass.
+    fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix;
+
     /// Computes the logits matrix `Z` (`|V| x |L|`) of the model over the
-    /// given graph view. This is the paper's "output" of `M`.
-    fn logits(&self, view: &GraphView<'_>) -> Matrix;
+    /// given graph view. This is the paper's "output" of `M`; it pays a
+    /// full-graph pass and is the right entry point for training, whole-graph
+    /// accuracy, and `predict_all` — single-node queries should go through
+    /// [`GnnModel::predict`] / [`GnnModel::margin`] instead.
+    fn logits(&self, view: &GraphView<'_>) -> Matrix {
+        let csr = Csr::from_view(view);
+        let degrees: Vec<f64> = (0..csr.num_nodes()).map(|u| csr.degree(u) as f64).collect();
+        let ctx = ForwardCtx::full(&csr, &degrees);
+        let x = crate::pad_features(&view.graph().feature_matrix(), self.feature_dim());
+        self.forward(&ctx, &x)
+    }
 
     /// The inference function `M(v, view)`: the label assigned to node `v`
-    /// when the model is evaluated over `view`.
+    /// when the model is evaluated over `view`. Runs the localized path —
+    /// the kernel over `v`'s receptive field only.
     ///
     /// Returns `None` only for invalid nodes; evaluating a valid node over an
     /// edgeless view is well defined (the node classifies from its own
@@ -36,11 +69,11 @@ pub trait GnnModel: Send + Sync {
         if v >= view.num_nodes() {
             return None;
         }
-        let z = self.logits(view);
-        Some(vector::argmax(z.row(v)))
+        let row = localized_logits_row(self, v, view);
+        Some(vector::argmax(&row))
     }
 
-    /// Predicts labels for every node in the view.
+    /// Predicts labels for every node in the view (one full-graph pass).
     fn predict_all(&self, view: &GraphView<'_>) -> Vec<usize> {
         let z = self.logits(view);
         (0..z.rows()).map(|r| vector::argmax(z.row(r))).collect()
@@ -48,18 +81,95 @@ pub trait GnnModel: Send + Sync {
 
     /// Classification margin of node `v` towards label `l` over the runner-up
     /// class: `z[v][l] - max_{c != l} z[v][c]`. Positive means the model
-    /// assigns `l` to `v`.
+    /// assigns `l` to `v`. Runs the localized path.
     fn margin(&self, v: NodeId, label: usize, view: &GraphView<'_>) -> f64 {
-        let z = self.logits(view);
-        let row = z.row(v);
-        let mut best_other = f64::NEG_INFINITY;
-        for (c, &val) in row.iter().enumerate() {
-            if c != label {
-                best_other = best_other.max(val);
+        let row = localized_logits_row(self, v, view);
+        margin_of_row(&row, label)
+    }
+
+    /// Batched margins of one node across many candidate views — the
+    /// generator's candidate-scoring loop. The default evaluates each view's
+    /// receptive field independently; models with a shared-state trick may
+    /// override.
+    fn margin_many(&self, v: NodeId, label: usize, views: &[GraphView<'_>]) -> Vec<f64> {
+        views
+            .iter()
+            .map(|view| self.margin(v, label, view))
+            .collect()
+    }
+}
+
+/// The localized inference core: extracts `v`'s receptive field under `view`
+/// and runs the model's kernel on it, returning `v`'s logits row. Bit-exact
+/// against `model.logits(view).row(v)`.
+pub fn localized_logits_row<M: GnnModel + ?Sized>(
+    model: &M,
+    v: NodeId,
+    view: &GraphView<'_>,
+) -> Vec<f64> {
+    let local = Locality::build(view, v, model.receptive_hops());
+    let x = local_features(view.graph(), local.nodes(), model.feature_dim());
+    let z = model.forward(&local.forward_ctx(), &x);
+    z.row(local.center_index()).to_vec()
+}
+
+/// Margin of a logits row towards `label` over the runner-up class.
+pub fn margin_of_row(row: &[f64], label: usize) -> f64 {
+    let mut best_other = f64::NEG_INFINITY;
+    for (c, &val) in row.iter().enumerate() {
+        if c != label {
+            best_other = best_other.max(val);
+        }
+    }
+    row[label] - best_other
+}
+
+/// Feature rows of a node subset, padded/truncated to `dim` columns —
+/// identical values to the corresponding rows of
+/// `pad_features(graph.feature_matrix(), dim)` without materializing `|V|`
+/// rows.
+pub fn local_features(graph: &Graph, nodes: &[NodeId], dim: usize) -> Matrix {
+    let mut x = Matrix::zeros(nodes.len(), dim);
+    for (i, &v) in nodes.iter().enumerate() {
+        for (j, &val) in graph.features(v).iter().take(dim).enumerate() {
+            x.set(i, j, val);
+        }
+    }
+    x
+}
+
+/// Row-scheduled matrix product `x * w`: computes only the scheduled rows
+/// (`None` = all rows, delegating to [`Matrix::matmul`]). Computed rows are
+/// bit-identical to the full product's; skipped rows are zero.
+pub fn matmul_rows(x: &Matrix, w: &Matrix, rows: Option<&[usize]>) -> Matrix {
+    let Some(rows) = rows else {
+        return x.matmul(w);
+    };
+    assert_eq!(
+        x.cols(),
+        w.rows(),
+        "matmul_rows: {}x{} * {}x{} dimension mismatch",
+        x.rows(),
+        x.cols(),
+        w.rows(),
+        w.cols()
+    );
+    let mut out = Matrix::zeros(x.rows(), w.cols());
+    // same i-k-j loop body as Matrix::matmul, restricted to the schedule
+    for &i in rows {
+        for k in 0..x.cols() {
+            let a = x.get(i, k);
+            if a == 0.0 {
+                continue;
+            }
+            let orow = w.row(k);
+            let out_row = out.row_mut(i);
+            for (j, &b) in orow.iter().enumerate() {
+                out_row[j] += a * b;
             }
         }
-        row[label] - best_other
     }
+    out
 }
 
 /// Accuracy of predictions against ground-truth labels on a node subset.
@@ -109,11 +219,11 @@ mod tests {
         fn feature_dim(&self) -> usize {
             0
         }
-        fn logits(&self, view: &GraphView<'_>) -> Matrix {
-            let n = view.num_nodes();
+        fn forward(&self, ctx: &ForwardCtx<'_>, _x: &Matrix) -> Matrix {
+            let n = ctx.num_nodes();
             let mut z = Matrix::zeros(n, 2);
             for v in 0..n {
-                let parity = view.degree(v) % 2;
+                let parity = (ctx.degrees()[v] as usize) % 2;
                 z.set(v, parity, 1.0);
             }
             z

@@ -7,8 +7,8 @@
 //! with identity on the output layer. The model is inference-only; weights
 //! come from a seeded initializer or from an explicit constructor.
 
-use crate::model::GnnModel;
-use rcw_graph::{Csr, GraphView};
+use crate::model::{matmul_rows, GnnModel};
+use rcw_graph::ForwardCtx;
 use rcw_linalg::{init, Activation, Matrix};
 
 /// A GraphSAGE model with mean aggregation.
@@ -68,23 +68,28 @@ impl GraphSage {
         }
     }
 
-    fn mean_aggregate(csr: &Csr, x: &Matrix) -> Matrix {
+    fn mean_aggregate(ctx: &ForwardCtx<'_>, x: &Matrix, rows: Option<&[usize]>) -> Matrix {
         let n = x.rows();
         let dim = x.cols();
         let mut out = Matrix::zeros(n, dim);
-        for u in 0..n {
-            let nbrs = csr.neighbors(u);
-            if nbrs.is_empty() {
+        let csr = ctx.csr();
+        let degrees = ctx.degrees();
+        let mut aggregate = |u: usize| {
+            if degrees[u] == 0.0 {
                 // no neighbors: aggregate the node itself so the signal is defined
                 out.set_row(u, x.row(u));
-                continue;
+                return;
             }
-            let inv = 1.0 / nbrs.len() as f64;
-            for &v in nbrs {
+            let inv = 1.0 / degrees[u];
+            for &v in csr.neighbors(u) {
                 for c in 0..dim {
                     out.add_at(u, c, inv * x.get(v, c));
                 }
             }
+        };
+        match rows {
+            None => (0..n).for_each(&mut aggregate),
+            Some(rows) => rows.iter().copied().for_each(&mut aggregate),
         }
         out
     }
@@ -103,19 +108,20 @@ impl GnnModel for GraphSage {
         self.self_weights.first().expect("non-empty").rows()
     }
 
-    fn logits(&self, view: &GraphView<'_>) -> Matrix {
-        let csr = Csr::from_view(view);
-        let mut x = crate::pad_features(&view.graph().feature_matrix(), self.feature_dim());
+    fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
+        let layers = self.self_weights.len();
+        let mut x = x.clone();
         for (i, (ws, wn)) in self
             .self_weights
             .iter()
             .zip(&self.neigh_weights)
             .enumerate()
         {
-            let agg = Self::mean_aggregate(&csr, &x);
-            let mut out = x.matmul(ws);
-            out.add_assign(&agg.matmul(wn));
-            x = if i + 1 == self.self_weights.len() {
+            let rows = ctx.active_rows(layers - 1 - i);
+            let agg = Self::mean_aggregate(ctx, &x, rows);
+            let mut out = matmul_rows(&x, ws, rows);
+            out.add_assign(&matmul_rows(&agg, wn, rows));
+            x = if i + 1 == layers {
                 out
             } else {
                 self.activation.apply_matrix(&out)
@@ -128,7 +134,7 @@ impl GnnModel for GraphSage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcw_graph::{EdgeSet, Graph};
+    use rcw_graph::{EdgeSet, Graph, GraphView};
 
     fn small_graph() -> Graph {
         let mut g = Graph::new();

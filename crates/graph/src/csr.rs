@@ -4,7 +4,7 @@
 //! [`Csr`] snapshot of a [`GraphView`] once per inference call avoids repeated
 //! override resolution in the hot loop.
 
-use crate::graph::NodeId;
+use crate::graph::{Graph, NodeId};
 use crate::view::GraphView;
 
 /// Immutable CSR adjacency snapshot with symmetric-normalization helpers.
@@ -26,6 +26,30 @@ impl Csr {
             targets.extend_from_slice(&nbrs);
             offsets.push(targets.len());
         }
+        Csr { offsets, targets }
+    }
+
+    /// Builds a CSR snapshot of a host graph's adjacency (the base layer the
+    /// delta-CSR views apply their overrides to).
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for u in 0..n {
+            targets.extend(graph.neighbors(u));
+            offsets.push(targets.len());
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Builds a CSR from pre-validated parts: `offsets` must be monotone with
+    /// `offsets[0] == 0`, and each neighbor slice must be sorted and deduped.
+    /// Used by [`crate::localize::Locality`], which produces exactly that.
+    pub(crate) fn from_raw_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(offsets.first() == Some(&0));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert_eq!(*offsets.last().expect("non-empty offsets"), targets.len());
         Csr { offsets, targets }
     }
 
@@ -71,24 +95,39 @@ impl Csr {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
-    /// Degree vector including the GCN self-loop convention (`deg + 1`).
-    pub fn degrees_with_self_loops(&self) -> Vec<f64> {
-        (0..self.num_nodes())
-            .map(|u| self.degree(u) as f64 + 1.0)
-            .collect()
-    }
-
     /// Multiplies the symmetrically normalized adjacency (with self-loops)
     /// `D^{-1/2} (A + I) D^{-1/2}` against a dense feature matrix given as a
     /// row-major buffer with `dim` columns, writing into `out`.
     pub fn spmm_sym_norm(&self, x: &[f64], dim: usize, out: &mut [f64]) {
+        let degrees: Vec<f64> = (0..self.num_nodes())
+            .map(|u| self.degree(u) as f64)
+            .collect();
+        self.spmm_sym_norm_deg(&degrees, x, dim, out, None);
+    }
+
+    /// [`Csr::spmm_sym_norm`] with an explicit degree vector (without the
+    /// self-loop; `+1` is applied here) and an optional output-row schedule.
+    ///
+    /// The explicit degrees let an induced receptive-field subgraph normalize
+    /// with the *host view's* true degrees, which is what makes localized
+    /// inference bit-exact. When `rows` is given, only those output rows are
+    /// computed (the rest stay zero); input rows outside the schedule are
+    /// still read, so callers must ensure they hold valid values.
+    pub fn spmm_sym_norm_deg(
+        &self,
+        degrees: &[f64],
+        x: &[f64],
+        dim: usize,
+        out: &mut [f64],
+        rows: Option<&[usize]>,
+    ) {
         let n = self.num_nodes();
+        assert_eq!(degrees.len(), n, "spmm: degree vector size mismatch");
         assert_eq!(x.len(), n * dim, "spmm: input size mismatch");
         assert_eq!(out.len(), n * dim, "spmm: output size mismatch");
-        let deg = self.degrees_with_self_loops();
-        let inv_sqrt: Vec<f64> = deg.iter().map(|d| 1.0 / d.sqrt()).collect();
+        let inv_sqrt: Vec<f64> = degrees.iter().map(|d| 1.0 / (d + 1.0).sqrt()).collect();
         out.fill(0.0);
-        for u in 0..n {
+        let mut row = |u: usize| {
             let du = inv_sqrt[u];
             // self-loop contribution
             for c in 0..dim {
@@ -100,18 +139,39 @@ impl Csr {
                     out[u * dim + c] += w * x[v * dim + c];
                 }
             }
+        };
+        match rows {
+            None => (0..n).for_each(&mut row),
+            Some(rows) => rows.iter().copied().for_each(&mut row),
         }
     }
 
     /// Multiplies the row-normalized adjacency with self-loops
     /// `D^{-1} (A + I)` against a dense matrix (APPNP's propagation operator).
     pub fn spmm_row_norm(&self, x: &[f64], dim: usize, out: &mut [f64]) {
+        let degrees: Vec<f64> = (0..self.num_nodes())
+            .map(|u| self.degree(u) as f64)
+            .collect();
+        self.spmm_row_norm_deg(&degrees, x, dim, out, None);
+    }
+
+    /// [`Csr::spmm_row_norm`] with an explicit degree vector and an optional
+    /// output-row schedule; see [`Csr::spmm_sym_norm_deg`] for the contract.
+    pub fn spmm_row_norm_deg(
+        &self,
+        degrees: &[f64],
+        x: &[f64],
+        dim: usize,
+        out: &mut [f64],
+        rows: Option<&[usize]>,
+    ) {
         let n = self.num_nodes();
+        assert_eq!(degrees.len(), n, "spmm: degree vector size mismatch");
         assert_eq!(x.len(), n * dim, "spmm: input size mismatch");
         assert_eq!(out.len(), n * dim, "spmm: output size mismatch");
         out.fill(0.0);
-        for u in 0..n {
-            let d = self.degree(u) as f64 + 1.0;
+        let mut row = |u: usize| {
+            let d = degrees[u] + 1.0;
             let w = 1.0 / d;
             for c in 0..dim {
                 out[u * dim + c] += w * x[u * dim + c];
@@ -121,6 +181,10 @@ impl Csr {
                     out[u * dim + c] += w * x[v * dim + c];
                 }
             }
+        };
+        match rows {
+            None => (0..n).for_each(&mut row),
+            Some(rows) => rows.iter().copied().for_each(&mut row),
         }
     }
 }

@@ -6,9 +6,11 @@
 //! iteration orders are deterministic, which the paper requires of the whole
 //! pipeline ("fixed and deterministic GNN").
 
+use crate::csr::Csr;
 use crate::edge::{norm_edge, Edge};
 use rcw_linalg::Matrix;
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 /// Node identifier. Nodes are always densely numbered `0..n`.
 pub type NodeId = usize;
@@ -20,6 +22,9 @@ pub struct Graph {
     features: Vec<Vec<f64>>,
     labels: Vec<Option<usize>>,
     num_edges: usize,
+    /// Lazily built host CSR, shared by every [`crate::view::GraphView`] over
+    /// this graph (their delta-CSR base layer). Structural mutation clears it.
+    csr_cache: OnceLock<Csr>,
 }
 
 impl Graph {
@@ -35,11 +40,19 @@ impl Graph {
             features: vec![Vec::new(); n],
             labels: vec![None; n],
             num_edges: 0,
+            csr_cache: OnceLock::new(),
         }
+    }
+
+    /// The host adjacency as a CSR snapshot, built on first use and reused by
+    /// every view, worker, and expand–verify round until the graph mutates.
+    pub fn csr(&self) -> &Csr {
+        self.csr_cache.get_or_init(|| Csr::from_graph(self))
     }
 
     /// Adds a node with the given features, returning its id.
     pub fn add_node(&mut self, features: Vec<f64>) -> NodeId {
+        self.csr_cache.take();
         self.adjacency.push(BTreeSet::new());
         self.features.push(features);
         self.labels.push(None);
@@ -92,6 +105,7 @@ impl Graph {
         if inserted {
             self.adjacency[v].insert(u);
             self.num_edges += 1;
+            self.csr_cache.take();
         }
         inserted
     }
@@ -105,6 +119,7 @@ impl Graph {
         if removed {
             self.adjacency[v].remove(&u);
             self.num_edges -= 1;
+            self.csr_cache.take();
         }
         removed
     }

@@ -18,6 +18,7 @@ pub mod ged;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod localize;
 pub mod partition;
 pub mod subgraph;
 pub mod traversal;
@@ -29,6 +30,7 @@ pub use disturbance::{Disturbance, DisturbanceStrategy};
 pub use edge::{norm_edge, Edge, EdgeSet};
 pub use ged::{edge_jaccard, ged, normalized_ged};
 pub use graph::{Graph, NodeId};
+pub use localize::{ForwardCtx, Locality};
 pub use partition::{edge_cut_partition, Fragment, Partition};
 pub use subgraph::EdgeSubgraph;
 pub use view::GraphView;

@@ -1,0 +1,305 @@
+//! Localized inference support: receptive-field extraction and forward-pass
+//! scheduling.
+//!
+//! For an L-round message-passing model, `M(v, G~)` depends only on the L-hop
+//! ball around `v` *under the evaluated view*. [`Locality`] extracts that
+//! ball: a BFS under the view, an induced CSR with an order-preserving node
+//! remap, the *true view degrees* of every ball node (so normalization at the
+//! ball boundary matches the full graph bit for bit), and a per-hop-distance
+//! schedule. The schedule exploits a second identity: after round `r` of `L`,
+//! only nodes within `L - r` hops of `v` can still influence `v`'s output, so
+//! each successive round computes a shrinking prefix of rows — the final
+//! round touches exactly one.
+//!
+//! [`ForwardCtx`] is the compute-graph handle the GNN forward kernels consume:
+//! either a whole view (every row active in every round) or a [`Locality`].
+//! Exactness argument: by induction over rounds, a node at distance `d` from
+//! `v` has a bit-identical round-`r` value whenever `d <= L - r` — its
+//! neighbors are all inside the ball, its degree is the true view degree, and
+//! the order-preserving remap keeps every floating-point reduction in the
+//! same order as the full-graph pass. At `r = L` that leaves exactly `v`.
+
+use crate::csr::Csr;
+use crate::graph::NodeId;
+use crate::view::GraphView;
+use std::collections::BTreeMap;
+
+/// Row schedule of a localized forward pass: ball nodes ordered by hop
+/// distance from the center, with prefix counts per distance.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Local node indices sorted by (distance, index).
+    order: Vec<usize>,
+    /// `prefix[d]` = number of ball nodes at distance `<= d`.
+    prefix: Vec<usize>,
+}
+
+impl Schedule {
+    /// Rows whose values must be computed when `remaining` message-passing
+    /// rounds follow the current one. `None` means "all rows".
+    fn active_rows(&self, remaining: usize) -> Option<&[usize]> {
+        if remaining + 1 >= self.prefix.len() {
+            return None;
+        }
+        Some(&self.order[..self.prefix[remaining]])
+    }
+}
+
+/// The receptive field of one node under one view: the BFS ball, its induced
+/// CSR (order-preserving remap), true view degrees, and the row schedule.
+#[derive(Clone, Debug)]
+pub struct Locality {
+    /// Ball nodes as host-graph ids, ascending. Local index = position.
+    nodes: Vec<NodeId>,
+    /// Local index of the center node.
+    center: usize,
+    /// Induced adjacency over the ball, in local indices.
+    csr: Csr,
+    /// True degree of each ball node *under the view* (not the induced
+    /// degree, which is truncated at the ball boundary).
+    degrees: Vec<f64>,
+    schedule: Schedule,
+}
+
+impl Locality {
+    /// Extracts the `hops`-hop receptive field of `center` under `view`.
+    ///
+    /// # Panics
+    /// Panics if `center` is not a valid node of the view.
+    pub fn build(view: &GraphView<'_>, center: NodeId, hops: usize) -> Locality {
+        let n = view.num_nodes();
+        assert!(center < n, "Locality::build: invalid center node {center}");
+
+        // BFS under the view, caching neighbor lists for the induced build.
+        let mut dist: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut nbrs_cache: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        dist.insert(center, 0);
+        let mut frontier = vec![center];
+        for d in 1..=hops {
+            if frontier.is_empty() || dist.len() == n {
+                break;
+            }
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let nbrs = view.neighbors(u);
+                for &v in &nbrs {
+                    if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(v) {
+                        e.insert(d);
+                        next.push(v);
+                    }
+                }
+                nbrs_cache.insert(u, nbrs);
+            }
+            frontier = next;
+        }
+
+        // Ball nodes ascending (BTreeMap keys are sorted); the remap is
+        // therefore order-preserving, which keeps neighbor reductions in the
+        // same floating-point order as the full pass.
+        let nodes: Vec<NodeId> = dist.keys().copied().collect();
+        let m = nodes.len();
+        let mut offsets = Vec::with_capacity(m + 1);
+        let mut targets = Vec::new();
+        let mut degrees = Vec::with_capacity(m);
+        offsets.push(0);
+        for &u in &nodes {
+            let nbrs = nbrs_cache.remove(&u).unwrap_or_else(|| view.neighbors(u));
+            degrees.push(nbrs.len() as f64);
+            for v in nbrs {
+                if let Ok(j) = nodes.binary_search(&v) {
+                    targets.push(j);
+                }
+            }
+            offsets.push(targets.len());
+        }
+        let csr = Csr::from_raw_parts(offsets, targets);
+        let center_idx = nodes.binary_search(&center).expect("center in ball");
+
+        // Schedule: local indices bucketed by distance.
+        let max_d = dist.values().copied().max().unwrap_or(0);
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_d + 1];
+        for (i, u) in nodes.iter().enumerate() {
+            buckets[dist[u]].push(i);
+        }
+        let mut order = Vec::with_capacity(m);
+        let mut prefix = Vec::with_capacity(max_d + 1);
+        for bucket in buckets {
+            order.extend(bucket);
+            prefix.push(order.len());
+        }
+
+        Locality {
+            nodes,
+            center: center_idx,
+            csr,
+            degrees,
+            schedule: Schedule { order, prefix },
+        }
+    }
+
+    /// Ball nodes as host-graph ids, ascending.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Local index of the center node.
+    pub fn center_index(&self) -> usize {
+        self.center
+    }
+
+    /// Number of ball nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A receptive field is never empty (it contains the center).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The induced CSR, in local indices.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// True view degrees of the ball nodes.
+    pub fn degrees(&self) -> &[f64] {
+        &self.degrees
+    }
+
+    /// The compute-graph handle for the forward kernels.
+    pub fn forward_ctx(&self) -> ForwardCtx<'_> {
+        ForwardCtx {
+            csr: &self.csr,
+            degrees: &self.degrees,
+            schedule: Some(&self.schedule),
+        }
+    }
+}
+
+/// A compute graph for one GNN forward pass: adjacency, true degrees, and an
+/// optional row schedule (present only for localized evaluation).
+#[derive(Clone, Copy, Debug)]
+pub struct ForwardCtx<'a> {
+    csr: &'a Csr,
+    degrees: &'a [f64],
+    schedule: Option<&'a Schedule>,
+}
+
+impl<'a> ForwardCtx<'a> {
+    /// A full compute graph: every row is active in every round.
+    pub fn full(csr: &'a Csr, degrees: &'a [f64]) -> Self {
+        assert_eq!(
+            csr.num_nodes(),
+            degrees.len(),
+            "ForwardCtx::full: degree vector size mismatch"
+        );
+        ForwardCtx {
+            csr,
+            degrees,
+            schedule: None,
+        }
+    }
+
+    /// The adjacency.
+    pub fn csr(&self) -> &'a Csr {
+        self.csr
+    }
+
+    /// True per-node degrees under the evaluated view (no self-loops).
+    pub fn degrees(&self) -> &'a [f64] {
+        self.degrees
+    }
+
+    /// Number of nodes (rows) in the compute graph.
+    pub fn num_nodes(&self) -> usize {
+        self.csr.num_nodes()
+    }
+
+    /// Rows whose values the current round must compute, given how many
+    /// message-passing rounds follow it. `None` means every row. Rounds count
+    /// down: the first of `L` rounds has `remaining = L - 1`, the last `0`.
+    pub fn active_rows(&self, remaining: usize) -> Option<&'a [usize]> {
+        self.schedule.and_then(|s| s.active_rows(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::EdgeSet;
+    use crate::graph::Graph;
+
+    fn path5() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        for uv in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            g.add_edge(uv.0, uv.1);
+        }
+        g
+    }
+
+    #[test]
+    fn ball_of_radius_two_on_a_path() {
+        let g = path5();
+        let view = GraphView::full(&g);
+        let local = Locality::build(&view, 2, 2);
+        assert_eq!(local.nodes(), &[0, 1, 2, 3, 4]);
+        assert_eq!(local.center_index(), 2);
+        assert_eq!(local.degrees(), &[1.0, 2.0, 2.0, 2.0, 1.0]);
+        let local = Locality::build(&view, 0, 2);
+        assert_eq!(local.nodes(), &[0, 1, 2]);
+        // node 2 sits on the boundary: its induced degree is truncated but
+        // its recorded degree is the true view degree
+        assert_eq!(local.csr().degree(2), 1);
+        assert_eq!(local.degrees()[2], 2.0);
+    }
+
+    #[test]
+    fn ball_respects_view_overrides() {
+        let g = path5();
+        let mut view = GraphView::full(&g);
+        view.remove_edges(&EdgeSet::from_iter([(1, 2)]));
+        view.add_edges(&EdgeSet::from_iter([(0, 4)]));
+        let local = Locality::build(&view, 0, 2);
+        // 0 -> {1, 4} -> {3}; the cut (1,2) stops the walk to 2
+        assert_eq!(local.nodes(), &[0, 1, 3, 4]);
+        assert_eq!(local.degrees(), &[2.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn isolated_center_yields_singleton_ball() {
+        let g = path5();
+        let view = GraphView::restricted_to(&g, &EdgeSet::new());
+        let local = Locality::build(&view, 3, 4);
+        assert_eq!(local.nodes(), &[3]);
+        assert_eq!(local.center_index(), 0);
+        assert_eq!(local.degrees(), &[0.0]);
+        assert_eq!(local.csr().num_arcs(), 0);
+    }
+
+    #[test]
+    fn schedule_shrinks_toward_the_center() {
+        let g = path5();
+        let view = GraphView::full(&g);
+        let local = Locality::build(&view, 0, 3);
+        let ctx = local.forward_ctx();
+        // last round: only the center row
+        assert_eq!(ctx.active_rows(0), Some(&[0usize][..]));
+        // one round before: center + 1-hop
+        let one = ctx.active_rows(1).unwrap();
+        assert_eq!(one, &[0, 1]);
+        // at or beyond the radius every row is active
+        assert_eq!(ctx.active_rows(3), None);
+        assert_eq!(ctx.active_rows(99), None);
+    }
+
+    #[test]
+    fn full_ctx_has_no_schedule() {
+        let g = path5();
+        let csr = Csr::from_view(&GraphView::full(&g));
+        let degrees: Vec<f64> = (0..5).map(|u| csr.degree(u) as f64).collect();
+        let ctx = ForwardCtx::full(&csr, &degrees);
+        assert_eq!(ctx.num_nodes(), 5);
+        assert_eq!(ctx.active_rows(0), None);
+    }
+}

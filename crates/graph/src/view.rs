@@ -6,21 +6,135 @@
 //! `G~` is obtained by flipping up to `k` node pairs. [`GraphView`] provides a
 //! cheap, composable overlay over a host [`Graph`] that answers adjacency
 //! queries under these modifications without copying the graph.
+//!
+//! Internally a view is a *delta-CSR*: the base layer is the host graph's
+//! shared CSR snapshot ([`Graph::csr`], built once per graph) or, for
+//! restricted views, a sparse adjacency of the witness edges; on top of it
+//! sits a per-endpoint index of forced-present / forced-absent pairs. Both
+//! layers are sorted, so `neighbors(u)` is a linear merge —
+//! `O(deg(u) + overrides(u))` — instead of the former scan of the entire
+//! override map per node.
 
 use crate::edge::{norm_edge, Edge, EdgeSet};
 use crate::graph::{Graph, NodeId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+
+/// Per-endpoint index of edge-presence overrides: for every touched node a
+/// sorted list of `(other_endpoint, forced_present)`. Each overridden pair is
+/// stored under both endpoints so neighbor queries never scan foreign pairs.
+#[derive(Clone, Debug, Default)]
+struct OverrideIndex {
+    by_node: BTreeMap<NodeId, Vec<(NodeId, bool)>>,
+    pairs: usize,
+}
+
+impl OverrideIndex {
+    fn set(&mut self, u: NodeId, v: NodeId, present: bool) {
+        let fresh = Self::set_directed(&mut self.by_node, u, v, present);
+        Self::set_directed(&mut self.by_node, v, u, present);
+        if fresh {
+            self.pairs += 1;
+        }
+    }
+
+    /// Returns `true` if the pair was not overridden before.
+    fn set_directed(
+        by_node: &mut BTreeMap<NodeId, Vec<(NodeId, bool)>>,
+        a: NodeId,
+        b: NodeId,
+        present: bool,
+    ) -> bool {
+        let list = by_node.entry(a).or_default();
+        match list.binary_search_by_key(&b, |e| e.0) {
+            Ok(i) => {
+                list[i].1 = present;
+                false
+            }
+            Err(i) => {
+                list.insert(i, (b, present));
+                true
+            }
+        }
+    }
+
+    fn get(&self, u: NodeId, v: NodeId) -> Option<bool> {
+        let list = self.by_node.get(&u)?;
+        list.binary_search_by_key(&v, |e| e.0)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    fn for_node(&self, u: NodeId) -> &[(NodeId, bool)] {
+        self.by_node.get(&u).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pairs == 0
+    }
+
+    /// All overridden pairs, normalized `u < v`, in ascending order.
+    fn iter_pairs(&self) -> impl Iterator<Item = (Edge, bool)> + '_ {
+        self.by_node.iter().flat_map(|(&u, list)| {
+            list.iter()
+                .filter(move |&&(v, _)| u < v)
+                .map(move |&(v, present)| ((u, v), present))
+        })
+    }
+}
+
+/// Merges a sorted base neighbor list with a node's sorted overrides:
+/// forced-absent neighbors drop out, forced-present ones are spliced in.
+fn merge_neighbors(base: &[NodeId], overrides: &[(NodeId, bool)]) -> Vec<NodeId> {
+    if overrides.is_empty() {
+        return base.to_vec();
+    }
+    let mut out = Vec::with_capacity(base.len() + overrides.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < base.len() || j < overrides.len() {
+        if j >= overrides.len() {
+            out.push(base[i]);
+            i += 1;
+        } else if i >= base.len() {
+            if overrides[j].1 {
+                out.push(overrides[j].0);
+            }
+            j += 1;
+        } else {
+            match base[i].cmp(&overrides[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(base[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    if overrides[j].1 {
+                        out.push(overrides[j].0);
+                    }
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if overrides[j].1 {
+                        out.push(base[i]);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    out
+}
 
 /// A lightweight overlay over a host graph: a restriction to an edge subset
 /// plus per-edge presence overrides (forced-present / forced-absent).
 #[derive(Clone, Debug)]
 pub struct GraphView<'g> {
     graph: &'g Graph,
-    /// If set, only edges in this adjacency are visible from the base graph.
-    only_adj: Option<Vec<BTreeSet<NodeId>>>,
+    /// If set, only these edges are visible from the base graph. Sparse:
+    /// keyed by endpoint, both directions stored, lists sorted.
+    only_adj: Option<BTreeMap<NodeId, Vec<NodeId>>>,
     /// Forced edge states: `true` = present, `false` = absent. Overrides win
     /// over both the base graph and the restriction.
-    overrides: BTreeMap<Edge, bool>,
+    overrides: OverrideIndex,
 }
 
 impl<'g> GraphView<'g> {
@@ -29,24 +143,28 @@ impl<'g> GraphView<'g> {
         GraphView {
             graph,
             only_adj: None,
-            overrides: BTreeMap::new(),
+            overrides: OverrideIndex::default(),
         }
     }
 
     /// A view showing only the edges of `edges` (the `M(v, Gs)` evaluation).
     /// Nodes keep their identity; edges outside the set disappear.
     pub fn restricted_to(graph: &'g Graph, edges: &EdgeSet) -> Self {
-        let mut adj = vec![BTreeSet::new(); graph.num_nodes()];
+        let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         for (u, v) in edges.iter() {
             if graph.has_edge(u, v) {
-                adj[u].insert(v);
-                adj[v].insert(u);
+                adj.entry(u).or_default().push(v);
+                adj.entry(v).or_default().push(u);
             }
+        }
+        for list in adj.values_mut() {
+            list.sort_unstable();
+            list.dedup();
         }
         GraphView {
             graph,
             only_adj: Some(adj),
-            overrides: BTreeMap::new(),
+            overrides: OverrideIndex::default(),
         }
     }
 
@@ -68,10 +186,18 @@ impl<'g> GraphView<'g> {
         self.graph.num_nodes()
     }
 
+    /// Force-removes a single edge from the view.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
+        if u != v {
+            let (u, v) = norm_edge(u, v);
+            self.overrides.set(u, v, false);
+        }
+    }
+
     /// Force-removes a set of edges from the view.
     pub fn remove_edges(&mut self, edges: &EdgeSet) {
         for (u, v) in edges.iter() {
-            self.overrides.insert(norm_edge(u, v), false);
+            self.overrides.set(u, v, false);
         }
     }
 
@@ -79,7 +205,8 @@ impl<'g> GraphView<'g> {
     pub fn add_edges(&mut self, edges: &EdgeSet) {
         for (u, v) in edges.iter() {
             if u != v && self.graph.contains_node(u) && self.graph.contains_node(v) {
-                self.overrides.insert(norm_edge(u, v), true);
+                let (u, v) = norm_edge(u, v);
+                self.overrides.set(u, v, true);
             }
         }
     }
@@ -92,7 +219,8 @@ impl<'g> GraphView<'g> {
                 continue;
             }
             let current = self.has_edge(u, v);
-            self.overrides.insert(norm_edge(u, v), !current);
+            let (u, v) = norm_edge(u, v);
+            self.overrides.set(u, v, !current);
         }
     }
 
@@ -108,38 +236,25 @@ impl<'g> GraphView<'g> {
         if u == v || !self.graph.contains_node(u) || !self.graph.contains_node(v) {
             return false;
         }
-        if let Some(&forced) = self.overrides.get(&norm_edge(u, v)) {
+        if let Some(forced) = self.overrides.get(u, v) {
             return forced;
         }
         match &self.only_adj {
-            Some(adj) => adj[u].contains(&v),
+            Some(adj) => adj
+                .get(&u)
+                .is_some_and(|list| list.binary_search(&v).is_ok()),
             None => self.graph.has_edge(u, v),
         }
     }
 
     /// Visible neighbors of `u`, in ascending order.
     pub fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
-        let mut out = BTreeSet::new();
+        assert!(self.graph.contains_node(u), "neighbors: invalid node {u}");
+        let overrides = self.overrides.for_node(u);
         match &self.only_adj {
-            Some(adj) => out.extend(adj[u].iter().copied()),
-            None => out.extend(self.graph.neighbors(u)),
+            Some(adj) => merge_neighbors(adj.get(&u).map(Vec::as_slice).unwrap_or(&[]), overrides),
+            None => merge_neighbors(self.graph.csr().neighbors(u), overrides),
         }
-        // apply overrides touching u
-        for (&(a, b), &present) in &self.overrides {
-            let other = if a == u {
-                b
-            } else if b == u {
-                a
-            } else {
-                continue;
-            };
-            if present {
-                out.insert(other);
-            } else {
-                out.remove(&other);
-            }
-        }
-        out.into_iter().collect()
     }
 
     /// Visible degree of `u`.
@@ -154,22 +269,15 @@ impl<'g> GraphView<'g> {
 
     /// All visible edges (`u < v`, sorted).
     pub fn edges(&self) -> Vec<Edge> {
-        let mut set: BTreeSet<Edge> = BTreeSet::new();
-        match &self.only_adj {
-            Some(adj) => {
-                for (u, nbrs) in adj.iter().enumerate() {
-                    for &v in nbrs {
-                        if u < v {
-                            set.insert((u, v));
-                        }
-                    }
-                }
-            }
-            None => {
-                set.extend(self.graph.edges());
-            }
-        }
-        for (&e, &present) in &self.overrides {
+        use std::collections::BTreeSet;
+        let mut set: BTreeSet<Edge> = match &self.only_adj {
+            Some(adj) => adj
+                .iter()
+                .flat_map(|(&u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+                .collect(),
+            None => self.graph.edges().collect(),
+        };
+        for (e, present) in self.overrides.iter_pairs() {
             if present {
                 set.insert(e);
             } else {
@@ -195,10 +303,16 @@ impl<'g> GraphView<'g> {
         g
     }
 
-    /// Returns the overrides currently applied (useful for debugging and for
-    /// the parallel algorithm's bitmap bookkeeping).
-    pub fn overrides(&self) -> &BTreeMap<Edge, bool> {
-        &self.overrides
+    /// Whether any overrides are applied on top of the base layer.
+    pub fn has_overrides(&self) -> bool {
+        !self.overrides.is_empty()
+    }
+
+    /// The overrides currently applied, normalized `u < v` and ascending
+    /// (useful for debugging and for the parallel algorithm's bitmap
+    /// bookkeeping).
+    pub fn overrides(&self) -> Vec<(Edge, bool)> {
+        self.overrides.iter_pairs().collect()
     }
 }
 
@@ -302,5 +416,30 @@ mod tests {
         v.add_edges(&EdgeSet::from_iter([(1, 77)]));
         assert_eq!(v.num_edges(), 3);
         assert!(!v.has_edge(0, 99));
+    }
+
+    #[test]
+    fn neighbors_merge_overrides_on_both_endpoints() {
+        let g = path4();
+        let mut v = GraphView::full(&g);
+        v.add_edges(&EdgeSet::from_iter([(3, 0)]));
+        v.remove_edges(&EdgeSet::from_iter([(1, 2)]));
+        assert_eq!(v.neighbors(0), vec![1, 3]);
+        assert_eq!(v.neighbors(3), vec![0, 2]);
+        assert_eq!(v.neighbors(1), vec![0]);
+        assert_eq!(v.neighbors(2), vec![3]);
+        assert!(v.has_overrides());
+        assert_eq!(v.overrides(), vec![((0, 3), true), ((1, 2), false)]);
+    }
+
+    #[test]
+    fn overrides_on_restricted_views_merge_sparsely() {
+        let g = path4();
+        let gs = EdgeSet::from_iter([(0, 1), (1, 2)]);
+        let mut v = GraphView::restricted_to(&g, &gs);
+        v.flip_edges(&EdgeSet::from_iter([(0, 1), (0, 2)]));
+        assert_eq!(v.neighbors(0), vec![2]);
+        assert_eq!(v.neighbors(1), vec![2]);
+        assert_eq!(v.edges(), vec![(0, 2), (1, 2)]);
     }
 }

@@ -1,0 +1,150 @@
+//! Exact-equivalence sweep for the localized inference engine.
+//!
+//! `predict` and `margin` run an induced receptive-field forward pass; this
+//! suite pins them against the full-graph `logits` path with **no tolerance**:
+//! the same floats and the same argmax, for all four model families, over
+//! random SBM graphs under restricted / removed / flipped views, plus the
+//! boundary cases (isolated node, edgeless view, receptive field covering the
+//! whole graph).
+
+use robogexp::gnn::model::{localized_logits_row, margin_of_row};
+use robogexp::gnn::{Gat, GraphSage};
+use robogexp::graph::generators::{ensure_connected, stochastic_block_model};
+use robogexp::linalg::rng::Rng;
+use robogexp::linalg::vector;
+use robogexp::prelude::*;
+
+/// A random labeled/featured SBM graph, deterministic in the seed.
+fn sbm_graph(seed: u64) -> Graph {
+    let per_block = 8 + (seed as usize % 5);
+    let (mut g, blocks) =
+        stochastic_block_model(&[per_block, per_block, per_block], 0.4, 0.06, seed);
+    ensure_connected(&mut g, seed.wrapping_add(77));
+    let mut rng = Rng::seed_from_u64(seed ^ 0x51ED);
+    for (v, &b) in blocks.iter().enumerate() {
+        let mut feats = vec![0.0; 4];
+        feats[b] = 1.0;
+        feats[3] = rng.gen_range(0usize..10) as f64 / 10.0;
+        g.set_features(v, feats);
+        g.set_label(v, b);
+    }
+    g
+}
+
+fn models(seed: u64) -> Vec<(&'static str, Box<dyn GnnModel>)> {
+    let dims = [4usize, 6, 3];
+    vec![
+        (
+            "GCN",
+            Box::new(Gcn::new(&[4, 6, 6, 3], seed)) as Box<dyn GnnModel>,
+        ),
+        ("APPNP", Box::new(Appnp::new(&dims, 0.2, 7, seed))),
+        ("GraphSAGE", Box::new(GraphSage::new(&dims, seed))),
+        ("GAT", Box::new(Gat::new(&dims, seed))),
+    ]
+}
+
+/// Asserts bit-exact agreement between the localized and full paths for one
+/// node under one view.
+fn assert_node_equivalence(name: &str, model: &dyn GnnModel, v: NodeId, view: &GraphView<'_>) {
+    let full = model.logits(view);
+    let full_row = full.row(v);
+    let local_row = localized_logits_row(model, v, view);
+    assert_eq!(
+        local_row,
+        full_row.to_vec(),
+        "{name}: localized logits row differs from the full pass for node {v}"
+    );
+    assert_eq!(
+        model.predict(v, view),
+        Some(vector::argmax(full_row)),
+        "{name}: predict differs from full-pass argmax for node {v}"
+    );
+    for label in 0..model.num_classes() {
+        let localized = model.margin(v, label, view);
+        let reference = margin_of_row(full_row, label);
+        assert!(
+            localized == reference,
+            "{name}: margin({v}, {label}) localized {localized} != full {reference}"
+        );
+    }
+}
+
+#[test]
+fn localized_equals_full_over_sbm_views() {
+    for seed in 0u64..6 {
+        let g = sbm_graph(seed);
+        let n = g.num_nodes();
+        let edges = g.edge_vec();
+        // a witness-sized edge subset and a disturbance-sized pair set
+        let witness: EdgeSet = edges.iter().copied().step_by(5).take(8).collect();
+        let flips: EdgeSet = edges
+            .iter()
+            .copied()
+            .skip(2)
+            .step_by(7)
+            .take(3)
+            .chain([(0, n - 1)])
+            .collect();
+        let restricted = GraphView::restricted_to(&g, &witness);
+        let removed = GraphView::without(&g, &witness);
+        let flipped = GraphView::full(&g).flipped(&flips);
+        let probes = [0, n / 3, n / 2, n - 1];
+        for (name, model) in models(seed) {
+            for view in [&restricted, &removed, &flipped] {
+                for &v in &probes {
+                    assert_node_equivalence(name, model.as_ref(), v, view);
+                }
+            }
+            // predict_all restricted to the probes must agree with the
+            // localized per-node path
+            let preds = model.predict_all(&removed);
+            for &v in &probes {
+                assert_eq!(
+                    model.predict(v, &removed),
+                    Some(preds[v]),
+                    "{name}: predict_all[{v}] disagrees with localized predict"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn boundary_cases_stay_exact() {
+    let mut g = sbm_graph(1);
+    let iso = g.add_labeled_node(vec![0.3, 0.1, 0.0, 0.5], 0);
+    let n = g.num_nodes();
+    let full_view = GraphView::full(&g);
+    let edgeless = GraphView::restricted_to(&g, &EdgeSet::new());
+    for (name, model) in models(9) {
+        // isolated node under the full view
+        assert_node_equivalence(name, model.as_ref(), iso, &full_view);
+        // edgeless view: every node classifies from its own features
+        for v in [0, n / 2, iso] {
+            assert_node_equivalence(name, model.as_ref(), v, &edgeless);
+        }
+    }
+}
+
+#[test]
+fn whole_graph_receptive_field_is_exact() {
+    // A small path graph: any model with depth >= diameter sees the whole
+    // graph from every node, so the induced "ball" is the graph itself.
+    let mut g = Graph::with_nodes(6);
+    for uv in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)] {
+        g.add_edge(uv.0, uv.1);
+    }
+    for v in 0..6 {
+        g.set_features(v, vec![v as f64 / 6.0, 1.0 - v as f64 / 6.0, 0.0, 1.0]);
+        g.set_label(v, v % 3);
+    }
+    let view = GraphView::full(&g);
+    // APPNP with 7 propagation rounds and GCN with depth 2 both have
+    // receptive fields at or beyond the diameter from the middle nodes.
+    for (name, model) in models(4) {
+        for v in 0..6 {
+            assert_node_equivalence(name, model.as_ref(), v, &view);
+        }
+    }
+}
