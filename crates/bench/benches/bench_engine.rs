@@ -1,0 +1,122 @@
+//! Session-oriented engine throughput: cold one-shot calls vs warm
+//! steady-state queries against a long-lived [`WitnessEngine`], and witness
+//! repair after a small disturbance vs full regeneration.
+//!
+//! Results land in `BENCH_engine.json` (name, iters, ns/iter) so the serving
+//! trajectory is tracked across PRs alongside `BENCH_inference.json`.
+
+use rcw_bench::timing::BenchGroup;
+use rcw_core::{RcwConfig, RoboGExp, WitnessEngine};
+use rcw_datasets::{citeseer, Scale};
+use rcw_gnn::GnnModel;
+use rcw_graph::{traversal::k_hop_neighborhood_multi, Disturbance, Edge};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench_cfg() -> RcwConfig {
+    RcwConfig {
+        k: 2,
+        local_budget: 2,
+        candidate_hops: 2,
+        sampled_disturbances: 6,
+        exhaustive_limit: 8,
+        max_expand_rounds: 3,
+        ..RcwConfig::default()
+    }
+}
+
+fn main() {
+    let samples = 5;
+    let mut group = BenchGroup::new("engine: warm sessions and repair", samples);
+    let mut summaries: Vec<String> = Vec::new();
+
+    for (scale, scale_name) in [(Scale::Tiny, "tiny"), (Scale::Small, "small")] {
+        let ds = citeseer::build(scale, 7);
+        let gcn = ds.train_gcn(24, 7);
+        let model = &gcn as &dyn GnnModel;
+        let graph = Arc::new(ds.graph.clone());
+        let tests = ds.pick_test_nodes(4, 13);
+        let cfg = bench_cfg();
+        println!(
+            "citeseer/{scale_name}: |V|={}, |E|={}, {} test nodes",
+            graph.num_nodes(),
+            graph.num_edges(),
+            tests.len()
+        );
+
+        // Cold: a fresh engine per call — the pre-engine one-shot cost
+        // (cache build + full expand–verify search every time).
+        group.bench(format!("generate/{scale_name}/cold"), || {
+            let mut engine = WitnessEngine::new(Arc::clone(&graph), model, cfg.clone());
+            engine.generate(&tests).stats.inference_calls
+        });
+
+        // Warm steady state: a persistent engine answering the same query.
+        let mut engine = WitnessEngine::new(Arc::clone(&graph), model, cfg.clone());
+        engine.generate(&tests);
+        group.bench(format!("generate/{scale_name}/warm"), || {
+            engine.generate(&tests).level
+        });
+
+        // Repair vs regenerate after a small disturbance. The disturbance
+        // toggles one unprotected edge *inside* the test nodes' candidate
+        // region, so every repair round actually re-verifies rather than
+        // skipping on a disjoint footprint.
+        let witness = engine
+            .stored(&tests)
+            .expect("witness stored by the warm run")
+            .witness
+            .clone();
+        let hood = k_hop_neighborhood_multi(&graph, &tests, cfg.candidate_hops);
+        let flip: Edge = graph
+            .edges()
+            .find(|&(u, v)| {
+                hood.contains(&u) && hood.contains(&v) && !witness.subgraph.contains_edge(u, v)
+            })
+            .expect("an unprotected edge near the test nodes exists");
+        let d = Disturbance::from_pairs([flip]);
+        group.bench(format!("repair/{scale_name}/disturb-repair"), || {
+            let report = engine.disturb(std::slice::from_ref(&d));
+            report.reverified + report.repaired + report.untouched
+        });
+        let disturbed = d.apply(&graph);
+        group.bench(format!("repair/{scale_name}/regenerate"), || {
+            RoboGExp::for_model(model, cfg.clone())
+                .generate(&disturbed, &tests)
+                .stats
+                .inference_calls
+        });
+
+        // One-shot speedup probes for the stdout summary.
+        let t0 = Instant::now();
+        let mut cold_engine = WitnessEngine::new(Arc::clone(&graph), model, cfg.clone());
+        std::hint::black_box(cold_engine.generate(&tests));
+        let cold_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        std::hint::black_box(engine.generate(&tests));
+        let warm_s = t1.elapsed().as_secs_f64();
+        let t2 = Instant::now();
+        std::hint::black_box(engine.disturb(std::slice::from_ref(&d)));
+        let repair_s = t2.elapsed().as_secs_f64();
+        let t3 = Instant::now();
+        std::hint::black_box(RoboGExp::for_model(model, cfg.clone()).generate(&disturbed, &tests));
+        let regen_s = t3.elapsed().as_secs_f64();
+        summaries.push(format!(
+            "{scale_name}: cold {:.2}ms vs warm {:.4}ms -> {:.0}x; repair {:.2}ms vs regenerate {:.2}ms -> {:.1}x",
+            cold_s * 1e3,
+            warm_s * 1e3,
+            cold_s / warm_s.max(1e-9),
+            repair_s * 1e3,
+            regen_s * 1e3,
+            regen_s / repair_s.max(1e-9),
+        ));
+    }
+
+    group.finish();
+    for line in &summaries {
+        println!("{line}");
+    }
+    // anchor at the workspace root so the record is stable across invokers
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    group.write_json(path);
+}

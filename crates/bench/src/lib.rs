@@ -92,6 +92,7 @@ impl ExperimentContext {
             max_insert_candidates: 16,
             sampled_disturbances: 6,
             exhaustive_limit: 8,
+            max_candidate_pairs: 256,
             max_expand_rounds: 3,
             pri_rounds: 6,
             ppr_iters: 30,

@@ -36,6 +36,12 @@ pub struct RcwConfig {
     /// at most this, the generic verifier enumerates all `<= k` disturbances
     /// instead of sampling.
     pub exhaustive_limit: usize,
+    /// Upper bound `m` on the candidate-pair pool. Dense neighborhoods grow
+    /// quadratically many pairs; beyond this bound the pool is pruned to the
+    /// `m` pairs carrying the most personalized-PageRank mass from the test
+    /// nodes (the pairs a disturbance can use to move the most PPR weight).
+    /// The default is high enough that sparse graphs never hit it.
+    pub max_candidate_pairs: usize,
     /// Maximum expand–verify rounds per test node during generation before
     /// falling back to the trivial witness.
     pub max_expand_rounds: usize,
@@ -57,6 +63,7 @@ impl Default for RcwConfig {
             max_insert_candidates: 32,
             sampled_disturbances: 24,
             exhaustive_limit: 10,
+            max_candidate_pairs: 256,
             max_expand_rounds: 8,
             pri_rounds: 8,
             ppr_iters: 40,
@@ -88,6 +95,12 @@ impl RcwConfig {
         self
     }
 
+    /// Returns a copy with a different candidate-pair bound `m`.
+    pub fn with_max_candidate_pairs(mut self, m: usize) -> Self {
+        self.max_candidate_pairs = m;
+        self
+    }
+
     /// Basic sanity checks; called by the entry points.
     pub fn validate(&self) -> Result<(), String> {
         if self.k > 0 && self.local_budget == 0 {
@@ -95,6 +108,9 @@ impl RcwConfig {
         }
         if self.candidate_hops == 0 {
             return Err("candidate_hops must be >= 1".to_string());
+        }
+        if self.max_candidate_pairs == 0 {
+            return Err("max_candidate_pairs must be >= 1".to_string());
         }
         Ok(())
     }
@@ -134,5 +150,16 @@ mod tests {
     fn k_zero_allows_zero_local_budget() {
         let cfg = RcwConfig::with_budgets(0, 0);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn candidate_pair_bound_is_validated_and_buildable() {
+        let cfg = RcwConfig::default().with_max_candidate_pairs(64);
+        assert_eq!(cfg.max_candidate_pairs, 64);
+        assert!(cfg.validate().is_ok());
+        assert!(RcwConfig::default()
+            .with_max_candidate_pairs(0)
+            .validate()
+            .is_err());
     }
 }

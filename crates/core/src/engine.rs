@@ -1,0 +1,795 @@
+//! The long-lived, session-oriented witness engine.
+//!
+//! The paper's workloads are many-query: RoboGExp explains *sets* of test
+//! nodes against one fixed classifier, and its GED experiment shows witnesses
+//! barely move when the graph is disturbed. [`WitnessEngine`] exploits both
+//! by separating three tiers of state:
+//!
+//! 1. **Engine-lifetime** shared immutable state ([`EngineCaches`] plus the
+//!    `Arc`'d host graph with its cached CSR): the edge-cut partition, k-hop
+//!    candidate neighborhoods, PPR rows, and APPNP local logits, built once
+//!    and reused by every query.
+//! 2. **Per-query** state: localities, candidate pools, and verification
+//!    scratch, owned by [`crate::session`] runs — repeated
+//!    [`WitnessEngine::generate`] calls pay only query-proportional work.
+//! 3. **Mutation epochs**: [`WitnessEngine::disturb`] applies edge flips to
+//!    the host graph (copy-on-write through the `Arc`), advances the graph's
+//!    epoch, invalidates only the cache entries whose k-hop footprint
+//!    intersects the disturbed region, and *repairs* the stored witnesses —
+//!    re-verifying each under the new graph and re-entering the search,
+//!    seeded from the old witness, only for queries whose witness fails.
+//!
+//! The one-shot drivers [`crate::RoboGExp`] / [`crate::ParaRoboGExp`] are
+//! thin wrappers running the same session code over a private cache instance,
+//! so every existing call site keeps working unchanged.
+
+use crate::config::RcwConfig;
+use crate::generate::{GenerationResult, GenerationStats};
+use crate::model::VerifiableModel;
+use crate::session;
+use crate::witness::{Witness, WitnessLevel};
+use rcw_gnn::{EpochCache, GnnModel};
+use rcw_graph::{
+    disturbance_footprint, edge_cut_partition, traversal::k_hop_neighborhood_multi, Disturbance,
+    Graph, GraphView, NodeId, Partition,
+};
+use rcw_linalg::Matrix;
+use rcw_pagerank::PprCache;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Bound on distinct test-node sets the neighborhood cache remembers before
+/// it resets — a backstop against unbounded growth under adversarial query
+/// streams, far above any benchmark's working set.
+const HOOD_CACHE_CAP: usize = 1024;
+
+/// Bound on stored witnesses before the store resets. Every stored witness
+/// costs memory *and* repair work on each `disturb` sweep, so a long-lived
+/// engine under an unbounded stream of distinct test sets needs the same
+/// backstop as the neighborhood cache (evicted queries simply go cold).
+const WITNESS_STORE_CAP: usize = 4096;
+
+/// Cache key for a k-hop neighborhood: `(hops, sorted deduped test nodes)`.
+type HoodKey = (usize, Vec<NodeId>);
+/// Cached neighborhood: the epoch it was computed at plus the node set.
+type HoodEntry = (u64, Arc<BTreeSet<NodeId>>);
+
+#[derive(Debug, Default)]
+struct HoodCache {
+    entries: BTreeMap<HoodKey, HoodEntry>,
+    hits: usize,
+    misses: usize,
+}
+
+#[derive(Debug)]
+struct PartitionEntry {
+    epoch: u64,
+    parts: usize,
+    hops: usize,
+    partition: Arc<Partition>,
+}
+
+/// The engine-lifetime shared immutable tier: every cache is keyed by a graph
+/// epoch, interior-mutable, and safe to share across worker threads. The
+/// one-shot drivers own a private instance (cold on every call); the
+/// [`WitnessEngine`] keeps one alive across queries and disturbances.
+#[derive(Debug)]
+pub struct EngineCaches {
+    ppr: PprCache,
+    appnp_logits: EpochCache<Matrix>,
+    hoods: Mutex<HoodCache>,
+    partition: Mutex<Option<PartitionEntry>>,
+}
+
+impl EngineCaches {
+    /// Creates an empty cache set sized from the configuration.
+    pub fn new(cfg: &RcwConfig) -> Self {
+        EngineCaches {
+            ppr: PprCache::new(crate::verify::PRUNE_ALPHA, cfg.ppr_iters),
+            appnp_logits: EpochCache::new(),
+            hoods: Mutex::new(HoodCache::default()),
+            partition: Mutex::new(None),
+        }
+    }
+
+    /// The shared PPR-row cache (candidate-pair pruning).
+    pub fn ppr(&self) -> &PprCache {
+        &self.ppr
+    }
+
+    /// The shared APPNP local-logit cache, keyed by the graph's *feature*
+    /// epoch — edge disturbances never invalidate it.
+    pub fn appnp_logits(&self) -> &EpochCache<Matrix> {
+        &self.appnp_logits
+    }
+
+    /// The k-hop neighborhood of `test_nodes`, cached across expand–verify
+    /// rounds and across calls, keyed by the graph's mutation epoch.
+    pub fn hood(&self, graph: &Graph, test_nodes: &[NodeId], hops: usize) -> Arc<BTreeSet<NodeId>> {
+        let mut key_nodes = test_nodes.to_vec();
+        key_nodes.sort_unstable();
+        key_nodes.dedup();
+        let key = (hops, key_nodes);
+        let epoch = graph.epoch();
+        {
+            let mut cache = self.hoods.lock().expect("hood cache poisoned");
+            if let Some(hood) = cache
+                .entries
+                .get(&key)
+                .filter(|(e, _)| *e == epoch)
+                .map(|(_, hood)| Arc::clone(hood))
+            {
+                cache.hits += 1;
+                return hood;
+            }
+            cache.misses += 1;
+        }
+        // BFS outside the lock: parallel workers missing on distinct keys
+        // must not serialize behind each other (a concurrent duplicate
+        // compute of the same key is rare and harmless — last writer wins,
+        // both compute identical sets).
+        let hood = Arc::new(k_hop_neighborhood_multi(graph, test_nodes, hops));
+        let mut cache = self.hoods.lock().expect("hood cache poisoned");
+        if cache.entries.len() >= HOOD_CACHE_CAP {
+            cache.entries.clear();
+        }
+        cache.entries.insert(key, (epoch, Arc::clone(&hood)));
+        hood
+    }
+
+    /// Lifetime `(hits, misses)` of the neighborhood cache.
+    pub fn hood_stats(&self) -> (usize, usize) {
+        let cache = self.hoods.lock().expect("hood cache poisoned");
+        (cache.hits, cache.misses)
+    }
+
+    /// The inference-preserving edge-cut partition, cached across calls and
+    /// repaired (not rebuilt) after disturbances when possible.
+    pub fn partition(&self, graph: &Graph, parts: usize, hops: usize) -> Arc<Partition> {
+        let mut slot = self.partition.lock().expect("partition cache poisoned");
+        if let Some(entry) = slot.as_ref() {
+            if entry.epoch == graph.epoch() && entry.parts == parts && entry.hops == hops {
+                return Arc::clone(&entry.partition);
+            }
+        }
+        let partition = Arc::new(edge_cut_partition(graph, parts, hops));
+        *slot = Some(PartitionEntry {
+            epoch: graph.epoch(),
+            parts,
+            hops,
+            partition: Arc::clone(&partition),
+        });
+        partition
+    }
+
+    /// Epoch-advance after a disturbance: retains every cache entry whose
+    /// k-hop footprint is disjoint from the disturbed region and repairs the
+    /// partition's border replication in place. `graph` is the
+    /// post-disturbance graph, `touched` the flipped pairs' endpoints,
+    /// `footprint` their `hops`-hop ball.
+    pub fn apply_disturbance(
+        &self,
+        graph: &Graph,
+        touched: &BTreeSet<NodeId>,
+        footprint: &BTreeSet<NodeId>,
+    ) {
+        let epoch = graph.epoch();
+        self.ppr.advance_epoch(epoch, footprint);
+        {
+            let mut cache = self.hoods.lock().expect("hood cache poisoned");
+            cache.entries.retain(|_, (e, hood)| {
+                if hood.iter().any(|n| footprint.contains(n)) {
+                    false
+                } else {
+                    *e = epoch;
+                    true
+                }
+            });
+        }
+        {
+            let mut slot = self.partition.lock().expect("partition cache poisoned");
+            if let Some(entry) = slot.as_mut() {
+                let repaired = Arc::make_mut(&mut entry.partition)
+                    .refresh_after_disturbance(graph, touched, entry.hops);
+                match repaired {
+                    Some(_) => entry.epoch = epoch,
+                    None => *slot = None, // node set changed: rebuild lazily
+                }
+            }
+        }
+        // APPNP local logits depend only on features; their feature-epoch key
+        // already ignores edge flips, so there is nothing to invalidate here.
+    }
+}
+
+/// A witness the engine keeps for repair, tagged with the epoch it was last
+/// verified at.
+#[derive(Clone, Debug)]
+pub struct StoredWitness {
+    /// The witness itself.
+    pub witness: Witness,
+    /// The strongest level it verified at.
+    pub level: WitnessLevel,
+    /// The graph epoch the level was established under.
+    pub epoch: u64,
+}
+
+/// Engine-lifetime counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `generate` calls answered.
+    pub queries: usize,
+    /// Queries answered from the witness store without any search.
+    pub warm_hits: usize,
+    /// Queries that ran a (possibly seeded) expand–verify session.
+    pub sessions_run: usize,
+    /// Disturbance pairs applied to the host graph.
+    pub flips_applied: usize,
+    /// Stored witnesses untouched by a disturbance (footprint-disjoint).
+    pub repairs_skipped: usize,
+    /// Stored witnesses repaired by re-verification alone.
+    pub repairs_reverified: usize,
+    /// Stored witnesses repaired through a seeded search.
+    pub repairs_searched: usize,
+}
+
+/// Report of one [`WitnessEngine::disturb`] call.
+#[derive(Clone, Debug)]
+pub struct DisturbReport {
+    /// The graph epoch after the disturbance.
+    pub epoch: u64,
+    /// Number of pairs that actually changed state.
+    pub flips_applied: usize,
+    /// Size of the invalidation footprint (nodes).
+    pub footprint_size: usize,
+    /// Stored witnesses whose region the disturbance could not reach.
+    pub untouched: usize,
+    /// Stored witnesses that re-verified at (at least) their old level.
+    pub reverified: usize,
+    /// Stored witnesses repaired through a seeded search.
+    pub repaired: usize,
+    /// Aggregate work spent on repair.
+    pub stats: GenerationStats,
+}
+
+/// The long-lived witness engine: load graph and model once, answer
+/// `generate(test_nodes)` queries and `disturb(..)` mutations for the rest of
+/// the process lifetime.
+///
+/// ```
+/// use rcw_core::{RcwConfig, WitnessEngine};
+/// use rcw_gnn::{Appnp, GnnModel, TrainConfig};
+/// use rcw_graph::{Disturbance, Graph, GraphView};
+/// use std::sync::Arc;
+///
+/// let mut g = Graph::new();
+/// for i in 0..8 {
+///     let class = usize::from(i >= 4);
+///     let feats = if class == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+///     g.add_labeled_node(feats, class);
+/// }
+/// for u in 0..4 { for v in (u + 1)..4 { g.add_edge(u, v); } }
+/// for u in 4..8 { for v in (u + 1)..8 { g.add_edge(u, v); } }
+/// g.add_edge(3, 4);
+/// let mut appnp = Appnp::new(&[2, 8, 2], 0.2, 10, 1);
+/// let nodes: Vec<usize> = (0..8).collect();
+/// appnp.train(&GraphView::full(&g), &nodes, &TrainConfig::default());
+///
+/// let mut engine = WitnessEngine::new(Arc::new(g), &appnp, RcwConfig::with_budgets(1, 1));
+/// let first = engine.generate(&[0]);
+/// let warm = engine.generate(&[0]); // answered from the store
+/// assert_eq!(first.witness, warm.witness);
+/// assert_eq!(engine.stats().warm_hits, 1);
+///
+/// engine.disturb(&[Disturbance::from_pairs([(1, 2)])]); // repairs in place
+/// let repaired = engine.generate(&[0]);
+/// assert!(repaired.witness.subgraph.contains_node(0));
+/// ```
+pub struct WitnessEngine<'m, M: VerifiableModel + ?Sized = dyn GnnModel> {
+    graph: Arc<Graph>,
+    model: &'m M,
+    cfg: RcwConfig,
+    workers: usize,
+    caches: EngineCaches,
+    store: BTreeMap<Vec<NodeId>, StoredWitness>,
+    stats: EngineStats,
+}
+
+impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
+    /// Creates an engine over a shared graph and a borrowed model. The host
+    /// CSR is materialized eagerly; partition, neighborhoods, PPR rows, and
+    /// model-side logits fill in on first use and persist across queries.
+    pub fn new(graph: Arc<Graph>, model: &'m M, cfg: RcwConfig) -> Self {
+        cfg.validate().expect("invalid RcwConfig");
+        graph.csr(); // engine-lifetime CSR, shared by every view and worker
+        let caches = EngineCaches::new(&cfg);
+        WitnessEngine {
+            graph,
+            model,
+            cfg,
+            workers: 1,
+            caches,
+            store: BTreeMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Sets the worker count; `> 1` routes queries through the parallel
+    /// session (partitioned search) and eagerly builds the partition.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        if self.workers > 1 {
+            let hops = self.model.as_gnn().num_layers().max(1);
+            self.caches.partition(&self.graph, self.workers, hops);
+        }
+        self
+    }
+
+    /// The engine's current host graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The configuration every query runs under.
+    pub fn config(&self) -> &RcwConfig {
+        &self.cfg
+    }
+
+    /// Number of workers per query.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The host graph's current mutation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.graph.epoch()
+    }
+
+    /// Engine-lifetime counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The shared cache tier (for inspection and tests).
+    pub fn caches(&self) -> &EngineCaches {
+        &self.caches
+    }
+
+    /// The stored witness for a test-node set, if one exists.
+    pub fn stored(&self, test_nodes: &[NodeId]) -> Option<&StoredWitness> {
+        self.store.get(&store_key(test_nodes))
+    }
+
+    /// Number of witnesses currently stored.
+    pub fn stored_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Drops all stored witnesses (queries become cold again; the shared
+    /// immutable tier is unaffected).
+    pub fn clear_store(&mut self) {
+        self.store.clear();
+    }
+
+    /// Verifies a witness against the engine's graph and model through the
+    /// shared tier.
+    pub fn verify(&self, witness: &Witness) -> crate::witness::VerifyOutcome {
+        self.model
+            .verify_rcw_shared(&self.graph, witness, &self.cfg, &self.caches)
+    }
+
+    /// Generates (or returns the stored) witness for `test_nodes`.
+    ///
+    /// * A stored witness from the current epoch is returned from the store
+    ///   (remapped to the caller's node order) — the warm steady state costs
+    ///   one map lookup plus a label remap.
+    /// * A stored witness from an older epoch seeds the search (repair).
+    /// * Otherwise a full session runs, and the result is stored.
+    pub fn generate(&mut self, test_nodes: &[NodeId]) -> GenerationResult {
+        self.stats.queries += 1;
+        let key = store_key(test_nodes);
+        let epoch = self.graph.epoch();
+        if let Some(stored) = self.store.get(&key) {
+            if stored.epoch == epoch {
+                self.stats.warm_hits += 1;
+                // Remap to the caller's node order: the store key is
+                // canonical (sorted, deduped) but the result must pair
+                // nodes and labels exactly as the cold path would.
+                let labels: Vec<usize> = test_nodes
+                    .iter()
+                    .map(|&v| {
+                        stored
+                            .witness
+                            .label_of(v)
+                            .expect("store key guarantees node membership")
+                    })
+                    .collect();
+                let witness =
+                    Witness::new(stored.witness.subgraph.clone(), test_nodes.to_vec(), labels);
+                let nontrivial = witness.is_nontrivial(&self.graph);
+                return GenerationResult {
+                    witness,
+                    level: stored.level,
+                    nontrivial,
+                    stats: GenerationStats::default(),
+                };
+            }
+        }
+        // Repair-on-read fallback: a stale stored witness seeds the session.
+        // Today `disturb` eagerly re-tags or repairs every stored witness, so
+        // this only fires for mutation paths added in the future (it keeps
+        // `generate` correct on its own rather than by `disturb`'s courtesy).
+        let seed = self
+            .store
+            .get(&key)
+            .map(|stored| stored.witness.subgraph.clone());
+        let result = self.run_session(test_nodes, seed.as_ref());
+        self.stats.sessions_run += 1;
+        if self.store.len() >= WITNESS_STORE_CAP && !self.store.contains_key(&key) {
+            self.store.clear();
+        }
+        self.store.insert(
+            key,
+            StoredWitness {
+                witness: result.witness.clone(),
+                level: result.level,
+                epoch,
+            },
+        );
+        result
+    }
+
+    /// Applies a batch of disturbances to the host graph (copy-on-write),
+    /// advances the mutation epoch, invalidates only the caches whose k-hop
+    /// footprint intersects the disturbed region, and repairs every stored
+    /// witness: re-verify under the new graph; only witnesses that fail
+    /// re-enter the search, seeded from their old subgraph.
+    pub fn disturb(&mut self, disturbances: &[Disturbance]) -> DisturbReport {
+        let mut touched: BTreeSet<NodeId> = BTreeSet::new();
+        let mut flips_applied = 0usize;
+        {
+            let graph = Arc::make_mut(&mut self.graph);
+            for d in disturbances {
+                let pairs = d.pairs().to_vec();
+                flips_applied += graph.flip_edges_in_place(&pairs);
+                touched.extend(
+                    d.touched_nodes()
+                        .into_iter()
+                        .filter(|&v| graph.contains_node(v)),
+                );
+            }
+        }
+        self.stats.flips_applied += flips_applied;
+        let epoch = self.graph.epoch();
+        if flips_applied == 0 {
+            // Nothing changed structurally (all pairs invalid): the epoch did
+            // not move, every cache stays live, stored witnesses stay valid.
+            self.stats.repairs_skipped += self.store.len();
+            return DisturbReport {
+                epoch,
+                flips_applied,
+                footprint_size: 0,
+                untouched: self.store.len(),
+                reverified: 0,
+                repaired: 0,
+                stats: GenerationStats::default(),
+            };
+        }
+        // The footprint radius covers both what the model can see (receptive
+        // field) and what the verifier may flip (candidate neighborhood).
+        let radius = self
+            .model
+            .as_gnn()
+            .receptive_hops()
+            .max(self.cfg.candidate_hops);
+        let footprint = disturbance_footprint(&self.graph, disturbances, radius);
+        self.caches
+            .apply_disturbance(&self.graph, &touched, &footprint);
+
+        let mut report = DisturbReport {
+            epoch,
+            flips_applied,
+            footprint_size: footprint.len(),
+            untouched: 0,
+            reverified: 0,
+            repaired: 0,
+            stats: GenerationStats::default(),
+        };
+
+        let repair_start = Instant::now();
+        let keys: Vec<Vec<NodeId>> = self.store.keys().cloned().collect();
+        for key in keys {
+            let mut stored = self.store.remove(&key).expect("key just listed");
+            // Witnesses whose candidate region the disturbance cannot reach
+            // keep their verification verdict (up to the verifier's own
+            // truncation): skip them entirely.
+            let hood = self
+                .caches
+                .hood(&self.graph, &stored.witness.test_nodes, radius);
+            let edge_touched = stored
+                .witness
+                .edges()
+                .iter()
+                .any(|(u, v)| touched.contains(&u) || touched.contains(&v));
+            if !edge_touched && hood.iter().all(|n| !footprint.contains(n)) {
+                stored.epoch = epoch;
+                report.untouched += 1;
+                self.stats.repairs_skipped += 1;
+                self.store.insert(key, stored);
+                continue;
+            }
+
+            // Prune pairs the disturbance removed — the same rule the seeded
+            // session applies, so re-verify and seeded re-search start from
+            // the identical subgraph — and refresh the labels.
+            let pruned = session::seeded_subgraph(
+                &self.graph,
+                &stored.witness.test_nodes,
+                Some(&stored.witness.subgraph),
+            );
+            let full = GraphView::full(&self.graph);
+            let gnn = self.model.as_gnn();
+            let labels: Vec<usize> = stored
+                .witness
+                .test_nodes
+                .iter()
+                .map(|&v| {
+                    report.stats.inference_calls += 1;
+                    gnn.predict(v, &full).expect("valid node")
+                })
+                .collect();
+            let witness = Witness::new(pruned, stored.witness.test_nodes.clone(), labels);
+            let outcome = self.verify(&witness);
+            report.stats.inference_calls += outcome.inference_calls;
+            report.stats.disturbances_verified += outcome.disturbances_checked;
+            if outcome.level.rank() >= stored.level.rank() {
+                stored.witness = witness;
+                stored.level = outcome.level;
+                stored.epoch = epoch;
+                report.reverified += 1;
+                self.stats.repairs_reverified += 1;
+                self.store.insert(key, stored);
+                continue;
+            }
+
+            // The old witness no longer holds: re-enter the search seeded
+            // from it, so nodes that still verify exit after a couple of
+            // localized checks and only the broken parts are rebuilt.
+            let test_nodes = witness.test_nodes.clone();
+            let result = self.run_session(&test_nodes, Some(&witness.subgraph));
+            report.stats.inference_calls += result.stats.inference_calls;
+            report.stats.disturbances_verified += result.stats.disturbances_verified;
+            report.stats.expand_rounds += result.stats.expand_rounds;
+            report.repaired += 1;
+            self.stats.repairs_searched += 1;
+            self.store.insert(
+                key,
+                StoredWitness {
+                    witness: result.witness,
+                    level: result.level,
+                    epoch,
+                },
+            );
+        }
+        report.stats.elapsed = repair_start.elapsed();
+        report
+    }
+
+    fn run_session(
+        &self,
+        test_nodes: &[NodeId],
+        seed: Option<&rcw_graph::EdgeSubgraph>,
+    ) -> GenerationResult {
+        if self.workers > 1 {
+            session::run_parallel(
+                self.model,
+                &self.graph,
+                &self.caches,
+                &self.cfg,
+                self.workers,
+                test_nodes,
+                seed,
+            )
+            .result
+        } else {
+            session::run_sequential(
+                self.model,
+                &self.graph,
+                &self.caches,
+                &self.cfg,
+                test_nodes,
+                seed,
+            )
+        }
+    }
+}
+
+/// Canonical store key for a test-node set: sorted, deduplicated.
+fn store_key(test_nodes: &[NodeId]) -> Vec<NodeId> {
+    let mut key = test_nodes.to_vec();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcw_gnn::{Appnp, Gcn, TrainConfig};
+    use rcw_graph::generators;
+
+    fn setup() -> (Arc<Graph>, Gcn, Appnp, Vec<NodeId>) {
+        let (mut g, blocks) = generators::stochastic_block_model(&[8, 8], 0.7, 0.05, 3);
+        generators::ensure_connected(&mut g, 3);
+        for (v, &b) in blocks.iter().enumerate() {
+            let feats = if b == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
+            g.set_features(v, feats);
+            g.set_label(v, b);
+        }
+        let view = GraphView::full(&g);
+        let train: Vec<usize> = (0..g.num_nodes()).collect();
+        let tc = TrainConfig {
+            epochs: 80,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
+        let mut gcn = Gcn::new(&[2, 8, 2], 2);
+        gcn.train(&view, &train, &tc);
+        let mut appnp = Appnp::new(&[2, 6, 2], 0.2, 10, 2);
+        appnp.train(&view, &train, &tc);
+        let tests = vec![0, g.num_nodes() - 1];
+        (Arc::new(g), gcn, appnp, tests)
+    }
+
+    fn quick_cfg() -> RcwConfig {
+        RcwConfig {
+            k: 1,
+            local_budget: 1,
+            candidate_hops: 2,
+            max_expand_rounds: 2,
+            sampled_disturbances: 4,
+            pri_rounds: 4,
+            ppr_iters: 20,
+            ..RcwConfig::default()
+        }
+    }
+
+    #[test]
+    fn warm_queries_are_store_hits_matching_the_cold_result() {
+        let (g, gcn, _appnp, tests) = setup();
+        let mut engine = WitnessEngine::new(Arc::clone(&g), &gcn, quick_cfg());
+        let cold = engine.generate(&tests);
+        let warm = engine.generate(&tests);
+        assert_eq!(cold.witness, warm.witness);
+        assert_eq!(cold.level, warm.level);
+        assert_eq!(warm.stats.inference_calls, 0, "warm path does no inference");
+        assert_eq!(engine.stats().queries, 2);
+        assert_eq!(engine.stats().warm_hits, 1);
+        assert_eq!(engine.stats().sessions_run, 1);
+        // node order does not defeat the store, and the warm result pairs
+        // nodes with labels in the *caller's* order like a cold run would
+        let reordered: Vec<NodeId> = tests.iter().rev().copied().collect();
+        let again = engine.generate(&reordered);
+        assert_eq!(again.witness.subgraph, cold.witness.subgraph);
+        assert_eq!(again.witness.test_nodes, reordered);
+        for (i, &v) in reordered.iter().enumerate() {
+            assert_eq!(again.witness.labels[i], cold.witness.label_of(v).unwrap());
+        }
+        assert_eq!(engine.stats().warm_hits, 2);
+    }
+
+    #[test]
+    fn engine_matches_the_one_shot_driver() {
+        let (g, gcn, _appnp, tests) = setup();
+        let cfg = quick_cfg();
+        let mut engine = WitnessEngine::new(Arc::clone(&g), &gcn, cfg.clone());
+        let from_engine = engine.generate(&tests);
+        let from_driver = crate::RoboGExp::for_model(&gcn, cfg).generate(&g, &tests);
+        assert_eq!(from_engine.witness, from_driver.witness);
+        assert_eq!(from_engine.level, from_driver.level);
+    }
+
+    #[test]
+    fn disturb_applies_flips_and_repairs_the_store() {
+        let (g, _gcn, appnp, tests) = setup();
+        let mut engine = WitnessEngine::new(Arc::clone(&g), &appnp, quick_cfg());
+        let before = engine.generate(&tests);
+        let epoch_before = engine.epoch();
+        // flip an edge that is not protected by the witness
+        let flip = g
+            .edges()
+            .find(|&(u, v)| !before.witness.subgraph.contains_edge(u, v))
+            .expect("unprotected edge exists");
+        let report = engine.disturb(&[Disturbance::from_pairs([flip])]);
+        assert_eq!(report.flips_applied, 1);
+        assert!(report.footprint_size > 0);
+        assert_ne!(engine.epoch(), epoch_before);
+        assert!(!engine.graph().has_edge(flip.0, flip.1));
+        assert_eq!(report.untouched + report.reverified + report.repaired, 1);
+        // the original Arc'd graph is untouched (copy-on-write)
+        assert!(g.has_edge(flip.0, flip.1));
+        // the stored witness is tagged with the new epoch: next query is warm
+        let after = engine.generate(&tests);
+        assert_eq!(engine.stats().warm_hits, 1);
+        // and the stored witness verifies at its recorded level
+        let recheck = engine.verify(&after.witness);
+        assert_eq!(recheck.level, after.level);
+    }
+
+    #[test]
+    fn empty_disturbance_is_a_cheap_no_op() {
+        let (g, gcn, _appnp, tests) = setup();
+        let mut engine = WitnessEngine::new(Arc::clone(&g), &gcn, quick_cfg());
+        engine.generate(&tests);
+        let epoch = engine.epoch();
+        let report = engine.disturb(&[Disturbance::new()]);
+        assert_eq!(report.flips_applied, 0);
+        assert_eq!(report.untouched, 1);
+        assert_eq!(engine.epoch(), epoch, "no flip, no epoch change");
+        engine.generate(&tests);
+        assert_eq!(engine.stats().warm_hits, 1);
+    }
+
+    #[test]
+    fn caches_survive_footprint_disjoint_disturbances() {
+        // a long path: disturb one end, query the other
+        let mut g = Graph::with_nodes(24);
+        for i in 0..23 {
+            g.add_edge(i, i + 1);
+        }
+        for v in 0..24 {
+            g.set_features(v, vec![if v < 12 { 1.0 } else { 0.0 }]);
+            g.set_label(v, usize::from(v >= 12));
+        }
+        let view = GraphView::full(&g);
+        let train: Vec<usize> = (0..24).collect();
+        let mut gcn = Gcn::new(&[1, 4, 2], 1);
+        gcn.train(
+            &view,
+            &train,
+            &TrainConfig {
+                epochs: 40,
+                learning_rate: 0.05,
+                ..TrainConfig::default()
+            },
+        );
+        let mut engine = WitnessEngine::new(Arc::new(g), &gcn, quick_cfg());
+        engine.generate(&[1]);
+        let report = engine.disturb(&[Disturbance::from_pairs([(22, 23)])]);
+        assert_eq!(report.untouched, 1, "far witness untouched");
+        engine.generate(&[1]);
+        assert_eq!(engine.stats().warm_hits, 1);
+        // a second far disturbance reuses the surviving hood entry: the
+        // repair sweep's neighborhood lookup is a hit, not a recomputation
+        let (_, misses_before) = engine.caches().hood_stats();
+        let report2 = engine.disturb(&[Disturbance::from_pairs([(20, 21)])]);
+        assert_eq!(report2.untouched, 1);
+        let (hits_after, misses_after) = engine.caches().hood_stats();
+        assert_eq!(
+            misses_before, misses_after,
+            "hood cache survived the far disturbance"
+        );
+        assert!(hits_after > 0);
+    }
+
+    #[test]
+    fn parallel_engine_produces_verifiable_witnesses() {
+        let (g, _gcn, appnp, tests) = setup();
+        let mut engine = WitnessEngine::new(Arc::clone(&g), &appnp, quick_cfg()).with_workers(2);
+        assert_eq!(engine.workers(), 2);
+        let out = engine.generate(&tests);
+        for &t in &tests {
+            assert!(out.witness.subgraph.contains_node(t));
+        }
+        let recheck = engine.verify(&out.witness);
+        assert_eq!(recheck.level, out.level);
+        // second query is a store hit even on the parallel path
+        engine.generate(&tests);
+        assert_eq!(engine.stats().warm_hits, 1);
+    }
+}

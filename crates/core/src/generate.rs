@@ -19,11 +19,13 @@
 //! (Fidelity+/−, GED) evaluate.
 
 use crate::config::RcwConfig;
+use crate::engine::EngineCaches;
 use crate::model::VerifiableModel;
+use crate::session;
 use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
 use rcw_gnn::{Appnp, GnnModel};
-use rcw_graph::{traversal::k_hop_neighborhood, EdgeSubgraph, Graph, GraphView, NodeId};
-use std::time::{Duration, Instant};
+use rcw_graph::{Graph, NodeId};
+use std::time::Duration;
 
 /// Counters and timing collected during generation.
 #[derive(Clone, Debug, Default)]
@@ -56,9 +58,17 @@ pub struct GenerationResult {
 /// `M` is usually inferred: a concrete model type ([`Appnp`] gets the
 /// tractable verification path through its [`VerifiableModel`] overrides) or
 /// the type-erased `dyn GnnModel` (model-agnostic sampling path).
+///
+/// Since the engine/session split this driver is a thin wrapper over
+/// [`crate::session`]: it owns a private [`EngineCaches`] instance, so
+/// repeated `generate` calls on the same (unmutated) graph reuse the
+/// partition-free shared tier — k-hop neighborhoods, PPR pruning rows, APPNP
+/// local logits — while [`crate::WitnessEngine`] adds the witness store,
+/// mutation epochs, and repair on top of the same session code.
 pub struct RoboGExp<'a, M: VerifiableModel + ?Sized = dyn GnnModel> {
     model: &'a M,
     cfg: RcwConfig,
+    caches: EngineCaches,
 }
 
 impl<'a> RoboGExp<'a, Appnp> {
@@ -73,7 +83,8 @@ impl<'a, M: VerifiableModel + ?Sized> RoboGExp<'a, M> {
     /// Creates a generator for any fixed deterministic GNN. The verification
     /// strategy is whatever the model's [`VerifiableModel`] impl provides.
     pub fn new(model: &'a M, cfg: RcwConfig) -> Self {
-        RoboGExp { model, cfg }
+        let caches = EngineCaches::new(&cfg);
+        RoboGExp { model, cfg, caches }
     }
 
     /// Alias of [`RoboGExp::new`]. Accepts concrete models and `&dyn
@@ -92,252 +103,26 @@ impl<'a, M: VerifiableModel + ?Sized> RoboGExp<'a, M> {
         self.model.as_gnn()
     }
 
-    /// Verification dispatch used by the generator and exposed for callers
-    /// that want to re-verify a witness.
-    pub fn verify(&self, graph: &Graph, witness: &Witness) -> VerifyOutcome {
-        self.model.verify_rcw(graph, witness, &self.cfg)
+    /// The driver's shared cache tier (inspection and tests).
+    pub fn caches(&self) -> &EngineCaches {
+        &self.caches
     }
 
-    /// Generates a k-RCW (best effort) for the given test nodes.
+    /// Verification dispatch used by the generator and exposed for callers
+    /// that want to re-verify a witness. Routes through the driver's shared
+    /// cache tier (same verdict as [`VerifiableModel::verify_rcw`]).
+    pub fn verify(&self, graph: &Graph, witness: &Witness) -> VerifyOutcome {
+        self.model
+            .verify_rcw_shared(graph, witness, &self.cfg, &self.caches)
+    }
+
+    /// Generates a k-RCW (best effort) for the given test nodes: one
+    /// sequential expand–verify session over the driver's cache tier.
     ///
     /// # Panics
     /// Panics if `test_nodes` is empty or contains an invalid node id.
     pub fn generate(&self, graph: &Graph, test_nodes: &[NodeId]) -> GenerationResult {
-        assert!(!test_nodes.is_empty(), "RoboGExp::generate: empty test set");
-        assert!(
-            test_nodes.iter().all(|&v| graph.contains_node(v)),
-            "RoboGExp::generate: invalid test node"
-        );
-        self.cfg.validate().expect("invalid RcwConfig");
-        let start = Instant::now();
-        let model = self.model.as_gnn();
-        let mut stats = GenerationStats::default();
-
-        // M(v, G) for every test node.
-        let full = GraphView::full(graph);
-        let labels: Vec<usize> = test_nodes
-            .iter()
-            .map(|&v| {
-                stats.inference_calls += 1;
-                model.predict(v, &full).expect("valid node")
-            })
-            .collect();
-
-        let mut subgraph = EdgeSubgraph::from_nodes(test_nodes.iter().copied());
-
-        // Phase 1: per-node expansion for factuality and counterfactuality.
-        for (i, &v) in test_nodes.iter().enumerate() {
-            self.ensure_factual(graph, model, v, labels[i], &mut subgraph, &mut stats);
-            self.ensure_counterfactual(graph, model, v, labels[i], &mut subgraph, &mut stats);
-        }
-
-        // Phase 2: robustness expand–verify loop.
-        let mut witness = Witness::new(subgraph, test_nodes.to_vec(), labels.clone());
-        let mut level = WitnessLevel::NotAWitness;
-        for round in 0..self.cfg.max_expand_rounds {
-            stats.expand_rounds = round + 1;
-            let outcome = self.verify(graph, &witness);
-            stats.inference_calls += outcome.inference_calls;
-            stats.disturbances_verified += outcome.disturbances_checked;
-            level = outcome.level;
-            match outcome.level {
-                WitnessLevel::Robust => break,
-                WitnessLevel::Counterfactual => {
-                    // Absorb the counterexample's existing edges; pairs inside
-                    // the witness cannot be disturbed any more.
-                    let Some(ce) = outcome.counterexample else {
-                        break;
-                    };
-                    let mut grew = false;
-                    for (u, v) in ce.iter() {
-                        if graph.has_edge(u, v) && !witness.subgraph.contains_edge(u, v) {
-                            witness.subgraph.add_edge(u, v);
-                            grew = true;
-                        }
-                    }
-                    if !grew {
-                        // counterexample consists purely of insertions we
-                        // cannot protect against by growing the witness
-                        break;
-                    }
-                    // growing the witness may have broken factuality of other
-                    // nodes only if it removed nothing — it cannot; but it may
-                    // have made the remainder too weak to stay counterfactual,
-                    // which the next verification round will detect.
-                }
-                WitnessLevel::Factual | WitnessLevel::NotAWitness => {
-                    // Re-run the per-node expansion: some node lost factuality
-                    // or counterfactuality (e.g. after the witness grew).
-                    let mut sg = witness.subgraph.clone();
-                    for (i, &v) in test_nodes.iter().enumerate() {
-                        self.ensure_factual(graph, model, v, labels[i], &mut sg, &mut stats);
-                        self.ensure_counterfactual(graph, model, v, labels[i], &mut sg, &mut stats);
-                    }
-                    if sg == witness.subgraph {
-                        // no further progress possible
-                        break;
-                    }
-                    witness.subgraph = sg;
-                }
-            }
-            if witness.subgraph.num_edges() >= graph.num_edges() {
-                // degenerated to the trivial k-RCW `G`
-                witness = Witness::trivial_full(graph, test_nodes.to_vec(), labels.clone());
-                level = WitnessLevel::Robust;
-                break;
-            }
-        }
-
-        stats.elapsed = start.elapsed();
-        let nontrivial = witness.is_nontrivial(graph);
-        GenerationResult {
-            witness,
-            level,
-            nontrivial,
-            stats,
-        }
-    }
-
-    /// Expands the witness around `v` until `M(v, Gs) = l`, adding the ego
-    /// network hop by hop (the L-hop receptive field reproduces the full-graph
-    /// prediction for message-passing GNNs).
-    fn ensure_factual(
-        &self,
-        graph: &Graph,
-        model: &dyn GnnModel,
-        v: NodeId,
-        label: usize,
-        subgraph: &mut EdgeSubgraph,
-        stats: &mut GenerationStats,
-    ) {
-        let max_hops = self
-            .cfg
-            .candidate_hops
-            .max(model.num_layers())
-            .min(graph.num_nodes());
-        for hop in 1..=max_hops {
-            let view = GraphView::restricted_to(graph, subgraph.edges());
-            stats.inference_calls += 1;
-            if model.predict(v, &view) == Some(label) {
-                return;
-            }
-            // add all edges with at least one endpoint within `hop - 1` hops of v
-            let inner = k_hop_neighborhood(graph, v, hop - 1);
-            for &u in &inner {
-                for w in graph.neighbors(u) {
-                    subgraph.add_edge(u, w);
-                }
-            }
-        }
-        // final check is implicit; if still not factual the verification
-        // rounds will report it
-    }
-
-    /// Expands the witness around `v` until removing it flips the label,
-    /// absorbing the strongest remaining support edges near `v`.
-    fn ensure_counterfactual(
-        &self,
-        graph: &Graph,
-        model: &dyn GnnModel,
-        v: NodeId,
-        label: usize,
-        subgraph: &mut EdgeSubgraph,
-        stats: &mut GenerationStats,
-    ) {
-        // quick exit: already counterfactual for v
-        {
-            let remainder = GraphView::without(graph, subgraph.edges());
-            stats.inference_calls += 1;
-            if model.predict(v, &remainder) != Some(label) {
-                return;
-            }
-        }
-
-        // Candidate support edges near v, nearest first: edges incident to v,
-        // then edges among its neighborhood, capped so the witness stays concise.
-        let hood = k_hop_neighborhood(graph, v, self.cfg.candidate_hops.min(2));
-        let cap = (graph.degree(v) * 3 + 12).min(48);
-        let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
-        for u in graph.neighbors(v) {
-            candidates.push((v, u));
-        }
-        'outer: for &u in &hood {
-            if u == v {
-                continue;
-            }
-            for w in graph.neighbors(u) {
-                if w != v && hood.contains(&w) {
-                    candidates.push((u, w));
-                    if candidates.len() >= cap {
-                        break 'outer;
-                    }
-                }
-            }
-        }
-
-        // Score every candidate by how much removing it (together with the
-        // current witness) hurts the label's margin — the pairs "most likely
-        // to change the label if flipped" that Procedure Expand targets. Each
-        // trial view is the shared remainder view plus one extra removal (a
-        // single override), scored through the batched localized entry point.
-        let base_removed = GraphView::without(graph, subgraph.edges());
-        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut trial_views: Vec<GraphView<'_>> = Vec::new();
-        for &(a, b) in &candidates {
-            if subgraph.contains_edge(a, b) || !graph.has_edge(a, b) {
-                continue;
-            }
-            let mut view = base_removed.clone();
-            view.remove_edge(a, b);
-            pairs.push((a, b));
-            trial_views.push(view);
-        }
-        stats.inference_calls += trial_views.len();
-        let margins = model.margin_many(v, label, &trial_views);
-        let mut scored: Vec<(f64, (NodeId, NodeId))> = margins.into_iter().zip(pairs).collect();
-        scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
-
-        // Greedily absorb the most label-critical support edges until the
-        // remainder flips, with a hard bound so that an unattainable
-        // counterfactual does not blow the witness up.
-        let max_add = graph.degree(v).max(3) + 6;
-        let mut added = 0usize;
-        let mut added_edges: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut flipped = false;
-        for (_, (a, b)) in scored {
-            if added >= max_add {
-                break;
-            }
-            if subgraph.contains_edge(a, b) {
-                continue;
-            }
-            subgraph.add_edge(a, b);
-            added_edges.push((a, b));
-            added += 1;
-            let remainder = GraphView::without(graph, subgraph.edges());
-            stats.inference_calls += 1;
-            if model.predict(v, &remainder) != Some(label) {
-                flipped = true;
-                break; // counterfactual achieved
-            }
-        }
-        if flipped {
-            // Backward pruning pass: drop absorbed edges that are not needed
-            // for the flip, keeping the witness concise (the paper's RCWs are
-            // roughly half the size of the baselines' explanations).
-            for &(a, b) in added_edges.iter().rev().skip(1) {
-                subgraph.remove_edge(a, b);
-                let remainder = GraphView::without(graph, subgraph.edges());
-                stats.inference_calls += 1;
-                let still_flipped = model.predict(v, &remainder) != Some(label);
-                let view_only = GraphView::restricted_to(graph, subgraph.edges());
-                stats.inference_calls += 1;
-                let still_factual = model.predict(v, &view_only) == Some(label);
-                if !(still_flipped && still_factual) {
-                    subgraph.add_edge(a, b);
-                }
-            }
-        }
+        session::run_sequential(self.model, graph, &self.caches, &self.cfg, test_nodes, None)
     }
 }
 
@@ -366,6 +151,7 @@ pub fn robogexp(
 mod tests {
     use super::*;
     use rcw_gnn::{Gcn, TrainConfig};
+    use rcw_graph::GraphView;
 
     fn clique_setup() -> (Graph, Gcn, Appnp, Vec<usize>) {
         let mut g = Graph::new();

@@ -15,6 +15,13 @@
 //! * [`generate`] — the `RoboGExp` expand–verify generator (Algorithm 2).
 //! * [`parallel`] — `paraRoboGExp` (Algorithm 3): partitioned, multi-threaded
 //!   generation with bitmap-synchronized verification.
+//! * [`session`] — the per-query tier: the expand–verify sessions both
+//!   drivers and the engine execute, parameterized by shared caches.
+//! * [`engine`] — the long-lived [`WitnessEngine`]: engine-lifetime shared
+//!   state (graph + CSR, partition, neighborhoods, PPR rows, APPNP logits),
+//!   a witness store answering repeated queries warm, and
+//!   [`WitnessEngine::disturb`] — mutation epochs with footprint-based cache
+//!   invalidation and in-place witness repair.
 //!
 //! ## Quick start
 //!
@@ -45,22 +52,29 @@
 //! ```
 
 pub mod config;
+pub mod engine;
 pub mod generate;
 pub mod model;
 pub mod parallel;
+pub(crate) mod session;
 pub mod verify;
 pub mod verify_appnp;
 pub mod witness;
 
 pub use config::RcwConfig;
+pub use engine::{DisturbReport, EngineCaches, EngineStats, StoredWitness, WitnessEngine};
 pub use generate::{robogexp, robogexp_appnp, GenerationResult, GenerationStats, RoboGExp};
 pub use model::{DisturbanceSearch, VerifiableModel};
 pub use parallel::{ParaRoboGExp, ParallelGenerationResult, ParallelStats};
 pub use verify::{
-    candidate_pairs, candidate_pairs_in_hood, disturbance_preserves_cw, verify_counterfactual,
-    verify_factual, verify_rcw,
+    candidate_pairs, candidate_pairs_bounded, candidate_pairs_cached, candidate_pairs_in_hood,
+    disturbance_preserves_cw, verify_counterfactual, verify_factual, verify_rcw, verify_rcw_cached,
+    PRUNE_ALPHA,
 };
-pub use verify_appnp::{verify_rcw_appnp, verify_rcw_appnp_node};
+pub use verify_appnp::{
+    verify_rcw_appnp, verify_rcw_appnp_ctx, verify_rcw_appnp_node, verify_rcw_appnp_node_ctx,
+    AppnpVerifyCtx,
+};
 pub use witness::{VerifyOutcome, Witness, WitnessLevel};
 
 #[cfg(test)]

@@ -18,8 +18,12 @@
 //! *ablate* the tractable path and force sampling verification on APPNP.
 
 use crate::config::RcwConfig;
-use crate::verify::{disturbance_preserves_cw, verify_rcw};
-use crate::verify_appnp::{verify_rcw_appnp, verify_rcw_appnp_node};
+use crate::engine::EngineCaches;
+use crate::verify::{disturbance_preserves_cw, verify_rcw, verify_rcw_with_caches};
+use crate::verify_appnp::{
+    verify_rcw_appnp, verify_rcw_appnp_ctx, verify_rcw_appnp_node, verify_rcw_appnp_node_ctx,
+    AppnpVerifyCtx,
+};
 use crate::witness::{VerifyOutcome, Witness};
 use rcw_gnn::{Appnp, Gat, Gcn, GnnModel, GraphSage};
 use rcw_graph::{Edge, EdgeSet, Graph, GraphView, NodeId};
@@ -78,6 +82,64 @@ pub trait VerifiableModel: GnnModel {
         VerifiableModel::verify_rcw(self, graph, &single, cfg)
     }
 
+    /// [`VerifiableModel::verify_rcw`] over an engine's shared cache tier:
+    /// same verdict, but candidate neighborhoods, PPR pruning rows, and any
+    /// model-side intermediates (APPNP local logits) come from — and are left
+    /// in — `caches`. The default ignores the caches and delegates to
+    /// [`VerifiableModel::verify_rcw`], so a downstream impl that only
+    /// overrides `verify_rcw` keeps its strategy on every driver path; each
+    /// in-repo model overrides this to route the same verdict through the
+    /// hood/PPR caches (APPNP additionally reuses its cached local logits).
+    fn verify_rcw_shared(
+        &self,
+        graph: &Graph,
+        witness: &Witness,
+        cfg: &RcwConfig,
+        caches: &EngineCaches,
+    ) -> VerifyOutcome {
+        let _ = caches;
+        VerifiableModel::verify_rcw(self, graph, witness, cfg)
+    }
+
+    /// Per-node variant of [`VerifiableModel::verify_rcw_shared`]. The
+    /// default ignores the caches and delegates to
+    /// [`VerifiableModel::verify_rcw_node`], preserving downstream overrides
+    /// of either per-node or whole-witness verification; in-repo models
+    /// override it to route through the shared caches.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a test node of the witness.
+    fn verify_rcw_node_shared(
+        &self,
+        graph: &Graph,
+        witness: &Witness,
+        node: NodeId,
+        cfg: &RcwConfig,
+        caches: &EngineCaches,
+    ) -> VerifyOutcome {
+        let _ = caches;
+        self.verify_rcw_node(graph, witness, node, cfg)
+    }
+
+    /// [`VerifiableModel::search_disturbance`] over an engine's shared cache
+    /// tier. The default ignores the caches (the sampling search has no
+    /// reusable intermediates); APPNP overrides it to reuse its local logits.
+    #[allow(clippy::too_many_arguments)]
+    fn search_disturbance_shared(
+        &self,
+        graph: &Graph,
+        witness: &Witness,
+        test_nodes: &[NodeId],
+        labels: &[usize],
+        candidates: &[Edge],
+        cfg: &RcwConfig,
+        salt: u64,
+        caches: &EngineCaches,
+    ) -> DisturbanceSearch {
+        let _ = caches;
+        self.search_disturbance(graph, witness, test_nodes, labels, candidates, cfg, salt)
+    }
+
     /// Bounded search, restricted to `candidates`, for a disturbance that
     /// disproves robustness of `witness` for any of `test_nodes` (a worker's
     /// share of a parallel round). Default: randomized sampling seeded from
@@ -120,28 +182,64 @@ pub trait VerifiableModel: GnnModel {
     }
 }
 
+/// Routes the shared-cache verification of models on the model-agnostic
+/// strategy (their `verify_rcw` is the trait default) through the hood/PPR
+/// caches. Same verdict as the default `verify_rcw_shared`, cheaper warm.
+macro_rules! agnostic_verify_rcw_shared {
+    () => {
+        fn verify_rcw_shared(
+            &self,
+            graph: &Graph,
+            witness: &Witness,
+            cfg: &RcwConfig,
+            caches: &EngineCaches,
+        ) -> VerifyOutcome {
+            verify_rcw_with_caches(self.as_gnn(), graph, witness, cfg, caches)
+        }
+
+        fn verify_rcw_node_shared(
+            &self,
+            graph: &Graph,
+            witness: &Witness,
+            node: NodeId,
+            cfg: &RcwConfig,
+            caches: &EngineCaches,
+        ) -> VerifyOutcome {
+            let label = witness
+                .label_of(node)
+                .expect("verify_rcw_node_shared: node is not a test node of the witness");
+            let single = Witness::new(witness.subgraph.clone(), vec![node], vec![label]);
+            verify_rcw_with_caches(self.as_gnn(), graph, &single, cfg, caches)
+        }
+    };
+}
+
 impl<'m> VerifiableModel for dyn GnnModel + 'm {
     fn as_gnn(&self) -> &dyn GnnModel {
         self
     }
+    agnostic_verify_rcw_shared!();
 }
 
 impl VerifiableModel for Gcn {
     fn as_gnn(&self) -> &dyn GnnModel {
         self
     }
+    agnostic_verify_rcw_shared!();
 }
 
 impl VerifiableModel for GraphSage {
     fn as_gnn(&self) -> &dyn GnnModel {
         self
     }
+    agnostic_verify_rcw_shared!();
 }
 
 impl VerifiableModel for Gat {
     fn as_gnn(&self) -> &dyn GnnModel {
         self
     }
+    agnostic_verify_rcw_shared!();
 }
 
 impl VerifiableModel for Appnp {
@@ -164,8 +262,72 @@ impl VerifiableModel for Appnp {
         verify_rcw_appnp_node(self, graph, witness, node, cfg)
     }
 
+    /// Engine path: the local logits `H = f_theta(X)` come from the shared
+    /// feature-epoch cache instead of an MLP pass per verification call.
+    fn verify_rcw_shared(
+        &self,
+        graph: &Graph,
+        witness: &Witness,
+        cfg: &RcwConfig,
+        caches: &EngineCaches,
+    ) -> VerifyOutcome {
+        verify_rcw_appnp_ctx(
+            self,
+            graph,
+            witness,
+            cfg,
+            &AppnpVerifyCtx {
+                logits: None, // resolved lazily from the cache past the early exits
+                caches: Some(caches),
+            },
+        )
+    }
+
+    fn verify_rcw_node_shared(
+        &self,
+        graph: &Graph,
+        witness: &Witness,
+        node: NodeId,
+        cfg: &RcwConfig,
+        caches: &EngineCaches,
+    ) -> VerifyOutcome {
+        verify_rcw_appnp_node_ctx(
+            self,
+            graph,
+            witness,
+            node,
+            cfg,
+            &AppnpVerifyCtx {
+                logits: None, // resolved lazily from the cache past the early exits
+                caches: Some(caches),
+            },
+        )
+    }
+
+    /// Engine path of the PRI search: shares the cached local logits.
+    fn search_disturbance_shared(
+        &self,
+        graph: &Graph,
+        witness: &Witness,
+        test_nodes: &[NodeId],
+        labels: &[usize],
+        candidates: &[Edge],
+        cfg: &RcwConfig,
+        _salt: u64,
+        caches: &EngineCaches,
+    ) -> DisturbanceSearch {
+        if candidates.is_empty() || cfg.k == 0 {
+            return DisturbanceSearch::default();
+        }
+        let h = self.local_logits_cached(&GraphView::full(graph), caches.appnp_logits());
+        appnp_pri_search(
+            self, graph, witness, test_nodes, labels, candidates, cfg, &h,
+        )
+    }
+
     /// Greedy policy-iteration search (Procedure PRI) for the single worst
-    /// admissible disturbance per competitor class.
+    /// admissible disturbance per competitor class. The empty-search guard
+    /// runs before the MLP pass so a no-op search costs nothing.
     fn search_disturbance(
         &self,
         graph: &Graph,
@@ -176,47 +338,67 @@ impl VerifiableModel for Appnp {
         cfg: &RcwConfig,
         _salt: u64,
     ) -> DisturbanceSearch {
-        let mut report = DisturbanceSearch::default();
         if candidates.is_empty() || cfg.k == 0 {
-            return report;
+            return DisturbanceSearch::default();
         }
-        let full = GraphView::full(graph);
-        let h = self.local_logits(&full);
-        let pri_cfg = PriConfig {
-            alpha: self.alpha(),
-            local_budget: cfg.local_budget.max(1),
-            max_rounds: cfg.pri_rounds,
-            value_iters: cfg.ppr_iters,
-        };
-        'nodes: for (i, &v) in test_nodes.iter().enumerate() {
-            let label = labels[i];
-            for c in 0..self.num_classes() {
-                if c == label {
-                    continue;
-                }
-                let r: Vec<f64> = (0..graph.num_nodes())
-                    .map(|u| h.get(u, c) - h.get(u, label))
-                    .collect();
-                let found = pri_search(&full, candidates, &r, v, &pri_cfg);
-                let mut e_star = found.disturbance;
-                if e_star.len() > cfg.k {
-                    e_star = truncate_to_k(&full, &e_star, &r, self.alpha(), cfg.k);
-                }
-                if e_star.is_empty() {
-                    continue;
-                }
-                report.disturbances_checked += 1;
-                let single = Witness::new(witness.subgraph.clone(), vec![v], vec![label]);
-                let (ok, calls) = disturbance_preserves_cw(self, graph, &single, &e_star);
-                report.inference_calls += calls;
-                if !ok {
-                    report.counterexample = Some(e_star);
-                    break 'nodes;
-                }
+        let h = self.local_logits(&GraphView::full(graph));
+        appnp_pri_search(
+            self, graph, witness, test_nodes, labels, candidates, cfg, &h,
+        )
+    }
+}
+
+/// The PRI search body shared by the standalone and engine-cached entry
+/// points of APPNP's [`VerifiableModel::search_disturbance`].
+#[allow(clippy::too_many_arguments)]
+fn appnp_pri_search(
+    appnp: &Appnp,
+    graph: &Graph,
+    witness: &Witness,
+    test_nodes: &[NodeId],
+    labels: &[usize],
+    candidates: &[Edge],
+    cfg: &RcwConfig,
+    h: &rcw_linalg::Matrix,
+) -> DisturbanceSearch {
+    // Callers guard `candidates.is_empty() || cfg.k == 0` before paying for
+    // the logits, so no guard is repeated here.
+    let mut report = DisturbanceSearch::default();
+    let full = GraphView::full(graph);
+    let pri_cfg = PriConfig {
+        alpha: appnp.alpha(),
+        local_budget: cfg.local_budget.max(1),
+        max_rounds: cfg.pri_rounds,
+        value_iters: cfg.ppr_iters,
+    };
+    'nodes: for (i, &v) in test_nodes.iter().enumerate() {
+        let label = labels[i];
+        for c in 0..appnp.num_classes() {
+            if c == label {
+                continue;
+            }
+            let r: Vec<f64> = (0..graph.num_nodes())
+                .map(|u| h.get(u, c) - h.get(u, label))
+                .collect();
+            let found = pri_search(&full, candidates, &r, v, &pri_cfg);
+            let mut e_star = found.disturbance;
+            if e_star.len() > cfg.k {
+                e_star = truncate_to_k(&full, &e_star, &r, appnp.alpha(), cfg.k);
+            }
+            if e_star.is_empty() {
+                continue;
+            }
+            report.disturbances_checked += 1;
+            let single = Witness::new(witness.subgraph.clone(), vec![v], vec![label]);
+            let (ok, calls) = disturbance_preserves_cw(appnp, graph, &single, &e_star);
+            report.inference_calls += calls;
+            if !ok {
+                report.counterexample = Some(e_star);
+                break 'nodes;
             }
         }
-        report
     }
+    report
 }
 
 #[cfg(test)]
@@ -318,6 +500,94 @@ mod tests {
         let b = erased.search_disturbance(&g, &w, &[t], &labels, &candidates, &cfg, 1);
         assert_eq!(a.counterexample, b.counterexample);
         assert_eq!(a.disturbances_checked, b.disturbances_checked);
+    }
+
+    /// A downstream model that overrides *only* `verify_rcw` (the documented
+    /// extension point) must keep its strategy on the engine/session path.
+    #[test]
+    fn custom_verify_rcw_override_is_honored_by_the_shared_path() {
+        use rcw_graph::ForwardCtx;
+        use rcw_linalg::Matrix;
+
+        struct Custom<'a>(&'a Appnp);
+        impl rcw_gnn::GnnModel for Custom<'_> {
+            fn num_classes(&self) -> usize {
+                self.0.num_classes()
+            }
+            fn num_layers(&self) -> usize {
+                self.0.num_layers()
+            }
+            fn feature_dim(&self) -> usize {
+                self.0.feature_dim()
+            }
+            fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
+                self.0.forward(ctx, x)
+            }
+        }
+        impl VerifiableModel for Custom<'_> {
+            fn as_gnn(&self) -> &dyn rcw_gnn::GnnModel {
+                self
+            }
+            fn verify_rcw(&self, _: &Graph, _: &Witness, _: &RcwConfig) -> VerifyOutcome {
+                // sentinel: an exact custom verifier with a recognizable count
+                let mut out = VerifyOutcome::at_level(crate::WitnessLevel::Robust);
+                out.disturbances_checked = 4242;
+                out
+            }
+        }
+
+        let (g, appnp, t) = setup();
+        let w = ego_witness(&g, &appnp, t);
+        let cfg = RcwConfig::with_budgets(1, 1);
+        let caches = crate::engine::EngineCaches::new(&cfg);
+        let custom = Custom(&appnp);
+        let shared = custom.verify_rcw_shared(&g, &w, &cfg, &caches);
+        assert_eq!(
+            shared.disturbances_checked, 4242,
+            "verify_rcw_shared must dispatch to the custom verify_rcw"
+        );
+        let per_node = custom.verify_rcw_node_shared(&g, &w, t, &cfg, &caches);
+        assert_eq!(per_node.disturbances_checked, 4242);
+
+        // and a model overriding only the *per-node* extension point keeps
+        // its strategy on the parallel fan-out path
+        struct NodeCustom<'a>(&'a Appnp);
+        impl rcw_gnn::GnnModel for NodeCustom<'_> {
+            fn num_classes(&self) -> usize {
+                self.0.num_classes()
+            }
+            fn num_layers(&self) -> usize {
+                self.0.num_layers()
+            }
+            fn feature_dim(&self) -> usize {
+                self.0.feature_dim()
+            }
+            fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
+                self.0.forward(ctx, x)
+            }
+        }
+        impl VerifiableModel for NodeCustom<'_> {
+            fn as_gnn(&self) -> &dyn rcw_gnn::GnnModel {
+                self
+            }
+            fn verify_rcw_node(
+                &self,
+                _: &Graph,
+                _: &Witness,
+                _: NodeId,
+                _: &RcwConfig,
+            ) -> VerifyOutcome {
+                let mut out = VerifyOutcome::at_level(crate::WitnessLevel::Robust);
+                out.disturbances_checked = 77;
+                out
+            }
+        }
+        let node_custom = NodeCustom(&appnp);
+        let via_shared = node_custom.verify_rcw_node_shared(&g, &w, t, &cfg, &caches);
+        assert_eq!(
+            via_shared.disturbances_checked, 77,
+            "verify_rcw_node_shared must dispatch to the custom verify_rcw_node"
+        );
     }
 
     #[test]

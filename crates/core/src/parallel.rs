@@ -20,17 +20,13 @@
 //!    whether to iterate or stop.
 
 use crate::config::RcwConfig;
-use crate::generate::{GenerationResult, GenerationStats, RoboGExp};
+use crate::engine::EngineCaches;
+use crate::generate::GenerationResult;
 use crate::model::VerifiableModel;
-use crate::verify::candidate_pairs_in_hood;
-use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
+use crate::session;
 use rcw_gnn::{Appnp, GnnModel};
-use rcw_graph::{
-    edge_cut_partition, traversal::k_hop_neighborhood_multi, AdjacencyBitmap, Edge, Graph,
-    GraphView, NodeId, Partition, VerifiedPairBitmap,
-};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use rcw_graph::{Graph, NodeId};
+use std::time::Duration;
 
 /// Parallel-execution statistics, complementing [`GenerationStats`].
 #[derive(Clone, Debug, Default)]
@@ -58,12 +54,19 @@ pub struct ParallelGenerationResult {
     pub parallel: ParallelStats,
 }
 
-/// The parallel generator. Like [`RoboGExp`], generic over the model's
-/// verification strategy; `M` is usually inferred from the constructor.
+/// The parallel generator. Like [`crate::RoboGExp`], generic over the
+/// model's verification strategy; `M` is usually inferred from the
+/// constructor.
+///
+/// A thin wrapper over [`crate::session`]: the driver owns a private
+/// [`EngineCaches`] instance, so the edge-cut partition and the test nodes'
+/// k-hop neighborhoods are computed once and reused across *calls* (keyed by
+/// the graph's mutation epoch), not just across expand–verify rounds.
 pub struct ParaRoboGExp<'a, M: VerifiableModel + ?Sized = dyn GnnModel> {
     model: &'a M,
     cfg: RcwConfig,
     num_workers: usize,
+    caches: EngineCaches,
 }
 
 impl<'a> ParaRoboGExp<'a, Appnp> {
@@ -77,10 +80,12 @@ impl<'a> ParaRoboGExp<'a, Appnp> {
 impl<'a, M: VerifiableModel + ?Sized> ParaRoboGExp<'a, M> {
     /// Creates a parallel generator for any fixed deterministic GNN.
     pub fn new(model: &'a M, cfg: RcwConfig, num_workers: usize) -> Self {
+        let caches = EngineCaches::new(&cfg);
         ParaRoboGExp {
             model,
             cfg,
             num_workers: num_workers.max(1),
+            caches,
         }
     }
 
@@ -95,293 +100,37 @@ impl<'a, M: VerifiableModel + ?Sized> ParaRoboGExp<'a, M> {
         self.num_workers
     }
 
-    /// Generates a witness using the coordinator/worker scheme.
+    /// The driver's shared cache tier (inspection and tests).
+    pub fn caches(&self) -> &EngineCaches {
+        &self.caches
+    }
+
+    /// Generates a witness using the coordinator/worker scheme: one parallel
+    /// session over the driver's cache tier, so a second call on the same
+    /// (unmutated) graph reuses the partition and neighborhoods.
+    ///
+    /// # Panics
+    /// Panics if `test_nodes` is empty or contains an invalid node id.
     pub fn generate(&self, graph: &Graph, test_nodes: &[NodeId]) -> ParallelGenerationResult {
-        assert!(
-            !test_nodes.is_empty(),
-            "ParaRoboGExp::generate: empty test set"
-        );
-        self.cfg.validate().expect("invalid RcwConfig");
-        let start = Instant::now();
-        let model = self.model.as_gnn();
-        let mut stats = GenerationStats::default();
-        let mut pstats = ParallelStats {
-            workers: self.num_workers,
-            ..ParallelStats::default()
-        };
-
-        // Shared structures: adjacency bitmap (built once) and verified pairs.
-        let adjacency_bitmap = AdjacencyBitmap::from_graph(graph);
-        let mut verified_pairs = VerifiedPairBitmap::new(graph.num_nodes());
-        pstats.bytes_synchronized += adjacency_bitmap.byte_size();
-
-        // Inference-preserving partition: replicate the model's receptive field.
-        let hops = model.num_layers().max(1);
-        let partition: Partition = edge_cut_partition(graph, self.num_workers, hops);
-        // Surplus workers beyond the fragment count would all re-search the
-        // last fragment's candidates; clamp the search fan-out instead.
-        let active_workers = self.num_workers.min(partition.num_fragments()).max(1);
-        // The candidate neighborhood depends only on the host graph, the test
-        // nodes and the hop budget — compute it once, reuse it every round.
-        let hood = k_hop_neighborhood_multi(graph, test_nodes, self.cfg.candidate_hops);
-
-        // Full-graph labels of the test nodes.
-        let full = GraphView::full(graph);
-        let labels: Vec<usize> = test_nodes
-            .iter()
-            .map(|&v| {
-                stats.inference_calls += 1;
-                model.predict(v, &full).expect("valid node")
-            })
-            .collect();
-
-        // Phase 1 (paraExpand): factual / counterfactual bootstrap of every
-        // test node, distributed across the workers — each worker expands the
-        // witness for its chunk of test nodes, the coordinator unions the
-        // partial witnesses (the test nodes' expansions are independent).
-        let chunk = test_nodes.len().div_ceil(self.num_workers);
-        let partial: Mutex<Vec<(rcw_graph::EdgeSubgraph, usize)>> = Mutex::new(Vec::new());
-        let boot_start = Instant::now();
-        std::thread::scope(|scope| {
-            for nodes in test_nodes.chunks(chunk.max(1)) {
-                let cfg = bootstrap_config(&self.cfg);
-                let partial_ref = &partial;
-                let model_ref = self.model;
-                scope.spawn(move || {
-                    let local = RoboGExp::new(model_ref, cfg);
-                    let result = local.generate(graph, nodes);
-                    partial_ref
-                        .lock()
-                        .expect("bootstrap mutex poisoned")
-                        .push((result.witness.subgraph, result.stats.inference_calls));
-                });
-            }
-        });
-        pstats.parallel_time += boot_start.elapsed();
-        let mut merged = rcw_graph::EdgeSubgraph::from_nodes(test_nodes.iter().copied());
-        for (sub, calls) in partial.into_inner().expect("bootstrap mutex poisoned") {
-            merged.extend(&sub);
-            stats.inference_calls += calls;
-        }
-        let mut witness = Witness::new(merged, test_nodes.to_vec(), labels.clone());
-
-        // Phase 2: parallel robustness rounds.
-        let mut level = WitnessLevel::NotAWitness;
-        for round in 0..self.cfg.max_expand_rounds {
-            pstats.rounds = round + 1;
-            stats.expand_rounds = round + 1;
-
-            // Global candidate pairs not yet verified, split by fragment
-            // owner. One active worker per fragment; each pair is handed to
-            // the worker(s) owning an endpoint and counted once in the shared
-            // bitmap.
-            let all_candidates =
-                candidate_pairs_in_hood(graph, witness.edges(), test_nodes, &hood, &self.cfg);
-            let fresh: Vec<Edge> = all_candidates
-                .into_iter()
-                .filter(|&(u, v)| !verified_pairs.is_marked(u, v))
-                .collect();
-            let per_worker: Vec<Vec<Edge>> = (0..active_workers)
-                .map(|w| {
-                    fresh
-                        .iter()
-                        .copied()
-                        .filter(|&(u, v)| {
-                            let frag = &partition.fragments[w];
-                            frag.owns(u) || frag.owns(v)
-                        })
-                        .collect()
-                })
-                .collect();
-            // Each worker is additionally responsible only for the test nodes
-            // its fragment owns (falling back to round-robin so every test
-            // node has exactly one responsible worker).
-            let nodes_per_worker: Vec<(Vec<NodeId>, Vec<usize>)> = (0..active_workers)
-                .map(|w| {
-                    let mut nodes = Vec::new();
-                    let mut node_labels = Vec::new();
-                    for (i, &v) in test_nodes.iter().enumerate() {
-                        let frag = &partition.fragments[w];
-                        let owner = partition.owner.get(v).copied().unwrap_or(0);
-                        let responsible = if owner < partition.num_fragments() {
-                            owner == frag.id
-                        } else {
-                            i % active_workers == w
-                        };
-                        if responsible {
-                            nodes.push(v);
-                            node_labels.push(labels[i]);
-                        }
-                    }
-                    (nodes, node_labels)
-                })
-                .collect();
-
-            let reports = Mutex::new(Vec::<crate::model::DisturbanceSearch>::new());
-            let par_start = Instant::now();
-            std::thread::scope(|scope| {
-                for (wid, cands) in per_worker.iter().enumerate() {
-                    let witness_ref = &witness;
-                    let reports_ref = &reports;
-                    let model_ref = self.model;
-                    let cfg = &self.cfg;
-                    let (own_nodes, own_labels) = &nodes_per_worker[wid];
-                    scope.spawn(move || {
-                        let report = model_ref.search_disturbance(
-                            graph,
-                            witness_ref,
-                            own_nodes,
-                            own_labels,
-                            cands,
-                            cfg,
-                            wid as u64,
-                        );
-                        reports_ref
-                            .lock()
-                            .expect("worker mutex poisoned")
-                            .push(report);
-                    });
-                }
-            });
-            pstats.parallel_time += par_start.elapsed();
-
-            // Synchronize: mark every candidate pair handed to a worker as
-            // examined, merge the reports, collect counterexamples.
-            for cands in &per_worker {
-                for &(u, v) in cands {
-                    verified_pairs.mark(u, v);
-                }
-            }
-            let reports = reports.into_inner().expect("worker mutex poisoned");
-            let mut any_counterexample = false;
-            let mut grew = false;
-            for report in reports {
-                stats.inference_calls += report.inference_calls;
-                stats.disturbances_verified += report.disturbances_checked;
-                if let Some(ce) = report.counterexample {
-                    any_counterexample = true;
-                    pstats.local_counterexamples += 1;
-                    for (u, v) in ce.iter() {
-                        if graph.has_edge(u, v) && !witness.subgraph.contains_edge(u, v) {
-                            witness.subgraph.add_edge(u, v);
-                            grew = true;
-                        }
-                    }
-                }
-            }
-            pstats.bytes_synchronized += verified_pairs.byte_size();
-            pstats.pairs_marked = verified_pairs.count();
-
-            // Coordinator-side verification of the merged witness. The
-            // per-node checks are independent (Lemma 6), so they are fanned
-            // out across the workers for every model family (paraverifyRCW).
-            let outcome = parallel_verify(self.model, graph, &witness, &self.cfg, self.num_workers);
-            stats.inference_calls += outcome.inference_calls;
-            stats.disturbances_verified += outcome.disturbances_checked;
-            level = outcome.level;
-            if outcome.level == WitnessLevel::Robust {
-                break;
-            }
-            if let Some(ce) = outcome.counterexample {
-                for (u, v) in ce.iter() {
-                    if graph.has_edge(u, v) && !witness.subgraph.contains_edge(u, v) {
-                        witness.subgraph.add_edge(u, v);
-                        grew = true;
-                    }
-                }
-            }
-            if !any_counterexample && !grew {
-                // fixed point: nothing left to explore or absorb
-                break;
-            }
-            if witness.subgraph.num_edges() >= graph.num_edges() {
-                witness = Witness::trivial_full(graph, test_nodes.to_vec(), labels.clone());
-                level = WitnessLevel::Robust;
-                break;
-            }
-        }
-
-        stats.elapsed = start.elapsed();
-        let nontrivial = witness.is_nontrivial(graph);
-        ParallelGenerationResult {
-            result: GenerationResult {
-                witness,
-                level,
-                nontrivial,
-                stats,
-            },
-            parallel: pstats,
-        }
-    }
-}
-
-/// Coordinator verification fanned out over worker threads: each worker
-/// verifies a chunk of test nodes with the model's per-node verifier; the
-/// coordinator keeps the weakest level and the first counterexample (Lemma 6
-/// makes any locally found counterexample globally valid).
-fn parallel_verify<M: VerifiableModel + ?Sized>(
-    model: &M,
-    graph: &Graph,
-    witness: &Witness,
-    cfg: &RcwConfig,
-    num_workers: usize,
-) -> VerifyOutcome {
-    let nodes = witness.test_nodes.clone();
-    if nodes.len() <= 1 || num_workers <= 1 {
-        return model.verify_rcw(graph, witness, cfg);
-    }
-    let chunk = nodes.len().div_ceil(num_workers);
-    let outcomes: Mutex<Vec<VerifyOutcome>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for part in nodes.chunks(chunk.max(1)) {
-            let outcomes_ref = &outcomes;
-            scope.spawn(move || {
-                for &v in part {
-                    let out = model.verify_rcw_node(graph, witness, v, cfg);
-                    outcomes_ref
-                        .lock()
-                        .expect("verify mutex poisoned")
-                        .push(out);
-                }
-            });
-        }
-    });
-    let mut merged = VerifyOutcome::at_level(WitnessLevel::Robust);
-    for out in outcomes.into_inner().expect("verify mutex poisoned") {
-        merged.inference_calls += out.inference_calls;
-        merged.disturbances_checked += out.disturbances_checked;
-        if rank(out.level) < rank(merged.level) {
-            merged.level = out.level;
-        }
-        if merged.counterexample.is_none() {
-            merged.counterexample = out.counterexample;
-        }
-    }
-    merged
-}
-
-fn rank(level: WitnessLevel) -> u8 {
-    match level {
-        WitnessLevel::NotAWitness => 0,
-        WitnessLevel::Factual => 1,
-        WitnessLevel::Counterfactual => 2,
-        WitnessLevel::Robust => 3,
-    }
-}
-
-/// The bootstrap (phase 1) reuses the sequential generator but with zero
-/// robustness rounds — robustness is handled by the parallel loop.
-fn bootstrap_config(cfg: &RcwConfig) -> RcwConfig {
-    RcwConfig {
-        max_expand_rounds: 1,
-        ..cfg.clone()
+        session::run_parallel(
+            self.model,
+            graph,
+            &self.caches,
+            &self.cfg,
+            self.num_workers,
+            test_nodes,
+            None,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcw_gnn::{Appnp, Gcn, TrainConfig};
+    use crate::generate::RoboGExp;
+    use crate::witness::WitnessLevel;
+    use rcw_gnn::{Gcn, TrainConfig};
+    use rcw_graph::GraphView;
 
     fn setup() -> (Graph, Gcn, Appnp, Vec<usize>) {
         let mut g = Graph::new();

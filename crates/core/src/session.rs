@@ -1,0 +1,576 @@
+//! Per-query witness-generation sessions.
+//!
+//! This module is the query tier of the engine/session split: everything here
+//! is *per-call* work — labels, localities, candidate pools, expand–verify
+//! scratch — parameterized by the shared immutable tier
+//! ([`crate::engine::EngineCaches`]: host CSR, partition, k-hop
+//! neighborhoods, PPR rows, APPNP local logits). The public drivers
+//! ([`crate::RoboGExp`], [`crate::ParaRoboGExp`]) and the long-lived
+//! [`crate::WitnessEngine`] all run the same session code; they differ only
+//! in how long the shared tier lives.
+//!
+//! Sessions optionally start from a **seed subgraph** (a previous witness):
+//! the expand–verify loop then repairs the seed instead of growing from the
+//! trivial witness, which is how the engine repairs witnesses after a
+//! disturbance — test nodes whose seeded witness still verifies exit the
+//! per-node expansion after a couple of localized inference calls.
+
+use crate::config::RcwConfig;
+use crate::engine::EngineCaches;
+use crate::generate::{GenerationResult, GenerationStats};
+use crate::model::VerifiableModel;
+use crate::parallel::{ParallelGenerationResult, ParallelStats};
+use crate::verify::candidate_pairs_bounded;
+use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
+use rcw_gnn::GnnModel;
+use rcw_graph::{
+    traversal::k_hop_neighborhood, AdjacencyBitmap, Edge, EdgeSubgraph, Graph, GraphView, NodeId,
+    VerifiedPairBitmap,
+};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Builds the session's starting subgraph: the trivial witness over the test
+/// nodes, extended with a seed witness pruned to pairs that still exist in
+/// the (possibly disturbed) host graph.
+pub(crate) fn seeded_subgraph(
+    graph: &Graph,
+    test_nodes: &[NodeId],
+    seed: Option<&EdgeSubgraph>,
+) -> EdgeSubgraph {
+    let mut sg = EdgeSubgraph::from_nodes(test_nodes.iter().copied());
+    if let Some(seed) = seed {
+        for (u, v) in seed.edges().iter() {
+            if graph.has_edge(u, v) {
+                sg.add_edge(u, v);
+            }
+        }
+    }
+    sg
+}
+
+/// One sequential expand–verify session (Algorithm 2 over the shared tier).
+pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
+    model: &M,
+    graph: &Graph,
+    caches: &EngineCaches,
+    cfg: &RcwConfig,
+    test_nodes: &[NodeId],
+    seed: Option<&EdgeSubgraph>,
+) -> GenerationResult {
+    assert!(!test_nodes.is_empty(), "witness session: empty test set");
+    assert!(
+        test_nodes.iter().all(|&v| graph.contains_node(v)),
+        "witness session: invalid test node"
+    );
+    cfg.validate().expect("invalid RcwConfig");
+    let start = Instant::now();
+    let gnn = model.as_gnn();
+    let mut stats = GenerationStats::default();
+
+    // M(v, G) for every test node.
+    let full = GraphView::full(graph);
+    let labels: Vec<usize> = test_nodes
+        .iter()
+        .map(|&v| {
+            stats.inference_calls += 1;
+            gnn.predict(v, &full).expect("valid node")
+        })
+        .collect();
+
+    let mut subgraph = seeded_subgraph(graph, test_nodes, seed);
+
+    // Phase 1: per-node expansion for factuality and counterfactuality.
+    for (i, &v) in test_nodes.iter().enumerate() {
+        ensure_factual(graph, gnn, cfg, v, labels[i], &mut subgraph, &mut stats);
+        ensure_counterfactual(graph, gnn, cfg, v, labels[i], &mut subgraph, &mut stats);
+    }
+
+    // Phase 2: robustness expand–verify loop.
+    let mut witness = Witness::new(subgraph, test_nodes.to_vec(), labels.clone());
+    let mut level = WitnessLevel::NotAWitness;
+    for round in 0..cfg.max_expand_rounds {
+        stats.expand_rounds = round + 1;
+        let outcome = model.verify_rcw_shared(graph, &witness, cfg, caches);
+        stats.inference_calls += outcome.inference_calls;
+        stats.disturbances_verified += outcome.disturbances_checked;
+        level = outcome.level;
+        match outcome.level {
+            WitnessLevel::Robust => break,
+            WitnessLevel::Counterfactual => {
+                // Absorb the counterexample's existing edges; pairs inside
+                // the witness cannot be disturbed any more.
+                let Some(ce) = outcome.counterexample else {
+                    break;
+                };
+                let mut grew = false;
+                for (u, v) in ce.iter() {
+                    if graph.has_edge(u, v) && !witness.subgraph.contains_edge(u, v) {
+                        witness.subgraph.add_edge(u, v);
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    // counterexample consists purely of insertions we
+                    // cannot protect against by growing the witness
+                    break;
+                }
+            }
+            WitnessLevel::Factual | WitnessLevel::NotAWitness => {
+                // Re-run the per-node expansion: some node lost factuality
+                // or counterfactuality (e.g. after the witness grew).
+                let mut sg = witness.subgraph.clone();
+                for (i, &v) in test_nodes.iter().enumerate() {
+                    ensure_factual(graph, gnn, cfg, v, labels[i], &mut sg, &mut stats);
+                    ensure_counterfactual(graph, gnn, cfg, v, labels[i], &mut sg, &mut stats);
+                }
+                if sg == witness.subgraph {
+                    // no further progress possible
+                    break;
+                }
+                witness.subgraph = sg;
+            }
+        }
+        if witness.subgraph.num_edges() >= graph.num_edges() {
+            // degenerated to the trivial k-RCW `G`
+            witness = Witness::trivial_full(graph, test_nodes.to_vec(), labels.clone());
+            level = WitnessLevel::Robust;
+            break;
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    let nontrivial = witness.is_nontrivial(graph);
+    GenerationResult {
+        witness,
+        level,
+        nontrivial,
+        stats,
+    }
+}
+
+/// Expands the witness around `v` until `M(v, Gs) = l`, adding the ego
+/// network hop by hop (the L-hop receptive field reproduces the full-graph
+/// prediction for message-passing GNNs).
+fn ensure_factual(
+    graph: &Graph,
+    model: &dyn GnnModel,
+    cfg: &RcwConfig,
+    v: NodeId,
+    label: usize,
+    subgraph: &mut EdgeSubgraph,
+    stats: &mut GenerationStats,
+) {
+    let max_hops = cfg
+        .candidate_hops
+        .max(model.num_layers())
+        .min(graph.num_nodes());
+    for hop in 1..=max_hops {
+        let view = GraphView::restricted_to(graph, subgraph.edges());
+        stats.inference_calls += 1;
+        if model.predict(v, &view) == Some(label) {
+            return;
+        }
+        // add all edges with at least one endpoint within `hop - 1` hops of v
+        let inner = k_hop_neighborhood(graph, v, hop - 1);
+        for &u in &inner {
+            for w in graph.neighbors(u) {
+                subgraph.add_edge(u, w);
+            }
+        }
+    }
+    // final check is implicit; if still not factual the verification
+    // rounds will report it
+}
+
+/// Expands the witness around `v` until removing it flips the label,
+/// absorbing the strongest remaining support edges near `v`.
+fn ensure_counterfactual(
+    graph: &Graph,
+    model: &dyn GnnModel,
+    cfg: &RcwConfig,
+    v: NodeId,
+    label: usize,
+    subgraph: &mut EdgeSubgraph,
+    stats: &mut GenerationStats,
+) {
+    // quick exit: already counterfactual for v
+    {
+        let remainder = GraphView::without(graph, subgraph.edges());
+        stats.inference_calls += 1;
+        if model.predict(v, &remainder) != Some(label) {
+            return;
+        }
+    }
+
+    // Candidate support edges near v, nearest first: edges incident to v,
+    // then edges among its neighborhood, capped so the witness stays concise.
+    let hood = k_hop_neighborhood(graph, v, cfg.candidate_hops.min(2));
+    let cap = (graph.degree(v) * 3 + 12).min(48);
+    let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in graph.neighbors(v) {
+        candidates.push((v, u));
+    }
+    'outer: for &u in &hood {
+        if u == v {
+            continue;
+        }
+        for w in graph.neighbors(u) {
+            if w != v && hood.contains(&w) {
+                candidates.push((u, w));
+                if candidates.len() >= cap {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    // Score every candidate by how much removing it (together with the
+    // current witness) hurts the label's margin — the pairs "most likely
+    // to change the label if flipped" that Procedure Expand targets. Each
+    // trial view is the shared remainder view plus one extra removal (a
+    // single override), scored through the batched localized entry point.
+    let base_removed = GraphView::without(graph, subgraph.edges());
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut trial_views: Vec<GraphView<'_>> = Vec::new();
+    for &(a, b) in &candidates {
+        if subgraph.contains_edge(a, b) || !graph.has_edge(a, b) {
+            continue;
+        }
+        let mut view = base_removed.clone();
+        view.remove_edge(a, b);
+        pairs.push((a, b));
+        trial_views.push(view);
+    }
+    stats.inference_calls += trial_views.len();
+    let margins = model.margin_many(v, label, &trial_views);
+    let mut scored: Vec<(f64, (NodeId, NodeId))> = margins.into_iter().zip(pairs).collect();
+    scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Greedily absorb the most label-critical support edges until the
+    // remainder flips, with a hard bound so that an unattainable
+    // counterfactual does not blow the witness up.
+    let max_add = graph.degree(v).max(3) + 6;
+    let mut added = 0usize;
+    let mut added_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut flipped = false;
+    for (_, (a, b)) in scored {
+        if added >= max_add {
+            break;
+        }
+        if subgraph.contains_edge(a, b) {
+            continue;
+        }
+        subgraph.add_edge(a, b);
+        added_edges.push((a, b));
+        added += 1;
+        let remainder = GraphView::without(graph, subgraph.edges());
+        stats.inference_calls += 1;
+        if model.predict(v, &remainder) != Some(label) {
+            flipped = true;
+            break; // counterfactual achieved
+        }
+    }
+    if flipped {
+        // Backward pruning pass: drop absorbed edges that are not needed
+        // for the flip, keeping the witness concise (the paper's RCWs are
+        // roughly half the size of the baselines' explanations).
+        for &(a, b) in added_edges.iter().rev().skip(1) {
+            subgraph.remove_edge(a, b);
+            let remainder = GraphView::without(graph, subgraph.edges());
+            stats.inference_calls += 1;
+            let still_flipped = model.predict(v, &remainder) != Some(label);
+            let view_only = GraphView::restricted_to(graph, subgraph.edges());
+            stats.inference_calls += 1;
+            let still_factual = model.predict(v, &view_only) == Some(label);
+            if !(still_flipped && still_factual) {
+                subgraph.add_edge(a, b);
+            }
+        }
+    }
+}
+
+/// One parallel expand–verify session (Algorithm 3 over the shared tier):
+/// partition and candidate neighborhood come from the shared caches, so a
+/// long-lived engine pays them once per mutation epoch instead of per call.
+pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
+    model: &M,
+    graph: &Graph,
+    caches: &EngineCaches,
+    cfg: &RcwConfig,
+    num_workers: usize,
+    test_nodes: &[NodeId],
+    seed: Option<&EdgeSubgraph>,
+) -> ParallelGenerationResult {
+    assert!(!test_nodes.is_empty(), "witness session: empty test set");
+    cfg.validate().expect("invalid RcwConfig");
+    let start = Instant::now();
+    let gnn = model.as_gnn();
+    let mut stats = GenerationStats::default();
+    let mut pstats = ParallelStats {
+        workers: num_workers,
+        ..ParallelStats::default()
+    };
+
+    // Shared structures: adjacency bitmap (built once) and verified pairs.
+    let adjacency_bitmap = AdjacencyBitmap::from_graph(graph);
+    let mut verified_pairs = VerifiedPairBitmap::new(graph.num_nodes());
+    pstats.bytes_synchronized += adjacency_bitmap.byte_size();
+
+    // Inference-preserving partition: replicate the model's receptive field.
+    // Cached across calls keyed by the graph's mutation epoch.
+    let hops = gnn.num_layers().max(1);
+    let partition = caches.partition(graph, num_workers, hops);
+    // Surplus workers beyond the fragment count would all re-search the
+    // last fragment's candidates; clamp the search fan-out instead.
+    let active_workers = num_workers.min(partition.num_fragments()).max(1);
+    // The candidate neighborhood depends only on the host graph, the test
+    // nodes and the hop budget — cached across rounds *and* calls.
+    let hood = caches.hood(graph, test_nodes, cfg.candidate_hops);
+
+    // Full-graph labels of the test nodes.
+    let full = GraphView::full(graph);
+    let labels: Vec<usize> = test_nodes
+        .iter()
+        .map(|&v| {
+            stats.inference_calls += 1;
+            gnn.predict(v, &full).expect("valid node")
+        })
+        .collect();
+
+    // Phase 1 (paraExpand): factual / counterfactual bootstrap of every
+    // test node, distributed across the workers — each worker runs a
+    // sequential session for its chunk of test nodes, the coordinator unions
+    // the partial witnesses (the test nodes' expansions are independent).
+    let chunk = test_nodes.len().div_ceil(num_workers);
+    let partial: Mutex<Vec<(EdgeSubgraph, usize)>> = Mutex::new(Vec::new());
+    let boot_start = Instant::now();
+    std::thread::scope(|scope| {
+        for nodes in test_nodes.chunks(chunk.max(1)) {
+            let cfg = bootstrap_config(cfg);
+            let partial_ref = &partial;
+            scope.spawn(move || {
+                let result = run_sequential(model, graph, caches, &cfg, nodes, seed);
+                partial_ref
+                    .lock()
+                    .expect("bootstrap mutex poisoned")
+                    .push((result.witness.subgraph, result.stats.inference_calls));
+            });
+        }
+    });
+    pstats.parallel_time += boot_start.elapsed();
+    let mut merged = EdgeSubgraph::from_nodes(test_nodes.iter().copied());
+    for (sub, calls) in partial.into_inner().expect("bootstrap mutex poisoned") {
+        merged.extend(&sub);
+        stats.inference_calls += calls;
+    }
+    let mut witness = Witness::new(merged, test_nodes.to_vec(), labels.clone());
+
+    // Phase 2: parallel robustness rounds.
+    let mut level = WitnessLevel::NotAWitness;
+    for round in 0..cfg.max_expand_rounds {
+        pstats.rounds = round + 1;
+        stats.expand_rounds = round + 1;
+
+        // Global candidate pairs not yet verified, split by fragment
+        // owner. One active worker per fragment; each pair is handed to
+        // the worker(s) owning an endpoint and counted once in the shared
+        // bitmap.
+        let all_candidates = candidate_pairs_bounded(
+            graph,
+            witness.edges(),
+            test_nodes,
+            &hood,
+            cfg,
+            Some(caches.ppr()),
+        );
+        let fresh: Vec<Edge> = all_candidates
+            .into_iter()
+            .filter(|&(u, v)| !verified_pairs.is_marked(u, v))
+            .collect();
+        let per_worker: Vec<Vec<Edge>> = (0..active_workers)
+            .map(|w| {
+                fresh
+                    .iter()
+                    .copied()
+                    .filter(|&(u, v)| {
+                        let frag = &partition.fragments[w];
+                        frag.owns(u) || frag.owns(v)
+                    })
+                    .collect()
+            })
+            .collect();
+        // Each worker is additionally responsible only for the test nodes
+        // its fragment owns (falling back to round-robin so every test
+        // node has exactly one responsible worker).
+        let nodes_per_worker: Vec<(Vec<NodeId>, Vec<usize>)> = (0..active_workers)
+            .map(|w| {
+                let mut nodes = Vec::new();
+                let mut node_labels = Vec::new();
+                for (i, &v) in test_nodes.iter().enumerate() {
+                    let frag = &partition.fragments[w];
+                    let owner = partition.owner.get(v).copied().unwrap_or(0);
+                    let responsible = if owner < partition.num_fragments() {
+                        owner == frag.id
+                    } else {
+                        i % active_workers == w
+                    };
+                    if responsible {
+                        nodes.push(v);
+                        node_labels.push(labels[i]);
+                    }
+                }
+                (nodes, node_labels)
+            })
+            .collect();
+
+        let reports = Mutex::new(Vec::<crate::model::DisturbanceSearch>::new());
+        let par_start = Instant::now();
+        std::thread::scope(|scope| {
+            for (wid, cands) in per_worker.iter().enumerate() {
+                let witness_ref = &witness;
+                let reports_ref = &reports;
+                let (own_nodes, own_labels) = &nodes_per_worker[wid];
+                scope.spawn(move || {
+                    let report = model.search_disturbance_shared(
+                        graph,
+                        witness_ref,
+                        own_nodes,
+                        own_labels,
+                        cands,
+                        cfg,
+                        wid as u64,
+                        caches,
+                    );
+                    reports_ref
+                        .lock()
+                        .expect("worker mutex poisoned")
+                        .push(report);
+                });
+            }
+        });
+        pstats.parallel_time += par_start.elapsed();
+
+        // Synchronize: mark every candidate pair handed to a worker as
+        // examined, merge the reports, collect counterexamples.
+        for cands in &per_worker {
+            for &(u, v) in cands {
+                verified_pairs.mark(u, v);
+            }
+        }
+        let reports = reports.into_inner().expect("worker mutex poisoned");
+        let mut any_counterexample = false;
+        let mut grew = false;
+        for report in reports {
+            stats.inference_calls += report.inference_calls;
+            stats.disturbances_verified += report.disturbances_checked;
+            if let Some(ce) = report.counterexample {
+                any_counterexample = true;
+                pstats.local_counterexamples += 1;
+                for (u, v) in ce.iter() {
+                    if graph.has_edge(u, v) && !witness.subgraph.contains_edge(u, v) {
+                        witness.subgraph.add_edge(u, v);
+                        grew = true;
+                    }
+                }
+            }
+        }
+        pstats.bytes_synchronized += verified_pairs.byte_size();
+        pstats.pairs_marked = verified_pairs.count();
+
+        // Coordinator-side verification of the merged witness. The
+        // per-node checks are independent (Lemma 6), so they are fanned
+        // out across the workers for every model family (paraverifyRCW).
+        let outcome = parallel_verify(model, graph, &witness, cfg, num_workers, caches);
+        stats.inference_calls += outcome.inference_calls;
+        stats.disturbances_verified += outcome.disturbances_checked;
+        level = outcome.level;
+        if outcome.level == WitnessLevel::Robust {
+            break;
+        }
+        if let Some(ce) = outcome.counterexample {
+            for (u, v) in ce.iter() {
+                if graph.has_edge(u, v) && !witness.subgraph.contains_edge(u, v) {
+                    witness.subgraph.add_edge(u, v);
+                    grew = true;
+                }
+            }
+        }
+        if !any_counterexample && !grew {
+            // fixed point: nothing left to explore or absorb
+            break;
+        }
+        if witness.subgraph.num_edges() >= graph.num_edges() {
+            witness = Witness::trivial_full(graph, test_nodes.to_vec(), labels.clone());
+            level = WitnessLevel::Robust;
+            break;
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    let nontrivial = witness.is_nontrivial(graph);
+    ParallelGenerationResult {
+        result: GenerationResult {
+            witness,
+            level,
+            nontrivial,
+            stats,
+        },
+        parallel: pstats,
+    }
+}
+
+/// Coordinator verification fanned out over worker threads: each worker
+/// verifies a chunk of test nodes with the model's per-node verifier; the
+/// coordinator keeps the weakest level and the first counterexample (Lemma 6
+/// makes any locally found counterexample globally valid).
+pub(crate) fn parallel_verify<M: VerifiableModel + ?Sized>(
+    model: &M,
+    graph: &Graph,
+    witness: &Witness,
+    cfg: &RcwConfig,
+    num_workers: usize,
+    caches: &EngineCaches,
+) -> VerifyOutcome {
+    let nodes = witness.test_nodes.clone();
+    if nodes.len() <= 1 || num_workers <= 1 {
+        return model.verify_rcw_shared(graph, witness, cfg, caches);
+    }
+    let chunk = nodes.len().div_ceil(num_workers);
+    let outcomes: Mutex<Vec<VerifyOutcome>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for part in nodes.chunks(chunk.max(1)) {
+            let outcomes_ref = &outcomes;
+            scope.spawn(move || {
+                for &v in part {
+                    let out = model.verify_rcw_node_shared(graph, witness, v, cfg, caches);
+                    outcomes_ref
+                        .lock()
+                        .expect("verify mutex poisoned")
+                        .push(out);
+                }
+            });
+        }
+    });
+    let mut merged = VerifyOutcome::at_level(WitnessLevel::Robust);
+    for out in outcomes.into_inner().expect("verify mutex poisoned") {
+        merged.inference_calls += out.inference_calls;
+        merged.disturbances_checked += out.disturbances_checked;
+        if out.level.rank() < merged.level.rank() {
+            merged.level = out.level;
+        }
+        if merged.counterexample.is_none() {
+            merged.counterexample = out.counterexample;
+        }
+    }
+    merged
+}
+
+/// The bootstrap (phase 1) reuses the sequential session but with zero
+/// robustness rounds — robustness is handled by the parallel loop.
+fn bootstrap_config(cfg: &RcwConfig) -> RcwConfig {
+    RcwConfig {
+        max_expand_rounds: 1,
+        ..cfg.clone()
+    }
+}

@@ -18,6 +18,12 @@ use rcw_graph::{
     traversal::k_hop_neighborhood_multi,
     Edge, EdgeSet, Graph, GraphView,
 };
+use rcw_pagerank::PprCache;
+
+/// Teleport probability used by the PPR-weighted candidate pruning. A fixed
+/// heuristic value: the ranking only decides *which* pairs enter the
+/// disturbance search, never the verdict on any individual disturbance.
+pub const PRUNE_ALPHA: f64 = 0.2;
 
 /// Collects the node pairs an adversary may flip: existing edges near the test
 /// nodes that are not protected by the witness, plus (depending on the
@@ -29,8 +35,21 @@ pub fn candidate_pairs(
     test_nodes: &[rcw_graph::NodeId],
     cfg: &RcwConfig,
 ) -> Vec<Edge> {
+    candidate_pairs_cached(graph, protected, test_nodes, cfg, None)
+}
+
+/// [`candidate_pairs`] threading an optional shared PPR-row cache into the
+/// top-m pruning (engine sessions pass theirs so repeated queries over the
+/// same test nodes reuse the rows).
+pub fn candidate_pairs_cached(
+    graph: &Graph,
+    protected: &EdgeSet,
+    test_nodes: &[rcw_graph::NodeId],
+    cfg: &RcwConfig,
+    ppr: Option<&PprCache>,
+) -> Vec<Edge> {
     let hood = k_hop_neighborhood_multi(graph, test_nodes, cfg.candidate_hops);
-    candidate_pairs_in_hood(graph, protected, test_nodes, &hood, cfg)
+    candidate_pairs_bounded(graph, protected, test_nodes, &hood, cfg, ppr)
 }
 
 /// [`candidate_pairs`] with a precomputed k-hop neighborhood of the test
@@ -44,6 +63,24 @@ pub fn candidate_pairs_in_hood(
     test_nodes: &[rcw_graph::NodeId],
     hood: &std::collections::BTreeSet<rcw_graph::NodeId>,
     cfg: &RcwConfig,
+) -> Vec<Edge> {
+    candidate_pairs_bounded(graph, protected, test_nodes, hood, cfg, None)
+}
+
+/// The full candidate-pair pipeline: collect pairs inside the precomputed
+/// neighborhood, then — only when the pool exceeds `cfg.max_candidate_pairs`
+/// — keep the top-m pairs by personalized-PageRank mass from the test nodes.
+/// Dense neighborhoods produce quadratically many pairs; the PPR weighting
+/// keeps the ones a disturbance could use to move the most probability mass
+/// toward or away from the test nodes, which is exactly the quantity the
+/// APPNP worst-case analysis maximizes.
+pub fn candidate_pairs_bounded(
+    graph: &Graph,
+    protected: &EdgeSet,
+    test_nodes: &[rcw_graph::NodeId],
+    hood: &std::collections::BTreeSet<rcw_graph::NodeId>,
+    cfg: &RcwConfig,
+    ppr: Option<&PprCache>,
 ) -> Vec<Edge> {
     let mut out: Vec<Edge> = Vec::new();
     // Removal candidates: existing edges inside the neighborhood, unprotected.
@@ -69,7 +106,55 @@ pub fn candidate_pairs_in_hood(
     }
     out.sort_unstable();
     out.dedup();
-    out
+    if out.len() <= cfg.max_candidate_pairs {
+        return out;
+    }
+    top_m_by_ppr(graph, out, test_nodes, cfg, ppr)
+}
+
+/// Keeps the `cfg.max_candidate_pairs` pairs carrying the most PPR mass from
+/// the test nodes (score of `(u, v)` = summed mass the test nodes place on
+/// `u` and `v`). Deterministic: ties break by pair order; output is sorted.
+fn top_m_by_ppr(
+    graph: &Graph,
+    pairs: Vec<Edge>,
+    test_nodes: &[rcw_graph::NodeId],
+    cfg: &RcwConfig,
+    ppr: Option<&PprCache>,
+) -> Vec<Edge> {
+    let fallback;
+    let cache = match ppr {
+        Some(cache) => cache,
+        None => {
+            fallback = PprCache::new(PRUNE_ALPHA, cfg.ppr_iters);
+            &fallback
+        }
+    };
+    let csr = graph.csr();
+    let epoch = graph.epoch();
+    let mut mass = vec![0.0f64; graph.num_nodes()];
+    for &t in test_nodes {
+        let row = cache.row(csr, t, epoch);
+        for (i, &p) in row.iter().enumerate() {
+            mass[i] += p;
+        }
+    }
+    let mut scored: Vec<(f64, Edge)> = pairs
+        .into_iter()
+        .map(|(u, v)| (mass[u] + mass[v], (u, v)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let mut kept: Vec<Edge> = scored
+        .into_iter()
+        .take(cfg.max_candidate_pairs)
+        .map(|(_, e)| e)
+        .collect();
+    kept.sort_unstable();
+    kept
 }
 
 /// `verifyW`: is the witness a factual witness for every test node?
@@ -154,6 +239,55 @@ pub fn verify_rcw(
     witness: &Witness,
     cfg: &RcwConfig,
 ) -> VerifyOutcome {
+    verify_rcw_cached(model, graph, witness, cfg, None)
+}
+
+/// [`verify_rcw`] threading an optional shared PPR-row cache into the
+/// candidate-pair bounding.
+pub fn verify_rcw_cached(
+    model: &dyn GnnModel,
+    graph: &Graph,
+    witness: &Witness,
+    cfg: &RcwConfig,
+    ppr: Option<&PprCache>,
+) -> VerifyOutcome {
+    verify_rcw_impl(model, graph, witness, cfg, || {
+        candidate_pairs_cached(graph, witness.edges(), &witness.test_nodes, cfg, ppr)
+    })
+}
+
+/// [`verify_rcw`] over an engine's full shared tier: the candidate
+/// neighborhood comes from the hood cache and the pruning rows from the PPR
+/// cache, so steady-state re-verification pays neither BFS nor PPR.
+pub(crate) fn verify_rcw_with_caches(
+    model: &dyn GnnModel,
+    graph: &Graph,
+    witness: &Witness,
+    cfg: &RcwConfig,
+    caches: &crate::engine::EngineCaches,
+) -> VerifyOutcome {
+    verify_rcw_impl(model, graph, witness, cfg, || {
+        let hood = caches.hood(graph, &witness.test_nodes, cfg.candidate_hops);
+        candidate_pairs_bounded(
+            graph,
+            witness.edges(),
+            &witness.test_nodes,
+            &hood,
+            cfg,
+            Some(caches.ppr()),
+        )
+    })
+}
+
+/// The shared `verifyRCW` body; `candidates_fn` supplies the pool lazily so
+/// the factual / counterfactual early exits never pay for it.
+fn verify_rcw_impl(
+    model: &dyn GnnModel,
+    graph: &Graph,
+    witness: &Witness,
+    cfg: &RcwConfig,
+    candidates_fn: impl FnOnce() -> Vec<Edge>,
+) -> VerifyOutcome {
     cfg.validate().expect("invalid RcwConfig");
     let (factual, calls_f) = verify_factual(model, graph, witness);
     if !factual {
@@ -183,7 +317,7 @@ pub fn verify_rcw(
         };
     }
 
-    let candidates = candidate_pairs(graph, witness.edges(), &witness.test_nodes, cfg);
+    let candidates = candidates_fn();
     let mut checked = 0usize;
 
     let disturbances: Vec<EdgeSet> = if candidates.len() <= cfg.exhaustive_limit {
@@ -386,6 +520,33 @@ mod tests {
         let insertions = cands.iter().filter(|&&(u, v)| !g.has_edge(u, v)).count();
         assert!(insertions > 0);
         assert!(insertions <= cfg.max_insert_candidates);
+    }
+
+    #[test]
+    fn candidate_pool_is_bounded_by_ppr_top_m() {
+        // dense double-clique: the unbounded pool is far larger than m
+        let (g, _gcn, t) = setup();
+        let cfg = RcwConfig::with_budgets(2, 1);
+        let unbounded = candidate_pairs(&g, &EdgeSet::new(), &[t], &cfg);
+        assert!(unbounded.len() > 8, "setup graph must be dense enough");
+        let bounded_cfg = cfg.clone().with_max_candidate_pairs(8);
+        let bounded = candidate_pairs(&g, &EdgeSet::new(), &[t], &bounded_cfg);
+        assert_eq!(bounded.len(), 8);
+        assert!(bounded.iter().all(|e| unbounded.contains(e)));
+        // deterministic, and identical with or without a shared cache
+        let cache = rcw_pagerank::PprCache::new(PRUNE_ALPHA, bounded_cfg.ppr_iters);
+        let via_cache =
+            candidate_pairs_cached(&g, &EdgeSet::new(), &[t], &bounded_cfg, Some(&cache));
+        assert_eq!(bounded, via_cache);
+        assert!(cache.stats().1 > 0, "pruning populated the cache");
+        // the kept pairs are t-adjacent or in t's own community: the ones
+        // carrying t's PPR mass, not the far clique's internal edges
+        assert!(
+            bounded
+                .iter()
+                .all(|&(u, v)| u == t || v == t || (u < 6 && v < 6)),
+            "PPR pruning kept far-community pairs: {bounded:?}"
+        );
     }
 
     #[test]

@@ -10,13 +10,31 @@
 //! `l`, and the disturbed remainder must still flip it).
 
 use crate::config::RcwConfig;
+use crate::engine::EngineCaches;
 use crate::verify::{
-    candidate_pairs, disturbance_preserves_cw, verify_counterfactual, verify_factual,
+    candidate_pairs, candidate_pairs_bounded, disturbance_preserves_cw, verify_counterfactual,
+    verify_factual,
 };
 use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
 use rcw_gnn::{Appnp, GnnModel};
 use rcw_graph::{EdgeSet, Graph, GraphView, NodeId};
+use rcw_linalg::Matrix;
 use rcw_pagerank::{pri_search, truncate_to_k, PriConfig};
+
+/// Shared inputs the APPNP verifier can receive from a long-lived engine
+/// instead of recomputing per call: the local logits `H = f_theta(X)` (one
+/// MLP pass over all nodes) and the engine cache tier (k-hop neighborhoods,
+/// PPR rows for candidate pruning).
+#[derive(Default)]
+pub struct AppnpVerifyCtx<'a> {
+    /// Precomputed `Appnp::local_logits` over the full view of the graph.
+    /// `None` computes them lazily, only if verification reaches the
+    /// robustness phase — the factual / counterfactual early exits never pay
+    /// the MLP pass.
+    pub logits: Option<&'a Matrix>,
+    /// The shared cache tier, if the caller keeps one alive.
+    pub caches: Option<&'a EngineCaches>,
+}
 
 /// Verifies that `witness` is a k-RCW for a *single* test node under
 /// (k, b)-disturbances, using the APPNP-specific policy-iteration search.
@@ -26,6 +44,19 @@ pub fn verify_rcw_appnp_node(
     witness: &Witness,
     node: NodeId,
     cfg: &RcwConfig,
+) -> VerifyOutcome {
+    verify_rcw_appnp_node_ctx(appnp, graph, witness, node, cfg, &AppnpVerifyCtx::default())
+}
+
+/// [`verify_rcw_appnp_node`] with engine-shared state. Bit-identical to the
+/// standalone entry point — the context only removes recomputation.
+pub fn verify_rcw_appnp_node_ctx(
+    appnp: &Appnp,
+    graph: &Graph,
+    witness: &Witness,
+    node: NodeId,
+    cfg: &RcwConfig,
+    ctx: &AppnpVerifyCtx<'_>,
 ) -> VerifyOutcome {
     let label = witness
         .label_of(node)
@@ -61,8 +92,35 @@ pub fn verify_rcw_appnp_node(
     }
 
     let full = GraphView::full(graph);
-    let h = appnp.local_logits(&full);
-    let candidates = candidate_pairs(graph, witness.edges(), &[node], cfg);
+    // Lazy logits: only reached past the factual / counterfactual early
+    // exits. With a cache tier the MLP pass is shared across calls (keyed by
+    // the graph's feature epoch); without one it is computed here, once.
+    let (cached_logits, computed_logits);
+    let h: &Matrix = match (ctx.logits, ctx.caches) {
+        (Some(h), _) => h,
+        (None, Some(caches)) => {
+            cached_logits = appnp.local_logits_cached(&full, caches.appnp_logits());
+            &cached_logits
+        }
+        (None, None) => {
+            computed_logits = appnp.local_logits(&full);
+            &computed_logits
+        }
+    };
+    let candidates = match ctx.caches {
+        Some(caches) => {
+            let hood = caches.hood(graph, &[node], cfg.candidate_hops);
+            candidate_pairs_bounded(
+                graph,
+                witness.edges(),
+                &[node],
+                &hood,
+                cfg,
+                Some(caches.ppr()),
+            )
+        }
+        None => candidate_pairs(graph, witness.edges(), &[node], cfg),
+    };
     let pri_cfg = PriConfig {
         alpha: appnp.alpha(),
         local_budget: cfg.local_budget.max(1),
@@ -121,15 +179,27 @@ pub fn verify_rcw_appnp(
     witness: &Witness,
     cfg: &RcwConfig,
 ) -> VerifyOutcome {
+    verify_rcw_appnp_ctx(appnp, graph, witness, cfg, &AppnpVerifyCtx::default())
+}
+
+/// [`verify_rcw_appnp`] with engine-shared state: the local logits are
+/// computed (or cached) once for the whole test set instead of per node.
+pub fn verify_rcw_appnp_ctx(
+    appnp: &Appnp,
+    graph: &Graph,
+    witness: &Witness,
+    cfg: &RcwConfig,
+    ctx: &AppnpVerifyCtx<'_>,
+) -> VerifyOutcome {
     let mut total_calls = 0usize;
     let mut total_checked = 0usize;
     let mut weakest = WitnessLevel::Robust;
     let mut counterexample = None;
     for &v in &witness.test_nodes {
-        let out = verify_rcw_appnp_node(appnp, graph, witness, v, cfg);
+        let out = verify_rcw_appnp_node_ctx(appnp, graph, witness, v, cfg, ctx);
         total_calls += out.inference_calls;
         total_checked += out.disturbances_checked;
-        if level_rank(out.level) < level_rank(weakest) {
+        if out.level.rank() < weakest.rank() {
             weakest = out.level;
             if counterexample.is_none() {
                 counterexample = out.counterexample;
@@ -144,15 +214,6 @@ pub fn verify_rcw_appnp(
         counterexample,
         inference_calls: total_calls,
         disturbances_checked: total_checked,
-    }
-}
-
-fn level_rank(level: WitnessLevel) -> u8 {
-    match level {
-        WitnessLevel::NotAWitness => 0,
-        WitnessLevel::Factual => 1,
-        WitnessLevel::Counterfactual => 2,
-        WitnessLevel::Robust => 3,
     }
 }
 

@@ -102,6 +102,20 @@ pub enum WitnessLevel {
     Robust,
 }
 
+impl WitnessLevel {
+    /// Strength ordering of the levels: `NotAWitness < Factual <
+    /// Counterfactual < Robust`. Used wherever the weakest per-node outcome
+    /// must win (multi-node aggregation, repair decisions).
+    pub fn rank(self) -> u8 {
+        match self {
+            WitnessLevel::NotAWitness => 0,
+            WitnessLevel::Factual => 1,
+            WitnessLevel::Counterfactual => 2,
+            WitnessLevel::Robust => 3,
+        }
+    }
+}
+
 /// Outcome of verifying one witness against one test node (or a whole test set).
 #[derive(Clone, Debug, PartialEq)]
 pub struct VerifyOutcome {
@@ -184,5 +198,12 @@ mod tests {
         assert!(!VerifyOutcome::at_level(WitnessLevel::Counterfactual).is_robust());
         assert!(VerifyOutcome::at_level(WitnessLevel::Factual).is_factual());
         assert!(!VerifyOutcome::at_level(WitnessLevel::NotAWitness).is_factual());
+        let levels = [
+            WitnessLevel::NotAWitness,
+            WitnessLevel::Factual,
+            WitnessLevel::Counterfactual,
+            WitnessLevel::Robust,
+        ];
+        assert!(levels.windows(2).all(|w| w[0].rank() < w[1].rank()));
     }
 }

@@ -102,6 +102,19 @@ impl Appnp {
         self.mlp_forward(&x0).1.pop().expect("non-empty MLP")
     }
 
+    /// [`Appnp::local_logits`] through a shared cache. `H` depends only on
+    /// node features, so the cache is keyed by the host graph's
+    /// *feature* epoch and survives arbitrary edge disturbances — a
+    /// long-lived engine pays the MLP pass once per feature change instead of
+    /// once per verification call.
+    pub fn local_logits_cached(
+        &self,
+        view: &GraphView<'_>,
+        cache: &crate::cache::EpochCache<Matrix>,
+    ) -> std::sync::Arc<Matrix> {
+        cache.get_or_insert_with(view.graph().feature_epoch(), || self.local_logits(view))
+    }
+
     /// Applies the propagation `Z = (1-alpha)(I - alpha P)^{-1} H` by
     /// fixed-point iteration, where `P = D^{-1}(A + I)` over the view.
     pub fn propagate(&self, csr: &Csr, h: &Matrix) -> Matrix {

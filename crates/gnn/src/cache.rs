@@ -1,0 +1,97 @@
+//! Epoch-keyed model-side caches.
+//!
+//! Long-lived serving state (the `WitnessEngine` in `rcw-core`) re-evaluates
+//! the same model over the same graph across many queries. Model-side
+//! intermediates that depend only on a slowly-changing input — the APPNP
+//! local logits `H = f_theta(X)`, which depend on node features but not on
+//! edges — are cached here, keyed by the relevant [`rcw_graph::Graph`] epoch
+//! ([`Graph::feature_epoch`](rcw_graph::Graph::feature_epoch) for
+//! feature-only state). A stale epoch simply recomputes; there is no
+//! invalidation API to call at mutation time.
+
+use std::sync::{Arc, Mutex};
+
+/// A single-slot cache holding one value tagged with the epoch it was
+/// computed at. Interior-mutable (`&self` API) so it can sit inside shared
+/// engine state and be used from worker threads.
+#[derive(Debug, Default)]
+pub struct EpochCache<T> {
+    slot: Mutex<Option<(u64, Arc<T>)>>,
+}
+
+impl<T> EpochCache<T> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        EpochCache {
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Returns the cached value if it was computed at `epoch`, otherwise
+    /// computes it with `f`, stores it under `epoch`, and returns it. The
+    /// compute closure runs under the cache lock, so it must not re-enter the
+    /// same cache.
+    pub fn get_or_insert_with(&self, epoch: u64, f: impl FnOnce() -> T) -> Arc<T> {
+        let mut slot = self.slot.lock().expect("EpochCache lock poisoned");
+        if let Some((e, v)) = slot.as_ref() {
+            if *e == epoch {
+                return Arc::clone(v);
+            }
+        }
+        let v = Arc::new(f());
+        *slot = Some((epoch, Arc::clone(&v)));
+        v
+    }
+
+    /// Drops the cached value unconditionally.
+    pub fn invalidate(&self) {
+        *self.slot.lock().expect("EpochCache lock poisoned") = None;
+    }
+
+    /// The epoch of the cached value, if one is held.
+    pub fn cached_epoch(&self) -> Option<u64> {
+        self.slot
+            .lock()
+            .expect("EpochCache lock poisoned")
+            .as_ref()
+            .map(|(e, _)| *e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_per_epoch_and_recomputes_on_change() {
+        let cache: EpochCache<usize> = EpochCache::new();
+        let mut computes = 0;
+        let mut get = |epoch| {
+            *cache.get_or_insert_with(epoch, || {
+                computes += 1;
+                epoch as usize * 10
+            })
+        };
+        assert_eq!(get(1), 10);
+        assert_eq!(get(1), 10, "hit");
+        assert_eq!(get(2), 20, "epoch change recomputes");
+        assert_eq!(get(2), 20);
+        assert_eq!(computes, 2);
+        assert_eq!(cache.cached_epoch(), Some(2));
+    }
+
+    #[test]
+    fn invalidate_empties_the_slot() {
+        let cache: EpochCache<u8> = EpochCache::new();
+        cache.get_or_insert_with(7, || 1);
+        assert_eq!(cache.cached_epoch(), Some(7));
+        cache.invalidate();
+        assert_eq!(cache.cached_epoch(), None);
+        let mut recomputed = false;
+        cache.get_or_insert_with(7, || {
+            recomputed = true;
+            2
+        });
+        assert!(recomputed);
+    }
+}

@@ -15,6 +15,7 @@
 //! `M(v, G)`, and are deterministic functions of their weights and the view.
 
 pub mod appnp;
+pub mod cache;
 pub mod gat;
 pub mod gcn;
 pub mod model;
@@ -22,6 +23,7 @@ pub mod sage;
 pub mod train;
 
 pub use appnp::Appnp;
+pub use cache::EpochCache;
 pub use gat::Gat;
 pub use gcn::Gcn;
 pub use model::{accuracy, one_hot_labels, GnnModel};

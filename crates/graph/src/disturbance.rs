@@ -80,6 +80,31 @@ impl Disturbance {
     pub fn apply(&self, graph: &Graph) -> Graph {
         graph.flip_edges(&self.flips.to_vec())
     }
+
+    /// The nodes incident to any flipped pair — the seed set of the
+    /// disturbance's cache-invalidation footprint.
+    pub fn touched_nodes(&self) -> std::collections::BTreeSet<NodeId> {
+        self.flips.iter().flat_map(|(u, v)| [u, v]).collect()
+    }
+}
+
+/// The k-hop footprint of a set of disturbances: every node within `hops` of
+/// a flipped endpoint, computed on `graph` (pass the *post*-disturbance graph
+/// so chained insertions are traversed). Any L-hop receptive field, candidate
+/// neighborhood, or PPR row whose node set is disjoint from this footprint is
+/// unaffected by the disturbance up to the usual truncation error, which is
+/// what lets an engine invalidate selectively instead of flushing every cache.
+pub fn disturbance_footprint(
+    graph: &Graph,
+    disturbances: &[Disturbance],
+    hops: usize,
+) -> std::collections::BTreeSet<NodeId> {
+    let touched: Vec<NodeId> = disturbances
+        .iter()
+        .flat_map(|d| d.touched_nodes())
+        .filter(|&v| graph.contains_node(v))
+        .collect();
+    crate::traversal::k_hop_neighborhood_multi(graph, &touched, hops)
 }
 
 /// Strategy for sampling random disturbances.
@@ -309,6 +334,34 @@ mod tests {
         assert_eq!(enumerate_disturbances(&candidates, 5).len(), 0);
         // 4 singletons + 6 pairs
         assert_eq!(enumerate_disturbances_up_to(&candidates, 2).len(), 10);
+    }
+
+    #[test]
+    fn touched_nodes_are_flip_endpoints() {
+        let d = Disturbance::from_pairs([(0, 1), (2, 4)]);
+        let touched: Vec<_> = d.touched_nodes().into_iter().collect();
+        assert_eq!(touched, vec![0, 1, 2, 4]);
+        assert!(Disturbance::new().touched_nodes().is_empty());
+    }
+
+    #[test]
+    fn footprint_expands_by_hops_on_the_disturbed_graph() {
+        // path 0-1-2-3-4; flip (3,4) out, footprint at 1 hop from {3,4}
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1);
+        }
+        let d = Disturbance::from_pairs([(3, 4)]);
+        let disturbed = d.apply(&g);
+        let fp = disturbance_footprint(&disturbed, std::slice::from_ref(&d), 1);
+        // on the disturbed graph 4 is isolated, 3's 1-hop ball is {2,3}
+        assert_eq!(fp.into_iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+        let fp0 = disturbance_footprint(&disturbed, &[d], 0);
+        assert_eq!(fp0.into_iter().collect::<Vec<_>>(), vec![3, 4]);
+        // invalid endpoints are dropped rather than panicking
+        let wild = Disturbance::from_pairs([(0, 99)]);
+        let fp_w = disturbance_footprint(&g, &[wild], 1);
+        assert_eq!(fp_w.into_iter().collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]

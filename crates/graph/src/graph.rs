@@ -10,13 +10,24 @@ use crate::csr::Csr;
 use crate::edge::{norm_edge, Edge};
 use rcw_linalg::Matrix;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Node identifier. Nodes are always densely numbered `0..n`.
 pub type NodeId = usize;
 
+/// Process-wide epoch counter. Every structural or feature mutation of any
+/// graph draws a fresh value, so an epoch observed on one graph is never
+/// reused by a different mutation event — epoch equality is a sound cache
+/// key across graphs (clones share the epoch of the state they copied).
+static GRAPH_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_epoch() -> u64 {
+    GRAPH_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
 /// An attributed undirected graph.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Graph {
     adjacency: Vec<BTreeSet<NodeId>>,
     features: Vec<Vec<f64>>,
@@ -25,6 +36,18 @@ pub struct Graph {
     /// Lazily built host CSR, shared by every [`crate::view::GraphView`] over
     /// this graph (their delta-CSR base layer). Structural mutation clears it.
     csr_cache: OnceLock<Csr>,
+    /// Structural version: changes whenever the node set or edge set changes.
+    epoch: u64,
+    /// Feature version: changes whenever node features (or the node set)
+    /// change. Edge flips leave it untouched, so feature-only caches (e.g.
+    /// APPNP local logits) survive disturbances.
+    feature_epoch: u64,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::with_nodes(0)
+    }
 }
 
 impl Graph {
@@ -41,7 +64,26 @@ impl Graph {
             labels: vec![None; n],
             num_edges: 0,
             csr_cache: OnceLock::new(),
+            epoch: fresh_epoch(),
+            feature_epoch: fresh_epoch(),
         }
+    }
+
+    /// The graph's structural epoch. Two graphs reporting the same epoch have
+    /// identical node and edge sets (a clone keeps the epoch of the state it
+    /// copied; every mutation draws a globally fresh value), which makes the
+    /// epoch a sound key for structure-dependent caches such as partitions,
+    /// k-hop neighborhoods, and PPR rows.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The graph's feature epoch: like [`Graph::epoch`] but only advanced by
+    /// feature (and node-set) changes. Edge disturbances leave it untouched.
+    #[inline]
+    pub fn feature_epoch(&self) -> u64 {
+        self.feature_epoch
     }
 
     /// The host adjacency as a CSR snapshot, built on first use and reused by
@@ -53,6 +95,8 @@ impl Graph {
     /// Adds a node with the given features, returning its id.
     pub fn add_node(&mut self, features: Vec<f64>) -> NodeId {
         self.csr_cache.take();
+        self.epoch = fresh_epoch();
+        self.feature_epoch = fresh_epoch();
         self.adjacency.push(BTreeSet::new());
         self.features.push(features);
         self.labels.push(None);
@@ -106,6 +150,7 @@ impl Graph {
             self.adjacency[v].insert(u);
             self.num_edges += 1;
             self.csr_cache.take();
+            self.epoch = fresh_epoch();
         }
         inserted
     }
@@ -120,6 +165,7 @@ impl Graph {
             self.adjacency[v].remove(&u);
             self.num_edges -= 1;
             self.csr_cache.take();
+            self.epoch = fresh_epoch();
         }
         removed
     }
@@ -188,6 +234,7 @@ impl Graph {
     /// Sets the feature vector of node `v`.
     pub fn set_features(&mut self, v: NodeId, features: Vec<f64>) {
         self.features[v] = features;
+        self.feature_epoch = fresh_epoch();
     }
 
     /// Label of node `v` (if assigned).
@@ -287,15 +334,31 @@ impl Graph {
     /// the flip set is removed; a missing one is inserted.
     pub fn flip_edges(&self, flips: &[Edge]) -> Graph {
         let mut g = self.clone();
+        g.flip_edges_in_place(flips);
+        g
+    }
+
+    /// Applies a set of edge flips to this graph in place — the mutation-epoch
+    /// entry point for disturbances that actually land on the host graph
+    /// rather than on a view. Returns the number of pairs that changed state.
+    /// Invalid pairs are ignored.
+    pub fn flip_edges_in_place(&mut self, flips: &[Edge]) -> usize {
+        let mut applied = 0;
         for &(u, v) in flips {
             let (u, v) = norm_edge(u, v);
-            if g.has_edge(u, v) {
-                g.remove_edge(u, v);
-            } else if u != v && g.contains_node(u) && g.contains_node(v) {
-                g.add_edge(u, v);
+            if u == v || !self.contains_node(u) || !self.contains_node(v) {
+                continue;
+            }
+            let changed = if self.has_edge(u, v) {
+                self.remove_edge(u, v)
+            } else {
+                self.add_edge(u, v)
+            };
+            if changed {
+                applied += 1;
             }
         }
-        g
+        applied
     }
 }
 
@@ -411,5 +474,52 @@ mod tests {
         let g = triangle();
         let f = g.flip_edges(&[(0, 0), (0, 99)]);
         assert_eq!(f.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn flip_edges_in_place_counts_applied_pairs() {
+        let mut g = triangle();
+        let applied = g.flip_edges_in_place(&[(0, 1), (0, 0), (0, 99)]);
+        assert_eq!(applied, 1);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.flip_edges_in_place(&[(0, 1)]), 1, "re-insertion counts");
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn structural_epoch_advances_on_mutation_only() {
+        let mut g = triangle();
+        let e0 = g.epoch();
+        assert_eq!(g.epoch(), e0, "reads do not advance the epoch");
+        let _ = g.csr();
+        assert_eq!(g.epoch(), e0, "CSR materialization is a read");
+        g.add_edge(0, 1); // already present
+        assert_eq!(g.epoch(), e0, "no-op insert keeps the epoch");
+        g.remove_edge(1, 2);
+        let e1 = g.epoch();
+        assert_ne!(e1, e0);
+        g.add_node(vec![1.0]);
+        assert_ne!(g.epoch(), e1, "node additions are structural");
+    }
+
+    #[test]
+    fn feature_epoch_is_independent_of_edge_flips() {
+        let mut g = triangle();
+        let f0 = g.feature_epoch();
+        g.remove_edge(0, 1);
+        assert_eq!(g.feature_epoch(), f0, "edge flips keep feature caches");
+        g.set_features(0, vec![3.0]);
+        assert_ne!(g.feature_epoch(), f0);
+    }
+
+    #[test]
+    fn clones_share_epochs_until_they_diverge() {
+        let g = triangle();
+        let mut c = g.clone();
+        assert_eq!(c.epoch(), g.epoch(), "identical content, identical epoch");
+        c.remove_edge(0, 1);
+        assert_ne!(c.epoch(), g.epoch());
+        // fresh graphs never reuse an epoch value
+        assert_ne!(Graph::with_nodes(3).epoch(), Graph::with_nodes(3).epoch());
     }
 }

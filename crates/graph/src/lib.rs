@@ -26,7 +26,7 @@ pub mod view;
 
 pub use bitmap::{AdjacencyBitmap, Bitmap, VerifiedPairBitmap};
 pub use csr::Csr;
-pub use disturbance::{Disturbance, DisturbanceStrategy};
+pub use disturbance::{disturbance_footprint, Disturbance, DisturbanceStrategy};
 pub use edge::{norm_edge, Edge, EdgeSet};
 pub use ged::{edge_jaccard, ged, normalized_ged};
 pub use graph::{Graph, NodeId};

@@ -83,6 +83,66 @@ impl Partition {
         let total: usize = self.fragments.iter().map(|f| f.nodes.len()).sum();
         total as f64 / graph.num_nodes() as f64
     }
+
+    /// Repairs the partition after a disturbance that flipped pairs incident
+    /// to `touched`, instead of re-running the balanced BFS from scratch.
+    /// Node ownership is preserved (small disturbances do not warrant
+    /// re-balancing); only the border replication and edge lists of fragments
+    /// whose visible region intersects the touched set are rebuilt. Returns
+    /// the refreshed fragment ids, or `None` when the node set changed — the
+    /// caller must rebuild the partition in that case.
+    pub fn refresh_after_disturbance(
+        &mut self,
+        graph: &Graph,
+        touched: &BTreeSet<NodeId>,
+        hops: usize,
+    ) -> Option<Vec<usize>> {
+        if self.owner.len() != graph.num_nodes() {
+            return None;
+        }
+        let affected: BTreeSet<usize> = self
+            .fragments
+            .iter()
+            .filter(|f| touched.iter().any(|&v| f.covers(v)))
+            .map(|f| f.id)
+            .chain(
+                touched
+                    .iter()
+                    .map(|&v| self.owner[v])
+                    .filter(|&p| p < self.fragments.len()),
+            )
+            .collect();
+        if affected.is_empty() {
+            return Some(Vec::new());
+        }
+        // Rebuild replication for the affected fragments: reset to the owned
+        // set, then re-replicate the k-hop neighborhoods of cut-edge
+        // endpoints, exactly as the full build does.
+        for &fid in &affected {
+            let frag = &mut self.fragments[fid];
+            frag.nodes = frag.owned.clone();
+        }
+        for (u, v) in graph.edges() {
+            let (pu, pv) = (self.owner[u], self.owner[v]);
+            if pu == pv {
+                continue;
+            }
+            for &(node, part) in &[(u, pv), (v, pu)] {
+                if part < self.fragments.len() && affected.contains(&part) {
+                    let hood = k_hop_neighborhood(graph, node, hops);
+                    self.fragments[part].nodes.extend(hood);
+                }
+            }
+        }
+        for &fid in &affected {
+            let frag = &mut self.fragments[fid];
+            frag.edges = graph
+                .edges()
+                .filter(|&(u, v)| frag.nodes.contains(&u) && frag.nodes.contains(&v))
+                .collect();
+        }
+        Some(affected.into_iter().collect())
+    }
 }
 
 /// Builds an edge-cut partition into `num_parts` fragments using balanced BFS
@@ -286,5 +346,60 @@ mod tests {
     fn zero_parts_rejected() {
         let g = barabasi_albert(10, 1, 0);
         edge_cut_partition(&g, 0, 1);
+    }
+
+    #[test]
+    fn refresh_preserves_replication_invariants() {
+        let mut g = barabasi_albert(60, 2, 2);
+        let mut p = edge_cut_partition(&g, 3, 1);
+        // disturb: remove one cut edge and insert a fresh cross pair
+        let (cu, cv) = g
+            .edges()
+            .find(|&(u, v)| p.owner[u] != p.owner[v])
+            .expect("partition has a cut edge");
+        g.remove_edge(cu, cv);
+        let (iu, iv) = g
+            .non_edges()
+            .into_iter()
+            .find(|&(u, v)| p.owner[u] != p.owner[v])
+            .expect("a cross non-edge exists");
+        g.add_edge(iu, iv);
+        let touched: BTreeSet<NodeId> = [cu, cv, iu, iv].into_iter().collect();
+        let refreshed = p
+            .refresh_after_disturbance(&g, &touched, 1)
+            .expect("node set unchanged");
+        assert!(!refreshed.is_empty());
+        // the full-build invariants hold on the repaired partition
+        for (u, v) in g.edges() {
+            let (pu, pv) = (p.owner[u], p.owner[v]);
+            if pu != pv {
+                assert!(p.fragments[pu].covers(v), "{v} replicated into {pu}");
+                assert!(p.fragments[pv].covers(u), "{u} replicated into {pv}");
+            }
+        }
+        for f in &p.fragments {
+            let induced: Vec<Edge> = g
+                .edges()
+                .filter(|&(u, v)| f.nodes.contains(&u) && f.nodes.contains(&v))
+                .collect();
+            assert_eq!(f.edges, induced, "fragment {} edge list stale", f.id);
+        }
+    }
+
+    #[test]
+    fn refresh_detects_node_set_changes_and_no_op_touches() {
+        let mut g = barabasi_albert(30, 2, 5);
+        let mut p = edge_cut_partition(&g, 2, 1);
+        assert_eq!(
+            p.refresh_after_disturbance(&g, &BTreeSet::new(), 1),
+            Some(Vec::new()),
+            "empty touch set refreshes nothing"
+        );
+        g.add_node(vec![]);
+        assert_eq!(
+            p.refresh_after_disturbance(&g, &BTreeSet::new(), 1),
+            None,
+            "node additions force a rebuild"
+        );
     }
 }

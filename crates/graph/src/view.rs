@@ -181,6 +181,13 @@ impl<'g> GraphView<'g> {
         self.graph
     }
 
+    /// The host graph's structural epoch at the time of the call. Views are
+    /// overlays, so a view is only as fresh as its host: callers caching
+    /// derived state (CSRs, localities, PPR rows) key it by this value.
+    pub fn epoch(&self) -> u64 {
+        self.graph.epoch()
+    }
+
     /// Number of nodes (views never change the node set).
     pub fn num_nodes(&self) -> usize {
         self.graph.num_nodes()

@@ -10,10 +10,12 @@
 //! margin helpers take an [`rcw_gnn::Appnp`] to obtain local logits and the
 //! teleport probability.
 
+pub mod cache;
 pub mod margin;
 pub mod ppr;
 pub mod pri;
 
+pub use cache::PprCache;
 pub use margin::{margin_on_csr, margin_on_view, margin_under_disturbance, min_margin_all_classes};
 pub use ppr::{ppr_matrix_exact, ppr_row, propagation_matrix, value_function, DEFAULT_ITERS};
 pub use pri::{pri_search, truncate_to_k, PriConfig, PriResult};

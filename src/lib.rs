@@ -41,7 +41,9 @@ pub use rcw_pagerank as pagerank;
 /// Most-used types, for `use robogexp::prelude::*`.
 pub mod prelude {
     pub use rcw_baselines::{Cf2Explainer, CfGnnExplainer};
-    pub use rcw_core::{ParaRoboGExp, RcwConfig, RoboGExp, VerifyOutcome, Witness, WitnessLevel};
+    pub use rcw_core::{
+        ParaRoboGExp, RcwConfig, RoboGExp, VerifyOutcome, Witness, WitnessEngine, WitnessLevel,
+    };
     pub use rcw_datasets::{Dataset, Scale};
     pub use rcw_gnn::{Appnp, Gcn, GnnModel, TrainConfig};
     pub use rcw_graph::{EdgeSet, EdgeSubgraph, Graph, GraphView, NodeId};

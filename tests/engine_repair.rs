@@ -1,0 +1,221 @@
+//! Incremental-repair equivalence sweep: after small edge disturbances, the
+//! engine's repaired witnesses must (a) verify at the level the engine
+//! reports, (b) be at least as valid as from-scratch regeneration on the
+//! disturbed graph, and (c) stay size-comparable to the from-scratch witness
+//! — the paper's GED experiment shows witnesses barely move under
+//! disturbance, and repair exploits exactly that.
+//!
+//! The sweep runs over pinned-seed SBM graphs with both a GCN (model-agnostic
+//! sampling verification) and an APPNP (tractable policy-iteration
+//! verification), exercising both verification families through the engine.
+
+use robogexp::core::{RcwConfig, RoboGExp, VerifiableModel, WitnessEngine};
+use robogexp::graph::{generators, Disturbance, Edge};
+use robogexp::prelude::*;
+use std::sync::Arc;
+
+const SEEDS: [u64; 6] = [1, 5, 9, 13, 21, 33];
+
+fn quick_cfg(k: usize) -> RcwConfig {
+    RcwConfig {
+        k,
+        local_budget: 2,
+        candidate_hops: 2,
+        max_expand_rounds: 2,
+        sampled_disturbances: 4,
+        pri_rounds: 4,
+        ppr_iters: 20,
+        ..RcwConfig::with_budgets(k, 2)
+    }
+}
+
+/// A connected two-block SBM with block-aligned features and labels.
+fn sbm(seed: u64) -> Graph {
+    let (mut g, blocks) = generators::stochastic_block_model(&[9, 9], 0.65, 0.06, seed);
+    generators::ensure_connected(&mut g, seed);
+    for (v, &b) in blocks.iter().enumerate() {
+        let feats = if b == 0 {
+            vec![1.0, 0.0]
+        } else {
+            vec![0.0, 1.0]
+        };
+        g.set_features(v, feats);
+        g.set_label(v, b);
+    }
+    g
+}
+
+fn train_gcn(g: &Graph, seed: u64) -> Gcn {
+    let mut gcn = Gcn::new(&[2, 8, 2], seed);
+    let nodes: Vec<usize> = (0..g.num_nodes()).collect();
+    gcn.train(
+        &GraphView::full(g),
+        &nodes,
+        &TrainConfig {
+            epochs: 70,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        },
+    );
+    gcn
+}
+
+fn train_appnp(g: &Graph, seed: u64) -> Appnp {
+    let mut appnp = Appnp::new(&[2, 6, 2], 0.2, 10, seed);
+    let nodes: Vec<usize> = (0..g.num_nodes()).collect();
+    appnp.train(
+        &GraphView::full(g),
+        &nodes,
+        &TrainConfig {
+            epochs: 70,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        },
+    );
+    appnp
+}
+
+/// Two edges not protected by the witness — a small (2-pair) disturbance of
+/// the kind the paper's GED experiment applies.
+fn small_disturbance(g: &Graph, witness: &Witness) -> Option<Disturbance> {
+    let free: Vec<Edge> = g
+        .edges()
+        .filter(|&(u, v)| !witness.subgraph.contains_edge(u, v))
+        .collect();
+    if free.len() < 2 {
+        return None;
+    }
+    Some(Disturbance::from_pairs([free[0], free[free.len() / 2]]))
+}
+
+/// The shared sweep body: generate, disturb, repair through the engine;
+/// regenerate from scratch on the disturbed graph; compare.
+fn sweep<M: VerifiableModel + ?Sized>(model: &M, g: &Graph, seed: u64) {
+    let cfg = quick_cfg(1);
+    let tests = vec![0usize, g.num_nodes() - 1];
+    let mut engine = WitnessEngine::new(Arc::new(g.clone()), model, cfg.clone());
+    let original = engine.generate(&tests);
+
+    let Some(d) = small_disturbance(g, &original.witness) else {
+        return;
+    };
+    let report = engine.disturb(std::slice::from_ref(&d));
+    assert_eq!(report.flips_applied, 2, "seed {seed}: both pairs applied");
+    assert_eq!(
+        report.untouched + report.reverified + report.repaired,
+        1,
+        "seed {seed}: the stored witness was processed"
+    );
+
+    // (a) the repaired witness verifies at the level the engine reports
+    let repaired = engine.generate(&tests);
+    assert_eq!(
+        engine.stats().warm_hits,
+        1,
+        "seed {seed}: repair left the store warm"
+    );
+    let recheck = engine.verify(&repaired.witness);
+    assert_eq!(
+        recheck.level, repaired.level,
+        "seed {seed}: repaired witness must re-verify at its reported level"
+    );
+    assert!(
+        repaired.witness.subgraph.is_subgraph_of(engine.graph()),
+        "seed {seed}: repaired witness stays inside the disturbed host"
+    );
+
+    // (b) validity matches from-scratch regeneration on the disturbed graph
+    let disturbed = d.apply(g);
+    let scratch = RoboGExp::new(model, cfg).generate(&disturbed, &tests);
+    assert!(
+        repaired.level.rank() >= scratch.level.rank(),
+        "seed {seed}: repair (got {:?}) must not be weaker than regeneration ({:?})",
+        repaired.level,
+        scratch.level,
+    );
+
+    // (c) witness size within tolerance of the from-scratch witness: seeding
+    // from the old witness may keep a few extra edges, but repair must not
+    // blow the explanation up (the paper reports RCWs half the baseline size)
+    let tolerance = scratch.witness.size() + scratch.witness.size() / 2 + 4;
+    assert!(
+        repaired.witness.size() <= tolerance,
+        "seed {seed}: repaired size {} vs scratch size {} exceeds tolerance {}",
+        repaired.witness.size(),
+        scratch.witness.size(),
+        tolerance,
+    );
+}
+
+#[test]
+fn repaired_witnesses_match_regeneration_for_gcn() {
+    for seed in SEEDS {
+        let g = sbm(seed);
+        let gcn = train_gcn(&g, seed);
+        sweep(&gcn, &g, seed);
+    }
+}
+
+#[test]
+fn repaired_witnesses_match_regeneration_for_appnp() {
+    for seed in SEEDS {
+        let g = sbm(seed);
+        let appnp = train_appnp(&g, seed);
+        sweep(&appnp, &g, seed);
+    }
+}
+
+#[test]
+fn repair_survives_a_disturbance_stream() {
+    // A stream of disturbances against one engine: every repair must keep the
+    // store consistent (witness re-verifies at its recorded level) and the
+    // graph must track the accumulated flips exactly.
+    let g = sbm(17);
+    let appnp = train_appnp(&g, 17);
+    let tests = vec![1usize, g.num_nodes() - 2];
+    let mut engine = WitnessEngine::new(Arc::new(g.clone()), &appnp, quick_cfg(1));
+    engine.generate(&tests);
+
+    let mut reference = g.clone();
+    let edges = g.edge_vec();
+    for (round, chunk) in edges.chunks(3).take(4).enumerate() {
+        let witness = engine.stored(&tests).expect("stored").witness.clone();
+        let free: Vec<Edge> = chunk
+            .iter()
+            .copied()
+            .filter(|&(u, v)| !witness.subgraph.contains_edge(u, v))
+            .collect();
+        if free.is_empty() {
+            continue;
+        }
+        let d = Disturbance::from_pairs(free.iter().copied());
+        engine.disturb(std::slice::from_ref(&d));
+        reference.flip_edges_in_place(&free);
+        assert_eq!(
+            engine.graph().num_edges(),
+            reference.num_edges(),
+            "round {round}: engine graph tracks the flips"
+        );
+        let stored = engine.stored(&tests).expect("stored after disturb");
+        assert_eq!(
+            stored.epoch,
+            engine.epoch(),
+            "round {round}: store is fresh"
+        );
+        let recheck = engine.verify(&stored.witness);
+        assert_eq!(
+            recheck.level, stored.level,
+            "round {round}: stored level is truthful"
+        );
+    }
+    // after the stream, a fresh engine over the final graph agrees on validity
+    let final_graph = engine.graph().as_ref().clone();
+    let scratch = RoboGExp::for_appnp(&appnp, quick_cfg(1)).generate(&final_graph, &tests);
+    let stored = engine.stored(&tests).expect("stored");
+    assert!(
+        stored.level.rank() + 1 >= scratch.level.rank(),
+        "stream repair ({:?}) must stay within one level of regeneration ({:?})",
+        stored.level,
+        scratch.level,
+    );
+}
