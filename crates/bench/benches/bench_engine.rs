@@ -47,12 +47,12 @@ fn main() {
         // Cold: a fresh engine per call — the pre-engine one-shot cost
         // (cache build + full expand–verify search every time).
         group.bench(format!("generate/{scale_name}/cold"), || {
-            let mut engine = WitnessEngine::new(Arc::clone(&graph), model, cfg.clone());
+            let engine = WitnessEngine::new(Arc::clone(&graph), model, cfg.clone());
             engine.generate(&tests).stats.inference_calls
         });
 
         // Warm steady state: a persistent engine answering the same query.
-        let mut engine = WitnessEngine::new(Arc::clone(&graph), model, cfg.clone());
+        let engine = WitnessEngine::new(Arc::clone(&graph), model, cfg.clone());
         engine.generate(&tests);
         group.bench(format!("generate/{scale_name}/warm"), || {
             engine.generate(&tests).level
@@ -89,7 +89,7 @@ fn main() {
 
         // One-shot speedup probes for the stdout summary.
         let t0 = Instant::now();
-        let mut cold_engine = WitnessEngine::new(Arc::clone(&graph), model, cfg.clone());
+        let cold_engine = WitnessEngine::new(Arc::clone(&graph), model, cfg.clone());
         std::hint::black_box(cold_engine.generate(&tests));
         let cold_s = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();

@@ -36,7 +36,7 @@ use rcw_graph::{
 use rcw_linalg::Matrix;
 use rcw_pagerank::PprCache;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// Bound on distinct test-node sets the neighborhood cache remembers before
@@ -134,7 +134,15 @@ impl EngineCaches {
         if cache.entries.len() >= HOOD_CACHE_CAP {
             cache.entries.clear();
         }
-        cache.entries.insert(key, (epoch, Arc::clone(&hood)));
+        // Never replace a newer entry: a query still running on an old graph
+        // snapshot may land here after a disturbance already advanced the
+        // cache (epochs are process-wide monotone, so "newer" is just ">").
+        match cache.entries.get(&key) {
+            Some((e, _)) if *e > epoch => {}
+            _ => {
+                cache.entries.insert(key, (epoch, Arc::clone(&hood)));
+            }
+        }
         hood
     }
 
@@ -154,23 +162,36 @@ impl EngineCaches {
             }
         }
         let partition = Arc::new(edge_cut_partition(graph, parts, hops));
-        *slot = Some(PartitionEntry {
-            epoch: graph.epoch(),
-            parts,
-            hops,
-            partition: Arc::clone(&partition),
-        });
+        // As with the hood cache, a query on an old graph snapshot must not
+        // clobber a newer entry installed by a concurrent disturbance.
+        if !matches!(slot.as_ref(), Some(entry) if entry.epoch > graph.epoch()) {
+            *slot = Some(PartitionEntry {
+                epoch: graph.epoch(),
+                parts,
+                hops,
+                partition: Arc::clone(&partition),
+            });
+        }
         partition
     }
 
     /// Epoch-advance after a disturbance: retains every cache entry whose
     /// k-hop footprint is disjoint from the disturbed region and repairs the
     /// partition's border replication in place. `graph` is the
-    /// post-disturbance graph, `touched` the flipped pairs' endpoints,
-    /// `footprint` their `hops`-hop ball.
+    /// post-disturbance graph, `old_epoch` the epoch the disturbance was
+    /// applied against, `touched` the flipped pairs' endpoints, `footprint`
+    /// their `hops`-hop ball.
+    ///
+    /// Only entries recorded at exactly `old_epoch` are eligible for
+    /// retention: the footprint argument proves "unchanged across *this*
+    /// disturbance", which re-validates the immediately preceding epoch and
+    /// nothing else. An entry at any other epoch (e.g. inserted by a query
+    /// that raced this disturbance on an older graph snapshot) is dropped
+    /// rather than promoted.
     pub fn apply_disturbance(
         &self,
         graph: &Graph,
+        old_epoch: u64,
         touched: &BTreeSet<NodeId>,
         footprint: &BTreeSet<NodeId>,
     ) {
@@ -179,7 +200,7 @@ impl EngineCaches {
         {
             let mut cache = self.hoods.lock().expect("hood cache poisoned");
             cache.entries.retain(|_, (e, hood)| {
-                if hood.iter().any(|n| footprint.contains(n)) {
+                if *e != old_epoch || hood.iter().any(|n| footprint.contains(n)) {
                     false
                 } else {
                     *e = epoch;
@@ -190,11 +211,15 @@ impl EngineCaches {
         {
             let mut slot = self.partition.lock().expect("partition cache poisoned");
             if let Some(entry) = slot.as_mut() {
-                let repaired = Arc::make_mut(&mut entry.partition)
-                    .refresh_after_disturbance(graph, touched, entry.hops);
-                match repaired {
-                    Some(_) => entry.epoch = epoch,
-                    None => *slot = None, // node set changed: rebuild lazily
+                if entry.epoch != old_epoch {
+                    *slot = None; // stale stray from a racing query: rebuild lazily
+                } else {
+                    let repaired = Arc::make_mut(&mut entry.partition)
+                        .refresh_after_disturbance(graph, touched, entry.hops);
+                    match repaired {
+                        Some(_) => entry.epoch = epoch,
+                        None => *slot = None, // node set changed: rebuild lazily
+                    }
                 }
             }
         }
@@ -213,6 +238,27 @@ pub struct StoredWitness {
     pub level: WitnessLevel,
     /// The graph epoch the level was established under.
     pub epoch: u64,
+}
+
+/// A coherent point-in-time picture of a live engine, taken under the store
+/// lock: counters, store occupancy, and cache epochs together. This is the
+/// payload a serving layer exposes on its stats endpoint.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    /// Engine-lifetime counters at snapshot time.
+    pub stats: EngineStats,
+    /// Witnesses currently stored.
+    pub stored: usize,
+    /// The host graph's mutation epoch.
+    pub epoch: u64,
+    /// The host graph's feature epoch (APPNP logit cache key).
+    pub feature_epoch: u64,
+    /// Lifetime hits of the k-hop neighborhood cache.
+    pub hood_hits: usize,
+    /// Lifetime misses of the k-hop neighborhood cache.
+    pub hood_misses: usize,
+    /// Workers per query.
+    pub workers: usize,
 }
 
 /// Engine-lifetime counters.
@@ -257,6 +303,14 @@ pub struct DisturbReport {
 /// `generate(test_nodes)` queries and `disturb(..)` mutations for the rest of
 /// the process lifetime.
 ///
+/// Every entry point takes `&self`: the store, the counters, and the host
+/// graph sit behind their own locks, so one engine instance can be shared
+/// across a serving layer's worker threads (`WitnessEngine` is `Sync`).
+/// Queries snapshot the `Arc`'d graph and run lock-free; `disturb` swaps the
+/// graph copy-on-write and repairs the store while holding the store lock, so
+/// concurrent queries observe either the pre- or the post-disturbance state,
+/// never a half-repaired one.
+///
 /// ```
 /// use rcw_core::{RcwConfig, WitnessEngine};
 /// use rcw_gnn::{Appnp, GnnModel, TrainConfig};
@@ -276,7 +330,7 @@ pub struct DisturbReport {
 /// let nodes: Vec<usize> = (0..8).collect();
 /// appnp.train(&GraphView::full(&g), &nodes, &TrainConfig::default());
 ///
-/// let mut engine = WitnessEngine::new(Arc::new(g), &appnp, RcwConfig::with_budgets(1, 1));
+/// let engine = WitnessEngine::new(Arc::new(g), &appnp, RcwConfig::with_budgets(1, 1));
 /// let first = engine.generate(&[0]);
 /// let warm = engine.generate(&[0]); // answered from the store
 /// assert_eq!(first.witness, warm.witness);
@@ -287,13 +341,13 @@ pub struct DisturbReport {
 /// assert!(repaired.witness.subgraph.contains_node(0));
 /// ```
 pub struct WitnessEngine<'m, M: VerifiableModel + ?Sized = dyn GnnModel> {
-    graph: Arc<Graph>,
+    graph: RwLock<Arc<Graph>>,
     model: &'m M,
     cfg: RcwConfig,
     workers: usize,
     caches: EngineCaches,
-    store: BTreeMap<Vec<NodeId>, StoredWitness>,
-    stats: EngineStats,
+    store: Mutex<BTreeMap<Vec<NodeId>, StoredWitness>>,
+    stats: Mutex<EngineStats>,
 }
 
 impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
@@ -305,13 +359,13 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
         graph.csr(); // engine-lifetime CSR, shared by every view and worker
         let caches = EngineCaches::new(&cfg);
         WitnessEngine {
-            graph,
+            graph: RwLock::new(graph),
             model,
             cfg,
             workers: 1,
             caches,
-            store: BTreeMap::new(),
-            stats: EngineStats::default(),
+            store: Mutex::new(BTreeMap::new()),
+            stats: Mutex::new(EngineStats::default()),
         }
     }
 
@@ -321,14 +375,21 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
         self.workers = workers.max(1);
         if self.workers > 1 {
             let hops = self.model.as_gnn().num_layers().max(1);
-            self.caches.partition(&self.graph, self.workers, hops);
+            let graph = self.graph_snapshot();
+            self.caches.partition(&graph, self.workers, hops);
         }
         self
     }
 
-    /// The engine's current host graph.
-    pub fn graph(&self) -> &Arc<Graph> {
-        &self.graph
+    /// A snapshot of the engine's current host graph. Cheap (`Arc` clone);
+    /// a concurrent [`WitnessEngine::disturb`] replaces the engine's graph
+    /// but never mutates a snapshot already handed out.
+    pub fn graph(&self) -> Arc<Graph> {
+        self.graph_snapshot()
+    }
+
+    fn graph_snapshot(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph.read().expect("engine graph lock poisoned"))
     }
 
     /// The configuration every query runs under.
@@ -343,12 +404,37 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
 
     /// The host graph's current mutation epoch.
     pub fn epoch(&self) -> u64 {
-        self.graph.epoch()
+        self.graph_snapshot().epoch()
     }
 
-    /// Engine-lifetime counters.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// A copy of the engine-lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+            .lock()
+            .expect("engine stats lock poisoned")
+            .clone()
+    }
+
+    /// A coherent point-in-time picture of the engine: counters, store
+    /// occupancy, epochs, and cache hit rates, taken under the store lock so
+    /// a concurrent `disturb` cannot tear it.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let store = self.store.lock().expect("engine store lock poisoned");
+        let graph = self.graph_snapshot();
+        let (hood_hits, hood_misses) = self.caches.hood_stats();
+        EngineSnapshot {
+            stats: self
+                .stats
+                .lock()
+                .expect("engine stats lock poisoned")
+                .clone(),
+            stored: store.len(),
+            epoch: graph.epoch(),
+            feature_epoch: graph.feature_epoch(),
+            hood_hits,
+            hood_misses,
+            workers: self.workers,
+        }
     }
 
     /// The shared cache tier (for inspection and tests).
@@ -356,27 +442,35 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
         &self.caches
     }
 
-    /// The stored witness for a test-node set, if one exists.
-    pub fn stored(&self, test_nodes: &[NodeId]) -> Option<&StoredWitness> {
-        self.store.get(&store_key(test_nodes))
+    /// A copy of the stored witness for a test-node set, if one exists.
+    pub fn stored(&self, test_nodes: &[NodeId]) -> Option<StoredWitness> {
+        self.store
+            .lock()
+            .expect("engine store lock poisoned")
+            .get(&store_key(test_nodes))
+            .cloned()
     }
 
     /// Number of witnesses currently stored.
     pub fn stored_count(&self) -> usize {
-        self.store.len()
+        self.store.lock().expect("engine store lock poisoned").len()
     }
 
     /// Drops all stored witnesses (queries become cold again; the shared
     /// immutable tier is unaffected).
-    pub fn clear_store(&mut self) {
-        self.store.clear();
+    pub fn clear_store(&self) {
+        self.store
+            .lock()
+            .expect("engine store lock poisoned")
+            .clear();
     }
 
-    /// Verifies a witness against the engine's graph and model through the
-    /// shared tier.
+    /// Verifies a witness against the engine's current graph and model
+    /// through the shared tier.
     pub fn verify(&self, witness: &Witness) -> crate::witness::VerifyOutcome {
+        let graph = self.graph_snapshot();
         self.model
-            .verify_rcw_shared(&self.graph, witness, &self.cfg, &self.caches)
+            .verify_rcw_shared(&graph, witness, &self.cfg, &self.caches)
     }
 
     /// Generates (or returns the stored) witness for `test_nodes`.
@@ -386,50 +480,73 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
     ///   one map lookup plus a label remap.
     /// * A stored witness from an older epoch seeds the search (repair).
     /// * Otherwise a full session runs, and the result is stored.
-    pub fn generate(&mut self, test_nodes: &[NodeId]) -> GenerationResult {
-        self.stats.queries += 1;
+    pub fn generate(&self, test_nodes: &[NodeId]) -> GenerationResult {
+        self.stats
+            .lock()
+            .expect("engine stats lock poisoned")
+            .queries += 1;
         let key = store_key(test_nodes);
-        let epoch = self.graph.epoch();
-        if let Some(stored) = self.store.get(&key) {
-            if stored.epoch == epoch {
-                self.stats.warm_hits += 1;
-                // Remap to the caller's node order: the store key is
-                // canonical (sorted, deduped) but the result must pair
-                // nodes and labels exactly as the cold path would.
-                let labels: Vec<usize> = test_nodes
-                    .iter()
-                    .map(|&v| {
-                        stored
-                            .witness
-                            .label_of(v)
-                            .expect("store key guarantees node membership")
-                    })
-                    .collect();
-                let witness =
-                    Witness::new(stored.witness.subgraph.clone(), test_nodes.to_vec(), labels);
-                let nontrivial = witness.is_nontrivial(&self.graph);
-                return GenerationResult {
-                    witness,
-                    level: stored.level,
-                    nontrivial,
-                    stats: GenerationStats::default(),
-                };
+        // Graph and store are read together under the store lock so a
+        // concurrent `disturb` (which holds it while swapping the graph and
+        // repairing) cannot interleave a half-updated pair.
+        let (graph, epoch, seed) = {
+            let store = self.store.lock().expect("engine store lock poisoned");
+            let graph = self.graph_snapshot();
+            let epoch = graph.epoch();
+            if let Some(stored) = store.get(&key) {
+                if stored.epoch == epoch {
+                    self.stats
+                        .lock()
+                        .expect("engine stats lock poisoned")
+                        .warm_hits += 1;
+                    // Remap to the caller's node order: the store key is
+                    // canonical (sorted, deduped) but the result must pair
+                    // nodes and labels exactly as the cold path would.
+                    let labels: Vec<usize> = test_nodes
+                        .iter()
+                        .map(|&v| {
+                            stored
+                                .witness
+                                .label_of(v)
+                                .expect("store key guarantees node membership")
+                        })
+                        .collect();
+                    let witness =
+                        Witness::new(stored.witness.subgraph.clone(), test_nodes.to_vec(), labels);
+                    let nontrivial = witness.is_nontrivial(&graph);
+                    return GenerationResult {
+                        witness,
+                        level: stored.level,
+                        nontrivial,
+                        stats: GenerationStats::default(),
+                    };
+                }
             }
+            // Repair-on-read fallback: a stale stored witness seeds the
+            // session. `disturb` eagerly re-tags or repairs every stored
+            // witness, so this fires only when a query raced a disturbance
+            // (it keeps `generate` correct on its own rather than by
+            // `disturb`'s courtesy).
+            let seed = store
+                .get(&key)
+                .map(|stored| stored.witness.subgraph.clone());
+            (graph, epoch, seed)
+        };
+        // The session runs without any engine lock held: concurrent queries
+        // proceed in parallel, each on its own graph snapshot.
+        let result = self.run_session(&graph, test_nodes, seed.as_ref());
+        self.stats
+            .lock()
+            .expect("engine stats lock poisoned")
+            .sessions_run += 1;
+        let mut store = self.store.lock().expect("engine store lock poisoned");
+        if store.len() >= WITNESS_STORE_CAP && !store.contains_key(&key) {
+            store.clear();
         }
-        // Repair-on-read fallback: a stale stored witness seeds the session.
-        // Today `disturb` eagerly re-tags or repairs every stored witness, so
-        // this only fires for mutation paths added in the future (it keeps
-        // `generate` correct on its own rather than by `disturb`'s courtesy).
-        let seed = self
-            .store
-            .get(&key)
-            .map(|stored| stored.witness.subgraph.clone());
-        let result = self.run_session(test_nodes, seed.as_ref());
-        self.stats.sessions_run += 1;
-        if self.store.len() >= WITNESS_STORE_CAP && !self.store.contains_key(&key) {
-            self.store.clear();
-        }
-        self.store.insert(
+        // Tagged with the epoch of the snapshot the session actually ran on:
+        // if a disturbance landed meanwhile, the entry is already stale and
+        // the next query repairs it.
+        store.insert(
             key,
             StoredWitness {
                 witness: result.witness.clone(),
@@ -445,32 +562,64 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
     /// footprint intersects the disturbed region, and repairs every stored
     /// witness: re-verify under the new graph; only witnesses that fail
     /// re-enter the search, seeded from their old subgraph.
-    pub fn disturb(&mut self, disturbances: &[Disturbance]) -> DisturbReport {
+    pub fn disturb(&self, disturbances: &[Disturbance]) -> DisturbReport {
+        // The store lock is held for the whole call, making the graph swap +
+        // repair sweep one atomic step from a query's point of view: queries
+        // already past the store check finish on their pre-disturbance
+        // snapshot, while new queries — warm hits included — block on the
+        // store lock until the sweep completes and then see the repaired
+        // store. Disturbances therefore pause the query stream for the sweep
+        // duration; that latency cliff is the price of never serving a
+        // half-repaired store.
+        let mut store = self.store.lock().expect("engine store lock poisoned");
         let mut touched: BTreeSet<NodeId> = BTreeSet::new();
         let mut flips_applied = 0usize;
-        {
-            let graph = Arc::make_mut(&mut self.graph);
-            for d in disturbances {
-                let pairs = d.pairs().to_vec();
-                flips_applied += graph.flip_edges_in_place(&pairs);
-                touched.extend(
-                    d.touched_nodes()
-                        .into_iter()
-                        .filter(|&v| graph.contains_node(v)),
-                );
+        let (graph, old_epoch): (Arc<Graph>, u64) = {
+            let mut guard = self.graph.write().expect("engine graph lock poisoned");
+            let old_epoch = guard.epoch();
+            // A valid pair (distinct, existing endpoints) always toggles, so
+            // this test is exactly "will any flip apply" — and when none
+            // will, the copy-on-write clone below is skipped entirely (a
+            // served engine always has snapshot `Arc`s outstanding, so
+            // `make_mut` would deep-copy the host graph on every no-op).
+            let any_valid = disturbances.iter().any(|d| {
+                d.pairs()
+                    .iter()
+                    .any(|(u, v)| u != v && guard.contains_node(u) && guard.contains_node(v))
+            });
+            if any_valid {
+                // Copy-on-write: snapshots handed to in-flight queries keep
+                // the old graph; the engine's slot gets the flipped clone.
+                let graph = Arc::make_mut(&mut guard);
+                for d in disturbances {
+                    let pairs = d.pairs().to_vec();
+                    flips_applied += graph.flip_edges_in_place(&pairs);
+                    touched.extend(
+                        d.touched_nodes()
+                            .into_iter()
+                            .filter(|&v| graph.contains_node(v)),
+                    );
+                }
             }
+            (Arc::clone(&guard), old_epoch)
+        };
+        {
+            let mut stats = self.stats.lock().expect("engine stats lock poisoned");
+            stats.flips_applied += flips_applied;
         }
-        self.stats.flips_applied += flips_applied;
-        let epoch = self.graph.epoch();
+        let epoch = graph.epoch();
         if flips_applied == 0 {
             // Nothing changed structurally (all pairs invalid): the epoch did
             // not move, every cache stays live, stored witnesses stay valid.
-            self.stats.repairs_skipped += self.store.len();
+            self.stats
+                .lock()
+                .expect("engine stats lock poisoned")
+                .repairs_skipped += store.len();
             return DisturbReport {
                 epoch,
                 flips_applied,
                 footprint_size: 0,
-                untouched: self.store.len(),
+                untouched: store.len(),
                 reverified: 0,
                 repaired: 0,
                 stats: GenerationStats::default(),
@@ -483,9 +632,9 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
             .as_gnn()
             .receptive_hops()
             .max(self.cfg.candidate_hops);
-        let footprint = disturbance_footprint(&self.graph, disturbances, radius);
+        let footprint = disturbance_footprint(&graph, disturbances, radius);
         self.caches
-            .apply_disturbance(&self.graph, &touched, &footprint);
+            .apply_disturbance(&graph, old_epoch, &touched, &footprint);
 
         let mut report = DisturbReport {
             epoch,
@@ -498,15 +647,13 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
         };
 
         let repair_start = Instant::now();
-        let keys: Vec<Vec<NodeId>> = self.store.keys().cloned().collect();
+        let keys: Vec<Vec<NodeId>> = store.keys().cloned().collect();
         for key in keys {
-            let mut stored = self.store.remove(&key).expect("key just listed");
+            let mut stored = store.remove(&key).expect("key just listed");
             // Witnesses whose candidate region the disturbance cannot reach
             // keep their verification verdict (up to the verifier's own
             // truncation): skip them entirely.
-            let hood = self
-                .caches
-                .hood(&self.graph, &stored.witness.test_nodes, radius);
+            let hood = self.caches.hood(&graph, &stored.witness.test_nodes, radius);
             let edge_touched = stored
                 .witness
                 .edges()
@@ -515,8 +662,11 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
             if !edge_touched && hood.iter().all(|n| !footprint.contains(n)) {
                 stored.epoch = epoch;
                 report.untouched += 1;
-                self.stats.repairs_skipped += 1;
-                self.store.insert(key, stored);
+                self.stats
+                    .lock()
+                    .expect("engine stats lock poisoned")
+                    .repairs_skipped += 1;
+                store.insert(key, stored);
                 continue;
             }
 
@@ -524,11 +674,11 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
             // session applies, so re-verify and seeded re-search start from
             // the identical subgraph — and refresh the labels.
             let pruned = session::seeded_subgraph(
-                &self.graph,
+                &graph,
                 &stored.witness.test_nodes,
                 Some(&stored.witness.subgraph),
             );
-            let full = GraphView::full(&self.graph);
+            let full = GraphView::full(&graph);
             let gnn = self.model.as_gnn();
             let labels: Vec<usize> = stored
                 .witness
@@ -540,7 +690,9 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                 })
                 .collect();
             let witness = Witness::new(pruned, stored.witness.test_nodes.clone(), labels);
-            let outcome = self.verify(&witness);
+            let outcome = self
+                .model
+                .verify_rcw_shared(&graph, &witness, &self.cfg, &self.caches);
             report.stats.inference_calls += outcome.inference_calls;
             report.stats.disturbances_verified += outcome.disturbances_checked;
             if outcome.level.rank() >= stored.level.rank() {
@@ -548,8 +700,11 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                 stored.level = outcome.level;
                 stored.epoch = epoch;
                 report.reverified += 1;
-                self.stats.repairs_reverified += 1;
-                self.store.insert(key, stored);
+                self.stats
+                    .lock()
+                    .expect("engine stats lock poisoned")
+                    .repairs_reverified += 1;
+                store.insert(key, stored);
                 continue;
             }
 
@@ -557,13 +712,16 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
             // from it, so nodes that still verify exit after a couple of
             // localized checks and only the broken parts are rebuilt.
             let test_nodes = witness.test_nodes.clone();
-            let result = self.run_session(&test_nodes, Some(&witness.subgraph));
+            let result = self.run_session(&graph, &test_nodes, Some(&witness.subgraph));
             report.stats.inference_calls += result.stats.inference_calls;
             report.stats.disturbances_verified += result.stats.disturbances_verified;
             report.stats.expand_rounds += result.stats.expand_rounds;
             report.repaired += 1;
-            self.stats.repairs_searched += 1;
-            self.store.insert(
+            self.stats
+                .lock()
+                .expect("engine stats lock poisoned")
+                .repairs_searched += 1;
+            store.insert(
                 key,
                 StoredWitness {
                     witness: result.witness,
@@ -578,13 +736,14 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
 
     fn run_session(
         &self,
+        graph: &Arc<Graph>,
         test_nodes: &[NodeId],
         seed: Option<&rcw_graph::EdgeSubgraph>,
     ) -> GenerationResult {
         if self.workers > 1 {
             session::run_parallel(
                 self.model,
-                &self.graph,
+                graph,
                 &self.caches,
                 &self.cfg,
                 self.workers,
@@ -593,14 +752,7 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
             )
             .result
         } else {
-            session::run_sequential(
-                self.model,
-                &self.graph,
-                &self.caches,
-                &self.cfg,
-                test_nodes,
-                seed,
-            )
+            session::run_sequential(self.model, graph, &self.caches, &self.cfg, test_nodes, seed)
         }
     }
 }
@@ -662,7 +814,7 @@ mod tests {
     #[test]
     fn warm_queries_are_store_hits_matching_the_cold_result() {
         let (g, gcn, _appnp, tests) = setup();
-        let mut engine = WitnessEngine::new(Arc::clone(&g), &gcn, quick_cfg());
+        let engine = WitnessEngine::new(Arc::clone(&g), &gcn, quick_cfg());
         let cold = engine.generate(&tests);
         let warm = engine.generate(&tests);
         assert_eq!(cold.witness, warm.witness);
@@ -687,7 +839,7 @@ mod tests {
     fn engine_matches_the_one_shot_driver() {
         let (g, gcn, _appnp, tests) = setup();
         let cfg = quick_cfg();
-        let mut engine = WitnessEngine::new(Arc::clone(&g), &gcn, cfg.clone());
+        let engine = WitnessEngine::new(Arc::clone(&g), &gcn, cfg.clone());
         let from_engine = engine.generate(&tests);
         let from_driver = crate::RoboGExp::for_model(&gcn, cfg).generate(&g, &tests);
         assert_eq!(from_engine.witness, from_driver.witness);
@@ -697,7 +849,7 @@ mod tests {
     #[test]
     fn disturb_applies_flips_and_repairs_the_store() {
         let (g, _gcn, appnp, tests) = setup();
-        let mut engine = WitnessEngine::new(Arc::clone(&g), &appnp, quick_cfg());
+        let engine = WitnessEngine::new(Arc::clone(&g), &appnp, quick_cfg());
         let before = engine.generate(&tests);
         let epoch_before = engine.epoch();
         // flip an edge that is not protected by the witness
@@ -724,13 +876,24 @@ mod tests {
     #[test]
     fn empty_disturbance_is_a_cheap_no_op() {
         let (g, gcn, _appnp, tests) = setup();
-        let mut engine = WitnessEngine::new(Arc::clone(&g), &gcn, quick_cfg());
+        let engine = WitnessEngine::new(Arc::clone(&g), &gcn, quick_cfg());
         engine.generate(&tests);
         let epoch = engine.epoch();
-        let report = engine.disturb(&[Disturbance::new()]);
+        let before = engine.graph();
+        // all-invalid pairs (empty, self-loop, missing endpoint) must not
+        // trigger the copy-on-write clone: the graph Arc stays the same
+        // allocation even though `g` and `before` keep it shared
+        let report = engine.disturb(&[
+            Disturbance::new(),
+            Disturbance::from_pairs([(1, 1), (0, 9999)]),
+        ]);
         assert_eq!(report.flips_applied, 0);
         assert_eq!(report.untouched, 1);
         assert_eq!(engine.epoch(), epoch, "no flip, no epoch change");
+        assert!(
+            Arc::ptr_eq(&before, &engine.graph()),
+            "no-op disturb must not deep-clone the host graph"
+        );
         engine.generate(&tests);
         assert_eq!(engine.stats().warm_hits, 1);
     }
@@ -758,7 +921,7 @@ mod tests {
                 ..TrainConfig::default()
             },
         );
-        let mut engine = WitnessEngine::new(Arc::new(g), &gcn, quick_cfg());
+        let engine = WitnessEngine::new(Arc::new(g), &gcn, quick_cfg());
         engine.generate(&[1]);
         let report = engine.disturb(&[Disturbance::from_pairs([(22, 23)])]);
         assert_eq!(report.untouched, 1, "far witness untouched");
@@ -778,9 +941,85 @@ mod tests {
     }
 
     #[test]
+    fn engine_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WitnessEngine<'static, dyn GnnModel>>();
+        assert_send_sync::<WitnessEngine<'static, Gcn>>();
+
+        let (g, gcn, _appnp, tests) = setup();
+        let engine = WitnessEngine::new(Arc::clone(&g), &gcn, quick_cfg());
+        let baseline = engine.generate(&tests);
+        // several threads query the same engine through &self; all observe
+        // the stored witness
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let engine_ref = &engine;
+                let tests_ref = &tests;
+                let expected = &baseline;
+                scope.spawn(move || {
+                    let got = engine_ref.generate(tests_ref);
+                    assert_eq!(got.witness, expected.witness);
+                    assert_eq!(got.level, expected.level);
+                });
+            }
+        });
+        assert_eq!(engine.stats().warm_hits, 3);
+        assert_eq!(engine.stats().queries, 4);
+    }
+
+    #[test]
+    fn concurrent_queries_and_disturbances_stay_coherent() {
+        let (g, _gcn, appnp, tests) = setup();
+        let engine = WitnessEngine::new(Arc::clone(&g), &appnp, quick_cfg());
+        engine.generate(&tests);
+        let flips: Vec<_> = g
+            .edges()
+            .filter(|&(u, v)| {
+                let stored = engine.stored(&tests).unwrap();
+                !stored.witness.subgraph.contains_edge(u, v)
+            })
+            .take(2)
+            .collect();
+        std::thread::scope(|scope| {
+            let engine_ref = &engine;
+            let tests_ref = &tests;
+            scope.spawn(move || {
+                for &flip in &flips {
+                    engine_ref.disturb(&[Disturbance::from_pairs([flip])]);
+                }
+            });
+            for _ in 0..2 {
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        let out = engine_ref.generate(tests_ref);
+                        // every answer is a witness over *some* engine epoch:
+                        // it contains the test nodes and carries their labels
+                        for &t in tests_ref {
+                            assert!(out.witness.subgraph.contains_node(t));
+                            assert!(out.witness.label_of(t).is_some());
+                        }
+                    }
+                });
+            }
+        });
+        // After the dust settles, one more query repairs any entry a racing
+        // session tagged with a pre-disturbance epoch; the store is then
+        // fresh and truthful.
+        engine.generate(&tests);
+        let stored = engine.stored(&tests).expect("stored witness survives");
+        assert_eq!(stored.epoch, engine.epoch());
+        let recheck = engine.verify(&stored.witness);
+        assert_eq!(recheck.level, stored.level);
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch, engine.epoch());
+        assert_eq!(snap.stored, 1);
+        assert!(snap.stats.queries >= 9);
+    }
+
+    #[test]
     fn parallel_engine_produces_verifiable_witnesses() {
         let (g, _gcn, appnp, tests) = setup();
-        let mut engine = WitnessEngine::new(Arc::clone(&g), &appnp, quick_cfg()).with_workers(2);
+        let engine = WitnessEngine::new(Arc::clone(&g), &appnp, quick_cfg()).with_workers(2);
         assert_eq!(engine.workers(), 2);
         let out = engine.generate(&tests);
         for &t in &tests {

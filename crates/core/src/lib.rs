@@ -62,7 +62,9 @@ pub mod verify_appnp;
 pub mod witness;
 
 pub use config::RcwConfig;
-pub use engine::{DisturbReport, EngineCaches, EngineStats, StoredWitness, WitnessEngine};
+pub use engine::{
+    DisturbReport, EngineCaches, EngineSnapshot, EngineStats, StoredWitness, WitnessEngine,
+};
 pub use generate::{robogexp, robogexp_appnp, GenerationResult, GenerationStats, RoboGExp};
 pub use model::{DisturbanceSearch, VerifiableModel};
 pub use parallel::{ParaRoboGExp, ParallelGenerationResult, ParallelStats};

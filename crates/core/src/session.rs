@@ -227,23 +227,18 @@ fn ensure_counterfactual(
 
     // Score every candidate by how much removing it (together with the
     // current witness) hurts the label's margin — the pairs "most likely
-    // to change the label if flipped" that Procedure Expand targets. Each
-    // trial view is the shared remainder view plus one extra removal (a
-    // single override), scored through the batched localized entry point.
+    // to change the label if flipped" that Procedure Expand targets. Every
+    // trial view is the shared remainder view plus one extra removal, so
+    // the batched entry point shares a single receptive-field ball across
+    // the whole pool instead of re-running BFS per candidate.
     let base_removed = GraphView::without(graph, subgraph.edges());
-    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
-    let mut trial_views: Vec<GraphView<'_>> = Vec::new();
-    for &(a, b) in &candidates {
-        if subgraph.contains_edge(a, b) || !graph.has_edge(a, b) {
-            continue;
-        }
-        let mut view = base_removed.clone();
-        view.remove_edge(a, b);
-        pairs.push((a, b));
-        trial_views.push(view);
-    }
-    stats.inference_calls += trial_views.len();
-    let margins = model.margin_many(v, label, &trial_views);
+    let pairs: Vec<(NodeId, NodeId)> = candidates
+        .iter()
+        .copied()
+        .filter(|&(a, b)| !subgraph.contains_edge(a, b) && graph.has_edge(a, b))
+        .collect();
+    stats.inference_calls += pairs.len();
+    let margins = model.margin_many_removed(v, label, &base_removed, &pairs);
     let mut scored: Vec<(f64, (NodeId, NodeId))> = margins.into_iter().zip(pairs).collect();
     scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
 

@@ -87,14 +87,58 @@ pub trait GnnModel: Send + Sync {
         margin_of_row(&row, label)
     }
 
-    /// Batched margins of one node across many candidate views — the
-    /// generator's candidate-scoring loop. The default evaluates each view's
-    /// receptive field independently; models with a shared-state trick may
-    /// override.
+    /// Batched margins of one node across many candidate views. The default
+    /// evaluates each view's receptive field independently; models with a
+    /// shared-state trick may override. Callers whose views differ from one
+    /// base view by a single edge removal each should prefer
+    /// [`GnnModel::margin_many_removed`], which shares one receptive-field
+    /// ball across the whole batch.
     fn margin_many(&self, v: NodeId, label: usize, views: &[GraphView<'_>]) -> Vec<f64> {
         views
             .iter()
             .map(|view| self.margin(v, label, view))
+            .collect()
+    }
+
+    /// Batched margins of `v` toward `label` across single-edge-removal
+    /// variants of one `base` view — the generator's candidate-scoring loop,
+    /// where trial views differ from the base only by one removed edge each.
+    ///
+    /// Instead of one BFS ball per variant, the base ball is built once and
+    /// every variant is derived from it ([`Locality::minus_edge`]): same node
+    /// set, features, and row schedule; only the removed arcs and endpoint
+    /// degrees change. Removals can only shrink the receptive field, so the
+    /// shared ball stays a superset of each variant's and the result is
+    /// bit-exact against `margin` on an explicitly built variant view.
+    /// Removals that do not touch the ball cannot move the center's logits
+    /// and collapse to one shared base evaluation.
+    ///
+    /// Every removal must be an edge visible in `base`.
+    fn margin_many_removed(
+        &self,
+        v: NodeId,
+        label: usize,
+        base: &GraphView<'_>,
+        removals: &[(NodeId, NodeId)],
+    ) -> Vec<f64> {
+        let local = Locality::build(base, v, self.receptive_hops());
+        let x = local_features(base.graph(), local.nodes(), self.feature_dim());
+        let mut base_row: Option<Vec<f64>> = None;
+        removals
+            .iter()
+            .map(|&(a, b)| {
+                if !local.contains(a) && !local.contains(b) {
+                    let row = base_row.get_or_insert_with(|| {
+                        let z = self.forward(&local.forward_ctx(), &x);
+                        z.row(local.center_index()).to_vec()
+                    });
+                    margin_of_row(row, label)
+                } else {
+                    let variant = local.minus_edge(a, b);
+                    let z = self.forward(&variant.forward_ctx(), &x);
+                    margin_of_row(z.row(variant.center_index()), label)
+                }
+            })
             .collect()
     }
 }

@@ -53,6 +53,25 @@ impl Csr {
         Csr { offsets, targets }
     }
 
+    /// A copy of this CSR with the arcs `u -> v` and `v -> u` removed
+    /// (absent arcs are a no-op). Neighbor order of every surviving arc is
+    /// preserved, so downstream floating-point reductions stay bit-stable.
+    pub fn minus_arc_pair(&self, u: NodeId, v: NodeId) -> Csr {
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        let mut targets = Vec::with_capacity(self.targets.len());
+        offsets.push(0);
+        for i in 0..self.num_nodes() {
+            for &t in self.neighbors(i) {
+                if (i == u && t == v) || (i == v && t == u) {
+                    continue;
+                }
+                targets.push(t);
+            }
+            offsets.push(targets.len());
+        }
+        Csr { offsets, targets }
+    }
+
     /// Builds a CSR snapshot directly from adjacency lists.
     pub fn from_adjacency(adj: &[Vec<NodeId>]) -> Self {
         let mut offsets = Vec::with_capacity(adj.len() + 1);

@@ -142,6 +142,43 @@ impl Locality {
         &self.nodes
     }
 
+    /// Whether host node `v` lies inside the ball.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// A variant of this ball with one view-visible edge `(a, b)` removed:
+    /// the same node set and row schedule, the `(a, b)` arcs dropped from the
+    /// induced CSR, and the true degrees of in-ball endpoints decremented.
+    /// An edge that does not touch the ball yields a plain clone.
+    ///
+    /// Sound for *removals only*: deleting an edge can only lengthen BFS
+    /// distances, so this ball stays a superset of the variant view's true
+    /// receptive field and the shared distance schedule stays conservative —
+    /// a forward pass over the variant is bit-exact against a pass over
+    /// `Locality::build` of the variant view (same reduction orders, same
+    /// true degrees). The caller must pass an edge that is visible in the
+    /// view the ball was built from; removing an absent edge would corrupt
+    /// the recorded degrees.
+    pub fn minus_edge(&self, a: NodeId, b: NodeId) -> Locality {
+        let la = self.nodes.binary_search(&a).ok();
+        let lb = self.nodes.binary_search(&b).ok();
+        let mut out = self.clone();
+        if la.is_none() && lb.is_none() {
+            return out;
+        }
+        if let Some(i) = la {
+            out.degrees[i] -= 1.0;
+        }
+        if let Some(j) = lb {
+            out.degrees[j] -= 1.0;
+        }
+        if let (Some(i), Some(j)) = (la, lb) {
+            out.csr = out.csr.minus_arc_pair(i, j);
+        }
+        out
+    }
+
     /// Local index of the center node.
     pub fn center_index(&self) -> usize {
         self.center

@@ -58,19 +58,26 @@ impl PprCache {
     }
 
     /// Returns the PPR row of `v` over `csr`, valid for `epoch`. A cached row
-    /// is returned when its epoch matches; an epoch mismatch flushes the
-    /// whole cache first (callers that can bound the disturbance use
-    /// [`PprCache::advance_epoch`] beforehand to retain unaffected rows).
+    /// is returned when its epoch matches. An *unknown newer* epoch flushes
+    /// the whole cache first (callers that can bound the disturbance use
+    /// [`PprCache::advance_epoch`] beforehand to retain unaffected rows). A
+    /// *stale* epoch — a query still running on a pre-disturbance graph
+    /// snapshot while the cache has already advanced — computes the row
+    /// without touching the cache, so a racing reader cannot wipe the rows
+    /// `advance_epoch` deliberately retained (graph epochs come from a
+    /// monotone process-wide counter, so "stale" is simply `<`).
     pub fn row(&self, csr: &Csr, v: NodeId, epoch: u64) -> Arc<Vec<f64>> {
         {
             let mut inner = self.inner.lock().expect("PprCache lock poisoned");
-            if inner.epoch != epoch {
+            if inner.epoch < epoch {
                 inner.rows.clear();
                 inner.epoch = epoch;
             }
-            if let Some(row) = inner.rows.get(&v).map(Arc::clone) {
-                inner.hits += 1;
-                return row;
+            if inner.epoch == epoch {
+                if let Some(row) = inner.rows.get(&v).map(Arc::clone) {
+                    inner.hits += 1;
+                    return row;
+                }
             }
             inner.misses += 1;
         }
@@ -167,6 +174,29 @@ mod tests {
         // retained row now serves the new epoch without recomputation
         let (hits_before, _) = cache.stats();
         cache.row(&csr, 0, g.epoch() + 1);
+        assert_eq!(cache.stats().0, hits_before + 1);
+    }
+
+    #[test]
+    fn stale_epoch_reads_compute_without_wiping_retained_rows() {
+        // A query on a pre-disturbance snapshot races an engine whose cache
+        // already advanced: the stale read must neither be served from the
+        // newer cache nor destroy what advance_epoch retained.
+        let g = generators::erdos_renyi(12, 0.4, 5);
+        let csr = csr_of(&g);
+        let cache = PprCache::new(0.2, 30);
+        let old_epoch = g.epoch();
+        let retained = cache.row(&csr, 0, old_epoch);
+        cache.advance_epoch(old_epoch + 1, &BTreeSet::new());
+        assert_eq!(cache.len(), 1);
+        // stale read: correct values, cache untouched
+        let stale = cache.row(&csr, 0, old_epoch);
+        assert_eq!(*stale, *retained);
+        assert!(!Arc::ptr_eq(&stale, &retained), "not served from the cache");
+        assert_eq!(cache.len(), 1, "retained row survived the stale read");
+        // the retained row still serves the new epoch as a hit
+        let (hits_before, _) = cache.stats();
+        cache.row(&csr, 0, old_epoch + 1);
         assert_eq!(cache.stats().0, hits_before + 1);
     }
 

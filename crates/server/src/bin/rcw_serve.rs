@@ -1,0 +1,164 @@
+//! `rcw_serve` — stand up a [`rcw_server::RcwServer`] over a trained model.
+//!
+//! Builds the CiteSeer stand-in at the requested scale, trains the requested
+//! classifier deterministically, and serves witness queries until a
+//! `POST /shutdown` arrives:
+//!
+//! ```text
+//! rcw_serve [--addr 127.0.0.1:0] [--workers 4] [--scale tiny|small|full]
+//!           [--model appnp|gcn] [--seed 7] [--k 2]
+//! ```
+//!
+//! The bound address is printed as the first stdout line
+//! (`rcw-serve listening on http://HOST:PORT`), so callers binding port 0 can
+//! discover the ephemeral port — the smoke test does exactly that.
+
+use rcw_core::{RcwConfig, VerifiableModel, WitnessEngine};
+use rcw_datasets::{citeseer, Scale};
+use rcw_server::RcwServer;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    addr: String,
+    workers: usize,
+    scale: Scale,
+    model: String,
+    seed: u64,
+    k: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        scale: Scale::Tiny,
+        model: "appnp".to_string(),
+        seed: 7,
+        k: 2,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "invalid --workers".to_string())?
+            }
+            "--scale" => {
+                opts.scale = match value("--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale '{other}'")),
+                }
+            }
+            "--model" => opts.model = value("--model")?,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed".to_string())?
+            }
+            "--k" => {
+                opts.k = value("--k")?
+                    .parse()
+                    .map_err(|_| "invalid --k".to_string())?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: rcw_serve [--addr A] [--workers N] [--scale tiny|small|full] \
+                            [--model appnp|gcn] [--seed S] [--k K]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn serve_config(k: usize) -> RcwConfig {
+    RcwConfig {
+        k,
+        local_budget: 2,
+        candidate_hops: 2,
+        max_expand_rounds: 3,
+        sampled_disturbances: 6,
+        pri_rounds: 4,
+        ppr_iters: 20,
+        ..RcwConfig::default()
+    }
+}
+
+fn run<M: VerifiableModel + ?Sized>(engine: &WitnessEngine<'_, M>, opts: &Options) -> ExitCode {
+    let server = match RcwServer::bind(&opts.addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("rcw-serve: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // First stdout line is machine-readable: callers on port 0 parse the
+    // ephemeral port from it.
+    println!("rcw-serve listening on http://{}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    match server.serve(engine, opts.workers) {
+        Ok(report) => {
+            println!(
+                "rcw-serve: shut down after {} requests over {} connections {:?}",
+                report.requests_total(),
+                report.connections,
+                report.requests_per_worker,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rcw-serve: serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("rcw-serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ds = citeseer::build(opts.scale, opts.seed);
+    eprintln!(
+        "rcw-serve: dataset {} (|V|={}, |E|={}), training {}...",
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        opts.model,
+    );
+    let graph = Arc::new(ds.graph.clone());
+    let cfg = serve_config(opts.k);
+    // The model lives for the rest of the process: leak it to get the
+    // 'static borrow the engine wants.
+    match opts.model.as_str() {
+        "appnp" => {
+            let appnp = Box::leak(Box::new(ds.train_appnp(16, opts.seed)));
+            let engine = WitnessEngine::new(graph, appnp, cfg);
+            run(&engine, &opts)
+        }
+        "gcn" => {
+            let gcn = Box::leak(Box::new(ds.train_gcn(16, opts.seed)));
+            let engine = WitnessEngine::new(graph, gcn, cfg);
+            run(&engine, &opts)
+        }
+        other => {
+            eprintln!("rcw-serve: unknown model '{other}' (use appnp or gcn)");
+            ExitCode::FAILURE
+        }
+    }
+}

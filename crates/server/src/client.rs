@@ -1,0 +1,221 @@
+//! A small blocking client for the witness-serving wire format.
+//!
+//! Used by the in-crate end-to-end tests and the smoke test that drives the
+//! `rcw_serve` binary; it doubles as executable documentation of the wire
+//! format. One client holds one kept-alive connection.
+
+use crate::http::MAX_BODY_BYTES;
+use crate::wire::{self, Json, WireError};
+use rcw_core::{DisturbReport, EngineSnapshot, GenerationResult};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side failure: transport errors and protocol/decoding errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The response could not be parsed, or the server answered an error
+    /// status; carries the status code and the body/description.
+    Protocol(u16, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(status, message) => {
+                write!(f, "protocol error (status {status}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Protocol(200, e.to_string())
+    }
+}
+
+/// A blocking client over one kept-alive connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+impl Client {
+    /// Connects to a server address like `127.0.0.1:8080`.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            host: addr.to_string(),
+        })
+    }
+
+    /// Issues one request and returns `(status, parsed body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Json), ClientError> {
+        let body_text = body.map(|b| b.encode()).unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            self.host,
+            body_text.len(),
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body_text.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<(u16, Json), ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(0, "connection closed".to_string()));
+        }
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(0, format!("bad status line '{line}'")))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Protocol(
+                    status,
+                    "truncated headers".to_string(),
+                ));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| ClientError::Protocol(status, "bad content-length".into()))?;
+                    if content_length > MAX_BODY_BYTES {
+                        return Err(ClientError::Protocol(status, "body too large".into()));
+                    }
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body)
+            .map_err(|_| ClientError::Protocol(status, "body is not utf-8".into()))?;
+        let value = Json::parse(text.trim_end())
+            .map_err(|e| ClientError::Protocol(status, e.to_string()))?;
+        Ok((status, value))
+    }
+
+    fn expect_ok(&mut self, status: u16, body: Json) -> Result<Json, ClientError> {
+        if status == 200 {
+            Ok(body)
+        } else {
+            let message = body
+                .get("error")
+                .and_then(|e| e.as_str().ok().map(str::to_string))
+                .unwrap_or_else(|| body.encode());
+            Err(ClientError::Protocol(status, message))
+        }
+    }
+
+    /// `GET /healthz`; returns the reported epoch.
+    pub fn healthz(&mut self) -> Result<u64, ClientError> {
+        let (status, body) = self.request("GET", "/healthz", None)?;
+        let body = self.expect_ok(status, body)?;
+        Ok(body.field("epoch")?.as_u64()?)
+    }
+
+    /// `POST /generate` for one test-node set.
+    pub fn generate(&mut self, nodes: &[usize]) -> Result<GenerationResult, ClientError> {
+        let body = Json::obj([("nodes", Json::nums(nodes.iter().copied()))]);
+        let (status, reply) = self.request("POST", "/generate", Some(&body))?;
+        let reply = self.expect_ok(status, reply)?;
+        Ok(wire::generation_from_json(&reply)?)
+    }
+
+    /// `POST /generate_batch` for several test-node sets.
+    pub fn generate_batch(
+        &mut self,
+        queries: &[Vec<usize>],
+    ) -> Result<Vec<GenerationResult>, ClientError> {
+        let body = Json::obj([(
+            "queries",
+            Json::Arr(
+                queries
+                    .iter()
+                    .map(|nodes| Json::nums(nodes.iter().copied()))
+                    .collect(),
+            ),
+        )]);
+        let (status, reply) = self.request("POST", "/generate_batch", Some(&body))?;
+        let reply = self.expect_ok(status, reply)?;
+        reply
+            .field("results")?
+            .as_arr()?
+            .iter()
+            .map(|r| wire::generation_from_json(r).map_err(ClientError::from))
+            .collect()
+    }
+
+    /// `POST /disturb` with a batch of edge flips.
+    pub fn disturb(&mut self, flips: &[(usize, usize)]) -> Result<DisturbReport, ClientError> {
+        let body = Json::obj([(
+            "flips",
+            Json::Arr(
+                flips
+                    .iter()
+                    .map(|&(u, v)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]))
+                    .collect(),
+            ),
+        )]);
+        let (status, reply) = self.request("POST", "/disturb", Some(&body))?;
+        let reply = self.expect_ok(status, reply)?;
+        Ok(wire::disturb_report_from_json(&reply)?)
+    }
+
+    /// `GET /stats`; returns the engine snapshot plus per-worker request
+    /// counts.
+    pub fn stats(&mut self) -> Result<(EngineSnapshot, Vec<usize>), ClientError> {
+        let (status, reply) = self.request("GET", "/stats", None)?;
+        let reply = self.expect_ok(status, reply)?;
+        let snapshot = wire::snapshot_from_json(reply.field("engine")?)?;
+        let per_worker = reply
+            .field("server")?
+            .field("requests_per_worker")?
+            .as_arr()?
+            .iter()
+            .map(|x| x.as_usize())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((snapshot, per_worker))
+    }
+
+    /// `POST /shutdown`: asks the server to stop gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let (status, body) = self.request("POST", "/shutdown", None)?;
+        self.expect_ok(status, body)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,249 @@
+//! Minimal HTTP/1.1 framing over `std::net` streams.
+//!
+//! Just enough of the protocol for the witness-serving wire format: request
+//! line + headers + `Content-Length`-framed bodies in, status line + fixed
+//! headers + body out, with keep-alive connections. Transfer encodings,
+//! multipart bodies, and the rest of HTTP are deliberately out of scope —
+//! requests using them get a clean `400`, not undefined behavior.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest request body accepted, a guard against memory exhaustion from a
+/// hostile peer. Generous: the biggest legitimate payload (a batch of
+/// test-node sets) is a few kilobytes.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// A parsed request: method, path, body, and whether the peer asked for the
+/// connection to close after the response.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercased by the peer (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (`/generate`, `/stats?verbose=1`, ...). Query strings are
+    /// kept verbatim; the router splits them off.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// `Connection: close` was requested.
+    pub close: bool,
+}
+
+/// Why reading a request did not produce one.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Ok(Request),
+    /// The peer closed the connection before sending a request line.
+    Closed,
+    /// The bytes were not a well-formed request; the description is safe to
+    /// echo back in a 400 response.
+    Malformed(String),
+}
+
+/// Reads one request from a buffered stream.
+pub fn read_request(stream: &mut impl BufRead) -> io::Result<ReadOutcome> {
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+    if read_head_line(stream, &mut line, &mut head_bytes)? == 0 {
+        return Ok(ReadOutcome::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m.to_string(), p.to_string(), v),
+        _ => return Ok(ReadOutcome::Malformed("bad request line".to_string())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        line.clear();
+        if read_head_line(stream, &mut line, &mut head_bytes)? == 0 {
+            return Ok(ReadOutcome::Malformed("truncated headers".to_string()));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(format!("bad header '{trimmed}'")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                Ok(_) => return Ok(ReadOutcome::Malformed("body too large".to_string())),
+                Err(_) => return Ok(ReadOutcome::Malformed("bad content-length".to_string())),
+            },
+            "connection" => close = value.eq_ignore_ascii_case("close"),
+            "transfer-encoding" => {
+                return Ok(ReadOutcome::Malformed(
+                    "transfer-encoding not supported".to_string(),
+                ))
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        io::Read::read_exact(stream, &mut body)?;
+    }
+    Ok(ReadOutcome::Ok(Request {
+        method,
+        path,
+        body,
+        close,
+    }))
+}
+
+/// `read_line` with a cumulative size guard; returns the bytes read.
+fn read_head_line(
+    stream: &mut impl BufRead,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> io::Result<usize> {
+    let n = stream.read_line(line)?;
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request head too large",
+        ));
+    }
+    Ok(n)
+}
+
+/// A response ready to be written: status code and JSON body.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always `application/json` on this wire).
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn ok(body: String) -> Self {
+        Response { status: 200, body }
+    }
+
+    /// An error response carrying `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = crate::wire::Json::obj([("error", crate::wire::Json::Str(message.to_string()))])
+            .encode();
+        Response { status, body }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a response. The body is newline-terminated so `nc`/`curl` sessions
+/// stay line-oriented.
+pub fn write_response(stream: &mut impl Write, response: &Response, close: bool) -> io::Result<()> {
+    let mut body = response.body.clone();
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> ReadOutcome {
+        read_request(&mut BufReader::new(bytes)).unwrap()
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /generate HTTP/1.1\r\ncontent-length: 15\r\n\r\n{\"nodes\":[1,2]}";
+        match parse(raw) {
+            ReadOutcome::Ok(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/generate");
+                assert_eq!(req.body, b"{\"nodes\":[1,2]}");
+                assert!(!req.close);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_bodyless_get_and_connection_close() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        match parse(raw) {
+            ReadOutcome::Ok(req) => {
+                assert_eq!(req.method, "GET");
+                assert_eq!(req.path, "/healthz");
+                assert!(req.body.is_empty());
+                assert!(req.close);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_is_closed_and_garbage_is_malformed() {
+        assert!(matches!(parse(b""), ReadOutcome::Closed));
+        assert!(matches!(
+            parse(b"NOT HTTP\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2.0\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\ncontent-length: zebra\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn response_writer_frames_with_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::ok("{\"ok\":true}".to_string()), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 12\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}\n"));
+    }
+}

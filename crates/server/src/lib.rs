@@ -1,0 +1,374 @@
+//! # rcw-server
+//!
+//! A std-only concurrent serving layer in front of
+//! [`rcw_core::WitnessEngine`]: hand-rolled HTTP/1.1 over
+//! `std::net::TcpListener`, a fixed worker-thread pool, and a line-oriented
+//! JSON wire format ([`wire`]) — no external crates, matching the rest of the
+//! workspace.
+//!
+//! | endpoint | method | body | answer |
+//! |---|---|---|---|
+//! | `/generate` | POST | `{"nodes": [v, ...]}` | witness + level + stats |
+//! | `/generate_batch` | POST | `{"queries": [[v, ...], ...]}` | `{"results": [...]}` |
+//! | `/disturb` | POST | `{"flips": [[u, v], ...]}` | [`rcw_core::DisturbReport`] |
+//! | `/stats` | GET | — | engine snapshot + per-worker request counts |
+//! | `/healthz` | GET | — | `{"ok": true, "epoch": n}` |
+//! | `/shutdown` | POST | — | `{"ok": true}`, then graceful stop |
+//!
+//! The engine is shared by reference: every worker answers queries through
+//! `&WitnessEngine` (the engine's own locks keep the store and graph
+//! coherent), so the pool adds no serialization beyond what the engine
+//! requires. Shutdown is graceful: in-flight requests finish, the pool
+//! drains, and [`RcwServer::serve`] returns a [`ServeReport`] with the
+//! per-worker request counts.
+
+pub mod client;
+pub mod http;
+pub mod wire;
+
+use http::{read_request, write_response, ReadOutcome, Request, Response};
+use rcw_core::{VerifiableModel, WitnessEngine};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+use wire::Json;
+
+/// How long a worker waits for the next request on a kept-alive connection
+/// before dropping it — bounds how long an idle peer can pin a worker and
+/// how long graceful shutdown can take.
+const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A bound listener, ready to serve an engine.
+pub struct RcwServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+/// What a completed [`RcwServer::serve`] run did.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Requests answered by each worker of the pool.
+    pub requests_per_worker: Vec<usize>,
+    /// Connections accepted and served (the shutdown wake-up connection is
+    /// dropped unserved and not counted).
+    pub connections: usize,
+}
+
+impl ServeReport {
+    /// Total requests answered across the pool.
+    pub fn requests_total(&self) -> usize {
+        self.requests_per_worker.iter().sum()
+    }
+}
+
+impl RcwServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> std::io::Result<RcwServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(RcwServer { listener, addr })
+    }
+
+    /// The bound address (resolves the actual port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves the engine until a `/shutdown` request arrives: accepts
+    /// connections on the calling thread and answers requests on a fixed pool
+    /// of `workers` threads sharing the engine by reference.
+    pub fn serve<M: VerifiableModel + ?Sized>(
+        self,
+        engine: &WitnessEngine<'_, M>,
+        workers: usize,
+    ) -> std::io::Result<ServeReport> {
+        let workers = workers.max(1);
+        let shutdown = AtomicBool::new(false);
+        let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        let mut connections = 0usize;
+
+        std::thread::scope(|scope| {
+            for wid in 0..workers {
+                let rx = &rx;
+                let counts = &counts;
+                let shutdown = &shutdown;
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only for the pop, not while
+                    // serving, so the pool keeps draining in parallel.
+                    let next = rx.lock().expect("server queue lock poisoned").recv();
+                    match next {
+                        Ok(stream) => {
+                            serve_connection(stream, engine, wid, counts, shutdown, self.addr)
+                        }
+                        Err(_) => break, // acceptor gone: pool drains and exits
+                    }
+                });
+            }
+            for stream in self.listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        connections += 1;
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            drop(tx); // close the queue: workers finish in-flight work and exit
+        });
+
+        Ok(ServeReport {
+            requests_per_worker: counts.iter().map(|c| c.load(Ordering::SeqCst)).collect(),
+            connections,
+        })
+    }
+}
+
+/// Serves one (kept-alive) connection to completion.
+fn serve_connection<M: VerifiableModel + ?Sized>(
+    stream: TcpStream,
+    engine: &WitnessEngine<'_, M>,
+    wid: usize,
+    counts: &[AtomicUsize],
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(Some(IDLE_READ_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(ReadOutcome::Ok(request)) => request,
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Malformed(message)) => {
+                let _ = write_response(&mut writer, &Response::error(400, &message), true);
+                return;
+            }
+            Err(_) => return, // timeout or broken pipe: drop the connection
+        };
+        counts[wid].fetch_add(1, Ordering::SeqCst);
+        // A panicking handler must not take the whole pool down: answer 500
+        // and keep serving.
+        let outcome = catch_unwind(AssertUnwindSafe(|| route(&request, engine, counts)));
+        let (response, stop_after) = match outcome {
+            Ok(pair) => pair,
+            Err(_) => (Response::error(500, "internal error"), false),
+        };
+        // Once shutdown is flagged (by this request or concurrently by
+        // another worker), finish this response but close the connection:
+        // otherwise an actively-requesting kept-alive peer would keep its
+        // worker looping here and defer `serve`'s pool join indefinitely.
+        let close = request.close || stop_after || shutdown.load(Ordering::SeqCst);
+        if write_response(&mut writer, &response, close).is_err() {
+            return;
+        }
+        if stop_after {
+            // Graceful stop: flag the acceptor, then wake it with a no-op
+            // connection so its blocking accept returns.
+            shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(wake_addr(addr));
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// The address the shutdown wake-up connection targets: the bound address,
+/// with wildcard IPs (`0.0.0.0` / `::`) mapped to the loopback of the same
+/// family — a wildcard is listenable but not reliably connectable.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        let loopback: std::net::IpAddr = match addr {
+            SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+            SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+        };
+        SocketAddr::new(loopback, addr.port())
+    } else {
+        addr
+    }
+}
+
+/// Routes one request. Returns the response and whether the server should
+/// stop after sending it.
+fn route<M: VerifiableModel + ?Sized>(
+    request: &Request,
+    engine: &WitnessEngine<'_, M>,
+    counts: &[AtomicUsize],
+) -> (Response, bool) {
+    let path = request.path.split('?').next().unwrap_or("");
+    let response = match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Response::ok(
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("epoch", Json::num(engine.epoch())),
+            ])
+            .encode(),
+        ),
+        ("GET", "/stats") => handle_stats(engine, counts),
+        ("POST", "/generate") => handle_generate(request, engine),
+        ("POST", "/generate_batch") => handle_generate_batch(request, engine),
+        ("POST", "/disturb") => handle_disturb(request, engine),
+        ("POST", "/shutdown") => {
+            return (
+                Response::ok(Json::obj([("ok", Json::Bool(true))]).encode()),
+                true,
+            )
+        }
+        (
+            method,
+            "/healthz" | "/stats" | "/generate" | "/generate_batch" | "/disturb" | "/shutdown",
+        ) => Response::error(405, &format!("method {method} not allowed for {path}")),
+        _ => Response::error(404, &format!("no route for {path}")),
+    };
+    (response, false)
+}
+
+fn parse_body(request: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| Response::error(400, "body is not utf-8"))?;
+    Json::parse(text).map_err(|e| Response::error(400, &e.to_string()))
+}
+
+/// Pulls and validates a test-node set against the engine's graph, so
+/// invalid queries become a 400 instead of a worker panic.
+fn parse_nodes(value: &Json, num_nodes: usize) -> Result<Vec<usize>, Response> {
+    let nodes = value
+        .as_arr()
+        .and_then(|items| {
+            items
+                .iter()
+                .map(|x| x.as_usize())
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .map_err(|e| Response::error(400, &e.to_string()))?;
+    if nodes.is_empty() {
+        return Err(Response::error(400, "empty test-node set"));
+    }
+    if let Some(&bad) = nodes.iter().find(|&&v| v >= num_nodes) {
+        return Err(Response::error(
+            400,
+            &format!("node {bad} out of range (graph has {num_nodes} nodes)"),
+        ));
+    }
+    Ok(nodes)
+}
+
+fn handle_generate<M: VerifiableModel + ?Sized>(
+    request: &Request,
+    engine: &WitnessEngine<'_, M>,
+) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let num_nodes = engine.graph().num_nodes();
+    let nodes = match body
+        .field("nodes")
+        .map_err(|e| Response::error(400, &e.to_string()))
+    {
+        Ok(v) => match parse_nodes(v, num_nodes) {
+            Ok(nodes) => nodes,
+            Err(r) => return r,
+        },
+        Err(r) => return r,
+    };
+    let result = engine.generate(&nodes);
+    Response::ok(wire::generation_to_json(&result).encode())
+}
+
+fn handle_generate_batch<M: VerifiableModel + ?Sized>(
+    request: &Request,
+    engine: &WitnessEngine<'_, M>,
+) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let queries = match body
+        .field("queries")
+        .and_then(|q| q.as_arr())
+        .map_err(|e| Response::error(400, &e.to_string()))
+    {
+        Ok(q) => q,
+        Err(r) => return r,
+    };
+    let num_nodes = engine.graph().num_nodes();
+    // Validate the whole batch before generating anything: a batch is
+    // answered all-or-nothing.
+    let mut parsed = Vec::with_capacity(queries.len());
+    for query in queries {
+        match parse_nodes(query, num_nodes) {
+            Ok(nodes) => parsed.push(nodes),
+            Err(r) => return r,
+        }
+    }
+    let results: Vec<Json> = parsed
+        .iter()
+        .map(|nodes| wire::generation_to_json(&engine.generate(nodes)))
+        .collect();
+    Response::ok(Json::obj([("results", Json::Arr(results))]).encode())
+}
+
+fn handle_disturb<M: VerifiableModel + ?Sized>(
+    request: &Request,
+    engine: &WitnessEngine<'_, M>,
+) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    // Either one disturbance ({"flips": [...]}) or a batch
+    // ({"disturbances": [{"flips": [...]}, ...]}).
+    let decoded = if body.get("disturbances").is_some() {
+        body.field("disturbances")
+            .and_then(|ds| ds.as_arr())
+            .and_then(|ds| ds.iter().map(wire::disturbance_from_json).collect())
+    } else {
+        wire::disturbance_from_json(&body).map(|d| vec![d])
+    };
+    let disturbances = match decoded {
+        Ok(ds) => ds,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let report = engine.disturb(&disturbances);
+    Response::ok(wire::disturb_report_to_json(&report).encode())
+}
+
+fn handle_stats<M: VerifiableModel + ?Sized>(
+    engine: &WitnessEngine<'_, M>,
+    counts: &[AtomicUsize],
+) -> Response {
+    let snapshot = engine.snapshot();
+    let per_worker: Vec<Json> = counts
+        .iter()
+        .map(|c| Json::Num(c.load(Ordering::SeqCst) as f64))
+        .collect();
+    Response::ok(
+        Json::obj([
+            ("engine", wire::snapshot_to_json(&snapshot)),
+            (
+                "server",
+                Json::obj([
+                    ("workers", Json::num(counts.len() as u64)),
+                    ("requests_per_worker", Json::Arr(per_worker)),
+                ]),
+            ),
+        ])
+        .encode(),
+    )
+}

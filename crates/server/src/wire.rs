@@ -1,0 +1,722 @@
+//! The line-oriented JSON wire format.
+//!
+//! The workspace builds without external crates, so both halves of the codec
+//! are hand-rolled here: a small [`Json`] value type with a recursive-descent
+//! parser and serializer, and on top of it the first public, stable
+//! serialization of the domain types a serving layer exchanges —
+//! [`Witness`], [`Disturbance`], [`EngineStats`] / [`EngineSnapshot`],
+//! [`DisturbReport`], and generation results.
+//!
+//! Encodings are stable by construction: object keys are written in a fixed
+//! order, integers are emitted without a fractional part, and every decoder
+//! rejects malformed input with a positioned [`WireError`] instead of
+//! panicking — the server feeds it untrusted bytes.
+
+use rcw_core::{DisturbReport, EngineSnapshot, EngineStats, GenerationResult, WitnessLevel};
+use rcw_core::{GenerationStats, Witness};
+use rcw_graph::{Disturbance, EdgeSubgraph, NodeId};
+use std::fmt;
+use std::time::Duration;
+
+/// Maximum nesting depth the parser accepts — far above anything the wire
+/// format produces, low enough that hostile input cannot overflow the stack.
+const MAX_DEPTH: usize = 64;
+
+/// Error produced when parsing or decoding wire data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset of the offending input, when known.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(pos: usize, message: impl Into<String>) -> Self {
+        WireError {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// A decode-level error (no meaningful byte position).
+    pub fn decode(message: impl Into<String>) -> Self {
+        WireError::new(0, message)
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A JSON value. Objects preserve insertion order so encodings are stable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key–value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document (must be a single value, whole input).
+    pub fn parse(text: &str) -> Result<Json, WireError> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(WireError::new(p.pos, "trailing characters after value"));
+        }
+        Ok(v)
+    }
+
+    /// Serializes the value to compact JSON.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *x as i64));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Field lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required-field lookup, with a decode error naming the key.
+    pub fn field(&self, key: &str) -> Result<&Json, WireError> {
+        self.get(key)
+            .ok_or_else(|| WireError::decode(format!("missing field '{key}'")))
+    }
+
+    /// The value as a float.
+    pub fn as_f64(&self) -> Result<f64, WireError> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            other => Err(WireError::decode(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractional numbers).
+    pub fn as_u64(&self) -> Result<u64, WireError> {
+        let x = self.as_f64()?;
+        if x < 0.0 || x.fract() != 0.0 || x > 9.0e15 {
+            return Err(WireError::decode(format!(
+                "expected non-negative integer, got {x}"
+            )));
+        }
+        Ok(x as u64)
+    }
+
+    /// The value as a `usize`.
+    pub fn as_usize(&self) -> Result<usize, WireError> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Result<bool, WireError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(WireError::decode(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, WireError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(WireError::decode(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Json], WireError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(WireError::decode(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Convenience: an object from key–value pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience: a number from any unsigned integer.
+    pub fn num(x: impl Into<u64>) -> Json {
+        Json::Num(x.into() as f64)
+    }
+
+    /// Convenience: an array of `usize` values.
+    pub fn nums(xs: impl IntoIterator<Item = usize>) -> Json {
+        Json::Arr(xs.into_iter().map(|x| Json::Num(x as f64)).collect())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(WireError::new(
+                self.pos,
+                format!("expected '{}'", b as char),
+            ))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::new(self.pos, "nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(WireError::new(self.pos, "unexpected end of input")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(WireError::new(
+                self.pos,
+                format!("unexpected character '{}'", c as char),
+            )),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, WireError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(WireError::new(self.pos, format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| WireError::new(start, "invalid number bytes"))?;
+        let x: f64 = text
+            .parse()
+            .map_err(|_| WireError::new(start, format!("invalid number '{text}'")))?;
+        if !x.is_finite() {
+            return Err(WireError::new(start, "non-finite number"));
+        }
+        Ok(Json::Num(x))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(WireError::new(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(WireError::new(self.pos, "truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| WireError::new(self.pos, "invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| WireError::new(self.pos, "invalid \\u escape"))?;
+                            // Surrogate pairs are not needed by this wire
+                            // format; reject them instead of mis-decoding.
+                            let c = char::from_u32(code).ok_or_else(|| {
+                                WireError::new(self.pos, "unsupported \\u code point")
+                            })?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(WireError::new(self.pos, "invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so boundaries
+                    // are valid; find the next char boundary).
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| WireError::new(self.pos, "invalid utf-8"))?;
+                    out.push_str(chunk);
+                    self.pos += chunk.len();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, WireError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(WireError::new(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, WireError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(WireError::new(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain encodings
+// ---------------------------------------------------------------------------
+
+fn edges_to_json(edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Json {
+    Json::Arr(
+        edges
+            .into_iter()
+            .map(|(u, v)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]))
+            .collect(),
+    )
+}
+
+fn edges_from_json(value: &Json) -> Result<Vec<(NodeId, NodeId)>, WireError> {
+    value
+        .as_arr()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return Err(WireError::decode("edge must be a [u, v] pair"));
+            }
+            Ok((pair[0].as_usize()?, pair[1].as_usize()?))
+        })
+        .collect()
+}
+
+fn usizes_from_json(value: &Json) -> Result<Vec<usize>, WireError> {
+    value.as_arr()?.iter().map(|x| x.as_usize()).collect()
+}
+
+/// Stable string form of a [`WitnessLevel`].
+pub fn level_to_str(level: WitnessLevel) -> &'static str {
+    match level {
+        WitnessLevel::NotAWitness => "not_a_witness",
+        WitnessLevel::Factual => "factual",
+        WitnessLevel::Counterfactual => "counterfactual",
+        WitnessLevel::Robust => "robust",
+    }
+}
+
+/// Parses the string form of a [`WitnessLevel`].
+pub fn level_from_str(s: &str) -> Result<WitnessLevel, WireError> {
+    match s {
+        "not_a_witness" => Ok(WitnessLevel::NotAWitness),
+        "factual" => Ok(WitnessLevel::Factual),
+        "counterfactual" => Ok(WitnessLevel::Counterfactual),
+        "robust" => Ok(WitnessLevel::Robust),
+        other => Err(WireError::decode(format!(
+            "unknown witness level '{other}'"
+        ))),
+    }
+}
+
+/// Encodes a [`Witness`]: explicit node and edge sets plus the test-node /
+/// label pairing.
+pub fn witness_to_json(w: &Witness) -> Json {
+    Json::obj([
+        ("nodes", Json::nums(w.subgraph.nodes().iter().copied())),
+        ("edges", edges_to_json(w.subgraph.edges().iter())),
+        ("test_nodes", Json::nums(w.test_nodes.iter().copied())),
+        ("labels", Json::nums(w.labels.iter().copied())),
+    ])
+}
+
+/// Decodes a [`Witness`].
+pub fn witness_from_json(value: &Json) -> Result<Witness, WireError> {
+    let nodes = usizes_from_json(value.field("nodes")?)?;
+    let edges = edges_from_json(value.field("edges")?)?;
+    let test_nodes = usizes_from_json(value.field("test_nodes")?)?;
+    let labels = usizes_from_json(value.field("labels")?)?;
+    if test_nodes.len() != labels.len() {
+        return Err(WireError::decode(
+            "test_nodes and labels must have equal length",
+        ));
+    }
+    if edges.iter().any(|&(u, v)| u == v) {
+        return Err(WireError::decode("self-loop edge in witness"));
+    }
+    let mut subgraph = EdgeSubgraph::from_edges(edges);
+    for v in nodes {
+        subgraph.add_node(v);
+    }
+    Ok(Witness::new(subgraph, test_nodes, labels))
+}
+
+/// Encodes a [`Disturbance`] as its flipped pairs.
+pub fn disturbance_to_json(d: &Disturbance) -> Json {
+    Json::obj([("flips", edges_to_json(d.pairs().iter()))])
+}
+
+/// Decodes a [`Disturbance`], rejecting self-loop flips.
+pub fn disturbance_from_json(value: &Json) -> Result<Disturbance, WireError> {
+    let flips = edges_from_json(value.field("flips")?)?;
+    if flips.iter().any(|&(u, v)| u == v) {
+        return Err(WireError::decode("self-loop flip in disturbance"));
+    }
+    Ok(Disturbance::from_pairs(flips))
+}
+
+/// Encodes [`EngineStats`].
+pub fn engine_stats_to_json(s: &EngineStats) -> Json {
+    Json::obj([
+        ("queries", Json::num(s.queries as u64)),
+        ("warm_hits", Json::num(s.warm_hits as u64)),
+        ("sessions_run", Json::num(s.sessions_run as u64)),
+        ("flips_applied", Json::num(s.flips_applied as u64)),
+        ("repairs_skipped", Json::num(s.repairs_skipped as u64)),
+        ("repairs_reverified", Json::num(s.repairs_reverified as u64)),
+        ("repairs_searched", Json::num(s.repairs_searched as u64)),
+    ])
+}
+
+/// Decodes [`EngineStats`].
+pub fn engine_stats_from_json(value: &Json) -> Result<EngineStats, WireError> {
+    Ok(EngineStats {
+        queries: value.field("queries")?.as_usize()?,
+        warm_hits: value.field("warm_hits")?.as_usize()?,
+        sessions_run: value.field("sessions_run")?.as_usize()?,
+        flips_applied: value.field("flips_applied")?.as_usize()?,
+        repairs_skipped: value.field("repairs_skipped")?.as_usize()?,
+        repairs_reverified: value.field("repairs_reverified")?.as_usize()?,
+        repairs_searched: value.field("repairs_searched")?.as_usize()?,
+    })
+}
+
+/// Encodes an [`EngineSnapshot`].
+pub fn snapshot_to_json(s: &EngineSnapshot) -> Json {
+    Json::obj([
+        ("stats", engine_stats_to_json(&s.stats)),
+        ("stored", Json::num(s.stored as u64)),
+        ("epoch", Json::num(s.epoch)),
+        ("feature_epoch", Json::num(s.feature_epoch)),
+        ("hood_hits", Json::num(s.hood_hits as u64)),
+        ("hood_misses", Json::num(s.hood_misses as u64)),
+        ("workers", Json::num(s.workers as u64)),
+    ])
+}
+
+/// Decodes an [`EngineSnapshot`].
+pub fn snapshot_from_json(value: &Json) -> Result<EngineSnapshot, WireError> {
+    Ok(EngineSnapshot {
+        stats: engine_stats_from_json(value.field("stats")?)?,
+        stored: value.field("stored")?.as_usize()?,
+        epoch: value.field("epoch")?.as_u64()?,
+        feature_epoch: value.field("feature_epoch")?.as_u64()?,
+        hood_hits: value.field("hood_hits")?.as_usize()?,
+        hood_misses: value.field("hood_misses")?.as_usize()?,
+        workers: value.field("workers")?.as_usize()?,
+    })
+}
+
+fn generation_stats_to_json(s: &GenerationStats) -> Json {
+    Json::obj([
+        ("inference_calls", Json::num(s.inference_calls as u64)),
+        (
+            "disturbances_verified",
+            Json::num(s.disturbances_verified as u64),
+        ),
+        ("expand_rounds", Json::num(s.expand_rounds as u64)),
+        ("elapsed_us", Json::num(s.elapsed.as_micros() as u64)),
+    ])
+}
+
+fn generation_stats_from_json(value: &Json) -> Result<GenerationStats, WireError> {
+    Ok(GenerationStats {
+        inference_calls: value.field("inference_calls")?.as_usize()?,
+        disturbances_verified: value.field("disturbances_verified")?.as_usize()?,
+        expand_rounds: value.field("expand_rounds")?.as_usize()?,
+        elapsed: Duration::from_micros(value.field("elapsed_us")?.as_u64()?),
+    })
+}
+
+/// Encodes a [`DisturbReport`].
+pub fn disturb_report_to_json(r: &DisturbReport) -> Json {
+    Json::obj([
+        ("epoch", Json::num(r.epoch)),
+        ("flips_applied", Json::num(r.flips_applied as u64)),
+        ("footprint_size", Json::num(r.footprint_size as u64)),
+        ("untouched", Json::num(r.untouched as u64)),
+        ("reverified", Json::num(r.reverified as u64)),
+        ("repaired", Json::num(r.repaired as u64)),
+        ("stats", generation_stats_to_json(&r.stats)),
+    ])
+}
+
+/// Decodes a [`DisturbReport`].
+pub fn disturb_report_from_json(value: &Json) -> Result<DisturbReport, WireError> {
+    Ok(DisturbReport {
+        epoch: value.field("epoch")?.as_u64()?,
+        flips_applied: value.field("flips_applied")?.as_usize()?,
+        footprint_size: value.field("footprint_size")?.as_usize()?,
+        untouched: value.field("untouched")?.as_usize()?,
+        reverified: value.field("reverified")?.as_usize()?,
+        repaired: value.field("repaired")?.as_usize()?,
+        stats: generation_stats_from_json(value.field("stats")?)?,
+    })
+}
+
+/// Encodes a [`GenerationResult`].
+pub fn generation_to_json(r: &GenerationResult) -> Json {
+    Json::obj([
+        ("witness", witness_to_json(&r.witness)),
+        ("level", Json::Str(level_to_str(r.level).to_string())),
+        ("nontrivial", Json::Bool(r.nontrivial)),
+        ("stats", generation_stats_to_json(&r.stats)),
+    ])
+}
+
+/// Decodes a [`GenerationResult`].
+pub fn generation_from_json(value: &Json) -> Result<GenerationResult, WireError> {
+    Ok(GenerationResult {
+        witness: witness_from_json(value.field("witness")?)?,
+        level: level_from_str(value.field("level")?.as_str()?)?,
+        nontrivial: value.field("nontrivial")?.as_bool()?,
+        stats: generation_stats_from_json(value.field("stats")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_value_round_trips() {
+        let cases = [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-17",
+            "3.5",
+            "\"hello\"",
+            "[]",
+            "[1,2,3]",
+            "{}",
+            "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"x\"}}",
+        ];
+        for case in cases {
+            let v = Json::parse(case).unwrap_or_else(|e| panic!("{case}: {e}"));
+            let re = Json::parse(&v.encode()).unwrap();
+            assert_eq!(v, re, "{case}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Json::Str("a\"b\\c\nd\tü 🦀".to_string());
+        let enc = v.encode();
+        assert_eq!(Json::parse(&enc).unwrap(), v);
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00fc\"").unwrap(),
+            Json::Str("Aü".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_not_panicked() {
+        let bad = [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "\"unterminated",
+            "tru",
+            "1.2.3",
+            "nan",
+            "01x",
+            "[1]trailing",
+            "\"bad \\q escape\"",
+            "\"trunc \\u00",
+            "1e999",
+        ];
+        for case in bad {
+            assert!(Json::parse(case).is_err(), "should reject: {case}");
+        }
+        // hostile nesting is bounded, not a stack overflow
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn number_helpers_enforce_integrality() {
+        assert_eq!(Json::Num(5.0).as_u64().unwrap(), 5);
+        assert!(Json::Num(5.5).as_u64().is_err());
+        assert!(Json::Num(-1.0).as_u64().is_err());
+        assert!(Json::Str("5".into()).as_u64().is_err());
+    }
+}

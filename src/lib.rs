@@ -24,6 +24,7 @@
 //! | [`baselines`] | `rcw-baselines` | CF², CF-GNNExplainer re-implementations |
 //! | [`metrics`] | `rcw-metrics` | GED, Fidelity±, result tables |
 //! | [`datasets`] | `rcw-datasets` | synthetic BAHouse / CiteSeer / PPI / Reddit, molecules, provenance |
+//! | [`server`] | `rcw-server` | std-only HTTP serving layer over `WitnessEngine` (wire codec, pool, client) |
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through and
 //! `crates/bench` for the experiment harness that regenerates every table and
@@ -37,6 +38,7 @@ pub use rcw_graph as graph;
 pub use rcw_linalg as linalg;
 pub use rcw_metrics as metrics;
 pub use rcw_pagerank as pagerank;
+pub use rcw_server as server;
 
 /// Most-used types, for `use robogexp::prelude::*`.
 pub mod prelude {

@@ -14,7 +14,22 @@ use robogexp::graph::{generators, Disturbance, Edge};
 use robogexp::prelude::*;
 use std::sync::Arc;
 
-const SEEDS: [u64; 6] = [1, 5, 9, 13, 21, 33];
+/// Pinned seeds exercised by default. Setting `RCW_REPAIR_SEEDS=<n>` widens
+/// the sweep to `n` deterministic seeds instead (nightly CI runs deeper
+/// fuzzing without slowing the tier-1 suite; the default is unchanged when
+/// the variable is unset).
+fn sweep_seeds() -> Vec<u64> {
+    const DEFAULT: [u64; 6] = [1, 5, 9, 13, 21, 33];
+    match std::env::var("RCW_REPAIR_SEEDS") {
+        Ok(n) => {
+            let n: u64 = n
+                .parse()
+                .expect("RCW_REPAIR_SEEDS must be a seed count, e.g. RCW_REPAIR_SEEDS=64");
+            (0..n).map(|i| i.wrapping_mul(4).wrapping_add(1)).collect()
+        }
+        Err(_) => DEFAULT.to_vec(),
+    }
+}
 
 fn quick_cfg(k: usize) -> RcwConfig {
     RcwConfig {
@@ -93,7 +108,7 @@ fn small_disturbance(g: &Graph, witness: &Witness) -> Option<Disturbance> {
 fn sweep<M: VerifiableModel + ?Sized>(model: &M, g: &Graph, seed: u64) {
     let cfg = quick_cfg(1);
     let tests = vec![0usize, g.num_nodes() - 1];
-    let mut engine = WitnessEngine::new(Arc::new(g.clone()), model, cfg.clone());
+    let engine = WitnessEngine::new(Arc::new(g.clone()), model, cfg.clone());
     let original = engine.generate(&tests);
 
     let Some(d) = small_disturbance(g, &original.witness) else {
@@ -120,7 +135,7 @@ fn sweep<M: VerifiableModel + ?Sized>(model: &M, g: &Graph, seed: u64) {
         "seed {seed}: repaired witness must re-verify at its reported level"
     );
     assert!(
-        repaired.witness.subgraph.is_subgraph_of(engine.graph()),
+        repaired.witness.subgraph.is_subgraph_of(&engine.graph()),
         "seed {seed}: repaired witness stays inside the disturbed host"
     );
 
@@ -149,7 +164,7 @@ fn sweep<M: VerifiableModel + ?Sized>(model: &M, g: &Graph, seed: u64) {
 
 #[test]
 fn repaired_witnesses_match_regeneration_for_gcn() {
-    for seed in SEEDS {
+    for seed in sweep_seeds() {
         let g = sbm(seed);
         let gcn = train_gcn(&g, seed);
         sweep(&gcn, &g, seed);
@@ -158,7 +173,7 @@ fn repaired_witnesses_match_regeneration_for_gcn() {
 
 #[test]
 fn repaired_witnesses_match_regeneration_for_appnp() {
-    for seed in SEEDS {
+    for seed in sweep_seeds() {
         let g = sbm(seed);
         let appnp = train_appnp(&g, seed);
         sweep(&appnp, &g, seed);
@@ -173,7 +188,7 @@ fn repair_survives_a_disturbance_stream() {
     let g = sbm(17);
     let appnp = train_appnp(&g, 17);
     let tests = vec![1usize, g.num_nodes() - 2];
-    let mut engine = WitnessEngine::new(Arc::new(g.clone()), &appnp, quick_cfg(1));
+    let engine = WitnessEngine::new(Arc::new(g.clone()), &appnp, quick_cfg(1));
     engine.generate(&tests);
 
     let mut reference = g.clone();

@@ -111,6 +111,55 @@ fn localized_equals_full_over_sbm_views() {
 }
 
 #[test]
+fn shared_ball_margin_batch_equals_per_view_margins() {
+    // margin_many_removed shares one receptive-field ball across the whole
+    // candidate pool; it must be bit-exact against building each
+    // single-removal view explicitly and calling margin — for every model
+    // family, from base views of all three kinds, including removals far
+    // outside the ball.
+    for seed in 0u64..4 {
+        let g = sbm_graph(seed);
+        let edges = g.edge_vec();
+        let witness: EdgeSet = edges.iter().copied().step_by(6).take(6).collect();
+        let bases = [
+            GraphView::full(&g),
+            GraphView::without(&g, &witness),
+            GraphView::restricted_to(&g, &edges.iter().copied().step_by(2).collect::<EdgeSet>()),
+        ];
+        for base in &bases {
+            let v = edges[0].0;
+            // candidates: every base-visible edge (near and far from v)
+            let removals: Vec<(NodeId, NodeId)> = edges
+                .iter()
+                .copied()
+                .filter(|&(a, b)| base.has_edge(a, b))
+                .step_by(3)
+                .take(12)
+                .collect();
+            if removals.is_empty() {
+                continue;
+            }
+            for (name, model) in models(seed) {
+                for label in [0usize, 2] {
+                    let batched = model.margin_many_removed(v, label, base, &removals);
+                    for (i, &(a, b)) in removals.iter().enumerate() {
+                        let mut variant = base.clone();
+                        variant.remove_edge(a, b);
+                        let reference = model.margin(v, label, &variant);
+                        assert!(
+                            batched[i] == reference,
+                            "{name}: seed {seed}, removal ({a},{b}): shared-ball margin \
+                             {} != per-view margin {reference}",
+                            batched[i],
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn boundary_cases_stay_exact() {
     let mut g = sbm_graph(1);
     let iso = g.add_labeled_node(vec![0.3, 0.1, 0.0, 0.5], 0);
