@@ -1,0 +1,130 @@
+//! Serving-layer throughput and latency: an in-process `RcwServer` fronting
+//! a warm `WitnessEngine`, driven over real TCP by the blocking client.
+//!
+//! Reported cases (medians land in `BENCH_server.json`):
+//! * `latency/p50|p99/warm_generate` — per-request wall-clock of a single
+//!   kept-alive client issuing warm (store-hit) `/generate` queries;
+//! * `saturation/ns_per_request` — mean service time per request when
+//!   2× the pool size of concurrent clients hammer the server (the inverse
+//!   of saturation throughput; the printed summary shows requests/s).
+
+use rcw_bench::timing::{format_duration, BenchGroup};
+use rcw_core::{RcwConfig, WitnessEngine};
+use rcw_datasets::{citeseer, Scale};
+use rcw_server::client::Client;
+use rcw_server::{RcwServer, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const HTTP_WORKERS: usize = 4;
+const LATENCY_SAMPLES: usize = 600;
+const SATURATION_CLIENTS: usize = 2 * HTTP_WORKERS;
+const REQUESTS_PER_CLIENT: usize = 400;
+
+fn bench_cfg() -> RcwConfig {
+    RcwConfig {
+        k: 2,
+        local_budget: 2,
+        candidate_hops: 2,
+        sampled_disturbances: 6,
+        exhaustive_limit: 8,
+        max_expand_rounds: 3,
+        ..RcwConfig::default()
+    }
+}
+
+fn main() {
+    let mut group = BenchGroup::new("server: latency and saturation throughput", LATENCY_SAMPLES);
+
+    let ds = citeseer::build(Scale::Tiny, 7);
+    let gcn = ds.train_gcn(24, 7);
+    let graph = Arc::new(ds.graph.clone());
+    let engine = WitnessEngine::new(Arc::clone(&graph), &gcn, bench_cfg());
+    println!(
+        "citeseer/tiny: |V|={}, |E|={}, {} http workers, {} saturation clients",
+        graph.num_nodes(),
+        graph.num_edges(),
+        HTTP_WORKERS,
+        SATURATION_CLIENTS,
+    );
+
+    // A small working set of distinct queries, warmed once so every timed
+    // request is the steady serving state: a store hit behind the wire.
+    let queries: Vec<Vec<usize>> = (0..8)
+        .map(|i| ds.pick_test_nodes(2, 31 + i as u64))
+        .collect();
+
+    let server = RcwServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let config = ServerConfig::single(&engine)
+        .with_workers(HTTP_WORKERS)
+        .with_queue_bound(1024);
+
+    let (p50, p99, saturation_ns, rps) = std::thread::scope(|scope| {
+        let config_ref = &config;
+        let server_thread = scope.spawn(move || server.serve_config(config_ref).expect("serve"));
+
+        let mut warmup = Client::connect(&addr).expect("connect");
+        for nodes in &queries {
+            warmup.generate(nodes).expect("warm the store");
+        }
+
+        // Warm-generate latency distribution over one kept-alive connection.
+        let mut latencies: Vec<Duration> = Vec::with_capacity(LATENCY_SAMPLES);
+        for i in 0..LATENCY_SAMPLES {
+            let nodes = &queries[i % queries.len()];
+            let start = Instant::now();
+            warmup.generate(nodes).expect("warm generate");
+            latencies.push(start.elapsed());
+        }
+        latencies.sort_unstable();
+        let p50 = latencies[latencies.len() / 2];
+        let p99 = latencies[latencies.len() * 99 / 100];
+
+        // Saturation: 2x the pool size of concurrent clients, each issuing a
+        // fixed number of warm requests; throughput is total requests over
+        // the wall-clock window.
+        let sat_start = Instant::now();
+        std::thread::scope(|clients| {
+            for c in 0..SATURATION_CLIENTS {
+                let addr = &addr;
+                let queries = &queries;
+                clients.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let nodes = &queries[(c + i) % queries.len()];
+                        client.generate(nodes).expect("saturation generate");
+                    }
+                });
+            }
+        });
+        let sat_elapsed = sat_start.elapsed();
+        let total_requests = SATURATION_CLIENTS * REQUESTS_PER_CLIENT;
+        let saturation_ns = sat_elapsed.as_nanos() as u64 / total_requests as u64;
+        let rps = total_requests as f64 / sat_elapsed.as_secs_f64();
+
+        warmup.shutdown().expect("shutdown");
+        let report = server_thread.join().expect("server thread");
+        assert_eq!(report.overloaded, 0, "bench must not shed under this queue");
+        (p50, p99, saturation_ns, rps)
+    });
+
+    group.record("latency/p50/warm_generate", LATENCY_SAMPLES, p50, p50, p99);
+    group.record("latency/p99/warm_generate", LATENCY_SAMPLES, p99, p50, p99);
+    let sat = Duration::from_nanos(saturation_ns);
+    group.record(
+        "saturation/ns_per_request",
+        SATURATION_CLIENTS * REQUESTS_PER_CLIENT,
+        sat,
+        sat,
+        sat,
+    );
+    println!(
+        "saturation throughput: {rps:.0} req/s over {} clients ({} per request)\n",
+        SATURATION_CLIENTS,
+        format_duration(sat),
+    );
+
+    group.finish();
+    group.write_json("BENCH_server.json");
+}

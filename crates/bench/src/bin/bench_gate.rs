@@ -1,0 +1,98 @@
+//! `bench_gate` — the CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [--max-ratio 3] [--min-ns 50000]
+//! ```
+//!
+//! Compares a freshly measured `BENCH_*.json` (written by the benches'
+//! `BenchGroup::render_json`) against the committed baseline and exits
+//! non-zero when any matched case's median regressed by more than
+//! `--max-ratio` while being above the `--min-ns` noise floor. Cases present
+//! on only one side are reported but never fail the gate.
+
+use rcw_bench::gate::{find_regressions, parse_bench_json, DEFAULT_MAX_RATIO, DEFAULT_MIN_NS};
+use std::process::ExitCode;
+
+fn run() -> Result<bool, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut max_ratio = DEFAULT_MAX_RATIO;
+    let mut min_ns = DEFAULT_MIN_NS;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-ratio" => {
+                max_ratio = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r > 1.0)
+                    .ok_or("--max-ratio needs a number > 1")?
+            }
+            "--min-ns" => {
+                min_ns = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-ns needs a non-negative integer")?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_gate <baseline.json> <fresh.json> [--max-ratio R] [--min-ns N]"
+                        .to_string(),
+                )
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = positional.as_slice() else {
+        return Err("expected exactly two files: <baseline.json> <fresh.json>".to_string());
+    };
+
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let baseline =
+        parse_bench_json(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let fresh = parse_bench_json(&read(fresh_path)?).map_err(|e| format!("{fresh_path}: {e}"))?;
+
+    println!(
+        "bench_gate: {} baseline vs {} fresh cases (max ratio {max_ratio}x, noise floor {min_ns}ns)",
+        baseline.len(),
+        fresh.len()
+    );
+    for fresh_case in &fresh {
+        match baseline.iter().find(|b| b.name == fresh_case.name) {
+            Some(base) if base.ns_per_iter > 0 => println!(
+                "  {:<44} {:>12}ns -> {:>12}ns ({:.2}x)",
+                fresh_case.name,
+                base.ns_per_iter,
+                fresh_case.ns_per_iter,
+                fresh_case.ns_per_iter as f64 / base.ns_per_iter as f64
+            ),
+            _ => println!(
+                "  {:<44} {:>12}    -> {:>12}ns (no baseline)",
+                fresh_case.name, "-", fresh_case.ns_per_iter
+            ),
+        }
+    }
+
+    let regressions = find_regressions(&baseline, &fresh, max_ratio, min_ns);
+    if regressions.is_empty() {
+        println!("bench_gate: OK — no case regressed past {max_ratio}x");
+        Ok(true)
+    } else {
+        eprintln!("bench_gate: FAIL — {} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("bench_gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The CI bench-regression gate.
+//!
+//! Benches write machine-readable medians (`BENCH_*.json`, produced by
+//! [`crate::timing::BenchGroup::render_json`]); the committed files are the
+//! baseline. On a PR runner, CI re-runs the benches and feeds both files to
+//! [`find_regressions`] (via the `bench_gate` binary): a case regresses when
+//! its fresh median exceeds the baseline median by more than `max_ratio`
+//! **and** is above an absolute noise floor — shared-runner jitter on
+//! microsecond-scale cases routinely exceeds any ratio, so tiny medians are
+//! never gated, only reported.
+
+use rcw_server::wire::Json;
+
+/// Default regression threshold: fresh median > 3× baseline median.
+pub const DEFAULT_MAX_RATIO: f64 = 3.0;
+/// Default noise floor: cases whose fresh median is under 50µs are never
+/// flagged (cache and scheduler jitter dominates at that scale).
+pub const DEFAULT_MIN_NS: u64 = 50_000;
+
+/// One case parsed from a `BENCH_*.json` report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchCase {
+    /// Case name (unique within a report).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: u64,
+}
+
+/// A case whose fresh median regressed past the gate's threshold.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Case name.
+    pub name: String,
+    /// Committed baseline median (ns).
+    pub baseline_ns: u64,
+    /// Freshly measured median (ns).
+    pub fresh_ns: u64,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}ns -> {}ns ({:.1}x)",
+            self.name, self.baseline_ns, self.fresh_ns, self.ratio
+        )
+    }
+}
+
+/// Parses a `BENCH_*.json` report into its cases.
+pub fn parse_bench_json(text: &str) -> Result<Vec<BenchCase>, String> {
+    let root = Json::parse(text).map_err(|e| format!("not a bench report: {e}"))?;
+    let results = root
+        .field("results")
+        .and_then(|r| r.as_arr())
+        .map_err(|e| format!("not a bench report: {e}"))?;
+    results
+        .iter()
+        .map(|case| {
+            let name = case
+                .field("name")
+                .and_then(|n| n.as_str())
+                .map_err(|e| format!("bad case: {e}"))?
+                .to_string();
+            let ns_per_iter = case
+                .field("ns_per_iter")
+                .and_then(|n| n.as_u64())
+                .map_err(|e| format!("bad case '{name}': {e}"))?;
+            Ok(BenchCase { name, ns_per_iter })
+        })
+        .collect()
+}
+
+/// Compares a fresh report against the committed baseline, case by case
+/// (matched by name). Cases present on only one side are ignored: a renamed
+/// or new bench must not fail the gate, it just starts a new baseline.
+pub fn find_regressions(
+    baseline: &[BenchCase],
+    fresh: &[BenchCase],
+    max_ratio: f64,
+    min_ns: u64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for fresh_case in fresh {
+        let Some(base) = baseline.iter().find(|b| b.name == fresh_case.name) else {
+            continue;
+        };
+        if base.ns_per_iter == 0 || fresh_case.ns_per_iter < min_ns {
+            continue;
+        }
+        let ratio = fresh_case.ns_per_iter as f64 / base.ns_per_iter as f64;
+        if ratio > max_ratio {
+            regressions.push(Regression {
+                name: fresh_case.name.clone(),
+                baseline_ns: base.ns_per_iter,
+                fresh_ns: fresh_case.ns_per_iter,
+                ratio,
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, ns: u64) -> BenchCase {
+        BenchCase {
+            name: name.to_string(),
+            ns_per_iter: ns,
+        }
+    }
+
+    #[test]
+    fn parses_the_bench_group_json_shape() {
+        let text = "{\n  \"group\": \"engine\",\n  \"results\": [\n    \
+                    {\"name\": \"a\", \"iters\": 5, \"ns_per_iter\": 1200},\n    \
+                    {\"name\": \"b\", \"iters\": 5, \"ns_per_iter\": 99}\n  ]\n}\n";
+        let cases = parse_bench_json(text).expect("parse");
+        assert_eq!(cases, vec![case("a", 1200), case("b", 99)]);
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json("not json").is_err());
+        assert!(parse_bench_json("{\"results\": [{\"name\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn flags_only_matched_cases_above_ratio_and_floor() {
+        let baseline = [case("hot", 1_000_000), case("tiny", 1_000), case("old", 5)];
+        let fresh = [
+            case("hot", 4_000_000),        // 4x, above floor -> flagged
+            case("tiny", 40_000),          // 40x but under the 50µs floor -> ignored
+            case("brand_new", 9e9 as u64), // no baseline -> ignored
+        ];
+        let regressions = find_regressions(&baseline, &fresh, DEFAULT_MAX_RATIO, DEFAULT_MIN_NS);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "hot");
+        assert!((regressions[0].ratio - 4.0).abs() < 1e-9);
+        assert!(regressions[0].to_string().contains("4.0x"));
+    }
+
+    #[test]
+    fn within_threshold_is_clean() {
+        let baseline = [case("hot", 1_000_000)];
+        let fresh = [case("hot", 2_900_000)]; // 2.9x < 3x
+        assert!(find_regressions(&baseline, &fresh, DEFAULT_MAX_RATIO, DEFAULT_MIN_NS).is_empty());
+        // improvements are never flagged
+        let better = [case("hot", 100_000)];
+        assert!(find_regressions(&baseline, &better, DEFAULT_MAX_RATIO, DEFAULT_MIN_NS).is_empty());
+    }
+}

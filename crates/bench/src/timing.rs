@@ -8,11 +8,20 @@
 
 use std::time::{Duration, Instant};
 
+/// One reported benchmark case.
+struct Case {
+    label: String,
+    iters: usize,
+    median: Duration,
+    min: Duration,
+    max: Duration,
+}
+
 /// A named collection of benchmark cases, reported together.
 pub struct BenchGroup {
     name: String,
     samples: usize,
-    results: Vec<(String, Duration, Duration, Duration)>,
+    results: Vec<Case>,
 }
 
 impl BenchGroup {
@@ -41,7 +50,27 @@ impl BenchGroup {
         let median = times[times.len() / 2];
         let min = times[0];
         let max = *times.last().expect("at least one sample");
-        self.results.push((label.into(), median, min, max));
+        self.record(label, self.samples, median, min, max);
+    }
+
+    /// Records a pre-computed case — for measurements the closure-timing
+    /// shape cannot express, like latency percentiles over a request stream
+    /// or saturation throughput (`iters` requests over a wall-clock window).
+    pub fn record(
+        &mut self,
+        label: impl Into<String>,
+        iters: usize,
+        median: Duration,
+        min: Duration,
+        max: Duration,
+    ) {
+        self.results.push(Case {
+            label: label.into(),
+            iters,
+            median,
+            min,
+            max,
+        });
     }
 
     /// Renders the group report.
@@ -50,13 +79,13 @@ impl BenchGroup {
             "## {} ({} samples per case)\n{:<40} {:>12} {:>12} {:>12}\n",
             self.name, self.samples, "case", "median", "min", "max"
         );
-        for (label, median, min, max) in &self.results {
+        for case in &self.results {
             out.push_str(&format!(
                 "{:<40} {:>12} {:>12} {:>12}\n",
-                label,
-                format_duration(*median),
-                format_duration(*min),
-                format_duration(*max)
+                case.label,
+                format_duration(case.median),
+                format_duration(case.min),
+                format_duration(case.max)
             ));
         }
         out
@@ -69,19 +98,20 @@ impl BenchGroup {
 
     /// Renders the group as machine-readable JSON: one record per case with
     /// the case name, timed iteration count, and median nanoseconds per
-    /// iteration. Used to track the perf trajectory across PRs.
+    /// iteration. Used to track the perf trajectory across PRs and enforced
+    /// by the CI bench-regression gate (`bench_gate`).
     pub fn render_json(&self) -> String {
         let mut out = format!(
             "{{\n  \"group\": \"{}\",\n  \"results\": [\n",
             escape_json(&self.name)
         );
-        for (i, (label, median, _min, _max)) in self.results.iter().enumerate() {
+        for (i, case) in self.results.iter().enumerate() {
             let sep = if i + 1 == self.results.len() { "" } else { "," };
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {}}}{sep}\n",
-                escape_json(label),
-                self.samples,
-                median.as_nanos()
+                escape_json(&case.label),
+                case.iters,
+                case.median.as_nanos()
             ));
         }
         out.push_str("  ]\n}\n");
@@ -153,6 +183,23 @@ mod tests {
         // two records: one comma-separated, one trailing without a comma
         assert_eq!(json.matches("},\n").count(), 1);
         assert_eq!(json.matches("\"name\"").count(), 2);
+    }
+
+    #[test]
+    fn recorded_cases_keep_their_own_iteration_count() {
+        let mut g = BenchGroup::new("server", 2);
+        g.bench("timed", || 1 + 1);
+        g.record(
+            "latency/p99",
+            500,
+            Duration::from_micros(120),
+            Duration::from_micros(80),
+            Duration::from_micros(400),
+        );
+        let json = g.render_json();
+        assert!(json.contains("\"name\": \"timed\", \"iters\": 2"));
+        assert!(json.contains("\"name\": \"latency/p99\", \"iters\": 500, \"ns_per_iter\": 120000"));
+        assert!(g.render().contains("latency/p99"));
     }
 
     #[test]

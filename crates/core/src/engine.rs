@@ -27,6 +27,7 @@ use crate::config::RcwConfig;
 use crate::generate::{GenerationResult, GenerationStats};
 use crate::model::VerifiableModel;
 use crate::session;
+use crate::session::{BudgetExceeded, SessionBudget};
 use crate::witness::{Witness, WitnessLevel};
 use rcw_gnn::{EpochCache, GnnModel};
 use rcw_graph::{
@@ -481,6 +482,23 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
     /// * A stored witness from an older epoch seeds the search (repair).
     /// * Otherwise a full session runs, and the result is stored.
     pub fn generate(&self, test_nodes: &[NodeId]) -> GenerationResult {
+        self.generate_with_budget(test_nodes, &SessionBudget::unlimited())
+            .expect("unlimited session budget cannot expire")
+    }
+
+    /// [`WitnessEngine::generate`] under a cooperative [`SessionBudget`]:
+    /// the deadline is checked on entry (so an already-expired request never
+    /// touches the store) and between session phases. An aborted query
+    /// leaves the store unchanged and returns [`BudgetExceeded`] — a serving
+    /// layer maps it to its overload/deadline wire error. Warm store hits
+    /// run regardless of how little budget remains: they cost one map
+    /// lookup, which is always cheaper than re-checking the clock midway.
+    pub fn generate_with_budget(
+        &self,
+        test_nodes: &[NodeId],
+        budget: &SessionBudget,
+    ) -> Result<GenerationResult, BudgetExceeded> {
+        budget.check()?;
         self.stats
             .lock()
             .expect("engine stats lock poisoned")
@@ -514,12 +532,12 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                     let witness =
                         Witness::new(stored.witness.subgraph.clone(), test_nodes.to_vec(), labels);
                     let nontrivial = witness.is_nontrivial(&graph);
-                    return GenerationResult {
+                    return Ok(GenerationResult {
                         witness,
                         level: stored.level,
                         nontrivial,
                         stats: GenerationStats::default(),
-                    };
+                    });
                 }
             }
             // Repair-on-read fallback: a stale stored witness seeds the
@@ -534,7 +552,7 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
         };
         // The session runs without any engine lock held: concurrent queries
         // proceed in parallel, each on its own graph snapshot.
-        let result = self.run_session(&graph, test_nodes, seed.as_ref());
+        let result = self.run_session(&graph, test_nodes, seed.as_ref(), budget)?;
         self.stats
             .lock()
             .expect("engine stats lock poisoned")
@@ -554,7 +572,7 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                 epoch,
             },
         );
-        result
+        Ok(result)
     }
 
     /// Applies a batch of disturbances to the host graph (copy-on-write),
@@ -712,7 +730,14 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
             // from it, so nodes that still verify exit after a couple of
             // localized checks and only the broken parts are rebuilt.
             let test_nodes = witness.test_nodes.clone();
-            let result = self.run_session(&graph, &test_nodes, Some(&witness.subgraph));
+            let result = self
+                .run_session(
+                    &graph,
+                    &test_nodes,
+                    Some(&witness.subgraph),
+                    &SessionBudget::unlimited(),
+                )
+                .expect("unlimited session budget cannot expire");
             report.stats.inference_calls += result.stats.inference_calls;
             report.stats.disturbances_verified += result.stats.disturbances_verified;
             report.stats.expand_rounds += result.stats.expand_rounds;
@@ -739,7 +764,8 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
         graph: &Arc<Graph>,
         test_nodes: &[NodeId],
         seed: Option<&rcw_graph::EdgeSubgraph>,
-    ) -> GenerationResult {
+        budget: &SessionBudget,
+    ) -> Result<GenerationResult, BudgetExceeded> {
         if self.workers > 1 {
             session::run_parallel(
                 self.model,
@@ -749,10 +775,19 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                 self.workers,
                 test_nodes,
                 seed,
+                budget,
             )
-            .result
+            .map(|parallel| parallel.result)
         } else {
-            session::run_sequential(self.model, graph, &self.caches, &self.cfg, test_nodes, seed)
+            session::run_sequential(
+                self.model,
+                graph,
+                &self.caches,
+                &self.cfg,
+                test_nodes,
+                seed,
+                budget,
+            )
         }
     }
 }
@@ -1014,6 +1049,40 @@ mod tests {
         assert_eq!(snap.epoch, engine.epoch());
         assert_eq!(snap.stored, 1);
         assert!(snap.stats.queries >= 9);
+    }
+
+    #[test]
+    fn expired_budget_aborts_before_touching_the_store() {
+        let (g, gcn, _appnp, tests) = setup();
+        let engine = WitnessEngine::new(Arc::clone(&g), &gcn, quick_cfg());
+        let expired = SessionBudget::expiring_in(std::time::Duration::ZERO);
+        assert!(matches!(
+            engine.generate_with_budget(&tests, &expired),
+            Err(BudgetExceeded)
+        ));
+        assert_eq!(engine.stored_count(), 0, "aborted query stores nothing");
+        // the same query under an unlimited budget runs to completion, and a
+        // warm hit is then answered even when the budget is already expired
+        // (a store lookup is cheaper than any mid-flight clock check)
+        let cold = engine
+            .generate_with_budget(&tests, &SessionBudget::unlimited())
+            .expect("unlimited budget");
+        let warm = engine.generate(&tests);
+        assert_eq!(cold.witness, warm.witness);
+        assert_eq!(engine.stats().warm_hits, 1);
+        // parallel sessions honor the budget too
+        let par = WitnessEngine::new(Arc::clone(&g), &gcn, quick_cfg()).with_workers(2);
+        assert!(matches!(
+            par.generate_with_budget(&tests, &expired),
+            Err(BudgetExceeded)
+        ));
+        // a generous deadline behaves like unlimited
+        let generous = SessionBudget::expiring_in(std::time::Duration::from_secs(600));
+        assert!(!generous.expired());
+        let under_deadline = par
+            .generate_with_budget(&tests, &generous)
+            .expect("generous deadline");
+        assert!(under_deadline.witness.subgraph.contains_node(tests[0]));
     }
 
     #[test]

@@ -122,7 +122,16 @@ impl<'a, M: VerifiableModel + ?Sized> RoboGExp<'a, M> {
     /// # Panics
     /// Panics if `test_nodes` is empty or contains an invalid node id.
     pub fn generate(&self, graph: &Graph, test_nodes: &[NodeId]) -> GenerationResult {
-        session::run_sequential(self.model, graph, &self.caches, &self.cfg, test_nodes, None)
+        session::run_sequential(
+            self.model,
+            graph,
+            &self.caches,
+            &self.cfg,
+            test_nodes,
+            None,
+            &session::SessionBudget::unlimited(),
+        )
+        .expect("unlimited session budget cannot expire")
     }
 }
 

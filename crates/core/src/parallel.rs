@@ -120,7 +120,9 @@ impl<'a, M: VerifiableModel + ?Sized> ParaRoboGExp<'a, M> {
             self.num_workers,
             test_nodes,
             None,
+            &session::SessionBudget::unlimited(),
         )
+        .expect("unlimited session budget cannot expire")
     }
 }
 

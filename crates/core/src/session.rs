@@ -28,7 +28,95 @@ use rcw_graph::{
     VerifiedPairBitmap,
 };
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation hook for expand–verify sessions.
+///
+/// Sessions are long-running loops over model inference; a serving layer in
+/// front of the engine needs to bound how long a single query may run (a
+/// request deadline) without preemption. The budget is checked *between*
+/// session phases — before each per-node expansion and at the top of every
+/// expand–verify round — so cancellation is cooperative and the engine's
+/// shared caches are never left mid-update.
+///
+/// An unlimited budget (the default) never expires, which is what the
+/// one-shot drivers and the engine's un-deadlined entry points use.
+///
+/// ```
+/// use rcw_core::SessionBudget;
+/// use std::time::Duration;
+///
+/// assert!(SessionBudget::unlimited().check().is_ok());
+/// let expired = SessionBudget::expiring_in(Duration::ZERO);
+/// assert!(expired.check().is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SessionBudget {
+    deadline: Option<Instant>,
+}
+
+impl SessionBudget {
+    /// A budget that never expires.
+    pub fn unlimited() -> Self {
+        SessionBudget { deadline: None }
+    }
+
+    /// A budget that expires at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        SessionBudget {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A budget that expires `window` from now.
+    pub fn expiring_in(window: Duration) -> Self {
+        SessionBudget {
+            deadline: Instant::now().checked_add(window),
+        }
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether this budget can ever expire.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The cooperative checkpoint: `Err(BudgetExceeded)` once the deadline
+    /// has passed, `Ok(())` otherwise (always `Ok` for unlimited budgets).
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        if self.expired() {
+            Err(BudgetExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A session hit its [`SessionBudget`] deadline and stopped cooperatively.
+/// No partial witness is returned: the caller decides whether to retry with
+/// a larger budget or report the overload upstream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded;
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "session budget exceeded before the witness search finished"
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
 
 /// Builds the session's starting subgraph: the trivial witness over the test
 /// nodes, extended with a seed witness pruned to pairs that still exist in
@@ -50,6 +138,8 @@ pub(crate) fn seeded_subgraph(
 }
 
 /// One sequential expand–verify session (Algorithm 2 over the shared tier).
+/// The budget is checked before each per-node expansion and at the top of
+/// every robustness round; an expired budget aborts with [`BudgetExceeded`].
 pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
     model: &M,
     graph: &Graph,
@@ -57,13 +147,15 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
     cfg: &RcwConfig,
     test_nodes: &[NodeId],
     seed: Option<&EdgeSubgraph>,
-) -> GenerationResult {
+    budget: &SessionBudget,
+) -> Result<GenerationResult, BudgetExceeded> {
     assert!(!test_nodes.is_empty(), "witness session: empty test set");
     assert!(
         test_nodes.iter().all(|&v| graph.contains_node(v)),
         "witness session: invalid test node"
     );
     cfg.validate().expect("invalid RcwConfig");
+    budget.check()?;
     let start = Instant::now();
     let gnn = model.as_gnn();
     let mut stats = GenerationStats::default();
@@ -82,6 +174,7 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
 
     // Phase 1: per-node expansion for factuality and counterfactuality.
     for (i, &v) in test_nodes.iter().enumerate() {
+        budget.check()?;
         ensure_factual(graph, gnn, cfg, v, labels[i], &mut subgraph, &mut stats);
         ensure_counterfactual(graph, gnn, cfg, v, labels[i], &mut subgraph, &mut stats);
     }
@@ -90,6 +183,7 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
     let mut witness = Witness::new(subgraph, test_nodes.to_vec(), labels.clone());
     let mut level = WitnessLevel::NotAWitness;
     for round in 0..cfg.max_expand_rounds {
+        budget.check()?;
         stats.expand_rounds = round + 1;
         let outcome = model.verify_rcw_shared(graph, &witness, cfg, caches);
         stats.inference_calls += outcome.inference_calls;
@@ -141,12 +235,12 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
 
     stats.elapsed = start.elapsed();
     let nontrivial = witness.is_nontrivial(graph);
-    GenerationResult {
+    Ok(GenerationResult {
         witness,
         level,
         nontrivial,
         stats,
-    }
+    })
 }
 
 /// Expands the witness around `v` until `M(v, Gs) = l`, adding the ego
@@ -288,6 +382,9 @@ fn ensure_counterfactual(
 /// One parallel expand–verify session (Algorithm 3 over the shared tier):
 /// partition and candidate neighborhood come from the shared caches, so a
 /// long-lived engine pays them once per mutation epoch instead of per call.
+/// The budget is threaded into the bootstrap workers' sequential sessions and
+/// checked at the top of every parallel robustness round.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
     model: &M,
     graph: &Graph,
@@ -296,9 +393,11 @@ pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
     num_workers: usize,
     test_nodes: &[NodeId],
     seed: Option<&EdgeSubgraph>,
-) -> ParallelGenerationResult {
+    budget: &SessionBudget,
+) -> Result<ParallelGenerationResult, BudgetExceeded> {
     assert!(!test_nodes.is_empty(), "witness session: empty test set");
     cfg.validate().expect("invalid RcwConfig");
+    budget.check()?;
     let start = Instant::now();
     let gnn = model.as_gnn();
     let mut stats = GenerationStats::default();
@@ -338,24 +437,27 @@ pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
     // sequential session for its chunk of test nodes, the coordinator unions
     // the partial witnesses (the test nodes' expansions are independent).
     let chunk = test_nodes.len().div_ceil(num_workers);
-    let partial: Mutex<Vec<(EdgeSubgraph, usize)>> = Mutex::new(Vec::new());
+    type Partial = Result<(EdgeSubgraph, usize), BudgetExceeded>;
+    let partial: Mutex<Vec<Partial>> = Mutex::new(Vec::new());
     let boot_start = Instant::now();
     std::thread::scope(|scope| {
         for nodes in test_nodes.chunks(chunk.max(1)) {
             let cfg = bootstrap_config(cfg);
             let partial_ref = &partial;
             scope.spawn(move || {
-                let result = run_sequential(model, graph, caches, &cfg, nodes, seed);
+                let outcome = run_sequential(model, graph, caches, &cfg, nodes, seed, budget)
+                    .map(|result| (result.witness.subgraph, result.stats.inference_calls));
                 partial_ref
                     .lock()
                     .expect("bootstrap mutex poisoned")
-                    .push((result.witness.subgraph, result.stats.inference_calls));
+                    .push(outcome);
             });
         }
     });
     pstats.parallel_time += boot_start.elapsed();
     let mut merged = EdgeSubgraph::from_nodes(test_nodes.iter().copied());
-    for (sub, calls) in partial.into_inner().expect("bootstrap mutex poisoned") {
+    for outcome in partial.into_inner().expect("bootstrap mutex poisoned") {
+        let (sub, calls) = outcome?;
         merged.extend(&sub);
         stats.inference_calls += calls;
     }
@@ -364,6 +466,7 @@ pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
     // Phase 2: parallel robustness rounds.
     let mut level = WitnessLevel::NotAWitness;
     for round in 0..cfg.max_expand_rounds {
+        budget.check()?;
         pstats.rounds = round + 1;
         stats.expand_rounds = round + 1;
 
@@ -504,7 +607,7 @@ pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
 
     stats.elapsed = start.elapsed();
     let nontrivial = witness.is_nontrivial(graph);
-    ParallelGenerationResult {
+    Ok(ParallelGenerationResult {
         result: GenerationResult {
             witness,
             level,
@@ -512,7 +615,7 @@ pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
             stats,
         },
         parallel: pstats,
-    }
+    })
 }
 
 /// Coordinator verification fanned out over worker threads: each worker

@@ -1,42 +1,118 @@
-//! `rcw_serve` — stand up a [`rcw_server::RcwServer`] over a trained model.
+//! `rcw_serve` — stand up a [`rcw_server::RcwServer`] over trained models.
 //!
-//! Builds the CiteSeer stand-in at the requested scale, trains the requested
-//! classifier deterministically, and serves witness queries until a
-//! `POST /shutdown` arrives:
+//! Builds the CiteSeer stand-in, trains one classifier per requested engine
+//! deterministically, and serves witness queries until a `POST /shutdown`
+//! arrives:
 //!
 //! ```text
-//! rcw_serve [--addr 127.0.0.1:0] [--workers 4] [--scale tiny|small|full]
-//!           [--model appnp|gcn] [--seed 7] [--k 2]
+//! rcw_serve [--addr 127.0.0.1:0] [--workers 4] [--queue 256]
+//!           [--deadline-ms N] [--scale tiny|small|full] [--seed 7] [--k 2]
+//!           [--model SPEC]...
 //! ```
 //!
+//! `--model` is repeatable and accepts two forms:
+//!
+//! * a bare model name (`appnp` | `gcn`) — the legacy single-engine form,
+//!   combined with `--scale`, served at the bare endpoints;
+//! * a routing spec `name=model:scale[:workers]` — registers an engine under
+//!   the `/name/...` route prefix with its own model family, dataset scale,
+//!   and per-query session-worker count, e.g.
+//!   `--model gcn=gcn:tiny --model appnp=appnp:small:2`.
+//!
+//! The first `--model` is the default route (bare `/generate` goes to it).
 //! The bound address is printed as the first stdout line
 //! (`rcw-serve listening on http://HOST:PORT`), so callers binding port 0 can
 //! discover the ephemeral port — the smoke test does exactly that.
 
-use rcw_core::{RcwConfig, VerifiableModel, WitnessEngine};
+use rcw_core::{RcwConfig, WitnessEngine};
 use rcw_datasets::{citeseer, Scale};
-use rcw_server::RcwServer;
+use rcw_server::{RcwServer, ServedEngine, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// One engine to build and register: route name, model family, dataset
+/// scale, and per-query session workers.
+struct EngineSpec {
+    name: String,
+    model: String,
+    scale: Scale,
+    session_workers: usize,
+}
 
 struct Options {
     addr: String,
     workers: usize,
+    queue_bound: usize,
+    default_deadline: Option<Duration>,
     scale: Scale,
-    model: String,
+    specs: Vec<EngineSpec>,
     seed: u64,
     k: usize,
+}
+
+fn parse_scale(text: &str) -> Result<Scale, String> {
+    match text {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale '{other}'")),
+    }
+}
+
+/// Parses one `--model` value: either a bare model name (legacy, scale is
+/// taken from `--scale` later) or `name=model:scale[:workers]`.
+fn parse_model_spec(text: &str, default_scale: Scale) -> Result<EngineSpec, String> {
+    let Some((name, rest)) = text.split_once('=') else {
+        return Ok(EngineSpec {
+            name: "default".to_string(),
+            model: text.to_string(),
+            scale: default_scale,
+            session_workers: 1,
+        });
+    };
+    let mut parts = rest.split(':');
+    let model = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| format!("spec '{text}': missing model"))?;
+    let scale = match parts.next() {
+        Some(s) => parse_scale(s)?,
+        None => default_scale,
+    };
+    let session_workers = match parts.next() {
+        Some(w) => w
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or_else(|| format!("spec '{text}': bad session worker count '{w}'"))?,
+        None => 1,
+    };
+    if parts.next().is_some() {
+        return Err(format!(
+            "spec '{text}': expected name=model:scale[:workers]"
+        ));
+    }
+    Ok(EngineSpec {
+        name: name.to_string(),
+        model: model.to_string(),
+        scale,
+        session_workers,
+    })
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         addr: "127.0.0.1:0".to_string(),
         workers: 4,
+        queue_bound: 256,
+        default_deadline: None,
         scale: Scale::Tiny,
-        model: "appnp".to_string(),
+        specs: Vec::new(),
         seed: 7,
         k: 2,
     };
+    let mut model_flags: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -50,15 +126,19 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "invalid --workers".to_string())?
             }
-            "--scale" => {
-                opts.scale = match value("--scale")?.as_str() {
-                    "tiny" => Scale::Tiny,
-                    "small" => Scale::Small,
-                    "full" => Scale::Full,
-                    other => return Err(format!("unknown scale '{other}'")),
-                }
+            "--queue" => {
+                opts.queue_bound = value("--queue")?
+                    .parse()
+                    .map_err(|_| "invalid --queue".to_string())?
             }
-            "--model" => opts.model = value("--model")?,
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "invalid --deadline-ms".to_string())?;
+                opts.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--scale" => opts.scale = parse_scale(&value("--scale")?)?,
+            "--model" => model_flags.push(value("--model")?),
             "--seed" => {
                 opts.seed = value("--seed")?
                     .parse()
@@ -71,13 +151,20 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: rcw_serve [--addr A] [--workers N] [--scale tiny|small|full] \
-                            [--model appnp|gcn] [--seed S] [--k K]"
+                    "usage: rcw_serve [--addr A] [--workers N] [--queue N] [--deadline-ms N] \
+                            [--scale tiny|small|full] [--seed S] [--k K] \
+                            [--model appnp|gcn | --model name=model:scale[:workers]]..."
                         .to_string(),
                 )
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if model_flags.is_empty() {
+        model_flags.push("appnp".to_string());
+    }
+    for text in &model_flags {
+        opts.specs.push(parse_model_spec(text, opts.scale)?);
     }
     Ok(opts)
 }
@@ -95,7 +182,68 @@ fn serve_config(k: usize) -> RcwConfig {
     }
 }
 
-fn run<M: VerifiableModel + ?Sized>(engine: &WitnessEngine<'_, M>, opts: &Options) -> ExitCode {
+/// Builds one engine from its spec. Models and engines live for the rest of
+/// the process: leak them to get the `'static` borrows serving wants.
+fn build_engine(spec: &EngineSpec, opts: &Options) -> Result<&'static dyn ServedEngine, String> {
+    let ds = citeseer::build(spec.scale, opts.seed);
+    eprintln!(
+        "rcw-serve: route '{}': dataset {} (|V|={}, |E|={}), training {} (session workers {})...",
+        spec.name,
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        spec.model,
+        spec.session_workers,
+    );
+    let graph = Arc::new(ds.graph.clone());
+    let cfg = serve_config(opts.k);
+    let engine: &'static dyn ServedEngine = match spec.model.as_str() {
+        "appnp" => {
+            let appnp = Box::leak(Box::new(ds.train_appnp(16, opts.seed)));
+            Box::leak(Box::new(
+                WitnessEngine::new(graph, appnp, cfg).with_workers(spec.session_workers),
+            ))
+        }
+        "gcn" => {
+            let gcn = Box::leak(Box::new(ds.train_gcn(16, opts.seed)));
+            Box::leak(Box::new(
+                WitnessEngine::new(graph, gcn, cfg).with_workers(spec.session_workers),
+            ))
+        }
+        other => return Err(format!("unknown model '{other}' (use appnp or gcn)")),
+    };
+    Ok(engine)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("rcw-serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = ServerConfig {
+        routes: Vec::new(),
+        workers: opts.workers,
+        queue_bound: opts.queue_bound,
+        default_deadline: opts.default_deadline,
+    };
+    for spec in &opts.specs {
+        match build_engine(spec, &opts) {
+            Ok(engine) => config = config.with_route(spec.name.clone(), engine),
+            Err(message) => {
+                eprintln!("rcw-serve: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(message) = config.validate() {
+        eprintln!("rcw-serve: {message}");
+        return ExitCode::FAILURE;
+    }
+
     let server = match RcwServer::bind(&opts.addr) {
         Ok(server) => server,
         Err(e) => {
@@ -108,56 +256,21 @@ fn run<M: VerifiableModel + ?Sized>(engine: &WitnessEngine<'_, M>, opts: &Option
     println!("rcw-serve listening on http://{}", server.local_addr());
     use std::io::Write;
     let _ = std::io::stdout().flush();
-    match server.serve(engine, opts.workers) {
+    match server.serve_config(&config) {
         Ok(report) => {
             println!(
-                "rcw-serve: shut down after {} requests over {} connections {:?}",
+                "rcw-serve: shut down after {} requests over {} connections {:?} \
+                 ({} shed, {} past deadline)",
                 report.requests_total(),
                 report.connections,
                 report.requests_per_worker,
+                report.overloaded,
+                report.deadline_rejections,
             );
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("rcw-serve: serve failed: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(opts) => opts,
-        Err(message) => {
-            eprintln!("rcw-serve: {message}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let ds = citeseer::build(opts.scale, opts.seed);
-    eprintln!(
-        "rcw-serve: dataset {} (|V|={}, |E|={}), training {}...",
-        ds.name,
-        ds.graph.num_nodes(),
-        ds.graph.num_edges(),
-        opts.model,
-    );
-    let graph = Arc::new(ds.graph.clone());
-    let cfg = serve_config(opts.k);
-    // The model lives for the rest of the process: leak it to get the
-    // 'static borrow the engine wants.
-    match opts.model.as_str() {
-        "appnp" => {
-            let appnp = Box::leak(Box::new(ds.train_appnp(16, opts.seed)));
-            let engine = WitnessEngine::new(graph, appnp, cfg);
-            run(&engine, &opts)
-        }
-        "gcn" => {
-            let gcn = Box::leak(Box::new(ds.train_gcn(16, opts.seed)));
-            let engine = WitnessEngine::new(graph, gcn, cfg);
-            run(&engine, &opts)
-        }
-        other => {
-            eprintln!("rcw-serve: unknown model '{other}' (use appnp or gcn)");
             ExitCode::FAILURE
         }
     }

@@ -47,10 +47,19 @@ impl From<WireError> for ClientError {
 }
 
 /// A blocking client over one kept-alive connection.
+///
+/// Against a multi-engine server, [`Client::set_route`] selects the engine
+/// every subsequent request targets (paths gain the `/NAME` prefix), and
+/// [`Client::set_deadline_ms`] attaches an `x-rcw-deadline-ms` header so the
+/// server bounds how long the query may run — expired requests come back as
+/// [`ClientError::Protocol`] with status 503 (or 429 when the server shed
+/// the connection under overload).
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     host: String,
+    prefix: String,
+    deadline_ms: Option<u64>,
 }
 
 impl Client {
@@ -58,15 +67,36 @@ impl Client {
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        // Small request/response round trips: disable Nagle so the request
+        // is not held back waiting for an ACK of the previous response.
+        stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
             writer: stream,
             host: addr.to_string(),
+            prefix: String::new(),
+            deadline_ms: None,
         })
     }
 
-    /// Issues one request and returns `(status, parsed body)`.
+    /// Targets a named engine route: subsequent requests go to
+    /// `/NAME/generate` etc. `None` returns to the server's default engine.
+    pub fn set_route(&mut self, route: Option<&str>) {
+        self.prefix = match route {
+            Some(name) => format!("/{name}"),
+            None => String::new(),
+        };
+    }
+
+    /// Attaches (or clears) a per-request deadline, sent as the
+    /// `x-rcw-deadline-ms` header on every subsequent request.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// Issues one request and returns `(status, parsed body)`. The path is
+    /// prefixed with the selected route (see [`Client::set_route`]).
     pub fn request(
         &mut self,
         method: &str,
@@ -74,13 +104,20 @@ impl Client {
         body: Option<&Json>,
     ) -> Result<(u16, Json), ClientError> {
         let body_text = body.map(|b| b.encode()).unwrap_or_default();
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        let deadline = self
+            .deadline_ms
+            .map(|ms| format!("x-rcw-deadline-ms: {ms}\r\n"))
+            .unwrap_or_default();
+        // Head and body in one write: two small segments would trip Nagle +
+        // delayed-ACK stalls (see `http::write_response`).
+        let mut message = format!(
+            "{method} {}{path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n{deadline}content-length: {}\r\n\r\n",
+            self.prefix,
             self.host,
             body_text.len(),
         );
-        self.writer.write_all(head.as_bytes())?;
-        self.writer.write_all(body_text.as_bytes())?;
+        message.push_str(&body_text);
+        self.writer.write_all(message.as_bytes())?;
         self.writer.flush()?;
         self.read_response()
     }

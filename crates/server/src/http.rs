@@ -28,6 +28,9 @@ pub struct Request {
     pub body: Vec<u8>,
     /// `Connection: close` was requested.
     pub close: bool,
+    /// Request deadline in milliseconds from the `x-rcw-deadline-ms` header
+    /// (overrides the server's default deadline when present).
+    pub deadline_ms: Option<u64>,
 }
 
 /// Why reading a request did not produce one.
@@ -62,6 +65,7 @@ pub fn read_request(stream: &mut impl BufRead) -> io::Result<ReadOutcome> {
 
     let mut content_length = 0usize;
     let mut close = false;
+    let mut deadline_ms = None;
     loop {
         line.clear();
         if read_head_line(stream, &mut line, &mut head_bytes)? == 0 {
@@ -83,6 +87,10 @@ pub fn read_request(stream: &mut impl BufRead) -> io::Result<ReadOutcome> {
                 Err(_) => return Ok(ReadOutcome::Malformed("bad content-length".to_string())),
             },
             "connection" => close = value.eq_ignore_ascii_case("close"),
+            "x-rcw-deadline-ms" => match value.parse::<u64>() {
+                Ok(ms) => deadline_ms = Some(ms),
+                Err(_) => return Ok(ReadOutcome::Malformed("bad x-rcw-deadline-ms".to_string())),
+            },
             "transfer-encoding" => {
                 return Ok(ReadOutcome::Malformed(
                     "transfer-encoding not supported".to_string(),
@@ -101,6 +109,7 @@ pub fn read_request(stream: &mut impl BufRead) -> io::Result<ReadOutcome> {
         path,
         body,
         close,
+        deadline_ms,
     }))
 }
 
@@ -150,27 +159,35 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
 /// Writes a response. The body is newline-terminated so `nc`/`curl` sessions
 /// stay line-oriented.
+///
+/// Head and body go out in a **single** `write_all`: two small writes would
+/// land as two TCP segments, and Nagle's algorithm holds the second until
+/// the peer ACKs the first — against a delayed-ACK peer that is a ~40ms
+/// stall per response (the sockets also set `TCP_NODELAY`, but one syscall
+/// per response is cheaper regardless).
 pub fn write_response(stream: &mut impl Write, response: &Response, close: bool) -> io::Result<()> {
     let mut body = response.body.clone();
     if !body.ends_with('\n') {
         body.push('\n');
     }
-    let head = format!(
+    let mut message = format!(
         "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         response.status,
         reason(response.status),
         body.len(),
         if close { "close" } else { "keep-alive" },
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    message.push_str(&body);
+    stream.write_all(message.as_bytes())?;
     stream.flush()
 }
 
@@ -209,6 +226,24 @@ mod tests {
             }
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_header_is_parsed_and_validated() {
+        let raw = b"POST /generate HTTP/1.1\r\nx-rcw-deadline-ms: 250\r\ncontent-length: 0\r\n\r\n";
+        match parse(raw) {
+            ReadOutcome::Ok(req) => assert_eq!(req.deadline_ms, Some(250)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let absent = b"GET /healthz HTTP/1.1\r\n\r\n";
+        match parse(absent) {
+            ReadOutcome::Ok(req) => assert_eq!(req.deadline_ms, None),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nx-rcw-deadline-ms: soon\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
     }
 
     #[test]

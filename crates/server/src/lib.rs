@@ -8,33 +8,62 @@
 //!
 //! | endpoint | method | body | answer |
 //! |---|---|---|---|
-//! | `/generate` | POST | `{"nodes": [v, ...]}` | witness + level + stats |
-//! | `/generate_batch` | POST | `{"queries": [[v, ...], ...]}` | `{"results": [...]}` |
-//! | `/disturb` | POST | `{"flips": [[u, v], ...]}` | [`rcw_core::DisturbReport`] |
-//! | `/stats` | GET | — | engine snapshot + per-worker request counts |
-//! | `/healthz` | GET | — | `{"ok": true, "epoch": n}` |
-//! | `/shutdown` | POST | — | `{"ok": true}`, then graceful stop |
+//! | `[/NAME]/generate` | POST | `{"nodes": [v, ...]}` | witness + level + stats |
+//! | `[/NAME]/generate_batch` | POST | `{"queries": [[v, ...], ...]}` | `{"results": [...]}` |
+//! | `[/NAME]/disturb` | POST | `{"flips": [[u, v], ...]}` | [`rcw_core::DisturbReport`] |
+//! | `[/NAME]/stats` | GET | — | engine snapshot(s) + server counters |
+//! | `[/NAME]/healthz` | GET | — | `{"ok": true, "epoch": n, "engine": name}` |
+//! | `/shutdown` | POST | — | `{"ok": true}`, then graceful stop (global only) |
 //!
-//! The engine is shared by reference: every worker answers queries through
-//! `&WitnessEngine` (the engine's own locks keep the store and graph
-//! coherent), so the pool adds no serialization beyond what the engine
-//! requires. Shutdown is graceful: in-flight requests finish, the pool
-//! drains, and [`RcwServer::serve`] returns a [`ServeReport`] with the
-//! per-worker request counts.
+//! ## Multi-engine routing
+//!
+//! A server fronts a *registry* of named engines ([`ServerConfig`]): the
+//! first path segment selects the engine (`/gcn/generate`,
+//! `/appnp/generate`), and bare endpoints (`/generate`) route to the first
+//! registered engine, so single-engine deployments and older clients keep
+//! working unchanged. Each route is type-erased behind [`ServedEngine`], so
+//! one process can serve engines over different model families, graphs, and
+//! per-query session-worker counts (`WitnessEngine::with_workers(n)` fans a
+//! single `/generate` across `n` session workers while the HTTP pool stays
+//! fixed).
+//!
+//! ## Overload behavior
+//!
+//! The accept loop feeds a **bounded** dispatch queue
+//! ([`ServerConfig::queue_bound`]). When the pool is busy and the queue is
+//! full, new connections are shed with `429 Too Many Requests` (body
+//! `{"error": "overloaded", ...}` with queue-depth stats) instead of piling
+//! up unboundedly. Each request may carry an `x-rcw-deadline-ms` header (or
+//! inherit [`ServerConfig::default_deadline`]); the deadline window starts
+//! when the connection was accepted (queue wait counts) and is threaded
+//! into the engine as a [`SessionBudget`] — enforced at the engine boundary
+//! before any session work and cooperatively between session phases, so
+//! control endpoints (`/healthz`, `/stats`, `/shutdown`) stay reachable
+//! under deadline pressure. Expired queries answer `503 Service
+//! Unavailable` with `{"error": "deadline exceeded"}`; an aborted query
+//! never pollutes the witness store (on `/generate_batch`, queries answered
+//! *before* the mid-batch abort remain stored — each is a complete, valid
+//! witness that simply makes a retry warm).
+//!
+//! Shutdown is graceful: in-flight requests finish, the pool drains, and
+//! [`RcwServer::serve`] returns a [`ServeReport`] with per-worker request
+//! counts plus the overload/deadline rejection totals.
 
 pub mod client;
 pub mod http;
 pub mod wire;
 
 use http::{read_request, write_response, ReadOutcome, Request, Response};
-use rcw_core::{VerifiableModel, WitnessEngine};
+pub use rcw_core::{BudgetExceeded, SessionBudget};
+use rcw_core::{DisturbReport, EngineSnapshot, GenerationResult, VerifiableModel, WitnessEngine};
+use rcw_graph::Disturbance;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::mpsc::{self, TrySendError};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wire::Json;
 
 /// How long a worker waits for the next request on a kept-alive connection
@@ -42,7 +71,196 @@ use wire::Json;
 /// how long graceful shutdown can take.
 const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// A bound listener, ready to serve an engine.
+/// I/O timeout of the overload-shedding path: a shed peer that never sends
+/// its request (or never reads the 429) cannot pin the rejection thread for
+/// longer than this.
+const REJECT_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Cap on concurrent overload-rejection threads. Shedding spawns a
+/// short-lived thread per refused connection so the acceptor never blocks on
+/// a slow peer; under a connection flood that would itself become unbounded
+/// resource growth, so beyond this many in-flight rejections the connection
+/// is dropped without a 429 body (the peer sees a reset — the correct
+/// signal at that level of overload).
+const MAX_REJECT_THREADS: usize = 64;
+
+/// Endpoint names, reserved so an engine route can never shadow them.
+const RESERVED_ROUTE_NAMES: [&str; 6] = [
+    "generate",
+    "generate_batch",
+    "disturb",
+    "stats",
+    "healthz",
+    "shutdown",
+];
+
+/// The engine-side interface the server routes requests to, type-erasing the
+/// model parameter of [`WitnessEngine`] so one process can serve engines
+/// over different model families side by side.
+///
+/// Implemented for every `WitnessEngine<'_, M>`; the methods mirror the
+/// engine entry points a wire endpoint needs.
+pub trait ServedEngine: Sync {
+    /// [`WitnessEngine::generate_with_budget`]: answer a witness query under
+    /// a cooperative deadline.
+    fn generate_with_budget(
+        &self,
+        test_nodes: &[usize],
+        budget: &SessionBudget,
+    ) -> Result<GenerationResult, BudgetExceeded>;
+
+    /// [`WitnessEngine::disturb`]: apply edge flips and repair the store.
+    fn disturb(&self, disturbances: &[Disturbance]) -> DisturbReport;
+
+    /// [`WitnessEngine::snapshot`]: a coherent stats/epoch/store picture.
+    fn snapshot(&self) -> EngineSnapshot;
+
+    /// The host graph's current mutation epoch.
+    fn epoch(&self) -> u64;
+
+    /// Number of nodes in the host graph (query validation bound).
+    fn num_nodes(&self) -> usize;
+}
+
+impl<M: VerifiableModel + ?Sized> ServedEngine for WitnessEngine<'_, M> {
+    fn generate_with_budget(
+        &self,
+        test_nodes: &[usize],
+        budget: &SessionBudget,
+    ) -> Result<GenerationResult, BudgetExceeded> {
+        WitnessEngine::generate_with_budget(self, test_nodes, budget)
+    }
+
+    fn disturb(&self, disturbances: &[Disturbance]) -> DisturbReport {
+        WitnessEngine::disturb(self, disturbances)
+    }
+
+    fn snapshot(&self) -> EngineSnapshot {
+        WitnessEngine::snapshot(self)
+    }
+
+    fn epoch(&self) -> u64 {
+        WitnessEngine::epoch(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.graph().num_nodes()
+    }
+}
+
+/// One named engine behind the server: the route prefix and the engine it
+/// selects.
+pub struct EngineRoute<'e> {
+    /// The route prefix (`/NAME/generate`). Must be non-empty, use only
+    /// `[a-z0-9._-]`, be unique, and not shadow a reserved endpoint name.
+    pub name: String,
+    /// The engine answering this route.
+    pub engine: &'e dyn ServedEngine,
+}
+
+/// Declarative description of a serving deployment: the engine registry plus
+/// the transport's overload knobs. The first route is the *default* engine —
+/// bare endpoints (`/generate`) without a prefix go to it.
+pub struct ServerConfig<'e> {
+    /// Named engines; the first is the default route.
+    pub routes: Vec<EngineRoute<'e>>,
+    /// HTTP worker threads (the pool is fixed; per-query parallelism is the
+    /// engine's own `with_workers` setting).
+    pub workers: usize,
+    /// Bound of the accept/dispatch queue; connections beyond it are shed
+    /// with `429`. Minimum 1.
+    pub queue_bound: usize,
+    /// Deadline applied to requests that do not carry an
+    /// `x-rcw-deadline-ms` header. `None` = no default deadline.
+    pub default_deadline: Option<Duration>,
+}
+
+impl<'e> ServerConfig<'e> {
+    /// A single-engine config under the route name `default`, matching the
+    /// PR 4 serving shape: 4 workers, a generous queue, no deadline.
+    pub fn single(engine: &'e dyn ServedEngine) -> Self {
+        ServerConfig {
+            routes: vec![EngineRoute {
+                name: "default".to_string(),
+                engine,
+            }],
+            workers: 4,
+            queue_bound: 1024,
+            default_deadline: None,
+        }
+    }
+
+    /// Adds a named engine route (builder style).
+    pub fn with_route(mut self, name: impl Into<String>, engine: &'e dyn ServedEngine) -> Self {
+        self.routes.push(EngineRoute {
+            name: name.into(),
+            engine,
+        });
+        self
+    }
+
+    /// Sets the HTTP worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the dispatch-queue bound.
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = bound;
+        self
+    }
+
+    /// Sets the default per-request deadline.
+    pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+
+    /// Index of the route with the given name.
+    fn route_index(&self, name: &str) -> Option<usize> {
+        self.routes.iter().position(|r| r.name == name)
+    }
+
+    /// Checks the config is servable: at least one route, well-formed unique
+    /// names that do not shadow endpoint names, sane pool/queue sizes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.routes.is_empty() {
+            return Err("server config needs at least one engine route".to_string());
+        }
+        if self.workers == 0 {
+            return Err("worker pool must have at least one thread".to_string());
+        }
+        if self.queue_bound == 0 {
+            return Err("dispatch queue bound must be at least 1".to_string());
+        }
+        for (i, route) in self.routes.iter().enumerate() {
+            if route.name.is_empty()
+                || !route
+                    .name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._-".contains(c))
+            {
+                return Err(format!(
+                    "route name '{}' must be non-empty [a-z0-9._-]",
+                    route.name
+                ));
+            }
+            if RESERVED_ROUTE_NAMES.contains(&route.name.as_str()) {
+                return Err(format!(
+                    "route name '{}' shadows a reserved endpoint",
+                    route.name
+                ));
+            }
+            if self.routes[..i].iter().any(|r| r.name == route.name) {
+                return Err(format!("duplicate route name '{}'", route.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A bound listener, ready to serve an engine registry.
 pub struct RcwServer {
     listener: TcpListener,
     addr: SocketAddr,
@@ -53,16 +271,41 @@ pub struct RcwServer {
 pub struct ServeReport {
     /// Requests answered by each worker of the pool.
     pub requests_per_worker: Vec<usize>,
-    /// Connections accepted and served (the shutdown wake-up connection is
-    /// dropped unserved and not counted).
+    /// Connections accepted and dispatched to the pool (shed connections and
+    /// the shutdown wake-up connection are not counted).
     pub connections: usize,
+    /// Connections shed with `429` because the dispatch queue was full.
+    pub overloaded: usize,
+    /// Requests answered `503` because their deadline had expired (at
+    /// dequeue or mid-session).
+    pub deadline_rejections: usize,
 }
 
 impl ServeReport {
-    /// Total requests answered across the pool.
+    /// Total requests answered across the pool (shed connections excluded).
     pub fn requests_total(&self) -> usize {
         self.requests_per_worker.iter().sum()
     }
+}
+
+/// A connection waiting in the bounded dispatch queue, stamped with its
+/// accept time so queue wait counts against the request deadline.
+struct QueuedConn {
+    stream: TcpStream,
+    enqueued_at: Instant,
+}
+
+/// Shared per-serve state: the config, the counters every endpoint reports,
+/// and the shutdown flag.
+struct ServeState<'e, 'c> {
+    config: &'c ServerConfig<'e>,
+    counts: Vec<AtomicUsize>,
+    shutdown: AtomicBool,
+    queue_depth: AtomicUsize,
+    overloaded: AtomicUsize,
+    deadline_rejections: AtomicUsize,
+    rejectors: AtomicUsize,
+    addr: SocketAddr,
 }
 
 impl RcwServer {
@@ -78,77 +321,166 @@ impl RcwServer {
         self.addr
     }
 
-    /// Serves the engine until a `/shutdown` request arrives: accepts
-    /// connections on the calling thread and answers requests on a fixed pool
-    /// of `workers` threads sharing the engine by reference.
+    /// Single-engine convenience over [`RcwServer::serve_config`]: serves
+    /// `engine` under [`ServerConfig::single`] with the given pool size.
     pub fn serve<M: VerifiableModel + ?Sized>(
         self,
         engine: &WitnessEngine<'_, M>,
         workers: usize,
     ) -> std::io::Result<ServeReport> {
-        let workers = workers.max(1);
-        let shutdown = AtomicBool::new(false);
-        let counts: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let config = ServerConfig::single(engine).with_workers(workers.max(1));
+        self.serve_config(&config)
+    }
+
+    /// Serves the configured engine registry until a `POST /shutdown`
+    /// arrives: accepts connections on the calling thread, dispatches them
+    /// through a bounded queue to a fixed pool of worker threads, and sheds
+    /// connections with `429` whenever the queue is full.
+    pub fn serve_config(self, config: &ServerConfig<'_>) -> std::io::Result<ServeReport> {
+        config
+            .validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let workers = config.workers;
+        let state = ServeState {
+            config,
+            counts: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            shutdown: AtomicBool::new(false),
+            queue_depth: AtomicUsize::new(0),
+            overloaded: AtomicUsize::new(0),
+            deadline_rejections: AtomicUsize::new(0),
+            rejectors: AtomicUsize::new(0),
+            addr: self.addr,
+        };
+        let (tx, rx) = mpsc::sync_channel::<QueuedConn>(config.queue_bound);
         let rx = Mutex::new(rx);
         let mut connections = 0usize;
 
         std::thread::scope(|scope| {
             for wid in 0..workers {
                 let rx = &rx;
-                let counts = &counts;
-                let shutdown = &shutdown;
+                let state = &state;
                 scope.spawn(move || loop {
                     // Hold the receiver lock only for the pop, not while
                     // serving, so the pool keeps draining in parallel.
                     let next = rx.lock().expect("server queue lock poisoned").recv();
                     match next {
-                        Ok(stream) => {
-                            serve_connection(stream, engine, wid, counts, shutdown, self.addr)
+                        Ok(conn) => {
+                            state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                            serve_connection(conn, state, wid)
                         }
                         Err(_) => break, // acceptor gone: pool drains and exits
                     }
                 });
             }
             for stream in self.listener.incoming() {
-                if shutdown.load(Ordering::SeqCst) {
+                if state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                match stream {
-                    Ok(stream) => {
-                        connections += 1;
-                        if tx.send(stream).is_err() {
-                            break;
+                let Ok(stream) = stream else { continue };
+                let conn = QueuedConn {
+                    stream,
+                    enqueued_at: Instant::now(),
+                };
+                state.queue_depth.fetch_add(1, Ordering::SeqCst);
+                match tx.try_send(conn) {
+                    Ok(()) => connections += 1,
+                    Err(TrySendError::Full(conn)) => {
+                        // Backpressure: the pool is busy and the queue is at
+                        // its bound. Shed the connection with a 429 on a
+                        // short-lived thread (joined by this scope) so the
+                        // acceptor never blocks on a slow peer — itself
+                        // capped, so a connection flood cannot turn the
+                        // shedding path into unbounded thread growth.
+                        state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                        state.overloaded.fetch_add(1, Ordering::SeqCst);
+                        if state.rejectors.fetch_add(1, Ordering::SeqCst) < MAX_REJECT_THREADS {
+                            let state = &state;
+                            scope.spawn(move || {
+                                reject_overloaded(conn.stream, state);
+                                state.rejectors.fetch_sub(1, Ordering::SeqCst);
+                            });
+                        } else {
+                            // Past the cap: drop without a body (reset).
+                            state.rejectors.fetch_sub(1, Ordering::SeqCst);
                         }
                     }
-                    Err(_) => continue,
+                    Err(TrySendError::Disconnected(_)) => {
+                        state.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                        break;
+                    }
                 }
             }
             drop(tx); // close the queue: workers finish in-flight work and exit
         });
 
         Ok(ServeReport {
-            requests_per_worker: counts.iter().map(|c| c.load(Ordering::SeqCst)).collect(),
+            requests_per_worker: state
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::SeqCst))
+                .collect(),
             connections,
+            overloaded: state.overloaded.load(Ordering::SeqCst),
+            deadline_rejections: state.deadline_rejections.load(Ordering::SeqCst),
         })
     }
 }
 
+/// The `429` response a shed connection receives: the peer's request is read
+/// first (best effort, so its in-flight write completes and the response is
+/// not lost to a connection reset), then the refusal with queue stats.
+fn reject_overloaded(stream: TcpStream, state: &ServeState<'_, '_>) {
+    let _ = stream.set_read_timeout(Some(REJECT_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(REJECT_IO_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let _ = read_request(&mut reader);
+    let _ = write_response(&mut writer, &overload_response(state), true);
+}
+
+fn overload_response(state: &ServeState<'_, '_>) -> Response {
+    Response {
+        status: 429,
+        body: Json::obj([
+            ("error", Json::Str("overloaded".to_string())),
+            (
+                "queue_depth",
+                Json::num(state.queue_depth.load(Ordering::SeqCst) as u64),
+            ),
+            ("queue_bound", Json::num(state.config.queue_bound as u64)),
+        ])
+        .encode(),
+    }
+}
+
+fn deadline_response() -> Response {
+    Response {
+        status: 503,
+        body: Json::obj([("error", Json::Str("deadline exceeded".to_string()))]).encode(),
+    }
+}
+
 /// Serves one (kept-alive) connection to completion.
-fn serve_connection<M: VerifiableModel + ?Sized>(
-    stream: TcpStream,
-    engine: &WitnessEngine<'_, M>,
-    wid: usize,
-    counts: &[AtomicUsize],
-    shutdown: &AtomicBool,
-    addr: SocketAddr,
-) {
+fn serve_connection(conn: QueuedConn, state: &ServeState<'_, '_>, wid: usize) {
+    let stream = conn.stream;
     let _ = stream.set_read_timeout(Some(IDLE_READ_TIMEOUT));
+    // Request/response round trips are latency-bound small messages: without
+    // TCP_NODELAY, Nagle + the peer's delayed ACK add ~40ms per response.
+    let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = stream;
+    // The first request's deadline window starts at accept time, so time
+    // spent waiting in the dispatch queue counts against it; each later
+    // request on the kept-alive connection starts its window when it
+    // arrives (keep-alive idle time between requests is never billed).
+    let mut first_request = true;
     loop {
         let request = match read_request(&mut reader) {
             Ok(ReadOutcome::Ok(request)) => request,
@@ -159,27 +491,47 @@ fn serve_connection<M: VerifiableModel + ?Sized>(
             }
             Err(_) => return, // timeout or broken pipe: drop the connection
         };
-        counts[wid].fetch_add(1, Ordering::SeqCst);
-        // A panicking handler must not take the whole pool down: answer 500
-        // and keep serving.
-        let outcome = catch_unwind(AssertUnwindSafe(|| route(&request, engine, counts)));
-        let (response, stop_after) = match outcome {
-            Ok(pair) => pair,
-            Err(_) => (Response::error(500, "internal error"), false),
+        let deadline_base = if first_request {
+            conn.enqueued_at
+        } else {
+            Instant::now()
         };
+        first_request = false;
+        state.counts[wid].fetch_add(1, Ordering::SeqCst);
+        let window = request
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(state.config.default_deadline);
+        // The budget is enforced at the engine boundary (the entry check of
+        // `generate_with_budget` fires before any session work), not here:
+        // control endpoints (`/healthz`, `/stats`, `/shutdown`) must stay
+        // reachable even when every request has been queued past its
+        // deadline — an operator shutting down an overloaded server is the
+        // case that matters most.
+        let budget = match window {
+            Some(window) => SessionBudget::with_deadline(deadline_base + window),
+            None => SessionBudget::unlimited(),
+        };
+        // A panicking handler must not take the whole pool down: answer
+        // 500 and keep serving.
+        let (response, stop_after) =
+            match catch_unwind(AssertUnwindSafe(|| route(&request, state, &budget))) {
+                Ok(pair) => pair,
+                Err(_) => (Response::error(500, "internal error"), false),
+            };
         // Once shutdown is flagged (by this request or concurrently by
         // another worker), finish this response but close the connection:
         // otherwise an actively-requesting kept-alive peer would keep its
         // worker looping here and defer `serve`'s pool join indefinitely.
-        let close = request.close || stop_after || shutdown.load(Ordering::SeqCst);
+        let close = request.close || stop_after || state.shutdown.load(Ordering::SeqCst);
         if write_response(&mut writer, &response, close).is_err() {
             return;
         }
         if stop_after {
             // Graceful stop: flag the acceptor, then wake it with a no-op
             // connection so its blocking accept returns.
-            shutdown.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(wake_addr(addr));
+            state.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(wake_addr(state.addr));
             return;
         }
         if close {
@@ -203,36 +555,52 @@ fn wake_addr(addr: SocketAddr) -> SocketAddr {
     }
 }
 
-/// Routes one request. Returns the response and whether the server should
-/// stop after sending it.
-fn route<M: VerifiableModel + ?Sized>(
+/// Routes one request: the first path segment selects the engine when it
+/// names a registered route, bare endpoints go to the default (first)
+/// engine. Returns the response and whether the server should stop after
+/// sending it.
+fn route(
     request: &Request,
-    engine: &WitnessEngine<'_, M>,
-    counts: &[AtomicUsize],
+    state: &ServeState<'_, '_>,
+    budget: &SessionBudget,
 ) -> (Response, bool) {
     let path = request.path.split('?').next().unwrap_or("");
-    let response = match (request.method.as_str(), path) {
-        ("GET", "/healthz") => Response::ok(
+    let trimmed = path.strip_prefix('/').unwrap_or(path);
+    let (engine_idx, endpoint, routed) = match trimmed.split_once('/') {
+        Some((name, rest)) => match state.config.route_index(name) {
+            Some(idx) => (idx, rest, true),
+            None => (0, trimmed, false),
+        },
+        None => (0, trimmed, false),
+    };
+    let name = state.config.routes[engine_idx].name.as_str();
+    let engine = state.config.routes[engine_idx].engine;
+    let response = match (request.method.as_str(), endpoint) {
+        ("GET", "healthz") => Response::ok(
             Json::obj([
                 ("ok", Json::Bool(true)),
                 ("epoch", Json::num(engine.epoch())),
+                ("engine", Json::Str(name.to_string())),
             ])
             .encode(),
         ),
-        ("GET", "/stats") => handle_stats(engine, counts),
-        ("POST", "/generate") => handle_generate(request, engine),
-        ("POST", "/generate_batch") => handle_generate_batch(request, engine),
-        ("POST", "/disturb") => handle_disturb(request, engine),
-        ("POST", "/shutdown") => {
+        ("GET", "stats") => handle_stats(state, engine_idx),
+        ("POST", "generate") => handle_generate(request, engine, state, budget),
+        ("POST", "generate_batch") => handle_generate_batch(request, engine, state, budget),
+        ("POST", "disturb") => handle_disturb(request, engine),
+        // Shutdown is a whole-process action: it only exists unrouted.
+        ("POST", "shutdown") if !routed => {
             return (
                 Response::ok(Json::obj([("ok", Json::Bool(true))]).encode()),
                 true,
             )
         }
-        (
-            method,
-            "/healthz" | "/stats" | "/generate" | "/generate_batch" | "/disturb" | "/shutdown",
-        ) => Response::error(405, &format!("method {method} not allowed for {path}")),
+        (method, "healthz" | "stats" | "generate" | "generate_batch" | "disturb") => {
+            Response::error(405, &format!("method {method} not allowed for {path}"))
+        }
+        (method, "shutdown") if !routed => {
+            Response::error(405, &format!("method {method} not allowed for {path}"))
+        }
         _ => Response::error(404, &format!("no route for {path}")),
     };
     (response, false)
@@ -268,15 +636,23 @@ fn parse_nodes(value: &Json, num_nodes: usize) -> Result<Vec<usize>, Response> {
     Ok(nodes)
 }
 
-fn handle_generate<M: VerifiableModel + ?Sized>(
+/// Maps an engine-side budget abort to the 503 wire error (counted).
+fn budget_rejection(state: &ServeState<'_, '_>) -> Response {
+    state.deadline_rejections.fetch_add(1, Ordering::SeqCst);
+    deadline_response()
+}
+
+fn handle_generate(
     request: &Request,
-    engine: &WitnessEngine<'_, M>,
+    engine: &dyn ServedEngine,
+    state: &ServeState<'_, '_>,
+    budget: &SessionBudget,
 ) -> Response {
     let body = match parse_body(request) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let num_nodes = engine.graph().num_nodes();
+    let num_nodes = engine.num_nodes();
     let nodes = match body
         .field("nodes")
         .map_err(|e| Response::error(400, &e.to_string()))
@@ -287,13 +663,17 @@ fn handle_generate<M: VerifiableModel + ?Sized>(
         },
         Err(r) => return r,
     };
-    let result = engine.generate(&nodes);
-    Response::ok(wire::generation_to_json(&result).encode())
+    match engine.generate_with_budget(&nodes, budget) {
+        Ok(result) => Response::ok(wire::generation_to_json(&result).encode()),
+        Err(BudgetExceeded) => budget_rejection(state),
+    }
 }
 
-fn handle_generate_batch<M: VerifiableModel + ?Sized>(
+fn handle_generate_batch(
     request: &Request,
-    engine: &WitnessEngine<'_, M>,
+    engine: &dyn ServedEngine,
+    state: &ServeState<'_, '_>,
+    budget: &SessionBudget,
 ) -> Response {
     let body = match parse_body(request) {
         Ok(v) => v,
@@ -307,9 +687,12 @@ fn handle_generate_batch<M: VerifiableModel + ?Sized>(
         Ok(q) => q,
         Err(r) => return r,
     };
-    let num_nodes = engine.graph().num_nodes();
-    // Validate the whole batch before generating anything: a batch is
-    // answered all-or-nothing.
+    let num_nodes = engine.num_nodes();
+    // Validate the whole batch before generating anything: a malformed
+    // batch is rejected all-or-nothing. Generation itself is sequential —
+    // on a mid-batch deadline abort the batch answers 503, and the queries
+    // already answered stay in the store (each is a complete, valid witness
+    // that makes a retry warm).
     let mut parsed = Vec::with_capacity(queries.len());
     for query in queries {
         match parse_nodes(query, num_nodes) {
@@ -317,17 +700,17 @@ fn handle_generate_batch<M: VerifiableModel + ?Sized>(
             Err(r) => return r,
         }
     }
-    let results: Vec<Json> = parsed
-        .iter()
-        .map(|nodes| wire::generation_to_json(&engine.generate(nodes)))
-        .collect();
+    let mut results = Vec::with_capacity(parsed.len());
+    for nodes in &parsed {
+        match engine.generate_with_budget(nodes, budget) {
+            Ok(result) => results.push(wire::generation_to_json(&result)),
+            Err(BudgetExceeded) => return budget_rejection(state),
+        }
+    }
     Response::ok(Json::obj([("results", Json::Arr(results))]).encode())
 }
 
-fn handle_disturb<M: VerifiableModel + ?Sized>(
-    request: &Request,
-    engine: &WitnessEngine<'_, M>,
-) -> Response {
+fn handle_disturb(request: &Request, engine: &dyn ServedEngine) -> Response {
     let body = match parse_body(request) {
         Ok(v) => v,
         Err(r) => return r,
@@ -349,26 +732,107 @@ fn handle_disturb<M: VerifiableModel + ?Sized>(
     Response::ok(wire::disturb_report_to_json(&report).encode())
 }
 
-fn handle_stats<M: VerifiableModel + ?Sized>(
-    engine: &WitnessEngine<'_, M>,
-    counts: &[AtomicUsize],
-) -> Response {
-    let snapshot = engine.snapshot();
-    let per_worker: Vec<Json> = counts
+/// The stats payload: the selected engine's snapshot under `engine` (the
+/// default engine for the unrouted `/stats`), every registered engine's
+/// snapshot under `engines`, and the transport counters under `server`.
+fn handle_stats(state: &ServeState<'_, '_>, engine_idx: usize) -> Response {
+    let engines: Vec<(String, Json)> = state
+        .config
+        .routes
+        .iter()
+        .map(|r| (r.name.clone(), wire::snapshot_to_json(&r.engine.snapshot())))
+        .collect();
+    // The selected engine's snapshot is already in the map: cloning the
+    // encoded value is cheaper than taking the engine's locks a second time.
+    let selected = engines[engine_idx].1.clone();
+    let per_worker: Vec<Json> = state
+        .counts
         .iter()
         .map(|c| Json::Num(c.load(Ordering::SeqCst) as f64))
         .collect();
     Response::ok(
         Json::obj([
-            ("engine", wire::snapshot_to_json(&snapshot)),
+            ("engine", selected),
+            ("engines", Json::Obj(engines)),
             (
                 "server",
                 Json::obj([
-                    ("workers", Json::num(counts.len() as u64)),
+                    ("workers", Json::num(state.counts.len() as u64)),
                     ("requests_per_worker", Json::Arr(per_worker)),
+                    ("queue_bound", Json::num(state.config.queue_bound as u64)),
+                    (
+                        "queue_depth",
+                        Json::num(state.queue_depth.load(Ordering::SeqCst) as u64),
+                    ),
+                    (
+                        "overloaded",
+                        Json::num(state.overloaded.load(Ordering::SeqCst) as u64),
+                    ),
+                    (
+                        "deadline_rejections",
+                        Json::num(state.deadline_rejections.load(Ordering::SeqCst) as u64),
+                    ),
                 ]),
             ),
         ])
         .encode(),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_config_validation_rejects_bad_registries() {
+        // A dummy engine is needed only for the reference; validation is
+        // name/size-level, so reuse a tiny real engine.
+        let mut g = rcw_graph::Graph::with_nodes(2);
+        g.add_edge(0, 1);
+        g.set_features(0, vec![1.0]);
+        g.set_features(1, vec![0.0]);
+        g.set_label(0, 0);
+        g.set_label(1, 1);
+        let gcn = rcw_gnn::Gcn::new(&[1, 2, 2], 1);
+        let engine = WitnessEngine::new(
+            std::sync::Arc::new(g),
+            &gcn,
+            rcw_core::RcwConfig::with_budgets(0, 0),
+        );
+
+        assert!(ServerConfig::single(&engine).validate().is_ok());
+        assert!(ServerConfig::single(&engine)
+            .with_route("gcn", &engine)
+            .validate()
+            .is_ok());
+        // reserved, duplicate, malformed names; zero-size pool/queue
+        for bad in ["generate", "stats", "shutdown", "Weird Name", ""] {
+            assert!(
+                ServerConfig::single(&engine)
+                    .with_route(bad, &engine)
+                    .validate()
+                    .is_err(),
+                "route name {bad:?} must be rejected"
+            );
+        }
+        assert!(ServerConfig::single(&engine)
+            .with_route("default", &engine)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::single(&engine)
+            .with_workers(0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::single(&engine)
+            .with_queue_bound(0)
+            .validate()
+            .is_err());
+        let empty = ServerConfig {
+            routes: Vec::new(),
+            workers: 1,
+            queue_bound: 1,
+            default_deadline: None,
+        };
+        assert!(empty.validate().is_err());
+    }
 }

@@ -1,0 +1,242 @@
+//! Multi-engine acceptance test: one server fronts two differently-modeled
+//! engines behind route prefixes (`/gcn/...`, `/appnp/...`), one of them in
+//! `with_workers > 1` parallel-session mode, with per-engine and aggregate
+//! stats, and all answers staying coherent with the engines observed
+//! directly.
+
+use rcw_core::{RcwConfig, WitnessEngine};
+use rcw_datasets::{citeseer, Scale};
+use rcw_server::client::{Client, ClientError};
+use rcw_server::{RcwServer, ServerConfig};
+use std::sync::Arc;
+
+fn quick_cfg() -> RcwConfig {
+    RcwConfig {
+        k: 1,
+        local_budget: 1,
+        candidate_hops: 2,
+        max_expand_rounds: 2,
+        sampled_disturbances: 4,
+        pri_rounds: 4,
+        ppr_iters: 20,
+        ..RcwConfig::default()
+    }
+}
+
+#[test]
+fn two_engines_route_by_prefix_and_parallel_sessions_verify() {
+    let ds = citeseer::build(Scale::Tiny, 8);
+    let gcn = ds.train_gcn(8, 8);
+    let appnp = ds.train_appnp(8, 8);
+    let graph = Arc::new(ds.graph.clone());
+    // Two engines over the same graph: a sequential GCN engine (the default
+    // route) and an APPNP engine whose single /generate fans its
+    // expand–verify rounds across 2 session workers while the HTTP pool
+    // stays fixed at 3.
+    let gcn_engine = WitnessEngine::new(Arc::clone(&graph), &gcn, quick_cfg());
+    let appnp_engine = WitnessEngine::new(Arc::clone(&graph), &appnp, quick_cfg()).with_workers(2);
+    let tests = ds.pick_test_nodes(2, 21);
+
+    let server = RcwServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let config = ServerConfig {
+        routes: Vec::new(),
+        workers: 3,
+        queue_bound: 64,
+        default_deadline: None,
+    }
+    .with_route("gcn", &gcn_engine)
+    .with_route("appnp", &appnp_engine);
+    assert!(config.validate().is_ok());
+
+    let report = std::thread::scope(|scope| {
+        let config_ref = &config;
+        let server_thread = scope.spawn(move || server.serve_config(config_ref).expect("serve"));
+
+        let mut client = Client::connect(&addr).expect("connect");
+
+        // Bare endpoints route to the first registered engine (gcn).
+        let bare = client.generate(&tests).expect("bare generate");
+        // Explicit prefixes select each engine.
+        client.set_route(Some("gcn"));
+        let via_gcn = client.generate(&tests).expect("routed gcn generate");
+        assert_eq!(bare.witness, via_gcn.witness, "bare == first route");
+        assert_eq!(bare.level, via_gcn.level);
+
+        client.set_route(Some("appnp"));
+        let via_appnp = client.generate(&tests).expect("routed appnp generate");
+        for &t in &tests {
+            assert!(via_appnp.witness.subgraph.contains_node(t));
+        }
+        // Parallel-session equivalence: the served answer is exactly what
+        // the engine stored and re-verifies at the level it reported, and a
+        // warm repeat over the wire returns the identical witness.
+        let recheck = appnp_engine.verify(&via_appnp.witness);
+        assert_eq!(recheck.level, via_appnp.level, "parallel answer verifies");
+        let warm = client.generate(&tests).expect("warm appnp generate");
+        assert_eq!(warm.witness, via_appnp.witness);
+        assert_eq!(warm.level, via_appnp.level);
+
+        // Per-engine healthz names its route.
+        let (status, body) = client.request("GET", "/healthz", None).expect("healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body.field("engine").unwrap().as_str().unwrap(), "appnp");
+
+        // Routed stats report the selected engine; the aggregate lists both.
+        let (appnp_snapshot, per_worker) = client.stats().expect("appnp stats");
+        assert_eq!(appnp_snapshot.workers, 2, "session workers, not pool size");
+        assert_eq!(appnp_snapshot.stats.queries, 2);
+        assert_eq!(appnp_snapshot.stats.warm_hits, 1);
+        assert_eq!(per_worker.len(), 3, "HTTP pool stays fixed");
+        client.set_route(None);
+        let (default_snapshot, _) = client.stats().expect("default stats");
+        assert_eq!(default_snapshot.workers, 1);
+        assert_eq!(default_snapshot.stats.queries, 2);
+        let (status, body) = client.request("GET", "/stats", None).expect("raw stats");
+        assert_eq!(status, 200);
+        let engines = body.field("engines").expect("engines object");
+        for name in ["gcn", "appnp"] {
+            assert!(engines.get(name).is_some(), "stats lists engine '{name}'");
+        }
+
+        // Disturb through one route repairs only that engine's store; each
+        // engine owns its own graph epoch stream.
+        client.set_route(Some("appnp"));
+        let flip = graph
+            .edges()
+            .find(|&(u, v)| !via_appnp.witness.subgraph.contains_edge(u, v))
+            .expect("unprotected edge");
+        let disturb = client.disturb(&[flip]).expect("disturb appnp");
+        assert_eq!(disturb.flips_applied, 1);
+        client.set_route(Some("gcn"));
+        let (gcn_snapshot, _) = client.stats().expect("gcn stats");
+        assert_eq!(
+            gcn_snapshot.stats.flips_applied, 0,
+            "gcn engine untouched by the appnp disturbance"
+        );
+
+        // Unknown prefixes and routed shutdowns do not exist.
+        client.set_route(None);
+        let (status, _) = client
+            .request("POST", "/nope/generate", None)
+            .expect("request");
+        assert_eq!(status, 404);
+        match client.request("POST", "/appnp/shutdown", None) {
+            Ok((404, _)) => {}
+            other => panic!("routed shutdown must 404, got {other:?}"),
+        }
+
+        client.shutdown().expect("shutdown");
+        server_thread.join().expect("server thread")
+    });
+
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.overloaded, 0);
+    assert_eq!(report.deadline_rejections, 0);
+    // generate x4 (bare, gcn, appnp cold, appnp warm) + healthz + stats x4
+    // (appnp, default, raw aggregate, gcn) + disturb + 2 error probes
+    // + shutdown = 13 requests.
+    assert_eq!(report.requests_total(), 13);
+}
+
+#[test]
+fn rcw_serve_binary_serves_two_engines_from_model_specs() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    let exe = env!("CARGO_BIN_EXE_rcw_serve");
+    let mut child = Command::new(exe)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue",
+            "16",
+            "--seed",
+            "5",
+            "--model",
+            "gcn=gcn:tiny",
+            "--model",
+            "appnp=appnp:tiny:2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn rcw_serve");
+
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read announce line");
+    let addr = line
+        .trim()
+        .strip_prefix("rcw-serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .to_string();
+
+    let result = std::panic::catch_unwind(move || {
+        let mut client = Client::connect(&addr).expect("connect");
+        // First spec is the default route.
+        let (_, body) = client.request("GET", "/healthz", None).expect("healthz");
+        assert_eq!(body.field("engine").unwrap().as_str().unwrap(), "gcn");
+        // Both engines answer under their prefixes; the appnp one runs
+        // 2 session workers per query.
+        for route in ["gcn", "appnp"] {
+            client.set_route(Some(route));
+            let out = client.generate(&[0, 1]).expect("routed generate");
+            assert!(out.witness.subgraph.contains_node(0));
+            let (snapshot, _) = client.stats().expect("routed stats");
+            assert_eq!(snapshot.stats.queries, 1);
+            if route == "appnp" {
+                assert_eq!(snapshot.workers, 2);
+            }
+        }
+        client.set_route(None);
+        client.shutdown().expect("shutdown");
+    });
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let status = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break Some(status),
+            None if std::time::Instant::now() > deadline => break None,
+            None => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    };
+    let status = match status {
+        Some(status) => status,
+        None => {
+            let _ = child.kill();
+            panic!("rcw_serve did not exit within the deadline");
+        }
+    };
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+    assert!(status.success(), "rcw_serve exited with {status}");
+}
+
+#[test]
+fn unknown_route_is_a_typed_protocol_error() {
+    let ds = citeseer::build(Scale::Tiny, 4);
+    let gcn = ds.train_gcn(8, 4);
+    let engine = WitnessEngine::new(Arc::new(ds.graph.clone()), &gcn, quick_cfg());
+    let server = RcwServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let config = ServerConfig::single(&engine).with_workers(1);
+    std::thread::scope(|scope| {
+        let config_ref = &config;
+        let server_thread = scope.spawn(move || server.serve_config(config_ref).expect("serve"));
+        let mut client = Client::connect(&addr).expect("connect");
+        client.set_route(Some("missing"));
+        match client.generate(&[0]) {
+            Err(ClientError::Protocol(404, message)) => {
+                assert!(message.contains("no route"), "got: {message}")
+            }
+            other => panic!("expected 404, got {other:?}"),
+        }
+        client.set_route(None);
+        client.shutdown().expect("shutdown");
+        server_thread.join().expect("server thread")
+    });
+}
