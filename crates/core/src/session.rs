@@ -22,7 +22,7 @@ use crate::model::VerifiableModel;
 use crate::parallel::{ParallelGenerationResult, ParallelStats};
 use crate::verify::candidate_pairs_bounded;
 use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
-use rcw_gnn::GnnModel;
+use rcw_gnn::{GnnModel, KernelScratch};
 use rcw_graph::{
     traversal::k_hop_neighborhood, AdjacencyBitmap, Edge, EdgeSubgraph, Graph, GraphView, NodeId,
     VerifiedPairBitmap,
@@ -159,6 +159,10 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
     let start = Instant::now();
     let gnn = model.as_gnn();
     let mut stats = GenerationStats::default();
+    // One set of kernel scratch buffers for the whole session: every localized
+    // inference below reuses it, so the expand-verify loop stops allocating
+    // once the buffers have seen the largest receptive field.
+    let mut scratch = KernelScratch::default();
 
     // M(v, G) for every test node.
     let full = GraphView::full(graph);
@@ -166,7 +170,8 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
         .iter()
         .map(|&v| {
             stats.inference_calls += 1;
-            gnn.predict(v, &full).expect("valid node")
+            gnn.predict_with(v, &full, &mut scratch)
+                .expect("valid node")
         })
         .collect();
 
@@ -175,8 +180,26 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
     // Phase 1: per-node expansion for factuality and counterfactuality.
     for (i, &v) in test_nodes.iter().enumerate() {
         budget.check()?;
-        ensure_factual(graph, gnn, cfg, v, labels[i], &mut subgraph, &mut stats);
-        ensure_counterfactual(graph, gnn, cfg, v, labels[i], &mut subgraph, &mut stats);
+        ensure_factual(
+            graph,
+            gnn,
+            cfg,
+            v,
+            labels[i],
+            &mut subgraph,
+            &mut stats,
+            &mut scratch,
+        );
+        ensure_counterfactual(
+            graph,
+            gnn,
+            cfg,
+            v,
+            labels[i],
+            &mut subgraph,
+            &mut stats,
+            &mut scratch,
+        );
     }
 
     // Phase 2: robustness expand–verify loop.
@@ -215,8 +238,26 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
                 // or counterfactuality (e.g. after the witness grew).
                 let mut sg = witness.subgraph.clone();
                 for (i, &v) in test_nodes.iter().enumerate() {
-                    ensure_factual(graph, gnn, cfg, v, labels[i], &mut sg, &mut stats);
-                    ensure_counterfactual(graph, gnn, cfg, v, labels[i], &mut sg, &mut stats);
+                    ensure_factual(
+                        graph,
+                        gnn,
+                        cfg,
+                        v,
+                        labels[i],
+                        &mut sg,
+                        &mut stats,
+                        &mut scratch,
+                    );
+                    ensure_counterfactual(
+                        graph,
+                        gnn,
+                        cfg,
+                        v,
+                        labels[i],
+                        &mut sg,
+                        &mut stats,
+                        &mut scratch,
+                    );
                 }
                 if sg == witness.subgraph {
                     // no further progress possible
@@ -246,6 +287,7 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
 /// Expands the witness around `v` until `M(v, Gs) = l`, adding the ego
 /// network hop by hop (the L-hop receptive field reproduces the full-graph
 /// prediction for message-passing GNNs).
+#[allow(clippy::too_many_arguments)]
 fn ensure_factual(
     graph: &Graph,
     model: &dyn GnnModel,
@@ -254,6 +296,7 @@ fn ensure_factual(
     label: usize,
     subgraph: &mut EdgeSubgraph,
     stats: &mut GenerationStats,
+    scratch: &mut KernelScratch,
 ) {
     let max_hops = cfg
         .candidate_hops
@@ -262,7 +305,7 @@ fn ensure_factual(
     for hop in 1..=max_hops {
         let view = GraphView::restricted_to(graph, subgraph.edges());
         stats.inference_calls += 1;
-        if model.predict(v, &view) == Some(label) {
+        if model.predict_with(v, &view, scratch) == Some(label) {
             return;
         }
         // add all edges with at least one endpoint within `hop - 1` hops of v
@@ -279,6 +322,7 @@ fn ensure_factual(
 
 /// Expands the witness around `v` until removing it flips the label,
 /// absorbing the strongest remaining support edges near `v`.
+#[allow(clippy::too_many_arguments)]
 fn ensure_counterfactual(
     graph: &Graph,
     model: &dyn GnnModel,
@@ -287,12 +331,13 @@ fn ensure_counterfactual(
     label: usize,
     subgraph: &mut EdgeSubgraph,
     stats: &mut GenerationStats,
+    scratch: &mut KernelScratch,
 ) {
     // quick exit: already counterfactual for v
     {
         let remainder = GraphView::without(graph, subgraph.edges());
         stats.inference_calls += 1;
-        if model.predict(v, &remainder) != Some(label) {
+        if model.predict_with(v, &remainder, scratch) != Some(label) {
             return;
         }
     }
@@ -332,7 +377,7 @@ fn ensure_counterfactual(
         .filter(|&(a, b)| !subgraph.contains_edge(a, b) && graph.has_edge(a, b))
         .collect();
     stats.inference_calls += pairs.len();
-    let margins = model.margin_many_removed(v, label, &base_removed, &pairs);
+    let margins = model.margin_many_removed_with(v, label, &base_removed, &pairs, scratch);
     let mut scored: Vec<(f64, (NodeId, NodeId))> = margins.into_iter().zip(pairs).collect();
     scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
 
@@ -355,7 +400,7 @@ fn ensure_counterfactual(
         added += 1;
         let remainder = GraphView::without(graph, subgraph.edges());
         stats.inference_calls += 1;
-        if model.predict(v, &remainder) != Some(label) {
+        if model.predict_with(v, &remainder, scratch) != Some(label) {
             flipped = true;
             break; // counterfactual achieved
         }
@@ -368,10 +413,10 @@ fn ensure_counterfactual(
             subgraph.remove_edge(a, b);
             let remainder = GraphView::without(graph, subgraph.edges());
             stats.inference_calls += 1;
-            let still_flipped = model.predict(v, &remainder) != Some(label);
+            let still_flipped = model.predict_with(v, &remainder, scratch) != Some(label);
             let view_only = GraphView::restricted_to(graph, subgraph.edges());
             stats.inference_calls += 1;
-            let still_factual = model.predict(v, &view_only) == Some(label);
+            let still_factual = model.predict_with(v, &view_only, scratch) == Some(label);
             if !(still_flipped && still_factual) {
                 subgraph.add_edge(a, b);
             }
@@ -424,11 +469,13 @@ pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
 
     // Full-graph labels of the test nodes.
     let full = GraphView::full(graph);
+    let mut scratch = KernelScratch::default();
     let labels: Vec<usize> = test_nodes
         .iter()
         .map(|&v| {
             stats.inference_calls += 1;
-            gnn.predict(v, &full).expect("valid node")
+            gnn.predict_with(v, &full, &mut scratch)
+                .expect("valid node")
         })
         .collect();
 

@@ -12,7 +12,7 @@
 
 use crate::config::RcwConfig;
 use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
-use rcw_gnn::GnnModel;
+use rcw_gnn::{GnnModel, KernelScratch};
 use rcw_graph::{
     disturbance::{enumerate_disturbances_up_to, random_disturbance},
     traversal::k_hop_neighborhood_multi,
@@ -160,11 +160,21 @@ fn top_m_by_ppr(
 /// `verifyW`: is the witness a factual witness for every test node?
 /// Returns the verdict and the number of inference calls spent.
 pub fn verify_factual(model: &dyn GnnModel, graph: &Graph, witness: &Witness) -> (bool, usize) {
+    verify_factual_with(model, graph, witness, &mut KernelScratch::default())
+}
+
+/// [`verify_factual`] over caller-provided kernel scratch buffers.
+fn verify_factual_with(
+    model: &dyn GnnModel,
+    graph: &Graph,
+    witness: &Witness,
+    scratch: &mut KernelScratch,
+) -> (bool, usize) {
     let view = GraphView::restricted_to(graph, witness.edges());
     let mut calls = 0;
     for (i, &v) in witness.test_nodes.iter().enumerate() {
         calls += 1;
-        if model.predict(v, &view) != Some(witness.labels[i]) {
+        if model.predict_with(v, &view, scratch) != Some(witness.labels[i]) {
             return (false, calls);
         }
     }
@@ -178,7 +188,17 @@ pub fn verify_counterfactual(
     graph: &Graph,
     witness: &Witness,
 ) -> (bool, usize) {
-    let (factual, mut calls) = verify_factual(model, graph, witness);
+    verify_counterfactual_with(model, graph, witness, &mut KernelScratch::default())
+}
+
+/// [`verify_counterfactual`] over caller-provided kernel scratch buffers.
+fn verify_counterfactual_with(
+    model: &dyn GnnModel,
+    graph: &Graph,
+    witness: &Witness,
+    scratch: &mut KernelScratch,
+) -> (bool, usize) {
+    let (factual, mut calls) = verify_factual_with(model, graph, witness, scratch);
     if !factual {
         return (false, calls);
     }
@@ -191,7 +211,7 @@ pub fn verify_counterfactual(
     }
     for (i, &v) in witness.test_nodes.iter().enumerate() {
         calls += 1;
-        if model.predict(v, &remainder) == Some(witness.labels[i]) {
+        if model.predict_with(v, &remainder, scratch) == Some(witness.labels[i]) {
             return (false, calls);
         }
     }
@@ -207,11 +227,28 @@ pub fn disturbance_preserves_cw(
     witness: &Witness,
     disturbance: &EdgeSet,
 ) -> (bool, usize) {
+    disturbance_preserves_cw_with(
+        model,
+        graph,
+        witness,
+        disturbance,
+        &mut KernelScratch::default(),
+    )
+}
+
+/// [`disturbance_preserves_cw`] over caller-provided kernel scratch buffers.
+fn disturbance_preserves_cw_with(
+    model: &dyn GnnModel,
+    graph: &Graph,
+    witness: &Witness,
+    disturbance: &EdgeSet,
+    scratch: &mut KernelScratch,
+) -> (bool, usize) {
     let disturbed = GraphView::full(graph).flipped(disturbance);
     let mut calls = 0;
     for (i, &v) in witness.test_nodes.iter().enumerate() {
         calls += 1;
-        if model.predict(v, &disturbed) != Some(witness.labels[i]) {
+        if model.predict_with(v, &disturbed, scratch) != Some(witness.labels[i]) {
             return (false, calls);
         }
     }
@@ -219,7 +256,7 @@ pub fn disturbance_preserves_cw(
     remainder.flip_edges(disturbance);
     for (i, &v) in witness.test_nodes.iter().enumerate() {
         calls += 1;
-        if model.predict(v, &remainder) == Some(witness.labels[i]) {
+        if model.predict_with(v, &remainder, scratch) == Some(witness.labels[i]) {
             return (false, calls);
         }
     }
@@ -289,7 +326,10 @@ fn verify_rcw_impl(
     candidates_fn: impl FnOnce() -> Vec<Edge>,
 ) -> VerifyOutcome {
     cfg.validate().expect("invalid RcwConfig");
-    let (factual, calls_f) = verify_factual(model, graph, witness);
+    // One scratch for the whole verification: every localized predict below
+    // reuses the same ball/forward buffers.
+    let mut scratch = KernelScratch::default();
+    let (factual, calls_f) = verify_factual_with(model, graph, witness, &mut scratch);
     if !factual {
         return VerifyOutcome {
             level: WitnessLevel::NotAWitness,
@@ -298,7 +338,7 @@ fn verify_rcw_impl(
             disturbances_checked: 0,
         };
     }
-    let (cw, calls_cw) = verify_counterfactual(model, graph, witness);
+    let (cw, calls_cw) = verify_counterfactual_with(model, graph, witness, &mut scratch);
     let mut calls = calls_f + calls_cw;
     if !cw {
         return VerifyOutcome {
@@ -346,7 +386,7 @@ fn verify_rcw_impl(
 
     for d in disturbances {
         checked += 1;
-        let (ok, c) = disturbance_preserves_cw(model, graph, witness, &d);
+        let (ok, c) = disturbance_preserves_cw_with(model, graph, witness, &d, &mut scratch);
         calls += c;
         if !ok {
             return VerifyOutcome {

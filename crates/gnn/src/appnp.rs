@@ -15,16 +15,19 @@
 //! step: per-node logits are `pi(v)^T H`, where `pi(v)` is node `v`'s
 //! personalized PageRank row — exactly what `rcw-pagerank` computes.
 
-use crate::model::{one_hot_labels, GnnModel};
+use crate::model::{one_hot_labels, pack_all, sized, ForwardScratch, GnnModel};
 use crate::train::{Adam, TrainConfig, TrainReport};
 use rcw_graph::{Csr, ForwardCtx, GraphView, NodeId};
-use rcw_linalg::{init, vector, Activation, Matrix};
+use rcw_linalg::{init, matmul_packed_rows, vector, Activation, Matrix, PackedWeights};
 
 /// The APPNP model: an MLP feature transform plus PPR propagation.
 #[derive(Clone, Debug)]
 pub struct Appnp {
     /// MLP weights; layer i maps `dims[i] -> dims[i+1]`.
     weights: Vec<Matrix>,
+    /// Tile-packed copies of `weights`, kept in sync, for unit-stride
+    /// lane-order matmuls.
+    weights_p: Vec<PackedWeights>,
     /// Hidden activation of the MLP.
     activation: Activation,
     /// Teleport probability `alpha` of the PPR propagation.
@@ -48,12 +51,13 @@ impl Appnp {
             alpha > 0.0 && alpha < 1.0,
             "Appnp::new: alpha must be in (0,1)"
         );
-        let weights = dims
+        let weights: Vec<Matrix> = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| init::xavier_uniform(w[0], w[1], seed.wrapping_add(100 + i as u64)))
             .collect();
         Appnp {
+            weights_p: pack_all(&weights),
             weights,
             activation: Activation::Relu,
             alpha,
@@ -148,6 +152,60 @@ impl Appnp {
             }
         }
         z
+    }
+
+    /// The zero-allocation forward kernel: the MLP ping-pongs through the
+    /// scratch, then the PPR iteration runs over `b` (teleport base), `c`
+    /// (iterate) and `d` (SpMM buffer). The logits end up in `s.a`.
+    fn forward_scratch<'s>(
+        &self,
+        ctx: &ForwardCtx<'_>,
+        x: &Matrix,
+        s: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        let n = x.rows();
+        let layers = self.weights_p.len();
+        // MLP transform H = f_theta(X): node-local, so every row is computed.
+        s.a.clear();
+        s.a.extend_from_slice(x.data());
+        let mut dim = x.cols();
+        for (i, wp) in self.weights_p.iter().enumerate() {
+            let od = wp.cols();
+            matmul_packed_rows(&s.a, dim, wp, sized(&mut s.c, n * od), None, false);
+            if i + 1 != layers {
+                for v in s.c.iter_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            std::mem::swap(&mut s.a, &mut s.c);
+            dim = od;
+        }
+        // PPR fixed point z <- alpha * P z + (1 - alpha) * H.
+        let base = sized(&mut s.b, n * dim);
+        for (o, &h) in base.iter_mut().zip(s.a.iter()) {
+            *o = h * (1.0 - self.alpha);
+        }
+        s.c.clear();
+        s.c.extend_from_slice(&s.b);
+        sized(&mut s.d, n * dim);
+        for t in 1..=self.prop_iters {
+            let rows = ctx.active_rows(self.prop_iters - t);
+            ctx.spmm_row(&s.c, dim, &mut s.d, rows);
+            let d = &s.d;
+            let b = &s.b;
+            let z = &mut s.c;
+            let mut update = |u: usize| {
+                for c in u * dim..(u + 1) * dim {
+                    z[c] = d[c] * self.alpha + b[c];
+                }
+            };
+            match rows {
+                None => (0..n).for_each(&mut update),
+                Some(rows) => rows.iter().copied().for_each(&mut update),
+            }
+        }
+        std::mem::swap(&mut s.a, &mut s.c);
+        &s.a
     }
 
     /// Applies the *transposed* propagation, used for backpropagation:
@@ -248,6 +306,7 @@ impl Appnp {
                 .accuracies
                 .push(correct as f64 / train_nodes.len() as f64);
         }
+        self.weights_p = pack_all(&self.weights);
         report
     }
 }
@@ -274,8 +333,18 @@ impl GnnModel for Appnp {
     }
 
     fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
-        let h = self.mlp_forward(x).1.pop().expect("non-empty MLP");
-        self.propagate_ctx(ctx, &h)
+        let mut s = ForwardScratch::default();
+        self.forward_scratch(ctx, x, &mut s);
+        Matrix::from_vec(x.rows(), self.num_classes(), s.a)
+    }
+
+    fn forward_into<'s>(
+        &self,
+        ctx: &ForwardCtx<'_>,
+        x: &Matrix,
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        self.forward_scratch(ctx, x, scratch)
     }
 }
 

@@ -6,16 +6,32 @@
 //! normalizes them with a softmax, and aggregates `h'_u = act( sum_v alpha_uv W h_v )`.
 //! The output layer uses the identity activation and yields logits.
 
-use crate::model::{matmul_rows, GnnModel};
+use crate::model::{sized, ForwardScratch, GnnModel};
 use rcw_graph::ForwardCtx;
-use rcw_linalg::{init, vector, Activation, Matrix};
+use rcw_linalg::{init, matmul_packed_rows, vector, Activation, Matrix, PackedWeights};
 
 /// One GAT layer: a linear transform plus source/destination attention vectors.
 #[derive(Clone, Debug)]
 pub struct GatLayer {
     weight: Matrix,
+    /// `weight` tile-packed, kept in sync, for unit-stride lane-order
+    /// matmuls.
+    weight_p: PackedWeights,
     attn_src: Vec<f64>,
     attn_dst: Vec<f64>,
+}
+
+impl GatLayer {
+    /// Builds a layer from its transform and attention vectors, caching the
+    /// tile-packed transform for the forward kernel.
+    pub fn new(weight: Matrix, attn_src: Vec<f64>, attn_dst: Vec<f64>) -> Self {
+        GatLayer {
+            weight_p: PackedWeights::pack(&weight),
+            weight,
+            attn_src,
+            attn_dst,
+        }
+    }
 }
 
 /// A single-head GAT model.
@@ -46,11 +62,7 @@ impl Gat {
                 let attn_dst = init::xavier_uniform(1, w[1], seed.wrapping_add(900 + i as u64))
                     .row(0)
                     .to_vec();
-                GatLayer {
-                    weight,
-                    attn_src,
-                    attn_dst,
-                }
+                GatLayer::new(weight, attn_src, attn_dst)
             })
             .collect();
         Gat {
@@ -59,59 +71,85 @@ impl Gat {
         }
     }
 
-    fn layer_forward(
-        layer: &GatLayer,
+    /// The zero-allocation forward kernel: transformed features ping-pong
+    /// through `a`/`b`/`c`, attention scores live in `src`/`dst`, and each
+    /// row's closed neighborhood and softmax weights reuse `nbrs`/`att`.
+    fn forward_scratch<'s>(
+        &self,
         ctx: &ForwardCtx<'_>,
         x: &Matrix,
-        remaining: usize,
-        last: bool,
-        act: Activation,
-    ) -> Matrix {
+        s: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
         let n = x.rows();
-        let rows = ctx.active_rows(remaining);
-        // Attention needs the transformed features and scores of every node an
-        // active row attends to — its neighbors, i.e. the previous round's
-        // active set.
-        let support = ctx.active_rows(remaining + 1);
-        let transformed = matmul_rows(x, &layer.weight, support);
-        let dim = transformed.cols();
-        // attention logits per node
-        let mut src_scores = vec![0.0; n];
-        let mut dst_scores = vec![0.0; n];
-        let mut score = |u: usize| {
-            src_scores[u] = vector::dot(transformed.row(u), &layer.attn_src);
-            dst_scores[u] = vector::dot(transformed.row(u), &layer.attn_dst);
-        };
-        match support {
-            None => (0..n).for_each(&mut score),
-            Some(support) => support.iter().copied().for_each(&mut score),
-        }
-        let mut out = Matrix::zeros(n, dim);
+        let count = self.layers.len();
         let csr = ctx.csr();
-        let mut aggregate = |u: usize| {
-            // neighborhood including self
-            let mut nbrs: Vec<usize> = csr.neighbors(u).to_vec();
-            nbrs.push(u);
-            let mut scores: Vec<f64> = nbrs
-                .iter()
-                .map(|&v| Activation::LeakyRelu.apply(src_scores[u] + dst_scores[v]))
-                .collect();
-            vector::softmax_inplace(&mut scores);
-            for (&v, &a) in nbrs.iter().zip(&scores) {
-                for c in 0..dim {
-                    out.add_at(u, c, a * transformed.get(v, c));
+        s.a.clear();
+        s.a.extend_from_slice(x.data());
+        let mut dim = x.cols();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let remaining = count - 1 - i;
+            let rows = ctx.active_rows(remaining);
+            // Attention needs the transformed features and scores of every
+            // node an active row attends to — its neighbors, i.e. the
+            // previous round's active set.
+            let support = ctx.active_rows(remaining + 1);
+            let od = layer.weight_p.cols();
+            matmul_packed_rows(
+                &s.a,
+                dim,
+                &layer.weight_p,
+                sized(&mut s.b, n * od),
+                support,
+                false,
+            );
+            // attention logits per node
+            let transformed: &[f64] = &s.b;
+            let src_scores = sized(&mut s.src, n);
+            let dst_scores = sized(&mut s.dst, n);
+            let mut score = |u: usize| {
+                let trow = &transformed[u * od..(u + 1) * od];
+                src_scores[u] = vector::dot(trow, &layer.attn_src);
+                dst_scores[u] = vector::dot(trow, &layer.attn_dst);
+            };
+            match support {
+                None => (0..n).for_each(&mut score),
+                Some(support) => support.iter().copied().for_each(&mut score),
+            }
+            let out = sized(&mut s.c, n * od);
+            let nbrs = &mut s.nbrs;
+            let att = &mut s.att;
+            let mut aggregate = |u: usize| {
+                // neighborhood including self
+                nbrs.clear();
+                nbrs.extend_from_slice(csr.neighbors(u));
+                nbrs.push(u);
+                att.clear();
+                att.extend(
+                    nbrs.iter()
+                        .map(|&v| Activation::LeakyRelu.apply(src_scores[u] + dst_scores[v])),
+                );
+                vector::softmax_inplace(att);
+                let orow = &mut out[u * od..(u + 1) * od];
+                for (&v, &a) in nbrs.iter().zip(att.iter()) {
+                    let trow = &transformed[v * od..(v + 1) * od];
+                    for (o, &t) in orow.iter_mut().zip(trow) {
+                        *o += a * t;
+                    }
+                }
+            };
+            match rows {
+                None => (0..n).for_each(&mut aggregate),
+                Some(rows) => rows.iter().copied().for_each(&mut aggregate),
+            }
+            if i + 1 != count {
+                for v in s.c.iter_mut() {
+                    *v = self.activation.apply(*v);
                 }
             }
-        };
-        match rows {
-            None => (0..n).for_each(&mut aggregate),
-            Some(rows) => rows.iter().copied().for_each(&mut aggregate),
+            std::mem::swap(&mut s.a, &mut s.c);
+            dim = od;
         }
-        if last {
-            out
-        } else {
-            act.apply_matrix(&out)
-        }
+        &s.a
     }
 }
 
@@ -129,19 +167,18 @@ impl GnnModel for Gat {
     }
 
     fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
-        let count = self.layers.len();
-        let mut x = x.clone();
-        for (i, layer) in self.layers.iter().enumerate() {
-            x = Self::layer_forward(
-                layer,
-                ctx,
-                &x,
-                count - 1 - i,
-                i + 1 == count,
-                self.activation,
-            );
-        }
-        x
+        let mut s = ForwardScratch::default();
+        self.forward_scratch(ctx, x, &mut s);
+        Matrix::from_vec(x.rows(), self.num_classes(), s.a)
+    }
+
+    fn forward_into<'s>(
+        &self,
+        ctx: &ForwardCtx<'_>,
+        x: &Matrix,
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        self.forward_scratch(ctx, x, scratch)
     }
 }
 
@@ -182,11 +219,7 @@ mod tests {
         // With a single identity layer and zero attention vectors, every
         // neighbor (plus self) gets equal weight, so the output of a node is
         // the mean of its closed neighborhood's transformed features.
-        let layer = GatLayer {
-            weight: Matrix::identity(3),
-            attn_src: vec![0.0; 3],
-            attn_dst: vec![0.0; 3],
-        };
+        let layer = GatLayer::new(Matrix::identity(3), vec![0.0; 3], vec![0.0; 3]);
         let m = Gat {
             layers: vec![layer],
             activation: Activation::Identity,

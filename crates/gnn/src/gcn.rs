@@ -7,16 +7,19 @@
 //! gradient descent with Adam on the cross-entropy of the training nodes —
 //! sufficient for the synthetic datasets and fully deterministic.
 
-use crate::model::{matmul_rows, one_hot_labels, GnnModel};
+use crate::model::{one_hot_labels, pack_all, sized, ForwardScratch, GnnModel};
 use crate::train::{Adam, TrainConfig, TrainReport};
-use rcw_graph::{Csr, ForwardCtx, GraphView, NodeId};
-use rcw_linalg::{init, vector, Activation, Matrix};
+use rcw_graph::{Csr, CsrNorms, ForwardCtx, GraphView, NodeId};
+use rcw_linalg::{init, matmul_packed_rows, vector, Activation, Matrix, PackedWeights};
 
 /// A GCN with an arbitrary number of layers.
 #[derive(Clone, Debug)]
 pub struct Gcn {
     /// One weight matrix per layer; layer i maps `dims[i] -> dims[i+1]`.
     weights: Vec<Matrix>,
+    /// Tile-packed copies of `weights`, kept in sync, so the forward
+    /// kernels stream the right operand at unit stride in lane order.
+    weights_p: Vec<PackedWeights>,
     /// Hidden activation (output layer is always identity/logits).
     activation: Activation,
 }
@@ -42,12 +45,13 @@ impl Gcn {
             dims.len() >= 2,
             "Gcn::new: need at least input and output dims"
         );
-        let weights = dims
+        let weights: Vec<Matrix> = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| init::xavier_uniform(w[0], w[1], seed.wrapping_add(i as u64)))
             .collect();
         Gcn {
+            weights_p: pack_all(&weights),
             weights,
             activation: Activation::Relu,
         }
@@ -58,6 +62,7 @@ impl Gcn {
     pub fn from_weights(weights: Vec<Matrix>, activation: Activation) -> Self {
         assert!(!weights.is_empty(), "Gcn::from_weights: no layers");
         Gcn {
+            weights_p: pack_all(&weights),
             weights,
             activation,
         }
@@ -68,15 +73,44 @@ impl Gcn {
         &self.weights
     }
 
-    fn sym_norm_spmm(csr: &Csr, x: &Matrix) -> Matrix {
+    /// The zero-allocation forward kernel behind both trait entry points:
+    /// activations ping-pong through the scratch and the logits end up in
+    /// `s.a`, returned as a borrowed `n x num_classes` row-major slice.
+    fn forward_scratch<'s>(
+        &self,
+        ctx: &ForwardCtx<'_>,
+        x: &Matrix,
+        s: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        let n = x.rows();
+        let layers = self.weights_p.len();
+        s.a.clear();
+        s.a.extend_from_slice(x.data());
+        let mut dim = x.cols();
+        for (i, wp) in self.weights_p.iter().enumerate() {
+            let rows = ctx.active_rows(layers - 1 - i);
+            let od = wp.cols();
+            ctx.spmm_sym(&s.a, dim, sized(&mut s.b, n * dim), rows);
+            matmul_packed_rows(&s.b, dim, wp, sized(&mut s.c, n * od), rows, false);
+            if i + 1 != layers {
+                for v in s.c.iter_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            std::mem::swap(&mut s.a, &mut s.c);
+            dim = od;
+        }
+        &s.a
+    }
+
+    fn sym_norm_spmm(csr: &Csr, norms: &CsrNorms, x: &Matrix) -> Matrix {
         let dim = x.cols();
         let mut out = vec![0.0; x.rows() * dim];
-        csr.spmm_sym_norm(x.data(), dim, &mut out);
+        csr.spmm_sym_norm_cached(norms, x.data(), dim, &mut out, None);
         Matrix::from_vec(x.rows(), dim, out)
     }
 
-    fn forward_trace(&self, view: &GraphView<'_>) -> ForwardTrace {
-        let csr = Csr::from_view(view);
+    fn forward_trace(&self, view: &GraphView<'_>, csr: &Csr, norms: &CsrNorms) -> ForwardTrace {
         let x0 = view.graph().feature_matrix();
         let x0 = crate::pad_features(&x0, self.feature_dim());
         let mut aggregated = Vec::with_capacity(self.weights.len());
@@ -84,7 +118,7 @@ impl Gcn {
         let mut outputs = Vec::with_capacity(self.weights.len());
         let mut x = x0;
         for (i, w) in self.weights.iter().enumerate() {
-            let s = Self::sym_norm_spmm(&csr, &x);
+            let s = Self::sym_norm_spmm(csr, norms, &x);
             let p = s.matmul(w);
             let out = if i + 1 == self.weights.len() {
                 p.clone()
@@ -117,6 +151,7 @@ impl Gcn {
         let labels = graph.labels_vec();
         let targets = one_hot_labels(&labels, self.num_classes());
         let csr = Csr::from_view(view);
+        let norms = CsrNorms::from_csr(&csr);
         let mut optimizers: Vec<Adam> = self
             .weights
             .iter()
@@ -126,7 +161,7 @@ impl Gcn {
         let mut report = TrainReport::default();
 
         for _epoch in 0..cfg.epochs {
-            let trace = self.forward_trace(view);
+            let trace = self.forward_trace(view, &csr, &norms);
             let logits = trace.outputs.last().expect("at least one layer");
 
             // Loss + output gradient, masked to the training nodes.
@@ -167,7 +202,7 @@ impl Gcn {
                 }
                 // dL/dS = dP * W^T ; dL/dX_{i-1} = A_norm^T dS = A_norm dS (symmetric)
                 let d_s = d_pre.matmul(&self.weights[layer].transpose());
-                upstream = Self::sym_norm_spmm(&csr, &d_s);
+                upstream = Self::sym_norm_spmm(&csr, &norms, &d_s);
                 optimizers[layer].step(&mut self.weights[layer], &d_w);
             }
 
@@ -176,6 +211,7 @@ impl Gcn {
                 .accuracies
                 .push(correct as f64 / train_nodes.len() as f64);
         }
+        self.weights_p = pack_all(&self.weights);
         report
     }
 }
@@ -194,24 +230,18 @@ impl GnnModel for Gcn {
     }
 
     fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
-        let n = ctx.num_nodes();
-        let layers = self.weights.len();
-        let mut x = x.clone();
-        for (i, w) in self.weights.iter().enumerate() {
-            let rows = ctx.active_rows(layers - 1 - i);
-            let dim = x.cols();
-            let mut s = vec![0.0; n * dim];
-            ctx.csr()
-                .spmm_sym_norm_deg(ctx.degrees(), x.data(), dim, &mut s, rows);
-            let s = Matrix::from_vec(n, dim, s);
-            let p = matmul_rows(&s, w, rows);
-            x = if i + 1 == layers {
-                p
-            } else {
-                self.activation.apply_matrix(&p)
-            };
-        }
-        x
+        let mut s = ForwardScratch::default();
+        self.forward_scratch(ctx, x, &mut s);
+        Matrix::from_vec(x.rows(), self.num_classes(), s.a)
+    }
+
+    fn forward_into<'s>(
+        &self,
+        ctx: &ForwardCtx<'_>,
+        x: &Matrix,
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        self.forward_scratch(ctx, x, scratch)
     }
 }
 

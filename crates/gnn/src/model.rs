@@ -15,8 +15,70 @@
 //! bit-exact (same floats, same argmax) and orders of magnitude cheaper on
 //! graphs larger than the receptive field.
 
-use rcw_graph::{Csr, ForwardCtx, Graph, GraphView, Locality, NodeId};
-use rcw_linalg::{vector, Matrix};
+use rcw_graph::{
+    BallScratch, BallVariant, Csr, CsrNorms, ForwardCtx, Graph, GraphView, Locality, NodeId,
+};
+use rcw_linalg::{vector, Matrix, PackedWeights};
+
+/// Reusable per-layer working buffers for the zero-allocation forward paths.
+///
+/// Models thread these through `forward_into`: activations ping-pong between
+/// `a`/`b`/`c`/`d`, the GAT attention pass borrows `src`/`dst`/`nbrs`/`att`,
+/// and the trait-default `forward_into` fallback copies into `out`. Buffers
+/// only ever grow, so a scratch reused across calls stops allocating once it
+/// has seen the largest ball.
+#[derive(Debug, Default)]
+pub struct ForwardScratch {
+    pub(crate) a: Vec<f64>,
+    pub(crate) b: Vec<f64>,
+    pub(crate) c: Vec<f64>,
+    pub(crate) d: Vec<f64>,
+    pub(crate) src: Vec<f64>,
+    pub(crate) dst: Vec<f64>,
+    pub(crate) nbrs: Vec<usize>,
+    pub(crate) att: Vec<f64>,
+    out: Vec<f64>,
+}
+
+/// Clears `buf` and resizes it to `len` zeros, reusing its allocation.
+pub(crate) fn sized(buf: &mut Vec<f64>, len: usize) -> &mut [f64] {
+    buf.clear();
+    buf.resize(len, 0.0);
+    buf
+}
+
+/// Tile-packed copies of a weight stack; models keep these in sync with
+/// their weights so every layer multiply streams the right operand at unit
+/// stride in the blocked kernel's lane order.
+pub(crate) fn pack_all(weights: &[Matrix]) -> Vec<PackedWeights> {
+    weights.iter().map(PackedWeights::pack).collect()
+}
+
+/// All working memory a localized inference query needs: the receptive-field
+/// ball and its BFS scratch, the single-removal variant scratch, the local
+/// feature matrix, and the per-layer forward buffers. One `KernelScratch`
+/// per worker makes `predict_with` / `margin_many_removed_with` allocation-free
+/// in steady state; results are bit-identical to the allocating entry points.
+#[derive(Debug)]
+pub struct KernelScratch {
+    pub(crate) ball: Locality,
+    pub(crate) build: BallScratch,
+    pub(crate) variant: BallVariant,
+    pub(crate) features: Matrix,
+    pub(crate) fwd: ForwardScratch,
+}
+
+impl Default for KernelScratch {
+    fn default() -> Self {
+        KernelScratch {
+            ball: Locality::default(),
+            build: BallScratch::default(),
+            variant: BallVariant::default(),
+            features: Matrix::zeros(0, 0),
+            fwd: ForwardScratch::default(),
+        }
+    }
+}
 
 /// A fixed, deterministic GNN-based node classifier.
 pub trait GnnModel: Send + Sync {
@@ -44,16 +106,43 @@ pub trait GnnModel: Send + Sync {
     /// bit-exact against the full pass.
     fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix;
 
+    /// [`GnnModel::forward`] into reusable scratch buffers, returning the
+    /// logits as a row-major `ctx.num_nodes() x num_classes` slice borrowed
+    /// from the scratch. The default copies the allocating `forward`'s output;
+    /// the bundled models override it with a buffer-ping-pong implementation
+    /// that performs no heap allocation once the scratch has warmed up.
+    /// Implementations must be bit-identical to `forward`.
+    fn forward_into<'s>(
+        &self,
+        ctx: &ForwardCtx<'_>,
+        x: &Matrix,
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        let z = self.forward(ctx, x);
+        scratch.out.clear();
+        scratch.out.extend_from_slice(z.data());
+        &scratch.out
+    }
+
     /// Computes the logits matrix `Z` (`|V| x |L|`) of the model over the
     /// given graph view. This is the paper's "output" of `M`; it pays a
     /// full-graph pass and is the right entry point for training, whole-graph
     /// accuracy, and `predict_all` — single-node queries should go through
     /// [`GnnModel::predict`] / [`GnnModel::margin`] instead.
+    ///
+    /// An unmasked view reuses the host graph's cached CSR and normalization
+    /// vectors (both invalidated by the graph epoch); masked views snapshot
+    /// their own.
     fn logits(&self, view: &GraphView<'_>) -> Matrix {
-        let csr = Csr::from_view(view);
-        let degrees: Vec<f64> = (0..csr.num_nodes()).map(|u| csr.degree(u) as f64).collect();
-        let ctx = ForwardCtx::full(&csr, &degrees);
         let x = crate::pad_features(&view.graph().feature_matrix(), self.feature_dim());
+        if view.is_unmasked() {
+            let g = view.graph();
+            let ctx = ForwardCtx::full_with_norms(g.csr(), g.norms());
+            return self.forward(&ctx, &x);
+        }
+        let csr = Csr::from_view(view);
+        let norms = CsrNorms::from_csr(&csr);
+        let ctx = ForwardCtx::full_with_norms(&csr, &norms);
         self.forward(&ctx, &x)
     }
 
@@ -66,11 +155,22 @@ pub trait GnnModel: Send + Sync {
     /// features), matching the paper's convention that a single node is a
     /// trivial factual witness.
     fn predict(&self, v: NodeId, view: &GraphView<'_>) -> Option<usize> {
+        self.predict_with(v, view, &mut KernelScratch::default())
+    }
+
+    /// [`GnnModel::predict`] over caller-provided scratch buffers — the
+    /// zero-allocation path for loops that classify many nodes or views.
+    fn predict_with(
+        &self,
+        v: NodeId,
+        view: &GraphView<'_>,
+        scratch: &mut KernelScratch,
+    ) -> Option<usize> {
         if v >= view.num_nodes() {
             return None;
         }
-        let row = localized_logits_row(self, v, view);
-        Some(vector::argmax(&row))
+        let row = localized_logits_into(self, v, view, scratch);
+        Some(vector::argmax(row))
     }
 
     /// Predicts labels for every node in the view (one full-graph pass).
@@ -83,8 +183,19 @@ pub trait GnnModel: Send + Sync {
     /// class: `z[v][l] - max_{c != l} z[v][c]`. Positive means the model
     /// assigns `l` to `v`. Runs the localized path.
     fn margin(&self, v: NodeId, label: usize, view: &GraphView<'_>) -> f64 {
-        let row = localized_logits_row(self, v, view);
-        margin_of_row(&row, label)
+        self.margin_with(v, label, view, &mut KernelScratch::default())
+    }
+
+    /// [`GnnModel::margin`] over caller-provided scratch buffers.
+    fn margin_with(
+        &self,
+        v: NodeId,
+        label: usize,
+        view: &GraphView<'_>,
+        scratch: &mut KernelScratch,
+    ) -> f64 {
+        let row = localized_logits_into(self, v, view, scratch);
+        margin_of_row(row, label)
     }
 
     /// Batched margins of one node across many candidate views. The default
@@ -121,22 +232,59 @@ pub trait GnnModel: Send + Sync {
         base: &GraphView<'_>,
         removals: &[(NodeId, NodeId)],
     ) -> Vec<f64> {
-        let local = Locality::build(base, v, self.receptive_hops());
-        let x = local_features(base.graph(), local.nodes(), self.feature_dim());
-        let mut base_row: Option<Vec<f64>> = None;
+        self.margin_many_removed_with(v, label, base, removals, &mut KernelScratch::default())
+    }
+
+    /// [`GnnModel::margin_many_removed`] over caller-provided scratch
+    /// buffers: the ball is rebuilt into the scratch, every in-ball candidate
+    /// reuses one [`BallVariant`] and the forward buffers, and out-of-ball
+    /// candidates share one lazily computed base margin — zero heap
+    /// allocations per candidate once the scratch has warmed up.
+    fn margin_many_removed_with(
+        &self,
+        v: NodeId,
+        label: usize,
+        base: &GraphView<'_>,
+        removals: &[(NodeId, NodeId)],
+        scratch: &mut KernelScratch,
+    ) -> Vec<f64> {
+        scratch
+            .ball
+            .rebuild(base, v, self.receptive_hops(), &mut scratch.build);
+        local_features_into(
+            base.graph(),
+            scratch.ball.nodes(),
+            self.feature_dim(),
+            &mut scratch.features,
+        );
+        let KernelScratch {
+            ball,
+            variant,
+            features,
+            fwd,
+            ..
+        } = scratch;
+        let k = self.num_classes();
+        let center = ball.center_index();
+        let mut base_margin: Option<f64> = None;
         removals
             .iter()
             .map(|&(a, b)| {
-                if !local.contains(a) && !local.contains(b) {
-                    let row = base_row.get_or_insert_with(|| {
-                        let z = self.forward(&local.forward_ctx(), &x);
-                        z.row(local.center_index()).to_vec()
-                    });
-                    margin_of_row(row, label)
+                if !ball.contains(a) && !ball.contains(b) {
+                    // a removal outside the ball cannot move the center's
+                    // logits; all such candidates share one base evaluation
+                    if let Some(m) = base_margin {
+                        m
+                    } else {
+                        let z = self.forward_into(&ball.forward_ctx(), features, fwd);
+                        let m = margin_of_row(&z[center * k..(center + 1) * k], label);
+                        base_margin = Some(m);
+                        m
+                    }
                 } else {
-                    let variant = local.minus_edge(a, b);
-                    let z = self.forward(&variant.forward_ctx(), &x);
-                    margin_of_row(z.row(variant.center_index()), label)
+                    let ctx = ball.minus_edge_ctx(a, b, variant);
+                    let z = self.forward_into(&ctx, features, fwd);
+                    margin_of_row(&z[center * k..(center + 1) * k], label)
                 }
             })
             .collect()
@@ -151,10 +299,33 @@ pub fn localized_logits_row<M: GnnModel + ?Sized>(
     v: NodeId,
     view: &GraphView<'_>,
 ) -> Vec<f64> {
-    let local = Locality::build(view, v, model.receptive_hops());
-    let x = local_features(view.graph(), local.nodes(), model.feature_dim());
-    let z = model.forward(&local.forward_ctx(), &x);
-    z.row(local.center_index()).to_vec()
+    localized_logits_into(model, v, view, &mut KernelScratch::default()).to_vec()
+}
+
+/// [`localized_logits_row`] over caller-provided scratch buffers: ball
+/// extraction, local features, and the forward pass all reuse the scratch,
+/// and the returned row borrows it. The zero-allocation core behind
+/// `predict_with` / `margin_with`.
+pub fn localized_logits_into<'s, M: GnnModel + ?Sized>(
+    model: &M,
+    v: NodeId,
+    view: &GraphView<'_>,
+    scratch: &'s mut KernelScratch,
+) -> &'s [f64] {
+    scratch
+        .ball
+        .rebuild(view, v, model.receptive_hops(), &mut scratch.build);
+    local_features_into(
+        view.graph(),
+        scratch.ball.nodes(),
+        model.feature_dim(),
+        &mut scratch.features,
+    );
+    let ctx = scratch.ball.forward_ctx();
+    let z = model.forward_into(&ctx, &scratch.features, &mut scratch.fwd);
+    let k = model.num_classes();
+    let center = scratch.ball.center_index();
+    &z[center * k..(center + 1) * k]
 }
 
 /// Margin of a logits row towards `label` over the runner-up class.
@@ -173,13 +344,19 @@ pub fn margin_of_row(row: &[f64], label: usize) -> f64 {
 /// `pad_features(graph.feature_matrix(), dim)` without materializing `|V|`
 /// rows.
 pub fn local_features(graph: &Graph, nodes: &[NodeId], dim: usize) -> Matrix {
-    let mut x = Matrix::zeros(nodes.len(), dim);
-    for (i, &v) in nodes.iter().enumerate() {
-        for (j, &val) in graph.features(v).iter().take(dim).enumerate() {
-            x.set(i, j, val);
-        }
-    }
+    let mut x = Matrix::zeros(0, 0);
+    local_features_into(graph, nodes, dim, &mut x);
     x
+}
+
+/// [`local_features`] into a caller-provided matrix, reusing its allocation.
+pub fn local_features_into(graph: &Graph, nodes: &[NodeId], dim: usize, out: &mut Matrix) {
+    out.reset(nodes.len(), dim);
+    for (i, &v) in nodes.iter().enumerate() {
+        let f = graph.features(v);
+        let take = f.len().min(dim);
+        out.row_mut(i)[..take].copy_from_slice(&f[..take]);
+    }
 }
 
 /// Row-scheduled matrix product `x * w`: computes only the scheduled rows

@@ -7,15 +7,19 @@
 //! with identity on the output layer. The model is inference-only; weights
 //! come from a seeded initializer or from an explicit constructor.
 
-use crate::model::{matmul_rows, GnnModel};
+use crate::model::{pack_all, sized, ForwardScratch, GnnModel};
 use rcw_graph::ForwardCtx;
-use rcw_linalg::{init, Activation, Matrix};
+use rcw_linalg::{init, matmul_packed_rows, Activation, Matrix, PackedWeights};
 
 /// A GraphSAGE model with mean aggregation.
 #[derive(Clone, Debug)]
 pub struct GraphSage {
     self_weights: Vec<Matrix>,
     neigh_weights: Vec<Matrix>,
+    /// Tile-packed copies of the weight stacks, kept in sync, for
+    /// unit-stride lane-order matmuls in the forward kernel.
+    self_weights_p: Vec<PackedWeights>,
+    neigh_weights_p: Vec<PackedWeights>,
     activation: Activation,
 }
 
@@ -29,17 +33,19 @@ impl GraphSage {
             dims.len() >= 2,
             "GraphSage::new: need at least input and output dims"
         );
-        let self_weights = dims
+        let self_weights: Vec<Matrix> = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| init::xavier_uniform(w[0], w[1], seed.wrapping_add(i as u64)))
             .collect();
-        let neigh_weights = dims
+        let neigh_weights: Vec<Matrix> = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| init::xavier_uniform(w[0], w[1], seed.wrapping_add(1000 + i as u64)))
             .collect();
         GraphSage {
+            self_weights_p: pack_all(&self_weights),
+            neigh_weights_p: pack_all(&neigh_weights),
             self_weights,
             neigh_weights,
             activation: Activation::Relu,
@@ -62,28 +68,48 @@ impl GraphSage {
             "GraphSage::from_weights: no layers"
         );
         GraphSage {
+            self_weights_p: pack_all(&self_weights),
+            neigh_weights_p: pack_all(&neigh_weights),
             self_weights,
             neigh_weights,
             activation,
         }
     }
 
-    fn mean_aggregate(ctx: &ForwardCtx<'_>, x: &Matrix, rows: Option<&[usize]>) -> Matrix {
-        let n = x.rows();
-        let dim = x.cols();
-        let mut out = Matrix::zeros(n, dim);
+    /// Immutable access to the per-layer self-transform weights.
+    pub fn self_weights(&self) -> &[Matrix] {
+        &self.self_weights
+    }
+
+    /// Immutable access to the per-layer neighbor-transform weights.
+    pub fn neigh_weights(&self) -> &[Matrix] {
+        &self.neigh_weights
+    }
+
+    /// Mean-aggregates neighbor rows of `x` into `out` (pre-zeroed), keeping
+    /// CSR neighbor order so localized evaluation stays bit-exact.
+    fn mean_aggregate_into(
+        ctx: &ForwardCtx<'_>,
+        x: &[f64],
+        dim: usize,
+        out: &mut [f64],
+        rows: Option<&[usize]>,
+    ) {
+        let n = out.len() / dim.max(1);
         let csr = ctx.csr();
         let degrees = ctx.degrees();
         let mut aggregate = |u: usize| {
+            let orow = &mut out[u * dim..(u + 1) * dim];
             if degrees[u] == 0.0 {
                 // no neighbors: aggregate the node itself so the signal is defined
-                out.set_row(u, x.row(u));
+                orow.copy_from_slice(&x[u * dim..(u + 1) * dim]);
                 return;
             }
             let inv = 1.0 / degrees[u];
             for &v in csr.neighbors(u) {
-                for c in 0..dim {
-                    out.add_at(u, c, inv * x.get(v, c));
+                let xrow = &x[v * dim..(v + 1) * dim];
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += inv * xv;
                 }
             }
         };
@@ -91,7 +117,43 @@ impl GraphSage {
             None => (0..n).for_each(&mut aggregate),
             Some(rows) => rows.iter().copied().for_each(&mut aggregate),
         }
-        out
+    }
+
+    /// The zero-allocation forward kernel: `a` holds the activations, `b` the
+    /// neighbor means, `c` the layer output (self term, then the neighbor term
+    /// accumulated on top, matching the allocating path's add-assign of two
+    /// completed products bit for bit).
+    fn forward_scratch<'s>(
+        &self,
+        ctx: &ForwardCtx<'_>,
+        x: &Matrix,
+        s: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        let n = x.rows();
+        let layers = self.self_weights_p.len();
+        s.a.clear();
+        s.a.extend_from_slice(x.data());
+        let mut dim = x.cols();
+        for (i, (wsp, wnp)) in self
+            .self_weights_p
+            .iter()
+            .zip(&self.neigh_weights_p)
+            .enumerate()
+        {
+            let rows = ctx.active_rows(layers - 1 - i);
+            let od = wsp.cols();
+            Self::mean_aggregate_into(ctx, &s.a, dim, sized(&mut s.b, n * dim), rows);
+            matmul_packed_rows(&s.a, dim, wsp, sized(&mut s.c, n * od), rows, false);
+            matmul_packed_rows(&s.b, dim, wnp, &mut s.c, rows, true);
+            if i + 1 != layers {
+                for v in s.c.iter_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            std::mem::swap(&mut s.a, &mut s.c);
+            dim = od;
+        }
+        &s.a
     }
 }
 
@@ -109,25 +171,18 @@ impl GnnModel for GraphSage {
     }
 
     fn forward(&self, ctx: &ForwardCtx<'_>, x: &Matrix) -> Matrix {
-        let layers = self.self_weights.len();
-        let mut x = x.clone();
-        for (i, (ws, wn)) in self
-            .self_weights
-            .iter()
-            .zip(&self.neigh_weights)
-            .enumerate()
-        {
-            let rows = ctx.active_rows(layers - 1 - i);
-            let agg = Self::mean_aggregate(ctx, &x, rows);
-            let mut out = matmul_rows(&x, ws, rows);
-            out.add_assign(&matmul_rows(&agg, wn, rows));
-            x = if i + 1 == layers {
-                out
-            } else {
-                self.activation.apply_matrix(&out)
-            };
-        }
-        x
+        let mut s = ForwardScratch::default();
+        self.forward_scratch(ctx, x, &mut s);
+        Matrix::from_vec(x.rows(), self.num_classes(), s.a)
+    }
+
+    fn forward_into<'s>(
+        &self,
+        ctx: &ForwardCtx<'_>,
+        x: &Matrix,
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        self.forward_scratch(ctx, x, scratch)
     }
 }
 

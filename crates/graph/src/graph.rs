@@ -6,7 +6,7 @@
 //! iteration orders are deterministic, which the paper requires of the whole
 //! pipeline ("fixed and deterministic GNN").
 
-use crate::csr::Csr;
+use crate::csr::{Csr, CsrNorms};
 use crate::edge::{norm_edge, Edge};
 use rcw_linalg::Matrix;
 use std::collections::BTreeSet;
@@ -36,6 +36,9 @@ pub struct Graph {
     /// Lazily built host CSR, shared by every [`crate::view::GraphView`] over
     /// this graph (their delta-CSR base layer). Structural mutation clears it.
     csr_cache: OnceLock<Csr>,
+    /// Lazily built normalization vectors over the host degrees, cleared
+    /// together with the CSR cache on structural mutation.
+    norms_cache: OnceLock<CsrNorms>,
     /// Structural version: changes whenever the node set or edge set changes.
     epoch: u64,
     /// Feature version: changes whenever node features (or the node set)
@@ -64,6 +67,7 @@ impl Graph {
             labels: vec![None; n],
             num_edges: 0,
             csr_cache: OnceLock::new(),
+            norms_cache: OnceLock::new(),
             epoch: fresh_epoch(),
             feature_epoch: fresh_epoch(),
         }
@@ -92,9 +96,18 @@ impl Graph {
         self.csr_cache.get_or_init(|| Csr::from_graph(self))
     }
 
+    /// Cached SpMM normalization vectors over the host degrees, built on
+    /// first use and reused (alongside [`Graph::csr`]) by every unmasked-view
+    /// forward pass until the graph mutates structurally.
+    pub fn norms(&self) -> &CsrNorms {
+        self.norms_cache
+            .get_or_init(|| CsrNorms::from_csr(self.csr()))
+    }
+
     /// Adds a node with the given features, returning its id.
     pub fn add_node(&mut self, features: Vec<f64>) -> NodeId {
         self.csr_cache.take();
+        self.norms_cache.take();
         self.epoch = fresh_epoch();
         self.feature_epoch = fresh_epoch();
         self.adjacency.push(BTreeSet::new());
@@ -150,6 +163,7 @@ impl Graph {
             self.adjacency[v].insert(u);
             self.num_edges += 1;
             self.csr_cache.take();
+            self.norms_cache.take();
             self.epoch = fresh_epoch();
         }
         inserted
@@ -165,6 +179,7 @@ impl Graph {
             self.adjacency[v].remove(&u);
             self.num_edges -= 1;
             self.csr_cache.take();
+            self.norms_cache.take();
             self.epoch = fresh_epoch();
         }
         removed

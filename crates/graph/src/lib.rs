@@ -25,12 +25,12 @@ pub mod traversal;
 pub mod view;
 
 pub use bitmap::{AdjacencyBitmap, Bitmap, VerifiedPairBitmap};
-pub use csr::Csr;
+pub use csr::{Csr, CsrNorms};
 pub use disturbance::{disturbance_footprint, Disturbance, DisturbanceStrategy};
 pub use edge::{norm_edge, Edge, EdgeSet};
 pub use ged::{edge_jaccard, ged, normalized_ged};
 pub use graph::{Graph, NodeId};
-pub use localize::{ForwardCtx, Locality};
+pub use localize::{BallScratch, BallVariant, ForwardCtx, Locality};
 pub use partition::{edge_cut_partition, Fragment, Partition};
 pub use subgraph::EdgeSubgraph;
 pub use view::GraphView;

@@ -19,14 +19,15 @@
 //! the order-preserving remap keeps every floating-point reduction in the
 //! same order as the full-graph pass. At `r = L` that leaves exactly `v`.
 
-use crate::csr::Csr;
+use crate::csr::{Csr, CsrNorms};
 use crate::graph::NodeId;
 use crate::view::GraphView;
-use std::collections::BTreeMap;
 
 /// Row schedule of a localized forward pass: ball nodes ordered by hop
-/// distance from the center, with prefix counts per distance.
-#[derive(Clone, Debug)]
+/// distance from the center, with prefix counts per distance. The order
+/// vector is packed — each successive round reads a contiguous prefix, so
+/// scheduled kernels stream rows sequentially.
+#[derive(Clone, Debug, Default)]
 pub struct Schedule {
     /// Local node indices sorted by (distance, index).
     order: Vec<usize>,
@@ -45,20 +46,54 @@ impl Schedule {
     }
 }
 
+/// Reusable working memory for [`Locality::rebuild`]: the visited set, the
+/// neighbor-list arena, and the BFS frontiers. One scratch serves any number
+/// of sequential rebuilds; after warm-up, ball extraction performs no heap
+/// allocations.
+#[derive(Debug, Default)]
+pub struct BallScratch {
+    /// `(node, distance)` pairs in discovery order, sorted by node at the end.
+    visited: Vec<(NodeId, u32)>,
+    /// Per-expanded-node neighbor-list spans into `arena`: `(node, start, end)`.
+    spans: Vec<(NodeId, u32, u32)>,
+    /// All fetched neighbor lists, back to back.
+    arena: Vec<NodeId>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+    /// Per-host-node visit stamp: `stamp[v] == epoch` iff `v` is in the
+    /// current ball. O(1) membership without clearing between rebuilds.
+    stamp: Vec<u64>,
+    /// Local ball index of stamped nodes (valid only where `stamp` matches).
+    local: Vec<u32>,
+    epoch: u64,
+}
+
 /// The receptive field of one node under one view: the BFS ball, its induced
-/// CSR (order-preserving remap), true view degrees, and the row schedule.
-#[derive(Clone, Debug)]
+/// CSR (order-preserving remap), true view degrees with their cached
+/// normalization vectors, and the row schedule.
+#[derive(Clone, Debug, Default)]
 pub struct Locality {
     /// Ball nodes as host-graph ids, ascending. Local index = position.
     nodes: Vec<NodeId>,
     /// Local index of the center node.
     center: usize,
-    /// Induced adjacency over the ball, in local indices.
+    /// Induced adjacency over the ball, in local indices, packed so each
+    /// row's neighbor slice is contiguous and rows are laid out in local
+    /// index order.
     csr: Csr,
     /// True degree of each ball node *under the view* (not the induced
-    /// degree, which is truncated at the ball boundary).
-    degrees: Vec<f64>,
+    /// degree, which is truncated at the ball boundary), with cached
+    /// `1/sqrt(d+1)` / `1/(d+1)` for the SpMM kernels.
+    norms: CsrNorms,
     schedule: Schedule,
+}
+
+/// Scratch for [`Locality::minus_edge_ctx`]: one single-removal CSR/norm
+/// variant, rebuilt in place per candidate edge.
+#[derive(Debug, Default)]
+pub struct BallVariant {
+    csr: Csr,
+    norms: CsrNorms,
 }
 
 impl Locality {
@@ -67,73 +102,127 @@ impl Locality {
     /// # Panics
     /// Panics if `center` is not a valid node of the view.
     pub fn build(view: &GraphView<'_>, center: NodeId, hops: usize) -> Locality {
+        let mut out = Locality::default();
+        let mut scratch = BallScratch::default();
+        out.rebuild(view, center, hops, &mut scratch);
+        out
+    }
+
+    /// [`Locality::build`] into `self`, reusing both `self`'s buffers and the
+    /// caller's [`BallScratch`]. The BFS walks the view in the exact same
+    /// discovery order as `build` always has (frontier in discovery order,
+    /// neighbors ascending), so the resulting ball, remap, degrees, and
+    /// schedule are identical — only the allocations are gone: neighbor lists
+    /// land in one arena, the visited set is an epoch-stamped array (O(1)
+    /// membership, no clearing between rebuilds), and the induced CSR and
+    /// normalization vectors are rebuilt in place.
+    ///
+    /// # Panics
+    /// Panics if `center` is not a valid node of the view.
+    pub fn rebuild(
+        &mut self,
+        view: &GraphView<'_>,
+        center: NodeId,
+        hops: usize,
+        scratch: &mut BallScratch,
+    ) {
         let n = view.num_nodes();
         assert!(center < n, "Locality::build: invalid center node {center}");
+        let BallScratch {
+            visited,
+            spans,
+            arena,
+            frontier,
+            next,
+            stamp,
+            local,
+            epoch,
+        } = scratch;
+        visited.clear();
+        spans.clear();
+        arena.clear();
+        frontier.clear();
+        if stamp.len() < n {
+            stamp.resize(n, 0);
+            local.resize(n, 0);
+        }
+        *epoch += 1;
+        let e = *epoch;
 
-        // BFS under the view, caching neighbor lists for the induced build.
-        let mut dist: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut nbrs_cache: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-        dist.insert(center, 0);
-        let mut frontier = vec![center];
-        for d in 1..=hops {
-            if frontier.is_empty() || dist.len() == n {
+        stamp[center] = e;
+        visited.push((center, 0));
+        frontier.push(center);
+        for d in 1..=hops as u32 {
+            if frontier.is_empty() || visited.len() == n {
                 break;
             }
-            let mut next = Vec::new();
-            for &u in &frontier {
-                let nbrs = view.neighbors(u);
-                for &v in &nbrs {
-                    if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(v) {
-                        e.insert(d);
+            next.clear();
+            for &u in frontier.iter() {
+                let start = arena.len() as u32;
+                view.neighbors_into(u, arena);
+                let end = arena.len() as u32;
+                spans.push((u, start, end));
+                for &v in &arena[start as usize..end as usize] {
+                    if stamp[v] != e {
+                        stamp[v] = e;
+                        visited.push((v, d));
                         next.push(v);
                     }
                 }
-                nbrs_cache.insert(u, nbrs);
             }
-            frontier = next;
+            std::mem::swap(frontier, next);
         }
 
-        // Ball nodes ascending (BTreeMap keys are sorted); the remap is
-        // therefore order-preserving, which keeps neighbor reductions in the
-        // same floating-point order as the full pass.
-        let nodes: Vec<NodeId> = dist.keys().copied().collect();
-        let m = nodes.len();
-        let mut offsets = Vec::with_capacity(m + 1);
-        let mut targets = Vec::new();
-        let mut degrees = Vec::with_capacity(m);
-        offsets.push(0);
-        for &u in &nodes {
-            let nbrs = nbrs_cache.remove(&u).unwrap_or_else(|| view.neighbors(u));
-            degrees.push(nbrs.len() as f64);
-            for v in nbrs {
-                if let Ok(j) = nodes.binary_search(&v) {
-                    targets.push(j);
+        // Ball nodes ascending; the remap is therefore order-preserving,
+        // which keeps neighbor reductions in the same floating-point order as
+        // the full pass.
+        visited.sort_unstable_by_key(|t| t.0);
+        self.nodes.clear();
+        self.nodes.extend(visited.iter().map(|&(u, _)| u));
+        for (i, &u) in self.nodes.iter().enumerate() {
+            local[u] = i as u32;
+        }
+        spans.sort_unstable_by_key(|t| t.0);
+        self.csr.reset();
+        self.norms.clear();
+        for &u in &self.nodes {
+            // nodes expanded by the BFS already have their neighbor list in
+            // the arena; boundary nodes fetch theirs now
+            let (start, end) = match spans.binary_search_by_key(&u, |t| t.0) {
+                Ok(i) => (spans[i].1, spans[i].2),
+                Err(_) => {
+                    let start = arena.len() as u32;
+                    view.neighbors_into(u, arena);
+                    (start, arena.len() as u32)
+                }
+            };
+            let nbrs = &arena[start as usize..end as usize];
+            self.norms.push_degree(nbrs.len() as f64);
+            for &v in nbrs {
+                if stamp[v] == e {
+                    self.csr.push_target(local[v] as usize);
                 }
             }
-            offsets.push(targets.len());
+            self.csr.finish_row();
         }
-        let csr = Csr::from_raw_parts(offsets, targets);
-        let center_idx = nodes.binary_search(&center).expect("center in ball");
+        self.center = local[center] as usize;
 
-        // Schedule: local indices bucketed by distance.
-        let max_d = dist.values().copied().max().unwrap_or(0);
-        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_d + 1];
-        for (i, u) in nodes.iter().enumerate() {
-            buckets[dist[u]].push(i);
-        }
-        let mut order = Vec::with_capacity(m);
-        let mut prefix = Vec::with_capacity(max_d + 1);
-        for bucket in buckets {
-            order.extend(bucket);
-            prefix.push(order.len());
-        }
-
-        Locality {
-            nodes,
-            center: center_idx,
-            csr,
-            degrees,
-            schedule: Schedule { order, prefix },
+        // Schedule: local indices grouped by distance, ascending within each
+        // group, packed into one prefix-addressed vector.
+        let max_d = visited.iter().map(|&(_, d)| d).max().unwrap_or(0);
+        self.schedule.order.clear();
+        self.schedule.prefix.clear();
+        for d in 0..=max_d {
+            self.schedule
+                .order
+                .extend(visited.iter().enumerate().filter_map(|(i, &(_, dd))| {
+                    if dd == d {
+                        Some(i)
+                    } else {
+                        None
+                    }
+                }));
+            self.schedule.prefix.push(self.schedule.order.len());
         }
     }
 
@@ -168,15 +257,51 @@ impl Locality {
             return out;
         }
         if let Some(i) = la {
-            out.degrees[i] -= 1.0;
+            out.norms.decrement(i);
         }
         if let Some(j) = lb {
-            out.degrees[j] -= 1.0;
+            out.norms.decrement(j);
         }
         if let (Some(i), Some(j)) = (la, lb) {
             out.csr = out.csr.minus_arc_pair(i, j);
         }
         out
+    }
+
+    /// The zero-allocation counterpart of [`Locality::minus_edge`]: builds
+    /// the single-removal variant into the caller's [`BallVariant`] scratch
+    /// (bulk-copying CSR and norms, then applying the at-most-two arc
+    /// deletions and degree decrements) and returns a [`ForwardCtx`] over it
+    /// that shares this ball's row schedule. Same soundness contract as
+    /// `minus_edge`.
+    pub fn minus_edge_ctx<'a>(
+        &'a self,
+        a: NodeId,
+        b: NodeId,
+        scratch: &'a mut BallVariant,
+    ) -> ForwardCtx<'a> {
+        let la = self.nodes.binary_search(&a).ok();
+        let lb = self.nodes.binary_search(&b).ok();
+        if la.is_none() && lb.is_none() {
+            return self.forward_ctx();
+        }
+        scratch.norms.clone_from(&self.norms);
+        if let Some(i) = la {
+            scratch.norms.decrement(i);
+        }
+        if let Some(j) = lb {
+            scratch.norms.decrement(j);
+        }
+        if let (Some(i), Some(j)) = (la, lb) {
+            self.csr.minus_arc_pair_into(i, j, &mut scratch.csr);
+        } else {
+            scratch.csr.clone_from(&self.csr);
+        }
+        ForwardCtx {
+            csr: &scratch.csr,
+            norms: NormSource::Cached(&scratch.norms),
+            schedule: Some(&self.schedule),
+        }
     }
 
     /// Local index of the center node.
@@ -201,25 +326,40 @@ impl Locality {
 
     /// True view degrees of the ball nodes.
     pub fn degrees(&self) -> &[f64] {
-        &self.degrees
+        self.norms.degrees()
+    }
+
+    /// The cached normalization vectors over the true view degrees.
+    pub fn norms(&self) -> &CsrNorms {
+        &self.norms
     }
 
     /// The compute-graph handle for the forward kernels.
     pub fn forward_ctx(&self) -> ForwardCtx<'_> {
         ForwardCtx {
             csr: &self.csr,
-            degrees: &self.degrees,
+            norms: NormSource::Cached(&self.norms),
             schedule: Some(&self.schedule),
         }
     }
 }
 
-/// A compute graph for one GNN forward pass: adjacency, true degrees, and an
-/// optional row schedule (present only for localized evaluation).
+/// Where a [`ForwardCtx`] takes its normalization values from: a cached
+/// [`CsrNorms`] (the fast path) or a bare degree slice, for callers that only
+/// have degrees (normalization vectors are then rebuilt per SpMM call).
+#[derive(Clone, Copy, Debug)]
+enum NormSource<'a> {
+    Cached(&'a CsrNorms),
+    Degrees(&'a [f64]),
+}
+
+/// A compute graph for one GNN forward pass: adjacency, true degrees (with
+/// cached normalization when available), and an optional row schedule
+/// (present only for localized evaluation).
 #[derive(Clone, Copy, Debug)]
 pub struct ForwardCtx<'a> {
     csr: &'a Csr,
-    degrees: &'a [f64],
+    norms: NormSource<'a>,
     schedule: Option<&'a Schedule>,
 }
 
@@ -233,7 +373,22 @@ impl<'a> ForwardCtx<'a> {
         );
         ForwardCtx {
             csr,
-            degrees,
+            norms: NormSource::Degrees(degrees),
+            schedule: None,
+        }
+    }
+
+    /// A full compute graph over pre-computed normalization vectors (the
+    /// fast path: SpMM calls skip the per-call normalization rebuild).
+    pub fn full_with_norms(csr: &'a Csr, norms: &'a CsrNorms) -> Self {
+        assert_eq!(
+            csr.num_nodes(),
+            norms.len(),
+            "ForwardCtx::full: degree vector size mismatch"
+        );
+        ForwardCtx {
+            csr,
+            norms: NormSource::Cached(norms),
             schedule: None,
         }
     }
@@ -245,7 +400,10 @@ impl<'a> ForwardCtx<'a> {
 
     /// True per-node degrees under the evaluated view (no self-loops).
     pub fn degrees(&self) -> &'a [f64] {
-        self.degrees
+        match self.norms {
+            NormSource::Cached(n) => n.degrees(),
+            NormSource::Degrees(d) => d,
+        }
     }
 
     /// Number of nodes (rows) in the compute graph.
@@ -258,6 +416,25 @@ impl<'a> ForwardCtx<'a> {
     /// down: the first of `L` rounds has `remaining = L - 1`, the last `0`.
     pub fn active_rows(&self, remaining: usize) -> Option<&'a [usize]> {
         self.schedule.and_then(|s| s.active_rows(remaining))
+    }
+
+    /// Symmetric-normalization SpMM over this compute graph, routed through
+    /// the cached normalization vectors when present; see
+    /// [`Csr::spmm_sym_norm_cached`].
+    pub fn spmm_sym(&self, x: &[f64], dim: usize, out: &mut [f64], rows: Option<&[usize]>) {
+        match self.norms {
+            NormSource::Cached(n) => self.csr.spmm_sym_norm_cached(n, x, dim, out, rows),
+            NormSource::Degrees(d) => self.csr.spmm_sym_norm_deg(d, x, dim, out, rows),
+        }
+    }
+
+    /// Row-normalization SpMM over this compute graph; see
+    /// [`Csr::spmm_row_norm_cached`].
+    pub fn spmm_row(&self, x: &[f64], dim: usize, out: &mut [f64], rows: Option<&[usize]>) {
+        match self.norms {
+            NormSource::Cached(n) => self.csr.spmm_row_norm_cached(n, x, dim, out, rows),
+            NormSource::Degrees(d) => self.csr.spmm_row_norm_deg(d, x, dim, out, rows),
+        }
     }
 }
 
@@ -328,6 +505,56 @@ mod tests {
         // at or beyond the radius every row is active
         assert_eq!(ctx.active_rows(3), None);
         assert_eq!(ctx.active_rows(99), None);
+    }
+
+    #[test]
+    fn rebuild_reuses_scratch_and_matches_fresh_build() {
+        use crate::generators::{ensure_connected, stochastic_block_model};
+        let mut scratch = BallScratch::default();
+        let mut reused = Locality::default();
+        for seed in 0u64..4 {
+            let (mut g, _) = stochastic_block_model(&[7, 7, 7], 0.4, 0.08, seed);
+            ensure_connected(&mut g, seed);
+            let mut view = GraphView::full(&g);
+            if seed % 2 == 0 {
+                view.remove_edges(&EdgeSet::from_iter([(0, 1), (2, 9)]));
+                view.add_edges(&EdgeSet::from_iter([(0, 20)]));
+            }
+            for center in [0usize, 9, 20] {
+                for hops in [0usize, 1, 2, 4] {
+                    let fresh = Locality::build(&view, center, hops);
+                    reused.rebuild(&view, center, hops, &mut scratch);
+                    assert_eq!(reused.nodes(), fresh.nodes());
+                    assert_eq!(reused.center_index(), fresh.center_index());
+                    assert_eq!(reused.csr(), fresh.csr());
+                    assert_eq!(reused.degrees(), fresh.degrees());
+                    assert_eq!(reused.schedule.order, fresh.schedule.order);
+                    assert_eq!(reused.schedule.prefix, fresh.schedule.prefix);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minus_edge_ctx_matches_minus_edge() {
+        let g = path5();
+        let view = GraphView::full(&g);
+        let local = Locality::build(&view, 2, 2);
+        let mut scratch = BallVariant::default();
+        // in-ball edge, boundary-crossing edge, and fully-outside pair
+        for &(a, b) in &[(1, 2), (2, 3), (0, 1), (3, 4), (90, 91)] {
+            let cloned = local.minus_edge(a, b);
+            let ctx = local.minus_edge_ctx(a, b, &mut scratch);
+            assert_eq!(ctx.csr(), cloned.csr(), "edge ({a},{b})");
+            assert_eq!(ctx.degrees(), cloned.degrees(), "edge ({a},{b})");
+            for r in 0..4 {
+                assert_eq!(
+                    ctx.active_rows(r),
+                    cloned.forward_ctx().active_rows(r),
+                    "edge ({a},{b}) round {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -82,13 +82,15 @@ impl OverrideIndex {
     }
 }
 
-/// Merges a sorted base neighbor list with a node's sorted overrides:
-/// forced-absent neighbors drop out, forced-present ones are spliced in.
-fn merge_neighbors(base: &[NodeId], overrides: &[(NodeId, bool)]) -> Vec<NodeId> {
+/// Merges a sorted base neighbor list with a node's sorted overrides,
+/// appending into a caller-provided buffer: forced-absent neighbors drop out,
+/// forced-present ones are spliced in.
+fn merge_neighbors_into(base: &[NodeId], overrides: &[(NodeId, bool)], out: &mut Vec<NodeId>) {
     if overrides.is_empty() {
-        return base.to_vec();
+        out.extend_from_slice(base);
+        return;
     }
-    let mut out = Vec::with_capacity(base.len() + overrides.len());
+    out.reserve(base.len() + overrides.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < base.len() || j < overrides.len() {
         if j >= overrides.len() {
@@ -121,7 +123,6 @@ fn merge_neighbors(base: &[NodeId], overrides: &[(NodeId, bool)]) -> Vec<NodeId>
             }
         }
     }
-    out
 }
 
 /// A lightweight overlay over a host graph: a restriction to an edge subset
@@ -256,12 +257,31 @@ impl<'g> GraphView<'g> {
 
     /// Visible neighbors of `u`, in ascending order.
     pub fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.neighbors_into(u, &mut out);
+        out
+    }
+
+    /// Appends the visible neighbors of `u` (ascending) to `out` without
+    /// clearing it — the allocation-free arena path used by ball extraction.
+    pub fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
         assert!(self.graph.contains_node(u), "neighbors: invalid node {u}");
         let overrides = self.overrides.for_node(u);
         match &self.only_adj {
-            Some(adj) => merge_neighbors(adj.get(&u).map(Vec::as_slice).unwrap_or(&[]), overrides),
-            None => merge_neighbors(self.graph.csr().neighbors(u), overrides),
+            Some(adj) => merge_neighbors_into(
+                adj.get(&u).map(Vec::as_slice).unwrap_or(&[]),
+                overrides,
+                out,
+            ),
+            None => merge_neighbors_into(self.graph.csr().neighbors(u), overrides, out),
         }
+    }
+
+    /// Whether this view shows the host graph completely unchanged (no
+    /// restriction and no overrides), in which case derived state cached on
+    /// the host graph — CSR snapshot, normalization vectors — applies as-is.
+    pub fn is_unmasked(&self) -> bool {
+        self.only_adj.is_none() && !self.has_overrides()
     }
 
     /// Visible degree of `u`.

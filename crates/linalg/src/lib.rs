@@ -25,7 +25,7 @@ pub mod solve;
 pub mod vector;
 
 pub use activations::Activation;
-pub use matrix::Matrix;
+pub use matrix::{matmul_packed_rows, matmul_pret_rows, Matrix, PackedWeights};
 pub use rng::Rng;
 
 /// Numerical tolerance used across the workspace for float comparisons.

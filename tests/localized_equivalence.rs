@@ -8,7 +8,7 @@
 //! whole graph).
 
 use robogexp::gnn::model::{localized_logits_row, margin_of_row};
-use robogexp::gnn::{Gat, GraphSage};
+use robogexp::gnn::{Gat, GraphSage, KernelScratch};
 use robogexp::graph::generators::{ensure_connected, stochastic_block_model};
 use robogexp::linalg::rng::Rng;
 use robogexp::linalg::vector;
@@ -154,6 +154,62 @@ fn shared_ball_margin_batch_equals_per_view_margins() {
                         );
                     }
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_scratch_reused_across_models_views_and_nodes_stays_exact() {
+    // The zero-allocation entry points thread one KernelScratch through every
+    // call; reusing the same scratch across different models, views, nodes
+    // and ball sizes must leave no residue — each call's output is bit-exact
+    // against the fresh-allocation path.
+    let mut scratch = KernelScratch::default();
+    for seed in 0u64..3 {
+        let g = sbm_graph(seed);
+        let n = g.num_nodes();
+        let edges = g.edge_vec();
+        let witness: EdgeSet = edges.iter().copied().step_by(4).take(7).collect();
+        let views = [
+            GraphView::full(&g),
+            GraphView::without(&g, &witness),
+            GraphView::restricted_to(&g, &witness),
+        ];
+        for (name, model) in models(seed) {
+            for view in &views {
+                for &v in &[0, n / 2, n - 1] {
+                    assert_eq!(
+                        model.predict_with(v, view, &mut scratch),
+                        model.predict(v, view),
+                        "{name}: predict_with over a reused scratch diverged for node {v}"
+                    );
+                    for label in 0..model.num_classes() {
+                        let reused = model.margin_with(v, label, view, &mut scratch);
+                        let fresh = model.margin(v, label, view);
+                        assert!(
+                            reused == fresh,
+                            "{name}: margin_with({v}, {label}) reused-scratch {reused} \
+                             != fresh {fresh}"
+                        );
+                    }
+                }
+                let removals: Vec<(NodeId, NodeId)> = edges
+                    .iter()
+                    .copied()
+                    .filter(|&(a, b)| view.has_edge(a, b))
+                    .step_by(5)
+                    .take(6)
+                    .collect();
+                if removals.is_empty() {
+                    continue;
+                }
+                let v = removals[0].0;
+                assert_eq!(
+                    model.margin_many_removed_with(v, 1, view, &removals, &mut scratch),
+                    model.margin_many_removed(v, 1, view, &removals),
+                    "{name}: batched margins over a reused scratch diverged"
+                );
             }
         }
     }
