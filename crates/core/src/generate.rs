@@ -49,6 +49,12 @@ pub struct GenerationResult {
     pub level: WitnessLevel,
     /// Whether the witness is non-trivial (has edges, is not the whole graph).
     pub nontrivial: bool,
+    /// Degraded-mode flag: the engine could neither repair nor regenerate
+    /// this witness after a disturbance, so the *pre-disturbance* witness is
+    /// served as a best effort. `level` is then the level it held when it
+    /// was last verified, not a claim about the current graph. Always
+    /// `false` on freshly generated (non-degraded) results.
+    pub stale: bool,
     /// Counters and timing.
     pub stats: GenerationStats,
 }

@@ -65,7 +65,8 @@ pub mod witness;
 
 pub use config::RcwConfig;
 pub use engine::{
-    DisturbReport, EngineCaches, EngineSnapshot, EngineStats, StoredWitness, WitnessEngine,
+    DisturbReport, EngineCaches, EngineFaultHook, EngineSnapshot, EngineStats, StoredWitness,
+    WitnessEngine, FAULT_SITE_REGEN, FAULT_SITE_REPAIR,
 };
 pub use generate::{robogexp, robogexp_appnp, GenerationResult, GenerationStats, RoboGExp};
 pub use model::{DisturbanceSearch, VerifiableModel};
@@ -90,6 +91,13 @@ mod proptests {
 
     /// Builds a labeled two-block graph and a quick-trained APPNP on it.
     fn build(seed: u64) -> (Graph, Appnp) {
+        let g = build_graph(seed);
+        let appnp = train_on(&g, seed);
+        (g, appnp)
+    }
+
+    /// The graph half of `build`, for sweeps that train per candidate.
+    fn build_graph(seed: u64) -> Graph {
         let (mut g, blocks) = generators::stochastic_block_model(&[8, 8], 0.6, 0.05, seed);
         generators::ensure_connected(&mut g, seed);
         for (v, &b) in blocks.iter().enumerate() {
@@ -101,10 +109,16 @@ mod proptests {
             g.set_features(v, feats);
             g.set_label(v, b);
         }
+        g
+    }
+
+    /// Trains the sweep's APPNP on an arbitrary 2-feature graph — split out
+    /// of `build` so the failure shrinker can retrain on candidate graphs.
+    fn train_on(g: &Graph, seed: u64) -> Appnp {
         let mut appnp = Appnp::new(&[2, 6, 2], 0.2, 10, seed);
         let nodes: Vec<usize> = (0..g.num_nodes()).collect();
         appnp.train(
-            &GraphView::full(&g),
+            &GraphView::full(g),
             &nodes,
             &TrainConfig {
                 epochs: 60,
@@ -112,7 +126,33 @@ mod proptests {
                 ..TrainConfig::default()
             },
         );
-        (g, appnp)
+        appnp
+    }
+
+    /// Shrink-on-failure harness shared by the lemma sweeps: if `check`
+    /// panics on the generated graph, greedily minimize the graph (model
+    /// retrained per candidate) and fail with the minimal counterexample.
+    fn check_shrinking(g: &Graph, seed: u64, check: impl Fn(&Graph, &Appnp, u64)) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let run = |g: &Graph| check(g, &train_on(g, seed), seed);
+        let Err(original) = catch_unwind(AssertUnwindSafe(|| run(g))) else {
+            return;
+        };
+        let message = original
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| original.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic".to_string());
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let minimal = rcw_graph::shrink_graph(g, &|candidate| {
+            candidate.num_nodes() >= 2 && catch_unwind(AssertUnwindSafe(|| run(candidate))).is_err()
+        });
+        std::panic::set_hook(prev_hook);
+        panic!(
+            "seed {seed}: {message}\nminimal failing graph: {}",
+            rcw_graph::describe_graph(&minimal),
+        );
     }
 
     /// Seeds exercised by the property-style tests below. The suite used to
@@ -140,17 +180,16 @@ mod proptests {
     /// test nodes.
     #[test]
     fn lemma1_monotonicity() {
-        for seed in lemma_seeds() {
-            let (g, appnp) = build(seed);
+        fn case(g: &Graph, appnp: &Appnp, seed: u64) {
             let tests = vec![0usize, g.num_nodes() - 1];
             let cfg = RcwConfig::with_budgets(2, 1);
-            let gen = RoboGExp::for_appnp(&appnp, cfg.clone());
-            let result = gen.generate(&g, &tests);
+            let gen = RoboGExp::for_appnp(appnp, cfg.clone());
+            let result = gen.generate(g, &tests);
             if result.level == WitnessLevel::Robust {
                 // smaller k
                 for k in 0..=1usize {
                     let cfg_k = RcwConfig::with_budgets(k, if k == 0 { 0 } else { 1 });
-                    let out = RoboGExp::for_appnp(&appnp, cfg_k).verify(&g, &result.witness);
+                    let out = RoboGExp::for_appnp(appnp, cfg_k).verify(g, &result.witness);
                     assert_eq!(
                         out.level,
                         WitnessLevel::Robust,
@@ -163,13 +202,16 @@ mod proptests {
                     vec![result.witness.test_nodes[0]],
                     vec![result.witness.labels[0]],
                 );
-                let out = gen.verify(&g, &sub);
+                let out = gen.verify(g, &sub);
                 assert_eq!(
                     out.level,
                     WitnessLevel::Robust,
                     "k-RCW must remain robust for a subset of test nodes (seed {seed})"
                 );
             }
+        }
+        for seed in lemma_seeds() {
+            check_shrinking(&build_graph(seed), seed, case);
         }
     }
 

@@ -280,6 +280,7 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
         witness,
         level,
         nontrivial,
+        stale: false,
         stats,
     })
 }
@@ -659,6 +660,7 @@ pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
             witness,
             level,
             nontrivial,
+            stale: false,
             stats,
         },
         parallel: pstats,

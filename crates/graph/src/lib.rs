@@ -20,6 +20,7 @@ pub mod graph;
 pub mod io;
 pub mod localize;
 pub mod partition;
+pub mod shrink;
 pub mod subgraph;
 pub mod traversal;
 pub mod view;
@@ -32,6 +33,7 @@ pub use ged::{edge_jaccard, ged, normalized_ged};
 pub use graph::{Graph, NodeId};
 pub use localize::{BallScratch, BallVariant, ForwardCtx, Locality};
 pub use partition::{edge_cut_partition, Fragment, Partition};
+pub use shrink::{describe_graph, shrink_graph};
 pub use subgraph::EdgeSubgraph;
 pub use view::GraphView;
 

@@ -1,0 +1,147 @@
+//! Greedy test-case shrinking for seed-sweep failures.
+//!
+//! The property sweeps (`RCW_REPAIR_SEEDS`, `RCW_LEMMA_SEEDS`) fail with a
+//! whole generated graph as the counterexample; debugging wants the smallest
+//! graph that still fails. [`shrink_graph`] minimizes greedily: drop one edge
+//! at a time, then prune isolated nodes, repeating to a fixpoint — every kept
+//! reduction must still satisfy the caller's failure predicate, so the result
+//! is a locally-minimal failing case, reproducible because the procedure is
+//! deterministic (edge order is the graph's own iteration order).
+//!
+//! The predicate decides everything: shrinking never assumes why the case
+//! fails, only *that* it fails. Predicates that retrain a model per candidate
+//! are fine — shrinking only runs on the (rare) failure path.
+
+use crate::graph::{Graph, NodeId};
+
+/// Greedily minimizes `graph` while `fails` keeps returning `true`.
+///
+/// Returns `graph` unchanged if it does not fail to begin with. Node removal
+/// renumbers ids above the removed node (only isolated nodes are removed, so
+/// no edge is silently dropped); predicates must therefore derive any node
+/// references from the candidate graph itself rather than captured ids.
+pub fn shrink_graph(graph: &Graph, fails: &dyn Fn(&Graph) -> bool) -> Graph {
+    let mut best = graph.clone();
+    if !fails(&best) {
+        return best;
+    }
+    loop {
+        let mut reduced = false;
+        for (u, v) in best.edge_vec() {
+            let mut candidate = best.clone();
+            candidate.remove_edge(u, v);
+            if fails(&candidate) {
+                best = candidate;
+                reduced = true;
+            }
+        }
+        // Edges first, isolated nodes second: dropping edges is what isolates
+        // nodes, so this order converges with fewer passes.
+        let mut v = best.num_nodes();
+        while v > 0 {
+            v -= 1;
+            if best.num_nodes() <= 1 || best.degree(v) != 0 {
+                continue;
+            }
+            let candidate = without_node(&best, v);
+            if fails(&candidate) {
+                best = candidate;
+                reduced = true;
+            }
+        }
+        if !reduced {
+            return best;
+        }
+    }
+}
+
+/// A compact, panic-message-friendly description of a (shrunk) graph.
+pub fn describe_graph(g: &Graph) -> String {
+    format!(
+        "{} nodes, {} edges {:?}, labels {:?}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.edge_vec(),
+        g.labels_vec(),
+    )
+}
+
+/// The graph without node `victim`, ids above it shifted down by one;
+/// features and labels carried over.
+fn without_node(g: &Graph, victim: NodeId) -> Graph {
+    let mut out = Graph::new();
+    for v in 0..g.num_nodes() {
+        if v == victim {
+            continue;
+        }
+        let id = out.add_node(g.features(v).to_vec());
+        if let Some(label) = g.label(v) {
+            out.set_label(id, label);
+        }
+    }
+    let map = |v: NodeId| if v > victim { v - 1 } else { v };
+    for (u, v) in g.edges() {
+        if u != victim && v != victim {
+            out.add_edge(map(u), map(v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for v in 0..n - 1 {
+            g.add_edge(v, v + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn non_failing_graph_is_untouched() {
+        let g = path_graph(5);
+        let shrunk = shrink_graph(&g, &|_| false);
+        assert_eq!(shrunk.num_edges(), g.num_edges());
+        assert_eq!(shrunk.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn shrinks_to_the_one_load_bearing_edge() {
+        // Failure = "some node has degree >= 1 on both endpoints of an edge
+        // whose endpoints share a label parity" — concretely, any edge at
+        // all. Minimal failing case: one edge, two nodes.
+        let g = path_graph(8);
+        let shrunk = shrink_graph(&g, &|c| c.num_edges() >= 1);
+        assert_eq!(shrunk.num_edges(), 1);
+        assert_eq!(shrunk.num_nodes(), 2);
+    }
+
+    #[test]
+    fn shrink_respects_a_count_predicate() {
+        let g = path_graph(10);
+        let shrunk = shrink_graph(&g, &|c| c.num_edges() >= 3);
+        assert_eq!(shrunk.num_edges(), 3, "locally minimal at the threshold");
+        assert!(shrunk.num_nodes() <= 6, "isolated nodes pruned");
+    }
+
+    #[test]
+    fn node_removal_carries_features_and_labels() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1);
+        for v in 0..4 {
+            g.set_features(v, vec![v as f64]);
+            g.set_label(v, v % 2);
+        }
+        // Nodes 2 and 3 are isolated; the predicate only needs the edge.
+        let shrunk = shrink_graph(&g, &|c| c.has_edge(0, 1));
+        assert_eq!(shrunk.num_nodes(), 2);
+        assert_eq!(shrunk.features(0), &[0.0]);
+        assert_eq!(shrunk.features(1), &[1.0]);
+        assert_eq!(shrunk.label(0), Some(0));
+        assert_eq!(shrunk.label(1), Some(1));
+        assert!(!describe_graph(&shrunk).is_empty());
+    }
+}

@@ -6,8 +6,10 @@
 //!
 //! ```text
 //! rcw_serve [--addr 127.0.0.1:0] [--workers 4] [--queue 256]
-//!           [--deadline-ms N] [--scale tiny|small|full] [--seed 7] [--k 2]
+//!           [--deadline-ms N] [--io-timeout-ms N]
+//!           [--scale tiny|small|full] [--seed 7] [--k 2]
 //!           [--model SPEC]...
+//!           [--faults SPEC] [--fault-seed N]
 //! ```
 //!
 //! `--model` is repeatable and accepts two forms:
@@ -22,10 +24,18 @@
 //! The first `--model` is the default route (bare `/generate` goes to it).
 //! The bound address is printed as the first stdout line
 //! (`rcw-serve listening on http://HOST:PORT`), so callers binding port 0 can
-//! discover the ephemeral port — the smoke test does exactly that.
+//! discover the ephemeral port — the smoke test does exactly that. Every
+//! startup failure likewise prints a first stdout line
+//! (`rcw-serve: fatal: ...`, flushed) before exiting nonzero, so a spawning
+//! test waiting for the announce sees a definite failure instead of silence.
+//!
+//! `--faults` installs a [`FaultPlan`] (spec grammar in [`rcw_server::faults`];
+//! defaults to `RCW_FAULT_PLAN`/`RCW_FAULT_SEED` from the environment) across
+//! the serving tier *and* every engine's repair path.
 
 use rcw_core::{RcwConfig, WitnessEngine};
 use rcw_datasets::{citeseer, Scale};
+use rcw_server::faults::FaultPlan;
 use rcw_server::{RcwServer, ServedEngine, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -45,10 +55,13 @@ struct Options {
     workers: usize,
     queue_bound: usize,
     default_deadline: Option<Duration>,
+    io_timeout: Option<Duration>,
     scale: Scale,
     specs: Vec<EngineSpec>,
     seed: u64,
     k: usize,
+    fault_spec: Option<String>,
+    fault_seed: u64,
 }
 
 fn parse_scale(text: &str) -> Result<Scale, String> {
@@ -107,10 +120,13 @@ fn parse_args() -> Result<Options, String> {
         workers: 4,
         queue_bound: 256,
         default_deadline: None,
+        io_timeout: None,
         scale: Scale::Tiny,
         specs: Vec::new(),
         seed: 7,
         k: 2,
+        fault_spec: None,
+        fault_seed: 0,
     };
     let mut model_flags: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -137,6 +153,18 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "invalid --deadline-ms".to_string())?;
                 opts.default_deadline = Some(Duration::from_millis(ms));
             }
+            "--io-timeout-ms" => {
+                let ms: u64 = value("--io-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "invalid --io-timeout-ms".to_string())?;
+                opts.io_timeout = Some(Duration::from_millis(ms));
+            }
+            "--faults" => opts.fault_spec = Some(value("--faults")?),
+            "--fault-seed" => {
+                opts.fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|_| "invalid --fault-seed".to_string())?
+            }
             "--scale" => opts.scale = parse_scale(&value("--scale")?)?,
             "--model" => model_flags.push(value("--model")?),
             "--seed" => {
@@ -152,8 +180,9 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: rcw_serve [--addr A] [--workers N] [--queue N] [--deadline-ms N] \
-                            [--scale tiny|small|full] [--seed S] [--k K] \
-                            [--model appnp|gcn | --model name=model:scale[:workers]]..."
+                            [--io-timeout-ms N] [--scale tiny|small|full] [--seed S] [--k K] \
+                            [--model appnp|gcn | --model name=model:scale[:workers]]... \
+                            [--faults SPEC] [--fault-seed N]"
                         .to_string(),
                 )
             }
@@ -184,7 +213,11 @@ fn serve_config(k: usize) -> RcwConfig {
 
 /// Builds one engine from its spec. Models and engines live for the rest of
 /// the process: leak them to get the `'static` borrows serving wants.
-fn build_engine(spec: &EngineSpec, opts: &Options) -> Result<&'static dyn ServedEngine, String> {
+fn build_engine(
+    spec: &EngineSpec,
+    opts: &Options,
+    faults: &Arc<FaultPlan>,
+) -> Result<&'static dyn ServedEngine, String> {
     let ds = citeseer::build(spec.scale, opts.seed);
     eprintln!(
         "rcw-serve: route '{}': dataset {} (|V|={}, |E|={}), training {} (session workers {})...",
@@ -197,59 +230,84 @@ fn build_engine(spec: &EngineSpec, opts: &Options) -> Result<&'static dyn Served
     );
     let graph = Arc::new(ds.graph.clone());
     let cfg = serve_config(opts.k);
+    // The fault plan reaches into the engine's repair path through the hook;
+    // the empty plan installs nothing (the hook is the only per-repair cost).
+    let hook = (!faults.is_empty()).then(|| faults.engine_hook());
     let engine: &'static dyn ServedEngine = match spec.model.as_str() {
         "appnp" => {
             let appnp = Box::leak(Box::new(ds.train_appnp(16, opts.seed)));
-            Box::leak(Box::new(
-                WitnessEngine::new(graph, appnp, cfg).with_workers(spec.session_workers),
-            ))
+            let mut engine =
+                WitnessEngine::new(graph, appnp, cfg).with_workers(spec.session_workers);
+            if let Some(hook) = hook {
+                engine = engine.with_fault_hook(hook);
+            }
+            Box::leak(Box::new(engine))
         }
         "gcn" => {
             let gcn = Box::leak(Box::new(ds.train_gcn(16, opts.seed)));
-            Box::leak(Box::new(
-                WitnessEngine::new(graph, gcn, cfg).with_workers(spec.session_workers),
-            ))
+            let mut engine = WitnessEngine::new(graph, gcn, cfg).with_workers(spec.session_workers);
+            if let Some(hook) = hook {
+                engine = engine.with_fault_hook(hook);
+            }
+            Box::leak(Box::new(engine))
         }
         other => return Err(format!("unknown model '{other}' (use appnp or gcn)")),
     };
     Ok(engine)
 }
 
+/// Fatal startup error: announced on *stdout* (flushed) so a caller waiting
+/// for the listening line sees a definite failure line instead of silence,
+/// mirrored to stderr, then a nonzero exit.
+fn fail(message: &str) -> ExitCode {
+    use std::io::Write;
+    println!("rcw-serve: fatal: {message}");
+    let _ = std::io::stdout().flush();
+    eprintln!("rcw-serve: {message}");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
-        Err(message) => {
-            eprintln!("rcw-serve: {message}");
-            return ExitCode::FAILURE;
-        }
+        Err(message) => return fail(&message),
     };
+
+    let faults = match &opts.fault_spec {
+        Some(spec) => match FaultPlan::parse(spec, opts.fault_seed) {
+            Ok(plan) => Arc::new(plan),
+            Err(message) => return fail(&message),
+        },
+        None => match FaultPlan::from_env() {
+            Ok(plan) => Arc::new(plan),
+            Err(message) => return fail(&message),
+        },
+    };
+    if !faults.is_empty() {
+        eprintln!("rcw-serve: fault plan active (seed {})", opts.fault_seed);
+    }
 
     let mut config = ServerConfig {
         routes: Vec::new(),
         workers: opts.workers,
         queue_bound: opts.queue_bound,
         default_deadline: opts.default_deadline,
+        io_timeout: opts.io_timeout.unwrap_or(Duration::from_secs(5)),
+        faults: Arc::clone(&faults),
     };
     for spec in &opts.specs {
-        match build_engine(spec, &opts) {
+        match build_engine(spec, &opts, &faults) {
             Ok(engine) => config = config.with_route(spec.name.clone(), engine),
-            Err(message) => {
-                eprintln!("rcw-serve: {message}");
-                return ExitCode::FAILURE;
-            }
+            Err(message) => return fail(&message),
         }
     }
     if let Err(message) = config.validate() {
-        eprintln!("rcw-serve: {message}");
-        return ExitCode::FAILURE;
+        return fail(&message);
     }
 
     let server = match RcwServer::bind(&opts.addr) {
         Ok(server) => server,
-        Err(e) => {
-            eprintln!("rcw-serve: cannot bind {}: {e}", opts.addr);
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&format!("cannot bind {}: {e}", opts.addr)),
     };
     // First stdout line is machine-readable: callers on port 0 parse the
     // ephemeral port from it.
@@ -260,18 +318,16 @@ fn main() -> ExitCode {
         Ok(report) => {
             println!(
                 "rcw-serve: shut down after {} requests over {} connections {:?} \
-                 ({} shed, {} past deadline)",
+                 ({} shed, {} past deadline, {} worker restarts)",
                 report.requests_total(),
                 report.connections,
                 report.requests_per_worker,
                 report.overloaded,
                 report.deadline_rejections,
+                report.worker_restarts,
             );
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("rcw-serve: serve failed: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => fail(&format!("serve failed: {e}")),
     }
 }

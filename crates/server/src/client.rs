@@ -7,9 +7,11 @@
 use crate::http::MAX_BODY_BYTES;
 use crate::wire::{self, Json, WireError};
 use rcw_core::{DisturbReport, EngineSnapshot, GenerationResult};
+use rcw_linalg::Rng;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Client-side failure: transport errors and protocol/decoding errors.
 #[derive(Debug)]
@@ -17,8 +19,39 @@ pub enum ClientError {
     /// Socket-level failure.
     Io(io::Error),
     /// The response could not be parsed, or the server answered an error
-    /// status; carries the status code and the body/description.
+    /// status; carries the status code and the body/description. Status `0`
+    /// means no usable response arrived at all.
     Protocol(u16, String),
+    /// An idempotent request failed transiently on every attempt the
+    /// [`RetryPolicy`] allowed; carries the attempt count and the last
+    /// failure.
+    RetriesExhausted {
+        /// Attempts actually made (including the first).
+        attempts: usize,
+        /// The failure of the final attempt.
+        last: Box<ClientError>,
+    },
+}
+
+impl ClientError {
+    /// Whether a retry of an *idempotent* request may succeed: transport
+    /// failures (the connection can be re-dialed), no-response failures, and
+    /// the transient statuses — 408 (stalled), 429 (shed under overload),
+    /// 500 (handler panicked; panics are contained per-connection, so the
+    /// server is still up), 503 (deadline pressure).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Protocol(status, _) => matches!(status, 0 | 408 | 429 | 500 | 503),
+            ClientError::RetriesExhausted { .. } => false,
+        }
+    }
+
+    /// Whether the failure left the connection unusable (retry must
+    /// re-dial first).
+    fn connection_dead(&self) -> bool {
+        matches!(self, ClientError::Io(_) | ClientError::Protocol(0, _))
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -28,9 +61,67 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(status, message) => {
                 write!(f, "protocol error (status {status}): {message}")
             }
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }
+
+/// Retry policy for *idempotent* requests: exponential backoff with jitter,
+/// a retry budget (`max_attempts`), and deadline awareness (`budget` caps
+/// total wall-clock across attempts, sleeps included — the loop never starts
+/// a sleep it cannot afford).
+///
+/// Installed with [`Client::set_retry`]; only the idempotent endpoints
+/// (`generate`, `generate_batch`, `healthz`, `stats`) use it. `disturb` and
+/// `shutdown` mutate server state and are never auto-retried: a retried
+/// disturbance would flip edges twice.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first. Minimum 1.
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles per retry after that.
+    pub base_backoff: Duration,
+    /// Cap on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Fraction of each backoff randomized away, in `[0, 1]` — breaks up
+    /// synchronized retry herds against a recovering server.
+    pub jitter: f64,
+    /// Wall-clock cap across all attempts (`None` = attempts alone bound the
+    /// loop).
+    pub budget: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.5,
+            budget: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (1-based).
+    fn backoff(&self, retry: u32, rng: &mut Rng) -> Duration {
+        let doubled = self.base_backoff.saturating_mul(1 << (retry - 1).min(16));
+        let capped = doubled.min(self.max_backoff);
+        capped.mul_f64(1.0 - self.jitter.clamp(0.0, 1.0) * rng.gen_f64())
+    }
+}
+
+/// Transient response statuses (see [`ClientError::is_transient`]).
+fn transient_status(status: u16) -> bool {
+    matches!(status, 408 | 429 | 500 | 503)
+}
+
+/// Per-process client counter: each client jitters from its own RNG stream
+/// so concurrent clients sharing a policy do not sleep in lockstep.
+static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl std::error::Error for ClientError {}
 
@@ -60,24 +151,53 @@ pub struct Client {
     host: String,
     prefix: String,
     deadline_ms: Option<u64>,
+    retry: Option<RetryPolicy>,
+    rng: Rng,
+}
+
+/// Dials `addr` with the client's socket options set.
+fn dial(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    // Small request/response round trips: disable Nagle so the request
+    // is not held back waiting for an ACK of the previous response.
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok((reader, stream))
 }
 
 impl Client {
     /// Connects to a server address like `127.0.0.1:8080`.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-        // Small request/response round trips: disable Nagle so the request
-        // is not held back waiting for an ACK of the previous response.
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let (reader, writer) = dial(addr)?;
         Ok(Client {
             reader,
-            writer: stream,
+            writer,
             host: addr.to_string(),
             prefix: String::new(),
             deadline_ms: None,
+            retry: None,
+            rng: Rng::seed_from_u64(
+                0x9e37_79b9_7f4a_7c15 ^ CLIENT_SEQ.fetch_add(1, Ordering::Relaxed),
+            ),
         })
+    }
+
+    /// Drops the current connection and dials the same address again. Route,
+    /// deadline, and retry settings survive; the retry loop calls this
+    /// transparently after transport failures, which is what lets a client
+    /// ride out a server restart.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let (reader, writer) = dial(&self.host)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// Installs (or clears) the retry policy used by the idempotent
+    /// endpoints.
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
     }
 
     /// Targets a named engine route: subsequent requests go to
@@ -122,6 +242,62 @@ impl Client {
         self.read_response()
     }
 
+    /// [`Client::request`] under the installed [`RetryPolicy`]: transient
+    /// failures (transport errors, truncated responses, 408/429/500/503)
+    /// back off and retry, re-dialing first when the failure killed the
+    /// connection. Callers must only route *idempotent* requests here.
+    fn request_idempotent(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Json), ClientError> {
+        let Some(policy) = self.retry.clone() else {
+            return self.request(method, path, body);
+        };
+        let start = Instant::now();
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempts = 0usize;
+        let mut last: Option<ClientError> = None;
+        while attempts < max_attempts {
+            if let Some(failed) = &last {
+                let delay = policy.backoff(attempts as u32, &mut self.rng);
+                if let Some(budget) = policy.budget {
+                    // Deadline awareness: never start a sleep (or attempt)
+                    // the budget cannot afford.
+                    if start.elapsed() + delay >= budget {
+                        break;
+                    }
+                }
+                std::thread::sleep(delay);
+                if failed.connection_dead() && self.reconnect().is_err() {
+                    // Server still down: burn the attempt, keep backing off.
+                    attempts += 1;
+                    continue;
+                }
+            }
+            attempts += 1;
+            match self.request(method, path, body) {
+                Ok((status, reply)) if transient_status(status) => {
+                    let message = reply
+                        .get("error")
+                        .and_then(|e| e.as_str().ok().map(str::to_string))
+                        .unwrap_or_else(|| reply.encode());
+                    last = Some(ClientError::Protocol(status, message));
+                }
+                Ok(pair) => return Ok(pair),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts,
+            last: Box::new(
+                last.unwrap_or_else(|| ClientError::Protocol(0, "no attempt made".to_string())),
+            ),
+        })
+    }
+
     fn read_response(&mut self) -> Result<(u16, Json), ClientError> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -136,10 +312,12 @@ impl Client {
         loop {
             line.clear();
             if self.reader.read_line(&mut line)? == 0 {
-                return Err(ClientError::Protocol(
-                    status,
-                    "truncated headers".to_string(),
-                ));
+                // The peer died mid-response: a transport failure (the
+                // connection is unusable), not a protocol-level answer.
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "response truncated mid-headers",
+                )));
             }
             let trimmed = line.trim_end_matches(['\r', '\n']);
             if trimmed.is_empty() {
@@ -180,7 +358,7 @@ impl Client {
 
     /// `GET /healthz`; returns the reported epoch.
     pub fn healthz(&mut self) -> Result<u64, ClientError> {
-        let (status, body) = self.request("GET", "/healthz", None)?;
+        let (status, body) = self.request_idempotent("GET", "/healthz", None)?;
         let body = self.expect_ok(status, body)?;
         Ok(body.field("epoch")?.as_u64()?)
     }
@@ -188,7 +366,7 @@ impl Client {
     /// `POST /generate` for one test-node set.
     pub fn generate(&mut self, nodes: &[usize]) -> Result<GenerationResult, ClientError> {
         let body = Json::obj([("nodes", Json::nums(nodes.iter().copied()))]);
-        let (status, reply) = self.request("POST", "/generate", Some(&body))?;
+        let (status, reply) = self.request_idempotent("POST", "/generate", Some(&body))?;
         let reply = self.expect_ok(status, reply)?;
         Ok(wire::generation_from_json(&reply)?)
     }
@@ -207,7 +385,7 @@ impl Client {
                     .collect(),
             ),
         )]);
-        let (status, reply) = self.request("POST", "/generate_batch", Some(&body))?;
+        let (status, reply) = self.request_idempotent("POST", "/generate_batch", Some(&body))?;
         let reply = self.expect_ok(status, reply)?;
         reply
             .field("results")?
@@ -217,7 +395,10 @@ impl Client {
             .collect()
     }
 
-    /// `POST /disturb` with a batch of edge flips.
+    /// `POST /disturb` with a batch of edge flips. Not idempotent (a
+    /// replayed disturbance flips edges twice), so never auto-retried — a
+    /// transient failure here surfaces to the caller, who knows whether the
+    /// flip landed.
     pub fn disturb(&mut self, flips: &[(usize, usize)]) -> Result<DisturbReport, ClientError> {
         let body = Json::obj([(
             "flips",
@@ -236,7 +417,7 @@ impl Client {
     /// `GET /stats`; returns the engine snapshot plus per-worker request
     /// counts.
     pub fn stats(&mut self) -> Result<(EngineSnapshot, Vec<usize>), ClientError> {
-        let (status, reply) = self.request("GET", "/stats", None)?;
+        let (status, reply) = self.request_idempotent("GET", "/stats", None)?;
         let reply = self.expect_ok(status, reply)?;
         let snapshot = wire::snapshot_from_json(reply.field("engine")?)?;
         let per_worker = reply
@@ -249,7 +430,8 @@ impl Client {
         Ok((snapshot, per_worker))
     }
 
-    /// `POST /shutdown`: asks the server to stop gracefully.
+    /// `POST /shutdown`: asks the server to stop gracefully. Like
+    /// [`Client::disturb`], never auto-retried.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         let (status, body) = self.request("POST", "/shutdown", None)?;
         self.expect_ok(status, body)?;

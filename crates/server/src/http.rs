@@ -7,6 +7,7 @@
 //! requests using them get a clean `400`, not undefined behavior.
 
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 /// Largest request body accepted, a guard against memory exhaustion from a
 /// hostile peer. Generous: the biggest legitimate payload (a batch of
@@ -43,14 +44,39 @@ pub enum ReadOutcome {
     /// The bytes were not a well-formed request; the description is safe to
     /// echo back in a 400 response.
     Malformed(String),
+    /// The request exceeded a size bound (head or declared body length);
+    /// answer `413` and close — nothing was allocated for it.
+    TooLarge(String),
+    /// The peer stalled mid-request: a read timed out (or the cumulative
+    /// head deadline passed) after bytes were already consumed. Answer a
+    /// best-effort `408` and close. An idle keep-alive timeout with *zero*
+    /// bytes consumed is not a stall — it surfaces as an `Err` and the
+    /// connection is dropped silently.
+    Stalled,
 }
 
 /// Reads one request from a buffered stream.
-pub fn read_request(stream: &mut impl BufRead) -> io::Result<ReadOutcome> {
+///
+/// `head_deadline` bounds the *cumulative* time spent reading the request
+/// head: per-read socket timeouts cannot stop a slowloris peer that trickles
+/// one header line per timeout window, but a deadline checked between lines
+/// can. `None` disables the guard (in-memory parsing, tests).
+pub fn read_request(
+    stream: &mut impl BufRead,
+    head_deadline: Option<Instant>,
+) -> io::Result<ReadOutcome> {
     let mut line = String::new();
     let mut head_bytes = 0usize;
-    if read_head_line(stream, &mut line, &mut head_bytes)? == 0 {
-        return Ok(ReadOutcome::Closed);
+    match read_head_line(stream, &mut line, &mut head_bytes) {
+        Ok(HeadLine::Len(0)) => return Ok(ReadOutcome::Closed),
+        Ok(HeadLine::Len(_)) => {}
+        Ok(HeadLine::TooLarge) => {
+            return Ok(ReadOutcome::TooLarge("request head too large".to_string()))
+        }
+        // `read_line` keeps whatever it read in `line`, so an empty buffer
+        // on timeout means the peer was idle, not stalled mid-request.
+        Err(e) if is_timeout(&e) && !line.is_empty() => return Ok(ReadOutcome::Stalled),
+        Err(e) => return Err(e),
     }
     let mut parts = line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
@@ -68,8 +94,21 @@ pub fn read_request(stream: &mut impl BufRead) -> io::Result<ReadOutcome> {
     let mut deadline_ms = None;
     loop {
         line.clear();
-        if read_head_line(stream, &mut line, &mut head_bytes)? == 0 {
-            return Ok(ReadOutcome::Malformed("truncated headers".to_string()));
+        if let Some(deadline) = head_deadline {
+            if Instant::now() >= deadline {
+                return Ok(ReadOutcome::Stalled);
+            }
+        }
+        match read_head_line(stream, &mut line, &mut head_bytes) {
+            Ok(HeadLine::Len(0)) => {
+                return Ok(ReadOutcome::Malformed("truncated headers".to_string()))
+            }
+            Ok(HeadLine::Len(_)) => {}
+            Ok(HeadLine::TooLarge) => {
+                return Ok(ReadOutcome::TooLarge("request head too large".to_string()))
+            }
+            Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Stalled),
+            Err(e) => return Err(e),
         }
         let trimmed = line.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
@@ -83,7 +122,10 @@ pub fn read_request(stream: &mut impl BufRead) -> io::Result<ReadOutcome> {
         match name.as_str() {
             "content-length" => match value.parse::<usize>() {
                 Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
-                Ok(_) => return Ok(ReadOutcome::Malformed("body too large".to_string())),
+                // An absurd Content-Length is rejected here, before the body
+                // buffer is sized from it: the peer gets a 413, never an
+                // allocation.
+                Ok(_) => return Ok(ReadOutcome::TooLarge("body too large".to_string())),
                 Err(_) => return Ok(ReadOutcome::Malformed("bad content-length".to_string())),
             },
             "connection" => close = value.eq_ignore_ascii_case("close"),
@@ -102,7 +144,13 @@ pub fn read_request(stream: &mut impl BufRead) -> io::Result<ReadOutcome> {
 
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        io::Read::read_exact(stream, &mut body)?;
+        match io::Read::read_exact(stream, &mut body) {
+            Ok(()) => {}
+            // The head arrived but the declared body never did: a stalled
+            // (or fault-injected) peer, not a transport failure.
+            Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Stalled),
+            Err(e) => return Err(e),
+        }
     }
     Ok(ReadOutcome::Ok(Request {
         method,
@@ -113,21 +161,34 @@ pub fn read_request(stream: &mut impl BufRead) -> io::Result<ReadOutcome> {
     }))
 }
 
+/// Outcome of reading one head line, separating the size guard from
+/// transport errors.
+enum HeadLine {
+    Len(usize),
+    TooLarge,
+}
+
 /// `read_line` with a cumulative size guard; returns the bytes read.
 fn read_head_line(
     stream: &mut impl BufRead,
     line: &mut String,
     head_bytes: &mut usize,
-) -> io::Result<usize> {
+) -> io::Result<HeadLine> {
     let n = stream.read_line(line)?;
     *head_bytes += n;
     if *head_bytes > MAX_HEAD_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "request head too large",
-        ));
+        return Ok(HeadLine::TooLarge);
     }
-    Ok(n)
+    Ok(HeadLine::Len(n))
+}
+
+/// Whether an I/O error is a read/write timeout. Both kinds appear in the
+/// wild: Unix sockets report `WouldBlock`, Windows reports `TimedOut`.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// A response ready to be written: status code and JSON body.
@@ -159,6 +220,8 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -175,6 +238,14 @@ fn reason(status: u16) -> &'static str {
 /// stall per response (the sockets also set `TCP_NODELAY`, but one syscall
 /// per response is cheaper regardless).
 pub fn write_response(stream: &mut impl Write, response: &Response, close: bool) -> io::Result<()> {
+    stream.write_all(&encode_response(response, close))?;
+    stream.flush()
+}
+
+/// The exact bytes [`write_response`] would send: head + newline-terminated
+/// body. Exposed so the fault-injection layer can write a deliberately
+/// truncated prefix of a real response.
+pub fn encode_response(response: &Response, close: bool) -> Vec<u8> {
     let mut body = response.body.clone();
     if !body.ends_with('\n') {
         body.push('\n');
@@ -187,17 +258,17 @@ pub fn write_response(stream: &mut impl Write, response: &Response, close: bool)
         if close { "close" } else { "keep-alive" },
     );
     message.push_str(&body);
-    stream.write_all(message.as_bytes())?;
-    stream.flush()
+    message.into_bytes()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::BufReader;
+    use std::time::Duration;
 
     fn parse(bytes: &[u8]) -> ReadOutcome {
-        read_request(&mut BufReader::new(bytes)).unwrap()
+        read_request(&mut BufReader::new(bytes), None).unwrap()
     }
 
     #[test]
@@ -265,10 +336,33 @@ mod tests {
             parse(b"GET / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
             ReadOutcome::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn oversized_requests_are_too_large_not_malformed() {
+        // Absurd declared body: rejected before any allocation, as 413.
         assert!(matches!(
             parse(b"GET / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n"),
-            ReadOutcome::Malformed(_)
+            ReadOutcome::TooLarge(_)
         ));
+        // Oversized head: one giant header blows the cumulative head bound.
+        let mut head = b"GET / HTTP/1.1\r\nx-filler: ".to_vec();
+        head.resize(MAX_HEAD_BYTES + 64, b'a');
+        head.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse(&head), ReadOutcome::TooLarge(_)));
+    }
+
+    #[test]
+    fn head_deadline_in_the_past_stalls_a_partial_request() {
+        // The request line parses, then the deadline check fires before the
+        // next header line.
+        let bytes = b"GET / HTTP/1.1\r\nx-slow: 1\r\n\r\n";
+        let outcome = read_request(
+            &mut BufReader::new(&bytes[..]),
+            Some(Instant::now() - Duration::from_secs(1)),
+        )
+        .unwrap();
+        assert!(matches!(outcome, ReadOutcome::Stalled));
     }
 
     #[test]

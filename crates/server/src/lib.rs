@@ -50,9 +50,11 @@
 //! counts plus the overload/deadline rejection totals.
 
 pub mod client;
+pub mod faults;
 pub mod http;
 pub mod wire;
 
+use faults::FaultPlan;
 use http::{read_request, write_response, ReadOutcome, Request, Response};
 pub use rcw_core::{BudgetExceeded, SessionBudget};
 use rcw_core::{DisturbReport, EngineSnapshot, GenerationResult, VerifiableModel, WitnessEngine};
@@ -62,7 +64,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, TrySendError};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wire::Json;
 
@@ -173,6 +175,14 @@ pub struct ServerConfig<'e> {
     /// Deadline applied to requests that do not carry an
     /// `x-rcw-deadline-ms` header. `None` = no default deadline.
     pub default_deadline: Option<Duration>,
+    /// Read/write timeout applied to every accepted socket, and the base of
+    /// the request-head deadline (`2 × io_timeout`) that stops slowloris
+    /// peers from trickling header lines forever.
+    pub io_timeout: Duration,
+    /// Fault-injection plan ([`FaultPlan::none`] outside chaos tests). The
+    /// serve loop consults it at each named site; an empty plan is a single
+    /// cheap check per connection.
+    pub faults: Arc<FaultPlan>,
 }
 
 impl<'e> ServerConfig<'e> {
@@ -187,6 +197,8 @@ impl<'e> ServerConfig<'e> {
             workers: 4,
             queue_bound: 1024,
             default_deadline: None,
+            io_timeout: IDLE_READ_TIMEOUT,
+            faults: Arc::new(FaultPlan::none()),
         }
     }
 
@@ -217,6 +229,18 @@ impl<'e> ServerConfig<'e> {
         self
     }
 
+    /// Sets the per-socket read/write timeout.
+    pub fn with_io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Index of the route with the given name.
     fn route_index(&self, name: &str) -> Option<usize> {
         self.routes.iter().position(|r| r.name == name)
@@ -233,6 +257,9 @@ impl<'e> ServerConfig<'e> {
         }
         if self.queue_bound == 0 {
             return Err("dispatch queue bound must be at least 1".to_string());
+        }
+        if self.io_timeout.is_zero() {
+            return Err("io timeout must be nonzero".to_string());
         }
         for (i, route) in self.routes.iter().enumerate() {
             if route.name.is_empty()
@@ -279,6 +306,11 @@ pub struct ServeReport {
     /// Requests answered `503` because their deadline had expired (at
     /// dequeue or mid-session).
     pub deadline_rejections: usize,
+    /// Times a worker's connection handler panicked (organically or via an
+    /// injected `worker_panic` fault) and the worker re-entered its request
+    /// loop. The pool never shrinks: a panic costs one connection, not one
+    /// worker.
+    pub worker_restarts: usize,
 }
 
 impl ServeReport {
@@ -305,6 +337,7 @@ struct ServeState<'e, 'c> {
     overloaded: AtomicUsize,
     deadline_rejections: AtomicUsize,
     rejectors: AtomicUsize,
+    worker_restarts: AtomicUsize,
     addr: SocketAddr,
 }
 
@@ -349,6 +382,7 @@ impl RcwServer {
             overloaded: AtomicUsize::new(0),
             deadline_rejections: AtomicUsize::new(0),
             rejectors: AtomicUsize::new(0),
+            worker_restarts: AtomicUsize::new(0),
             addr: self.addr,
         };
         let (tx, rx) = mpsc::sync_channel::<QueuedConn>(config.queue_bound);
@@ -361,12 +395,24 @@ impl RcwServer {
                 let state = &state;
                 scope.spawn(move || loop {
                     // Hold the receiver lock only for the pop, not while
-                    // serving, so the pool keeps draining in parallel.
-                    let next = rx.lock().expect("server queue lock poisoned").recv();
+                    // serving, so the pool keeps draining in parallel. The
+                    // lock is recovered from poisoning: a sibling that
+                    // panicked mid-pop must not wedge the whole queue.
+                    let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                     match next {
                         Ok(conn) => {
                             state.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                            serve_connection(conn, state, wid)
+                            // Panic containment: a panicking handler (or an
+                            // injected `worker_panic` fault) kills this
+                            // connection, not the worker — the loop re-enters
+                            // `recv()` with the queue intact, which *is* the
+                            // respawn. Counted so `/stats` exposes it.
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                serve_connection(conn, state, wid)
+                            }));
+                            if outcome.is_err() {
+                                state.worker_restarts.fetch_add(1, Ordering::SeqCst);
+                            }
                         }
                         Err(_) => break, // acceptor gone: pool drains and exits
                     }
@@ -422,6 +468,7 @@ impl RcwServer {
             connections,
             overloaded: state.overloaded.load(Ordering::SeqCst),
             deadline_rejections: state.deadline_rejections.load(Ordering::SeqCst),
+            worker_restarts: state.worker_restarts.load(Ordering::SeqCst),
         })
     }
 }
@@ -438,7 +485,7 @@ fn reject_overloaded(stream: TcpStream, state: &ServeState<'_, '_>) {
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let _ = read_request(&mut reader);
+    let _ = read_request(&mut reader, Some(Instant::now() + REJECT_IO_TIMEOUT));
     let _ = write_response(&mut writer, &overload_response(state), true);
 }
 
@@ -466,11 +513,18 @@ fn deadline_response() -> Response {
 
 /// Serves one (kept-alive) connection to completion.
 fn serve_connection(conn: QueuedConn, state: &ServeState<'_, '_>, wid: usize) {
+    let faults = &state.config.faults;
+    let inject = !faults.is_empty();
+    let io_timeout = state.config.io_timeout;
     let stream = conn.stream;
-    let _ = stream.set_read_timeout(Some(IDLE_READ_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
     // Request/response round trips are latency-bound small messages: without
     // TCP_NODELAY, Nagle + the peer's delayed ACK add ~40ms per response.
     let _ = stream.set_nodelay(true);
+    if inject && faults.fires(faults::SITE_CONN_DROP) {
+        return; // injected fault: drop the accepted connection unanswered
+    }
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -482,15 +536,38 @@ fn serve_connection(conn: QueuedConn, state: &ServeState<'_, '_>, wid: usize) {
     // arrives (keep-alive idle time between requests is never billed).
     let mut first_request = true;
     loop {
-        let request = match read_request(&mut reader) {
+        if inject && faults.fires(faults::SITE_READ_STALL) {
+            // Injected fault: sit on the socket before reading, as a worker
+            // wedged on a slow disk or lock would.
+            std::thread::sleep(io_timeout.min(Duration::from_millis(100)));
+        }
+        // The head deadline bounds the whole request head, not one recv:
+        // 2 × io_timeout leaves room for an idle keep-alive wait (up to
+        // io_timeout) plus the head itself.
+        let head_deadline = Instant::now() + 2 * io_timeout;
+        let request = match read_request(&mut reader, Some(head_deadline)) {
             Ok(ReadOutcome::Ok(request)) => request,
             Ok(ReadOutcome::Closed) => return,
             Ok(ReadOutcome::Malformed(message)) => {
                 let _ = write_response(&mut writer, &Response::error(400, &message), true);
                 return;
             }
-            Err(_) => return, // timeout or broken pipe: drop the connection
+            Ok(ReadOutcome::TooLarge(message)) => {
+                let _ = write_response(&mut writer, &Response::error(413, &message), true);
+                return;
+            }
+            Ok(ReadOutcome::Stalled) => {
+                // Best effort: a peer stalled mid-request may not read it.
+                let _ = write_response(&mut writer, &Response::error(408, "request timeout"), true);
+                return;
+            }
+            Err(_) => return, // idle timeout or broken pipe: drop silently
         };
+        if inject && faults.fires(faults::SITE_WORKER_PANIC) {
+            // Before the per-worker count: an unanswered request must not
+            // appear in the answered-request accounting.
+            panic!("injected fault: worker_panic");
+        }
         let deadline_base = if first_request {
             conn.enqueued_at
         } else {
@@ -524,6 +601,17 @@ fn serve_connection(conn: QueuedConn, state: &ServeState<'_, '_>, wid: usize) {
         // otherwise an actively-requesting kept-alive peer would keep its
         // worker looping here and defer `serve`'s pool join indefinitely.
         let close = request.close || stop_after || state.shutdown.load(Ordering::SeqCst);
+        if inject && faults.fires(faults::SITE_WRITE_DROP) {
+            return; // injected fault: computed answer never hits the wire
+        }
+        if inject && faults.fires(faults::SITE_WRITE_TRUNCATE) {
+            // Injected fault: half a real response, then a close — what a
+            // peer sees when a server dies mid-write.
+            use std::io::Write;
+            let bytes = http::encode_response(&response, true);
+            let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+            return;
+        }
         if write_response(&mut writer, &response, close).is_err() {
             return;
         }
@@ -772,6 +860,10 @@ fn handle_stats(state: &ServeState<'_, '_>, engine_idx: usize) -> Response {
                         "deadline_rejections",
                         Json::num(state.deadline_rejections.load(Ordering::SeqCst) as u64),
                     ),
+                    (
+                        "worker_restarts",
+                        Json::num(state.worker_restarts.load(Ordering::SeqCst) as u64),
+                    ),
                 ]),
             ),
         ])
@@ -832,7 +924,13 @@ mod tests {
             workers: 1,
             queue_bound: 1,
             default_deadline: None,
+            io_timeout: IDLE_READ_TIMEOUT,
+            faults: Arc::new(FaultPlan::none()),
         };
         assert!(empty.validate().is_err());
+        assert!(ServerConfig::single(&engine)
+            .with_io_timeout(Duration::ZERO)
+            .validate()
+            .is_err());
     }
 }

@@ -537,6 +537,13 @@ pub fn engine_stats_to_json(s: &EngineStats) -> Json {
         ("repairs_skipped", Json::num(s.repairs_skipped as u64)),
         ("repairs_reverified", Json::num(s.repairs_reverified as u64)),
         ("repairs_searched", Json::num(s.repairs_searched as u64)),
+        (
+            "repairs_regenerated",
+            Json::num(s.repairs_regenerated as u64),
+        ),
+        ("repairs_degraded", Json::num(s.repairs_degraded as u64)),
+        ("degraded_serves", Json::num(s.degraded_serves as u64)),
+        ("budget_aborts", Json::num(s.budget_aborts as u64)),
     ])
 }
 
@@ -550,6 +557,10 @@ pub fn engine_stats_from_json(value: &Json) -> Result<EngineStats, WireError> {
         repairs_skipped: value.field("repairs_skipped")?.as_usize()?,
         repairs_reverified: value.field("repairs_reverified")?.as_usize()?,
         repairs_searched: value.field("repairs_searched")?.as_usize()?,
+        repairs_regenerated: value.field("repairs_regenerated")?.as_usize()?,
+        repairs_degraded: value.field("repairs_degraded")?.as_usize()?,
+        degraded_serves: value.field("degraded_serves")?.as_usize()?,
+        budget_aborts: value.field("budget_aborts")?.as_usize()?,
     })
 }
 
@@ -609,6 +620,8 @@ pub fn disturb_report_to_json(r: &DisturbReport) -> Json {
         ("untouched", Json::num(r.untouched as u64)),
         ("reverified", Json::num(r.reverified as u64)),
         ("repaired", Json::num(r.repaired as u64)),
+        ("regenerated", Json::num(r.regenerated as u64)),
+        ("degraded", Json::num(r.degraded as u64)),
         ("stats", generation_stats_to_json(&r.stats)),
     ])
 }
@@ -622,6 +635,8 @@ pub fn disturb_report_from_json(value: &Json) -> Result<DisturbReport, WireError
         untouched: value.field("untouched")?.as_usize()?,
         reverified: value.field("reverified")?.as_usize()?,
         repaired: value.field("repaired")?.as_usize()?,
+        regenerated: value.field("regenerated")?.as_usize()?,
+        degraded: value.field("degraded")?.as_usize()?,
         stats: generation_stats_from_json(value.field("stats")?)?,
     })
 }
@@ -632,6 +647,7 @@ pub fn generation_to_json(r: &GenerationResult) -> Json {
         ("witness", witness_to_json(&r.witness)),
         ("level", Json::Str(level_to_str(r.level).to_string())),
         ("nontrivial", Json::Bool(r.nontrivial)),
+        ("stale", Json::Bool(r.stale)),
         ("stats", generation_stats_to_json(&r.stats)),
     ])
 }
@@ -642,6 +658,7 @@ pub fn generation_from_json(value: &Json) -> Result<GenerationResult, WireError>
         witness: witness_from_json(value.field("witness")?)?,
         level: level_from_str(value.field("level")?.as_str()?)?,
         nontrivial: value.field("nontrivial")?.as_bool()?,
+        stale: value.field("stale")?.as_bool()?,
         stats: generation_stats_from_json(value.field("stats")?)?,
     })
 }

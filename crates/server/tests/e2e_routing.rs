@@ -7,8 +7,10 @@
 use rcw_core::{RcwConfig, WitnessEngine};
 use rcw_datasets::{citeseer, Scale};
 use rcw_server::client::{Client, ClientError};
+use rcw_server::faults::FaultPlan;
 use rcw_server::{RcwServer, ServerConfig};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn quick_cfg() -> RcwConfig {
     RcwConfig {
@@ -44,6 +46,8 @@ fn two_engines_route_by_prefix_and_parallel_sessions_verify() {
         workers: 3,
         queue_bound: 64,
         default_deadline: None,
+        io_timeout: Duration::from_secs(5),
+        faults: Arc::new(FaultPlan::none()),
     }
     .with_route("gcn", &gcn_engine)
     .with_route("appnp", &appnp_engine);

@@ -61,6 +61,10 @@ fn engine_stats_and_snapshot_round_trip() {
         repairs_skipped: 1,
         repairs_reverified: 1,
         repairs_searched: 1,
+        repairs_regenerated: 1,
+        repairs_degraded: 1,
+        degraded_serves: 2,
+        budget_aborts: 1,
     };
     let encoded = wire::engine_stats_to_json(&stats).encode();
     let decoded = wire::engine_stats_from_json(&Json::parse(&encoded).unwrap()).unwrap();
@@ -95,6 +99,8 @@ fn disturb_report_and_generation_result_round_trip() {
         untouched: 1,
         reverified: 1,
         repaired: 1,
+        regenerated: 1,
+        degraded: 1,
         stats: GenerationStats {
             inference_calls: 123,
             disturbances_verified: 45,
@@ -118,6 +124,7 @@ fn disturb_report_and_generation_result_round_trip() {
             witness: witness_cases().remove(1),
             level,
             nontrivial: level == WitnessLevel::Robust,
+            stale: level == WitnessLevel::Factual,
             stats: GenerationStats::default(),
         };
         let encoded = wire::generation_to_json(&result).encode();
@@ -125,6 +132,7 @@ fn disturb_report_and_generation_result_round_trip() {
         assert_eq!(decoded.witness, result.witness);
         assert_eq!(decoded.level, result.level);
         assert_eq!(decoded.nontrivial, result.nontrivial);
+        assert_eq!(decoded.stale, result.stale);
         assert_eq!(wire::generation_to_json(&decoded).encode(), encoded);
     }
 }

@@ -10,8 +10,9 @@
 //! verification), exercising both verification families through the engine.
 
 use robogexp::core::{RcwConfig, RoboGExp, VerifiableModel, WitnessEngine};
-use robogexp::graph::{generators, Disturbance, Edge};
+use robogexp::graph::{generators, shrink, Disturbance, Edge};
 use robogexp::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Pinned seeds exercised by default. Setting `RCW_REPAIR_SEEDS=<n>` widens
@@ -162,12 +163,41 @@ fn sweep<M: VerifiableModel + ?Sized>(model: &M, g: &Graph, seed: u64) {
     );
 }
 
+/// Runs one sweep case; on failure, greedily shrinks the graph to a
+/// locally-minimal counterexample (retraining the model on every candidate)
+/// and panics with that instead of the full generated graph. The shrinker
+/// only runs on the failure path, so the passing sweep costs nothing extra.
+fn sweep_shrinking<M: VerifiableModel>(train: impl Fn(&Graph, u64) -> M, g: &Graph, seed: u64) {
+    let run = |g: &Graph| {
+        let model = train(g, seed);
+        sweep(&model, g, seed);
+    };
+    let Err(original) = catch_unwind(AssertUnwindSafe(|| run(g))) else {
+        return;
+    };
+    let message = original
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| original.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic".to_string());
+    // Silence the per-candidate panic spew while probing reductions.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let minimal = shrink::shrink_graph(g, &|candidate| {
+        candidate.num_nodes() >= 2 && catch_unwind(AssertUnwindSafe(|| run(candidate))).is_err()
+    });
+    std::panic::set_hook(prev_hook);
+    panic!(
+        "seed {seed}: {message}\nminimal failing graph: {}",
+        shrink::describe_graph(&minimal),
+    );
+}
+
 #[test]
 fn repaired_witnesses_match_regeneration_for_gcn() {
     for seed in sweep_seeds() {
         let g = sbm(seed);
-        let gcn = train_gcn(&g, seed);
-        sweep(&gcn, &g, seed);
+        sweep_shrinking(train_gcn, &g, seed);
     }
 }
 
@@ -175,8 +205,7 @@ fn repaired_witnesses_match_regeneration_for_gcn() {
 fn repaired_witnesses_match_regeneration_for_appnp() {
     for seed in sweep_seeds() {
         let g = sbm(seed);
-        let appnp = train_appnp(&g, seed);
-        sweep(&appnp, &g, seed);
+        sweep_shrinking(train_appnp, &g, seed);
     }
 }
 
