@@ -6,20 +6,30 @@
 //!   kept-alive client issuing warm (store-hit) `/generate` queries;
 //! * `saturation/ns_per_request` — mean service time per request when
 //!   2× the pool size of concurrent clients hammer the server (the inverse
-//!   of saturation throughput; the printed summary shows requests/s).
+//!   of saturation throughput; the printed summary shows requests/s);
+//! * `mixed/latency/p50|p99/warm_generate` and
+//!   `mixed/saturation/ns_per_request` — the same two measurements while
+//!   background clients stream always-fresh (cold) queries that run full
+//!   expand-verify sessions, so the numbers show how well short warm hits
+//!   interleave with long sessions through the admission scheduler. Only
+//!   warm requests are timed/counted; the cold stream is load, not signal.
+//!
+//! `RCW_BENCH_QUICK=1` shrinks the sample counts for the nightly mixed-load
+//! smoke leg (bounded wall-clock, same code paths).
 
 use rcw_bench::timing::{format_duration, BenchGroup};
 use rcw_core::{RcwConfig, WitnessEngine};
-use rcw_datasets::{citeseer, Scale};
+use rcw_datasets::{citeseer, Dataset, Scale};
 use rcw_server::client::Client;
 use rcw_server::{RcwServer, ServerConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const HTTP_WORKERS: usize = 4;
-const LATENCY_SAMPLES: usize = 600;
 const SATURATION_CLIENTS: usize = 2 * HTTP_WORKERS;
-const REQUESTS_PER_CLIENT: usize = 400;
+/// Background cold-traffic clients for the `mixed/*` cases.
+const COLD_CLIENTS: usize = 2;
 
 fn bench_cfg() -> RcwConfig {
     RcwConfig {
@@ -33,19 +43,99 @@ fn bench_cfg() -> RcwConfig {
     }
 }
 
+/// One warm-latency distribution over a kept-alive connection: issues
+/// `samples` store-hit generates and returns `(p50, p99)`.
+fn warm_latency(
+    client: &mut Client,
+    queries: &[Vec<usize>],
+    samples: usize,
+) -> (Duration, Duration) {
+    let mut latencies: Vec<Duration> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let nodes = &queries[i % queries.len()];
+        let start = Instant::now();
+        client.generate(nodes).expect("warm generate");
+        latencies.push(start.elapsed());
+    }
+    latencies.sort_unstable();
+    (
+        latencies[latencies.len() / 2],
+        latencies[latencies.len() * 99 / 100],
+    )
+}
+
+/// Saturation sweep: `SATURATION_CLIENTS` concurrent connections each issue
+/// `per_client` warm requests; returns `(ns_per_request, requests_per_sec)`
+/// over the wall-clock window. Only these warm requests are counted — any
+/// concurrent cold traffic is extra load on the same pool. The drivers send
+/// prebuilt bodies and only status-check the answers (`generate_text`):
+/// response decoding is harness work, and on a shared core it would steal
+/// the very cycles being measured.
+fn warm_saturation(addr: &str, queries: &[Vec<usize>], per_client: usize) -> (u64, f64) {
+    let bodies: Vec<String> = queries
+        .iter()
+        .map(|nodes| {
+            let list: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+            format!("{{\"nodes\":[{}]}}", list.join(","))
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|clients| {
+        for c in 0..SATURATION_CLIENTS {
+            let bodies = &bodies;
+            clients.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..per_client {
+                    let body = &bodies[(c + i) % bodies.len()];
+                    let (status, text) = client.generate_text(body).expect("saturation generate");
+                    assert_eq!(status, 200, "saturation generate failed: {text}");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let total = SATURATION_CLIENTS * per_client;
+    (
+        elapsed.as_nanos() as u64 / total as u64,
+        total as f64 / elapsed.as_secs_f64(),
+    )
+}
+
+/// Cold-traffic loop: every request queries an always-fresh node set (a new
+/// seed per request), so each one misses the store and runs a full
+/// expand-verify session. Returns how many it served before `stop`.
+fn cold_stream(addr: &str, ds: &Dataset, seed: &AtomicU64, stop: &AtomicBool) -> usize {
+    let mut client = Client::connect(addr).expect("connect cold");
+    let mut served = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        let nodes = ds.pick_test_nodes(2, seed.fetch_add(1, Ordering::Relaxed));
+        client.generate(&nodes).expect("cold generate");
+        served += 1;
+    }
+    served
+}
+
 fn main() {
-    let mut group = BenchGroup::new("server: latency and saturation throughput", LATENCY_SAMPLES);
+    // The nightly mixed-load smoke leg runs the same code paths on a bounded
+    // budget; the committed baseline always comes from a full run.
+    let quick = std::env::var("RCW_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let latency_samples: usize = if quick { 60 } else { 600 };
+    let requests_per_client: usize = if quick { 40 } else { 400 };
+
+    let mut group = BenchGroup::new("server: latency and saturation throughput", latency_samples);
 
     let ds = citeseer::build(Scale::Tiny, 7);
     let gcn = ds.train_gcn(24, 7);
     let graph = Arc::new(ds.graph.clone());
     let engine = WitnessEngine::new(Arc::clone(&graph), &gcn, bench_cfg());
     println!(
-        "citeseer/tiny: |V|={}, |E|={}, {} http workers, {} saturation clients",
+        "citeseer/tiny: |V|={}, |E|={}, {} http workers, {} saturation clients, {} cold clients{}",
         graph.num_nodes(),
         graph.num_edges(),
         HTTP_WORKERS,
         SATURATION_CLIENTS,
+        COLD_CLIENTS,
+        if quick { " (quick)" } else { "" },
     );
 
     // A small working set of distinct queries, warmed once so every timed
@@ -60,7 +150,7 @@ fn main() {
         .with_workers(HTTP_WORKERS)
         .with_queue_bound(1024);
 
-    let (p50, p99, saturation_ns, rps) = std::thread::scope(|scope| {
+    let (warm, mixed, cold_served, batches_formed) = std::thread::scope(|scope| {
         let config_ref = &config;
         let server_thread = scope.spawn(move || server.serve_config(config_ref).expect("serve"));
 
@@ -69,61 +159,88 @@ fn main() {
             warmup.generate(nodes).expect("warm the store");
         }
 
-        // Warm-generate latency distribution over one kept-alive connection.
-        let mut latencies: Vec<Duration> = Vec::with_capacity(LATENCY_SAMPLES);
-        for i in 0..LATENCY_SAMPLES {
-            let nodes = &queries[i % queries.len()];
-            let start = Instant::now();
-            warmup.generate(nodes).expect("warm generate");
-            latencies.push(start.elapsed());
-        }
-        latencies.sort_unstable();
-        let p50 = latencies[latencies.len() / 2];
-        let p99 = latencies[latencies.len() * 99 / 100];
+        // Warm-only baseline: latency distribution, then saturation.
+        let (p50, p99) = warm_latency(&mut warmup, &queries, latency_samples);
+        let (sat_ns, rps) = warm_saturation(&addr, &queries, requests_per_client);
 
-        // Saturation: 2x the pool size of concurrent clients, each issuing a
-        // fixed number of warm requests; throughput is total requests over
-        // the wall-clock window.
-        let sat_start = Instant::now();
-        std::thread::scope(|clients| {
-            for c in 0..SATURATION_CLIENTS {
-                let addr = &addr;
-                let queries = &queries;
-                clients.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
-                    for i in 0..REQUESTS_PER_CLIENT {
-                        let nodes = &queries[(c + i) % queries.len()];
-                        client.generate(nodes).expect("saturation generate");
-                    }
-                });
-            }
+        // Mixed load: cold clients stream always-fresh queries (full
+        // sessions) for the whole window while the same two warm
+        // measurements repeat. No disturbances here — cold traffic must not
+        // stale the warm working set, or the warm numbers would measure
+        // repair instead of interleaving.
+        let stop = AtomicBool::new(false);
+        let cold_seed = AtomicU64::new(10_000);
+        let (m_p50, m_p99, m_sat_ns, m_rps, cold_served) = std::thread::scope(|mixed| {
+            let cold_threads: Vec<_> = (0..COLD_CLIENTS)
+                .map(|_| {
+                    let (addr, ds, seed, stop) = (&addr, &ds, &cold_seed, &stop);
+                    mixed.spawn(move || cold_stream(addr, ds, seed, stop))
+                })
+                .collect();
+
+            let (m_p50, m_p99) = warm_latency(&mut warmup, &queries, latency_samples);
+            let (m_sat_ns, m_rps) = warm_saturation(&addr, &queries, requests_per_client);
+
+            stop.store(true, Ordering::Relaxed);
+            let cold_served: usize = cold_threads
+                .into_iter()
+                .map(|t| t.join().expect("cold client"))
+                .sum();
+            (m_p50, m_p99, m_sat_ns, m_rps, cold_served)
         });
-        let sat_elapsed = sat_start.elapsed();
-        let total_requests = SATURATION_CLIENTS * REQUESTS_PER_CLIENT;
-        let saturation_ns = sat_elapsed.as_nanos() as u64 / total_requests as u64;
-        let rps = total_requests as f64 / sat_elapsed.as_secs_f64();
 
         warmup.shutdown().expect("shutdown");
         let report = server_thread.join().expect("server thread");
         assert_eq!(report.overloaded, 0, "bench must not shed under this queue");
-        (p50, p99, saturation_ns, rps)
+        (
+            (p50, p99, sat_ns, rps),
+            (m_p50, m_p99, m_sat_ns, m_rps),
+            cold_served,
+            report.batches_formed,
+        )
     });
 
-    group.record("latency/p50/warm_generate", LATENCY_SAMPLES, p50, p50, p99);
-    group.record("latency/p99/warm_generate", LATENCY_SAMPLES, p99, p50, p99);
-    let sat = Duration::from_nanos(saturation_ns);
+    let (p50, p99, sat_ns, rps) = warm;
+    let (m_p50, m_p99, m_sat_ns, m_rps) = mixed;
+    let warm_total = SATURATION_CLIENTS * requests_per_client;
+
+    group.record("latency/p50/warm_generate", latency_samples, p50, p50, p99);
+    group.record("latency/p99/warm_generate", latency_samples, p99, p50, p99);
+    let sat = Duration::from_nanos(sat_ns);
+    group.record("saturation/ns_per_request", warm_total, sat, sat, sat);
     group.record(
-        "saturation/ns_per_request",
-        SATURATION_CLIENTS * REQUESTS_PER_CLIENT,
-        sat,
-        sat,
-        sat,
+        "mixed/latency/p50/warm_generate",
+        latency_samples,
+        m_p50,
+        m_p50,
+        m_p99,
     );
+    group.record(
+        "mixed/latency/p99/warm_generate",
+        latency_samples,
+        m_p99,
+        m_p50,
+        m_p99,
+    );
+    let m_sat = Duration::from_nanos(m_sat_ns);
+    group.record(
+        "mixed/saturation/ns_per_request",
+        warm_total,
+        m_sat,
+        m_sat,
+        m_sat,
+    );
+
     println!(
-        "saturation throughput: {rps:.0} req/s over {} clients ({} per request)\n",
-        SATURATION_CLIENTS,
+        "warm saturation:  {rps:.0} req/s over {SATURATION_CLIENTS} clients ({} per request)",
         format_duration(sat),
     );
+    println!(
+        "mixed saturation: {m_rps:.0} req/s warm over {SATURATION_CLIENTS} clients \
+         ({} per request) with {COLD_CLIENTS} cold clients serving {cold_served} sessions",
+        format_duration(m_sat),
+    );
+    println!("micro-batches formed across the run: {batches_formed}\n");
 
     group.finish();
     group.write_json("BENCH_server.json");

@@ -141,6 +141,27 @@ mod tests {
         assert!(regressions[0].to_string().contains("4.0x"));
     }
 
+    /// A schema widening — the server bench growing `mixed/*` cases next to
+    /// the three it always had — must pass against the old baseline: new
+    /// cases have no match and matched names gate as usual.
+    #[test]
+    fn tolerates_added_cases_in_fresh_schema() {
+        let baseline = [
+            case("latency/p50/warm_generate", 20_000),
+            case("latency/p99/warm_generate", 53_000),
+            case("saturation/ns_per_request", 31_000),
+        ];
+        let fresh = [
+            case("latency/p50/warm_generate", 21_000),
+            case("latency/p99/warm_generate", 50_000),
+            case("saturation/ns_per_request", 15_000),
+            case("mixed/latency/p50/warm_generate", 25_000),
+            case("mixed/latency/p99/warm_generate", 90_000),
+            case("mixed/saturation/ns_per_request", 35_000),
+        ];
+        assert!(find_regressions(&baseline, &fresh, DEFAULT_MAX_RATIO, DEFAULT_MIN_NS).is_empty());
+    }
+
     #[test]
     fn within_threshold_is_clean() {
         let baseline = [case("hot", 1_000_000)];

@@ -29,7 +29,7 @@ use crate::model::VerifiableModel;
 use crate::session;
 use crate::session::{BudgetExceeded, SessionBudget};
 use crate::witness::{Witness, WitnessLevel};
-use rcw_gnn::{EpochCache, GnnModel};
+use rcw_gnn::{EpochCache, GnnModel, KernelScratch};
 use rcw_graph::{
     disturbance_footprint, edge_cut_partition, traversal::k_hop_neighborhood_multi, Disturbance,
     Graph, GraphView, NodeId, Partition,
@@ -692,6 +692,96 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
         Ok(result)
     }
 
+    /// Batched [`WitnessEngine::generate_with_budget`]: one admission pass
+    /// over the whole batch under a *single* store lock, then the remaining
+    /// cold/degraded queries in order through the per-request path.
+    ///
+    /// Pass 1 (warm pass): per query, the entry budget is checked (an
+    /// already-expired query emits `Err` and is never counted, exactly like
+    /// the per-request path) and the store is probed; a fresh same-epoch hit
+    /// is remapped and emitted immediately, with the whole batch's
+    /// `queries`/`warm_hits` counters bumped under one stats lock. Pass 2:
+    /// every deferred query runs the full [`WitnessEngine::generate_with_budget`]
+    /// — which re-probes the store, so an in-batch duplicate of a cold query
+    /// becomes a warm hit exactly as sequential execution would.
+    ///
+    /// `emit(index, result)` is called exactly once per query: warm hits
+    /// first (a serving layer can stream them out while the cold tail still
+    /// computes), then deferred queries in batch order. Results and final
+    /// engine counters are identical to issuing the queries one at a time.
+    pub fn generate_batch_with(
+        &self,
+        queries: &[Vec<NodeId>],
+        budgets: &[SessionBudget],
+        emit: &mut dyn FnMut(usize, Result<GenerationResult, BudgetExceeded>),
+    ) {
+        assert_eq!(
+            queries.len(),
+            budgets.len(),
+            "generate_batch_with: one budget per query"
+        );
+        let mut deferred: Vec<usize> = Vec::new();
+        {
+            // Graph and store read together under the store lock, mirroring
+            // the per-request path: a concurrent `disturb` observes the whole
+            // warm pass as one atomic step.
+            let store = lock_recover(&self.store);
+            let graph = self.graph_snapshot();
+            let epoch = graph.epoch();
+            let mut warm = 0usize;
+            for (i, nodes) in queries.iter().enumerate() {
+                if budgets[i].check().is_err() {
+                    emit(i, Err(BudgetExceeded));
+                    continue;
+                }
+                match store.get(&store_key(nodes)) {
+                    Some(stored) if stored.epoch == epoch && !stored.stale => {
+                        warm += 1;
+                        let witness = remap_witness(&stored.witness, nodes);
+                        let nontrivial = witness.is_nontrivial(&graph);
+                        emit(
+                            i,
+                            Ok(GenerationResult {
+                                witness,
+                                level: stored.level,
+                                nontrivial,
+                                stale: false,
+                                stats: GenerationStats::default(),
+                            }),
+                        );
+                    }
+                    // Misses and degraded entries defer with *no* stats
+                    // changes: pass 2's full path counts them, so duplicate
+                    // queries and heal attempts account exactly as if the
+                    // batch had been issued sequentially.
+                    _ => deferred.push(i),
+                }
+            }
+            if warm > 0 {
+                let mut stats = lock_recover(&self.stats);
+                stats.queries += warm;
+                stats.warm_hits += warm;
+            }
+        }
+        for i in deferred {
+            emit(i, self.generate_with_budget(&queries[i], &budgets[i]));
+        }
+    }
+
+    /// [`WitnessEngine::generate_batch_with`] under unlimited budgets,
+    /// collecting results in batch order.
+    pub fn generate_batch(&self, queries: &[Vec<NodeId>]) -> Vec<GenerationResult> {
+        let budgets = vec![SessionBudget::unlimited(); queries.len()];
+        let mut out: Vec<Option<GenerationResult>> = Vec::new();
+        out.resize_with(queries.len(), || None);
+        self.generate_batch_with(queries, &budgets, &mut |i, result| {
+            out[i] = Some(result.expect("unlimited session budget cannot expire"));
+        });
+        out.into_iter()
+            .map(|r| r.expect("emit called once per query"))
+            .collect()
+    }
+
     /// Applies a batch of disturbances to the host graph (copy-on-write),
     /// advances the mutation epoch, invalidates only the caches whose k-hop
     /// footprint intersects the disturbed region, and repairs every stored
@@ -825,13 +915,10 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                     session::seeded_subgraph(&graph, &test_nodes, Some(&stored.witness.subgraph));
                 let full = GraphView::full(&graph);
                 let gnn = self.model.as_gnn();
-                let labels: Vec<usize> = test_nodes
-                    .iter()
-                    .map(|&v| {
-                        report.stats.inference_calls += 1;
-                        gnn.predict(v, &full).expect("valid node")
-                    })
-                    .collect();
+                report.stats.inference_calls += test_nodes.len();
+                let labels: Vec<usize> = gnn
+                    .predict_many_with(&test_nodes, &full, &mut KernelScratch::default())
+                    .expect("valid node");
                 let witness = Witness::new(pruned, test_nodes.clone(), labels);
                 let outcome =
                     self.model

@@ -164,16 +164,14 @@ pub(crate) fn run_sequential<M: VerifiableModel + ?Sized>(
     // once the buffers have seen the largest receptive field.
     let mut scratch = KernelScratch::default();
 
-    // M(v, G) for every test node.
+    // M(v, G) for every test node: one forward pass over the union
+    // receptive-field ball of the whole test set (bit-exact against
+    // per-node prediction; the per-node accounting is preserved).
     let full = GraphView::full(graph);
-    let labels: Vec<usize> = test_nodes
-        .iter()
-        .map(|&v| {
-            stats.inference_calls += 1;
-            gnn.predict_with(v, &full, &mut scratch)
-                .expect("valid node")
-        })
-        .collect();
+    stats.inference_calls += test_nodes.len();
+    let labels: Vec<usize> = gnn
+        .predict_many_with(test_nodes, &full, &mut scratch)
+        .expect("valid node");
 
     let mut subgraph = seeded_subgraph(graph, test_nodes, seed);
 
@@ -468,17 +466,13 @@ pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
     // nodes and the hop budget — cached across rounds *and* calls.
     let hood = caches.hood(graph, test_nodes, cfg.candidate_hops);
 
-    // Full-graph labels of the test nodes.
+    // Full-graph labels of the test nodes, via one union-ball forward pass.
     let full = GraphView::full(graph);
     let mut scratch = KernelScratch::default();
-    let labels: Vec<usize> = test_nodes
-        .iter()
-        .map(|&v| {
-            stats.inference_calls += 1;
-            gnn.predict_with(v, &full, &mut scratch)
-                .expect("valid node")
-        })
-        .collect();
+    stats.inference_calls += test_nodes.len();
+    let labels: Vec<usize> = gnn
+        .predict_many_with(test_nodes, &full, &mut scratch)
+        .expect("valid node");
 
     // Phase 1 (paraExpand): factual / counterfactual bootstrap of every
     // test node, distributed across the workers — each worker runs a

@@ -173,6 +173,58 @@ pub trait GnnModel: Send + Sync {
         Some(vector::argmax(row))
     }
 
+    /// Batched [`GnnModel::predict`] over one shared union receptive-field
+    /// ball: extracts the union `receptive_hops` ball of all `centers` under
+    /// `view` ([`Locality::rebuild_multi`]), runs *one* scheduled forward
+    /// pass, and reads each center's logits row. Returns `None` if any center
+    /// is invalid.
+    ///
+    /// Bit-exact against per-center [`GnnModel::predict_with`]: every center
+    /// sits at distance 0 in the union ball, so the schedule keeps each
+    /// center's receptive field active for the full round count, the
+    /// ascending-id remap preserves reduction order, and the recorded degrees
+    /// are the true view degrees — each center's row equals its full-pass row.
+    fn predict_many_with(
+        &self,
+        centers: &[NodeId],
+        view: &GraphView<'_>,
+        scratch: &mut KernelScratch,
+    ) -> Option<Vec<usize>> {
+        if centers.is_empty() {
+            return Some(Vec::new());
+        }
+        if centers.iter().any(|&v| v >= view.num_nodes()) {
+            return None;
+        }
+        scratch
+            .ball
+            .rebuild_multi(view, centers, self.receptive_hops(), &mut scratch.build);
+        local_features_into(
+            view.graph(),
+            scratch.ball.nodes(),
+            self.feature_dim(),
+            &mut scratch.features,
+        );
+        let KernelScratch {
+            ball,
+            features,
+            fwd,
+            ..
+        } = scratch;
+        let ctx = ball.forward_ctx();
+        let z = self.forward_into(&ctx, features, fwd);
+        let k = self.num_classes();
+        Some(
+            centers
+                .iter()
+                .map(|&v| {
+                    let i = ball.local_index(v).expect("center in its own ball");
+                    vector::argmax(&z[i * k..(i + 1) * k])
+                })
+                .collect(),
+        )
+    }
+
     /// Predicts labels for every node in the view (one full-graph pass).
     fn predict_all(&self, view: &GraphView<'_>) -> Vec<usize> {
         let z = self.logits(view);

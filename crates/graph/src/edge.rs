@@ -112,12 +112,9 @@ impl EdgeSet {
 
     /// The set of endpoints touched by edges in this set.
     pub fn endpoints(&self) -> BTreeSet<NodeId> {
-        let mut out = BTreeSet::new();
-        for &(u, v) in &self.edges {
-            out.insert(u);
-            out.insert(v);
-        }
-        out
+        // Bulk-build: collecting through `FromIterator` sorts once and
+        // constructs the tree in one pass, instead of n log n inserts.
+        self.edges.iter().flat_map(|&(u, v)| [u, v]).collect()
     }
 
     /// Number of edges incident to node `v` within this set.
@@ -131,12 +128,17 @@ impl EdgeSet {
 
 impl FromIterator<Edge> for EdgeSet {
     /// Collects (possibly unnormalized) pairs; self-loops are dropped.
+    /// Delegates to `BTreeSet`'s own `FromIterator`, which sorts the items
+    /// once and bulk-builds the tree — much cheaper than repeated inserts
+    /// when the input is already near-sorted (e.g. decoded off the wire).
     fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
-        let mut s = EdgeSet::new();
-        for (u, v) in iter {
-            s.insert(u, v);
+        EdgeSet {
+            edges: iter
+                .into_iter()
+                .filter(|&(u, v)| u != v)
+                .map(|(u, v)| norm_edge(u, v))
+                .collect(),
         }
-        s
     }
 }
 

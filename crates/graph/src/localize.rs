@@ -226,9 +226,140 @@ impl Locality {
         }
     }
 
+    /// Multi-center variant of [`Locality::rebuild`]: the union `hops`-hop
+    /// receptive field of `centers` under `view`, for batched inference over
+    /// several nodes of the same view. Every center seeds the BFS at distance
+    /// 0 (duplicates collapse via the visit stamp), so each ball node's
+    /// recorded distance is its *minimum* distance to any center. The node
+    /// remap stays order-preserving (ascending host ids), degrees are the
+    /// true view degrees, and the schedule's final round computes exactly the
+    /// center rows.
+    ///
+    /// Bit-exactness: the single-ball induction applies per center — a node
+    /// at distance `d` from center `c` satisfies `min-dist <= d`, so the
+    /// schedule keeps it active for at least as many rounds as `c`'s own ball
+    /// would, and ascending-id reduction order plus true view degrees make
+    /// every computed row identical to the full pass. Each center's output
+    /// row therefore equals both its single-ball row and its full-pass row.
+    ///
+    /// `self.center` is set to the first center's local index; use
+    /// [`Locality::local_index`] to address the others.
+    ///
+    /// # Panics
+    /// Panics if `centers` is empty or contains an invalid node.
+    pub fn rebuild_multi(
+        &mut self,
+        view: &GraphView<'_>,
+        centers: &[NodeId],
+        hops: usize,
+        scratch: &mut BallScratch,
+    ) {
+        let n = view.num_nodes();
+        assert!(!centers.is_empty(), "Locality::rebuild_multi: no centers");
+        let BallScratch {
+            visited,
+            spans,
+            arena,
+            frontier,
+            next,
+            stamp,
+            local,
+            epoch,
+        } = scratch;
+        visited.clear();
+        spans.clear();
+        arena.clear();
+        frontier.clear();
+        if stamp.len() < n {
+            stamp.resize(n, 0);
+            local.resize(n, 0);
+        }
+        *epoch += 1;
+        let e = *epoch;
+
+        for &c in centers {
+            assert!(c < n, "Locality::rebuild_multi: invalid center node {c}");
+            if stamp[c] != e {
+                stamp[c] = e;
+                visited.push((c, 0));
+                frontier.push(c);
+            }
+        }
+        for d in 1..=hops as u32 {
+            if frontier.is_empty() || visited.len() == n {
+                break;
+            }
+            next.clear();
+            for &u in frontier.iter() {
+                let start = arena.len() as u32;
+                view.neighbors_into(u, arena);
+                let end = arena.len() as u32;
+                spans.push((u, start, end));
+                for &v in &arena[start as usize..end as usize] {
+                    if stamp[v] != e {
+                        stamp[v] = e;
+                        visited.push((v, d));
+                        next.push(v);
+                    }
+                }
+            }
+            std::mem::swap(frontier, next);
+        }
+
+        visited.sort_unstable_by_key(|t| t.0);
+        self.nodes.clear();
+        self.nodes.extend(visited.iter().map(|&(u, _)| u));
+        for (i, &u) in self.nodes.iter().enumerate() {
+            local[u] = i as u32;
+        }
+        spans.sort_unstable_by_key(|t| t.0);
+        self.csr.reset();
+        self.norms.clear();
+        for &u in &self.nodes {
+            let (start, end) = match spans.binary_search_by_key(&u, |t| t.0) {
+                Ok(i) => (spans[i].1, spans[i].2),
+                Err(_) => {
+                    let start = arena.len() as u32;
+                    view.neighbors_into(u, arena);
+                    (start, arena.len() as u32)
+                }
+            };
+            let nbrs = &arena[start as usize..end as usize];
+            self.norms.push_degree(nbrs.len() as f64);
+            for &v in nbrs {
+                if stamp[v] == e {
+                    self.csr.push_target(local[v] as usize);
+                }
+            }
+            self.csr.finish_row();
+        }
+        self.center = local[centers[0]] as usize;
+
+        let max_d = visited.iter().map(|&(_, d)| d).max().unwrap_or(0);
+        self.schedule.order.clear();
+        self.schedule.prefix.clear();
+        for d in 0..=max_d {
+            self.schedule
+                .order
+                .extend(visited.iter().enumerate().filter_map(|(i, &(_, dd))| {
+                    if dd == d {
+                        Some(i)
+                    } else {
+                        None
+                    }
+                }));
+            self.schedule.prefix.push(self.schedule.order.len());
+        }
+    }
+
     /// Ball nodes as host-graph ids, ascending.
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes
+    }
+
+    /// Local ball index of host node `v`, if it lies inside the ball.
+    pub fn local_index(&self, v: NodeId) -> Option<usize> {
+        self.nodes.binary_search(&v).ok()
     }
 
     /// Whether host node `v` lies inside the ball.
@@ -532,6 +663,62 @@ mod tests {
                     assert_eq!(reused.schedule.prefix, fresh.schedule.prefix);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn multi_center_ball_unions_single_balls() {
+        use crate::generators::{ensure_connected, stochastic_block_model};
+        let mut scratch = BallScratch::default();
+        let mut multi = Locality::default();
+        let mut single = Locality::default();
+        for seed in 0u64..4 {
+            let (mut g, _) = stochastic_block_model(&[7, 7, 7], 0.4, 0.08, seed);
+            ensure_connected(&mut g, seed);
+            let mut view = GraphView::full(&g);
+            if seed % 2 == 0 {
+                view.remove_edges(&EdgeSet::from_iter([(0, 1), (2, 9)]));
+            }
+            for hops in [0usize, 1, 2, 4] {
+                let centers = [0usize, 9, 20];
+                multi.rebuild_multi(&view, &centers, hops, &mut scratch);
+                // node set is the union of the single balls
+                let mut union: Vec<NodeId> = Vec::new();
+                for &c in &centers {
+                    single.rebuild(&view, c, hops, &mut scratch);
+                    union.extend_from_slice(single.nodes());
+                }
+                union.sort_unstable();
+                union.dedup();
+                assert_eq!(multi.nodes(), &union[..], "seed {seed} hops {hops}");
+                // every center is addressable and sits at distance 0
+                assert_eq!(multi.schedule.prefix[0], centers.len());
+                for &c in &centers {
+                    let i = multi.local_index(c).expect("center in ball");
+                    assert!(multi.schedule.order[..centers.len()].contains(&i));
+                }
+                assert_eq!(multi.center_index(), multi.local_index(0).unwrap());
+                // degrees are true view degrees (same rule as single balls)
+                for &c in &centers {
+                    single.rebuild(&view, c, hops, &mut scratch);
+                    let si = single.local_index(c).unwrap();
+                    let mi = multi.local_index(c).unwrap();
+                    assert_eq!(multi.degrees()[mi], single.degrees()[si]);
+                }
+            }
+            // single-center multi build is identical to the single build
+            multi.rebuild_multi(&view, &[9], 2, &mut scratch);
+            single.rebuild(&view, 9, 2, &mut scratch);
+            assert_eq!(multi.nodes(), single.nodes());
+            assert_eq!(multi.center_index(), single.center_index());
+            assert_eq!(multi.csr(), single.csr());
+            assert_eq!(multi.degrees(), single.degrees());
+            assert_eq!(multi.schedule.order, single.schedule.order);
+            assert_eq!(multi.schedule.prefix, single.schedule.prefix);
+            // duplicate centers collapse
+            multi.rebuild_multi(&view, &[9, 9, 9], 2, &mut scratch);
+            assert_eq!(multi.nodes(), single.nodes());
+            assert_eq!(multi.schedule.prefix[0], 1);
         }
     }
 

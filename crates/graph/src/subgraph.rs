@@ -38,6 +38,24 @@ impl EdgeSubgraph {
         EdgeSubgraph { nodes, edges: es }
     }
 
+    /// Creates a subgraph from an explicit node list plus edges; the node
+    /// set is the union of the list and the edges' endpoints. Equivalent to
+    /// [`EdgeSubgraph::from_edges`] followed by [`EdgeSubgraph::add_node`]
+    /// per node, but bulk-builds both sets in one sorting pass — the wire
+    /// decoders sit on the serving hot path.
+    pub fn from_nodes_and_edges<N, E>(nodes: N, edges: E) -> Self
+    where
+        N: IntoIterator<Item = NodeId>,
+        E: IntoIterator<Item = Edge>,
+    {
+        let es = EdgeSet::from_iter(edges);
+        let nodes: BTreeSet<NodeId> = nodes
+            .into_iter()
+            .chain(es.iter().flat_map(|(u, v)| [u, v]))
+            .collect();
+        EdgeSubgraph { nodes, edges: es }
+    }
+
     /// Creates the full subgraph covering an entire graph (the trivial k-RCW `G`).
     pub fn full(graph: &Graph) -> Self {
         EdgeSubgraph {

@@ -119,6 +119,19 @@ fn transient_status(status: u16) -> bool {
     matches!(status, 408 | 429 | 500 | 503)
 }
 
+/// Builds the typed protocol error for a non-200 raw body: the server's
+/// `error` field when the body parses, the raw text otherwise.
+fn protocol_error(status: u16, text: &str) -> ClientError {
+    let message = Json::parse(text.trim_end())
+        .ok()
+        .and_then(|v| {
+            v.get("error")
+                .and_then(|e| e.as_str().ok().map(str::to_string))
+        })
+        .unwrap_or_else(|| text.trim_end().to_string());
+    ClientError::Protocol(status, message)
+}
+
 /// Per-process client counter: each client jitters from its own RNG stream
 /// so concurrent clients sharing a policy do not sleep in lockstep.
 static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -224,22 +237,44 @@ impl Client {
         body: Option<&Json>,
     ) -> Result<(u16, Json), ClientError> {
         let body_text = body.map(|b| b.encode()).unwrap_or_default();
-        let deadline = self
-            .deadline_ms
-            .map(|ms| format!("x-rcw-deadline-ms: {ms}\r\n"))
-            .unwrap_or_default();
+        let (status, text) = self.request_raw(method, path, &body_text)?;
+        let value = Json::parse(text.trim_end())
+            .map_err(|e| ClientError::Protocol(status, e.to_string()))?;
+        Ok((status, value))
+    }
+
+    /// Issues one request and returns the raw `(status, body text)` without
+    /// parsing — the hot endpoints decode straight into their structs.
+    fn request_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        body_text: &str,
+    ) -> Result<(u16, String), ClientError> {
         // Head and body in one write: two small segments would trip Nagle +
-        // delayed-ACK stalls (see `http::write_response`).
-        let mut message = format!(
-            "{method} {}{path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n{deadline}content-length: {}\r\n\r\n",
-            self.prefix,
-            self.host,
-            body_text.len(),
-        );
-        message.push_str(&body_text);
+        // delayed-ACK stalls (see `http::write_response`). Built by hand —
+        // one request per warm hit makes the formatting itself hot.
+        let mut message =
+            String::with_capacity(128 + self.prefix.len() + path.len() + body_text.len());
+        message.push_str(method);
+        message.push(' ');
+        message.push_str(&self.prefix);
+        message.push_str(path);
+        message.push_str(" HTTP/1.1\r\nhost: ");
+        message.push_str(&self.host);
+        message.push_str("\r\ncontent-type: application/json\r\n");
+        if let Some(ms) = self.deadline_ms {
+            message.push_str("x-rcw-deadline-ms: ");
+            wire::push_u64(&mut message, ms);
+            message.push_str("\r\n");
+        }
+        message.push_str("content-length: ");
+        wire::push_u64(&mut message, body_text.len() as u64);
+        message.push_str("\r\n\r\n");
+        message.push_str(body_text);
         self.writer.write_all(message.as_bytes())?;
         self.writer.flush()?;
-        self.read_response()
+        self.read_response_raw()
     }
 
     /// [`Client::request`] under the installed [`RetryPolicy`]: transient
@@ -252,8 +287,22 @@ impl Client {
         path: &str,
         body: Option<&Json>,
     ) -> Result<(u16, Json), ClientError> {
+        let body_text = body.map(|b| b.encode()).unwrap_or_default();
+        let (status, text) = self.request_idempotent_raw(method, path, &body_text)?;
+        let value = Json::parse(text.trim_end())
+            .map_err(|e| ClientError::Protocol(status, e.to_string()))?;
+        Ok((status, value))
+    }
+
+    /// The raw-body core of [`Client::request_idempotent`].
+    fn request_idempotent_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        body_text: &str,
+    ) -> Result<(u16, String), ClientError> {
         let Some(policy) = self.retry.clone() else {
-            return self.request(method, path, body);
+            return self.request_raw(method, path, body_text);
         };
         let start = Instant::now();
         let max_attempts = policy.max_attempts.max(1);
@@ -277,13 +326,9 @@ impl Client {
                 }
             }
             attempts += 1;
-            match self.request(method, path, body) {
-                Ok((status, reply)) if transient_status(status) => {
-                    let message = reply
-                        .get("error")
-                        .and_then(|e| e.as_str().ok().map(str::to_string))
-                        .unwrap_or_else(|| reply.encode());
-                    last = Some(ClientError::Protocol(status, message));
+            match self.request_raw(method, path, body_text) {
+                Ok((status, text)) if transient_status(status) => {
+                    last = Some(protocol_error(status, &text));
                 }
                 Ok(pair) => return Ok(pair),
                 Err(e) if e.is_transient() => last = Some(e),
@@ -298,32 +343,54 @@ impl Client {
         })
     }
 
-    fn read_response(&mut self) -> Result<(u16, Json), ClientError> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(ClientError::Protocol(0, "connection closed".to_string()));
+    fn read_response_raw(&mut self) -> Result<(u16, String), ClientError> {
+        // Pull the whole response head (status line + headers + blank line)
+        // in as few reads as possible — one `fill_buf` in the common case —
+        // instead of a `read_line` per header. The head is tiny, so the
+        // rescan for `\r\n\r\n` after each chunk is cheap.
+        let mut head: Vec<u8> = Vec::with_capacity(192);
+        loop {
+            let buf = self.reader.fill_buf()?;
+            if buf.is_empty() {
+                return Err(if head.is_empty() {
+                    ClientError::Protocol(0, "connection closed".to_string())
+                } else {
+                    // The peer died mid-response: a transport failure (the
+                    // connection is unusable), not a protocol-level answer.
+                    ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "response truncated mid-headers",
+                    ))
+                });
+            }
+            // The terminator may straddle the previous chunk's tail.
+            let scan_from = head.len().saturating_sub(3);
+            let chunk_start = head.len();
+            head.extend_from_slice(buf);
+            if let Some(i) = head[scan_from..].windows(4).position(|w| w == b"\r\n\r\n") {
+                let head_end = scan_from + i + 4;
+                self.reader.consume(head_end - chunk_start);
+                head.truncate(head_end);
+                break;
+            }
+            let n = buf.len();
+            self.reader.consume(n);
+            if head.len() > MAX_BODY_BYTES {
+                return Err(ClientError::Protocol(0, "response head too large".into()));
+            }
         }
-        let status: u16 = line
+        let head = String::from_utf8(head)
+            .map_err(|_| ClientError::Protocol(0, "response head is not utf-8".into()))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 = status_line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| ClientError::Protocol(0, format!("bad status line '{line}'")))?;
+            .ok_or_else(|| ClientError::Protocol(0, format!("bad status line '{status_line}'")))?;
         let mut content_length = 0usize;
-        loop {
-            line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
-                // The peer died mid-response: a transport failure (the
-                // connection is unusable), not a protocol-level answer.
-                return Err(ClientError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "response truncated mid-headers",
-                )));
-            }
-            let trimmed = line.trim_end_matches(['\r', '\n']);
-            if trimmed.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = trimmed.split_once(':') {
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
                 if name.trim().eq_ignore_ascii_case("content-length") {
                     content_length = value
                         .trim()
@@ -339,9 +406,7 @@ impl Client {
         self.reader.read_exact(&mut body)?;
         let text = String::from_utf8(body)
             .map_err(|_| ClientError::Protocol(status, "body is not utf-8".into()))?;
-        let value = Json::parse(text.trim_end())
-            .map_err(|e| ClientError::Protocol(status, e.to_string()))?;
-        Ok((status, value))
+        Ok((status, text))
     }
 
     fn expect_ok(&mut self, status: u16, body: Json) -> Result<Json, ClientError> {
@@ -363,12 +428,28 @@ impl Client {
         Ok(body.field("epoch")?.as_u64()?)
     }
 
-    /// `POST /generate` for one test-node set.
+    /// `POST /generate` for one test-node set. Request and response both go
+    /// through the direct codec: no [`Json`] tree on the warm path.
     pub fn generate(&mut self, nodes: &[usize]) -> Result<GenerationResult, ClientError> {
-        let body = Json::obj([("nodes", Json::nums(nodes.iter().copied()))]);
-        let (status, reply) = self.request_idempotent("POST", "/generate", Some(&body))?;
-        let reply = self.expect_ok(status, reply)?;
-        Ok(wire::generation_from_json(&reply)?)
+        let mut body = String::with_capacity(12 + 8 * nodes.len());
+        body.push_str("{\"nodes\":");
+        wire::push_usize_array(&mut body, nodes.iter().copied());
+        body.push('}');
+        let (status, text) = self.request_idempotent_raw("POST", "/generate", &body)?;
+        if status != 200 {
+            return Err(protocol_error(status, &text));
+        }
+        Ok(wire::generation_from_body(text.trim_end())?)
+    }
+
+    /// `POST /generate` with a caller-prebuilt body, returning the raw
+    /// `(status, body text)` without decoding the generation. For load
+    /// generators: a driver hammering the server shouldn't bill response
+    /// decoding to the measurement (on a shared core it directly steals
+    /// server cycles). Retries like [`Client::generate`]; the caller checks
+    /// the status.
+    pub fn generate_text(&mut self, body_text: &str) -> Result<(u16, String), ClientError> {
+        self.request_idempotent_raw("POST", "/generate", body_text)
     }
 
     /// `POST /generate_batch` for several test-node sets.

@@ -22,12 +22,16 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Site: a worker panics mid-request (after reading, before answering).
+/// Site: a worker panics on a claimed request (possibly mid-batch) before
+/// answering; the request's connection dies, the batch's other members and
+/// the worker survive.
 pub const SITE_WORKER_PANIC: &str = "worker_panic";
-/// Site: the server drops a connection without reading the request.
+/// Site: a claimed request's connection is dropped unanswered (possibly
+/// mid-batch) before it is counted or routed.
 pub const SITE_CONN_DROP: &str = "conn_drop";
-/// Site: the server stalls before reading, long enough to trip the
-/// connection's read timeout (client sees a slow/penalized request).
+/// Site: the worker stalls after claiming from the admission scheduler, as
+/// a slow disk or lock would — later admissions back up behind the claim
+/// (clients see slow/penalized requests).
 pub const SITE_READ_STALL: &str = "read_stall";
 /// Site: the server drops the connection instead of writing the response.
 pub const SITE_WRITE_DROP: &str = "write_drop";

@@ -161,6 +161,140 @@ pub fn read_request(
     }))
 }
 
+/// What [`FrameBuf::try_take`] found in the buffered bytes. Mirrors
+/// [`ReadOutcome`] minus the transport-level cases: the nonblocking event
+/// loop owns the socket, so `Closed`/`Stalled` are its business (EOF and
+/// idle deadlines), not the framer's.
+#[derive(Debug)]
+pub enum FrameOutcome {
+    /// A complete request was buffered; its bytes have been consumed.
+    Complete(Request),
+    /// The buffered bytes are a well-formed prefix; feed more.
+    Partial,
+    /// The bytes cannot become a request; answer `400` and close.
+    Malformed(String),
+    /// A size bound was exceeded (head or declared body); answer `413` and
+    /// close — the body is never buffered past its declared bound check.
+    TooLarge(String),
+}
+
+/// Incremental request framer for nonblocking sockets: the event loop
+/// appends whatever bytes `read` returned and asks for a complete request.
+/// Semantics match [`read_request`] exactly (same limits, same header
+/// handling, same rejections), but no call ever blocks. Pipelined bytes
+/// beyond the first request stay buffered for the next [`FrameBuf::try_take`].
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty framer.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Whether any bytes are buffered (a non-empty framer means the peer is
+    /// mid-request, which is what distinguishes a stall from idleness).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Tries to take one complete request off the front of the buffer.
+    pub fn try_take(&mut self) -> FrameOutcome {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return FrameOutcome::TooLarge("request head too large".to_string());
+            }
+            return FrameOutcome::Partial;
+        };
+        if head_end > MAX_HEAD_BYTES {
+            return FrameOutcome::TooLarge("request head too large".to_string());
+        }
+        let head = match std::str::from_utf8(&self.buf[..head_end]) {
+            Ok(head) => head,
+            Err(_) => return FrameOutcome::Malformed("head is not utf-8".to_string()),
+        };
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(m), Some(p), Some(v), None) => (m.to_string(), p.to_string(), v),
+            _ => return FrameOutcome::Malformed("bad request line".to_string()),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return FrameOutcome::Malformed(format!("unsupported version {version}"));
+        }
+        let mut content_length = 0usize;
+        let mut close = false;
+        let mut deadline_ms = None;
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return FrameOutcome::Malformed(format!("bad header '{line}'"));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => match value.parse::<usize>() {
+                    Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                    Ok(_) => return FrameOutcome::TooLarge("body too large".to_string()),
+                    Err(_) => return FrameOutcome::Malformed("bad content-length".to_string()),
+                },
+                "connection" => close = value.eq_ignore_ascii_case("close"),
+                "x-rcw-deadline-ms" => match value.parse::<u64>() {
+                    Ok(ms) => deadline_ms = Some(ms),
+                    Err(_) => return FrameOutcome::Malformed("bad x-rcw-deadline-ms".to_string()),
+                },
+                "transfer-encoding" => {
+                    return FrameOutcome::Malformed("transfer-encoding not supported".to_string())
+                }
+                _ => {}
+            }
+        }
+        let total = head_end + content_length;
+        if self.buf.len() < total {
+            return FrameOutcome::Partial;
+        }
+        let body = self.buf[head_end..total].to_vec();
+        self.buf.drain(..total);
+        FrameOutcome::Complete(Request {
+            method,
+            path,
+            body,
+            close,
+            deadline_ms,
+        })
+    }
+}
+
+/// Index one past the blank line ending the request head, accepting both
+/// `\r\n\r\n` and bare `\n\n` terminators (the blocking parser's `read_line`
+/// accepted either).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i + 1 < buf.len() {
+        if buf[i] == b'\n' {
+            if buf[i + 1] == b'\n' {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
 /// Outcome of reading one head line, separating the size guard from
 /// transport errors.
 enum HeadLine {
@@ -246,18 +380,25 @@ pub fn write_response(stream: &mut impl Write, response: &Response, close: bool)
 /// body. Exposed so the fault-injection layer can write a deliberately
 /// truncated prefix of a real response.
 pub fn encode_response(response: &Response, close: bool) -> Vec<u8> {
-    let mut body = response.body.clone();
-    if !body.ends_with('\n') {
-        body.push('\n');
+    // Built head-first into a single buffer: the body is copied exactly once
+    // (hot responses carry ~500-byte witness payloads, so an extra clone per
+    // response is measurable at saturation).
+    let needs_newline = !response.body.ends_with('\n');
+    let body_len = response.body.len() + usize::from(needs_newline);
+    let mut message = String::with_capacity(112 + body_len);
+    message.push_str("HTTP/1.1 ");
+    crate::wire::push_u64(&mut message, response.status as u64);
+    message.push(' ');
+    message.push_str(reason(response.status));
+    message.push_str("\r\ncontent-type: application/json\r\ncontent-length: ");
+    crate::wire::push_u64(&mut message, body_len as u64);
+    message.push_str("\r\nconnection: ");
+    message.push_str(if close { "close" } else { "keep-alive" });
+    message.push_str("\r\n\r\n");
+    message.push_str(&response.body);
+    if needs_newline {
+        message.push('\n');
     }
-    let mut message = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
-        response.status,
-        reason(response.status),
-        body.len(),
-        if close { "close" } else { "keep-alive" },
-    );
-    message.push_str(&body);
     message.into_bytes()
 }
 
@@ -363,6 +504,98 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(outcome, ReadOutcome::Stalled));
+    }
+
+    #[test]
+    fn frame_buf_matches_blocking_parser_byte_by_byte() {
+        // Feeding one byte at a time must stay Partial until the exact final
+        // byte, then yield the same request the blocking parser produces.
+        let raw = b"POST /generate HTTP/1.1\r\nx-rcw-deadline-ms: 40\r\ncontent-length: 15\r\n\r\n{\"nodes\":[1,2]}";
+        let mut frame = FrameBuf::new();
+        for (i, b) in raw.iter().enumerate() {
+            assert!(
+                matches!(frame.try_take(), FrameOutcome::Partial),
+                "byte {i}: complete too early"
+            );
+            frame.extend(std::slice::from_ref(b));
+        }
+        match frame.try_take() {
+            FrameOutcome::Complete(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/generate");
+                assert_eq!(req.body, b"{\"nodes\":[1,2]}");
+                assert_eq!(req.deadline_ms, Some(40));
+                assert!(!req.close);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(frame.is_empty());
+    }
+
+    #[test]
+    fn frame_buf_keeps_pipelined_bytes_for_the_next_take() {
+        let mut frame = FrameBuf::new();
+        frame.extend(
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        match frame.try_take() {
+            FrameOutcome::Complete(req) => assert_eq!(req.path, "/healthz"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(!frame.is_empty(), "second request still buffered");
+        match frame.try_take() {
+            FrameOutcome::Complete(req) => {
+                assert_eq!(req.path, "/stats");
+                assert!(req.close);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(matches!(frame.try_take(), FrameOutcome::Partial));
+    }
+
+    #[test]
+    fn frame_buf_rejects_what_read_request_rejects() {
+        let cases: &[(&[u8], bool)] = &[
+            (b"NOT HTTP AT ALL\r\n\r\n", false),
+            (b"GET / HTTP/2.0\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\ncontent-length: zebra\r\n\r\n", false),
+            (
+                b"GET / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+                false,
+            ),
+            (
+                b"GET / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n",
+                true,
+            ),
+        ];
+        for &(raw, too_large) in cases {
+            let mut frame = FrameBuf::new();
+            frame.extend(raw);
+            match frame.try_take() {
+                FrameOutcome::Malformed(_) if !too_large => {}
+                FrameOutcome::TooLarge(_) if too_large => {}
+                other => panic!("{raw:?}: unexpected {other:?}"),
+            }
+        }
+        // Oversized head with no terminator in sight trips the bound early.
+        let mut frame = FrameBuf::new();
+        let mut head = b"GET / HTTP/1.1\r\nx-filler: ".to_vec();
+        head.resize(MAX_HEAD_BYTES + 64, b'a');
+        frame.extend(&head);
+        assert!(matches!(frame.try_take(), FrameOutcome::TooLarge(_)));
+    }
+
+    #[test]
+    fn frame_buf_accepts_bare_newline_terminators() {
+        let mut frame = FrameBuf::new();
+        frame.extend(b"GET /healthz HTTP/1.1\nconnection: close\n\n");
+        match frame.try_take() {
+            FrameOutcome::Complete(req) => {
+                assert_eq!(req.path, "/healthz");
+                assert!(req.close);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! # rcw-server
 //!
-//! A std-only concurrent serving layer in front of
-//! [`rcw_core::WitnessEngine`]: hand-rolled HTTP/1.1 over
-//! `std::net::TcpListener`, a fixed worker-thread pool, and a line-oriented
-//! JSON wire format ([`wire`]) — no external crates, matching the rest of the
-//! workspace.
+//! A std-only serving layer in front of [`rcw_core::WitnessEngine`]:
+//! hand-rolled HTTP/1.1 over `std::net::TcpListener`, a readiness-driven
+//! event loop, an admission scheduler that forms `/generate` micro-batches,
+//! and a line-oriented JSON wire format ([`wire`]) — no external crates,
+//! matching the rest of the workspace.
 //!
 //! | endpoint | method | body | answer |
 //! |---|---|---|---|
@@ -15,6 +15,32 @@
 //! | `[/NAME]/healthz` | GET | — | `{"ok": true, "epoch": n, "engine": name}` |
 //! | `/shutdown` | POST | — | `{"ok": true}`, then graceful stop (global only) |
 //!
+//! ## Architecture
+//!
+//! The calling thread runs a **nonblocking event loop** over the listener
+//! and every accepted socket: it accepts, reads, and parses requests
+//! incrementally (one [`http::FrameBuf`] per connection), writes queued
+//! response bytes as sockets drain, and never blocks on a peer. Complete
+//! requests are handed to the **admission scheduler** — a FIFO the worker
+//! pool claims from. A claim takes the queue head plus every already-queued
+//! request that is *batch-compatible* with it: same engine, `POST
+//! [/NAME]/generate`, admitted within [`ADMISSION_WINDOW`] of the head
+//! (capped at [`MAX_BATCH`]). A claim never waits for more arrivals — the
+//! window only bounds how stale a batch head can be relative to its tail,
+//! so an isolated request is claimed solo within microseconds. The *loop*
+//! is what gives batches a chance to fill: it wakes a worker only once per
+//! arrival lull (or when the pending head ages past the window, or
+//! [`MAX_BATCH`] accumulates), so a burst admitted over a few sweeps is
+//! claimed as one batch instead of a train of singletons.
+//!
+//! Batched `/generate` claims answer through
+//! [`ServedEngine::generate_batch_with`]: one pass under a single store
+//! lock serves every warm query, then the cold tail runs per-request —
+//! bit-identical to per-request execution (pinned by the
+//! `batch_equivalence` sweep). Long expand-verify sessions therefore
+//! occupy one worker while warm hits keep flowing through the others, and
+//! same-engine warm bursts collapse into single-lock passes.
+//!
 //! ## Multi-engine routing
 //!
 //! A server fronts a *registry* of named engines ([`ServerConfig`]): the
@@ -23,31 +49,31 @@
 //! registered engine, so single-engine deployments and older clients keep
 //! working unchanged. Each route is type-erased behind [`ServedEngine`], so
 //! one process can serve engines over different model families, graphs, and
-//! per-query session-worker counts (`WitnessEngine::with_workers(n)` fans a
-//! single `/generate` across `n` session workers while the HTTP pool stays
-//! fixed).
+//! per-query session-worker counts.
 //!
 //! ## Overload behavior
 //!
-//! The accept loop feeds a **bounded** dispatch queue
-//! ([`ServerConfig::queue_bound`]). When the pool is busy and the queue is
-//! full, new connections are shed with `429 Too Many Requests` (body
-//! `{"error": "overloaded", ...}` with queue-depth stats) instead of piling
-//! up unboundedly. Each request may carry an `x-rcw-deadline-ms` header (or
-//! inherit [`ServerConfig::default_deadline`]); the deadline window starts
-//! when the connection was accepted (queue wait counts) and is threaded
-//! into the engine as a [`SessionBudget`] — enforced at the engine boundary
-//! before any session work and cooperatively between session phases, so
-//! control endpoints (`/healthz`, `/stats`, `/shutdown`) stay reachable
-//! under deadline pressure. Expired queries answer `503 Service
-//! Unavailable` with `{"error": "deadline exceeded"}`; an aborted query
-//! never pollutes the witness store (on `/generate_batch`, queries answered
-//! *before* the mid-batch abort remain stored — each is a complete, valid
-//! witness that simply makes a retry warm).
+//! The scheduler queue is **bounded** ([`ServerConfig::queue_bound`]). A
+//! request arriving while the queue is at its bound is shed with `429 Too
+//! Many Requests` (body `{"error": "overloaded", ...}`) written through the
+//! event loop's ordinary write path — no helper threads — and the
+//! connection closes after the refusal. Each request may carry an
+//! `x-rcw-deadline-ms` header (or inherit
+//! [`ServerConfig::default_deadline`]); the deadline window starts when the
+//! connection was accepted for its first request (queue wait counts) and at
+//! arrival for later keep-alive requests (idle time is never billed). The
+//! deadline is threaded into the engine as a [`SessionBudget`] — enforced
+//! at the engine boundary before any session work and cooperatively between
+//! session phases, so control endpoints (`/healthz`, `/stats`, `/shutdown`)
+//! stay reachable under deadline pressure. Expired queries answer `503
+//! Service Unavailable` with `{"error": "deadline exceeded"}`; an aborted
+//! query never pollutes the witness store.
 //!
-//! Shutdown is graceful: in-flight requests finish, the pool drains, and
-//! [`RcwServer::serve`] returns a [`ServeReport`] with per-worker request
-//! counts plus the overload/deadline rejection totals.
+//! Shutdown is graceful: accepting stops, in-flight requests finish (an
+//! actively-requesting kept-alive peer gets its answer with `connection:
+//! close`), the pool drains, and [`RcwServer::serve`] returns a
+//! [`ServeReport`] with per-worker request counts, the overload/deadline
+//! totals, and the number of micro-batches formed.
 
 pub mod client;
 pub mod faults;
@@ -55,36 +81,65 @@ pub mod http;
 pub mod wire;
 
 use faults::FaultPlan;
-use http::{read_request, write_response, ReadOutcome, Request, Response};
+use http::{encode_response, FrameBuf, FrameOutcome, Request, Response};
 pub use rcw_core::{BudgetExceeded, SessionBudget};
 use rcw_core::{DisturbReport, EngineSnapshot, GenerationResult, VerifiableModel, WitnessEngine};
 use rcw_graph::Disturbance;
-use std::io::BufReader;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use wire::Json;
 
-/// How long a worker waits for the next request on a kept-alive connection
-/// before dropping it — bounds how long an idle peer can pin a worker and
-/// how long graceful shutdown can take.
+/// Default per-socket progress timeout (the `ServerConfig::single` value of
+/// [`ServerConfig::io_timeout`]): bounds how long an idle kept-alive peer
+/// holds a connection slot and how long graceful shutdown can take.
 const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// I/O timeout of the overload-shedding path: a shed peer that never sends
-/// its request (or never reads the 429) cannot pin the rejection thread for
-/// longer than this.
-const REJECT_IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// How far apart two requests' admission times may be and still share a
+/// micro-batch. A claim NEVER waits out the window — it only stops the
+/// scheduler from stapling a fresh arrival to a head that has already
+/// waited, which would re-time the head's witness against a later clock.
+const ADMISSION_WINDOW: Duration = Duration::from_millis(1);
 
-/// Cap on concurrent overload-rejection threads. Shedding spawns a
-/// short-lived thread per refused connection so the acceptor never blocks on
-/// a slow peer; under a connection flood that would itself become unbounded
-/// resource growth, so beyond this many in-flight rejections the connection
-/// is dropped without a 429 body (the peer sees a reset — the correct
-/// signal at that level of overload).
-const MAX_REJECT_THREADS: usize = 64;
+/// Cap on requests per micro-batch claim: bounds the latency cost a batch
+/// tail can impose on its head and keeps the union warm pass cache-sized.
+const MAX_BATCH: usize = 32;
+
+/// The event loop keeps re-sweeping (yielding the core between sweeps, so
+/// workers and peers on a small machine always run first) while anything
+/// moved within this window, then parks on the completion channel. The
+/// yield is what makes the hot window safe on a single-core box: the loop
+/// only burns cycles the kernel had nothing else to schedule.
+const SPIN_WINDOW: Duration = Duration::from_millis(5);
+
+/// Park duration between sweeps when the loop has gone idle: new socket
+/// readability is picked up at most this much later. A worker completion
+/// interrupts the park immediately via the completion channel.
+const IDLE_POLL: Duration = Duration::from_micros(500);
+
+/// How often the event loop scans connections for idle/stall timeouts.
+const TIMEOUT_SCAN_EVERY: Duration = Duration::from_millis(25);
+
+/// How long an idle keep-alive connection keeps counting as "about to send
+/// again" for kick deferral after its last admitted request. Long enough to
+/// span a full batch round trip, short enough that a client that has gone
+/// quiet (finished its run, thinking between requests) stops holding
+/// batches open almost immediately.
+const RECEPTIVE_WINDOW: Duration = Duration::from_millis(5);
+
+/// Upper bound on how long a pending batch head waits for receptive peers
+/// that have not actually sent anything yet. Keeps the worst case (a peer
+/// that was active moments ago but has gone quiet) to a small fraction of
+/// the admission window.
+const KICK_GRACE: Duration = Duration::from_micros(100);
+
+/// Upper bound of the injected `read_stall` fault's sleep.
+const INJECTED_STALL: Duration = Duration::from_millis(250);
 
 /// Endpoint names, reserved so an engine route can never shadow them.
 const RESERVED_ROUTE_NAMES: [&str; 6] = [
@@ -111,6 +166,22 @@ pub trait ServedEngine: Sync {
         budget: &SessionBudget,
     ) -> Result<GenerationResult, BudgetExceeded>;
 
+    /// [`WitnessEngine::generate_batch_with`]: answer a micro-batch of
+    /// witness queries, emitting one result per query index. Must be
+    /// bit-identical to calling [`ServedEngine::generate_with_budget`] per
+    /// query in order — the default implementation does exactly that;
+    /// engines override it to share work across the batch.
+    fn generate_batch_with(
+        &self,
+        queries: &[Vec<usize>],
+        budgets: &[SessionBudget],
+        emit: &mut dyn FnMut(usize, Result<GenerationResult, BudgetExceeded>),
+    ) {
+        for (i, (nodes, budget)) in queries.iter().zip(budgets).enumerate() {
+            emit(i, self.generate_with_budget(nodes, budget));
+        }
+    }
+
     /// [`WitnessEngine::disturb`]: apply edge flips and repair the store.
     fn disturb(&self, disturbances: &[Disturbance]) -> DisturbReport;
 
@@ -131,6 +202,15 @@ impl<M: VerifiableModel + ?Sized> ServedEngine for WitnessEngine<'_, M> {
         budget: &SessionBudget,
     ) -> Result<GenerationResult, BudgetExceeded> {
         WitnessEngine::generate_with_budget(self, test_nodes, budget)
+    }
+
+    fn generate_batch_with(
+        &self,
+        queries: &[Vec<usize>],
+        budgets: &[SessionBudget],
+        emit: &mut dyn FnMut(usize, Result<GenerationResult, BudgetExceeded>),
+    ) {
+        WitnessEngine::generate_batch_with(self, queries, budgets, emit)
     }
 
     fn disturb(&self, disturbances: &[Disturbance]) -> DisturbReport {
@@ -166,22 +246,23 @@ pub struct EngineRoute<'e> {
 pub struct ServerConfig<'e> {
     /// Named engines; the first is the default route.
     pub routes: Vec<EngineRoute<'e>>,
-    /// HTTP worker threads (the pool is fixed; per-query parallelism is the
-    /// engine's own `with_workers` setting).
+    /// Worker threads claiming from the admission scheduler (per-query
+    /// parallelism is the engine's own `with_workers` setting).
     pub workers: usize,
-    /// Bound of the accept/dispatch queue; connections beyond it are shed
+    /// Bound of the admission queue; requests arriving beyond it are shed
     /// with `429`. Minimum 1.
     pub queue_bound: usize,
     /// Deadline applied to requests that do not carry an
     /// `x-rcw-deadline-ms` header. `None` = no default deadline.
     pub default_deadline: Option<Duration>,
-    /// Read/write timeout applied to every accepted socket, and the base of
-    /// the request-head deadline (`2 × io_timeout`) that stops slowloris
-    /// peers from trickling header lines forever.
+    /// Per-connection progress timeout: an idle kept-alive peer is dropped
+    /// after this long, a peer mid-request (or not draining its response)
+    /// gets `2 × io_timeout` before a best-effort `408`/drop — the bound
+    /// that stops slowloris peers from pinning connection slots forever.
     pub io_timeout: Duration,
     /// Fault-injection plan ([`FaultPlan::none`] outside chaos tests). The
     /// serve loop consults it at each named site; an empty plan is a single
-    /// cheap check per connection.
+    /// cheap check per request.
     pub faults: Arc<FaultPlan>,
 }
 
@@ -211,13 +292,13 @@ impl<'e> ServerConfig<'e> {
         self
     }
 
-    /// Sets the HTTP worker-pool size.
+    /// Sets the worker-pool size.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
     }
 
-    /// Sets the dispatch-queue bound.
+    /// Sets the admission-queue bound.
     pub fn with_queue_bound(mut self, bound: usize) -> Self {
         self.queue_bound = bound;
         self
@@ -229,7 +310,7 @@ impl<'e> ServerConfig<'e> {
         self
     }
 
-    /// Sets the per-socket read/write timeout.
+    /// Sets the per-connection progress timeout.
     pub fn with_io_timeout(mut self, timeout: Duration) -> Self {
         self.io_timeout = timeout;
         self
@@ -298,33 +379,159 @@ pub struct RcwServer {
 pub struct ServeReport {
     /// Requests answered by each worker of the pool.
     pub requests_per_worker: Vec<usize>,
-    /// Connections accepted and dispatched to the pool (shed connections and
-    /// the shutdown wake-up connection are not counted).
+    /// Connections whose first request was admitted to the scheduler (shed
+    /// and garbage-only connections are not counted).
     pub connections: usize,
-    /// Connections shed with `429` because the dispatch queue was full.
+    /// Requests shed with `429` because the admission queue was full.
     pub overloaded: usize,
     /// Requests answered `503` because their deadline had expired (at
-    /// dequeue or mid-session).
+    /// claim or mid-session).
     pub deadline_rejections: usize,
-    /// Times a worker's connection handler panicked (organically or via an
-    /// injected `worker_panic` fault) and the worker re-entered its request
-    /// loop. The pool never shrinks: a panic costs one connection, not one
-    /// worker.
+    /// Times an injected `worker_panic` fault killed a request's
+    /// connection. The pool never shrinks: a panic costs one connection,
+    /// not one worker.
     pub worker_restarts: usize,
+    /// Micro-batches formed by the admission scheduler (claims of two or
+    /// more compatible `/generate` requests).
+    pub batches_formed: usize,
 }
 
 impl ServeReport {
-    /// Total requests answered across the pool (shed connections excluded).
+    /// Total requests answered across the pool (shed requests excluded).
     pub fn requests_total(&self) -> usize {
         self.requests_per_worker.iter().sum()
     }
 }
 
-/// A connection waiting in the bounded dispatch queue, stamped with its
-/// accept time so queue wait counts against the request deadline.
-struct QueuedConn {
-    stream: TcpStream,
-    enqueued_at: Instant,
+/// What a request is, for batch compatibility at claim time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ItemKind {
+    /// `POST [/NAME]/generate`: batchable with same-engine peers.
+    Generate { engine_idx: usize },
+    /// Everything else: claimed singly.
+    Other,
+}
+
+/// One admitted request waiting in the scheduler.
+struct PendingItem {
+    /// Event-loop connection slot the response must go back to.
+    conn_id: usize,
+    request: Request,
+    kind: ItemKind,
+    /// When the event loop admitted the request: the batch window and the
+    /// `admission_wait_us` counter are both measured from here.
+    admitted_at: Instant,
+    /// Base of the request's deadline window: accept time for a
+    /// connection's first request (queue wait counts), arrival time for
+    /// later keep-alive requests (idle time is never billed).
+    deadline_base: Instant,
+}
+
+/// The admission scheduler: a FIFO of admitted requests plus the claim rule
+/// that turns it into continuous batching. Workers claim the queue head and
+/// every already-queued batch-compatible request within the head's
+/// admission window; incompatible requests are skipped in place, so a long
+/// expand-verify session never blocks the warm hits queued behind it on
+/// another worker's claim.
+struct Scheduler {
+    queue: Mutex<VecDeque<PendingItem>>,
+    available: Condvar,
+    closed: AtomicBool,
+}
+
+fn lock_queue(queue: &Mutex<VecDeque<PendingItem>>) -> MutexGuard<'_, VecDeque<PendingItem>> {
+    queue.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Scheduler {
+    fn new() -> Self {
+        Scheduler {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Appends one item WITHOUT waking a worker: the event loop admits a
+    /// whole readiness sweep first, then wakes the pool once with
+    /// [`Scheduler::kick`] — so everything that arrived together is
+    /// claimable as one micro-batch instead of being picked off one by one.
+    fn push(&self, item: PendingItem) {
+        let mut queue = lock_queue(&self.queue);
+        queue.push_back(item);
+    }
+
+    /// Wakes one worker after a sweep's pushes. Claims chain further
+    /// wake-ups (see [`Scheduler::claim`]), so one kick suffices no matter
+    /// how many claimable units the sweep produced.
+    fn kick(&self) {
+        self.available.notify_one();
+    }
+
+    /// Drains remaining claims, then unblocks every waiting worker for exit.
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    /// Claims the next unit of work: the queue head, plus (for `/generate`
+    /// heads) every compatible request admitted within the head's window,
+    /// up to [`MAX_BATCH`]. Returns `None` once the scheduler is closed and
+    /// drained. Never waits for a batch to fill.
+    fn claim(&self) -> Option<Vec<PendingItem>> {
+        let mut queue = lock_queue(&self.queue);
+        loop {
+            if let Some(first) = queue.pop_front() {
+                let mut batch = vec![first];
+                if let ItemKind::Generate { engine_idx } = batch[0].kind {
+                    let cutoff = batch[0].admitted_at + ADMISSION_WINDOW;
+                    let mut i = 0;
+                    while i < queue.len() && batch.len() < MAX_BATCH {
+                        // Admission order is monotone in admitted_at: once
+                        // one item is past the cutoff, everything behind it
+                        // is too.
+                        if queue[i].admitted_at > cutoff {
+                            break;
+                        }
+                        if queue[i].kind == (ItemKind::Generate { engine_idx }) {
+                            let item = queue.remove(i).expect("index bounded by len");
+                            batch.push(item);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                // Work remains beyond this claim: chain the wake-up so the
+                // single kick per sweep still reaches every worker needed.
+                let more = !queue.is_empty();
+                drop(queue);
+                if more {
+                    self.available.notify_one();
+                }
+                return Some(batch);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self
+                .available
+                .wait_timeout(queue, Duration::from_millis(20))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+}
+
+/// What a worker hands back to the event loop for one request.
+enum Completion {
+    /// Write these bytes to the connection, then keep or close it.
+    Respond {
+        conn_id: usize,
+        bytes: Vec<u8>,
+        close: bool,
+    },
+    /// Drop the connection without a response (injected faults).
+    Kill { conn_id: usize },
 }
 
 /// Shared per-serve state: the config, the counters every endpoint reports,
@@ -336,9 +543,11 @@ struct ServeState<'e, 'c> {
     queue_depth: AtomicUsize,
     overloaded: AtomicUsize,
     deadline_rejections: AtomicUsize,
-    rejectors: AtomicUsize,
     worker_restarts: AtomicUsize,
-    addr: SocketAddr,
+    batches_formed: AtomicUsize,
+    batch_claims: AtomicUsize,
+    batch_items: AtomicUsize,
+    admission_wait_us: AtomicU64,
 }
 
 impl RcwServer {
@@ -366,13 +575,15 @@ impl RcwServer {
     }
 
     /// Serves the configured engine registry until a `POST /shutdown`
-    /// arrives: accepts connections on the calling thread, dispatches them
-    /// through a bounded queue to a fixed pool of worker threads, and sheds
-    /// connections with `429` whenever the queue is full.
+    /// arrives: the calling thread runs the event loop (accept, read,
+    /// parse, write — all nonblocking), workers claim micro-batches from
+    /// the admission scheduler, and requests arriving past the queue bound
+    /// are shed with `429`.
     pub fn serve_config(self, config: &ServerConfig<'_>) -> std::io::Result<ServeReport> {
         config
             .validate()
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        self.listener.set_nonblocking(true)?;
         let workers = config.workers;
         let state = ServeState {
             config,
@@ -381,82 +592,29 @@ impl RcwServer {
             queue_depth: AtomicUsize::new(0),
             overloaded: AtomicUsize::new(0),
             deadline_rejections: AtomicUsize::new(0),
-            rejectors: AtomicUsize::new(0),
             worker_restarts: AtomicUsize::new(0),
-            addr: self.addr,
+            batches_formed: AtomicUsize::new(0),
+            batch_claims: AtomicUsize::new(0),
+            batch_items: AtomicUsize::new(0),
+            admission_wait_us: AtomicU64::new(0),
         };
-        let (tx, rx) = mpsc::sync_channel::<QueuedConn>(config.queue_bound);
-        let rx = Mutex::new(rx);
+        let scheduler = Scheduler::new();
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
         let mut connections = 0usize;
 
         std::thread::scope(|scope| {
             for wid in 0..workers {
-                let rx = &rx;
                 let state = &state;
-                scope.spawn(move || loop {
-                    // Hold the receiver lock only for the pop, not while
-                    // serving, so the pool keeps draining in parallel. The
-                    // lock is recovered from poisoning: a sibling that
-                    // panicked mid-pop must not wedge the whole queue.
-                    let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                    match next {
-                        Ok(conn) => {
-                            state.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                            // Panic containment: a panicking handler (or an
-                            // injected `worker_panic` fault) kills this
-                            // connection, not the worker — the loop re-enters
-                            // `recv()` with the queue intact, which *is* the
-                            // respawn. Counted so `/stats` exposes it.
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                serve_connection(conn, state, wid)
-                            }));
-                            if outcome.is_err() {
-                                state.worker_restarts.fetch_add(1, Ordering::SeqCst);
-                            }
-                        }
-                        Err(_) => break, // acceptor gone: pool drains and exits
-                    }
-                });
+                let scheduler = &scheduler;
+                let done = done_tx.clone();
+                scope.spawn(move || worker_loop(wid, state, scheduler, &done));
             }
-            for stream in self.listener.incoming() {
-                if state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let conn = QueuedConn {
-                    stream,
-                    enqueued_at: Instant::now(),
-                };
-                state.queue_depth.fetch_add(1, Ordering::SeqCst);
-                match tx.try_send(conn) {
-                    Ok(()) => connections += 1,
-                    Err(TrySendError::Full(conn)) => {
-                        // Backpressure: the pool is busy and the queue is at
-                        // its bound. Shed the connection with a 429 on a
-                        // short-lived thread (joined by this scope) so the
-                        // acceptor never blocks on a slow peer — itself
-                        // capped, so a connection flood cannot turn the
-                        // shedding path into unbounded thread growth.
-                        state.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                        state.overloaded.fetch_add(1, Ordering::SeqCst);
-                        if state.rejectors.fetch_add(1, Ordering::SeqCst) < MAX_REJECT_THREADS {
-                            let state = &state;
-                            scope.spawn(move || {
-                                reject_overloaded(conn.stream, state);
-                                state.rejectors.fetch_sub(1, Ordering::SeqCst);
-                            });
-                        } else {
-                            // Past the cap: drop without a body (reset).
-                            state.rejectors.fetch_sub(1, Ordering::SeqCst);
-                        }
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        state.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                        break;
-                    }
-                }
-            }
-            drop(tx); // close the queue: workers finish in-flight work and exit
+            drop(done_tx);
+            connections = EventLoop::new(&self.listener, &state, &scheduler).run(&done_rx);
+            // Event loop done: every connection is closed. Close the
+            // scheduler so workers drain the (empty) queue and exit,
+            // letting the scope join.
+            scheduler.close();
         });
 
         Ok(ServeReport {
@@ -469,24 +627,746 @@ impl RcwServer {
             overloaded: state.overloaded.load(Ordering::SeqCst),
             deadline_rejections: state.deadline_rejections.load(Ordering::SeqCst),
             worker_restarts: state.worker_restarts.load(Ordering::SeqCst),
+            batches_formed: state.batches_formed.load(Ordering::SeqCst),
         })
     }
 }
 
-/// The `429` response a shed connection receives: the peer's request is read
-/// first (best effort, so its in-flight write completes and the response is
-/// not lost to a connection reset), then the refusal with queue stats.
-fn reject_overloaded(stream: TcpStream, state: &ServeState<'_, '_>) {
-    let _ = stream.set_read_timeout(Some(REJECT_IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(REJECT_IO_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
+// ---------------------------------------------------------------------------
+// Worker side: claim, fault sites, routing, delivery
+// ---------------------------------------------------------------------------
+
+/// One worker: claims micro-batches until the scheduler closes.
+fn worker_loop(
+    wid: usize,
+    state: &ServeState<'_, '_>,
+    scheduler: &Scheduler,
+    done: &Sender<Completion>,
+) {
+    let faults = &state.config.faults;
+    let inject = !faults.is_empty();
+    while let Some(batch) = scheduler.claim() {
+        state.queue_depth.fetch_sub(batch.len(), Ordering::SeqCst);
+        if inject && faults.fires(faults::SITE_READ_STALL) {
+            // Injected fault: wedge this worker right after its claim, as a
+            // slow disk or lock would — later admissions back up behind it.
+            std::thread::sleep(state.config.io_timeout.min(INJECTED_STALL));
+        }
+        // Batch bookkeeping happens at claim time, before per-item faults
+        // can kill members: occupancy and batch counts describe what the
+        // scheduler formed, not what survived injection.
+        state.batch_claims.fetch_add(1, Ordering::SeqCst);
+        state.batch_items.fetch_add(batch.len(), Ordering::SeqCst);
+        if batch.len() >= 2 {
+            state.batches_formed.fetch_add(1, Ordering::SeqCst);
+        }
+        let claimed_at = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for item in batch {
+            if inject && faults.fires(faults::SITE_CONN_DROP) {
+                // Injected fault: the connection dies before its request is
+                // served; the rest of the batch proceeds.
+                let _ = done.send(Completion::Kill {
+                    conn_id: item.conn_id,
+                });
+                continue;
+            }
+            if inject && faults.fires(faults::SITE_WORKER_PANIC) {
+                // A panicking handler costs the connection, never the
+                // worker; the unanswered request stays out of the
+                // answered-request accounting.
+                state.worker_restarts.fetch_add(1, Ordering::SeqCst);
+                let _ = done.send(Completion::Kill {
+                    conn_id: item.conn_id,
+                });
+                continue;
+            }
+            // Count before routing: every request a worker takes on is in
+            // the ledger, whatever the route does with it.
+            state.counts[wid].fetch_add(1, Ordering::SeqCst);
+            state.admission_wait_us.fetch_add(
+                claimed_at
+                    .saturating_duration_since(item.admitted_at)
+                    .as_micros() as u64,
+                Ordering::SeqCst,
+            );
+            live.push(item);
+        }
+        if live.is_empty() {
+            continue;
+        }
+        match live[0].kind {
+            ItemKind::Generate { engine_idx }
+                if live
+                    .iter()
+                    .all(|item| item.kind == ItemKind::Generate { engine_idx }) =>
+            {
+                serve_generate_batch(live, engine_idx, state, done);
+            }
+            _ => {
+                for item in live {
+                    serve_single(item, state, done);
+                }
+            }
+        }
+    }
+}
+
+/// The deadline budget of one admitted request.
+fn item_budget(item: &PendingItem, state: &ServeState<'_, '_>) -> SessionBudget {
+    let window = item
+        .request
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(state.config.default_deadline);
+    // The budget is enforced at the engine boundary (the entry check of
+    // `generate_with_budget` fires before any session work), not here:
+    // control endpoints (`/healthz`, `/stats`, `/shutdown`) must stay
+    // reachable even when every request has been queued past its deadline —
+    // an operator shutting down an overloaded server is the case that
+    // matters most.
+    match window {
+        Some(window) => SessionBudget::with_deadline(item.deadline_base + window),
+        None => SessionBudget::unlimited(),
+    }
+}
+
+/// Serves one non-batchable request through [`route`].
+fn serve_single(item: PendingItem, state: &ServeState<'_, '_>, done: &Sender<Completion>) {
+    let budget = item_budget(&item, state);
+    // A panicking handler must not take the pool down: answer 500 and keep
+    // serving (the request was already counted).
+    let (response, stop_after) =
+        match catch_unwind(AssertUnwindSafe(|| route(&item.request, state, &budget))) {
+            Ok(pair) => pair,
+            Err(_) => (Response::error(500, "internal error"), false),
+        };
+    if stop_after {
+        // Graceful stop: flag the event loop before delivering, so this
+        // response and every later one goes out with `connection: close`.
+        state.shutdown.store(true, Ordering::SeqCst);
+    }
+    deliver(item, response, stop_after, state, done);
+}
+
+/// Serves one same-engine `/generate` micro-batch through the engine's
+/// batched entry: parse failures answer 400 per item, the rest share one
+/// [`ServedEngine::generate_batch_with`] call. Every response ships the
+/// moment its query is answered — the engine's warm pass emits before the
+/// cold tail runs, so a warm hit stapled into a batch ahead of a cold
+/// expand-verify session never waits out that session.
+fn serve_generate_batch(
+    live: Vec<PendingItem>,
+    engine_idx: usize,
+    state: &ServeState<'_, '_>,
+    done: &Sender<Completion>,
+) {
+    let engine = state.config.routes[engine_idx].engine;
+    let num_nodes = engine.num_nodes();
+    let mut items: Vec<Option<PendingItem>> = live.into_iter().map(Some).collect();
+    let mut queries = Vec::with_capacity(items.len());
+    let mut budgets = Vec::with_capacity(items.len());
+    let mut origin = Vec::with_capacity(items.len());
+    for (slot, item_slot) in items.iter_mut().enumerate() {
+        let item = item_slot.as_ref().expect("batch slots start occupied");
+        match generate_nodes(&item.request, num_nodes) {
+            Ok(nodes) => {
+                queries.push(nodes);
+                budgets.push(item_budget(item, state));
+                origin.push(slot);
+            }
+            Err(response) => {
+                let item = item_slot.take().expect("slot still occupied");
+                deliver(item, response, false, state, done);
+            }
+        }
+    }
+    if !queries.is_empty() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            engine.generate_batch_with(&queries, &budgets, &mut |i, result| {
+                let item = items[origin[i]].take().expect("each query emitted once");
+                let response = match result {
+                    Ok(generated) => Response::ok(wire::generation_to_body(&generated)),
+                    Err(BudgetExceeded) => budget_rejection(state),
+                };
+                deliver(item, response, false, state, done);
+            })
+        }));
+        if outcome.is_err() {
+            // Mid-batch panic: queries already emitted got their answers,
+            // the rest get the 500 a panicking single request would.
+            for &slot in &origin {
+                if let Some(item) = items[slot].take() {
+                    deliver(
+                        item,
+                        Response::error(500, "internal error"),
+                        false,
+                        state,
+                        done,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Ships one response back through the event loop, applying the write-side
+/// fault sites.
+fn deliver(
+    item: PendingItem,
+    response: Response,
+    stop_after: bool,
+    state: &ServeState<'_, '_>,
+    done: &Sender<Completion>,
+) {
+    let faults = &state.config.faults;
+    let inject = !faults.is_empty();
+    // Once shutdown is flagged (by this request or concurrently), the
+    // response still goes out but the connection closes: an
+    // actively-requesting kept-alive peer must not defer the drain forever.
+    let close = item.request.close || stop_after || state.shutdown.load(Ordering::SeqCst);
+    if inject && faults.fires(faults::SITE_WRITE_DROP) {
+        // Injected fault: the computed answer never hits the wire.
+        let _ = done.send(Completion::Kill {
+            conn_id: item.conn_id,
+        });
+        return;
+    }
+    if inject && faults.fires(faults::SITE_WRITE_TRUNCATE) {
+        // Injected fault: half a real response, then a close — what a peer
+        // sees when a server dies mid-write.
+        let bytes = encode_response(&response, true);
+        let half = bytes.len() / 2;
+        let _ = done.send(Completion::Respond {
+            conn_id: item.conn_id,
+            bytes: bytes[..half].to_vec(),
+            close: true,
+        });
+        return;
+    }
+    let _ = done.send(Completion::Respond {
+        conn_id: item.conn_id,
+        bytes: encode_response(&response, close),
+        close,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Event loop: accept, read, frame, admit, write
+// ---------------------------------------------------------------------------
+
+/// One nonblocking connection in the event loop's slab.
+struct Conn {
+    stream: TcpStream,
+    /// Incremental request framer (buffers partial reads).
+    frame: FrameBuf,
+    /// Pending response bytes and how much of them has been written.
+    out: Vec<u8>,
+    out_pos: usize,
+    close_after_write: bool,
+    /// A request from this connection is with the scheduler or a worker:
+    /// the loop neither reads more nor times the connection out until the
+    /// completion comes back.
+    busy: bool,
+    /// Whether the connection has been counted (first admitted request).
+    counted: bool,
+    first_request: bool,
+    /// Peer half-closed its write side (EOF seen).
+    eof: bool,
+    accepted_at: Instant,
+    /// Last byte in or out — idle/stall timeouts measure from here.
+    last_progress: Instant,
+    /// When the currently-buffered partial request started arriving.
+    frame_since: Option<Instant>,
+    /// When this connection last had a request admitted (or was accepted):
+    /// the kick-deferral heuristic treats a recently-active idle keep-alive
+    /// peer as "about to send again" (closed-loop clients re-send as soon
+    /// as their response lands).
+    last_admit: Instant,
+}
+
+impl Conn {
+    /// An idle keep-alive peer that was recently active: nothing queued in
+    /// or out, and it sent within [`RECEPTIVE_WINDOW`]. Such a peer is
+    /// expected to follow up imminently, so a forming batch briefly waits
+    /// for it.
+    fn receptive(&self, now: Instant) -> bool {
+        !self.busy
+            && self.out_pos >= self.out.len()
+            && self.frame_since.is_none()
+            && !self.eof
+            && now.duration_since(self.last_admit) < RECEPTIVE_WINDOW
+    }
+}
+
+/// What the timeout scan decided for one connection.
+enum TimeoutAction {
+    Keep,
+    Drop,
+    Stalled408,
+}
+
+struct EventLoop<'a, 'e, 'c> {
+    listener: &'a TcpListener,
+    state: &'a ServeState<'e, 'c>,
+    scheduler: &'a Scheduler,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    connections: usize,
+    /// Whether the current sweep pushed work (kick bookkeeping).
+    pushed: bool,
+    /// Requests admitted since the last [`Scheduler::kick`], and when the
+    /// first of them arrived. The kick is deferred while arrivals continue
+    /// so a burst forms one batch; the window bounds the deferral.
+    pending: usize,
+    pending_since: Option<Instant>,
+    rdbuf: [u8; 16384],
+}
+
+/// Queues a loop-generated response (shed, framing error, stall) on the
+/// connection's ordinary write path.
+fn queue_response(conn: &mut Conn, response: &Response, close: bool) {
+    conn.out = encode_response(response, close);
+    conn.out_pos = 0;
+    conn.close_after_write = close;
+}
+
+impl<'a, 'e, 'c> EventLoop<'a, 'e, 'c> {
+    fn new(
+        listener: &'a TcpListener,
+        state: &'a ServeState<'e, 'c>,
+        scheduler: &'a Scheduler,
+    ) -> Self {
+        EventLoop {
+            listener,
+            state,
+            scheduler,
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            connections: 0,
+            pushed: false,
+            pending: 0,
+            pending_since: None,
+            rdbuf: [0u8; 16384],
+        }
+    }
+
+    /// Runs until shutdown is flagged and every connection has drained.
+    /// Returns the number of connections counted.
+    fn run(mut self, done_rx: &Receiver<Completion>) -> usize {
+        let mut last_activity = Instant::now();
+        let mut last_scan = Instant::now();
+        loop {
+            let mut activity = false;
+            if !self.state.shutdown.load(Ordering::SeqCst) {
+                activity |= self.accept_new();
+            }
+            while let Ok(completion) = done_rx.try_recv() {
+                self.apply(completion);
+                activity = true;
+            }
+            for id in 0..self.conns.len() {
+                activity |= self.pump(id);
+            }
+            // Kick deferral: hold the worker wakeup while a batch is still
+            // filling, so a burst admitted over several sweeps is claimed as
+            // one micro-batch instead of a train of singletons. The batch
+            // keeps filling while (a) this sweep admitted something, or
+            // (b) receptive peers — recently-active idle keep-alives, i.e.
+            // closed-loop clients whose next request is imminent — exist and
+            // the head is younger than [`KICK_GRACE`]. A full batch or a
+            // head older than the admission window kicks unconditionally:
+            // unrelated socket activity must never starve a queued request.
+            let sweep_admitted = self.pushed;
+            self.pushed = false;
+            if self.pending > 0 {
+                let now = Instant::now();
+                let head_age = self
+                    .pending_since
+                    .map(|t| now.duration_since(t))
+                    .unwrap_or_default();
+                let force = self.pending >= MAX_BATCH || head_age >= ADMISSION_WINDOW;
+                let filling = sweep_admitted
+                    || (head_age < KICK_GRACE
+                        && self.conns.iter().flatten().any(|c| c.receptive(now)));
+                if force || !filling {
+                    self.pending = 0;
+                    self.pending_since = None;
+                    self.scheduler.kick();
+                }
+            }
+            if self.state.shutdown.load(Ordering::SeqCst) && self.live == 0 {
+                return self.connections;
+            }
+            let now = Instant::now();
+            if now.duration_since(last_scan) >= TIMEOUT_SCAN_EVERY {
+                last_scan = now;
+                activity |= self.scan_timeouts(now);
+            }
+            // When every live connection is either in-flight with a worker
+            // or idle with no receptive peer behind it, re-sweeping cannot
+            // find work — every next event is a worker completion. Park on
+            // the completion channel outright: `yield_now` is too weak here
+            // (the loop's low vruntime lets it keep preempting the very
+            // worker it is waiting on). Accepts and stray bytes are picked
+            // up at most IDLE_POLL later.
+            let only_completions_can_wake_us = self.pending == 0
+                && self.live > 0
+                && self.conns.iter().flatten().all(|c| {
+                    c.busy
+                        || (c.out_pos >= c.out.len()
+                            && c.frame_since.is_none()
+                            && !c.receptive(now))
+                });
+            if only_completions_can_wake_us {
+                match done_rx.recv_timeout(IDLE_POLL) {
+                    Ok(completion) => {
+                        self.apply(completion);
+                        last_activity = Instant::now();
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => std::thread::sleep(IDLE_POLL),
+                }
+            } else if activity {
+                last_activity = now;
+                // Hand the core to whoever the sweep made runnable (a worker
+                // with a fresh claim, a peer with a response) before sweeping
+                // again — on a single-core box the loop would otherwise
+                // starve the very threads it just fed.
+                std::thread::yield_now();
+            } else if now.duration_since(last_activity) <= SPIN_WINDOW {
+                // Recently hot: keep sweeping, but only on an otherwise-idle
+                // core. The yield keeps socket pickup latency at sweep
+                // granularity without taxing runnable threads.
+                std::thread::yield_now();
+            } else {
+                // Nothing moved for a while: park on the completion channel
+                // so an idle server stops burning CPU. Socket readability is
+                // picked up on the next sweep, at most IDLE_POLL later.
+                match done_rx.recv_timeout(IDLE_POLL) {
+                    Ok(completion) => {
+                        self.apply(completion);
+                        last_activity = Instant::now();
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => std::thread::sleep(IDLE_POLL),
+                }
+            }
+        }
+    }
+
+    /// Accepts every connection the listener has ready.
+    fn accept_new(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Request/response round trips are latency-bound small
+                    // messages: without TCP_NODELAY, Nagle + the peer's
+                    // delayed ACK add ~40ms per response.
+                    let _ = stream.set_nodelay(true);
+                    let now = Instant::now();
+                    let conn = Conn {
+                        stream,
+                        frame: FrameBuf::new(),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        close_after_write: false,
+                        busy: false,
+                        counted: false,
+                        first_request: true,
+                        eof: false,
+                        accepted_at: now,
+                        last_progress: now,
+                        frame_since: None,
+                        last_admit: now,
+                    };
+                    match self.free.pop() {
+                        Some(id) => self.conns[id] = Some(conn),
+                        None => self.conns.push(Some(conn)),
+                    }
+                    self.live += 1;
+                    any = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break, // transient accept error: retry next sweep
+            }
+        }
+        any
+    }
+
+    /// Applies one worker completion to its connection.
+    fn apply(&mut self, completion: Completion) {
+        match completion {
+            Completion::Respond {
+                conn_id,
+                bytes,
+                close,
+            } => {
+                let Some(conn) = self.conns[conn_id].as_mut() else {
+                    return;
+                };
+                conn.busy = false;
+                conn.out = bytes;
+                conn.out_pos = 0;
+                // A peer that half-closed after sending can still receive
+                // the answer, but the connection is done afterwards.
+                conn.close_after_write = close || conn.eof;
+                self.pump(conn_id);
+            }
+            Completion::Kill { conn_id } => self.close(conn_id),
+        }
+    }
+
+    fn close(&mut self, id: usize) {
+        if self.conns[id].take().is_some() {
+            self.free.push(id);
+            self.live -= 1;
+        }
+    }
+
+    /// Advances one connection: flush pending output, read what's
+    /// available, frame and admit at most one request. Returns whether
+    /// anything moved.
+    fn pump(&mut self, id: usize) -> bool {
+        let Some(mut conn) = self.conns[id].take() else {
+            return false;
+        };
+        let mut activity = false;
+        let alive = self.pump_conn(id, &mut conn, &mut activity);
+        if alive {
+            self.conns[id] = Some(conn);
+        } else {
+            self.free.push(id);
+            self.live -= 1;
+        }
+        activity
+    }
+
+    /// The per-connection state machine; `false` means drop the connection.
+    fn pump_conn(&mut self, id: usize, conn: &mut Conn, activity: &mut bool) -> bool {
+        // Write phase: drain pending response bytes.
+        if conn.out_pos < conn.out.len() {
+            loop {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => return false,
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        conn.last_progress = Instant::now();
+                        *activity = true;
+                        if conn.out_pos >= conn.out.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+            conn.out.clear();
+            conn.out_pos = 0;
+            if conn.close_after_write {
+                return false;
+            }
+        }
+        // One in-flight request per connection: responses go back in
+        // request order, and the loop never reads ahead of the worker.
+        if conn.busy {
+            return true;
+        }
+        // Read phase: pull everything available into the framer.
+        if !conn.eof {
+            loop {
+                match conn.stream.read(&mut self.rdbuf) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        if conn.frame_since.is_none() {
+                            conn.frame_since = Some(Instant::now());
+                        }
+                        conn.frame.extend(&self.rdbuf[..n]);
+                        conn.last_progress = Instant::now();
+                        *activity = true;
+                        if n < self.rdbuf.len() {
+                            // Short read: the socket buffer is drained — skip
+                            // the confirming read() that would just say
+                            // WouldBlock. A byte racing in right now is
+                            // picked up on the next sweep.
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+        }
+        // Frame phase: admit a complete request, or answer framing errors.
+        match conn.frame.try_take() {
+            FrameOutcome::Complete(request) => {
+                conn.frame_since = if conn.frame.is_empty() {
+                    None
+                } else {
+                    // Pipelined bytes of the next request are already here.
+                    Some(Instant::now())
+                };
+                *activity = true;
+                self.admit(id, conn, request);
+                true
+            }
+            FrameOutcome::Partial => {
+                if conn.eof {
+                    if conn.frame.is_empty() {
+                        false // peer closed between requests: silent drop
+                    } else {
+                        // EOF mid-request: best-effort 400, then close.
+                        queue_response(conn, &Response::error(400, "truncated request"), true);
+                        true
+                    }
+                } else {
+                    true
+                }
+            }
+            // Framing-level rejections are answered by the loop itself and
+            // never reach the scheduler or the request ledger.
+            FrameOutcome::Malformed(message) => {
+                queue_response(conn, &Response::error(400, &message), true);
+                true
+            }
+            FrameOutcome::TooLarge(message) => {
+                queue_response(conn, &Response::error(413, &message), true);
+                true
+            }
+        }
+    }
+
+    /// Admits one complete request: shed at the queue bound, else classify
+    /// and push to the scheduler.
+    fn admit(&mut self, id: usize, conn: &mut Conn, request: Request) {
+        let now = Instant::now();
+        // Backpressure: shed at admission when the scheduler is at its
+        // bound, through this same write path — shed requests are exact in
+        // `overloaded` and absent from the request ledger.
+        if self.state.queue_depth.load(Ordering::SeqCst) >= self.state.config.queue_bound {
+            self.state.overloaded.fetch_add(1, Ordering::SeqCst);
+            queue_response(conn, &overload_response(self.state), true);
+            return;
+        }
+        if !conn.counted {
+            conn.counted = true;
+            self.connections += 1;
+        }
+        let deadline_base = if conn.first_request {
+            conn.accepted_at
+        } else {
+            now
+        };
+        conn.first_request = false;
+        conn.busy = true;
+        let kind = classify(self.state.config, &request);
+        self.state.queue_depth.fetch_add(1, Ordering::SeqCst);
+        self.scheduler.push(PendingItem {
+            conn_id: id,
+            request,
+            kind,
+            admitted_at: now,
+            deadline_base,
+        });
+        conn.last_admit = now;
+        self.pushed = true;
+        self.pending += 1;
+        if self.pending_since.is_none() {
+            self.pending_since = Some(now);
+        }
+    }
+
+    /// Periodic sweep for idle and stalled peers.
+    fn scan_timeouts(&mut self, now: Instant) -> bool {
+        let io_timeout = self.state.config.io_timeout;
+        let mut any = false;
+        for id in 0..self.conns.len() {
+            let action = match self.conns[id].as_mut() {
+                None => TimeoutAction::Keep,
+                Some(conn) if conn.busy => TimeoutAction::Keep,
+                Some(conn) => {
+                    if conn.out_pos < conn.out.len() {
+                        // A peer not draining its response gets io_timeout
+                        // of write grace, then the slot is reclaimed.
+                        if now.duration_since(conn.last_progress) > io_timeout {
+                            TimeoutAction::Drop
+                        } else {
+                            TimeoutAction::Keep
+                        }
+                    } else if let Some(since) = conn.frame_since {
+                        // Mid-request stall: the whole head+body gets
+                        // 2 × io_timeout (room for an idle keep-alive wait
+                        // plus the request itself), then a best-effort 408 —
+                        // the slowloris bound.
+                        if now.duration_since(since) > 2 * io_timeout {
+                            TimeoutAction::Stalled408
+                        } else {
+                            TimeoutAction::Keep
+                        }
+                    } else if now.duration_since(conn.last_progress) > io_timeout {
+                        // Idle keep-alive peer: silent drop.
+                        TimeoutAction::Drop
+                    } else {
+                        TimeoutAction::Keep
+                    }
+                }
+            };
+            match action {
+                TimeoutAction::Keep => {}
+                TimeoutAction::Drop => {
+                    self.close(id);
+                    any = true;
+                }
+                TimeoutAction::Stalled408 => {
+                    let conn = self.conns[id].as_mut().expect("conn matched for 408");
+                    queue_response(conn, &Response::error(408, "request timeout"), true);
+                    // Give the 408 write its own grace window.
+                    conn.last_progress = now;
+                    conn.frame_since = None;
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing and endpoint handlers
+// ---------------------------------------------------------------------------
+
+/// Classifies a request for admission, mirroring [`route`]'s prefix logic:
+/// `POST [/NAME]/generate` resolves to its engine and is batchable,
+/// everything else is claimed singly.
+fn classify(config: &ServerConfig<'_>, request: &Request) -> ItemKind {
+    if request.method != "POST" {
+        return ItemKind::Other;
+    }
+    let path = request.path.split('?').next().unwrap_or("");
+    let trimmed = path.strip_prefix('/').unwrap_or(path);
+    let (engine_idx, endpoint) = match trimmed.split_once('/') {
+        Some((name, rest)) => match config.route_index(name) {
+            Some(idx) => (idx, rest),
+            None => (0, trimmed),
+        },
+        None => (0, trimmed),
     };
-    let mut reader = BufReader::new(stream);
-    let _ = read_request(&mut reader, Some(Instant::now() + REJECT_IO_TIMEOUT));
-    let _ = write_response(&mut writer, &overload_response(state), true);
+    if endpoint == "generate" {
+        ItemKind::Generate { engine_idx }
+    } else {
+        ItemKind::Other
+    }
 }
 
 fn overload_response(state: &ServeState<'_, '_>) -> Response {
@@ -508,138 +1388,6 @@ fn deadline_response() -> Response {
     Response {
         status: 503,
         body: Json::obj([("error", Json::Str("deadline exceeded".to_string()))]).encode(),
-    }
-}
-
-/// Serves one (kept-alive) connection to completion.
-fn serve_connection(conn: QueuedConn, state: &ServeState<'_, '_>, wid: usize) {
-    let faults = &state.config.faults;
-    let inject = !faults.is_empty();
-    let io_timeout = state.config.io_timeout;
-    let stream = conn.stream;
-    let _ = stream.set_read_timeout(Some(io_timeout));
-    let _ = stream.set_write_timeout(Some(io_timeout));
-    // Request/response round trips are latency-bound small messages: without
-    // TCP_NODELAY, Nagle + the peer's delayed ACK add ~40ms per response.
-    let _ = stream.set_nodelay(true);
-    if inject && faults.fires(faults::SITE_CONN_DROP) {
-        return; // injected fault: drop the accepted connection unanswered
-    }
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = stream;
-    // The first request's deadline window starts at accept time, so time
-    // spent waiting in the dispatch queue counts against it; each later
-    // request on the kept-alive connection starts its window when it
-    // arrives (keep-alive idle time between requests is never billed).
-    let mut first_request = true;
-    loop {
-        if inject && faults.fires(faults::SITE_READ_STALL) {
-            // Injected fault: sit on the socket before reading, as a worker
-            // wedged on a slow disk or lock would.
-            std::thread::sleep(io_timeout.min(Duration::from_millis(100)));
-        }
-        // The head deadline bounds the whole request head, not one recv:
-        // 2 × io_timeout leaves room for an idle keep-alive wait (up to
-        // io_timeout) plus the head itself.
-        let head_deadline = Instant::now() + 2 * io_timeout;
-        let request = match read_request(&mut reader, Some(head_deadline)) {
-            Ok(ReadOutcome::Ok(request)) => request,
-            Ok(ReadOutcome::Closed) => return,
-            Ok(ReadOutcome::Malformed(message)) => {
-                let _ = write_response(&mut writer, &Response::error(400, &message), true);
-                return;
-            }
-            Ok(ReadOutcome::TooLarge(message)) => {
-                let _ = write_response(&mut writer, &Response::error(413, &message), true);
-                return;
-            }
-            Ok(ReadOutcome::Stalled) => {
-                // Best effort: a peer stalled mid-request may not read it.
-                let _ = write_response(&mut writer, &Response::error(408, "request timeout"), true);
-                return;
-            }
-            Err(_) => return, // idle timeout or broken pipe: drop silently
-        };
-        if inject && faults.fires(faults::SITE_WORKER_PANIC) {
-            // Before the per-worker count: an unanswered request must not
-            // appear in the answered-request accounting.
-            panic!("injected fault: worker_panic");
-        }
-        let deadline_base = if first_request {
-            conn.enqueued_at
-        } else {
-            Instant::now()
-        };
-        first_request = false;
-        state.counts[wid].fetch_add(1, Ordering::SeqCst);
-        let window = request
-            .deadline_ms
-            .map(Duration::from_millis)
-            .or(state.config.default_deadline);
-        // The budget is enforced at the engine boundary (the entry check of
-        // `generate_with_budget` fires before any session work), not here:
-        // control endpoints (`/healthz`, `/stats`, `/shutdown`) must stay
-        // reachable even when every request has been queued past its
-        // deadline — an operator shutting down an overloaded server is the
-        // case that matters most.
-        let budget = match window {
-            Some(window) => SessionBudget::with_deadline(deadline_base + window),
-            None => SessionBudget::unlimited(),
-        };
-        // A panicking handler must not take the whole pool down: answer
-        // 500 and keep serving.
-        let (response, stop_after) =
-            match catch_unwind(AssertUnwindSafe(|| route(&request, state, &budget))) {
-                Ok(pair) => pair,
-                Err(_) => (Response::error(500, "internal error"), false),
-            };
-        // Once shutdown is flagged (by this request or concurrently by
-        // another worker), finish this response but close the connection:
-        // otherwise an actively-requesting kept-alive peer would keep its
-        // worker looping here and defer `serve`'s pool join indefinitely.
-        let close = request.close || stop_after || state.shutdown.load(Ordering::SeqCst);
-        if inject && faults.fires(faults::SITE_WRITE_DROP) {
-            return; // injected fault: computed answer never hits the wire
-        }
-        if inject && faults.fires(faults::SITE_WRITE_TRUNCATE) {
-            // Injected fault: half a real response, then a close — what a
-            // peer sees when a server dies mid-write.
-            use std::io::Write;
-            let bytes = http::encode_response(&response, true);
-            let _ = writer.write_all(&bytes[..bytes.len() / 2]);
-            return;
-        }
-        if write_response(&mut writer, &response, close).is_err() {
-            return;
-        }
-        if stop_after {
-            // Graceful stop: flag the acceptor, then wake it with a no-op
-            // connection so its blocking accept returns.
-            state.shutdown.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(wake_addr(state.addr));
-            return;
-        }
-        if close {
-            return;
-        }
-    }
-}
-
-/// The address the shutdown wake-up connection targets: the bound address,
-/// with wildcard IPs (`0.0.0.0` / `::`) mapped to the loopback of the same
-/// family — a wildcard is listenable but not reliably connectable.
-fn wake_addr(addr: SocketAddr) -> SocketAddr {
-    if addr.ip().is_unspecified() {
-        let loopback: std::net::IpAddr = match addr {
-            SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
-            SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
-        };
-        SocketAddr::new(loopback, addr.port())
-    } else {
-        addr
     }
 }
 
@@ -712,6 +1460,11 @@ fn parse_nodes(value: &Json, num_nodes: usize) -> Result<Vec<usize>, Response> {
                 .collect::<Result<Vec<_>, _>>()
         })
         .map_err(|e| Response::error(400, &e.to_string()))?;
+    validate_nodes(nodes, num_nodes)
+}
+
+/// The shared range/emptiness validation behind both `/generate` decoders.
+fn validate_nodes(nodes: Vec<usize>, num_nodes: usize) -> Result<Vec<usize>, Response> {
     if nodes.is_empty() {
         return Err(Response::error(400, "empty test-node set"));
     }
@@ -722,6 +1475,24 @@ fn parse_nodes(value: &Json, num_nodes: usize) -> Result<Vec<usize>, Response> {
         ));
     }
     Ok(nodes)
+}
+
+/// Parses and validates a `/generate` request body into its test-node set.
+///
+/// The direct decoder handles the well-formed case without building a
+/// [`Json`] tree; anything it rejects is re-parsed through the tree path so
+/// malformed bodies keep their established 400 messages.
+fn generate_nodes(request: &Request, num_nodes: usize) -> Result<Vec<usize>, Response> {
+    if let Ok(text) = std::str::from_utf8(&request.body) {
+        if let Ok(nodes) = wire::nodes_from_body(text) {
+            return validate_nodes(nodes, num_nodes);
+        }
+    }
+    let body = parse_body(request)?;
+    let value = body
+        .field("nodes")
+        .map_err(|e| Response::error(400, &e.to_string()))?;
+    parse_nodes(value, num_nodes)
 }
 
 /// Maps an engine-side budget abort to the 503 wire error (counted).
@@ -736,23 +1507,12 @@ fn handle_generate(
     state: &ServeState<'_, '_>,
     budget: &SessionBudget,
 ) -> Response {
-    let body = match parse_body(request) {
-        Ok(v) => v,
-        Err(r) => return r,
-    };
-    let num_nodes = engine.num_nodes();
-    let nodes = match body
-        .field("nodes")
-        .map_err(|e| Response::error(400, &e.to_string()))
-    {
-        Ok(v) => match parse_nodes(v, num_nodes) {
-            Ok(nodes) => nodes,
-            Err(r) => return r,
-        },
+    let nodes = match generate_nodes(request, engine.num_nodes()) {
+        Ok(nodes) => nodes,
         Err(r) => return r,
     };
     match engine.generate_with_budget(&nodes, budget) {
-        Ok(result) => Response::ok(wire::generation_to_json(&result).encode()),
+        Ok(result) => Response::ok(wire::generation_to_body(&result)),
         Err(BudgetExceeded) => budget_rejection(state),
     }
 }
@@ -838,6 +1598,13 @@ fn handle_stats(state: &ServeState<'_, '_>, engine_idx: usize) -> Response {
         .iter()
         .map(|c| Json::Num(c.load(Ordering::SeqCst) as f64))
         .collect();
+    let claims = state.batch_claims.load(Ordering::SeqCst);
+    let claimed_items = state.batch_items.load(Ordering::SeqCst);
+    let occupancy = if claims == 0 {
+        0.0
+    } else {
+        claimed_items as f64 / claims as f64
+    };
     Response::ok(
         Json::obj([
             ("engine", selected),
@@ -863,6 +1630,17 @@ fn handle_stats(state: &ServeState<'_, '_>, engine_idx: usize) -> Response {
                     (
                         "worker_restarts",
                         Json::num(state.worker_restarts.load(Ordering::SeqCst) as u64),
+                    ),
+                    (
+                        "batches_formed",
+                        Json::num(state.batches_formed.load(Ordering::SeqCst) as u64),
+                    ),
+                    ("batch_claims", Json::num(claims as u64)),
+                    ("batch_items", Json::num(claimed_items as u64)),
+                    ("batch_occupancy", Json::Num(occupancy)),
+                    (
+                        "admission_wait_us",
+                        Json::num(state.admission_wait_us.load(Ordering::SeqCst)),
                     ),
                 ]),
             ),
@@ -932,5 +1710,124 @@ mod tests {
             .with_io_timeout(Duration::ZERO)
             .validate()
             .is_err());
+    }
+
+    fn pending(kind: ItemKind, admitted_at: Instant) -> PendingItem {
+        PendingItem {
+            conn_id: 0,
+            request: Request {
+                method: "POST".to_string(),
+                path: "/generate".to_string(),
+                body: Vec::new(),
+                close: false,
+                deadline_ms: None,
+            },
+            kind,
+            admitted_at,
+            deadline_base: admitted_at,
+        }
+    }
+
+    #[test]
+    fn scheduler_claims_compatible_generate_batches() {
+        let scheduler = Scheduler::new();
+        let now = Instant::now();
+        scheduler.push(pending(ItemKind::Generate { engine_idx: 0 }, now));
+        scheduler.push(pending(ItemKind::Generate { engine_idx: 0 }, now));
+        scheduler.push(pending(ItemKind::Other, now));
+        scheduler.push(pending(ItemKind::Generate { engine_idx: 0 }, now));
+        scheduler.push(pending(ItemKind::Generate { engine_idx: 1 }, now));
+
+        let batch = scheduler.claim().expect("generate batch");
+        assert_eq!(
+            batch.len(),
+            3,
+            "same-engine generates batch across an interleaved control request"
+        );
+        assert!(batch
+            .iter()
+            .all(|i| i.kind == ItemKind::Generate { engine_idx: 0 }));
+
+        let control = scheduler.claim().expect("control request");
+        assert_eq!(control.len(), 1);
+        assert_eq!(control[0].kind, ItemKind::Other);
+
+        let other_engine = scheduler.claim().expect("second engine");
+        assert_eq!(other_engine.len(), 1);
+        assert_eq!(other_engine[0].kind, ItemKind::Generate { engine_idx: 1 });
+
+        scheduler.close();
+        assert!(
+            scheduler.claim().is_none(),
+            "a closed, drained scheduler stops claiming"
+        );
+    }
+
+    #[test]
+    fn admission_window_bounds_intra_batch_spread() {
+        let scheduler = Scheduler::new();
+        let stale = Instant::now() - 10 * ADMISSION_WINDOW;
+        scheduler.push(pending(ItemKind::Generate { engine_idx: 0 }, stale));
+        scheduler.push(pending(
+            ItemKind::Generate { engine_idx: 0 },
+            Instant::now(),
+        ));
+        let batch = scheduler.claim().expect("stale head");
+        assert_eq!(
+            batch.len(),
+            1,
+            "a fresh arrival does not join a head admitted outside the window"
+        );
+        assert_eq!(scheduler.claim().expect("fresh tail").len(), 1);
+    }
+
+    #[test]
+    fn classify_mirrors_route_prefixes() {
+        let mut g = rcw_graph::Graph::with_nodes(2);
+        g.add_edge(0, 1);
+        g.set_features(0, vec![1.0]);
+        g.set_features(1, vec![0.0]);
+        g.set_label(0, 0);
+        g.set_label(1, 1);
+        let gcn = rcw_gnn::Gcn::new(&[1, 2, 2], 1);
+        let engine = WitnessEngine::new(
+            std::sync::Arc::new(g),
+            &gcn,
+            rcw_core::RcwConfig::with_budgets(0, 0),
+        );
+        let config = ServerConfig::single(&engine).with_route("gcn", &engine);
+        let request = |method: &str, path: &str| Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: Vec::new(),
+            close: false,
+            deadline_ms: None,
+        };
+        assert_eq!(
+            classify(&config, &request("POST", "/generate")),
+            ItemKind::Generate { engine_idx: 0 }
+        );
+        assert_eq!(
+            classify(&config, &request("POST", "/gcn/generate?x=1")),
+            ItemKind::Generate { engine_idx: 1 }
+        );
+        // Unknown prefixes fall back to the default engine's endpoint set —
+        // which has no "nope/generate", so they stay unbatched.
+        assert_eq!(
+            classify(&config, &request("POST", "/nope/generate")),
+            ItemKind::Other
+        );
+        assert_eq!(
+            classify(&config, &request("GET", "/generate")),
+            ItemKind::Other
+        );
+        assert_eq!(
+            classify(&config, &request("POST", "/generate_batch")),
+            ItemKind::Other
+        );
+        assert_eq!(
+            classify(&config, &request("POST", "/disturb")),
+            ItemKind::Other
+        );
     }
 }

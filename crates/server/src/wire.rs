@@ -97,7 +97,7 @@ impl Json {
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(x) => {
                 if x.fract() == 0.0 && x.abs() < 9.0e15 {
-                    out.push_str(&format!("{}", *x as i64));
+                    push_i64(out, *x as i64);
                 } else {
                     out.push_str(&format!("{x}"));
                 }
@@ -211,19 +211,54 @@ impl Json {
     }
 }
 
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+/// Appends a decimal integer without any intermediate allocation (the
+/// `format!` path costs a heap `String` per number, which dominates encode
+/// time on number-heavy payloads like witnesses).
+fn push_i64(out: &mut String, x: i64) {
+    if x < 0 {
+        out.push('-');
+    }
+    push_u64(out, x.unsigned_abs());
+}
+
+pub(crate) fn push_u64(out: &mut String, mut x: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (x % 10) as u8;
+        x /= 10;
+        if x == 0 {
+            break;
         }
     }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    // Copy maximal escape-free runs in one go; every byte that needs an
+    // escape is ASCII, so byte positions are valid char boundaries.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape: Option<&str> = match b {
+            b'"' => Some("\\\""),
+            b'\\' => Some("\\\\"),
+            b'\n' => Some("\\n"),
+            b'\r' => Some("\\r"),
+            b'\t' => Some("\\t"),
+            b if b < 0x20 => None,
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        match escape {
+            Some(text) => out.push_str(text),
+            None => out.push_str(&format!("\\u{:04x}", b)),
+        }
+        start = i + 1;
+    }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -289,8 +324,31 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, WireError> {
         let start = self.pos;
-        if self.peek() == Some(b'-') {
+        let negative = self.peek() == Some(b'-');
+        if negative {
             self.pos += 1;
+        }
+        // Fast path: a plain short integer run (the overwhelming case on
+        // this wire — node ids, edge endpoints, counters) skips the std
+        // float parser entirely.
+        let digits_start = self.pos;
+        let mut int_val: u64 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            int_val = int_val * 10 + (b - b'0') as u64;
+            self.pos += 1;
+            if self.pos - digits_start > 15 {
+                break;
+            }
+        }
+        let plain_int = self.pos > digits_start
+            && self.pos - digits_start <= 15
+            && !matches!(
+                self.peek(),
+                Some(b'.' | b'e' | b'E' | b'+' | b'-' | b'0'..=b'9')
+            );
+        if plain_int {
+            let x = int_val as f64;
+            return Ok(Json::Num(if negative { -x } else { x }));
         }
         while matches!(
             self.peek(),
@@ -351,11 +409,17 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so boundaries
-                    // are valid; find the next char boundary).
+                    // Copy the maximal run up to the next quote or escape in
+                    // one validation pass. The stop bytes are ASCII, so in
+                    // valid UTF-8 the run never ends mid-character; a lone
+                    // control byte still moves one scalar at a time.
                     let rest = &self.bytes[self.pos..];
-                    let len = utf8_len(rest[0]);
-                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                    let mut n = 0;
+                    while n < rest.len() && rest[n] != b'"' && rest[n] != b'\\' && rest[n] >= 0x20 {
+                        n += 1;
+                    }
+                    let n = n.max(utf8_len(rest[0])).min(rest.len());
+                    let chunk = std::str::from_utf8(&rest[..n])
                         .map_err(|_| WireError::new(self.pos, "invalid utf-8"))?;
                     out.push_str(chunk);
                     self.pos += chunk.len();
@@ -428,6 +492,321 @@ fn utf8_len(first: u8) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Direct struct-level parsing (hot serving path)
+//
+// The tree codec above allocates a `Json` node per value — fine for control
+// endpoints, but a warm `/generate` answer is ~100 numbers and the tree walk
+// costs more than the engine's store hit. These readers decode the known
+// response shapes straight into their structs, one `Vec` per array and zero
+// per-number work beyond the digits.
+// ---------------------------------------------------------------------------
+
+impl<'a> Parser<'a> {
+    /// Walks an object's fields, handing each key to `visit` with the parser
+    /// positioned at the value. Keys must be escape-free (ours always are).
+    fn fields(
+        &mut self,
+        mut visit: impl FnMut(&mut Self, &str) -> Result<(), WireError>,
+    ) -> Result<(), WireError> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.raw_str()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            visit(self, key)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(WireError::new(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    /// A quoted string borrowed from the input. Rejects escapes instead of
+    /// decoding them: no key or enum value on this wire ever needs one.
+    fn raw_str(&mut self) -> Result<&'a str, WireError> {
+        self.skip_ws();
+        self.expect(b'"')?;
+        let bytes = self.bytes;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(WireError::new(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    let end = self.pos;
+                    self.pos += 1;
+                    return std::str::from_utf8(&bytes[start..end])
+                        .map_err(|_| WireError::new(start, "invalid utf-8"));
+                }
+                Some(b'\\') => {
+                    return Err(WireError::new(self.pos, "unexpected escape in bare string"))
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// A non-negative integer value (rejects floats and exponents).
+    fn usize_value(&mut self) -> Result<usize, WireError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut value: u64 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            value = value * 10 + (b - b'0') as u64;
+            self.pos += 1;
+            if self.pos - start > 15 {
+                return Err(WireError::new(start, "integer too large"));
+            }
+        }
+        if self.pos == start {
+            return Err(WireError::new(start, "expected non-negative integer"));
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(WireError::new(start, "expected integer, got float"));
+        }
+        Ok(value as usize)
+    }
+
+    fn bool_value(&mut self) -> Result<bool, WireError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b't') => self.literal("true", Json::Null).map(|_| true),
+            Some(b'f') => self.literal("false", Json::Null).map(|_| false),
+            _ => Err(WireError::new(self.pos, "expected bool")),
+        }
+    }
+
+    /// Iterates a JSON array, calling `visit` once per element.
+    fn elements(
+        &mut self,
+        mut visit: impl FnMut(&mut Self) -> Result<(), WireError>,
+    ) -> Result<(), WireError> {
+        self.skip_ws();
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            visit(self)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(WireError::new(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn usize_array(&mut self) -> Result<Vec<usize>, WireError> {
+        let mut out = Vec::new();
+        self.elements(|p| {
+            out.push(p.usize_value()?);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// An array of `[u, v]` pairs, with no per-pair tree nodes.
+    fn edge_array(&mut self) -> Result<Vec<(usize, usize)>, WireError> {
+        let mut out = Vec::new();
+        self.elements(|p| {
+            p.skip_ws();
+            p.expect(b'[')?;
+            let u = p.usize_value()?;
+            p.skip_ws();
+            p.expect(b',')?;
+            let v = p.usize_value()?;
+            p.skip_ws();
+            p.expect(b']')?;
+            out.push((u, v));
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    fn witness_value(&mut self) -> Result<Witness, WireError> {
+        let (mut nodes, mut edges, mut test_nodes, mut labels) = (None, None, None, None);
+        self.fields(|p, key| {
+            match key {
+                "nodes" => nodes = Some(p.usize_array()?),
+                "edges" => edges = Some(p.edge_array()?),
+                "test_nodes" => test_nodes = Some(p.usize_array()?),
+                "labels" => labels = Some(p.usize_array()?),
+                other => return Err(WireError::decode(format!("unexpected field '{other}'"))),
+            }
+            Ok(())
+        })?;
+        witness_from_parts(
+            required(nodes, "nodes")?,
+            required(edges, "edges")?,
+            required(test_nodes, "test_nodes")?,
+            required(labels, "labels")?,
+        )
+    }
+
+    fn generation_stats_value(&mut self) -> Result<GenerationStats, WireError> {
+        let (mut inference_calls, mut disturbances_verified, mut expand_rounds, mut elapsed_us) =
+            (None, None, None, None);
+        self.fields(|p, key| {
+            match key {
+                "inference_calls" => inference_calls = Some(p.usize_value()?),
+                "disturbances_verified" => disturbances_verified = Some(p.usize_value()?),
+                "expand_rounds" => expand_rounds = Some(p.usize_value()?),
+                "elapsed_us" => elapsed_us = Some(p.usize_value()?),
+                other => return Err(WireError::decode(format!("unexpected field '{other}'"))),
+            }
+            Ok(())
+        })?;
+        Ok(GenerationStats {
+            inference_calls: required(inference_calls, "inference_calls")?,
+            disturbances_verified: required(disturbances_verified, "disturbances_verified")?,
+            expand_rounds: required(expand_rounds, "expand_rounds")?,
+            elapsed: Duration::from_micros(required(elapsed_us, "elapsed_us")? as u64),
+        })
+    }
+
+    fn generation_value(&mut self) -> Result<GenerationResult, WireError> {
+        let (mut witness, mut level, mut nontrivial, mut stale, mut stats) =
+            (None, None, None, None, None);
+        self.fields(|p, key| {
+            match key {
+                "witness" => witness = Some(p.witness_value()?),
+                "level" => level = Some(level_from_str(p.raw_str()?)?),
+                "nontrivial" => nontrivial = Some(p.bool_value()?),
+                "stale" => stale = Some(p.bool_value()?),
+                "stats" => stats = Some(p.generation_stats_value()?),
+                other => return Err(WireError::decode(format!("unexpected field '{other}'"))),
+            }
+            Ok(())
+        })?;
+        Ok(GenerationResult {
+            witness: required(witness, "witness")?,
+            level: required(level, "level")?,
+            nontrivial: required(nontrivial, "nontrivial")?,
+            stale: required(stale, "stale")?,
+            stats: required(stats, "stats")?,
+        })
+    }
+}
+
+fn required<T>(value: Option<T>, key: &str) -> Result<T, WireError> {
+    value.ok_or_else(|| WireError::decode(format!("missing field '{key}'")))
+}
+
+/// Decodes a [`GenerationResult`] straight from its wire body, bypassing
+/// the [`Json`] tree. Accepts exactly what [`generation_to_json`] (and
+/// [`generation_to_body`]) produce, fields in any order; malformed input
+/// errors, never panics.
+pub fn generation_from_body(text: &str) -> Result<GenerationResult, WireError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let result = p.generation_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(WireError::new(p.pos, "trailing characters after value"));
+    }
+    Ok(result)
+}
+
+/// Decodes a `/generate` request body (`{"nodes": [..]}`) straight into its
+/// node list, bypassing the [`Json`] tree. Strict: exactly the one field,
+/// plain non-negative integers, nothing trailing. The serving layer uses
+/// this as the fast path and falls back to the tree decoder on any error so
+/// malformed bodies keep their established 400 messages.
+pub fn nodes_from_body(text: &str) -> Result<Vec<usize>, WireError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut nodes = None;
+    p.fields(|p, key| {
+        match key {
+            "nodes" => nodes = Some(p.usize_array()?),
+            other => return Err(WireError::decode(format!("unexpected field '{other}'"))),
+        }
+        Ok(())
+    })?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(WireError::new(p.pos, "trailing characters after value"));
+    }
+    required(nodes, "nodes")
+}
+
+pub(crate) fn push_usize_array(out: &mut String, xs: impl IntoIterator<Item = usize>) {
+    out.push('[');
+    for (i, x) in xs.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_u64(out, x as u64);
+    }
+    out.push(']');
+}
+
+/// Serializes a [`GenerationResult`] straight to its wire body —
+/// byte-identical to `generation_to_json(r).encode()` (pinned by a test)
+/// without building the tree.
+pub fn generation_to_body(r: &GenerationResult) -> String {
+    let w = &r.witness;
+    let mut out = String::with_capacity(
+        192 + 8 * (w.subgraph.nodes().len() + 2 * w.test_nodes.len())
+            + 12 * w.subgraph.edges().len(),
+    );
+    out.push_str("{\"witness\":{\"nodes\":");
+    push_usize_array(&mut out, w.subgraph.nodes().iter().copied());
+    out.push_str(",\"edges\":[");
+    for (i, (u, v)) in w.subgraph.edges().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_u64(&mut out, u as u64);
+        out.push(',');
+        push_u64(&mut out, v as u64);
+        out.push(']');
+    }
+    out.push_str("],\"test_nodes\":");
+    push_usize_array(&mut out, w.test_nodes.iter().copied());
+    out.push_str(",\"labels\":");
+    push_usize_array(&mut out, w.labels.iter().copied());
+    out.push_str("},\"level\":\"");
+    out.push_str(level_to_str(r.level));
+    out.push_str("\",\"nontrivial\":");
+    out.push_str(if r.nontrivial { "true" } else { "false" });
+    out.push_str(",\"stale\":");
+    out.push_str(if r.stale { "true" } else { "false" });
+    out.push_str(",\"stats\":{\"inference_calls\":");
+    push_u64(&mut out, r.stats.inference_calls as u64);
+    out.push_str(",\"disturbances_verified\":");
+    push_u64(&mut out, r.stats.disturbances_verified as u64);
+    out.push_str(",\"expand_rounds\":");
+    push_u64(&mut out, r.stats.expand_rounds as u64);
+    out.push_str(",\"elapsed_us\":");
+    push_u64(&mut out, r.stats.elapsed.as_micros() as u64);
+    out.push_str("}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Domain encodings
 // ---------------------------------------------------------------------------
 
@@ -494,10 +873,22 @@ pub fn witness_to_json(w: &Witness) -> Json {
 
 /// Decodes a [`Witness`].
 pub fn witness_from_json(value: &Json) -> Result<Witness, WireError> {
-    let nodes = usizes_from_json(value.field("nodes")?)?;
-    let edges = edges_from_json(value.field("edges")?)?;
-    let test_nodes = usizes_from_json(value.field("test_nodes")?)?;
-    let labels = usizes_from_json(value.field("labels")?)?;
+    witness_from_parts(
+        usizes_from_json(value.field("nodes")?)?,
+        edges_from_json(value.field("edges")?)?,
+        usizes_from_json(value.field("test_nodes")?)?,
+        usizes_from_json(value.field("labels")?)?,
+    )
+}
+
+/// Shared assembly + validation behind both witness decoders (tree and
+/// direct), so they accept and reject exactly the same payloads.
+fn witness_from_parts(
+    nodes: Vec<usize>,
+    edges: Vec<(usize, usize)>,
+    test_nodes: Vec<usize>,
+    labels: Vec<usize>,
+) -> Result<Witness, WireError> {
     if test_nodes.len() != labels.len() {
         return Err(WireError::decode(
             "test_nodes and labels must have equal length",
@@ -506,10 +897,7 @@ pub fn witness_from_json(value: &Json) -> Result<Witness, WireError> {
     if edges.iter().any(|&(u, v)| u == v) {
         return Err(WireError::decode("self-loop edge in witness"));
     }
-    let mut subgraph = EdgeSubgraph::from_edges(edges);
-    for v in nodes {
-        subgraph.add_node(v);
-    }
+    let subgraph = EdgeSubgraph::from_nodes_and_edges(nodes, edges);
     Ok(Witness::new(subgraph, test_nodes, labels))
 }
 
@@ -735,5 +1123,79 @@ mod tests {
         assert!(Json::Num(5.5).as_u64().is_err());
         assert!(Json::Num(-1.0).as_u64().is_err());
         assert!(Json::Str("5".into()).as_u64().is_err());
+    }
+
+    fn sample_generation() -> GenerationResult {
+        let mut subgraph = EdgeSubgraph::from_edges(vec![(0, 1), (1, 2), (2, 7)]);
+        subgraph.add_node(9);
+        GenerationResult {
+            witness: Witness::new(subgraph, vec![0, 7], vec![3, 1]),
+            level: WitnessLevel::Robust,
+            nontrivial: true,
+            stale: false,
+            stats: GenerationStats {
+                inference_calls: 12,
+                disturbances_verified: 4,
+                expand_rounds: 2,
+                elapsed: Duration::from_micros(357),
+            },
+        }
+    }
+
+    #[test]
+    fn direct_generation_codec_matches_the_tree_codec() {
+        let result = sample_generation();
+        // Same bytes out...
+        let body = generation_to_body(&result);
+        assert_eq!(body, generation_to_json(&result).encode());
+        // ...and both decoders accept them, agreeing with each other: the
+        // direct parse re-encodes to the identical body.
+        let direct = generation_from_body(&body).expect("direct parse");
+        assert_eq!(generation_to_body(&direct), body);
+        let tree = generation_from_json(&Json::parse(&body).expect("tree parse")).expect("decode");
+        assert_eq!(generation_to_body(&tree), body);
+        // Field order independence (a forward-compat guarantee the tree
+        // decoder already had).
+        let shuffled = "{\"stale\":false,\"level\":\"robust\",\"nontrivial\":true,\
+                        \"stats\":{\"elapsed_us\":357,\"expand_rounds\":2,\
+                        \"disturbances_verified\":4,\"inference_calls\":12},\
+                        \"witness\":{\"labels\":[3,1],\"test_nodes\":[0,7],\
+                        \"edges\":[[0,1],[1,2],[2,7]],\"nodes\":[0,1,2,7,9]}}";
+        let reordered = generation_from_body(shuffled).expect("reordered parse");
+        assert_eq!(generation_to_body(&reordered), body);
+    }
+
+    #[test]
+    fn direct_generation_parser_rejects_malformed_bodies() {
+        let body = generation_to_body(&sample_generation());
+        // Every truncation errors instead of panicking.
+        for cut in 0..body.len() {
+            assert!(generation_from_body(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        // Dropping any field is a decode error naming the field.
+        for field in ["witness", "level", "nontrivial", "stale", "stats"] {
+            let dropped = {
+                let json = Json::parse(&body).unwrap();
+                let Json::Obj(fields) = json else { panic!() };
+                Json::Obj(fields.into_iter().filter(|(k, _)| k != field).collect())
+            };
+            let err = generation_from_body(&dropped.encode()).expect_err("must reject");
+            assert!(err.to_string().contains(field), "{field}: {err}");
+        }
+        // The shared validators still fire through the direct path.
+        let self_loop = body.replace("[[0,1]", "[[1,1]");
+        assert!(generation_from_body(&self_loop)
+            .expect_err("self-loop")
+            .to_string()
+            .contains("self-loop"));
+        assert!(
+            generation_from_body(&body.replace("\"labels\":[3,1]", "\"labels\":[3]"))
+                .expect_err("length mismatch")
+                .to_string()
+                .contains("equal length")
+        );
+        assert!(generation_from_body("").is_err());
+        assert!(generation_from_body("{}").is_err());
+        assert!(generation_from_body(&format!("{body} trailing")).is_err());
     }
 }

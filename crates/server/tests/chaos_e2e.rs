@@ -15,7 +15,12 @@
 //!   warm hit, a session, a degraded serve, or a budget abort);
 //! * no invalid witness is served: once the plan's engine faults are
 //!   exhausted, `/generate` heals back to a non-stale witness that
-//!   re-verifies at its reported level.
+//!   re-verifies at its reported level;
+//! * the faults fire *mid-batch*: a single worker plus a start gate lines
+//!   the clients' first generates up behind the injected claim stall, so
+//!   the admission scheduler claims them as one micro-batch and the
+//!   `conn_drop`/`worker_panic`/write-side fires land on batch members —
+//!   the ledger must balance under batching exactly as it does per-request.
 //!
 //! Fires at limited probability-1 sites are exact (atomically claimed), which
 //! is what makes the ledger an equality rather than an inequality. The storm
@@ -29,7 +34,7 @@ use rcw_graph::Disturbance;
 use rcw_server::client::{Client, RetryPolicy};
 use rcw_server::faults::{self, FaultPlan};
 use rcw_server::{RcwServer, ServerConfig};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 /// Every server-side site is probability 1 with a firing limit, so the
@@ -100,26 +105,39 @@ fn run_storm(seed: u64, ds: &Dataset, appnp: &Appnp) {
         .with_fault_hook(plan.engine_hook());
     let server = RcwServer::bind("127.0.0.1:0").expect("bind");
     let addr = server.local_addr().to_string();
+    // A single worker: the injected read_stall wedges it on the very first
+    // claim, so the other clients' gate-synchronized first generates queue
+    // up and are claimed together as one micro-batch when the stall lifts —
+    // every fault site then fires on or around batch members.
     let config = ServerConfig::single(&engine)
-        .with_workers(3)
+        .with_workers(1)
         .with_queue_bound(8)
         .with_io_timeout(Duration::from_secs(2))
         .with_faults(Arc::clone(&plan));
 
     let edges = ds.graph.edge_vec();
+    let batch_gate = Arc::new(Barrier::new(3));
     let (report, ledger) = std::thread::scope(|scope| {
         let config_ref = &config;
         let server_thread = scope.spawn(move || server.serve_config(config_ref).expect("serve"));
 
         // Three retrying clients, each with its own query, so warm hits,
-        // sessions, and repairs all happen under fire.
+        // sessions, and repairs all happen under fire. The gate releases
+        // their first generates simultaneously (well inside the admission
+        // window of whichever becomes the batch head).
         let client_threads: Vec<_> = (0..3u64)
             .map(|tid| {
                 let addr = addr.clone();
                 let tests = ds.pick_test_nodes(2, seed.wrapping_add(tid));
+                let batch_gate = Arc::clone(&batch_gate);
                 scope.spawn(move || {
                     let mut ledger = ClientLedger::default();
-                    let mut client = match Client::connect(&addr) {
+                    let connected = Client::connect(&addr);
+                    // Every thread reaches the gate whether or not its
+                    // connect worked, so a failure can never wedge the
+                    // others on the barrier.
+                    batch_gate.wait();
+                    let mut client = match connected {
                         Ok(client) => client,
                         Err(e) => {
                             ledger.failures.push(format!("client {tid} connect: {e}"));
@@ -187,19 +205,28 @@ fn run_storm(seed: u64, ds: &Dataset, appnp: &Appnp) {
                 .push("witness never healed after the storm".into()),
         }
 
-        // The wire-visible restart counter must already agree with the plan.
+        // The wire-visible restart and batching counters must already agree
+        // with the plan and the gate.
         match drain.request("GET", "/stats", None) {
             Ok((200, body)) => {
                 ledger.answered += 1;
-                let restarts = body
-                    .field("server")
-                    .and_then(|s| s.field("worker_restarts"))
+                let server_obj = body.field("server").expect("server object");
+                let restarts = server_obj
+                    .field("worker_restarts")
                     .and_then(|r| r.as_u64())
                     .expect("server.worker_restarts on the wire");
                 assert_eq!(
                     restarts as usize,
                     plan.fired(faults::SITE_WORKER_PANIC),
                     "seed {seed}: /stats restart count"
+                );
+                let batches = server_obj
+                    .field("batches_formed")
+                    .and_then(|b| b.as_u64())
+                    .expect("server.batches_formed on the wire");
+                assert!(
+                    batches >= 1,
+                    "seed {seed}: the gated first generates never formed a micro-batch"
                 );
             }
             other => ledger.failures.push(format!("raw stats: {other:?}")),
@@ -240,6 +267,10 @@ fn run_storm(seed: u64, ds: &Dataset, appnp: &Appnp) {
         report.worker_restarts,
         plan.fired(faults::SITE_WORKER_PANIC),
         "seed {seed}: every injected panic respawned its worker"
+    );
+    assert!(
+        report.batches_formed >= 1,
+        "seed {seed}: the storm must exercise the mid-batch fault paths"
     );
 
     // Engine conservation law: every query the engine processed is exactly

@@ -1,12 +1,16 @@
 //! Overload acceptance test: a 1-worker server with a queue bound of 1 sheds
-//! excess connections with `429` and rejects expired deadlines with `503`,
-//! both round-tripping through the blocking client as typed protocol errors,
-//! with exact request accounting in the final [`rcw_server::ServeReport`].
+//! excess requests with `429` through the event loop's write path and
+//! rejects expired deadlines with `503`, both round-tripping through the
+//! blocking client as typed protocol errors, with exact request accounting
+//! in the final [`rcw_server::ServeReport`].
 
 use rcw_core::{RcwConfig, WitnessEngine};
 use rcw_datasets::{citeseer, Scale};
 use rcw_server::client::{Client, ClientError};
+use rcw_server::faults::FaultPlan;
 use rcw_server::{RcwServer, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,6 +35,26 @@ fn expect_status(result: Result<impl std::fmt::Debug, ClientError>, status: u16)
     }
 }
 
+/// Reads from a raw socket until the buffered bytes contain `marker`.
+fn read_until(stream: &mut TcpStream, marker: &str) -> String {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        if text.contains(marker) {
+            return text;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("peer closed before {marker:?} arrived; got {text:?}"),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read failed waiting for {marker:?}: {e}; got {text:?}"),
+        }
+    }
+}
+
 #[test]
 fn saturated_server_sheds_429_and_expired_deadlines_get_503() {
     let ds = citeseer::build(Scale::Tiny, 9);
@@ -39,25 +63,36 @@ fn saturated_server_sheds_429_and_expired_deadlines_get_503() {
     let server = RcwServer::bind("127.0.0.1:0").expect("bind");
     let addr = server.local_addr().to_string();
     // The smallest possible server: one worker, one queue slot, no default
-    // deadline. Overload behavior is then fully deterministic.
+    // deadline, and an injected stall that wedges the worker on its first
+    // claim. Overload behavior is then fully deterministic: the stalled
+    // claim holds the worker, one request occupies the single queue slot,
+    // and everything after that is shed at admission.
+    let stall = FaultPlan::parse("read_stall=1@1", 0).expect("fault spec");
     let config = ServerConfig::single(&engine)
         .with_workers(1)
-        .with_queue_bound(1);
+        .with_queue_bound(1)
+        .with_faults(Arc::new(stall));
 
     let report = std::thread::scope(|scope| {
         let config_ref = &config;
         let server_thread = scope.spawn(move || server.serve_config(config_ref).expect("serve"));
 
-        // Pin the only worker: connection A is dispatched immediately (the
-        // worker blocks reading its first request, which we delay sending).
-        let mut a = Client::connect(&addr).expect("connect a");
-        std::thread::sleep(Duration::from_millis(250));
-        // B occupies the single queue slot.
-        let mut b = Client::connect(&addr).expect("connect b");
-        std::thread::sleep(Duration::from_millis(250));
+        // Pin the only worker: A's request is admitted and claimed, and the
+        // injected stall sits on it. Raw sockets, because a blocking client
+        // would wait for the response here.
+        let mut a = TcpStream::connect(&addr).expect("connect a");
+        a.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .expect("send a");
+        std::thread::sleep(Duration::from_millis(80));
+        // B occupies the single queue slot while the worker is stalled.
+        let mut b = TcpStream::connect(&addr).expect("connect b");
+        b.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .expect("send b");
+        std::thread::sleep(Duration::from_millis(40));
 
-        // The pool is busy and the queue is full: the next two connections
-        // are shed with 429, and the wire error carries queue-depth stats.
+        // The worker is stalled and the queue is full: the next two
+        // requests are shed with 429 through the event loop's write path,
+        // and the wire error carries queue-depth stats.
         for _ in 0..2 {
             let mut shed = Client::connect(&addr).expect("connect shed");
             let message = expect_status(shed.generate(&[0]), 429);
@@ -74,11 +109,17 @@ fn saturated_server_sheds_429_and_expired_deadlines_get_503() {
             );
         }
 
-        // Release the worker: A's delayed request is served normally, then
-        // (A closed) the worker drains B from the queue.
-        a.healthz().expect("a served after the stall");
+        // The stall ends: A's claim finishes normally, then the worker
+        // drains B from the queue.
+        assert!(
+            read_until(&mut a, "\"ok\"").starts_with("HTTP/1.1 200"),
+            "a served after the stall"
+        );
         drop(a);
-        b.healthz().expect("b served from the queue");
+        assert!(
+            read_until(&mut b, "\"ok\"").starts_with("HTTP/1.1 200"),
+            "b served from the queue"
+        );
         drop(b);
 
         // Deadline path: a zero-millisecond deadline is already expired
@@ -120,13 +161,15 @@ fn saturated_server_sheds_429_and_expired_deadlines_get_503() {
         server_thread.join().expect("server thread")
     });
 
-    // Exact accounting: a, b, d were dispatched to the pool; the two shed
-    // connections were not. The pool answered a:1 + b:1 + d:(503 generate,
-    // healthz, stats, raw stats, shutdown) = 7 requests in total.
+    // Exact accounting: a, b, d had requests admitted; the two shed
+    // connections never did. The pool answered a:1 + b:1 + d:(503 generate,
+    // healthz, stats, raw stats, shutdown) = 7 requests in total, and no
+    // two of them were ever claimable together.
     assert_eq!(report.connections, 3);
     assert_eq!(report.overloaded, 2);
     assert_eq!(report.deadline_rejections, 1);
     assert_eq!(report.requests_total(), 7);
+    assert_eq!(report.batches_formed, 0);
 }
 
 #[test]

@@ -160,6 +160,60 @@ fn shared_ball_margin_batch_equals_per_view_margins() {
 }
 
 #[test]
+fn union_ball_predict_many_equals_per_node_predict() {
+    // predict_many_with runs one forward pass over the union receptive-field
+    // ball of the whole batch; it must be bit-exact against per-node
+    // predict_with for every model family, under all three view kinds,
+    // including duplicate centers and batches whose balls overlap.
+    let mut batch_scratch = KernelScratch::default();
+    let mut single_scratch = KernelScratch::default();
+    for seed in 0u64..4 {
+        let g = sbm_graph(seed);
+        let n = g.num_nodes();
+        let edges = g.edge_vec();
+        let witness: EdgeSet = edges.iter().copied().step_by(5).take(8).collect();
+        let views = [
+            GraphView::full(&g),
+            GraphView::without(&g, &witness),
+            GraphView::restricted_to(&g, &witness),
+        ];
+        let batches: Vec<Vec<NodeId>> = vec![
+            vec![0],
+            vec![0, n / 2],
+            vec![n - 1, 0, n / 3, n / 2],
+            vec![1, 1, 2], // duplicates collapse in the union ball
+        ];
+        for view in &views {
+            for (name, model) in models(seed) {
+                for centers in &batches {
+                    let batched = model
+                        .predict_many_with(centers, view, &mut batch_scratch)
+                        .expect("valid centers");
+                    for (i, &v) in centers.iter().enumerate() {
+                        let single = model.predict_with(v, view, &mut single_scratch);
+                        assert_eq!(
+                            Some(batched[i]),
+                            single,
+                            "{name}: seed {seed}, batch {centers:?}, node {v}: \
+                             union-ball predict differs from per-node predict"
+                        );
+                    }
+                }
+                // invalid center and empty batch edge cases
+                assert_eq!(
+                    model.predict_many_with(&[n + 5], view, &mut batch_scratch),
+                    None
+                );
+                assert_eq!(
+                    model.predict_many_with(&[], view, &mut batch_scratch),
+                    Some(Vec::new())
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn one_scratch_reused_across_models_views_and_nodes_stays_exact() {
     // The zero-allocation entry points thread one KernelScratch through every
     // call; reusing the same scratch across different models, views, nodes
