@@ -18,9 +18,16 @@ fn main() {
     }
     group.finish();
 
-    let ctx = ExperimentContext::prepare("reddit", Scale::Tiny, 3);
+    // CI runs the tiny scale; `RCW_FIG4_SCALE=full` reproduces the
+    // parallel-scaling table recorded in the README (§ experiments).
+    let (scale, samples) = match std::env::var("RCW_FIG4_SCALE").as_deref() {
+        Ok("full") => (Scale::Full, 3),
+        Ok("small") => (Scale::Small, 5),
+        _ => (Scale::Tiny, 10),
+    };
+    let ctx = ExperimentContext::prepare("reddit", scale, 3);
     let tests = ctx.dataset.pick_test_nodes(3, 13);
-    let mut group = BenchGroup::new("fig4d_parallel_scaling", 10);
+    let mut group = BenchGroup::new("fig4d_parallel_scaling", samples);
     for workers in [1usize, 2, 4] {
         let cfg = ctx.rcw_config(2);
         group.bench(format!("workers/{workers}"), || {

@@ -1,0 +1,132 @@
+//! Sharded-engine scaling: how generate and disturb costs move as the graph
+//! is cut into more shards, against the CiteSeer stand-in.
+//!
+//! Shards answer queries on their halo subgraph, so per-session inference and
+//! verification run over a fraction of the full graph; the benchmark tracks
+//! that effect at 1, 2 and 4 shards for cold engines, warm steady state, and
+//! disturb fan-out. Results land in `BENCH_shard.json` for the CI gate. Note
+//! the scaling here is *work-per-query* scaling on one core — shard engines
+//! are independent, so multi-core deployments additionally parallelize
+//! across shards.
+
+use rcw_bench::timing::BenchGroup;
+use rcw_core::{RcwConfig, WitnessEngine};
+use rcw_datasets::{citeseer, Scale};
+use rcw_gnn::GnnModel;
+use rcw_graph::{Disturbance, Edge};
+use rcw_shard::{RoutePolicy, ShardedEngine};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench_cfg() -> RcwConfig {
+    RcwConfig {
+        k: 2,
+        local_budget: 2,
+        candidate_hops: 2,
+        sampled_disturbances: 6,
+        exhaustive_limit: 8,
+        max_expand_rounds: 3,
+        ..RcwConfig::default()
+    }
+}
+
+fn main() {
+    let samples = 5;
+    let mut group = BenchGroup::new("shard: scaling with shard count", samples);
+
+    let ds = citeseer::build(Scale::Small, 7);
+    let gcn = ds.train_gcn(24, 7);
+    let model = &gcn as &dyn GnnModel;
+    let graph = Arc::new(ds.graph.clone());
+    let cfg = bench_cfg();
+    let halo = RoutePolicy::for_model(model, &cfg).ball_radius;
+    let queries: Vec<Vec<usize>> = ds
+        .pick_test_nodes(8, 13)
+        .into_iter()
+        .map(|t| vec![t])
+        .collect();
+    println!(
+        "citeseer/small: |V|={}, |E|={}, halo L={halo}, {} single-node queries",
+        graph.num_nodes(),
+        graph.num_edges(),
+        queries.len()
+    );
+
+    let mut warm_ns: Vec<(usize, f64)> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        // Cold: fresh sharded engine (partition + halo extraction included),
+        // then the full query set generated from scratch.
+        group.bench(format!("generate/{shards}-shards/cold"), || {
+            let engine = ShardedEngine::new(Arc::clone(&graph), model, cfg.clone(), shards, halo);
+            let mut calls = 0usize;
+            for q in &queries {
+                calls += engine.generate(q).stats.inference_calls;
+            }
+            calls
+        });
+
+        // Warm steady state on a persistent engine.
+        let engine = ShardedEngine::new(Arc::clone(&graph), model, cfg.clone(), shards, halo);
+        for q in &queries {
+            engine.generate(q);
+        }
+        group.bench(format!("generate/{shards}-shards/warm"), || {
+            let mut nontrivial = 0usize;
+            for q in &queries {
+                nontrivial += engine.generate(q).nontrivial as usize;
+            }
+            nontrivial
+        });
+        let t = Instant::now();
+        for q in &queries {
+            std::hint::black_box(engine.generate(q));
+        }
+        warm_ns.push((shards, t.elapsed().as_nanos() as f64));
+
+        // Disturb fan-out: toggle one intra-fragment edge back and forth so
+        // every sample sees the same graph. Each engine covering the edge
+        // applies the flip and repairs its stored witnesses.
+        let plan = engine.plan();
+        let flip: Edge = graph
+            .edges()
+            .find(|&(u, v)| plan.partition.owner[u] == plan.partition.owner[v])
+            .expect("an intra-fragment edge exists");
+        let d = [Disturbance::from_pairs([flip])];
+        group.bench(format!("disturb/{shards}-shards/fanout-repair"), || {
+            let report = engine.disturb(&d);
+            report.flips_applied
+        });
+
+        let stats = engine.shard_stats();
+        println!(
+            "{shards} shards: routed {} / escaped {} of {} queries",
+            stats.routed, stats.halo_escapes, stats.queries
+        );
+    }
+
+    // Reference point: the pre-shard single WitnessEngine on the full graph.
+    let single = WitnessEngine::new(Arc::clone(&graph), model, cfg.clone());
+    for q in &queries {
+        single.generate(q);
+    }
+    group.bench("generate/single-engine/warm", || {
+        let mut nontrivial = 0usize;
+        for q in &queries {
+            nontrivial += single.generate(q).nontrivial as usize;
+        }
+        nontrivial
+    });
+
+    group.finish();
+    if let (Some((_, one)), Some((_, four))) = (
+        warm_ns.iter().find(|(s, _)| *s == 1),
+        warm_ns.iter().find(|(s, _)| *s == 4),
+    ) {
+        println!(
+            "warm-throughput scaling: 4 shards vs 1 shard = {:.2}x (one core; shards also parallelize across cores)",
+            one / four.max(1.0)
+        );
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    group.write_json(path);
+}

@@ -528,18 +528,22 @@ pub(crate) fn run_parallel<M: VerifiableModel + ?Sized>(
             .into_iter()
             .filter(|&(u, v)| !verified_pairs.is_marked(u, v))
             .collect();
-        let per_worker: Vec<Vec<Edge>> = (0..active_workers)
-            .map(|w| {
-                fresh
-                    .iter()
-                    .copied()
-                    .filter(|&(u, v)| {
-                        let frag = &partition.fragments[w];
-                        frag.owns(u) || frag.owns(v)
-                    })
-                    .collect()
-            })
-            .collect();
+        // Each pair is searched by exactly one worker. Intra-fragment pairs
+        // go to their owner; cross-fragment pairs go to whichever owning
+        // worker currently holds fewer pairs. (Giving cross pairs to both
+        // owners would duplicate the search, and hood-concentrated
+        // candidates would pile every pair onto one worker.)
+        let mut per_worker: Vec<Vec<Edge>> = vec![Vec::new(); active_workers];
+        for &(u, v) in &fresh {
+            let wu = partition.owner.get(u).copied().unwrap_or(0) % active_workers;
+            let wv = partition.owner.get(v).copied().unwrap_or(0) % active_workers;
+            let w = if per_worker[wu].len() <= per_worker[wv].len() {
+                wu
+            } else {
+                wv
+            };
+            per_worker[w].push((u, v));
+        }
         // Each worker is additionally responsible only for the test nodes
         // its fragment owns (falling back to round-robin so every test
         // node has exactly one responsible worker).

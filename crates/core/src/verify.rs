@@ -14,7 +14,7 @@ use crate::config::RcwConfig;
 use crate::witness::{VerifyOutcome, Witness, WitnessLevel};
 use rcw_gnn::{GnnModel, KernelScratch};
 use rcw_graph::{
-    disturbance::{enumerate_disturbances_up_to, random_disturbance},
+    disturbance::{enumerate_disturbances_up_to, random_disturbance_from},
     traversal::k_hop_neighborhood_multi,
     Edge, EdgeSet, Graph, GraphView,
 };
@@ -367,14 +367,18 @@ fn verify_rcw_impl(
             .map(|d| d.pairs().clone())
             .collect()
     } else {
+        // Sample from the hood-local candidate pool, not the whole graph: a
+        // flip far from every test node cannot move a localized margin, so
+        // global draws only waste checks — and pool-local draws make the
+        // verdict a function of the query's neighborhood alone, which the
+        // sharded tier relies on for bit-exact shard answers.
         (0..cfg.sampled_disturbances)
             .map(|i| {
-                random_disturbance(
-                    graph,
+                random_disturbance_from(
+                    &candidates,
                     witness.edges(),
                     cfg.k,
                     cfg.local_budget,
-                    cfg.strategy,
                     cfg.seed.wrapping_add(i as u64),
                 )
                 .pairs()

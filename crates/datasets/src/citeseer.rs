@@ -32,73 +32,20 @@ pub const REAL_DATA_ENV: &str = "RCW_CITESEER_PATH";
 /// invalidate the experiment.
 pub fn build(scale: Scale, seed: u64) -> Dataset {
     #[cfg(feature = "real-data")]
-    {
-        let path =
-            std::env::var(REAL_DATA_ENV).unwrap_or_else(|_| "data/citeseer.graph".to_string());
-        if std::path::Path::new(&path).exists() {
-            return build_from_file(&path, seed)
-                .unwrap_or_else(|e| panic!("real-data CiteSeer at '{path}': {e}"));
-        }
+    if let Some(path) = crate::loader::real_data_path(REAL_DATA_ENV, "data/citeseer.graph") {
+        return build_from_file(&path, seed)
+            .unwrap_or_else(|e| panic!("real-data CiteSeer at '{path}': {e}"));
     }
     build_synthetic(scale, seed)
 }
 
-/// Why an on-disk dataset could not be loaded.
-#[derive(Debug)]
-pub enum LoadError {
-    /// The file could not be read.
-    Io(std::io::Error),
-    /// The file is not valid [`rcw_graph::io`] text.
-    Parse(rcw_graph::io::ParseError),
-    /// The graph parsed but cannot back a classification dataset.
-    Invalid(String),
-}
-
-impl std::fmt::Display for LoadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LoadError::Io(e) => write!(f, "io error: {e}"),
-            LoadError::Parse(e) => write!(f, "parse error: {e}"),
-            LoadError::Invalid(message) => write!(f, "invalid dataset: {message}"),
-        }
-    }
-}
-
-impl std::error::Error for LoadError {}
+pub use crate::loader::LoadError;
 
 /// Loads a CiteSeer-shaped dataset from an [`rcw_graph::io`] text file: an
 /// attributed, labeled citation graph with the standard 60/40 train/test
 /// split drawn deterministically from `seed`.
 pub fn build_from_file(path: &str, seed: u64) -> Result<Dataset, LoadError> {
-    let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
-    let graph = rcw_graph::io::graph_from_text(&text).map_err(LoadError::Parse)?;
-    if graph.num_nodes() == 0 {
-        return Err(LoadError::Invalid("graph has no nodes".to_string()));
-    }
-    if graph.feature_dim() == 0 {
-        return Err(LoadError::Invalid("nodes carry no features".to_string()));
-    }
-    let labeled = graph
-        .node_ids()
-        .filter(|&v| graph.label(v).is_some())
-        .count();
-    if labeled < 2 {
-        return Err(LoadError::Invalid(format!(
-            "need at least 2 labeled nodes for a split, found {labeled}"
-        )));
-    }
-    if graph.num_classes() < 2 {
-        return Err(LoadError::Invalid(
-            "need at least 2 label classes".to_string(),
-        ));
-    }
-    let (train_nodes, test_pool) = split(&graph, 0.6, seed);
-    Ok(Dataset {
-        name: "CiteSeer".to_string(),
-        graph,
-        train_nodes,
-        test_pool,
-    })
+    crate::loader::load_labeled_graph(path, "CiteSeer", 0.6, seed)
 }
 
 /// Builds the synthetic CiteSeer stand-in at the given scale.

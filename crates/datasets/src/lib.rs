@@ -22,10 +22,13 @@
 
 pub mod bahouse;
 pub mod citeseer;
+pub mod loader;
 pub mod molecules;
 pub mod ppi;
 pub mod provenance;
 pub mod reddit;
+
+pub use loader::LoadError;
 
 use rcw_gnn::{Appnp, Gcn, GnnModel, TrainConfig};
 use rcw_graph::{Graph, GraphView, NodeId};

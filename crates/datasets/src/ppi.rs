@@ -5,6 +5,7 @@
 //! community graph (proteins in the same functional module interact heavily)
 //! with continuous "signature" features correlated with the module.
 
+use crate::loader::LoadError;
 use crate::{split, Dataset, Scale};
 use rcw_graph::generators::{ensure_connected, stochastic_block_model};
 use rcw_linalg::rng::Rng;
@@ -14,8 +15,36 @@ pub const NUM_MODULES: usize = 5;
 /// Feature dimensionality (the real PPI uses 50).
 pub const FEATURE_DIM: usize = 32;
 
-/// Builds the PPI-like dataset at the given scale.
+/// Environment variable naming the on-disk PPI file consulted by the
+/// `real-data` feature (default: `data/ppi.graph` under the working
+/// directory). The file uses the [`rcw_graph::io`] text format.
+pub const REAL_DATA_ENV: &str = "RCW_PPI_PATH";
+
+/// Builds the PPI dataset at the given scale.
+///
+/// With the `real-data` feature enabled, the on-disk graph named by
+/// [`REAL_DATA_ENV`] is loaded first (at its native size — `scale` applies
+/// only to the synthetic stand-in); when the file is absent the synthetic
+/// stand-in is built instead. A file that exists but fails to load is a hard
+/// error, not a silent fallback.
 pub fn build(scale: Scale, seed: u64) -> Dataset {
+    #[cfg(feature = "real-data")]
+    if let Some(path) = crate::loader::real_data_path(REAL_DATA_ENV, "data/ppi.graph") {
+        return build_from_file(&path, seed)
+            .unwrap_or_else(|e| panic!("real-data PPI at '{path}': {e}"));
+    }
+    build_synthetic(scale, seed)
+}
+
+/// Loads a PPI-shaped dataset from an [`rcw_graph::io`] text file: an
+/// attributed protein-interaction graph labeled with functional modules,
+/// split 60/40 deterministically from `seed`.
+pub fn build_from_file(path: &str, seed: u64) -> Result<Dataset, LoadError> {
+    crate::loader::load_labeled_graph(path, "PPI", 0.6, seed)
+}
+
+/// Builds the synthetic PPI stand-in at the given scale.
+pub fn build_synthetic(scale: Scale, seed: u64) -> Dataset {
     let per_module = match scale {
         Scale::Tiny => 14,
         Scale::Small => 60,
@@ -88,5 +117,52 @@ mod tests {
         let a = build(Scale::Tiny, 11);
         let b = build(Scale::Tiny, 11);
         assert_eq!(a.graph.edge_vec(), b.graph.edge_vec());
+    }
+
+    #[test]
+    fn build_from_file_loads_and_splits() {
+        let mut g = rcw_graph::Graph::new();
+        for i in 0..12 {
+            let module = i % 3;
+            let mut feats = vec![0.0; 6];
+            feats[module] = 1.0;
+            g.add_labeled_node(feats, module);
+        }
+        for i in 0..11 {
+            g.add_edge(i, i + 1);
+        }
+        let path = std::env::temp_dir().join(format!("rcw-ppi-ok-{}.graph", std::process::id()));
+        std::fs::write(&path, rcw_graph::io::graph_to_text(&g)).expect("write temp graph");
+        let ds = build_from_file(path.to_str().unwrap(), 5).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ds.name, "PPI");
+        assert_eq!(ds.graph.num_nodes(), 12);
+        assert_eq!(ds.num_classes(), 3);
+        assert!(!ds.train_nodes.is_empty());
+        assert!(!ds.test_pool.is_empty());
+    }
+
+    #[test]
+    fn build_from_file_rejects_missing_and_garbage() {
+        assert!(matches!(
+            build_from_file("/nonexistent/rcw-ppi.graph", 1),
+            Err(LoadError::Io(_))
+        ));
+        let garbage =
+            std::env::temp_dir().join(format!("rcw-ppi-garbage-{}.graph", std::process::id()));
+        std::fs::write(&garbage, "not the io format\n").unwrap();
+        let err = build_from_file(garbage.to_str().unwrap(), 1);
+        std::fs::remove_file(&garbage).ok();
+        assert!(matches!(err, Err(LoadError::Parse(_))));
+    }
+
+    #[cfg(feature = "real-data")]
+    #[test]
+    fn real_data_build_falls_back_when_the_file_is_absent() {
+        if std::env::var(REAL_DATA_ENV).is_err() && !std::path::Path::new("data/ppi.graph").exists()
+        {
+            let ds = build(Scale::Tiny, 3);
+            assert_eq!(ds.name, "PPI-syn");
+        }
     }
 }

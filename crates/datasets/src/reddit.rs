@@ -7,6 +7,7 @@
 //! still runs on one machine. Absolute times differ from the paper; the
 //! scaling trend with worker count is what the experiment regenerates.
 
+use crate::loader::LoadError;
 use crate::{split, Dataset, Scale};
 use rcw_graph::generators::{ensure_connected, powerlaw_community_graph};
 use rcw_linalg::rng::Rng;
@@ -14,8 +15,37 @@ use rcw_linalg::rng::Rng;
 /// Feature dimensionality (the real Reddit uses 602-dim word vectors).
 pub const FEATURE_DIM: usize = 24;
 
-/// Builds the Reddit-like dataset at the given scale.
+/// Environment variable naming the on-disk Reddit file consulted by the
+/// `real-data` feature (default: `data/reddit.graph` under the working
+/// directory). The file uses the [`rcw_graph::io`] text format.
+pub const REAL_DATA_ENV: &str = "RCW_REDDIT_PATH";
+
+/// Builds the Reddit dataset at the given scale.
+///
+/// With the `real-data` feature enabled, the on-disk graph named by
+/// [`REAL_DATA_ENV`] is loaded first (at its native size — `scale` applies
+/// only to the synthetic stand-in); when the file is absent the synthetic
+/// stand-in is built instead. A file that exists but fails to load is a hard
+/// error, not a silent fallback.
 pub fn build(scale: Scale, seed: u64) -> Dataset {
+    #[cfg(feature = "real-data")]
+    if let Some(path) = crate::loader::real_data_path(REAL_DATA_ENV, "data/reddit.graph") {
+        return build_from_file(&path, seed)
+            .unwrap_or_else(|e| panic!("real-data Reddit at '{path}': {e}"));
+    }
+    build_synthetic(scale, seed)
+}
+
+/// Loads a Reddit-shaped dataset from an [`rcw_graph::io`] text file: an
+/// attributed post graph labeled with communities, split 50/50
+/// deterministically from `seed` (the community count is whatever the file
+/// carries — the real graph has 41).
+pub fn build_from_file(path: &str, seed: u64) -> Result<Dataset, LoadError> {
+    crate::loader::load_labeled_graph(path, "Reddit", 0.5, seed)
+}
+
+/// Builds the synthetic Reddit stand-in at the given scale.
+pub fn build_synthetic(scale: Scale, seed: u64) -> Dataset {
     let (num_communities, community_size, m, inter) = match scale {
         Scale::Tiny => (4, 20, 2, 0.2),
         Scale::Small => (8, 80, 3, 0.3),
@@ -76,5 +106,56 @@ mod tests {
         let ds = build(Scale::Full, 0);
         assert!(ds.graph.num_nodes() >= 4000);
         assert!(ds.graph.num_edges() > ds.graph.num_nodes());
+    }
+
+    #[test]
+    fn build_from_file_loads_and_splits() {
+        let mut g = rcw_graph::Graph::new();
+        for i in 0..10 {
+            let community = i % 2;
+            let mut feats = vec![0.0; 4];
+            feats[community] = 1.0;
+            g.add_labeled_node(feats, community);
+        }
+        for i in 0..9 {
+            g.add_edge(i, i + 1);
+        }
+        let path = std::env::temp_dir().join(format!("rcw-reddit-ok-{}.graph", std::process::id()));
+        std::fs::write(&path, rcw_graph::io::graph_to_text(&g)).expect("write temp graph");
+        let ds = build_from_file(path.to_str().unwrap(), 5).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ds.name, "Reddit");
+        assert_eq!(ds.graph.num_nodes(), 10);
+        assert_eq!(ds.num_classes(), 2);
+        assert!(!ds.train_nodes.is_empty());
+        assert!(!ds.test_pool.is_empty());
+        for t in &ds.test_pool {
+            assert!(!ds.train_nodes.contains(t), "split must be disjoint");
+        }
+    }
+
+    #[test]
+    fn build_from_file_rejects_unlabeled_graphs() {
+        let mut g = rcw_graph::Graph::with_nodes(4);
+        for v in 0..4 {
+            g.set_features(v, vec![1.0]);
+        }
+        let path =
+            std::env::temp_dir().join(format!("rcw-reddit-unlabeled-{}.graph", std::process::id()));
+        std::fs::write(&path, rcw_graph::io::graph_to_text(&g)).expect("write temp graph");
+        let err = build_from_file(path.to_str().unwrap(), 1);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, Err(LoadError::Invalid(_))));
+    }
+
+    #[cfg(feature = "real-data")]
+    #[test]
+    fn real_data_build_falls_back_when_the_file_is_absent() {
+        if std::env::var(REAL_DATA_ENV).is_err()
+            && !std::path::Path::new("data/reddit.graph").exists()
+        {
+            let ds = build(Scale::Tiny, 3);
+            assert_eq!(ds.name, "Reddit-syn");
+        }
     }
 }

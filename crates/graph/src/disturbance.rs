@@ -202,6 +202,48 @@ pub fn random_disturbance(
     d
 }
 
+/// Samples a random (k, b)-disturbance from an explicit candidate pool
+/// instead of the whole graph. The pool is what encodes the strategy (a
+/// removal-only pool simply contains no non-edges). Deterministic for a given
+/// seed, and — unlike [`random_disturbance`] — a function of the pool alone:
+/// two graphs that agree on the pool's neighborhood draw identical
+/// disturbances, which is what lets a shard engine reproduce the full-graph
+/// verifier bit-exactly.
+pub fn random_disturbance_from(
+    candidates: &[Edge],
+    protected: &EdgeSet,
+    k: usize,
+    b: usize,
+    seed: u64,
+) -> Disturbance {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut pool: Vec<Edge> = candidates
+        .iter()
+        .copied()
+        .filter(|&(u, v)| !protected.contains(u, v))
+        .collect();
+    pool.shuffle(&mut rng);
+    let mut d = Disturbance::new();
+    let mut local: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for (u, v) in pool {
+        if d.len() >= k {
+            break;
+        }
+        if b > 0 {
+            let cu = *local.get(&u).unwrap_or(&0);
+            let cv = *local.get(&v).unwrap_or(&0);
+            if cu >= b || cv >= b {
+                continue;
+            }
+        }
+        if d.add(u, v) {
+            *local.entry(u).or_insert(0) += 1;
+            *local.entry(v).or_insert(0) += 1;
+        }
+    }
+    d
+}
+
 /// Enumerates *all* disturbances of exactly `j` pairs drawn from `candidates`.
 /// Used by the exhaustive (NP-hard) verifier on small graphs and in tests.
 /// The number of results is `C(|candidates|, j)`; callers must keep inputs small.

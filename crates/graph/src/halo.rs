@@ -1,0 +1,239 @@
+//! Shard materialization: per-fragment subgraphs with L-hop halo rings.
+//!
+//! The sharded serving tier cuts a host graph with [`edge_cut_partition`]
+//! and runs one witness engine per fragment. Each engine needs a concrete
+//! [`Graph`] to operate on, not just a node set, so this module turns a
+//! [`Fragment`] into a [`HaloShard`]: the subgraph induced on the fragment's
+//! visible nodes (owned plus the replicated k-hop halo), kept in the host's
+//! node-id space so every downstream computation — CSR construction,
+//! neighborhood iteration, feature lookup — is bit-identical to the same
+//! computation on the full graph restricted to that region.
+//!
+//! Halo nodes carry features (local inference reads them) but are not
+//! servable: queries are routed by *ownership*, and the halo only exists so
+//! an owned node's receptive field is complete without cross-shard
+//! communication. Nodes outside the shard exist as isolated, featureless
+//! vertices — identity preservation over compactness — and a compact
+//! remapped view with id translation tables is available via
+//! [`HaloShard::compact`] for callers that want dense storage.
+
+use crate::edge::Edge;
+use crate::graph::{Graph, NodeId};
+use crate::partition::{Fragment, Partition};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One shard of a halo-partitioned graph: the subgraph induced on a
+/// fragment's visible nodes, in host node-id space, plus id remap tables
+/// for the compact view.
+#[derive(Clone, Debug)]
+pub struct HaloShard {
+    /// Fragment index this shard was cut from.
+    pub id: usize,
+    /// Nodes this shard owns (servable: queries for these route here).
+    pub owned: BTreeSet<NodeId>,
+    /// All nodes visible to the shard: owned plus the halo ring. Only
+    /// these carry features/labels in `graph`.
+    pub covered: BTreeSet<NodeId>,
+    /// The induced subgraph in host id space: `host.num_nodes()` vertices,
+    /// edges with both endpoints in `covered`, features and labels only on
+    /// covered nodes. Nodes outside `covered` are isolated and featureless.
+    pub graph: Graph,
+    /// Compact-local → host id (sorted ascending, one entry per covered node).
+    pub global_of: Vec<NodeId>,
+    /// Host id → compact-local index (inverse of `global_of`).
+    pub local_of: BTreeMap<NodeId, usize>,
+}
+
+impl HaloShard {
+    /// Whether this shard owns `v` (i.e. serves queries for it).
+    pub fn owns(&self, v: NodeId) -> bool {
+        self.owned.contains(&v)
+    }
+
+    /// Whether `v` is visible to this shard (owned or halo).
+    pub fn covers(&self, v: NodeId) -> bool {
+        self.covered.contains(&v)
+    }
+
+    /// Halo ring: covered nodes that are not owned.
+    pub fn halo(&self) -> BTreeSet<NodeId> {
+        self.covered.difference(&self.owned).copied().collect()
+    }
+
+    /// Number of edges in the induced shard graph.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Dense remapped copy of the shard: `covered.len()` vertices indexed by
+    /// compact-local ids (`global_of`/`local_of` translate). Same edges,
+    /// features and labels as `graph`, without the isolated out-of-shard
+    /// vertices.
+    pub fn compact(&self) -> Graph {
+        let mut g = Graph::with_nodes(self.global_of.len());
+        for (local, &global) in self.global_of.iter().enumerate() {
+            let feats = self.graph.features(global);
+            if !feats.is_empty() {
+                g.set_features(local, feats.to_vec());
+            }
+            if let Some(l) = self.graph.label(global) {
+                g.set_label(local, l);
+            }
+        }
+        for (u, v) in self.graph.edges() {
+            g.add_edge(self.local_of[&u], self.local_of[&v]);
+        }
+        g
+    }
+}
+
+/// Materializes one fragment of `host` into a [`HaloShard`].
+///
+/// The shard graph keeps `host`'s full node-id space and contains exactly
+/// the edges of `host` with both endpoints in `fragment.nodes`. Features and
+/// labels are copied for visible nodes only, so a forward pass whose
+/// receptive field stays inside the shard reads exactly the same values it
+/// would on `host` — the bit-exactness contract of the sharded tier.
+pub fn extract_halo_shard(host: &Graph, fragment: &Fragment) -> HaloShard {
+    let mut graph = Graph::with_nodes(host.num_nodes());
+    for &v in &fragment.nodes {
+        let feats = host.features(v);
+        if !feats.is_empty() {
+            graph.set_features(v, feats.to_vec());
+        }
+        if let Some(l) = host.label(v) {
+            graph.set_label(v, l);
+        }
+    }
+    for &(u, v) in &fragment.edges {
+        graph.add_edge(u, v);
+    }
+    let global_of: Vec<NodeId> = fragment.nodes.iter().copied().collect();
+    let local_of: BTreeMap<NodeId, usize> = global_of
+        .iter()
+        .enumerate()
+        .map(|(local, &global)| (global, local))
+        .collect();
+    HaloShard {
+        id: fragment.id,
+        owned: fragment.owned.clone(),
+        covered: fragment.nodes.clone(),
+        graph,
+        global_of,
+        local_of,
+    }
+}
+
+/// Materializes every fragment of `partition` (see [`extract_halo_shard`]).
+pub fn extract_halo_shards(host: &Graph, partition: &Partition) -> Vec<HaloShard> {
+    partition
+        .fragments
+        .iter()
+        .map(|f| extract_halo_shard(host, f))
+        .collect()
+}
+
+/// Cut edges of `host` under `partition`: edges whose endpoints are owned by
+/// different fragments. These are exactly the edges that appear in more than
+/// one shard (via halo replication) and therefore need disturbance fan-out.
+pub fn cut_edges(host: &Graph, partition: &Partition) -> Vec<Edge> {
+    host.edges()
+        .filter(|&(u, v)| partition.owner[u] != partition.owner[v])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::partition::edge_cut_partition;
+
+    fn attributed_graph(seed: u64) -> Graph {
+        let mut g = generators::erdos_renyi(24, 0.18, seed);
+        for v in 0..g.num_nodes() {
+            g.set_features(v, vec![v as f64, (v * v) as f64 * 0.5]);
+            g.set_label(v, v % 3);
+        }
+        g
+    }
+
+    #[test]
+    fn shard_graph_is_the_induced_subgraph() {
+        for seed in 0..8u64 {
+            let g = attributed_graph(seed);
+            let p = edge_cut_partition(&g, 3, 2);
+            for shard in extract_halo_shards(&g, &p) {
+                assert_eq!(shard.graph.num_nodes(), g.num_nodes());
+                // Every host edge inside the covered set is present, and no
+                // edge leaves the covered set.
+                let expected: Vec<Edge> = g
+                    .edges()
+                    .filter(|&(u, v)| shard.covers(u) && shard.covers(v))
+                    .collect();
+                let got: Vec<Edge> = shard.graph.edges().collect();
+                assert_eq!(got, expected, "seed {seed} shard {}", shard.id);
+                // Covered nodes carry the host's features and labels;
+                // uncovered nodes carry neither.
+                for v in g.node_ids() {
+                    if shard.covers(v) {
+                        assert_eq!(shard.graph.features(v), g.features(v));
+                        assert_eq!(shard.graph.label(v), g.label(v));
+                    } else {
+                        assert!(shard.graph.features(v).is_empty());
+                        assert_eq!(shard.graph.label(v), None);
+                        assert_eq!(shard.graph.neighbors(v).count(), 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owned_sets_tile_the_graph_and_halos_match_fragments() {
+        let g = attributed_graph(3);
+        let p = edge_cut_partition(&g, 4, 1);
+        let shards = extract_halo_shards(&g, &p);
+        let mut owned_count = vec![0usize; g.num_nodes()];
+        for s in &shards {
+            for &v in &s.owned {
+                owned_count[v] += 1;
+            }
+            assert!(s.owned.is_subset(&s.covered));
+            assert_eq!(s.halo(), s.covered.difference(&s.owned).copied().collect());
+        }
+        assert!(owned_count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn remap_tables_invert_each_other_and_compact_is_isomorphic() {
+        let g = attributed_graph(5);
+        let p = edge_cut_partition(&g, 3, 2);
+        for shard in extract_halo_shards(&g, &p) {
+            assert_eq!(shard.global_of.len(), shard.covered.len());
+            for (local, &global) in shard.global_of.iter().enumerate() {
+                assert_eq!(shard.local_of[&global], local);
+            }
+            let compact = shard.compact();
+            assert_eq!(compact.num_nodes(), shard.covered.len());
+            assert_eq!(compact.num_edges(), shard.graph.num_edges());
+            for (u, v) in shard.graph.edges() {
+                assert!(compact.has_edge(shard.local_of[&u], shard.local_of[&v]));
+            }
+            for (local, &global) in shard.global_of.iter().enumerate() {
+                assert_eq!(compact.features(local), shard.graph.features(global));
+                assert_eq!(compact.label(local), shard.graph.label(global));
+            }
+        }
+    }
+
+    #[test]
+    fn cut_edges_are_exactly_the_cross_owner_edges() {
+        let g = attributed_graph(7);
+        let p = edge_cut_partition(&g, 3, 1);
+        let cut = cut_edges(&g, &p);
+        assert_eq!(cut.len(), p.cut_size(&g));
+        for (u, v) in cut {
+            assert_ne!(p.owner[u], p.owner[v]);
+        }
+    }
+}

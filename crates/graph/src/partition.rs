@@ -386,6 +386,78 @@ mod tests {
         }
     }
 
+    /// Rebuilds one fragment's replicated node set from scratch with the
+    /// same recipe the full build uses — the oracle the incremental refresh
+    /// must match.
+    fn rebuilt_nodes(g: &Graph, p: &Partition, fid: usize, hops: usize) -> BTreeSet<NodeId> {
+        let mut nodes = p.fragments[fid].owned.clone();
+        for (u, v) in g.edges() {
+            let (pu, pv) = (p.owner[u], p.owner[v]);
+            if pu == pv {
+                continue;
+            }
+            if pv == fid {
+                nodes.extend(k_hop_neighborhood(g, u, hops));
+            }
+            if pu == fid {
+                nodes.extend(k_hop_neighborhood(g, v, hops));
+            }
+        }
+        nodes
+    }
+
+    #[test]
+    fn refresh_after_a_disturbance_exactly_on_a_cut_edge() {
+        // The disturbance removes a cut edge itself — the edge that justified
+        // replicating each endpoint's neighborhood into the other fragment.
+        // The refresh must drop that now-stale replication (unless another
+        // cut edge still justifies it) and match the from-scratch recipe.
+        let mut g = barabasi_albert(60, 2, 2);
+        let mut p = edge_cut_partition(&g, 3, 1);
+        let (cu, cv) = g
+            .edges()
+            .find(|&(u, v)| p.owner[u] != p.owner[v])
+            .expect("partition has a cut edge");
+        let (pu, pv) = (p.owner[cu], p.owner[cv]);
+        g.remove_edge(cu, cv);
+
+        let touched: BTreeSet<NodeId> = [cu, cv].into_iter().collect();
+        let refreshed = p
+            .refresh_after_disturbance(&g, &touched, 1)
+            .expect("node set unchanged");
+        assert!(
+            refreshed.contains(&pu) && refreshed.contains(&pv),
+            "both endpoint owners must be refreshed, got {refreshed:?}"
+        );
+
+        // Ownership is never rebalanced by a refresh.
+        for f in &p.fragments {
+            for &v in &f.owned {
+                assert_eq!(p.owner[v], f.id);
+            }
+        }
+        // Every fragment — refreshed or not — matches the from-scratch
+        // replication recipe, and its edge list is the induced subgraph.
+        for f in &p.fragments {
+            assert_eq!(
+                f.nodes,
+                rebuilt_nodes(&g, &p, f.id, 1),
+                "fragment {} replication diverges from a full rebuild",
+                f.id
+            );
+            let induced: Vec<Edge> = g
+                .edges()
+                .filter(|&(u, v)| f.nodes.contains(&u) && f.nodes.contains(&v))
+                .collect();
+            assert_eq!(f.edges, induced, "fragment {} edge list stale", f.id);
+            assert!(
+                !f.edges.contains(&(cu.min(cv), cu.max(cv))),
+                "removed cut edge lingers in fragment {}",
+                f.id
+            );
+        }
+    }
+
     #[test]
     fn refresh_detects_node_set_changes_and_no_op_touches() {
         let mut g = barabasi_albert(30, 2, 5);

@@ -85,6 +85,7 @@ use http::{encode_response, FrameBuf, FrameOutcome, Request, Response};
 pub use rcw_core::{BudgetExceeded, SessionBudget};
 use rcw_core::{DisturbReport, EngineSnapshot, GenerationResult, VerifiableModel, WitnessEngine};
 use rcw_graph::Disturbance;
+use rcw_shard::{ShardStats, ShardedEngine};
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -193,6 +194,13 @@ pub trait ServedEngine: Sync {
 
     /// Number of nodes in the host graph (query validation bound).
     fn num_nodes(&self) -> usize;
+
+    /// The routing ledger, for engines that shard their graph
+    /// ([`rcw_shard::ShardedEngine`]). Single-engine implementations keep
+    /// the default `None`; `/stats` emits a `sharding` object when `Some`.
+    fn sharding(&self) -> Option<ShardStats> {
+        None
+    }
 }
 
 impl<M: VerifiableModel + ?Sized> ServedEngine for WitnessEngine<'_, M> {
@@ -227,6 +235,49 @@ impl<M: VerifiableModel + ?Sized> ServedEngine for WitnessEngine<'_, M> {
 
     fn num_nodes(&self) -> usize {
         self.graph().num_nodes()
+    }
+}
+
+/// The sharded tier serves through the same trait: requests flow through the
+/// event loop, admission batching, deadlines, faults and retries unchanged,
+/// and the engine routes each query to its owning shard (or the full-graph
+/// escape engine) underneath.
+impl<M: VerifiableModel + ?Sized> ServedEngine for ShardedEngine<'_, M> {
+    fn generate_with_budget(
+        &self,
+        test_nodes: &[usize],
+        budget: &SessionBudget,
+    ) -> Result<GenerationResult, BudgetExceeded> {
+        ShardedEngine::generate_with_budget(self, test_nodes, budget)
+    }
+
+    fn generate_batch_with(
+        &self,
+        queries: &[Vec<usize>],
+        budgets: &[SessionBudget],
+        emit: &mut dyn FnMut(usize, Result<GenerationResult, BudgetExceeded>),
+    ) {
+        ShardedEngine::generate_batch_with(self, queries, budgets, emit)
+    }
+
+    fn disturb(&self, disturbances: &[Disturbance]) -> DisturbReport {
+        ShardedEngine::disturb(self, disturbances)
+    }
+
+    fn snapshot(&self) -> EngineSnapshot {
+        ShardedEngine::snapshot(self)
+    }
+
+    fn epoch(&self) -> u64 {
+        ShardedEngine::epoch(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        ShardedEngine::num_nodes(self)
+    }
+
+    fn sharding(&self) -> Option<ShardStats> {
+        Some(self.shard_stats())
     }
 }
 
@@ -1588,7 +1639,17 @@ fn handle_stats(state: &ServeState<'_, '_>, engine_idx: usize) -> Response {
         .config
         .routes
         .iter()
-        .map(|r| (r.name.clone(), wire::snapshot_to_json(&r.engine.snapshot())))
+        .map(|r| {
+            let mut snap = wire::snapshot_to_json(&r.engine.snapshot());
+            // Sharded engines expose their routing ledger alongside the
+            // aggregated engine counters.
+            if let Some(routing) = r.engine.sharding() {
+                if let Json::Obj(fields) = &mut snap {
+                    fields.push(("sharding".to_string(), wire::shard_stats_to_json(&routing)));
+                }
+            }
+            (r.name.clone(), snap)
+        })
         .collect();
     // The selected engine's snapshot is already in the map: cloning the
     // encoded value is cheaper than taking the engine's locks a second time.

@@ -1,0 +1,231 @@
+//! Sharded chaos: a 4-shard served engine survives an injected fault storm
+//! plus a disturbance storm with an *exact* routing ledger.
+//!
+//! The claims, checked per seed:
+//!
+//! * every retried client request is eventually answered;
+//! * the routing ledger balances exactly under fire:
+//!   `queries == routed + halo_escapes` and `routed == Σ routed_per_shard`,
+//!   both in-process and as decoded from the `/stats` wire;
+//! * the ledger agrees with the engine tier: the aggregated engine snapshot
+//!   processed exactly `queries` generates, and the conservation law
+//!   (`queries == warm_hits + sessions + degraded + aborts`) holds across
+//!   the summed shard + escape engines;
+//! * `disturbs` counts every storm disturbance and each one fanned out to at
+//!   most the engines covering its flips.
+//!
+//! The storm is deterministic per `(spec, seed)`; `RCW_FAULT_SEEDS=<n>`
+//! widens the sweep for the nightly sharded-chaos leg.
+
+use rcw_core::RcwConfig;
+use rcw_datasets::{citeseer, Dataset, Scale};
+use rcw_gnn::Appnp;
+use rcw_graph::Disturbance;
+use rcw_server::client::{Client, RetryPolicy};
+use rcw_server::faults::FaultPlan;
+use rcw_server::{wire, RcwServer, ServerConfig};
+use rcw_shard::{RoutePolicy, ShardedEngine};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Same probability-1 limited-site recipe as the single-engine chaos test;
+/// the engine-side sites (repair/regen failures) now land inside whichever
+/// shard or escape engine happens to run the sweep.
+const STORM_SPEC: &str = "worker_panic=1@1,conn_drop=1@1,read_stall=1@1,\
+                          write_drop=1@1,write_truncate=1@1,\
+                          repair_fail=1@2,regen_fail=1@1";
+
+const NUM_SHARDS: usize = 4;
+
+fn storm_seeds() -> Vec<u64> {
+    const DEFAULT: [u64; 2] = [5, 19];
+    match std::env::var("RCW_FAULT_SEEDS") {
+        Ok(n) => {
+            let n: u64 = n
+                .parse()
+                .expect("RCW_FAULT_SEEDS must be a seed count, e.g. RCW_FAULT_SEEDS=64");
+            (0..n).collect()
+        }
+        Err(_) => DEFAULT.to_vec(),
+    }
+}
+
+/// Small verification horizon so the halo stays a strict subset of the graph
+/// and the escape path is actually exercised alongside shard routing.
+fn quick_cfg() -> RcwConfig {
+    RcwConfig {
+        k: 1,
+        local_budget: 1,
+        candidate_hops: 2,
+        max_expand_rounds: 2,
+        sampled_disturbances: 4,
+        pri_rounds: 4,
+        ppr_iters: 4,
+        ..RcwConfig::default()
+    }
+}
+
+fn storm_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 10,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        jitter: 0.5,
+        budget: None,
+    }
+}
+
+fn run_storm(seed: u64, ds: &Dataset, appnp: &Appnp) {
+    let plan = Arc::new(FaultPlan::parse(STORM_SPEC, seed).expect("storm spec parses"));
+    let cfg = quick_cfg();
+    let halo = RoutePolicy::for_model(appnp, &cfg).ball_radius;
+    let engine = ShardedEngine::new(Arc::new(ds.graph.clone()), appnp, cfg, NUM_SHARDS, halo)
+        .with_fault_hook(plan.engine_hook());
+    let server = RcwServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let config = ServerConfig::single(&engine)
+        .with_workers(1)
+        .with_queue_bound(8)
+        .with_io_timeout(Duration::from_secs(2))
+        .with_faults(Arc::clone(&plan));
+
+    let edges = ds.graph.edge_vec();
+    let batch_gate = Arc::new(Barrier::new(3));
+    let mut storm_disturbs = 0usize;
+    let (failures, wire_sharding) = std::thread::scope(|scope| {
+        let config_ref = &config;
+        let server_thread = scope.spawn(move || server.serve_config(config_ref).expect("serve"));
+
+        let client_threads: Vec<_> = (0..3u64)
+            .map(|tid| {
+                let addr = addr.clone();
+                let tests = ds.pick_test_nodes(2, seed.wrapping_add(tid));
+                let batch_gate = Arc::clone(&batch_gate);
+                scope.spawn(move || {
+                    let mut failures: Vec<String> = Vec::new();
+                    let connected = Client::connect(&addr);
+                    batch_gate.wait();
+                    let mut client = match connected {
+                        Ok(client) => client,
+                        Err(e) => {
+                            failures.push(format!("client {tid} connect: {e}"));
+                            return failures;
+                        }
+                    };
+                    client.set_retry(Some(storm_retry()));
+                    for round in 0..6 {
+                        if let Err(e) = client.generate(&tests) {
+                            failures.push(format!("client {tid} generate {round}: {e}"));
+                        }
+                        // Single-node queries exercise shard routing; the
+                        // two-node query above has split owners more often
+                        // and exercises the escape path.
+                        if let Err(e) = client.generate(&tests[..1]) {
+                            failures.push(format!("client {tid} single {round}: {e}"));
+                        }
+                    }
+                    failures
+                })
+            })
+            .collect();
+
+        // Disturbance storm in-process: flips fan out to the covering shards
+        // while clients keep querying through injected faults.
+        for chunk in edges.chunks(2).take(6) {
+            engine.disturb(&[Disturbance::from_pairs(chunk.iter().copied())]);
+            storm_disturbs += 1;
+            std::thread::sleep(Duration::from_millis(15));
+        }
+
+        let mut failures: Vec<String> = Vec::new();
+        for thread in client_threads {
+            failures.extend(thread.join().expect("client thread"));
+        }
+
+        // Drain: the limited fault sites are exhausted, so plain requests
+        // succeed; pull the sharding ledger off the wire.
+        let mut drain = Client::connect(&addr).expect("drain connect");
+        let tests = ds.pick_test_nodes(1, seed);
+        if let Err(e) = drain.generate(&tests) {
+            failures.push(format!("drain generate: {e}"));
+        }
+        let wire_sharding = match drain.request("GET", "/stats", None) {
+            Ok((200, body)) => {
+                let sharding = body
+                    .field("engine")
+                    .expect("engine snapshot on the wire")
+                    .field("sharding")
+                    .expect("sharded engine exposes its routing ledger");
+                Some(wire::shard_stats_from_json(sharding).expect("sharding decodes"))
+            }
+            other => {
+                failures.push(format!("raw stats: {other:?}"));
+                None
+            }
+        };
+        if let Err(e) = drain.shutdown() {
+            failures.push(format!("shutdown: {e}"));
+        }
+        server_thread.join().expect("server thread");
+        (failures, wire_sharding)
+    });
+
+    assert!(
+        failures.is_empty(),
+        "seed {seed}: requests failed through retries:\n{}",
+        failures.join("\n")
+    );
+
+    // Exact routing ledger, in-process and over the wire.
+    let stats = engine.shard_stats();
+    assert!(stats.ledger_balanced(), "seed {seed}: {stats:?}");
+    assert_eq!(
+        stats.routed,
+        stats.routed_per_shard.iter().sum::<usize>(),
+        "seed {seed}: per-shard routing must tile the routed count"
+    );
+    assert!(stats.queries > 0, "seed {seed}: storm produced no queries");
+    let wire_stats = wire_sharding.expect("sharding ledger decoded from /stats");
+    assert!(
+        wire_stats.ledger_balanced(),
+        "seed {seed}: wire ledger {wire_stats:?}"
+    );
+    assert_eq!(
+        wire_stats.routed_per_shard.len(),
+        NUM_SHARDS,
+        "seed {seed}: wire ledger shard count"
+    );
+
+    // Disturbance accounting: every storm disturbance counted once, and each
+    // fanned out to at most every engine covering its flips.
+    assert_eq!(stats.disturbs, storm_disturbs, "seed {seed}");
+    assert!(
+        stats.fanout_applications <= stats.disturbs * NUM_SHARDS,
+        "seed {seed}: fan-out exceeded the shard count"
+    );
+
+    // The routing ledger agrees with the engine tier, and the conservation
+    // law survives aggregation across shard + escape engines.
+    let snap = engine.snapshot();
+    assert_eq!(
+        snap.stats.queries, stats.queries,
+        "seed {seed}: every routed query reached exactly one engine"
+    );
+    assert_eq!(
+        snap.stats.queries,
+        snap.stats.warm_hits
+            + snap.stats.sessions_run
+            + snap.stats.degraded_serves
+            + snap.stats.budget_aborts,
+        "seed {seed}: aggregated engine query conservation"
+    );
+}
+
+#[test]
+fn sharded_fault_storm_keeps_the_routing_ledger_exact() {
+    let ds = citeseer::build(Scale::Tiny, 31);
+    let appnp = ds.train_appnp(8, 31);
+    for seed in storm_seeds() {
+        run_storm(seed, &ds, &appnp);
+    }
+}

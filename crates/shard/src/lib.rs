@@ -1,0 +1,781 @@
+//! # rcw-shard
+//!
+//! Sharded witness-engine tier: partition-routed serving for graphs that do
+//! not fit one engine's cache budget.
+//!
+//! A [`ShardPlan`] cuts a host graph with the existing edge-cut
+//! [`Partition`][rcw_graph::Partition] into per-shard subgraphs with L-hop
+//! halo rings ([`HaloShard`]). A [`ShardedEngine`] runs one
+//! [`WitnessEngine`] per shard plus one shared full-graph *escape engine*,
+//! and routes each query by node ownership:
+//!
+//! * every test node of a query must be **owned** by the same shard,
+//! * the query's safety ball — candidate hops plus the model's verification
+//!   horizon plus one — must stay inside the shard's **covered** set
+//!   (owned + halo), and
+//! * the worst-case candidate-pair pool must stay under
+//!   `max_candidate_pairs`, because beyond that bound the verifier's PPR
+//!   pruning reads global PageRank rows a shard cannot reproduce.
+//!
+//! Queries passing all three checks are answered by the shard **bit-exactly**
+//! as the full-graph engine would answer them: shard graphs keep the host's
+//! node-id space and contain exactly the edges induced on the covered set, so
+//! every CSR row, neighborhood, feature and RNG draw agrees. Queries failing
+//! any check fall back to the escape engine and are counted as
+//! `halo_escapes`; the routing ledger maintains
+//! `queries == routed + halo_escapes` exactly.
+//!
+//! [`ShardedEngine::disturb`] fans each disturbance out to the escape engine
+//! (authoritative full graph) and to every shard covering **both** endpoints
+//! of a flipped pair — exactly the shards whose induced subgraph changes;
+//! each runs its own footprint-scoped repair sweep.
+
+use rcw_core::{
+    BudgetExceeded, DisturbReport, EngineFaultHook, EngineSnapshot, GenerationResult, RcwConfig,
+    SessionBudget, VerifiableModel, WitnessEngine,
+};
+use rcw_gnn::GnnModel;
+use rcw_graph::traversal::k_hop_neighborhood_multi;
+use rcw_graph::{
+    edge_cut_partition, extract_halo_shards, Disturbance, DisturbanceStrategy, Graph, HaloShard,
+    NodeId, Partition,
+};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// A host graph cut into halo shards: the partition, the materialized
+/// per-shard subgraphs, and the halo depth they were built with.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// The edge-cut partition (ownership map + fragments).
+    pub partition: Partition,
+    /// One materialized halo shard per fragment.
+    pub shards: Vec<HaloShard>,
+    /// Replication depth of the halo rings (hops).
+    pub halo_hops: usize,
+}
+
+impl ShardPlan {
+    /// Cuts `host` into `num_shards` fragments with `halo_hops`-hop halo
+    /// rings and materializes each fragment's subgraph.
+    pub fn build(host: &Graph, num_shards: usize, halo_hops: usize) -> ShardPlan {
+        let partition = edge_cut_partition(host, num_shards.max(1), halo_hops);
+        let shards = extract_halo_shards(host, &partition);
+        ShardPlan {
+            partition,
+            shards,
+            halo_hops,
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `v`, or `None` for out-of-range ids.
+    pub fn owner_of(&self, v: NodeId) -> Option<usize> {
+        self.partition.owner.get(v).copied()
+    }
+}
+
+/// The routing rule of a [`ShardedEngine`], derived from the model and
+/// config at construction: how far a query's reads can travel, and how big
+/// its candidate pool can grow, before only the full graph can answer it.
+#[derive(Clone, Debug)]
+pub struct RoutePolicy {
+    /// Safety ball radius: `candidate_hops + verification_hops + 1`. If the
+    /// ball of this radius around the test nodes stays inside a shard's
+    /// covered set, every read of the session — candidate collection, flip
+    /// application, disturbed forward passes — agrees with the full graph.
+    pub ball_radius: usize,
+    /// Candidate-collection hops (`cfg.candidate_hops`).
+    pub candidate_hops: usize,
+    /// Pool bound beyond which the verifier's global PPR pruning kicks in
+    /// (`cfg.max_candidate_pairs`).
+    pub max_candidate_pairs: usize,
+    /// Per-test-node insertion-candidate cap contributing to the pool bound;
+    /// zero under [`DisturbanceStrategy::RemovalOnly`].
+    pub insert_cap: usize,
+}
+
+impl RoutePolicy {
+    /// Derives the policy for `model` under `cfg`.
+    pub fn for_model<M: VerifiableModel + ?Sized>(model: &M, cfg: &RcwConfig) -> RoutePolicy {
+        RoutePolicy {
+            ball_radius: cfg.candidate_hops + model.verification_hops(cfg) + 1,
+            candidate_hops: cfg.candidate_hops,
+            max_candidate_pairs: cfg.max_candidate_pairs,
+            insert_cap: match cfg.strategy {
+                DisturbanceStrategy::RemovalOnly => 0,
+                _ => cfg.max_insert_candidates,
+            },
+        }
+    }
+}
+
+/// Where a query goes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Answered by shard `i`, bit-exact vs the full graph.
+    Shard(usize),
+    /// Answered by the shared full-graph escape engine.
+    Escape,
+}
+
+/// The routing ledger of a [`ShardedEngine`]. Invariant (asserted by the
+/// chaos harness): `queries == routed + halo_escapes`, and
+/// `routed == routed_per_shard.iter().sum()`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Queries routed (single plus batched), counted at routing time.
+    pub queries: usize,
+    /// Queries answered by a shard engine.
+    pub routed: usize,
+    /// Queries that fell back to the full-graph escape engine.
+    pub halo_escapes: usize,
+    /// Per-shard routed counts.
+    pub routed_per_shard: Vec<usize>,
+    /// `disturb` calls fanned out.
+    pub disturbs: usize,
+    /// Total shard-level disturbance applications across all `disturb`
+    /// calls (a flip touching three shards' covered sets counts three).
+    pub fanout_applications: usize,
+}
+
+impl ShardStats {
+    fn new(num_shards: usize) -> ShardStats {
+        ShardStats {
+            routed_per_shard: vec![0; num_shards],
+            ..ShardStats::default()
+        }
+    }
+
+    /// Whether the exact-ledger invariant holds.
+    pub fn ledger_balanced(&self) -> bool {
+        self.queries == self.routed + self.halo_escapes
+            && self.routed == self.routed_per_shard.iter().sum::<usize>()
+    }
+}
+
+/// A coherent picture of the whole sharded tier: the routing ledger plus one
+/// [`EngineSnapshot`] per shard and one for the escape engine.
+#[derive(Clone, Debug)]
+pub struct ShardedSnapshot {
+    /// Routing ledger.
+    pub routing: ShardStats,
+    /// Per-shard engine snapshots, indexed by shard id.
+    pub shards: Vec<EngineSnapshot>,
+    /// The escape engine's snapshot.
+    pub escape: EngineSnapshot,
+}
+
+/// One [`WitnessEngine`] per shard plus a shared full-graph escape engine,
+/// behind the same entry points a single engine offers (the serving crate
+/// implements its `ServedEngine` trait on top of these).
+pub struct ShardedEngine<'m, M: VerifiableModel + ?Sized = dyn GnnModel> {
+    plan: ShardPlan,
+    policy: RoutePolicy,
+    shards: Vec<WitnessEngine<'m, M>>,
+    escape: WitnessEngine<'m, M>,
+    routing: Mutex<ShardStats>,
+    route_cache: Mutex<BTreeMap<Vec<NodeId>, RouteDecision>>,
+}
+
+/// Route-cache entries kept before the cache is wiped; bounds memory on
+/// adversarial query streams while keeping steady-state serving O(log n).
+const ROUTE_CACHE_CAP: usize = 8192;
+
+impl<'m, M: VerifiableModel + ?Sized> ShardedEngine<'m, M> {
+    /// Cuts `host` into `num_shards` halo shards and builds one engine per
+    /// shard plus the escape engine. `halo_hops` should be at least the
+    /// policy's ball radius for shard routing to ever succeed; smaller rings
+    /// are legal and simply escape more.
+    pub fn new(
+        host: Arc<Graph>,
+        model: &'m M,
+        cfg: RcwConfig,
+        num_shards: usize,
+        halo_hops: usize,
+    ) -> Self {
+        let plan = ShardPlan::build(&host, num_shards, halo_hops);
+        Self::from_plan(plan, host, model, cfg)
+    }
+
+    /// Builds the engines for an existing plan. `host` must be the graph the
+    /// plan was cut from.
+    pub fn from_plan(plan: ShardPlan, host: Arc<Graph>, model: &'m M, cfg: RcwConfig) -> Self {
+        assert_eq!(
+            plan.partition.owner.len(),
+            host.num_nodes(),
+            "plan was cut from a different graph"
+        );
+        let policy = RoutePolicy::for_model(model, &cfg);
+        let shards: Vec<WitnessEngine<'m, M>> = plan
+            .shards
+            .iter()
+            .map(|s| WitnessEngine::new(Arc::new(s.graph.clone()), model, cfg.clone()))
+            .collect();
+        let routing = Mutex::new(ShardStats::new(shards.len()));
+        ShardedEngine {
+            plan,
+            policy,
+            shards,
+            escape: WitnessEngine::new(host, model, cfg),
+            routing,
+            route_cache: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Applies a session worker count to every engine (see
+    /// [`WitnessEngine::with_workers`]).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|e| e.with_workers(workers))
+            .collect();
+        self.escape = self.escape.with_workers(workers);
+        self
+    }
+
+    /// Installs a fault-injection hook on every engine (see
+    /// [`WitnessEngine::with_fault_hook`]).
+    pub fn with_fault_hook(mut self, hook: EngineFaultHook) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|e| e.with_fault_hook(Arc::clone(&hook)))
+            .collect();
+        self.escape = self.escape.with_fault_hook(hook);
+        self
+    }
+
+    /// Bounds per-witness repair work on every engine (see
+    /// [`WitnessEngine::with_repair_budget`]).
+    pub fn with_repair_budget(mut self, budget: Duration) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|e| e.with_repair_budget(budget))
+            .collect();
+        self.escape = self.escape.with_repair_budget(budget);
+        self
+    }
+
+    /// The plan this engine was built from.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The routing rule in force.
+    pub fn policy(&self) -> &RoutePolicy {
+        &self.policy
+    }
+
+    /// Number of shard engines (the escape engine is not counted).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn routing_lock(&self) -> MutexGuard<'_, ShardStats> {
+        self.routing.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A copy of the routing ledger.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.routing_lock().clone()
+    }
+
+    /// Where `test_nodes` would be served right now, without counting it.
+    /// The decision is made against the escape engine's (full) graph, so it
+    /// honestly tracks disturbances: an insertion that pulls a ball across a
+    /// shard boundary turns later queries there into escapes.
+    ///
+    /// Decisions are memoized per query key: generates apply-and-revert
+    /// their probe flips, so the edge set the decision depends on only
+    /// durably changes in [`ShardedEngine::disturb`], which wipes the cache.
+    pub fn route(&self, test_nodes: &[NodeId]) -> RouteDecision {
+        let cache = self.route_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&decision) = cache.get(test_nodes) {
+            return decision;
+        }
+        drop(cache);
+        let decision = self.route_uncached(test_nodes);
+        let mut cache = self.route_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if cache.len() >= ROUTE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(test_nodes.to_vec(), decision);
+        decision
+    }
+
+    fn route_uncached(&self, test_nodes: &[NodeId]) -> RouteDecision {
+        if test_nodes.is_empty() {
+            return RouteDecision::Escape;
+        }
+        let graph = self.escape.graph();
+        if test_nodes.iter().any(|&t| !graph.contains_node(t)) {
+            return RouteDecision::Escape;
+        }
+        let owner = self.plan.partition.owner[test_nodes[0]];
+        if test_nodes
+            .iter()
+            .any(|&t| self.plan.partition.owner[t] != owner)
+        {
+            return RouteDecision::Escape;
+        }
+        let shard = &self.plan.shards[owner];
+        let ball = k_hop_neighborhood_multi(&graph, test_nodes, self.policy.ball_radius);
+        if !ball.iter().all(|&v| shard.covers(v)) {
+            return RouteDecision::Escape;
+        }
+        // Worst-case candidate pool: all hood-internal edges (the session
+        // never collects more removal candidates than that) plus the capped
+        // insertion candidates per test node. If that cannot exceed the pool
+        // bound, the PPR pruning — which reads global PageRank rows a shard
+        // cannot reproduce — provably never fires.
+        let hood = k_hop_neighborhood_multi(&graph, test_nodes, self.policy.candidate_hops);
+        let hood_edges: usize = hood
+            .iter()
+            .map(|&u| graph.neighbors(u).filter(|v| hood.contains(v)).count())
+            .sum::<usize>()
+            / 2;
+        let insert_bound = self.policy.insert_cap.saturating_mul(test_nodes.len());
+        if hood_edges + insert_bound > self.policy.max_candidate_pairs {
+            return RouteDecision::Escape;
+        }
+        RouteDecision::Shard(owner)
+    }
+
+    fn note_route(&self, decision: RouteDecision) {
+        let mut stats = self.routing_lock();
+        stats.queries += 1;
+        match decision {
+            RouteDecision::Shard(i) => {
+                stats.routed += 1;
+                stats.routed_per_shard[i] += 1;
+            }
+            RouteDecision::Escape => stats.halo_escapes += 1,
+        }
+    }
+
+    fn engine_for(&self, decision: RouteDecision) -> &WitnessEngine<'m, M> {
+        match decision {
+            RouteDecision::Shard(i) => &self.shards[i],
+            RouteDecision::Escape => &self.escape,
+        }
+    }
+
+    /// Routes and answers one query (see
+    /// [`WitnessEngine::generate_with_budget`]).
+    pub fn generate_with_budget(
+        &self,
+        test_nodes: &[NodeId],
+        budget: &SessionBudget,
+    ) -> Result<GenerationResult, BudgetExceeded> {
+        let decision = self.route(test_nodes);
+        self.note_route(decision);
+        self.engine_for(decision)
+            .generate_with_budget(test_nodes, budget)
+    }
+
+    /// [`ShardedEngine::generate_with_budget`] without a deadline.
+    pub fn generate(&self, test_nodes: &[NodeId]) -> GenerationResult {
+        self.generate_with_budget(test_nodes, &SessionBudget::unlimited())
+            .expect("unlimited session budget cannot expire")
+    }
+
+    /// Routes a micro-batch: queries are grouped by target engine and each
+    /// group is answered by that engine's batch entry point, emitting under
+    /// the caller's original indices. Per-query results are bit-identical to
+    /// routing each query alone (the engine batch contract guarantees batch
+    /// == sequential per engine, and routing is per-query state-free).
+    pub fn generate_batch_with(
+        &self,
+        queries: &[Vec<NodeId>],
+        budgets: &[SessionBudget],
+        emit: &mut dyn FnMut(usize, Result<GenerationResult, BudgetExceeded>),
+    ) {
+        assert_eq!(
+            queries.len(),
+            budgets.len(),
+            "generate_batch_with: one budget per query"
+        );
+        // Group indices by decision; BTreeMap keeps shard order deterministic
+        // (escape sorts last).
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (qi, nodes) in queries.iter().enumerate() {
+            let decision = self.route(nodes);
+            self.note_route(decision);
+            let key = match decision {
+                RouteDecision::Shard(i) => i,
+                RouteDecision::Escape => self.shards.len(),
+            };
+            groups.entry(key).or_default().push(qi);
+        }
+        for (key, idxs) in groups {
+            let engine = if key == self.shards.len() {
+                &self.escape
+            } else {
+                &self.shards[key]
+            };
+            let sub_queries: Vec<Vec<NodeId>> = idxs.iter().map(|&i| queries[i].clone()).collect();
+            let sub_budgets: Vec<SessionBudget> =
+                idxs.iter().map(|&i| budgets[i].clone()).collect();
+            engine.generate_batch_with(&sub_queries, &sub_budgets, &mut |j, r| emit(idxs[j], r));
+        }
+    }
+
+    /// Applies `disturbances` to the full graph and fans each flip out to
+    /// every shard whose covered set contains **both** endpoints — exactly
+    /// the shards whose induced subgraph the flip changes (a flip with an
+    /// endpoint outside a shard's covered set cannot appear in that shard's
+    /// induced edge set, whichever direction it toggles). Each engine runs
+    /// its own footprint-scoped repair sweep.
+    ///
+    /// The returned report carries the escape engine's authoritative
+    /// `epoch`, `flips_applied` and `footprint_size`; the repair counters
+    /// and session stats are summed across every engine that ran a sweep.
+    pub fn disturb(&self, disturbances: &[Disturbance]) -> DisturbReport {
+        // The edge set is about to durably change; every memoized routing
+        // decision is suspect.
+        self.route_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        let mut report = self.escape.disturb(disturbances);
+        let mut fanout = 0usize;
+        for (i, shard) in self.plan.shards.iter().enumerate() {
+            let local: Vec<Disturbance> = disturbances
+                .iter()
+                .map(|d| {
+                    Disturbance::from_pairs(
+                        d.pairs()
+                            .iter()
+                            .filter(|&(u, v)| shard.covers(u) && shard.covers(v)),
+                    )
+                })
+                .filter(|d| !d.is_empty())
+                .collect();
+            if local.is_empty() {
+                continue;
+            }
+            fanout += 1;
+            let r = self.shards[i].disturb(&local);
+            report.untouched += r.untouched;
+            report.reverified += r.reverified;
+            report.repaired += r.repaired;
+            report.regenerated += r.regenerated;
+            report.degraded += r.degraded;
+            report.stats.inference_calls += r.stats.inference_calls;
+            report.stats.disturbances_verified += r.stats.disturbances_verified;
+            report.stats.expand_rounds += r.stats.expand_rounds;
+            report.stats.elapsed += r.stats.elapsed;
+        }
+        let mut stats = self.routing_lock();
+        stats.disturbs += 1;
+        stats.fanout_applications += fanout;
+        report
+    }
+
+    /// Aggregated snapshot: counters summed across every engine (each query
+    /// hits exactly one engine, so the engine conservation law survives
+    /// summation), store sizes summed, epoch and workers from the escape
+    /// engine (the authoritative full graph).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut snap = self.escape.snapshot();
+        for engine in &self.shards {
+            let s = engine.snapshot();
+            snap.stats.absorb(&s.stats);
+            snap.stored += s.stored;
+            snap.hood_hits += s.hood_hits;
+            snap.hood_misses += s.hood_misses;
+        }
+        snap
+    }
+
+    /// Per-engine snapshots plus the routing ledger, for `/stats`.
+    pub fn sharded_snapshot(&self) -> ShardedSnapshot {
+        ShardedSnapshot {
+            routing: self.shard_stats(),
+            shards: self.shards.iter().map(|e| e.snapshot()).collect(),
+            escape: self.escape.snapshot(),
+        }
+    }
+
+    /// The full graph's mutation epoch (escape engine).
+    pub fn epoch(&self) -> u64 {
+        self.escape.epoch()
+    }
+
+    /// Number of nodes in the full graph.
+    pub fn num_nodes(&self) -> usize {
+        self.escape.graph().num_nodes()
+    }
+
+    /// The full (escape) graph.
+    pub fn graph(&self) -> Arc<Graph> {
+        self.escape.graph()
+    }
+
+    /// Borrow of the escape engine (tests and stats plumbing).
+    pub fn escape_engine(&self) -> &WitnessEngine<'m, M> {
+        &self.escape
+    }
+
+    /// Borrow of shard engine `i` (tests and stats plumbing).
+    pub fn shard_engine(&self, i: usize) -> &WitnessEngine<'m, M> {
+        &self.shards[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcw_gnn::{Gcn, TrainConfig};
+    use rcw_graph::{generators, GraphView};
+
+    /// Two well-separated SBM blocks with block-indicator features, so an
+    /// edge-cut partition into two shards aligns with the blocks and interior
+    /// nodes have deep in-shard balls.
+    fn setup(seed: u64) -> (Arc<Graph>, Gcn) {
+        let (mut g, blocks) = generators::stochastic_block_model(&[30, 30], 0.25, 0.01, seed);
+        generators::ensure_connected(&mut g, seed);
+        for (v, &b) in blocks.iter().enumerate() {
+            let feats = if b == 0 {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
+            g.set_features(v, feats);
+            g.set_label(v, b);
+        }
+        let view = GraphView::full(&g);
+        let train: Vec<usize> = (0..g.num_nodes()).collect();
+        let tc = TrainConfig {
+            epochs: 40,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
+        let mut gcn = Gcn::new(&[2, 8, 2], 2);
+        gcn.train(&view, &train, &tc);
+        (Arc::new(g), gcn)
+    }
+
+    fn quick_cfg() -> RcwConfig {
+        RcwConfig {
+            k: 1,
+            local_budget: 1,
+            candidate_hops: 2,
+            max_expand_rounds: 2,
+            sampled_disturbances: 4,
+            pri_rounds: 4,
+            ppr_iters: 20,
+            ..RcwConfig::default()
+        }
+    }
+
+    /// A ring lattice (each node linked to its next two successors): diameter
+    /// `n/4`, so halo coverage is genuinely partial — shard graphs are proper
+    /// subgraphs of the host, which is what makes bit-exactness nontrivial.
+    fn ring(n: usize) -> (Arc<Graph>, Gcn) {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+            g.add_edge(i, (i + 2) % n);
+        }
+        for v in 0..n {
+            g.set_features(v, vec![(v % 5) as f64 / 4.0, ((v * 3) % 7) as f64 / 6.0]);
+            g.set_label(v, (v * 2 / n) % 2);
+        }
+        let view = GraphView::full(&g);
+        let train: Vec<usize> = (0..n).collect();
+        let tc = TrainConfig {
+            epochs: 30,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
+        let mut gcn = Gcn::new(&[2, 8, 2], 2);
+        gcn.train(&view, &train, &tc);
+        (Arc::new(g), gcn)
+    }
+
+    fn sharded<'m>(g: &Arc<Graph>, gcn: &'m Gcn, shards: usize) -> ShardedEngine<'m, Gcn> {
+        let cfg = quick_cfg();
+        let halo = RoutePolicy::for_model(gcn, &cfg).ball_radius;
+        ShardedEngine::new(Arc::clone(g), gcn, cfg, shards, halo)
+    }
+
+    #[test]
+    fn routing_ledger_is_exact_and_decisions_respect_ownership() {
+        let (g, gcn) = setup(11);
+        let engine = sharded(&g, &gcn, 2);
+        let mut expected_routed = 0usize;
+        let mut expected_escapes = 0usize;
+        for t in (0..g.num_nodes()).step_by(3) {
+            match engine.route(&[t]) {
+                RouteDecision::Shard(s) => {
+                    assert_eq!(engine.plan().partition.owner[t], s);
+                    expected_routed += 1;
+                }
+                RouteDecision::Escape => expected_escapes += 1,
+            }
+            engine.generate(&[t]);
+        }
+        let stats = engine.shard_stats();
+        assert!(stats.ledger_balanced(), "{stats:?}");
+        assert_eq!(stats.routed, expected_routed);
+        assert_eq!(stats.halo_escapes, expected_escapes);
+        assert!(
+            stats.routed > 0,
+            "no query stayed in-halo; partition too fine for the test graph"
+        );
+        // Split queries (owners differ) and out-of-range ids always escape.
+        let other_owner = (0..g.num_nodes())
+            .find(|&v| engine.plan().partition.owner[v] != engine.plan().partition.owner[0])
+            .unwrap();
+        assert_eq!(engine.route(&[0, other_owner]), RouteDecision::Escape);
+        assert_eq!(engine.route(&[g.num_nodes() + 7]), RouteDecision::Escape);
+        assert_eq!(engine.route(&[]), RouteDecision::Escape);
+    }
+
+    #[test]
+    fn shard_answers_match_the_single_engine_bit_exactly() {
+        let (g, gcn) = ring(120);
+        let engine = sharded(&g, &gcn, 2);
+        // The halos must not cover the whole ring, or bit-exactness would be
+        // trivial (shard graph == host graph).
+        assert!(engine
+            .plan()
+            .shards
+            .iter()
+            .all(|s| s.covered.len() < g.num_nodes()));
+        let single = WitnessEngine::new(Arc::clone(&g), &gcn, quick_cfg());
+        let mut compared = 0usize;
+        for t in 0..g.num_nodes() {
+            if let RouteDecision::Shard(_) = engine.route(&[t]) {
+                let ours = engine.generate(&[t]);
+                let theirs = single.generate(&[t]);
+                assert_eq!(ours.witness, theirs.witness, "node {t}");
+                assert_eq!(ours.level, theirs.level, "node {t}");
+                assert_eq!(ours.nontrivial, theirs.nontrivial, "node {t}");
+                compared += 1;
+            }
+        }
+        assert!(compared > 0, "no in-halo query to compare");
+    }
+
+    #[test]
+    fn disturb_fans_out_to_exactly_the_covering_shards() {
+        let (g, gcn) = ring(60);
+        // A shallow 1-hop halo so the shards do not cover each other: the
+        // fan-out filter, not routing, is under test here.
+        let engine = ShardedEngine::new(Arc::clone(&g), &gcn, quick_cfg(), 2, 1);
+        // An interior edge of shard 0: both endpoints owned by 0 and not
+        // covered by shard 1.
+        let plan = engine.plan().clone();
+        let interior = g
+            .edges()
+            .find(|&(u, v)| {
+                plan.shards[0].owns(u)
+                    && plan.shards[0].owns(v)
+                    && !plan.shards[1].covers(u)
+                    && !plan.shards[1].covers(v)
+            })
+            .expect("no interior edge in shard 0");
+        let before: Vec<u64> = (0..2).map(|i| engine.shard_engine(i).epoch()).collect();
+        let report = engine.disturb(&[Disturbance::from_pairs([interior])]);
+        assert_eq!(report.flips_applied, 1);
+        assert_eq!(report.epoch, engine.epoch());
+        // Shard 0's graph changed; shard 1 never saw the flip.
+        assert!(engine.shard_engine(0).epoch() > before[0]);
+        assert_eq!(engine.shard_engine(1).epoch(), before[1]);
+        let stats = engine.shard_stats();
+        assert_eq!(stats.disturbs, 1);
+        assert_eq!(stats.fanout_applications, 1);
+        // A cut edge (covered by both shards) fans out to both.
+        let cut_edge = g
+            .edges()
+            .find(|&(u, v)| plan.partition.owner[u] != plan.partition.owner[v]);
+        if let Some(cut) = cut_edge {
+            let before: Vec<u64> = (0..2).map(|i| engine.shard_engine(i).epoch()).collect();
+            engine.disturb(&[Disturbance::from_pairs([cut])]);
+            assert!(engine.shard_engine(0).epoch() > before[0]);
+            assert!(engine.shard_engine(1).epoch() > before[1]);
+            assert_eq!(engine.shard_stats().fanout_applications, 3);
+        }
+    }
+
+    #[test]
+    fn batched_generation_matches_per_query_routing() {
+        let (g, gcn) = setup(31);
+        let engine = sharded(&g, &gcn, 2);
+        let reference = sharded(&g, &gcn, 2);
+        let queries: Vec<Vec<NodeId>> = (0..g.num_nodes()).step_by(5).map(|t| vec![t]).collect();
+        let budgets: Vec<SessionBudget> =
+            queries.iter().map(|_| SessionBudget::unlimited()).collect();
+        let mut batched: Vec<Option<GenerationResult>> = vec![None; queries.len()];
+        engine.generate_batch_with(&queries, &budgets, &mut |i, r| {
+            batched[i] = Some(r.expect("unlimited budget"));
+        });
+        for (i, q) in queries.iter().enumerate() {
+            let solo = reference.generate(q);
+            let got = batched[i].as_ref().unwrap();
+            assert_eq!(got.witness, solo.witness, "query {i}");
+            assert_eq!(got.level, solo.level, "query {i}");
+        }
+        // Both engines routed identically, and the batch ledger is exact.
+        assert_eq!(engine.shard_stats().routed, reference.shard_stats().routed);
+        assert!(engine.shard_stats().ledger_balanced());
+        assert_eq!(engine.shard_stats().queries, queries.len());
+    }
+
+    #[test]
+    fn aggregated_snapshot_preserves_the_conservation_law() {
+        let (g, gcn) = setup(41);
+        let engine = sharded(&g, &gcn, 2);
+        for t in (0..g.num_nodes()).step_by(4) {
+            engine.generate(&[t]);
+            engine.generate(&[t]); // warm repeat
+        }
+        let snap = engine.snapshot();
+        let s = &snap.stats;
+        assert_eq!(
+            s.queries,
+            s.warm_hits + s.sessions_run + s.degraded_serves + s.budget_aborts
+        );
+        assert_eq!(s.queries, engine.shard_stats().queries);
+        let detailed = engine.sharded_snapshot();
+        let engine_total: usize = detailed
+            .shards
+            .iter()
+            .map(|s| s.stats.queries)
+            .sum::<usize>()
+            + detailed.escape.stats.queries;
+        assert_eq!(engine_total, s.queries);
+    }
+
+    #[test]
+    fn route_cache_does_not_serve_stale_decisions_across_disturbs() {
+        let (g, gcn) = ring(60);
+        let engine = sharded(&g, &gcn, 2);
+        // A node routed to its shard; the repeat answers from the cache.
+        let t = (0..g.num_nodes())
+            .find(|&t| matches!(engine.route(&[t]), RouteDecision::Shard(_)))
+            .expect("some node routes to a shard on the ring");
+        let cached = engine.route(&[t]);
+        assert_eq!(cached, engine.route(&[t]));
+        // Insert a chord from t to the far side of the ring: t's safety ball
+        // now reaches nodes its shard does not cover, so the memoized
+        // decision is wrong and must have been wiped by the disturbance.
+        let far = (t + g.num_nodes() / 2) % g.num_nodes();
+        engine.disturb(&[Disturbance::from_pairs([(t.min(far), t.max(far))])]);
+        assert_eq!(
+            engine.route(&[t]),
+            RouteDecision::Escape,
+            "post-insertion ball escapes the halo; a cached Shard decision is stale"
+        );
+    }
+}

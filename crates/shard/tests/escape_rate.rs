@@ -1,0 +1,119 @@
+//! Halo-escape rate report: how often does a query's safety ball leave its
+//! shard's halo and force the full-graph escape path?
+//!
+//! The sweep covers the two graph families the serving tier actually hosts —
+//! a block-structured SBM and the CiteSeer stand-in — at halo depths
+//! L ∈ {1, 2, 3} and shard counts {2, 4, 8}. The report is printed (run with
+//! `--nocapture` to see it) and the rates are pinned: escapes must fall as
+//! the halo deepens, and at the deepest halo the escape rate must stay under
+//! a fixed bound so the escape engine remains a fallback, not the main path.
+
+use rcw_core::RcwConfig;
+use rcw_datasets::{citeseer, Scale};
+use rcw_gnn::Gcn;
+use rcw_graph::{generators, Graph, GraphView};
+use rcw_shard::{RouteDecision, ShardedEngine};
+use std::sync::Arc;
+
+const HALOS: [usize; 3] = [1, 2, 3];
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn sweep_cfg() -> RcwConfig {
+    RcwConfig {
+        k: 1,
+        local_budget: 1,
+        candidate_hops: 1,
+        max_expand_rounds: 2,
+        sampled_disturbances: 4,
+        ..RcwConfig::default()
+    }
+}
+
+fn sbm(seed: u64) -> Graph {
+    let sizes = [22usize; 8];
+    let (mut g, blocks) = generators::stochastic_block_model(&sizes, 0.25, 0.004, seed);
+    generators::ensure_connected(&mut g, seed);
+    for (v, &b) in blocks.iter().enumerate() {
+        let x = (b % 2) as f64;
+        g.set_features(v, vec![x, 1.0 - x]);
+        g.set_label(v, b % 2);
+    }
+    g
+}
+
+/// Escape rate over every node of the graph for one (halo, shards) cell.
+fn escape_rate(g: &Arc<Graph>, model: &Gcn, halo: usize, shards: usize) -> f64 {
+    let engine = ShardedEngine::new(Arc::clone(g), model, sweep_cfg(), shards, halo);
+    let escapes = (0..g.num_nodes())
+        .filter(|&t| engine.route(&[t]) == RouteDecision::Escape)
+        .count();
+    escapes as f64 / g.num_nodes() as f64
+}
+
+/// Runs the 3×3 sweep for one dataset and returns rates[halo_idx][shard_idx].
+fn sweep(name: &str, g: Graph, model: &Gcn) -> [[f64; 3]; 3] {
+    let g = Arc::new(g);
+    let mut rates = [[0.0f64; 3]; 3];
+    println!("{name} (n={}, m={}):", g.num_nodes(), g.num_edges());
+    println!("  halo |  2 shards  4 shards  8 shards");
+    for (i, &halo) in HALOS.iter().enumerate() {
+        for (j, &shards) in SHARD_COUNTS.iter().enumerate() {
+            rates[i][j] = escape_rate(&g, model, halo, shards);
+        }
+        println!(
+            "   L={halo} |    {:.3}     {:.3}     {:.3}",
+            rates[i][0], rates[i][1], rates[i][2]
+        );
+    }
+    rates
+}
+
+fn train_gcn(g: &Graph, seed: u64) -> Gcn {
+    let mut gcn = Gcn::new(&[g.feature_dim(), 8, g.num_classes().max(2)], seed);
+    gcn.train(
+        &GraphView::full(g),
+        &(0..g.num_nodes()).collect::<Vec<_>>(),
+        &rcw_gnn::TrainConfig {
+            epochs: 20,
+            ..rcw_gnn::TrainConfig::default()
+        },
+    );
+    gcn
+}
+
+fn assert_pinned(name: &str, rates: [[f64; 3]; 3]) {
+    for j in 0..SHARD_COUNTS.len() {
+        for i in 1..HALOS.len() {
+            assert!(
+                rates[i][j] <= rates[i - 1][j] + 1e-9,
+                "{name}: escape rate must not rise with halo depth \
+                 (L={} rate {:.3} > L={} rate {:.3} at {} shards)",
+                HALOS[i],
+                rates[i][j],
+                HALOS[i - 1],
+                rates[i - 1][j],
+                SHARD_COUNTS[j]
+            );
+        }
+    }
+    // Pinned bound: with the deepest halo and the coarsest cut, the escape
+    // path must stay a minority path.
+    assert!(
+        rates[2][0] <= 0.5,
+        "{name}: L=3 / 2-shard escape rate {:.3} exceeds the pinned 0.5 bound",
+        rates[2][0]
+    );
+}
+
+#[test]
+fn halo_escape_rates_fall_with_depth_and_stay_under_the_pinned_bound() {
+    let sbm_graph = sbm(13);
+    let sbm_model = train_gcn(&sbm_graph, 13);
+    let sbm_rates = sweep("SBM", sbm_graph, &sbm_model);
+    assert_pinned("SBM", sbm_rates);
+
+    let cs = citeseer::build_synthetic(Scale::Small, 7);
+    let cs_model = train_gcn(&cs.graph, 7);
+    let cs_rates = sweep(&cs.name, cs.graph, &cs_model);
+    assert_pinned("CiteSeer-syn", cs_rates);
+}
