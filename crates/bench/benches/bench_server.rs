@@ -76,7 +76,7 @@ fn warm_saturation(addr: &str, queries: &[Vec<usize>], per_client: usize) -> (u6
         .iter()
         .map(|nodes| {
             let list: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
-            format!("{{\"nodes\":[{}]}}", list.join(","))
+            format!("{{\"v\":1,\"nodes\":[{}]}}", list.join(","))
         })
         .collect();
     let start = Instant::now();

@@ -1,0 +1,235 @@
+//! Subscription fan-out: an in-process `RcwServer` with live witness
+//! subscriptions, driven over real TCP by a seeded disturbance replay.
+//!
+//! Reported cases (medians land in `BENCH_subscribe.json`):
+//! * `subscribe/ack_latency` — connect + `/subscribe` + ack frame for a
+//!   warm (store-hit) node set;
+//! * `fanout/p50|p99/update_latency` — wall-clock from issuing a
+//!   `/disturb` to a subscriber holding an intersecting subscription
+//!   having its `witness_update` frame in hand;
+//! * `replay/ns_per_event` — mean service time per replay event (disturb
+//!   round-trip plus stream drain) across the whole stream.
+//!
+//! The run also checks the delivery ledger balances exactly
+//! (`delivered + shed == owed`) — a fan-out bench that loses frames would
+//! be measuring the wrong thing.
+//!
+//! `RCW_BENCH_QUICK=1` shrinks the stream for the nightly smoke leg.
+
+use rcw_bench::replay::{rebase_epochs, sequence_digest, ReplayPlan};
+use rcw_bench::timing::BenchGroup;
+use rcw_core::{RcwConfig, WitnessEngine};
+use rcw_datasets::{citeseer, Scale};
+use rcw_server::client::{Client, ClientError, SubscriptionStream};
+use rcw_server::{RcwServer, ServerConfig};
+use std::io::ErrorKind;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const HTTP_WORKERS: usize = 2;
+const SUBSCRIBERS: usize = 4;
+
+fn bench_cfg() -> RcwConfig {
+    RcwConfig {
+        k: 1,
+        local_budget: 1,
+        candidate_hops: 2,
+        max_expand_rounds: 2,
+        sampled_disturbances: 4,
+        pri_rounds: 4,
+        ppr_iters: 20,
+        ..RcwConfig::default()
+    }
+}
+
+/// The server-wide owed counter, read off the versioned `/stats` payload.
+fn owed_updates(client: &mut Client) -> u64 {
+    let (status, body) = client.request("GET", "/stats", None).expect("stats");
+    assert_eq!(status, 200);
+    body.field("server")
+        .expect("server counters")
+        .field("updates_owed")
+        .expect("owed counter on the wire")
+        .as_u64()
+        .expect("owed is a count")
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+fn main() {
+    let quick = std::env::var("RCW_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let events: usize = if quick { 10 } else { 60 };
+    let ack_samples: usize = if quick { 6 } else { 24 };
+
+    let seed = 7u64;
+    let ds = citeseer::build(Scale::Tiny, seed);
+    let appnp = ds.train_appnp(8, seed);
+    let graph = Arc::new(ds.graph.clone());
+    let engine = WitnessEngine::new(Arc::clone(&graph), &appnp, bench_cfg());
+    let plan = ReplayPlan::from_graph(&graph, seed, events, 2, Duration::ZERO);
+    println!(
+        "citeseer/tiny: |V|={}, |E|={}, {} http workers, {} subscribers, \
+         {} replay events (digest {:016x}){}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        HTTP_WORKERS,
+        SUBSCRIBERS,
+        plan.events.len(),
+        plan.digest(),
+        if quick { " (quick)" } else { "" },
+    );
+
+    let mut group = BenchGroup::new("server: subscription fan-out", events);
+
+    let server = RcwServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let config = ServerConfig::single(&engine)
+        .with_workers(HTTP_WORKERS)
+        .with_queue_bound(256);
+
+    let (ack_lat, update_lat, per_event, delivered, report) = std::thread::scope(|scope| {
+        let config_ref = &config;
+        let server_thread = scope.spawn(move || server.serve_config(config_ref).expect("serve"));
+
+        // Warm one node set, then time fresh connect+subscribe+ack cycles
+        // against it — the steady ack path is a store hit behind the wire.
+        let ack_nodes = ds.pick_test_nodes(2, seed + 50);
+        let mut warmup = Client::connect(&addr).expect("connect");
+        warmup.generate(&ack_nodes).expect("warm the store");
+        let mut ack_lat: Vec<Duration> = (0..ack_samples)
+            .map(|_| {
+                let start = Instant::now();
+                let sub = Client::connect(&addr)
+                    .expect("connect")
+                    .subscribe(&ack_nodes)
+                    .expect("subscribe");
+                let elapsed = start.elapsed();
+                drop(sub);
+                elapsed
+            })
+            .collect();
+        ack_lat.sort_unstable();
+
+        // The measured fleet: SUBSCRIBERS streams all watching the SAME
+        // node set, so each intersecting disturbance owes exactly one
+        // frame per stream and the read loop never waits on a stream that
+        // has nothing coming.
+        let fleet_nodes = ds.pick_test_nodes(2, seed + 100);
+        let mut subs: Vec<SubscriptionStream> = (0..SUBSCRIBERS)
+            .map(|_| {
+                Client::connect(&addr)
+                    .expect("connect")
+                    .subscribe(&fleet_nodes)
+                    .expect("subscribe")
+            })
+            .collect();
+        for sub in &mut subs {
+            // Safety net only: owed frames are flushed before the disturb
+            // 200 lands, so a read that hits this timeout is a bug.
+            sub.set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("read timeout");
+        }
+        let base_epoch = subs[0].epoch();
+
+        // Replay: each event is one /disturb. The /stats owed delta says
+        // how many frames each stream must produce (0 or 1 — one shared
+        // entry), so the reads measure fan-out latency, not poll timeouts.
+        let mut update_lat: Vec<Duration> = Vec::new();
+        let mut per_event: Vec<Duration> = Vec::with_capacity(plan.events.len());
+        let mut collected: Vec<rcw_server::wire::WitnessUpdate> = Vec::new();
+        let mut owed_before = owed_updates(&mut warmup);
+        for event in &plan.events {
+            let start = Instant::now();
+            warmup.disturb(&event.flips).expect("disturb");
+            let owed_now = owed_updates(&mut warmup);
+            let owed = owed_now - owed_before;
+            owed_before = owed_now;
+            assert_eq!(
+                owed % SUBSCRIBERS as u64,
+                0,
+                "one shared entry: every stream is owed the same count"
+            );
+            let per_sub = owed / SUBSCRIBERS as u64;
+            for sub in &mut subs {
+                for _ in 0..per_sub {
+                    match sub.next_update() {
+                        Ok(Some(update)) => {
+                            update_lat.push(start.elapsed());
+                            collected.push(update);
+                        }
+                        Ok(None) => panic!("stream closed mid-bench"),
+                        Err(ClientError::Io(e))
+                            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+                        {
+                            panic!("owed frame never arrived")
+                        }
+                        Err(e) => panic!("stream error: {e}"),
+                    }
+                }
+            }
+            per_event.push(start.elapsed());
+        }
+        update_lat.sort_unstable();
+
+        warmup.shutdown().expect("shutdown");
+        for mut sub in subs {
+            // Drain the shutdown close so late frames still count.
+            sub.set_read_timeout(None).expect("clear timeout");
+            while let Ok(Some(update)) = sub.next_update() {
+                collected.push(update);
+            }
+        }
+        // Rebase epochs on the first ack so the printed digest is
+        // comparable across runs (the engine epoch is process-global).
+        rebase_epochs(base_epoch, &mut collected);
+        let report = server_thread.join().expect("server thread");
+        (ack_lat, update_lat, per_event, collected, report)
+    });
+
+    assert_eq!(
+        report.updates_delivered + report.updates_shed,
+        report.updates_owed,
+        "delivery ledger must balance exactly"
+    );
+    assert_eq!(
+        report.updates_delivered,
+        delivered.len() as u64,
+        "every delivered frame was read"
+    );
+
+    group.record(
+        "subscribe/ack_latency",
+        ack_lat.len(),
+        percentile(&ack_lat, 50),
+        ack_lat[0],
+        *ack_lat.last().expect("ack samples"),
+    );
+    if !update_lat.is_empty() {
+        let (p50, p99) = (percentile(&update_lat, 50), percentile(&update_lat, 99));
+        group.record("fanout/p50/update_latency", update_lat.len(), p50, p50, p99);
+        group.record("fanout/p99/update_latency", update_lat.len(), p99, p50, p99);
+    }
+    let mean_event = per_event.iter().sum::<Duration>() / per_event.len() as u32;
+    group.record(
+        "replay/ns_per_event",
+        per_event.len(),
+        mean_event,
+        mean_event,
+        mean_event,
+    );
+
+    println!(
+        "ledger: owed={} delivered={} shed={}; received digest {:016x}\n",
+        report.updates_owed,
+        report.updates_delivered,
+        report.updates_shed,
+        sequence_digest(delivered.iter()),
+    );
+
+    group.finish();
+    // anchor at the workspace root so the record is stable across invokers
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_subscribe.json");
+    group.write_json(path);
+}

@@ -12,6 +12,7 @@
 //! * **CF-GNNExp** — counterfactual-only baseline (re-implemented).
 
 pub mod gate;
+pub mod replay;
 pub mod timing;
 
 use rcw_baselines::{Cf2Explainer, CfGnnExplainer};

@@ -339,6 +339,51 @@ impl EngineStats {
     }
 }
 
+/// How one stored witness fared in a [`WitnessEngine::disturb`] sweep.
+/// Entries the disturbance could not reach are not reported per-entry (they
+/// appear only in the summary's `untouched` count): a subscription layer owes
+/// updates exactly for the entries whose region the disturbance touched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// The stored witness re-verified at (at least) its old level.
+    Reverified,
+    /// The stored witness was repaired through a seeded search.
+    Repaired,
+    /// The stored witness was rebuilt from scratch.
+    Regenerated,
+    /// Repair and regeneration both failed: the entry is served stale.
+    Degraded,
+}
+
+impl RepairOutcome {
+    /// Stable wire name of the outcome.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RepairOutcome::Reverified => "reverified",
+            RepairOutcome::Repaired => "repaired",
+            RepairOutcome::Regenerated => "regenerated",
+            RepairOutcome::Degraded => "degraded",
+        }
+    }
+}
+
+/// Per-entry outcome of a [`WitnessEngine::disturb`] sweep, carrying the
+/// exact result a warm [`WitnessEngine::generate`] for `test_nodes` returns
+/// at the post-sweep epoch. It is built inside the sweep, under the store
+/// lock, so a subscription layer can push it without racing a later
+/// disturbance — bit-exactness with a fresh query is by construction.
+#[derive(Clone, Debug)]
+pub struct EntryRepair {
+    /// The canonical (sorted, deduplicated) store key of the entry.
+    pub test_nodes: Vec<NodeId>,
+    /// How the sweep handled the entry.
+    pub outcome: RepairOutcome,
+    /// What a warm `generate(&test_nodes)` at the post-sweep epoch returns
+    /// (for [`RepairOutcome::Degraded`]: what a failed heal serves — tagged
+    /// `stale`, since a *successful* heal would produce a fresh witness).
+    pub result: GenerationResult,
+}
+
 /// Report of one [`WitnessEngine::disturb`] call.
 #[derive(Clone, Debug)]
 pub struct DisturbReport {
@@ -361,6 +406,12 @@ pub struct DisturbReport {
     pub degraded: usize,
     /// Aggregate work spent on repair.
     pub stats: GenerationStats,
+    /// Per-entry outcomes for every stored witness the disturbance touched
+    /// (`entries.len() == reverified + repaired + regenerated + degraded`),
+    /// each carrying the warm-equivalent [`GenerationResult`] at the
+    /// post-sweep epoch. Not part of the report's wire encoding — the
+    /// serving layer consumes them for subscription fan-out and strips them.
+    pub entries: Vec<EntryRepair>,
 }
 
 /// The long-lived witness engine: load graph and model once, answer
@@ -871,6 +922,7 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                 regenerated: 0,
                 degraded: 0,
                 stats: GenerationStats::default(),
+                entries: Vec::new(),
             };
         }
         // The footprint radius covers both what the model can see (receptive
@@ -894,6 +946,7 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
             regenerated: 0,
             degraded: 0,
             stats: GenerationStats::default(),
+            entries: Vec::new(),
         };
 
         let repair_start = Instant::now();
@@ -952,6 +1005,11 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                     stored.stale = false;
                     report.reverified += 1;
                     lock_recover(&self.stats).repairs_reverified += 1;
+                    report.entries.push(EntryRepair {
+                        test_nodes: key.clone(),
+                        outcome: RepairOutcome::Reverified,
+                        result: warm_equivalent(&graph, &key, &stored),
+                    });
                     store.insert(key, stored);
                     continue;
                 }
@@ -987,22 +1045,27 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                     report.stats.inference_calls += result.stats.inference_calls;
                     report.stats.disturbances_verified += result.stats.disturbances_verified;
                     report.stats.expand_rounds += result.stats.expand_rounds;
-                    if how == "searched" {
+                    let outcome = if how == "searched" {
                         report.repaired += 1;
                         lock_recover(&self.stats).repairs_searched += 1;
+                        RepairOutcome::Repaired
                     } else {
                         report.regenerated += 1;
                         lock_recover(&self.stats).repairs_regenerated += 1;
-                    }
-                    store.insert(
-                        key,
-                        StoredWitness {
-                            witness: result.witness,
-                            level: result.level,
-                            epoch,
-                            stale: false,
-                        },
-                    );
+                        RepairOutcome::Regenerated
+                    };
+                    let fresh = StoredWitness {
+                        witness: result.witness,
+                        level: result.level,
+                        epoch,
+                        stale: false,
+                    };
+                    report.entries.push(EntryRepair {
+                        test_nodes: key.clone(),
+                        outcome,
+                        result: warm_equivalent(&graph, &key, &fresh),
+                    });
+                    store.insert(key, fresh);
                 }
                 None => {
                     // Degraded: every recovery path failed. Keep the old
@@ -1014,6 +1077,11 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                     stored.stale = true;
                     report.degraded += 1;
                     lock_recover(&self.stats).repairs_degraded += 1;
+                    report.entries.push(EntryRepair {
+                        test_nodes: key.clone(),
+                        outcome: RepairOutcome::Degraded,
+                        result: warm_equivalent(&graph, &key, &stored),
+                    });
                     store.insert(key, stored);
                 }
             }
@@ -1052,6 +1120,22 @@ impl<'m, M: VerifiableModel + ?Sized> WitnessEngine<'m, M> {
                 budget,
             )
         }
+    }
+}
+
+/// The result a warm `generate(key)` returns for `stored` at the current
+/// epoch: remapped to the canonical key order, nontriviality judged against
+/// the post-disturbance graph, zero stats, `stale` carried through (a warm
+/// probe of a degraded entry that fails to heal serves exactly this shape).
+fn warm_equivalent(graph: &Graph, key: &[NodeId], stored: &StoredWitness) -> GenerationResult {
+    let witness = remap_witness(&stored.witness, key);
+    let nontrivial = witness.is_nontrivial(graph);
+    GenerationResult {
+        witness,
+        level: stored.level,
+        nontrivial,
+        stale: stored.stale,
+        stats: GenerationStats::default(),
     }
 }
 

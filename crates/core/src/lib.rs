@@ -65,8 +65,8 @@ pub mod witness;
 
 pub use config::RcwConfig;
 pub use engine::{
-    DisturbReport, EngineCaches, EngineFaultHook, EngineSnapshot, EngineStats, StoredWitness,
-    WitnessEngine, FAULT_SITE_REGEN, FAULT_SITE_REPAIR,
+    DisturbReport, EngineCaches, EngineFaultHook, EngineSnapshot, EngineStats, EntryRepair,
+    RepairOutcome, StoredWitness, WitnessEngine, FAULT_SITE_REGEN, FAULT_SITE_REPAIR,
 };
 pub use generate::{robogexp, robogexp_appnp, GenerationResult, GenerationStats, RoboGExp};
 pub use model::{DisturbanceSearch, VerifiableModel};

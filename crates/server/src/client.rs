@@ -3,6 +3,12 @@
 //! Used by the in-crate end-to-end tests and the smoke test that drives the
 //! `rcw_serve` binary; it doubles as executable documentation of the wire
 //! format. One client holds one kept-alive connection.
+//!
+//! Speaks wire protocol v1: every request body carries `"v": 1`, every
+//! response body is checked for the same envelope, and non-2xx replies are
+//! decoded as structured error objects whose `retryable` flag — not a
+//! hardcoded status list — drives the [`RetryPolicy`]. [`Client::subscribe`]
+//! upgrades the connection to a witness-update stream (NDJSON frames).
 
 use crate::http::MAX_BODY_BYTES;
 use crate::wire::{self, Json, WireError};
@@ -74,7 +80,9 @@ impl std::fmt::Display for ClientError {
 /// a sleep it cannot afford).
 ///
 /// Installed with [`Client::set_retry`]; only the idempotent endpoints
-/// (`generate`, `generate_batch`, `healthz`, `stats`) use it. `disturb` and
+/// (`generate`, `generate/batch`, `healthz`, `stats`) use it, and only for
+/// failures the server marks `retryable` in its structured error body (or,
+/// when no body parses, the transient status fallback). `disturb` and
 /// `shutdown` mutate server state and are never auto-retried: a retried
 /// disturbance would flip edges twice.
 #[derive(Clone, Debug)]
@@ -114,19 +122,36 @@ impl RetryPolicy {
     }
 }
 
-/// Transient response statuses (see [`ClientError::is_transient`]).
+/// Transient response statuses — the fallback when a non-2xx body does not
+/// carry a parseable structured error (see [`ClientError::is_transient`]).
 fn transient_status(status: u16) -> bool {
     matches!(status, 408 | 429 | 500 | 503)
 }
 
-/// Builds the typed protocol error for a non-200 raw body: the server's
-/// `error` field when the body parses, the raw text otherwise.
+/// Whether a non-200 response is worth retrying: the structured error
+/// body's `retryable` flag when the body parses, the status-code table
+/// otherwise (a truncated body should not disable retries).
+fn response_retryable(status: u16, text: &str) -> bool {
+    Json::parse(text.trim_end())
+        .ok()
+        .and_then(|v| wire::error_from_json(&v).ok())
+        .map(|e| e.retryable)
+        .unwrap_or_else(|| transient_status(status))
+}
+
+/// Builds the typed protocol error for a non-200 raw body: the structured
+/// `error.detail` when the body parses, the raw text otherwise.
 fn protocol_error(status: u16, text: &str) -> ClientError {
     let message = Json::parse(text.trim_end())
         .ok()
         .and_then(|v| {
-            v.get("error")
-                .and_then(|e| e.as_str().ok().map(str::to_string))
+            wire::error_from_json(&v)
+                .ok()
+                .map(|e| e.detail)
+                .or_else(|| {
+                    v.get("error")
+                        .and_then(|e| e.as_str().ok().map(str::to_string))
+                })
         })
         .unwrap_or_else(|| text.trim_end().to_string());
     ClientError::Protocol(status, message)
@@ -165,13 +190,22 @@ pub struct Client {
     prefix: String,
     deadline_ms: Option<u64>,
     retry: Option<RetryPolicy>,
+    read_timeout: Duration,
     rng: Rng,
 }
 
+/// Responses slower than this count as a dead connection. Generous by
+/// default — cold sessions on full-scale graphs are slow; fault-heavy
+/// callers tighten it via [`Client::set_read_timeout`].
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
 /// Dials `addr` with the client's socket options set.
-fn dial(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+fn dial(
+    addr: &str,
+    read_timeout: Duration,
+) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
     let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_read_timeout(Some(read_timeout))?;
     // Small request/response round trips: disable Nagle so the request
     // is not held back waiting for an ACK of the previous response.
     stream.set_nodelay(true)?;
@@ -182,7 +216,7 @@ fn dial(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
 impl Client {
     /// Connects to a server address like `127.0.0.1:8080`.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
-        let (reader, writer) = dial(addr)?;
+        let (reader, writer) = dial(addr, DEFAULT_READ_TIMEOUT)?;
         Ok(Client {
             reader,
             writer,
@@ -190,6 +224,7 @@ impl Client {
             prefix: String::new(),
             deadline_ms: None,
             retry: None,
+            read_timeout: DEFAULT_READ_TIMEOUT,
             rng: Rng::seed_from_u64(
                 0x9e37_79b9_7f4a_7c15 ^ CLIENT_SEQ.fetch_add(1, Ordering::Relaxed),
             ),
@@ -197,13 +232,24 @@ impl Client {
     }
 
     /// Drops the current connection and dials the same address again. Route,
-    /// deadline, and retry settings survive; the retry loop calls this
-    /// transparently after transport failures, which is what lets a client
-    /// ride out a server restart.
+    /// deadline, retry, and read-timeout settings survive; the retry loop
+    /// calls this transparently after transport failures, which is what lets
+    /// a client ride out a server restart.
     pub fn reconnect(&mut self) -> Result<(), ClientError> {
-        let (reader, writer) = dial(&self.host)?;
+        let (reader, writer) = dial(&self.host, self.read_timeout)?;
         self.reader = reader;
         self.writer = writer;
+        Ok(())
+    }
+
+    /// Bounds how long one response read may block before the request fails
+    /// with a timeout-kind [`ClientError::Io`] (connections start at 60 s).
+    /// Chaos-facing callers tighten this so a fault-dropped response costs
+    /// seconds, not a minute; the setting survives [`Client::reconnect`].
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        self.read_timeout = timeout;
+        // reader and writer share one socket; the option is socket-level.
+        self.reader.get_ref().set_read_timeout(Some(timeout))?;
         Ok(())
     }
 
@@ -327,7 +373,7 @@ impl Client {
             }
             attempts += 1;
             match self.request_raw(method, path, body_text) {
-                Ok((status, text)) if transient_status(status) => {
+                Ok((status, text)) if status != 200 && response_retryable(status, &text) => {
                     last = Some(protocol_error(status, &text));
                 }
                 Ok(pair) => return Ok(pair),
@@ -411,12 +457,14 @@ impl Client {
 
     fn expect_ok(&mut self, status: u16, body: Json) -> Result<Json, ClientError> {
         if status == 200 {
+            // Version negotiation: a 200 body without the v1 envelope (or
+            // with a future version) is a protocol error, not data.
+            wire::check_version(&body)?;
             Ok(body)
         } else {
-            let message = body
-                .get("error")
-                .and_then(|e| e.as_str().ok().map(str::to_string))
-                .unwrap_or_else(|| body.encode());
+            let message = wire::error_from_json(&body)
+                .map(|e| e.detail)
+                .unwrap_or_else(|_| body.encode());
             Err(ClientError::Protocol(status, message))
         }
     }
@@ -431,8 +479,10 @@ impl Client {
     /// `POST /generate` for one test-node set. Request and response both go
     /// through the direct codec: no [`Json`] tree on the warm path.
     pub fn generate(&mut self, nodes: &[usize]) -> Result<GenerationResult, ClientError> {
-        let mut body = String::with_capacity(12 + 8 * nodes.len());
-        body.push_str("{\"nodes\":");
+        let mut body = String::with_capacity(20 + 8 * nodes.len());
+        body.push_str("{\"v\":");
+        wire::push_u64(&mut body, wire::WIRE_VERSION);
+        body.push_str(",\"nodes\":");
         wire::push_usize_array(&mut body, nodes.iter().copied());
         body.push('}');
         let (status, text) = self.request_idempotent_raw("POST", "/generate", &body)?;
@@ -446,18 +496,20 @@ impl Client {
     /// `(status, body text)` without decoding the generation. For load
     /// generators: a driver hammering the server shouldn't bill response
     /// decoding to the measurement (on a shared core it directly steals
-    /// server cycles). Retries like [`Client::generate`]; the caller checks
-    /// the status.
+    /// server cycles). The caller's body must carry the `"v": 1` envelope.
+    /// Retries like [`Client::generate`]; the caller checks the status.
     pub fn generate_text(&mut self, body_text: &str) -> Result<(u16, String), ClientError> {
         self.request_idempotent_raw("POST", "/generate", body_text)
     }
 
-    /// `POST /generate_batch` for several test-node sets.
+    /// `POST /generate/batch` for several test-node sets. (The server still
+    /// answers the pre-v1 `/generate_batch` spelling, with a `Deprecation`
+    /// header; the client speaks the canonical path.)
     pub fn generate_batch(
         &mut self,
         queries: &[Vec<usize>],
     ) -> Result<Vec<GenerationResult>, ClientError> {
-        let body = Json::obj([(
+        let body = wire::versioned(Json::obj([(
             "queries",
             Json::Arr(
                 queries
@@ -465,8 +517,8 @@ impl Client {
                     .map(|nodes| Json::nums(nodes.iter().copied()))
                     .collect(),
             ),
-        )]);
-        let (status, reply) = self.request_idempotent("POST", "/generate_batch", Some(&body))?;
+        )]));
+        let (status, reply) = self.request_idempotent("POST", "/generate/batch", Some(&body))?;
         let reply = self.expect_ok(status, reply)?;
         reply
             .field("results")?
@@ -481,7 +533,7 @@ impl Client {
     /// transient failure here surfaces to the caller, who knows whether the
     /// flip landed.
     pub fn disturb(&mut self, flips: &[(usize, usize)]) -> Result<DisturbReport, ClientError> {
-        let body = Json::obj([(
+        let body = wire::versioned(Json::obj([(
             "flips",
             Json::Arr(
                 flips
@@ -489,7 +541,7 @@ impl Client {
                     .map(|&(u, v)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]))
                     .collect(),
             ),
-        )]);
+        )]));
         let (status, reply) = self.request("POST", "/disturb", Some(&body))?;
         let reply = self.expect_ok(status, reply)?;
         Ok(wire::disturb_report_from_json(&reply)?)
@@ -517,5 +569,139 @@ impl Client {
         let (status, body) = self.request("POST", "/shutdown", None)?;
         self.expect_ok(status, body)?;
         Ok(())
+    }
+
+    /// `POST /subscribe`: registers `nodes` as a standing witness query and
+    /// upgrades this connection into a [`SubscriptionStream`]. Consumes the
+    /// client — after the server's `subscribed` acknowledgement the socket
+    /// carries only NDJSON update frames, never another request/response
+    /// exchange. Not auto-retried (a duplicate subscription would double
+    /// every later update); on failure the caller re-dials.
+    pub fn subscribe(mut self, nodes: &[usize]) -> Result<SubscriptionStream, ClientError> {
+        let mut body = String::with_capacity(20 + 8 * nodes.len());
+        body.push_str("{\"v\":");
+        wire::push_u64(&mut body, wire::WIRE_VERSION);
+        body.push_str(",\"nodes\":");
+        wire::push_usize_array(&mut body, nodes.iter().copied());
+        body.push('}');
+        let (status, text) = self.request_raw("POST", "/subscribe", &body)?;
+        if status != 200 {
+            return Err(protocol_error(status, &text));
+        }
+        // The stream head has no content-length, so `text` is empty and the
+        // acknowledgement frame is the next NDJSON line on the wire.
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                0,
+                "stream closed before ack".to_string(),
+            ));
+        }
+        match wire::frame_from_body(line.trim_end())? {
+            wire::Frame::Subscribed {
+                subscription,
+                epoch,
+                nodes,
+                result,
+            } => Ok(SubscriptionStream {
+                reader: self.reader,
+                _writer: self.writer,
+                subscription,
+                epoch,
+                nodes,
+                ack: result,
+                partial: String::new(),
+            }),
+            wire::Frame::WitnessUpdate(_) => Err(ClientError::Protocol(
+                200,
+                "expected subscribed frame, got witness_update".to_string(),
+            )),
+        }
+    }
+}
+
+/// The receiving half of a witness subscription (see [`Client::subscribe`]):
+/// a blocking iterator over `witness_update` frames. Dropping the stream
+/// closes the socket; the server notices on its next push or read probe and
+/// unregisters the subscription.
+pub struct SubscriptionStream {
+    reader: BufReader<TcpStream>,
+    // Kept alive so the server's EOF probe sees an open peer; streams are
+    // read-only after the subscribe request.
+    _writer: TcpStream,
+    subscription: u64,
+    epoch: u64,
+    nodes: Vec<usize>,
+    ack: GenerationResult,
+    /// Frame bytes accumulated across timed-out reads: a read timeout can
+    /// strike mid-frame, and dropping the partial line would desynchronize
+    /// the stream. The next call keeps appending to the same line.
+    partial: String,
+}
+
+impl SubscriptionStream {
+    /// Server-assigned subscription id (echoed in every update frame).
+    pub fn id(&self) -> u64 {
+        self.subscription
+    }
+
+    /// Graph epoch at acknowledgement time.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The canonical (sorted, deduplicated) node set the server registered.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// The witness generated for the node set at subscribe time — bit-exact
+    /// with a `/generate` of the same nodes at [`SubscriptionStream::epoch`].
+    pub fn ack(&self) -> &GenerationResult {
+        &self.ack
+    }
+
+    /// Bounds how long [`SubscriptionStream::next_update`] may block waiting
+    /// for a frame (`None` blocks indefinitely). A timed-out wait surfaces
+    /// as [`ClientError::Io`] with a timeout kind; the stream stays usable.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Blocks for the next `witness_update` frame. `Ok(None)` means the
+    /// server closed the stream (shutdown or slow-consumer drop). A timed
+    /// read (see [`SubscriptionStream::set_read_timeout`]) that expires
+    /// surfaces the io error without losing stream position — partially
+    /// received frames resume on the next call.
+    pub fn next_update(&mut self) -> Result<Option<wire::WitnessUpdate>, ClientError> {
+        loop {
+            // `read_line` appends, so `partial` survives timeouts intact.
+            if self.reader.read_line(&mut self.partial)? == 0 {
+                if !self.partial.trim().is_empty() {
+                    return Err(ClientError::Protocol(
+                        0,
+                        "stream truncated mid-frame".to_string(),
+                    ));
+                }
+                return Ok(None);
+            }
+            if !self.partial.ends_with('\n') {
+                continue; // timeout-free short read: keep accumulating
+            }
+            let line = std::mem::take(&mut self.partial);
+            if line.trim().is_empty() {
+                continue;
+            }
+            match wire::frame_from_body(line.trim_end())? {
+                wire::Frame::WitnessUpdate(update) => return Ok(Some(update)),
+                wire::Frame::Subscribed { .. } => {
+                    return Err(ClientError::Protocol(
+                        200,
+                        "unexpected second subscribed frame".to_string(),
+                    ))
+                }
+            }
+        }
     }
 }

@@ -325,26 +325,68 @@ pub fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-/// A response ready to be written: status code and JSON body.
+/// A response ready to be written: status code, JSON body, and any extra
+/// headers beyond the fixed framing set.
 #[derive(Clone, Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// Response body (always `application/json` on this wire).
     pub body: String,
+    /// Extra headers appended after the fixed set (`Deprecation`, ...).
+    /// Names and values must already be wire-safe; nothing is escaped.
+    pub headers: Vec<(&'static str, String)>,
+}
+
+/// The v1 error vocabulary: the stable machine-readable `code` and whether
+/// retrying the identical request may succeed, keyed by status. Kept in one
+/// table so the wire reference in the README and the server can't drift.
+pub fn error_class(status: u16) -> (&'static str, bool) {
+    match status {
+        400 => ("bad_request", false),
+        404 => ("not_found", false),
+        405 => ("method_not_allowed", false),
+        408 => ("timeout", true),
+        413 => ("too_large", false),
+        429 => ("overloaded", true),
+        500 => ("internal", true),
+        503 => ("unavailable", true),
+        _ => ("error", false),
+    }
 }
 
 impl Response {
     /// A `200 OK` JSON response.
     pub fn ok(body: String) -> Self {
-        Response { status: 200, body }
+        Response {
+            status: 200,
+            body,
+            headers: Vec::new(),
+        }
     }
 
-    /// An error response carrying `{"error": message}`.
-    pub fn error(status: u16, message: &str) -> Self {
-        let body = crate::wire::Json::obj([("error", crate::wire::Json::Str(message.to_string()))])
-            .encode();
-        Response { status, body }
+    /// An error response carrying the uniform v1 body
+    /// `{"v": 1, "error": {"code": .., "detail": .., "retryable": ..}}`,
+    /// with `code`/`retryable` derived from the status via [`error_class`].
+    pub fn error(status: u16, detail: &str) -> Self {
+        let (code, retryable) = error_class(status);
+        Response::error_coded(status, code, detail, retryable)
+    }
+
+    /// An error response with an explicit code overriding the status-derived
+    /// one (`bad_version` rides a plain 400).
+    pub fn error_coded(status: u16, code: &str, detail: &str, retryable: bool) -> Self {
+        Response {
+            status,
+            body: crate::wire::error_to_body(code, detail, retryable),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Builder: attach an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -394,12 +436,35 @@ pub fn encode_response(response: &Response, close: bool) -> Vec<u8> {
     crate::wire::push_u64(&mut message, body_len as u64);
     message.push_str("\r\nconnection: ");
     message.push_str(if close { "close" } else { "keep-alive" });
+    for (name, value) in &response.headers {
+        message.push_str("\r\n");
+        message.push_str(name);
+        message.push_str(": ");
+        message.push_str(value);
+    }
     message.push_str("\r\n\r\n");
     message.push_str(&response.body);
     if needs_newline {
         message.push('\n');
     }
     message.into_bytes()
+}
+
+/// The response head opening a subscription stream: `200` with **no**
+/// `Content-Length` — the body is an unbounded sequence of NDJSON frames and
+/// end-of-stream is signalled by connection close (the one HTTP/1.1 framing
+/// that needs no length up front). Frames follow via [`encode_stream_frame`].
+pub fn encode_stream_head() -> Vec<u8> {
+    b"HTTP/1.1 200 OK\r\ncontent-type: application/x-ndjson\r\nconnection: close\r\n\r\n".to_vec()
+}
+
+/// One NDJSON stream frame: the encoded frame body plus the newline
+/// delimiter.
+pub fn encode_stream_frame(frame: &str) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(frame.len() + 1);
+    bytes.extend_from_slice(frame.as_bytes());
+    bytes.push(b'\n');
+    bytes
 }
 
 #[cfg(test)]

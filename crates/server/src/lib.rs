@@ -6,14 +6,36 @@
 //! and a line-oriented JSON wire format ([`wire`]) — no external crates,
 //! matching the rest of the workspace.
 //!
+//! All bodies ride the **v1 envelope**: every request and response object
+//! carries `"v": 1`, decoders reject missing or future versions with the
+//! `bad_version` error code, and every non-2xx answer is the uniform
+//! `{"v": 1, "error": {"code", "detail", "retryable"}}` body (see the
+//! README's "Wire protocol v1" reference).
+//!
 //! | endpoint | method | body | answer |
 //! |---|---|---|---|
-//! | `[/NAME]/generate` | POST | `{"nodes": [v, ...]}` | witness + level + stats |
-//! | `[/NAME]/generate_batch` | POST | `{"queries": [[v, ...], ...]}` | `{"results": [...]}` |
-//! | `[/NAME]/disturb` | POST | `{"flips": [[u, v], ...]}` | [`rcw_core::DisturbReport`] |
+//! | `[/NAME]/generate` | POST | `{"v": 1, "nodes": [v, ...]}` | witness + level + stats |
+//! | `[/NAME]/generate/batch` | POST | `{"v": 1, "queries": [[v, ...], ...]}` | `{"v": 1, "results": [...]}` |
+//! | `[/NAME]/generate_batch` | POST | deprecated alias of `/generate/batch` (`Deprecation` header) | |
+//! | `[/NAME]/disturb` | POST | `{"v": 1, "flips": [[u, v], ...]}` | [`rcw_core::DisturbReport`] |
+//! | `[/NAME]/subscribe` | POST | `{"v": 1, "nodes": [v, ...]}` | NDJSON witness-update stream |
 //! | `[/NAME]/stats` | GET | — | engine snapshot(s) + server counters |
-//! | `[/NAME]/healthz` | GET | — | `{"ok": true, "epoch": n, "engine": name}` |
-//! | `/shutdown` | POST | — | `{"ok": true}`, then graceful stop (global only) |
+//! | `[/NAME]/healthz` | GET | — | `{"v": 1, "ok": true, "epoch": n, "engine": name}` |
+//! | `/shutdown` | POST | — | `{"v": 1, "ok": true}`, then graceful stop (global only) |
+//!
+//! ## Subscriptions
+//!
+//! `POST [/NAME]/subscribe` registers the request's test-node set and turns
+//! the connection into a one-way NDJSON stream: a `subscribed` frame
+//! acknowledges with the current witness, then every `/disturb` whose
+//! repair touches the subscribed entry pushes one `witness_update` frame —
+//! bit-exact with what a fresh `/generate` at that epoch would return
+//! (degraded entries carry the stale-tagged result a failed heal serves).
+//! Frames queue on the connection's ordinary write path under a bounded
+//! buffer ([`SUBSCRIBE_BUFFER_CAP`]); a slow consumer sheds frames rather
+//! than stalling repair fan-out, and the ledger `updates_delivered +
+//! updates_shed == updates_owed` is exact by construction (each owed update
+//! is resolved exactly once by the event loop).
 //!
 //! ## Architecture
 //!
@@ -142,11 +164,18 @@ const KICK_GRACE: Duration = Duration::from_micros(100);
 /// Upper bound of the injected `read_stall` fault's sleep.
 const INJECTED_STALL: Duration = Duration::from_millis(250);
 
+/// Bound on a subscription stream's unwritten backlog. A pushed frame that
+/// would grow the connection's write queue past this is **shed** (counted in
+/// `updates_shed`) instead of buffered: a slow or wedged consumer must not
+/// grow server memory or stall disturbance fan-out.
+pub const SUBSCRIBE_BUFFER_CAP: usize = 256 * 1024;
+
 /// Endpoint names, reserved so an engine route can never shadow them.
-const RESERVED_ROUTE_NAMES: [&str; 6] = [
+const RESERVED_ROUTE_NAMES: [&str; 7] = [
     "generate",
     "generate_batch",
     "disturb",
+    "subscribe",
     "stats",
     "healthz",
     "shutdown",
@@ -445,6 +474,14 @@ pub struct ServeReport {
     /// Micro-batches formed by the admission scheduler (claims of two or
     /// more compatible `/generate` requests).
     pub batches_formed: usize,
+    /// Witness updates owed to subscribers: one per (subscription,
+    /// touched-entry) pair per disturbance.
+    pub updates_owed: u64,
+    /// Owed updates queued onto a live stream within the buffer cap.
+    pub updates_delivered: u64,
+    /// Owed updates dropped (stream gone or slow-consumer cap). The ledger
+    /// `updates_delivered + updates_shed == updates_owed` is exact.
+    pub updates_shed: u64,
 }
 
 impl ServeReport {
@@ -583,6 +620,30 @@ enum Completion {
     },
     /// Drop the connection without a response (injected faults).
     Kill { conn_id: usize },
+    /// Open a subscription stream on the connection: write the response
+    /// head + `subscribed` frame and hold the connection as a one-way
+    /// NDJSON stream addressed by `subscription`.
+    Stream {
+        conn_id: usize,
+        subscription: u64,
+        bytes: Vec<u8>,
+    },
+    /// Append one `witness_update` frame to the stream's write queue. The
+    /// loop resolves each push exactly once: delivered (queued within
+    /// [`SUBSCRIBE_BUFFER_CAP`]) or shed (stream gone / buffer full) — the
+    /// resolution side of the `owed == delivered + shed` ledger.
+    Push { subscription: u64, bytes: Vec<u8> },
+}
+
+/// One live subscription: which engine's store key it watches. Kept in
+/// [`ServeState`] so disturb fan-out (worker side) can match repair entries
+/// without touching event-loop state.
+struct SubEntry {
+    id: u64,
+    engine_idx: usize,
+    /// Canonical store key (sorted, deduped) — matches
+    /// [`rcw_core::EntryRepair::test_nodes`] exactly.
+    key: Vec<usize>,
 }
 
 /// Shared per-serve state: the config, the counters every endpoint reports,
@@ -599,6 +660,32 @@ struct ServeState<'e, 'c> {
     batch_claims: AtomicUsize,
     batch_items: AtomicUsize,
     admission_wait_us: AtomicU64,
+    /// Live subscriptions (worker-side view for disturb fan-out).
+    subscriptions: Mutex<Vec<SubEntry>>,
+    /// Monotone subscription-id source (ids start at 1).
+    next_subscription: AtomicU64,
+    /// Monotone disturbance-id source: every `/disturb` request gets one,
+    /// stamped into the `witness_update` frames it triggers.
+    disturb_seq: AtomicU64,
+    /// Updates owed: one per (subscription, touched-entry) pair per
+    /// disturbance, counted at fan-out under the registry lock.
+    updates_owed: AtomicU64,
+    /// Owed updates queued onto a live stream within the buffer cap.
+    updates_delivered: AtomicU64,
+    /// Owed updates dropped: stream gone or backlog at the cap.
+    updates_shed: AtomicU64,
+}
+
+fn lock_subs<'s>(state: &'s ServeState<'_, '_>) -> MutexGuard<'s, Vec<SubEntry>> {
+    state
+        .subscriptions
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Retires one subscription from the fan-out registry.
+fn unregister(state: &ServeState<'_, '_>, subscription: u64) {
+    lock_subs(state).retain(|s| s.id != subscription);
 }
 
 impl RcwServer {
@@ -648,6 +735,12 @@ impl RcwServer {
             batch_claims: AtomicUsize::new(0),
             batch_items: AtomicUsize::new(0),
             admission_wait_us: AtomicU64::new(0),
+            subscriptions: Mutex::new(Vec::new()),
+            next_subscription: AtomicU64::new(0),
+            disturb_seq: AtomicU64::new(0),
+            updates_owed: AtomicU64::new(0),
+            updates_delivered: AtomicU64::new(0),
+            updates_shed: AtomicU64::new(0),
         };
         let scheduler = Scheduler::new();
         let (done_tx, done_rx) = mpsc::channel::<Completion>();
@@ -679,6 +772,9 @@ impl RcwServer {
             deadline_rejections: state.deadline_rejections.load(Ordering::SeqCst),
             worker_restarts: state.worker_restarts.load(Ordering::SeqCst),
             batches_formed: state.batches_formed.load(Ordering::SeqCst),
+            updates_owed: state.updates_owed.load(Ordering::SeqCst),
+            updates_delivered: state.updates_delivered.load(Ordering::SeqCst),
+            updates_shed: state.updates_shed.load(Ordering::SeqCst),
         })
     }
 }
@@ -782,22 +878,84 @@ fn item_budget(item: &PendingItem, state: &ServeState<'_, '_>) -> SessionBudget 
     }
 }
 
-/// Serves one non-batchable request through [`route`].
+/// Serves one non-batchable request through [`route`], intercepting
+/// `/subscribe` (whose answer is a stream, not a [`Response`]).
 fn serve_single(item: PendingItem, state: &ServeState<'_, '_>, done: &Sender<Completion>) {
     let budget = item_budget(&item, state);
+    {
+        let (engine_idx, endpoint, routed) = resolve_path(state.config, &item.request.path);
+        if lookup_endpoint(&item.request.method, endpoint, routed) == Ok(Endpoint::Subscribe) {
+            return serve_subscribe(item, engine_idx, state, &budget, done);
+        }
+    }
     // A panicking handler must not take the pool down: answer 500 and keep
     // serving (the request was already counted).
-    let (response, stop_after) =
-        match catch_unwind(AssertUnwindSafe(|| route(&item.request, state, &budget))) {
-            Ok(pair) => pair,
-            Err(_) => (Response::error(500, "internal error"), false),
-        };
+    let (response, stop_after) = match catch_unwind(AssertUnwindSafe(|| {
+        route(&item.request, state, &budget, done)
+    })) {
+        Ok(pair) => pair,
+        Err(_) => (Response::error(500, "internal error"), false),
+    };
     if stop_after {
         // Graceful stop: flag the event loop before delivering, so this
         // response and every later one goes out with `connection: close`.
         state.shutdown.store(true, Ordering::SeqCst);
     }
     deliver(item, response, stop_after, state, done);
+}
+
+/// Serves one `/subscribe`: warm the engine's store for the canonical key
+/// (so later disturbances repair — and therefore report — the entry),
+/// register the subscription, and open the stream with a `subscribed`
+/// acknowledgement frame carrying the current witness.
+fn serve_subscribe(
+    item: PendingItem,
+    engine_idx: usize,
+    state: &ServeState<'_, '_>,
+    budget: &SessionBudget,
+    done: &Sender<Completion>,
+) {
+    let engine = state.config.routes[engine_idx].engine;
+    let nodes = match generate_nodes(&item.request, engine.num_nodes()) {
+        Ok(nodes) => nodes,
+        Err(response) => return deliver(item, response, false, state, done),
+    };
+    // Canonicalize to the engine's store key: fan-out matches
+    // [`rcw_core::EntryRepair::test_nodes`] (always canonical) by equality.
+    let mut key = nodes;
+    key.sort_unstable();
+    key.dedup();
+    let result = match catch_unwind(AssertUnwindSafe(|| {
+        engine.generate_with_budget(&key, budget)
+    })) {
+        Ok(Ok(result)) => result,
+        Ok(Err(BudgetExceeded)) => {
+            return deliver(item, budget_rejection(state), false, state, done)
+        }
+        Err(_) => {
+            return deliver(
+                item,
+                Response::error(500, "internal error"),
+                false,
+                state,
+                done,
+            )
+        }
+    };
+    let id = state.next_subscription.fetch_add(1, Ordering::SeqCst) + 1;
+    lock_subs(state).push(SubEntry {
+        id,
+        engine_idx,
+        key: key.clone(),
+    });
+    let frame = wire::subscribed_frame_to_body(id, engine.epoch(), &key, &result);
+    let mut bytes = http::encode_stream_head();
+    bytes.extend_from_slice(&http::encode_stream_frame(&frame));
+    let _ = done.send(Completion::Stream {
+        conn_id: item.conn_id,
+        subscription: id,
+        bytes,
+    });
 }
 
 /// Serves one same-engine `/generate` micro-batch through the engine's
@@ -934,6 +1092,11 @@ struct Conn {
     /// peer as "about to send again" (closed-loop clients re-send as soon
     /// as their response lands).
     last_admit: Instant,
+    /// `Some(subscription)` once a `/subscribe` opened a stream on this
+    /// connection: it becomes a one-way NDJSON pipe — no further requests
+    /// are read, idle timeouts don't apply (only the write-grace bound),
+    /// and it lives until the peer closes or the write side wedges.
+    streaming: Option<u64>,
 }
 
 impl Conn {
@@ -972,6 +1135,11 @@ struct EventLoop<'a, 'e, 'c> {
     /// so a burst forms one batch; the window bounds the deferral.
     pending: usize,
     pending_since: Option<Instant>,
+    /// Subscription id → connection slot, installed when a
+    /// [`Completion::Stream`] is applied and removed at close. Pushes
+    /// resolve through this map — never through a raw `conn_id`, which may
+    /// have been reused after the stream's connection died.
+    streams: std::collections::HashMap<u64, usize>,
     rdbuf: [u8; 16384],
 }
 
@@ -1000,6 +1168,7 @@ impl<'a, 'e, 'c> EventLoop<'a, 'e, 'c> {
             pushed: false,
             pending: 0,
             pending_since: None,
+            streams: std::collections::HashMap::new(),
             rdbuf: [0u8; 16384],
         }
     }
@@ -1048,8 +1217,23 @@ impl<'a, 'e, 'c> EventLoop<'a, 'e, 'c> {
                     self.scheduler.kick();
                 }
             }
-            if self.state.shutdown.load(Ordering::SeqCst) && self.live == 0 {
-                return self.connections;
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                // Streams are one-way: no final response ever closes them, so
+                // graceful stop closes each one once its queued frames have
+                // flushed (a peer not draining loses the write-grace race in
+                // `scan_timeouts` instead).
+                for id in 0..self.conns.len() {
+                    let flushed = matches!(
+                        self.conns[id].as_ref(),
+                        Some(conn) if conn.streaming.is_some() && conn.out_pos >= conn.out.len()
+                    );
+                    if flushed {
+                        self.close(id);
+                    }
+                }
+                if self.live == 0 {
+                    return self.connections;
+                }
             }
             let now = Instant::now();
             if now.duration_since(last_scan) >= TIMEOUT_SCAN_EVERY {
@@ -1136,6 +1320,7 @@ impl<'a, 'e, 'c> EventLoop<'a, 'e, 'c> {
                         last_progress: now,
                         frame_since: None,
                         last_admit: now,
+                        streaming: None,
                     };
                     match self.free.pop() {
                         Some(id) => self.conns[id] = Some(conn),
@@ -1171,11 +1356,66 @@ impl<'a, 'e, 'c> EventLoop<'a, 'e, 'c> {
                 self.pump(conn_id);
             }
             Completion::Kill { conn_id } => self.close(conn_id),
+            Completion::Stream {
+                conn_id,
+                subscription,
+                bytes,
+            } => {
+                let Some(conn) = self.conns[conn_id].as_mut() else {
+                    // The connection died between claim and stream open:
+                    // retire the registration (no updates were owed yet).
+                    unregister(self.state, subscription);
+                    return;
+                };
+                conn.busy = false;
+                conn.streaming = Some(subscription);
+                conn.out = bytes;
+                conn.out_pos = 0;
+                conn.close_after_write = false;
+                self.streams.insert(subscription, conn_id);
+                self.pump(conn_id);
+            }
+            Completion::Push {
+                subscription,
+                bytes,
+            } => {
+                // Resolve exactly once: delivered (queued under the cap) or
+                // shed. A missing map entry means the stream closed after
+                // fan-out counted the update — shed, keeping the ledger
+                // exact.
+                let queued_on = self.streams.get(&subscription).copied().filter(|&id| {
+                    match self.conns[id].as_mut() {
+                        Some(conn)
+                            if conn.out.len() - conn.out_pos + bytes.len()
+                                <= SUBSCRIBE_BUFFER_CAP =>
+                        {
+                            conn.out.extend_from_slice(&bytes);
+                            true
+                        }
+                        _ => false,
+                    }
+                });
+                match queued_on {
+                    Some(id) => {
+                        self.state.updates_delivered.fetch_add(1, Ordering::SeqCst);
+                        self.pump(id);
+                    }
+                    None => {
+                        self.state.updates_shed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
         }
     }
 
     fn close(&mut self, id: usize) {
-        if self.conns[id].take().is_some() {
+        if let Some(conn) = self.conns[id].take() {
+            // A dying stream retires its subscription: later disturbances
+            // stop owing it updates (in-flight pushes resolve as shed).
+            if let Some(subscription) = conn.streaming {
+                self.streams.remove(&subscription);
+                unregister(self.state, subscription);
+            }
             self.free.push(id);
             self.live -= 1;
         }
@@ -1190,11 +1430,12 @@ impl<'a, 'e, 'c> EventLoop<'a, 'e, 'c> {
         };
         let mut activity = false;
         let alive = self.pump_conn(id, &mut conn, &mut activity);
-        if alive {
-            self.conns[id] = Some(conn);
-        } else {
-            self.free.push(id);
-            self.live -= 1;
+        self.conns[id] = Some(conn);
+        if !alive {
+            // Route the drop through `close`: a dying stream must retire its
+            // subscription and streams-map entry, or a later Push would
+            // address whatever connection reuses this slot.
+            self.close(id);
         }
         activity
     }
@@ -1224,6 +1465,25 @@ impl<'a, 'e, 'c> EventLoop<'a, 'e, 'c> {
             if conn.close_after_write {
                 return false;
             }
+        }
+        // A subscription stream is one-way: frames go out via Push
+        // completions, and the peer's read side only matters for detecting
+        // close. Anything it sends is consumed and discarded — there is no
+        // request framing on a stream.
+        if conn.streaming.is_some() {
+            loop {
+                match conn.stream.read(&mut self.rdbuf) {
+                    Ok(0) => return false,
+                    Ok(_) => {
+                        conn.last_progress = Instant::now();
+                        *activity = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+            return true;
         }
         // One in-flight request per connection: responses go back in
         // request order, and the loop never reads ahead of the worker.
@@ -1346,6 +1606,18 @@ impl<'a, 'e, 'c> EventLoop<'a, 'e, 'c> {
             let action = match self.conns[id].as_mut() {
                 None => TimeoutAction::Keep,
                 Some(conn) if conn.busy => TimeoutAction::Keep,
+                Some(conn) if conn.streaming.is_some() => {
+                    // A stream idles as long as it likes; only a peer that
+                    // stops draining queued frames loses the slot (the
+                    // slow-consumer policy's backstop behind frame shed).
+                    if conn.out_pos < conn.out.len()
+                        && now.duration_since(conn.last_progress) > io_timeout
+                    {
+                        TimeoutAction::Drop
+                    } else {
+                        TimeoutAction::Keep
+                    }
+                }
                 Some(conn) => {
                     if conn.out_pos < conn.out.len() {
                         // A peer not draining its response gets io_timeout
@@ -1397,98 +1669,216 @@ impl<'a, 'e, 'c> EventLoop<'a, 'e, 'c> {
 // Routing and endpoint handlers
 // ---------------------------------------------------------------------------
 
-/// Classifies a request for admission, mirroring [`route`]'s prefix logic:
+/// What a path + method resolved to, after route-prefix stripping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Endpoint {
+    Healthz,
+    Stats,
+    Generate,
+    /// `deprecated` marks the legacy `/generate_batch` spelling, which
+    /// answers identically plus a `Deprecation` header.
+    GenerateBatch {
+        deprecated: bool,
+    },
+    Disturb,
+    Subscribe,
+    Shutdown,
+}
+
+/// One row of the endpoint table.
+struct EndpointSpec {
+    method: &'static str,
+    /// The endpoint path after the optional route prefix (may itself
+    /// contain `/`, e.g. `generate/batch`).
+    path: &'static str,
+    endpoint: Endpoint,
+    /// Whole-process endpoints only exist unrouted (`/shutdown`).
+    global_only: bool,
+}
+
+/// The wire's endpoint table. One table drives admission classification
+/// ([`classify`]), routing ([`route`]), and 405-vs-404 synthesis, so the
+/// three can never drift.
+const ENDPOINT_TABLE: &[EndpointSpec] = &[
+    EndpointSpec {
+        method: "GET",
+        path: "healthz",
+        endpoint: Endpoint::Healthz,
+        global_only: false,
+    },
+    EndpointSpec {
+        method: "GET",
+        path: "stats",
+        endpoint: Endpoint::Stats,
+        global_only: false,
+    },
+    EndpointSpec {
+        method: "POST",
+        path: "generate",
+        endpoint: Endpoint::Generate,
+        global_only: false,
+    },
+    EndpointSpec {
+        method: "POST",
+        path: "generate/batch",
+        endpoint: Endpoint::GenerateBatch { deprecated: false },
+        global_only: false,
+    },
+    EndpointSpec {
+        method: "POST",
+        path: "generate_batch",
+        endpoint: Endpoint::GenerateBatch { deprecated: true },
+        global_only: false,
+    },
+    EndpointSpec {
+        method: "POST",
+        path: "disturb",
+        endpoint: Endpoint::Disturb,
+        global_only: false,
+    },
+    EndpointSpec {
+        method: "POST",
+        path: "subscribe",
+        endpoint: Endpoint::Subscribe,
+        global_only: false,
+    },
+    EndpointSpec {
+        method: "POST",
+        path: "shutdown",
+        endpoint: Endpoint::Shutdown,
+        global_only: true,
+    },
+];
+
+/// Splits a request path into `(engine_idx, endpoint, routed)`: the first
+/// path segment selects the engine when it names a registered route; bare
+/// endpoints go to the default (first) engine.
+fn resolve_path<'p>(config: &ServerConfig<'_>, path: &'p str) -> (usize, &'p str, bool) {
+    let path = path.split('?').next().unwrap_or("");
+    let trimmed = path.strip_prefix('/').unwrap_or(path);
+    match trimmed.split_once('/') {
+        Some((name, rest)) => match config.route_index(name) {
+            Some(idx) => (idx, rest, true),
+            None => (0, trimmed, false),
+        },
+        None => (0, trimmed, false),
+    }
+}
+
+/// Table lookup: `Ok` on an exact (method, path) match; `Err(true)` when the
+/// path names an endpoint but under a different method (405); `Err(false)`
+/// when nothing matches (404).
+fn lookup_endpoint(method: &str, endpoint: &str, routed: bool) -> Result<Endpoint, bool> {
+    let mut name_matched = false;
+    for spec in ENDPOINT_TABLE {
+        if spec.global_only && routed {
+            continue;
+        }
+        if spec.path == endpoint {
+            if spec.method == method {
+                return Ok(spec.endpoint);
+            }
+            name_matched = true;
+        }
+    }
+    Err(name_matched)
+}
+
+/// Classifies a request for admission through the endpoint table:
 /// `POST [/NAME]/generate` resolves to its engine and is batchable,
 /// everything else is claimed singly.
 fn classify(config: &ServerConfig<'_>, request: &Request) -> ItemKind {
-    if request.method != "POST" {
-        return ItemKind::Other;
-    }
-    let path = request.path.split('?').next().unwrap_or("");
-    let trimmed = path.strip_prefix('/').unwrap_or(path);
-    let (engine_idx, endpoint) = match trimmed.split_once('/') {
-        Some((name, rest)) => match config.route_index(name) {
-            Some(idx) => (idx, rest),
-            None => (0, trimmed),
-        },
-        None => (0, trimmed),
-    };
-    if endpoint == "generate" {
-        ItemKind::Generate { engine_idx }
-    } else {
-        ItemKind::Other
+    let (engine_idx, endpoint, routed) = resolve_path(config, &request.path);
+    match lookup_endpoint(&request.method, endpoint, routed) {
+        Ok(Endpoint::Generate) => ItemKind::Generate { engine_idx },
+        _ => ItemKind::Other,
     }
 }
 
 fn overload_response(state: &ServeState<'_, '_>) -> Response {
+    // The uniform v1 error body, plus the shed-visibility extras clients use
+    // to size their backoff (extra top-level fields are within the schema).
+    let (code, retryable) = http::error_class(429);
     Response {
         status: 429,
-        body: Json::obj([
-            ("error", Json::Str("overloaded".to_string())),
+        body: wire::versioned(Json::obj([
+            (
+                "error",
+                Json::obj([
+                    ("code", Json::Str(code.to_string())),
+                    ("detail", Json::Str("overloaded".to_string())),
+                    ("retryable", Json::Bool(retryable)),
+                ]),
+            ),
             (
                 "queue_depth",
                 Json::num(state.queue_depth.load(Ordering::SeqCst) as u64),
             ),
             ("queue_bound", Json::num(state.config.queue_bound as u64)),
-        ])
+        ]))
         .encode(),
+        headers: Vec::new(),
     }
 }
 
 fn deadline_response() -> Response {
-    Response {
-        status: 503,
-        body: Json::obj([("error", Json::Str("deadline exceeded".to_string()))]).encode(),
-    }
+    Response::error(503, "deadline exceeded")
 }
 
-/// Routes one request: the first path segment selects the engine when it
-/// names a registered route, bare endpoints go to the default (first)
-/// engine. Returns the response and whether the server should stop after
-/// sending it.
+/// Routes one request through the endpoint table. Returns the response and
+/// whether the server should stop after sending it. `/subscribe` never
+/// reaches here — [`serve_single`] intercepts it (a stream is not a
+/// [`Response`]).
 fn route(
     request: &Request,
     state: &ServeState<'_, '_>,
     budget: &SessionBudget,
+    done: &Sender<Completion>,
 ) -> (Response, bool) {
     let path = request.path.split('?').next().unwrap_or("");
-    let trimmed = path.strip_prefix('/').unwrap_or(path);
-    let (engine_idx, endpoint, routed) = match trimmed.split_once('/') {
-        Some((name, rest)) => match state.config.route_index(name) {
-            Some(idx) => (idx, rest, true),
-            None => (0, trimmed, false),
-        },
-        None => (0, trimmed, false),
-    };
+    let (engine_idx, endpoint, routed) = resolve_path(state.config, &request.path);
     let name = state.config.routes[engine_idx].name.as_str();
     let engine = state.config.routes[engine_idx].engine;
-    let response = match (request.method.as_str(), endpoint) {
-        ("GET", "healthz") => Response::ok(
-            Json::obj([
+    let response = match lookup_endpoint(&request.method, endpoint, routed) {
+        Ok(Endpoint::Healthz) => Response::ok(
+            wire::versioned(Json::obj([
                 ("ok", Json::Bool(true)),
                 ("epoch", Json::num(engine.epoch())),
                 ("engine", Json::Str(name.to_string())),
-            ])
+            ]))
             .encode(),
         ),
-        ("GET", "stats") => handle_stats(state, engine_idx),
-        ("POST", "generate") => handle_generate(request, engine, state, budget),
-        ("POST", "generate_batch") => handle_generate_batch(request, engine, state, budget),
-        ("POST", "disturb") => handle_disturb(request, engine),
-        // Shutdown is a whole-process action: it only exists unrouted.
-        ("POST", "shutdown") if !routed => {
+        Ok(Endpoint::Stats) => handle_stats(state, engine_idx),
+        Ok(Endpoint::Generate) => handle_generate(request, engine, state, budget),
+        Ok(Endpoint::GenerateBatch { deprecated }) => {
+            let response = handle_generate_batch(request, engine, state, budget);
+            if deprecated {
+                // The legacy spelling answers identically, flagged per RFC
+                // 9745 so clients can find the successor mechanically.
+                response.with_header(
+                    "deprecation",
+                    "@0; successor=\"/generate/batch\"".to_string(),
+                )
+            } else {
+                response
+            }
+        }
+        Ok(Endpoint::Disturb) => handle_disturb(request, engine, engine_idx, state, done),
+        // Shutdown is a whole-process action: it only exists unrouted
+        // (the table hides it from routed paths).
+        Ok(Endpoint::Shutdown) => {
             return (
-                Response::ok(Json::obj([("ok", Json::Bool(true))]).encode()),
+                Response::ok(wire::versioned(Json::obj([("ok", Json::Bool(true))])).encode()),
                 true,
             )
         }
-        (method, "healthz" | "stats" | "generate" | "generate_batch" | "disturb") => {
-            Response::error(405, &format!("method {method} not allowed for {path}"))
-        }
-        (method, "shutdown") if !routed => {
-            Response::error(405, &format!("method {method} not allowed for {path}"))
-        }
-        _ => Response::error(404, &format!("no route for {path}")),
+        // Unreachable: serve_single intercepts subscribes before routing.
+        Ok(Endpoint::Subscribe) => Response::error(500, "internal error"),
+        Err(true) => Response::error(
+            405,
+            &format!("method {} not allowed for {path}", request.method),
+        ),
+        Err(false) => Response::error(404, &format!("no route for {path}")),
     };
     (response, false)
 }
@@ -1497,6 +1887,13 @@ fn parse_body(request: &Request) -> Result<Json, Response> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| Response::error(400, "body is not utf-8"))?;
     Json::parse(text).map_err(|e| Response::error(400, &e.to_string()))
+}
+
+/// Enforces the v1 envelope on a tree-parsed request body: missing or
+/// unsupported versions answer 400 with the explicit `bad_version` code.
+fn check_body_version(body: &Json) -> Result<(), Response> {
+    wire::check_version(body)
+        .map_err(|e| Response::error_coded(400, "bad_version", &e.to_string(), false))
 }
 
 /// Pulls and validates a test-node set against the engine's graph, so
@@ -1540,6 +1937,7 @@ fn generate_nodes(request: &Request, num_nodes: usize) -> Result<Vec<usize>, Res
         }
     }
     let body = parse_body(request)?;
+    check_body_version(&body)?;
     let value = body
         .field("nodes")
         .map_err(|e| Response::error(400, &e.to_string()))?;
@@ -1578,6 +1976,9 @@ fn handle_generate_batch(
         Ok(v) => v,
         Err(r) => return r,
     };
+    if let Err(r) = check_body_version(&body) {
+        return r;
+    }
     let queries = match body
         .field("queries")
         .and_then(|q| q.as_arr())
@@ -1606,14 +2007,23 @@ fn handle_generate_batch(
             Err(BudgetExceeded) => return budget_rejection(state),
         }
     }
-    Response::ok(Json::obj([("results", Json::Arr(results))]).encode())
+    Response::ok(wire::versioned(Json::obj([("results", Json::Arr(results))])).encode())
 }
 
-fn handle_disturb(request: &Request, engine: &dyn ServedEngine) -> Response {
+fn handle_disturb(
+    request: &Request,
+    engine: &dyn ServedEngine,
+    engine_idx: usize,
+    state: &ServeState<'_, '_>,
+    done: &Sender<Completion>,
+) -> Response {
     let body = match parse_body(request) {
         Ok(v) => v,
         Err(r) => return r,
     };
+    if let Err(r) = check_body_version(&body) {
+        return r;
+    }
     // Either one disturbance ({"flips": [...]}) or a batch
     // ({"disturbances": [{"flips": [...]}, ...]}).
     let decoded = if body.get("disturbances").is_some() {
@@ -1628,7 +2038,35 @@ fn handle_disturb(request: &Request, engine: &dyn ServedEngine) -> Response {
         Err(e) => return Response::error(400, &e.to_string()),
     };
     let report = engine.disturb(&disturbances);
-    Response::ok(wire::disturb_report_to_json(&report).encode())
+    let disturbance_id = state.disturb_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    // Fan-out: every (subscription, touched-entry) match owes exactly one
+    // update, pushed the moment the engine's repair completed (the entry's
+    // result was captured under the store lock, so it is bit-exact with a
+    // fresh /generate at this epoch). Owed is counted under the registry
+    // lock; each push is resolved exactly once by the event loop.
+    if !report.entries.is_empty() {
+        let subs = lock_subs(state);
+        for entry in &report.entries {
+            for sub in subs
+                .iter()
+                .filter(|s| s.engine_idx == engine_idx && s.key == entry.test_nodes)
+            {
+                state.updates_owed.fetch_add(1, Ordering::SeqCst);
+                let frame = wire::update_frame_to_body(&wire::WitnessUpdate {
+                    subscription: sub.id,
+                    disturbance: disturbance_id,
+                    outcome: entry.outcome,
+                    epoch: report.epoch,
+                    result: entry.result.clone(),
+                });
+                let _ = done.send(Completion::Push {
+                    subscription: sub.id,
+                    bytes: http::encode_stream_frame(&frame),
+                });
+            }
+        }
+    }
+    Response::ok(wire::versioned(wire::disturb_report_to_json(&report)).encode())
 }
 
 /// The stats payload: the selected engine's snapshot under `engine` (the
@@ -1667,7 +2105,7 @@ fn handle_stats(state: &ServeState<'_, '_>, engine_idx: usize) -> Response {
         claimed_items as f64 / claims as f64
     };
     Response::ok(
-        Json::obj([
+        wire::versioned(Json::obj([
             ("engine", selected),
             ("engines", Json::Obj(engines)),
             (
@@ -1703,9 +2141,22 @@ fn handle_stats(state: &ServeState<'_, '_>, engine_idx: usize) -> Response {
                         "admission_wait_us",
                         Json::num(state.admission_wait_us.load(Ordering::SeqCst)),
                     ),
+                    ("subscriptions", Json::num(lock_subs(state).len() as u64)),
+                    (
+                        "updates_owed",
+                        Json::num(state.updates_owed.load(Ordering::SeqCst)),
+                    ),
+                    (
+                        "updates_delivered",
+                        Json::num(state.updates_delivered.load(Ordering::SeqCst)),
+                    ),
+                    (
+                        "updates_shed",
+                        Json::num(state.updates_shed.load(Ordering::SeqCst)),
+                    ),
                 ]),
             ),
-        ])
+        ]))
         .encode(),
     )
 }

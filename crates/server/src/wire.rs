@@ -13,7 +13,7 @@
 //! panicking — the server feeds it untrusted bytes.
 
 use rcw_core::{DisturbReport, EngineSnapshot, EngineStats, GenerationResult, WitnessLevel};
-use rcw_core::{GenerationStats, Witness};
+use rcw_core::{GenerationStats, RepairOutcome, Witness};
 use rcw_graph::{Disturbance, EdgeSubgraph, NodeId};
 use rcw_shard::ShardStats;
 use std::fmt;
@@ -22,6 +22,46 @@ use std::time::Duration;
 /// Maximum nesting depth the parser accepts — far above anything the wire
 /// format produces, low enough that hostile input cannot overflow the stack.
 const MAX_DEPTH: usize = 64;
+
+/// The wire protocol version this build speaks. Every HTTP body — request
+/// and response, success and error — carries it as a top-level `"v"` field;
+/// body decoders reject missing or unsupported versions with a typed error.
+/// Type-level codecs ([`witness_to_json`], [`generation_to_json`], …) stay
+/// unversioned: the envelope belongs to the transport body, not the types.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Wraps a body object in the v1 envelope by prepending `"v": 1`.
+pub fn versioned(body: Json) -> Json {
+    match body {
+        Json::Obj(mut fields) => {
+            fields.insert(0, ("v".to_string(), Json::num(WIRE_VERSION)));
+            Json::Obj(fields)
+        }
+        other => Json::Obj(vec![
+            ("v".to_string(), Json::num(WIRE_VERSION)),
+            ("body".to_string(), other),
+        ]),
+    }
+}
+
+/// Typed error for an unsupported `"v"` value.
+fn unsupported_version(v: u64) -> WireError {
+    WireError::decode(format!(
+        "unsupported wire version {v} (this build speaks v{WIRE_VERSION})"
+    ))
+}
+
+/// Checks a parsed body's version envelope: the top-level `"v"` field must
+/// be present and equal to [`WIRE_VERSION`]. Missing and future versions are
+/// both typed decode errors, so a v2 peer gets a deterministic rejection
+/// instead of a field-by-field parse failure.
+pub fn check_version(body: &Json) -> Result<(), WireError> {
+    let v = body.field("v")?.as_u64()?;
+    if v != WIRE_VERSION {
+        return Err(unsupported_version(v));
+    }
+    Ok(())
+}
 
 /// Error produced when parsing or decoding wire data.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -588,6 +628,15 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// The `"v"` envelope value: an integer equal to [`WIRE_VERSION`].
+    fn version_value(&mut self) -> Result<u64, WireError> {
+        let v = self.usize_value()? as u64;
+        if v != WIRE_VERSION {
+            return Err(unsupported_version(v));
+        }
+        Ok(v)
+    }
+
     /// Iterates a JSON array, calling `visit` once per element.
     fn elements(
         &mut self,
@@ -710,36 +759,61 @@ fn required<T>(value: Option<T>, key: &str) -> Result<T, WireError> {
     value.ok_or_else(|| WireError::decode(format!("missing field '{key}'")))
 }
 
-/// Decodes a [`GenerationResult`] straight from its wire body, bypassing
-/// the [`Json`] tree. Accepts exactly what [`generation_to_json`] (and
-/// [`generation_to_body`]) produce, fields in any order; malformed input
-/// errors, never panics.
+/// Decodes a `/generate` response body (the v1 envelope around a
+/// [`GenerationResult`]'s fields) straight from its wire text, bypassing the
+/// [`Json`] tree. Accepts exactly what [`generation_to_body`] produces,
+/// fields in any order; missing or unsupported `"v"` is a typed error;
+/// malformed input errors, never panics.
 pub fn generation_from_body(text: &str) -> Result<GenerationResult, WireError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
     };
-    let result = p.generation_value()?;
+    let mut version = None;
+    let (mut witness, mut level, mut nontrivial, mut stale, mut stats) =
+        (None, None, None, None, None);
+    p.fields(|p, key| {
+        match key {
+            "v" => version = Some(p.version_value()?),
+            "witness" => witness = Some(p.witness_value()?),
+            "level" => level = Some(level_from_str(p.raw_str()?)?),
+            "nontrivial" => nontrivial = Some(p.bool_value()?),
+            "stale" => stale = Some(p.bool_value()?),
+            "stats" => stats = Some(p.generation_stats_value()?),
+            other => return Err(WireError::decode(format!("unexpected field '{other}'"))),
+        }
+        Ok(())
+    })?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(WireError::new(p.pos, "trailing characters after value"));
     }
-    Ok(result)
+    required(version, "v")?;
+    Ok(GenerationResult {
+        witness: required(witness, "witness")?,
+        level: required(level, "level")?,
+        nontrivial: required(nontrivial, "nontrivial")?,
+        stale: required(stale, "stale")?,
+        stats: required(stats, "stats")?,
+    })
 }
 
-/// Decodes a `/generate` request body (`{"nodes": [..]}`) straight into its
-/// node list, bypassing the [`Json`] tree. Strict: exactly the one field,
-/// plain non-negative integers, nothing trailing. The serving layer uses
-/// this as the fast path and falls back to the tree decoder on any error so
+/// Decodes a `/generate` (or `/subscribe`) request body
+/// (`{"v": 1, "nodes": [..]}`) straight into its node list, bypassing the
+/// [`Json`] tree. Strict: exactly the envelope plus the one field, plain
+/// non-negative integers, nothing trailing. The serving layer uses this as
+/// the fast path and falls back to the tree decoder on any error so
 /// malformed bodies keep their established 400 messages.
 pub fn nodes_from_body(text: &str) -> Result<Vec<usize>, WireError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
     };
+    let mut version = None;
     let mut nodes = None;
     p.fields(|p, key| {
         match key {
+            "v" => version = Some(p.version_value()?),
             "nodes" => nodes = Some(p.usize_array()?),
             other => return Err(WireError::decode(format!("unexpected field '{other}'"))),
         }
@@ -749,6 +823,7 @@ pub fn nodes_from_body(text: &str) -> Result<Vec<usize>, WireError> {
     if p.pos != p.bytes.len() {
         return Err(WireError::new(p.pos, "trailing characters after value"));
     }
+    required(version, "v")?;
     required(nodes, "nodes")
 }
 
@@ -763,32 +838,46 @@ pub(crate) fn push_usize_array(out: &mut String, xs: impl IntoIterator<Item = us
     out.push(']');
 }
 
-/// Serializes a [`GenerationResult`] straight to its wire body —
-/// byte-identical to `generation_to_json(r).encode()` (pinned by a test)
-/// without building the tree.
+/// Serializes a `/generate` response body straight to its wire text: the v1
+/// envelope wrapping a [`GenerationResult`]'s fields — byte-identical to
+/// `versioned(generation_to_json(r)).encode()` (pinned by a test) without
+/// building the tree.
 pub fn generation_to_body(r: &GenerationResult) -> String {
-    let w = &r.witness;
     let mut out = String::with_capacity(
-        192 + 8 * (w.subgraph.nodes().len() + 2 * w.test_nodes.len())
-            + 12 * w.subgraph.edges().len(),
+        200 + 8 * (r.witness.subgraph.nodes().len() + 2 * r.witness.test_nodes.len())
+            + 12 * r.witness.subgraph.edges().len(),
     );
-    out.push_str("{\"witness\":{\"nodes\":");
-    push_usize_array(&mut out, w.subgraph.nodes().iter().copied());
+    out.push_str("{\"v\":");
+    push_u64(&mut out, WIRE_VERSION);
+    out.push(',');
+    push_generation_fields(&mut out, r);
+    out.push('}');
+    out
+}
+
+/// Writes a [`GenerationResult`]'s fields (`"witness":..,"level":..,..`,
+/// no surrounding braces, no envelope) — byte-identical to the interior of
+/// `generation_to_json(r).encode()`. Shared by [`generation_to_body`] and the
+/// subscription frame encoders, which nest the *unversioned* result object.
+pub(crate) fn push_generation_fields(out: &mut String, r: &GenerationResult) {
+    let w = &r.witness;
+    out.push_str("\"witness\":{\"nodes\":");
+    push_usize_array(out, w.subgraph.nodes().iter().copied());
     out.push_str(",\"edges\":[");
     for (i, (u, v)) in w.subgraph.edges().iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push('[');
-        push_u64(&mut out, u as u64);
+        push_u64(out, u as u64);
         out.push(',');
-        push_u64(&mut out, v as u64);
+        push_u64(out, v as u64);
         out.push(']');
     }
     out.push_str("],\"test_nodes\":");
-    push_usize_array(&mut out, w.test_nodes.iter().copied());
+    push_usize_array(out, w.test_nodes.iter().copied());
     out.push_str(",\"labels\":");
-    push_usize_array(&mut out, w.labels.iter().copied());
+    push_usize_array(out, w.labels.iter().copied());
     out.push_str("},\"level\":\"");
     out.push_str(level_to_str(r.level));
     out.push_str("\",\"nontrivial\":");
@@ -796,15 +885,14 @@ pub fn generation_to_body(r: &GenerationResult) -> String {
     out.push_str(",\"stale\":");
     out.push_str(if r.stale { "true" } else { "false" });
     out.push_str(",\"stats\":{\"inference_calls\":");
-    push_u64(&mut out, r.stats.inference_calls as u64);
+    push_u64(out, r.stats.inference_calls as u64);
     out.push_str(",\"disturbances_verified\":");
-    push_u64(&mut out, r.stats.disturbances_verified as u64);
+    push_u64(out, r.stats.disturbances_verified as u64);
     out.push_str(",\"expand_rounds\":");
-    push_u64(&mut out, r.stats.expand_rounds as u64);
+    push_u64(out, r.stats.expand_rounds as u64);
     out.push_str(",\"elapsed_us\":");
-    push_u64(&mut out, r.stats.elapsed.as_micros() as u64);
-    out.push_str("}}");
-    out
+    push_u64(out, r.stats.elapsed.as_micros() as u64);
+    out.push('}');
 }
 
 // ---------------------------------------------------------------------------
@@ -1069,6 +1157,9 @@ pub fn disturb_report_from_json(value: &Json) -> Result<DisturbReport, WireError
         regenerated: value.field("regenerated")?.as_usize()?,
         degraded: value.field("degraded")?.as_usize()?,
         stats: generation_stats_from_json(value.field("stats")?)?,
+        // Per-entry repair outcomes never cross the wire as part of the
+        // report — the serving layer strips them into subscription frames.
+        entries: Vec::new(),
     })
 }
 
@@ -1092,6 +1183,197 @@ pub fn generation_from_json(value: &Json) -> Result<GenerationResult, WireError>
         stale: value.field("stale")?.as_bool()?,
         stats: generation_stats_from_json(value.field("stats")?)?,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Structured errors
+// ---------------------------------------------------------------------------
+
+/// The uniform machine-readable error every non-2xx response carries:
+/// `{"v": 1, "error": {"code": .., "detail": .., "retryable": ..}}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Stable machine-readable class (`"bad_request"`, `"overloaded"`, ...).
+    pub code: String,
+    /// Human-readable description; clients match substrings, never parse.
+    pub detail: String,
+    /// Whether retrying the identical request may succeed.
+    pub retryable: bool,
+}
+
+/// Encodes a structured error body (v1 envelope included).
+pub fn error_to_body(code: &str, detail: &str, retryable: bool) -> String {
+    versioned(Json::obj([(
+        "error",
+        Json::obj([
+            ("code", Json::Str(code.to_string())),
+            ("detail", Json::Str(detail.to_string())),
+            ("retryable", Json::Bool(retryable)),
+        ]),
+    )]))
+    .encode()
+}
+
+/// Decodes a structured error body. Tolerates extra top-level fields
+/// (`queue_depth`, ...) but requires the envelope and all three error fields.
+pub fn error_from_json(value: &Json) -> Result<ErrorBody, WireError> {
+    check_version(value)?;
+    let e = value.field("error")?;
+    Ok(ErrorBody {
+        code: e.field("code")?.as_str()?.to_string(),
+        detail: e.field("detail")?.as_str()?.to_string(),
+        retryable: e.field("retryable")?.as_bool()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Subscription frames
+// ---------------------------------------------------------------------------
+
+/// Decodes a [`RepairOutcome`] wire tag (inverse of [`RepairOutcome::as_str`]).
+pub fn outcome_from_str(s: &str) -> Result<RepairOutcome, WireError> {
+    match s {
+        "reverified" => Ok(RepairOutcome::Reverified),
+        "repaired" => Ok(RepairOutcome::Repaired),
+        "regenerated" => Ok(RepairOutcome::Regenerated),
+        "degraded" => Ok(RepairOutcome::Degraded),
+        other => Err(WireError::decode(format!(
+            "unknown repair outcome '{other}'"
+        ))),
+    }
+}
+
+/// One pushed subscription update: the repair the engine performed for a
+/// subscribed entry when a disturbance's footprint touched it.
+#[derive(Clone, Debug)]
+pub struct WitnessUpdate {
+    /// Subscription id the update belongs to (server-assigned, per-listener).
+    pub subscription: u64,
+    /// Disturbance sequence number that triggered the repair.
+    pub disturbance: u64,
+    /// How the engine resolved the entry.
+    pub outcome: RepairOutcome,
+    /// Graph epoch after the disturbance landed.
+    pub epoch: u64,
+    /// The repaired entry — bit-exact with a fresh `/generate` at `epoch`
+    /// (for `degraded` outcomes: the stale-tagged result a failed heal serves).
+    pub result: GenerationResult,
+}
+
+/// A decoded subscription stream frame (one NDJSON line).
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// Acknowledgement: the subscription is registered and streaming starts.
+    Subscribed {
+        subscription: u64,
+        epoch: u64,
+        nodes: Vec<NodeId>,
+        result: GenerationResult,
+    },
+    /// A repair landed for the subscribed entry.
+    WitnessUpdate(WitnessUpdate),
+}
+
+/// Serializes the `subscribed` acknowledgement frame (no trailing newline;
+/// the stream layer adds the NDJSON delimiter).
+pub fn subscribed_frame_to_body(
+    subscription: u64,
+    epoch: u64,
+    nodes: &[NodeId],
+    result: &GenerationResult,
+) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"v\":");
+    push_u64(&mut out, WIRE_VERSION);
+    out.push_str(",\"frame\":\"subscribed\",\"subscription\":");
+    push_u64(&mut out, subscription);
+    out.push_str(",\"epoch\":");
+    push_u64(&mut out, epoch);
+    out.push_str(",\"nodes\":");
+    push_usize_array(&mut out, nodes.iter().copied());
+    out.push_str(",\"result\":{");
+    push_generation_fields(&mut out, result);
+    out.push_str("}}");
+    out
+}
+
+/// Serializes a `witness_update` frame (no trailing newline; the stream
+/// layer adds the NDJSON delimiter). The nested result object is unversioned
+/// — the envelope sits on the frame.
+pub fn update_frame_to_body(u: &WitnessUpdate) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"v\":");
+    push_u64(&mut out, WIRE_VERSION);
+    out.push_str(",\"frame\":\"witness_update\",\"subscription\":");
+    push_u64(&mut out, u.subscription);
+    out.push_str(",\"disturbance\":");
+    push_u64(&mut out, u.disturbance);
+    out.push_str(",\"outcome\":\"");
+    out.push_str(u.outcome.as_str());
+    out.push_str("\",\"epoch\":");
+    push_u64(&mut out, u.epoch);
+    out.push_str(",\"result\":{");
+    push_generation_fields(&mut out, &u.result);
+    out.push_str("}}");
+    out
+}
+
+/// Decodes one subscription stream frame straight from its NDJSON line,
+/// bypassing the [`Json`] tree. Strict like the other direct decoders:
+/// required fields per frame kind, no unknown fields, nothing trailing.
+pub fn frame_from_body(text: &str) -> Result<Frame, WireError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut version = None;
+    let mut kind: Option<bool> = None; // false = subscribed, true = update
+    let (mut subscription, mut disturbance, mut epoch) = (None, None, None);
+    let mut outcome = None;
+    let mut nodes = None;
+    let mut result = None;
+    p.fields(|p, key| {
+        match key {
+            "v" => version = Some(p.version_value()?),
+            "frame" => {
+                kind = Some(match p.raw_str()? {
+                    "subscribed" => false,
+                    "witness_update" => true,
+                    other => {
+                        return Err(WireError::decode(format!("unknown frame kind '{other}'")))
+                    }
+                })
+            }
+            "subscription" => subscription = Some(p.usize_value()? as u64),
+            "disturbance" => disturbance = Some(p.usize_value()? as u64),
+            "outcome" => outcome = Some(outcome_from_str(p.raw_str()?)?),
+            "epoch" => epoch = Some(p.usize_value()? as u64),
+            "nodes" => nodes = Some(p.usize_array()?),
+            "result" => result = Some(p.generation_value()?),
+            other => return Err(WireError::decode(format!("unexpected field '{other}'"))),
+        }
+        Ok(())
+    })?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(WireError::new(p.pos, "trailing characters after value"));
+    }
+    required(version, "v")?;
+    match required(kind, "frame")? {
+        false => Ok(Frame::Subscribed {
+            subscription: required(subscription, "subscription")?,
+            epoch: required(epoch, "epoch")?,
+            nodes: required(nodes, "nodes")?,
+            result: required(result, "result")?,
+        }),
+        true => Ok(Frame::WitnessUpdate(WitnessUpdate {
+            subscription: required(subscription, "subscription")?,
+            disturbance: required(disturbance, "disturbance")?,
+            outcome: required(outcome, "outcome")?,
+            epoch: required(epoch, "epoch")?,
+            result: required(result, "result")?,
+        })),
+    }
 }
 
 #[cfg(test)]
@@ -1188,14 +1470,17 @@ mod tests {
     #[test]
     fn direct_generation_codec_matches_the_tree_codec() {
         let result = sample_generation();
-        // Same bytes out...
+        // Same bytes out: the direct body is the v1 envelope around the
+        // (unversioned) tree encoding.
         let body = generation_to_body(&result);
-        assert_eq!(body, generation_to_json(&result).encode());
+        assert_eq!(body, versioned(generation_to_json(&result)).encode());
         // ...and both decoders accept them, agreeing with each other: the
         // direct parse re-encodes to the identical body.
         let direct = generation_from_body(&body).expect("direct parse");
         assert_eq!(generation_to_body(&direct), body);
-        let tree = generation_from_json(&Json::parse(&body).expect("tree parse")).expect("decode");
+        let tree_value = Json::parse(&body).expect("tree parse");
+        check_version(&tree_value).expect("envelope");
+        let tree = generation_from_json(&tree_value).expect("decode");
         assert_eq!(generation_to_body(&tree), body);
         // Field order independence (a forward-compat guarantee the tree
         // decoder already had).
@@ -1203,9 +1488,112 @@ mod tests {
                         \"stats\":{\"elapsed_us\":357,\"expand_rounds\":2,\
                         \"disturbances_verified\":4,\"inference_calls\":12},\
                         \"witness\":{\"labels\":[3,1],\"test_nodes\":[0,7],\
-                        \"edges\":[[0,1],[1,2],[2,7]],\"nodes\":[0,1,2,7,9]}}";
+                        \"edges\":[[0,1],[1,2],[2,7]],\"nodes\":[0,1,2,7,9]},\"v\":1}";
         let reordered = generation_from_body(shuffled).expect("reordered parse");
         assert_eq!(generation_to_body(&reordered), body);
+    }
+
+    #[test]
+    fn version_negotiation_is_strict() {
+        let body = generation_to_body(&sample_generation());
+        // A future version is rejected with a typed message, both paths.
+        let future = body.replacen("{\"v\":1,", "{\"v\":2,", 1);
+        let err = generation_from_body(&future).expect_err("future version");
+        assert!(err.to_string().contains("unsupported wire version 2"));
+        let err = check_version(&Json::parse(&future).unwrap()).expect_err("tree path");
+        assert!(err.to_string().contains("unsupported wire version 2"));
+        // A missing version is a missing-field error, not a silent default.
+        let bare = body.replacen("{\"v\":1,", "{", 1);
+        let err = generation_from_body(&bare).expect_err("missing version");
+        assert!(err.to_string().contains("'v'"), "{err}");
+        // check_version tolerates extra fields but not absence.
+        assert!(check_version(&Json::obj([("x", Json::num(3u64))])).is_err());
+        assert!(check_version(&versioned(Json::obj([("x", Json::num(3u64))]))).is_ok());
+    }
+
+    #[test]
+    fn error_body_round_trips() {
+        let body = error_to_body("overloaded", "queue full: overloaded", true);
+        let decoded = error_from_json(&Json::parse(&body).unwrap()).unwrap();
+        assert_eq!(
+            decoded,
+            ErrorBody {
+                code: "overloaded".to_string(),
+                detail: "queue full: overloaded".to_string(),
+                retryable: true,
+            }
+        );
+        // Escaping survives the trip.
+        let body = error_to_body("bad_request", "unexpected field '\"x\"'", false);
+        let decoded = error_from_json(&Json::parse(&body).unwrap()).unwrap();
+        assert_eq!(decoded.detail, "unexpected field '\"x\"'");
+        // The envelope is mandatory on error bodies too.
+        assert!(error_from_json(
+            &Json::parse("{\"error\":{\"code\":\"x\",\"detail\":\"y\",\"retryable\":false}}")
+                .unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn subscription_frames_round_trip() {
+        let result = sample_generation();
+        let ack = subscribed_frame_to_body(4, 17, &[0, 7], &result);
+        match frame_from_body(&ack).expect("ack decodes") {
+            Frame::Subscribed {
+                subscription,
+                epoch,
+                nodes,
+                result: got,
+            } => {
+                assert_eq!((subscription, epoch), (4, 17));
+                assert_eq!(nodes, vec![0, 7]);
+                assert_eq!(generation_to_body(&got), generation_to_body(&result));
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        for outcome in [
+            RepairOutcome::Reverified,
+            RepairOutcome::Repaired,
+            RepairOutcome::Regenerated,
+            RepairOutcome::Degraded,
+        ] {
+            let update = WitnessUpdate {
+                subscription: 9,
+                disturbance: 3,
+                outcome,
+                epoch: 21,
+                result: result.clone(),
+            };
+            let line = update_frame_to_body(&update);
+            match frame_from_body(&line).expect("update decodes") {
+                Frame::WitnessUpdate(got) => {
+                    assert_eq!(got.subscription, 9);
+                    assert_eq!(got.disturbance, 3);
+                    assert_eq!(got.outcome, outcome);
+                    assert_eq!(got.epoch, 21);
+                    assert_eq!(generation_to_body(&got.result), generation_to_body(&result));
+                }
+                other => panic!("wrong frame: {other:?}"),
+            }
+            // Frames are versioned; the nested result object is not.
+            assert!(line.starts_with("{\"v\":1,\"frame\":\"witness_update\""));
+            assert!(line.contains(",\"result\":{\"witness\":"));
+        }
+        // Malformed frames error, never panic.
+        let line = update_frame_to_body(&WitnessUpdate {
+            subscription: 1,
+            disturbance: 1,
+            outcome: RepairOutcome::Repaired,
+            epoch: 2,
+            result,
+        });
+        for cut in 0..line.len() {
+            assert!(frame_from_body(&line[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(frame_from_body(&line.replacen("witness_update", "mystery", 1)).is_err());
+        assert!(frame_from_body(&line.replacen("\"repaired\"", "\"melted\"", 1)).is_err());
+        assert!(frame_from_body(&line.replacen("{\"v\":1,", "{", 1)).is_err());
     }
 
     #[test]
@@ -1216,7 +1604,7 @@ mod tests {
             assert!(generation_from_body(&body[..cut]).is_err(), "cut at {cut}");
         }
         // Dropping any field is a decode error naming the field.
-        for field in ["witness", "level", "nontrivial", "stale", "stats"] {
+        for field in ["v", "witness", "level", "nontrivial", "stale", "stats"] {
             let dropped = {
                 let json = Json::parse(&body).unwrap();
                 let Json::Obj(fields) = json else { panic!() };

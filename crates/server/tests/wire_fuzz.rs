@@ -95,6 +95,9 @@ fn corpus() -> Vec<(String, DecodeErrs)> {
             expand_rounds: 6,
             elapsed: Duration::from_micros(7890),
         },
+        // Per-entry repair outcomes never cross the wire in the report (the
+        // subscription stream carries them), so the corpus leaves them empty.
+        entries: Vec::new(),
     };
     let generation = GenerationResult {
         witness: witness.clone(),
@@ -184,6 +187,81 @@ fn corrupted_payloads_error_and_never_panic() {
     assert!(
         failures.is_empty(),
         "codec panicked on corrupted payloads:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Raw-body (zero-tree) decoders run straight off the byte stream, so the
+/// corruption sweep hits them without the `Json::parse` pre-filter: the v1
+/// envelope bodies and the NDJSON subscription frames.
+#[test]
+fn corrupted_raw_bodies_error_and_never_panic() {
+    type RawDecodeErrs = fn(&str) -> bool;
+    fn decode_generation_body(text: &str) -> bool {
+        wire::generation_from_body(text).is_err()
+    }
+    fn decode_frame(text: &str) -> bool {
+        wire::frame_from_body(text).is_err()
+    }
+    fn decode_error_body(text: &str) -> bool {
+        match Json::parse(text) {
+            Ok(v) => wire::error_from_json(&v).is_err(),
+            Err(_) => true,
+        }
+    }
+
+    let generation = GenerationResult {
+        witness: Witness::new(
+            EdgeSubgraph::from_edges([(0, 1), (1, 2), (4, 7)]),
+            vec![1, 4],
+            vec![0, 5],
+        ),
+        level: WitnessLevel::Robust,
+        nontrivial: true,
+        stale: false,
+        stats: GenerationStats::default(),
+    };
+    let update = wire::WitnessUpdate {
+        subscription: 3,
+        disturbance: 9,
+        outcome: rcw_core::RepairOutcome::Repaired,
+        epoch: 12,
+        result: generation.clone(),
+    };
+    let corpus: Vec<(String, RawDecodeErrs)> = vec![
+        (
+            wire::generation_to_body(&generation),
+            decode_generation_body,
+        ),
+        (
+            wire::subscribed_frame_to_body(1, 7, &[1, 4], &generation),
+            decode_frame,
+        ),
+        (wire::update_frame_to_body(&update), decode_frame),
+        (
+            wire::error_to_body("overloaded", "queue full", true),
+            decode_error_body,
+        ),
+    ];
+    let mut failures: Vec<String> = Vec::new();
+    for seed in fuzz_seeds() {
+        let mut rng = Rng::seed_from_u64(0x5ab5_c01d ^ seed);
+        for round in 0..64 {
+            let pick = rng.gen_range(0..corpus.len());
+            let (ref text, decode_errs) = corpus[pick];
+            let other = &corpus[rng.gen_range(0..corpus.len())].0;
+            let mutated = corrupt(text, other, &mut rng);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ = decode_errs(&mutated);
+            }));
+            if outcome.is_err() {
+                failures.push(format!("seed {seed} round {round}: {mutated:?}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "raw-body codec panicked on corrupted payloads:\n{}",
         failures.join("\n")
     );
 }

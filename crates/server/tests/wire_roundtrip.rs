@@ -107,6 +107,9 @@ fn disturb_report_and_generation_result_round_trip() {
             expand_rounds: 6,
             elapsed: Duration::from_micros(7890),
         },
+        // Entry-level outcomes ride the subscription stream, not the report
+        // encoding, so the decoded report always has them empty.
+        entries: Vec::new(),
     };
     let encoded = wire::disturb_report_to_json(&report).encode();
     let decoded = wire::disturb_report_from_json(&Json::parse(&encoded).unwrap()).unwrap();

@@ -31,8 +31,8 @@
 //! each runs its own footprint-scoped repair sweep.
 
 use rcw_core::{
-    BudgetExceeded, DisturbReport, EngineFaultHook, EngineSnapshot, GenerationResult, RcwConfig,
-    SessionBudget, VerifiableModel, WitnessEngine,
+    BudgetExceeded, DisturbReport, EngineFaultHook, EngineSnapshot, EntryRepair, GenerationResult,
+    RcwConfig, SessionBudget, VerifiableModel, WitnessEngine,
 };
 use rcw_gnn::GnnModel;
 use rcw_graph::traversal::k_hop_neighborhood_multi;
@@ -438,6 +438,11 @@ impl<'m, M: VerifiableModel + ?Sized> ShardedEngine<'m, M> {
     /// The returned report carries the escape engine's authoritative
     /// `epoch`, `flips_applied` and `footprint_size`; the repair counters
     /// and session stats are summed across every engine that ran a sweep.
+    /// Per-entry repair outcomes are merged into one exactly-once stream:
+    /// a key stored by more than one engine (routing decisions shift across
+    /// epochs) keeps the entry of the engine a post-disturbance
+    /// [`ShardedEngine::route`] selects — the copy a fresh query is served
+    /// from — so a subscription layer owes one update per touched key.
     pub fn disturb(&self, disturbances: &[Disturbance]) -> DisturbReport {
         // The edge set is about to durably change; every memoized routing
         // decision is suspect.
@@ -447,6 +452,10 @@ impl<'m, M: VerifiableModel + ?Sized> ShardedEngine<'m, M> {
             .clear();
         let mut report = self.escape.disturb(disturbances);
         let mut fanout = 0usize;
+        let mut sourced: Vec<(RouteDecision, EntryRepair)> = std::mem::take(&mut report.entries)
+            .into_iter()
+            .map(|e| (RouteDecision::Escape, e))
+            .collect();
         for (i, shard) in self.plan.shards.iter().enumerate() {
             let local: Vec<Disturbance> = disturbances
                 .iter()
@@ -473,7 +482,27 @@ impl<'m, M: VerifiableModel + ?Sized> ShardedEngine<'m, M> {
             report.stats.disturbances_verified += r.stats.disturbances_verified;
             report.stats.expand_rounds += r.stats.expand_rounds;
             report.stats.elapsed += r.stats.elapsed;
+            sourced.extend(r.entries.into_iter().map(|e| (RouteDecision::Shard(i), e)));
         }
+        // Exactly-once merge: one entry per canonical key, preferring the
+        // engine the (post-disturbance, cache-cleared) route selects. A key
+        // held only by a non-selected engine keeps its sole entry — a
+        // best-effort answer from the store that repaired it.
+        let mut merged: BTreeMap<Vec<NodeId>, (RouteDecision, EntryRepair)> = BTreeMap::new();
+        for (source, entry) in sourced {
+            match merged.entry(entry.test_nodes.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert((source, entry));
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let preferred = self.route(&entry.test_nodes);
+                    if source == preferred && slot.get().0 != preferred {
+                        slot.insert((source, entry));
+                    }
+                }
+            }
+        }
+        report.entries = merged.into_values().map(|(_, entry)| entry).collect();
         let mut stats = self.routing_lock();
         stats.disturbs += 1;
         stats.fanout_applications += fanout;
